@@ -1,0 +1,329 @@
+//! ABFT-protected matrix multiplication (paper §VI, Fig. 8).
+//!
+//! The workload computes the full checksummed product (data part, row
+//! checksum column, column checksum row), then runs the ABFT verification
+//! phase: recompute row/column sums, locate a single inconsistent
+//! (row, column) pair, and overwrite the corrupted element with the value
+//! implied by its row checksum.  The corrected data part is finally copied to
+//! the output matrix `C_out`.
+//!
+//! The target data object is the working product matrix `C` — the same
+//! object studied in the unprotected [`moard_workloads::MatMul`] baseline —
+//! so the two aDVF values are directly comparable, which is exactly the
+//! comparison Fig. 8 plots ([C] vs ABFT_[C]).
+
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+use moard_workloads::{Acceptance, MatMul, MmConfig, Workload};
+
+/// The ABFT-protected matrix-multiplication workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbftMatMul {
+    /// Problem configuration (shared with the unprotected baseline).
+    pub config: MmConfig,
+}
+
+impl AbftMatMul {
+    /// ABFT matrix multiply with an explicit configuration.
+    pub fn with_config(config: MmConfig) -> Self {
+        AbftMatMul { config }
+    }
+
+    fn baseline(&self) -> MatMul {
+        MatMul::with_config(self.config)
+    }
+}
+
+impl Workload for AbftMatMul {
+    fn name(&self) -> &'static str {
+        "ABFT-MM"
+    }
+
+    fn description(&self) -> &'static str {
+        "Checksum-protected dense matrix multiplication (Wu & Ding ABFT)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "matmul + abft_verify"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["C"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["C_out"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-9)
+    }
+
+    fn build(&self) -> Module {
+        let n = self.config.n as i64;
+        let nn = self.config.n;
+        let stride = n + 1;
+        let baseline = self.baseline();
+
+        let mut m = Module::new("abft_mm");
+        let a = m.add_global(Global::from_f64("A", &baseline.a()));
+        let b = m.add_global(Global::from_f64("B", &baseline.b()));
+        // Encoded checksum vectors.
+        let a_chk = m.add_global(Global::zeroed("A_chk", Type::F64, nn as u64));
+        let b_chk = m.add_global(Global::zeroed("B_chk", Type::F64, nn as u64));
+        // Full checksummed product (n+1) x (n+1): the protected data object.
+        let c = m.add_global(Global::zeroed(
+            "C",
+            Type::F64,
+            ((nn + 1) * (nn + 1)) as u64,
+        ));
+        let c_out = m.add_global(Global::zeroed("C_out", Type::F64, (nn * nn) as u64));
+        // Verification bookkeeping.
+        let bad_row = m.add_global(Global::from_i64("bad_row", &[-1]));
+        let bad_col = m.add_global(Global::from_i64("bad_col", &[-1]));
+        let row_delta = m.add_global(Global::zeroed("row_delta", Type::F64, 1));
+        let mismatches = m.add_global(Global::from_i64("mismatches", &[0, 0]));
+
+        let tol = 1e-12;
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+
+        // --- Encoding: A_chk[j] = Σ_i A[i][j],  B_chk[i] = Σ_j B[i][j].
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+            let acc = f.alloc_reg(Type::F64);
+            f.mov(acc, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+                let aij = f.lin2(Operand::Reg(i), Operand::Reg(j), n);
+                let v = f.load_elem(Type::F64, a, Operand::Reg(aij));
+                let s = f.fadd(Operand::Reg(acc), Operand::Reg(v));
+                f.mov(acc, Operand::Reg(s));
+            });
+            f.store_elem(Type::F64, a_chk, Operand::Reg(j), Operand::Reg(acc));
+        });
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            let acc = f.alloc_reg(Type::F64);
+            f.mov(acc, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                let bij = f.lin2(Operand::Reg(i), Operand::Reg(j), n);
+                let v = f.load_elem(Type::F64, b, Operand::Reg(bij));
+                let s = f.fadd(Operand::Reg(acc), Operand::Reg(v));
+                f.mov(acc, Operand::Reg(s));
+            });
+            f.store_elem(Type::F64, b_chk, Operand::Reg(i), Operand::Reg(acc));
+        });
+
+        // --- Zero the full product.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(stride * stride), |f, e| {
+            f.store_elem(Type::F64, c, Operand::Reg(e), Operand::const_f64(0.0));
+        });
+
+        // --- Data part: C[i][j] += A[i][k] * B[k][j]  (accumulate in C).
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, k| {
+                let aik = f.lin2(Operand::Reg(i), Operand::Reg(k), n);
+                let av = f.load_elem(Type::F64, a, Operand::Reg(aik));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let bkj = f.lin2(Operand::Reg(k), Operand::Reg(j), n);
+                    let bv = f.load_elem(Type::F64, b, Operand::Reg(bkj));
+                    let p = f.fmul(Operand::Reg(av), Operand::Reg(bv));
+                    let cij = f.lin2(Operand::Reg(i), Operand::Reg(j), stride);
+                    let cv = f.load_elem(Type::F64, c, Operand::Reg(cij));
+                    let s = f.fadd(Operand::Reg(cv), Operand::Reg(p));
+                    f.store_elem(Type::F64, c, Operand::Reg(cij), Operand::Reg(s));
+                });
+            });
+        });
+        // --- Row-checksum column: C[i][n] += A[i][k] * B_chk[k].
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, k| {
+                let aik = f.lin2(Operand::Reg(i), Operand::Reg(k), n);
+                let av = f.load_elem(Type::F64, a, Operand::Reg(aik));
+                let bc = f.load_elem(Type::F64, b_chk, Operand::Reg(k));
+                let p = f.fmul(Operand::Reg(av), Operand::Reg(bc));
+                let cin = f.lin2(Operand::Reg(i), Operand::const_i64(n), stride);
+                let cv = f.load_elem(Type::F64, c, Operand::Reg(cin));
+                let s = f.fadd(Operand::Reg(cv), Operand::Reg(p));
+                f.store_elem(Type::F64, c, Operand::Reg(cin), Operand::Reg(s));
+            });
+        });
+        // --- Column-checksum row: C[n][j] += A_chk[k] * B[k][j].
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, k| {
+            let ac = f.load_elem(Type::F64, a_chk, Operand::Reg(k));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                let bkj = f.lin2(Operand::Reg(k), Operand::Reg(j), n);
+                let bv = f.load_elem(Type::F64, b, Operand::Reg(bkj));
+                let p = f.fmul(Operand::Reg(ac), Operand::Reg(bv));
+                let cnj = f.lin2(Operand::const_i64(n), Operand::Reg(j), stride);
+                let cv = f.load_elem(Type::F64, c, Operand::Reg(cnj));
+                let s = f.fadd(Operand::Reg(cv), Operand::Reg(p));
+                f.store_elem(Type::F64, c, Operand::Reg(cnj), Operand::Reg(s));
+            });
+        });
+
+        // --- Checksum-of-checksums corner: C[n][n] += A_chk[k] * B_chk[k].
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, k| {
+            let ac = f.load_elem(Type::F64, a_chk, Operand::Reg(k));
+            let bc = f.load_elem(Type::F64, b_chk, Operand::Reg(k));
+            let p = f.fmul(Operand::Reg(ac), Operand::Reg(bc));
+            let cnn = f.lin2(Operand::const_i64(n), Operand::const_i64(n), stride);
+            let cv = f.load_elem(Type::F64, c, Operand::Reg(cnn));
+            let s = f.fadd(Operand::Reg(cv), Operand::Reg(p));
+            f.store_elem(Type::F64, c, Operand::Reg(cnn), Operand::Reg(s));
+        });
+
+        // --- ABFT verification phase: find inconsistent row and column.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            let sum = f.alloc_reg(Type::F64);
+            f.mov(sum, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                let cij = f.lin2(Operand::Reg(i), Operand::Reg(j), stride);
+                let cv = f.load_elem(Type::F64, c, Operand::Reg(cij));
+                let s = f.fadd(Operand::Reg(sum), Operand::Reg(cv));
+                f.mov(sum, Operand::Reg(s));
+            });
+            let cin = f.lin2(Operand::Reg(i), Operand::const_i64(n), stride);
+            let chk = f.load_elem(Type::F64, c, Operand::Reg(cin));
+            let delta = f.fsub(Operand::Reg(chk), Operand::Reg(sum));
+            let mag = f.fabs(Operand::Reg(delta));
+            let bad = f.cmp(CmpPred::FOgt, Operand::Reg(mag), Operand::const_f64(tol));
+            f.if_then(Operand::Reg(bad), |f| {
+                f.store_elem(Type::I64, bad_row, Operand::const_i64(0), Operand::Reg(i));
+                f.store_elem(Type::F64, row_delta, Operand::const_i64(0), Operand::Reg(delta));
+                let cnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(0));
+                let inc = f.add(Operand::Reg(cnt), Operand::const_i64(1));
+                f.store_elem(Type::I64, mismatches, Operand::const_i64(0), Operand::Reg(inc));
+            });
+        });
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+            let sum = f.alloc_reg(Type::F64);
+            f.mov(sum, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+                let cij = f.lin2(Operand::Reg(i), Operand::Reg(j), stride);
+                let cv = f.load_elem(Type::F64, c, Operand::Reg(cij));
+                let s = f.fadd(Operand::Reg(sum), Operand::Reg(cv));
+                f.mov(sum, Operand::Reg(s));
+            });
+            let cnj = f.lin2(Operand::const_i64(n), Operand::Reg(j), stride);
+            let chk = f.load_elem(Type::F64, c, Operand::Reg(cnj));
+            let delta = f.fsub(Operand::Reg(chk), Operand::Reg(sum));
+            let mag = f.fabs(Operand::Reg(delta));
+            let bad = f.cmp(CmpPred::FOgt, Operand::Reg(mag), Operand::const_f64(tol));
+            f.if_then(Operand::Reg(bad), |f| {
+                f.store_elem(Type::I64, bad_col, Operand::const_i64(0), Operand::Reg(j));
+                let cnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(1));
+                let inc = f.add(Operand::Reg(cnt), Operand::const_i64(1));
+                f.store_elem(Type::I64, mismatches, Operand::const_i64(1), Operand::Reg(inc));
+            });
+        });
+        // Correct a located single-element error: C[r][c] += row_delta.
+        let rcnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(0));
+        let ccnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(1));
+        let one_row = f.cmp(CmpPred::Eq, Operand::Reg(rcnt), Operand::const_i64(1));
+        let one_col = f.cmp(CmpPred::Eq, Operand::Reg(ccnt), Operand::const_i64(1));
+        let correctable = f.bin(BinOp::And, Type::I1, Operand::Reg(one_row), Operand::Reg(one_col));
+        f.if_then(Operand::Reg(correctable), |f| {
+            let r = f.load_elem(Type::I64, bad_row, Operand::const_i64(0));
+            let cc = f.load_elem(Type::I64, bad_col, Operand::const_i64(0));
+            let idx = f.lin2(Operand::Reg(r), Operand::Reg(cc), stride);
+            let cur = f.load_elem(Type::F64, c, Operand::Reg(idx));
+            let d = f.load_elem(Type::F64, row_delta, Operand::const_i64(0));
+            let fixed = f.fadd(Operand::Reg(cur), Operand::Reg(d));
+            f.store_elem(Type::F64, c, Operand::Reg(idx), Operand::Reg(fixed));
+        });
+
+        // --- Copy the (corrected) data part to the output.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                let src = f.lin2(Operand::Reg(i), Operand::Reg(j), stride);
+                let dst = f.lin2(Operand::Reg(i), Operand::Reg(j), n);
+                let v = f.load_elem(Type::F64, c, Operand::Reg(src));
+                f.store_elem(Type::F64, c_out, Operand::Reg(dst), Operand::Reg(v));
+            });
+        });
+        // Trace of the output as the scalar summary.
+        let tr = f.alloc_reg(Type::F64);
+        f.mov(tr, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            let cii = f.lin2(Operand::Reg(i), Operand::Reg(i), n);
+            let v = f.load_elem(Type::F64, c_out, Operand::Reg(cii));
+            let s = f.fadd(Operand::Reg(tr), Operand::Reg(v));
+            f.mov(tr, Operand::Reg(s));
+        });
+        f.ret(Some(Operand::Reg(tr)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::full_checksum_product;
+    use moard_workloads::golden_run;
+
+    #[test]
+    fn golden_product_matches_reference_and_checksums_are_consistent() {
+        let w = AbftMatMul::default();
+        let outcome = golden_run(&w).unwrap();
+        assert!(outcome.status.is_completed());
+        let n = w.config.n;
+        let want = w.baseline().expected();
+        let got = outcome.global_f64("C_out");
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let cf = outcome.global_f64("C");
+        let cf_ref = full_checksum_product(&w.baseline().a(), &w.baseline().b(), n);
+        for (a, b) in cf.iter().zip(cf_ref.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // No mismatch recorded in the error-free run.
+        assert_eq!(outcome.globals["mismatches"][0].as_i64(), 0);
+        assert_eq!(outcome.globals["mismatches"][1].as_i64(), 0);
+    }
+
+    #[test]
+    fn metadata_matches_case_study() {
+        let w = AbftMatMul::default();
+        assert_eq!(w.name(), "ABFT-MM");
+        assert_eq!(w.target_objects(), vec!["C"]);
+        assert_eq!(w.output_objects(), vec!["C_out"]);
+    }
+}
+
+#[cfg(test)]
+mod injection_probe {
+    use super::*;
+    use moard_core::{enumerate_sites, SiteSlot};
+    use moard_vm::{run_traced, run_with_fault, Vm};
+    use moard_workloads::MmConfig;
+
+    /// A corrupted partial sum of C must be corrected by the verification
+    /// phase: the outcome stays acceptable for high-magnitude bit flips.
+    #[test]
+    fn corrupted_partial_sum_is_corrected_by_verification() {
+        let w = AbftMatMul::with_config(MmConfig { n: 6, ..Default::default() });
+        let module = w.build();
+        let (golden, trace) = run_traced(&module).unwrap();
+        let vm = Vm::with_defaults(&module).unwrap();
+        let c = vm.objects().by_name("C").unwrap().id;
+        let sites = enumerate_sites(&trace, c);
+        // Pick an operand site in the middle of the data accumulation.
+        let site = sites
+            .iter()
+            .filter(|s| matches!(s.slot, SiteSlot::Operand(_)))
+            .nth(40)
+            .unwrap();
+        for bit in [50u32, 55, 60, 62] {
+            let outcome = run_with_fault(&module, &site.fault(bit)).unwrap();
+            let class = w.classify(&golden, &outcome);
+            assert!(
+                class.is_success(),
+                "bit {bit}: expected corrected outcome, got {class} (rel diff {})",
+                outcome.max_rel_diff(&golden, "C_out")
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! ABFT-protected Particle Filter (paper §VI, Fig. 9).
+//!
+//! `xe` in the particle filter is repeatedly overwritten with vector
+//! multiplication results (`xe[t] = Σ w_i · x_i`).  Treating the vector as a
+//! degenerate matrix, the ABFT of the MM case study can be applied: a
+//! redundant checksum accumulation recomputes the same inner product and the
+//! verification step overwrites `xe[t]` whenever the two disagree beyond a
+//! tolerance.  The paper's finding — reproduced by the `fig9_abft_pf` bench —
+//! is that this protection barely changes `xe`'s aDVF (0.475 → 0.48), because
+//! operation-level masking dominates with or without ABFT, and most errors
+//! ABFT corrects would also have been tolerated by the filter's statistical
+//! acceptance.
+
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+use moard_workloads::{Acceptance, Pf, PfConfig, Workload};
+
+/// The ABFT-protected particle-filter workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbftPf {
+    /// Problem configuration (shared with the unprotected baseline).
+    pub config: PfConfig,
+}
+
+impl AbftPf {
+    /// ABFT particle filter with an explicit configuration.
+    pub fn with_config(config: PfConfig) -> Self {
+        AbftPf { config }
+    }
+
+    fn baseline(&self) -> Pf {
+        Pf::with_config(self.config)
+    }
+}
+
+impl Workload for AbftPf {
+    fn name(&self) -> &'static str {
+        "ABFT-PF"
+    }
+
+    fn description(&self) -> &'static str {
+        "Particle filter with checksum-protected estimate accumulation"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "particleFilter main loop + abft_verify"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["xe"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["xe"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(5e-2)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let np = cfg.particles as i64;
+        let nt = cfg.steps as i64;
+        let baseline = self.baseline();
+
+        let mut m = Module::new("abft_pf");
+        let obs = m.add_global(Global::from_f64("obs", &baseline.observations()));
+        let noise = m.add_global(Global::from_f64("noise", &baseline.process_noise()));
+        let xpart = m.add_global(Global::zeroed("x_particles", Type::F64, cfg.particles as u64));
+        let weights = m.add_global(Global::zeroed("weights", Type::F64, cfg.particles as u64));
+        let xnew = m.add_global(Global::zeroed("x_new", Type::F64, cfg.particles as u64));
+        let xe = m.add_global(Global::zeroed("xe", Type::F64, cfg.steps as u64));
+        let xe_chk = m.add_global(Global::zeroed("xe_chk", Type::F64, cfg.steps as u64));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+            let o0 = f.load_elem(Type::F64, obs, Operand::const_i64(0));
+            let pn = f.load_elem(Type::F64, noise, Operand::Reg(p));
+            let init = f.fadd(Operand::Reg(o0), Operand::Reg(pn));
+            f.store_elem(Type::F64, xpart, Operand::Reg(p), Operand::Reg(init));
+        });
+
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(nt), |f, t| {
+            // Propagate.
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let xp = f.load_elem(Type::F64, xpart, Operand::Reg(p));
+                let nidx = f.mul(Operand::Reg(t), Operand::const_i64(np));
+                let nidx = f.add(Operand::Reg(nidx), Operand::Reg(p));
+                let nv = f.load_elem(Type::F64, noise, Operand::Reg(nidx));
+                let moved = f.fadd(Operand::Reg(xp), Operand::const_f64(2.0));
+                let moved = f.fadd(Operand::Reg(moved), Operand::Reg(nv));
+                f.store_elem(Type::F64, xpart, Operand::Reg(p), Operand::Reg(moved));
+            });
+            // Weight + normalize.
+            let wsum = f.alloc_reg(Type::F64);
+            f.mov(wsum, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let xp = f.load_elem(Type::F64, xpart, Operand::Reg(p));
+                let ot = f.load_elem(Type::F64, obs, Operand::Reg(t));
+                let d = f.fsub(Operand::Reg(xp), Operand::Reg(ot));
+                let d2 = f.fmul(Operand::Reg(d), Operand::Reg(d));
+                let denom = f.fadd(Operand::const_f64(1.0), Operand::Reg(d2));
+                let w = f.fdiv(Operand::const_f64(1.0), Operand::Reg(denom));
+                f.store_elem(Type::F64, weights, Operand::Reg(p), Operand::Reg(w));
+                let s = f.fadd(Operand::Reg(wsum), Operand::Reg(w));
+                f.mov(wsum, Operand::Reg(s));
+            });
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let w = f.load_elem(Type::F64, weights, Operand::Reg(p));
+                let nw = f.fdiv(Operand::Reg(w), Operand::Reg(wsum));
+                f.store_elem(Type::F64, weights, Operand::Reg(p), Operand::Reg(nw));
+            });
+            // Protected estimate: accumulate xe[t] in memory, and a redundant
+            // checksum copy xe_chk[t]; verification overwrites xe[t] when the
+            // two disagree (the ABFT correction step).
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let w = f.load_elem(Type::F64, weights, Operand::Reg(p));
+                let xp = f.load_elem(Type::F64, xpart, Operand::Reg(p));
+                let prod = f.fmul(Operand::Reg(w), Operand::Reg(xp));
+                let cur = f.load_elem(Type::F64, xe, Operand::Reg(t));
+                let ns = f.fadd(Operand::Reg(cur), Operand::Reg(prod));
+                f.store_elem(Type::F64, xe, Operand::Reg(t), Operand::Reg(ns));
+                let chk = f.load_elem(Type::F64, xe_chk, Operand::Reg(t));
+                let nc = f.fadd(Operand::Reg(chk), Operand::Reg(prod));
+                f.store_elem(Type::F64, xe_chk, Operand::Reg(t), Operand::Reg(nc));
+            });
+            // ABFT verification of the estimate.
+            let est = f.load_elem(Type::F64, xe, Operand::Reg(t));
+            let chk = f.load_elem(Type::F64, xe_chk, Operand::Reg(t));
+            let diff = f.fsub(Operand::Reg(est), Operand::Reg(chk));
+            let mag = f.fabs(Operand::Reg(diff));
+            let bad = f.cmp(CmpPred::FOgt, Operand::Reg(mag), Operand::const_f64(1e-9));
+            f.if_then(Operand::Reg(bad), |f| {
+                f.store_elem(Type::F64, xe, Operand::Reg(t), Operand::Reg(chk));
+            });
+            // Systematic resampling.
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let pf64 = f.sitofp(Operand::Reg(p));
+                let u = f.fadd(Operand::Reg(pf64), Operand::const_f64(0.5));
+                let u = f.fdiv(Operand::Reg(u), Operand::const_f64(np as f64));
+                let cum = f.alloc_reg(Type::F64);
+                let chosen = f.alloc_reg(Type::F64);
+                let found = f.alloc_reg(Type::I1);
+                f.mov(cum, Operand::const_f64(0.0));
+                f.mov(found, Operand::const_bool(false));
+                let last = f.load_elem(Type::F64, xpart, Operand::const_i64(np - 1));
+                f.mov(chosen, Operand::Reg(last));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, q| {
+                    let w = f.load_elem(Type::F64, weights, Operand::Reg(q));
+                    let nc = f.fadd(Operand::Reg(cum), Operand::Reg(w));
+                    f.mov(cum, Operand::Reg(nc));
+                    let exceeds = f.cmp(CmpPred::FOge, Operand::Reg(cum), Operand::Reg(u));
+                    let not_found =
+                        f.cmp(CmpPred::Eq, Operand::Reg(found), Operand::const_bool(false));
+                    let take = f.bin(
+                        BinOp::And,
+                        Type::I1,
+                        Operand::Reg(exceeds),
+                        Operand::Reg(not_found),
+                    );
+                    f.if_then(Operand::Reg(take), |f| {
+                        let xq = f.load_elem(Type::F64, xpart, Operand::Reg(q));
+                        f.mov(chosen, Operand::Reg(xq));
+                        f.mov(found, Operand::const_bool(true));
+                    });
+                });
+                f.store_elem(Type::F64, xnew, Operand::Reg(p), Operand::Reg(chosen));
+            });
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(np), |f, p| {
+                let xv = f.load_elem(Type::F64, xnew, Operand::Reg(p));
+                f.store_elem(Type::F64, xpart, Operand::Reg(p), Operand::Reg(xv));
+            });
+        });
+
+        let last = f.load_elem(Type::F64, xe, Operand::const_i64(nt - 1));
+        f.ret(Some(Operand::Reg(last)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_workloads::golden_run;
+
+    #[test]
+    fn protected_filter_matches_unprotected_golden_estimates() {
+        let protected = AbftPf::default();
+        let baseline = protected.baseline();
+        let a = golden_run(&protected).unwrap();
+        let b = golden_run(&baseline).unwrap();
+        assert!(a.status.is_completed());
+        let xa = a.global_f64("xe");
+        let xb = b.global_f64("xe");
+        assert_eq!(xa.len(), xb.len());
+        for (p, q) in xa.iter().zip(xb.iter()) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+        // Checksum copy agrees with the estimate in the error-free run.
+        let chk = a.global_f64("xe_chk");
+        for (p, q) in xa.iter().zip(chk.iter()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let w = AbftPf::default();
+        assert_eq!(w.name(), "ABFT-PF");
+        assert_eq!(w.target_objects(), vec!["xe"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Checksum arithmetic for algorithm-based fault tolerance (ABFT) on dense
+//! matrix multiplication (Huang & Abraham; Wu & Ding's online variant — the
+//! scheme the paper's §VI case study applies to `C = A × B`).
+//!
+//! The scheme encodes `A` with an extra row of column sums and `B` with an
+//! extra column of row sums; the product of the encoded matrices then carries
+//! both a row-checksum column and a column-checksum row.  A single corrupted
+//! element of `C` shows up as exactly one inconsistent row *and* one
+//! inconsistent column, which locates it; the correction replaces it with the
+//! value implied by its row checksum.
+//!
+//! These host-side helpers are used by the tests and by the IR-building
+//! workloads in [`crate::abft_mm`] to cross-check the in-IR implementation.
+
+/// Column-checksum encode: append one row holding each column's sum.
+/// Input is row-major `n x n`; output is row-major `(n+1) x n`.
+pub fn encode_column_checksum(a: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; (n + 1) * n];
+    out[..n * n].copy_from_slice(&a[..n * n]);
+    for j in 0..n {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += a[i * n + j];
+        }
+        out[n * n + j] = s;
+    }
+    out
+}
+
+/// Row-checksum encode: append one column holding each row's sum.
+/// Input is row-major `n x n`; output is row-major `n x (n+1)`.
+pub fn encode_row_checksum(b: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * (n + 1)];
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            out[i * (n + 1) + j] = b[i * n + j];
+            s += b[i * n + j];
+        }
+        out[i * (n + 1) + n] = s;
+    }
+    out
+}
+
+/// A detected (and correctable) single-element corruption in a full
+/// checksummed product matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedError {
+    /// Corrupted row (data part).
+    pub row: usize,
+    /// Corrupted column (data part).
+    pub col: usize,
+    /// The corrected value implied by the row checksum.
+    pub corrected: f64,
+}
+
+/// Verify a full checksummed product `cf` of shape `(n+1) x (n+1)`:
+/// returns a single-element correction if exactly one data row and one data
+/// column are inconsistent beyond `tol`.
+pub fn verify_full_product(cf: &[f64], n: usize, tol: f64) -> Option<DetectedError> {
+    let stride = n + 1;
+    let mut bad_row = None;
+    let mut row_delta = 0.0;
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += cf[i * stride + j];
+        }
+        let delta = cf[i * stride + n] - s;
+        if delta.abs() > tol {
+            if bad_row.is_some() {
+                return None; // more than one inconsistent row
+            }
+            bad_row = Some(i);
+            row_delta = delta;
+        }
+    }
+    let mut bad_col = None;
+    for j in 0..n {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += cf[i * stride + j];
+        }
+        let delta = cf[n * stride + j] - s;
+        if delta.abs() > tol {
+            if bad_col.is_some() {
+                return None;
+            }
+            bad_col = Some(j);
+        }
+    }
+    match (bad_row, bad_col) {
+        (Some(r), Some(c)) => Some(DetectedError {
+            row: r,
+            col: c,
+            corrected: cf[r * stride + c] + row_delta,
+        }),
+        _ => None,
+    }
+}
+
+/// Reference checksummed multiplication: `Ac (n+1 x n) * Br (n x n+1)`.
+pub fn full_checksum_product(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let ac = encode_column_checksum(a, n);
+    let br = encode_row_checksum(b, n);
+    let mut cf = vec![0.0; (n + 1) * (n + 1)];
+    for i in 0..=n {
+        for k in 0..n {
+            let aik = ac[i * n + k];
+            for j in 0..=n {
+                cf[i * (n + 1) + j] += aik * br[k * (n + 1) + j];
+            }
+        }
+    }
+    cf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_workloads::linalg::{matmul_ref, random_matrix};
+
+    #[test]
+    fn encoded_product_has_consistent_checksums() {
+        let n = 6;
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        let cf = full_checksum_product(&a, &b, n);
+        assert_eq!(verify_full_product(&cf, n, 1e-6), None);
+        // Data part equals the plain product.
+        let c = matmul_ref(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((cf[i * (n + 1) + j] - c[i * n + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_corruption_is_located_and_corrected() {
+        let n = 5;
+        let a = random_matrix(n, n, 3);
+        let b = random_matrix(n, n, 4);
+        let mut cf = full_checksum_product(&a, &b, n);
+        let clean = cf[2 * (n + 1) + 3];
+        cf[2 * (n + 1) + 3] += 7.5;
+        let err = verify_full_product(&cf, n, 1e-6).expect("corruption detected");
+        assert_eq!((err.row, err.col), (2, 3));
+        assert!((err.corrected - clean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_of_every_element_is_correctable() {
+        let n = 4;
+        let a = random_matrix(n, n, 5);
+        let b = random_matrix(n, n, 6);
+        let base = full_checksum_product(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut cf = base.clone();
+                cf[i * (n + 1) + j] -= 3.25;
+                let err = verify_full_product(&cf, n, 1e-6).expect("detected");
+                assert_eq!((err.row, err.col), (i, j));
+                assert!((err.corrected - base[i * (n + 1) + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_element_corruption_is_not_silently_corrected() {
+        let n = 4;
+        let a = random_matrix(n, n, 7);
+        let b = random_matrix(n, n, 8);
+        let mut cf = full_checksum_product(&a, &b, n);
+        cf[0 * (n + 1) + 1] += 1.0;
+        cf[2 * (n + 1) + 3] += 1.0;
+        assert_eq!(verify_full_product(&cf, n, 1e-6), None);
+    }
+
+    #[test]
+    fn encoders_shapes() {
+        let n = 3;
+        let a = random_matrix(n, n, 9);
+        assert_eq!(encode_column_checksum(&a, n).len(), (n + 1) * n);
+        assert_eq!(encode_row_checksum(&a, n).len(), n * (n + 1));
+    }
+}

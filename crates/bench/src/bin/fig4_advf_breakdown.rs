@@ -1,0 +1,36 @@
+//! Figure 4 — aDVF of every target data object, broken down into the
+//! operation, error-propagation, and algorithm levels.
+//!
+//! Pass workload names to restrict (e.g. `fig4_advf_breakdown cg lu`);
+//! pass `--events` to additionally print absolute masking-event counts
+//! (the §V-A comparison of colidx vs. r); pass `--full` for exhaustive
+//! site coverage.
+
+use moard_bench::{analyze_workload, included, level_header, level_row, print_header, workload_filter, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let show_events = std::env::args().any(|a| a == "--events");
+    let filter = workload_filter();
+    print_header(
+        "Figure 4",
+        "aDVF breakdown by masking level (operation / propagation / algorithm)",
+        effort,
+    );
+    println!("{}", level_header());
+    for w in moard_workloads::table1_workloads() {
+        if !included(&filter, w.name()) {
+            continue;
+        }
+        for report in analyze_workload(w.name(), effort) {
+            println!("{}", level_row(&report));
+            if show_events {
+                println!(
+                    "    masking events = {:.3e}, participations = {}",
+                    report.masking_events(),
+                    report.accumulator.participations
+                );
+            }
+        }
+    }
+}

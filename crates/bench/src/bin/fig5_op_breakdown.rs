@@ -1,0 +1,23 @@
+//! Figure 5 — aDVF broken down by operation-level masking kind:
+//! value overwriting, value overshadowing, and logic & comparison.
+
+use moard_bench::{analyze_workload, included, kind_header, kind_row, print_header, workload_filter, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let filter = workload_filter();
+    print_header(
+        "Figure 5",
+        "aDVF breakdown by operation-level masking kind",
+        effort,
+    );
+    println!("{}", kind_header());
+    for w in moard_workloads::table1_workloads() {
+        if !included(&filter, w.name()) {
+            continue;
+        }
+        for report in analyze_workload(w.name(), effort) {
+            println!("{}", kind_row(&report));
+        }
+    }
+}

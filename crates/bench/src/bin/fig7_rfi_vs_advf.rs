@@ -1,0 +1,47 @@
+//! Figure 7 — random fault injection success rates (500..3500 tests, with
+//! 95% margins of error) for the LULESH coordinate arrays m_x, m_y, m_z,
+//! compared with the deterministic aDVF values.
+
+use moard_bench::{print_header, Effort};
+use moard_inject::{Parallelism, RfiConfig, WorkloadHarness};
+
+fn main() {
+    let effort = Effort::from_args();
+    print_header(
+        "Figure 7",
+        "RFI success rate vs number of tests (95% CI) against deterministic aDVF",
+        effort,
+    );
+    let harness = WorkloadHarness::by_name("lulesh").expect("workload");
+    let objects = ["m_x", "m_y", "m_z"];
+    let test_counts: Vec<usize> = match effort {
+        Effort::Quick => vec![500, 1000, 1500],
+        Effort::Full => vec![500, 1000, 1500, 2000, 2500, 3000, 3500],
+    };
+    println!(
+        "{:<8} {:>8} {:>14} {:>12}",
+        "object", "tests", "success rate", "margin(95%)"
+    );
+    for obj in objects {
+        for (set, &tests) in test_counts.iter().enumerate() {
+            let stats = harness.rfi(
+                obj,
+                &RfiConfig {
+                    tests,
+                    seed: 0xF1_F1 + set as u64,
+                    parallelism: Parallelism::Auto,
+                },
+            );
+            println!(
+                "{:<8} {:>8} {:>14.4} {:>12.4}",
+                obj,
+                tests,
+                stats.success_rate(),
+                stats.margin_of_error(0.95)
+            );
+        }
+        let report = harness.analyze(obj, effort.analysis_config());
+        println!("{:<8} {:>8} {:>14.4}   (deterministic aDVF)", obj, "aDVF", report.advf());
+        println!();
+    }
+}

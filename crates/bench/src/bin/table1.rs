@@ -1,0 +1,20 @@
+//! Table I — benchmarks and applications of the study, their evaluated code
+//! segments, and the target data objects.
+
+fn main() {
+    println!("# MOARD reproduction — Table I");
+    println!(
+        "{:<8} {:<34} {:<30} {}",
+        "name", "description", "code segment", "target data objects"
+    );
+    for w in moard_workloads::table1_workloads() {
+        let info = moard_workloads::WorkloadInfo::of(w.as_ref());
+        println!(
+            "{:<8} {:<34} {:<30} {}",
+            info.name,
+            info.description,
+            info.code_segment,
+            info.targets.join(", ")
+        );
+    }
+}

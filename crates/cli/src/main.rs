@@ -1,0 +1,155 @@
+//! `moard` — command-line interface to the MOARD reproduction.
+//!
+//! Subcommands:
+//!
+//! * `moard list` — Table I: workloads, code segments, target data objects;
+//! * `moard analyze <workload> [object] [--k N] [--no-dfi] [--stride N]` —
+//!   aDVF analysis with the three-level and operation-kind breakdowns;
+//! * `moard inject <workload> <object> [--tests N] [--exhaustive]` —
+//!   random or (strided) exhaustive fault-injection campaign;
+//! * `moard rank <workload>` — rank the workload's target objects by aDVF.
+
+use moard_core::AnalysisConfig;
+use moard_inject::{Parallelism, RfiConfig, WorkloadHarness};
+
+fn usage() -> ! {
+    eprintln!("usage: moard <list|analyze|inject|rank> [args]");
+    eprintln!("  moard list");
+    eprintln!("  moard analyze <workload> [object] [--k N] [--stride N] [--no-dfi]");
+    eprintln!("  moard inject  <workload> <object> [--tests N] [--exhaustive]");
+    eprintln!("  moard rank    <workload> [--stride N]");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn analysis_config(args: &[String]) -> AnalysisConfig {
+    let mut config = AnalysisConfig {
+        site_stride: flag_value(args, "--stride").unwrap_or(4) as usize,
+        max_dfi_per_object: Some(flag_value(args, "--max-dfi").unwrap_or(5_000)),
+        ..Default::default()
+    };
+    if let Some(k) = flag_value(args, "--k") {
+        config.propagation_window = k as usize;
+    }
+    config
+}
+
+fn print_report(report: &moard_core::AdvfReport) {
+    let (op, prop, alg) = report.accumulator.level_breakdown();
+    let (ow, os, lc) = report.accumulator.kind_breakdown();
+    println!("workload          : {}", report.workload);
+    println!("data object       : {}", report.object);
+    println!("aDVF              : {:.4}", report.advf());
+    println!("  operation level : {op:.4} (overwriting {ow:.4}, overshadowing {os:.4}, logic/compare {lc:.4})");
+    println!("  propagation     : {prop:.4}");
+    println!("  algorithm       : {alg:.4}");
+    println!("sites analyzed    : {}", report.sites_analyzed);
+    println!(
+        "DFI runs          : {} ({} cache hits, {} resolved analytically)",
+        report.dfi_runs, report.dfi_cache_hits, report.resolved_analytically
+    );
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!(
+                "{:<8} {:<34} {:<30} {}",
+                "name", "description", "code segment", "target data objects"
+            );
+            for w in moard_workloads::table1_workloads() {
+                let info = moard_workloads::WorkloadInfo::of(w.as_ref());
+                println!(
+                    "{:<8} {:<34} {:<30} {}",
+                    info.name,
+                    info.description,
+                    info.code_segment,
+                    info.targets.join(", ")
+                );
+            }
+            println!("{:<8} {:<34} {:<30} C", "MM", "Dense matrix multiply (case study)", "matmul");
+            println!("{:<8} {:<34} {:<30} xe", "PF", "Particle filter (case study)", "particleFilter");
+        }
+        "analyze" => {
+            let Some(workload) = args.get(1) else { usage() };
+            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
+                eprintln!("unknown workload `{workload}` (try `moard list`)");
+                std::process::exit(1);
+            });
+            let config = analysis_config(&args);
+            let no_dfi = args.iter().any(|a| a == "--no-dfi");
+            let objects: Vec<String> = match args.get(2).filter(|a| !a.starts_with("--")) {
+                Some(obj) => vec![obj.clone()],
+                None => harness
+                    .workload()
+                    .target_objects()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            };
+            for obj in objects {
+                let report = if no_dfi {
+                    harness.analyze_without_dfi(&obj, config.clone())
+                } else {
+                    harness.analyze(&obj, config.clone())
+                };
+                print_report(&report);
+            }
+        }
+        "inject" => {
+            let (Some(workload), Some(object)) = (args.get(1), args.get(2)) else { usage() };
+            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
+                eprintln!("unknown workload `{workload}`");
+                std::process::exit(1);
+            });
+            let stats = if args.iter().any(|a| a == "--exhaustive") {
+                harness.exhaustive_with_budget(object, flag_value(&args, "--budget").unwrap_or(5_000))
+            } else {
+                harness.rfi(
+                    object,
+                    &RfiConfig {
+                        tests: flag_value(&args, "--tests").unwrap_or(1_000) as usize,
+                        seed: flag_value(&args, "--seed").unwrap_or(0xF1F1),
+                        parallelism: Parallelism::Auto,
+                    },
+                )
+            };
+            println!("workload      : {}", harness.workload().name());
+            println!("data object   : {object}");
+            println!("injections    : {}", stats.runs);
+            println!("identical     : {}", stats.identical);
+            println!("acceptable    : {}", stats.acceptable);
+            println!("incorrect     : {}", stats.incorrect);
+            println!("crashed       : {}", stats.crashed);
+            println!("success rate  : {:.4}", stats.success_rate());
+            println!("margin (95%)  : {:.4}", stats.margin_of_error(0.95));
+        }
+        "rank" => {
+            let Some(workload) = args.get(1) else { usage() };
+            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
+                eprintln!("unknown workload `{workload}`");
+                std::process::exit(1);
+            });
+            let config = analysis_config(&args);
+            let mut reports = harness.analyze_targets(&config);
+            reports.sort_by(|a, b| a.advf().partial_cmp(&b.advf()).unwrap());
+            println!(
+                "data objects of {} from most to least vulnerable:",
+                harness.workload().name()
+            );
+            for r in reports {
+                println!("  {:<14} aDVF = {:.4}", r.object, r.advf());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,427 @@
+//! The aDVF analyzer: orchestration of the three-level masking analysis
+//! over a dynamic trace (the "trace analysis tool" of MOARD's framework,
+//! paper §IV and Fig. 3).
+//!
+//! For every participation site of the target data object and every error
+//! pattern, the analyzer runs the resolution pipeline:
+//!
+//! 1. **operation-level rules** ([`crate::op_rules`]) — decide masking from
+//!    the operation's own semantics;
+//! 2. **bounded propagation replay** ([`crate::propagation`]) — follow the
+//!    corrupted locations through at most `k` subsequent operations;
+//! 3. **deterministic fault injection** ([`crate::resolver`]) — for anything
+//!    still unresolved, re-run the application with that exact fault and
+//!    classify the outcome (identical / acceptable / incorrect / crashed),
+//!    memoized by error equivalence.
+//!
+//! The per-class masking fractions accumulate into an [`AdvfAccumulator`]
+//! exactly as Equation 1 prescribes.
+
+use crate::advf::{AdvfAccumulator, AdvfReport};
+use crate::error_pattern::ErrorPatternSet;
+use crate::masking::{Masking, OpMaskKind};
+use crate::op_rules::{analyze_operation, OpVerdict};
+use crate::propagation::{replay, PropagationResult};
+use crate::resolver::{DfiResolver, EquivalenceCache, EquivalenceKey};
+use crate::sites::{enumerate_sites, ParticipationSite, SiteSlot};
+use moard_vm::{ObjectId, OutcomeClass, Trace, TraceRecord};
+use std::cell::Cell;
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Maximum number of operations the propagation replay examines after the
+    /// target operation (the paper's `k`, default 50 — see §III-D).
+    pub propagation_window: usize,
+    /// Error patterns enumerated per participating element (default:
+    /// single-bit across the element width).
+    pub patterns: ErrorPatternSet,
+    /// Optional cap on the number of deterministic fault injections per data
+    /// object.  Once exhausted, unresolved sites are conservatively counted
+    /// as not masked.  `None` means unbounded.
+    pub max_dfi_per_object: Option<u64>,
+    /// Analyze every `site_stride`-th participation site (1 = all sites).
+    /// Deterministic down-sampling for very long traces; the aDVF value is a
+    /// ratio, so uniform striding keeps it representative.
+    pub site_stride: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            propagation_window: 50,
+            patterns: ErrorPatternSet::SingleBit,
+            max_dfi_per_object: None,
+            site_stride: 1,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Configuration with a specific propagation window.
+    pub fn with_window(k: usize) -> Self {
+        AnalysisConfig {
+            propagation_window: k,
+            ..Default::default()
+        }
+    }
+}
+
+/// The aDVF analyzer bound to one dynamic trace.
+pub struct AdvfAnalyzer<'a> {
+    trace: &'a Trace,
+    config: AnalysisConfig,
+    cache: EquivalenceCache,
+    dfi_budget_exhausted: Cell<bool>,
+}
+
+impl<'a> AdvfAnalyzer<'a> {
+    /// Create an analyzer over `trace`.
+    pub fn new(trace: &'a Trace, config: AnalysisConfig) -> Self {
+        AdvfAnalyzer {
+            trace,
+            config,
+            cache: EquivalenceCache::new(),
+            dfi_budget_exhausted: Cell::new(false),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Analyze the target data object and produce its aDVF report.
+    ///
+    /// `resolver` supplies deterministic fault injection; pass `None` for the
+    /// purely analytical mode, in which unresolved sites count as not masked
+    /// (a conservative lower bound on aDVF).
+    pub fn analyze(
+        &self,
+        object: ObjectId,
+        object_name: &str,
+        workload: &str,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> AdvfReport {
+        let sites = enumerate_sites(self.trace, object);
+        let mut acc = AdvfAccumulator::new();
+        let mut resolved_analytically = 0u64;
+        let mut analyzed = 0u64;
+        let stride = self.config.site_stride.max(1);
+        let stats_before = self.cache.stats();
+
+        for (i, site) in sites.iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            analyzed += 1;
+            let (fractions, used_dfi) = self.analyze_site(site, resolver);
+            if !used_dfi {
+                resolved_analytically += 1;
+            }
+            acc.add_participation(&fractions);
+        }
+
+        let stats_after = self.cache.stats();
+        AdvfReport {
+            object: object_name.to_string(),
+            workload: workload.to_string(),
+            accumulator: acc,
+            sites_analyzed: analyzed,
+            dfi_runs: stats_after.injections - stats_before.injections,
+            dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+            resolved_analytically,
+        }
+    }
+
+    /// Analyze one participation site across all configured error patterns.
+    /// Returns the per-class masked fractions and whether DFI was consulted.
+    pub fn analyze_site(
+        &self,
+        site: &ParticipationSite,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> (Vec<(Masking, f64)>, bool) {
+        let rec = self
+            .trace
+            .record(site.record_id)
+            .expect("site references a record in this trace");
+        let patterns = self.config.patterns.patterns_for(site.value.ty());
+        if patterns.is_empty() {
+            return (vec![], false);
+        }
+        let n = patterns.len() as f64;
+        let mut counts: Vec<(Masking, u64)> = Vec::new();
+        let mut used_dfi = false;
+        for pattern in &patterns {
+            let (class, dfi) = self.classify(rec, site, pattern.clone(), resolver);
+            used_dfi |= dfi;
+            if class == Masking::NotMasked {
+                continue;
+            }
+            match counts.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, k)) => *k += 1,
+                None => counts.push((class, 1)),
+            }
+        }
+        (
+            counts
+                .into_iter()
+                .map(|(c, k)| (c, k as f64 / n))
+                .collect(),
+            used_dfi,
+        )
+    }
+
+    /// Classify one (site, error pattern) through the full pipeline.
+    /// The second element reports whether DFI was consulted.
+    pub fn classify(
+        &self,
+        rec: &TraceRecord,
+        site: &ParticipationSite,
+        pattern: crate::error_pattern::ErrorPattern,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> (Masking, bool) {
+        match analyze_operation(rec, site.slot, &pattern) {
+            OpVerdict::Masked(kind) => (Masking::Operation(kind), false),
+            OpVerdict::NotMasked => (Masking::NotMasked, false),
+            OpVerdict::OvershadowCandidate { corrupt } => {
+                // Overshadowing initiated the masking; whichever mechanism
+                // finishes it, the event is attributed to overshadowing
+                // (paper §III-C, discussion after the three classes).
+                let prop = replay(
+                    self.trace,
+                    rec.id as usize + 1,
+                    &corrupt,
+                    self.config.propagation_window,
+                );
+                if prop.is_masked() {
+                    return (Masking::Operation(OpMaskKind::Overshadowing), false);
+                }
+                match self.resolve_dfi(rec, site, &pattern, resolver) {
+                    Some(c) if c.is_success() => {
+                        (Masking::Operation(OpMaskKind::Overshadowing), true)
+                    }
+                    Some(_) => (Masking::NotMasked, true),
+                    None => (Masking::NotMasked, false),
+                }
+            }
+            OpVerdict::Propagate { corrupt } => {
+                let prop = replay(
+                    self.trace,
+                    rec.id as usize + 1,
+                    &corrupt,
+                    self.config.propagation_window,
+                );
+                match prop {
+                    PropagationResult::AllMasked { .. } => (Masking::Propagation, false),
+                    PropagationResult::Unresolved { .. } => {
+                        match self.resolve_dfi(rec, site, &pattern, resolver) {
+                            Some(OutcomeClass::Identical) => (Masking::Propagation, true),
+                            Some(OutcomeClass::Acceptable) => (Masking::Algorithm, true),
+                            Some(_) => (Masking::NotMasked, true),
+                            None => (Masking::NotMasked, false),
+                        }
+                    }
+                }
+            }
+            OpVerdict::NeedsDfi => match self.resolve_dfi(rec, site, &pattern, resolver) {
+                Some(OutcomeClass::Identical) => (Masking::Propagation, true),
+                Some(OutcomeClass::Acceptable) => (Masking::Algorithm, true),
+                Some(_) => (Masking::NotMasked, true),
+                None => (Masking::NotMasked, false),
+            },
+        }
+    }
+
+    fn resolve_dfi(
+        &self,
+        rec: &TraceRecord,
+        site: &ParticipationSite,
+        pattern: &crate::error_pattern::ErrorPattern,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> Option<OutcomeClass> {
+        let resolver = resolver?;
+        // The deterministic fault injector applies single-bit flips; wider
+        // patterns that reach this point stay conservatively unresolved.
+        let bit = pattern.single_bit()?;
+        if self.dfi_budget_exhausted.get() {
+            return None;
+        }
+        if let Some(limit) = self.config.max_dfi_per_object {
+            if self.cache.stats().injections >= limit {
+                self.dfi_budget_exhausted.set(true);
+                return None;
+            }
+        }
+        let key = EquivalenceKey::new(rec, site.slot, site.value.to_bits(), bit);
+        let fault = site.fault(bit);
+        Some(self.cache.classify(key, &fault, resolver))
+    }
+
+    /// Cumulative DFI statistics across all objects analyzed so far.
+    pub fn dfi_stats(&self) -> crate::resolver::ResolverStats {
+        self.cache.stats()
+    }
+}
+
+/// Summarize the masking classes of a whole site (utility for tests and the
+/// observation bench of §III-D).
+pub fn site_masked_fraction(fractions: &[(Masking, f64)]) -> f64 {
+    fractions.iter().map(|(_, f)| f).sum()
+}
+
+/// Convenience for filtering: true if a site slot is a store destination.
+pub fn is_store_dest(slot: SiteSlot) -> bool {
+    matches!(slot, SiteSlot::StoreDest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_ir::prelude::*;
+    use moard_vm::{run_traced, run_with_fault, Vm};
+
+    /// The paper's Listing-1-like kernel:
+    ///   par_a[0] = sqrt(2.0);                 // overwrite
+    ///   c = par_a[2] * 2;                     // propagation into c
+    ///   if (c > THR) par_a[4] = ((int)c) >> bits;  // shift masking
+    ///   out[0] = par_a[0] + par_a[4];
+    fn listing1_module() -> Module {
+        let mut m = Module::new("listing1");
+        let par_a = m.add_global(Global::from_f64("par_a", &[9.0, 1.0, 3.0, 1.0, 5.0]));
+        let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        let s = f.sqrt(Operand::const_f64(2.0));
+        f.store_elem(Type::F64, par_a, Operand::const_i64(0), Operand::Reg(s));
+        let a2 = f.load_elem(Type::F64, par_a, Operand::const_i64(2));
+        let c = f.fmul(Operand::Reg(a2), Operand::const_f64(2.0));
+        let cond = f.cmp(CmpPred::FOgt, Operand::Reg(c), Operand::const_f64(1.0));
+        f.if_then(Operand::Reg(cond), |f| {
+            let ci = f.fptosi(Operand::Reg(c));
+            let shifted = f.lshr(Operand::Reg(ci), Operand::const_i64(2));
+            let back = f.sitofp(Operand::Reg(shifted));
+            f.store_elem(Type::F64, par_a, Operand::const_i64(4), Operand::Reg(back));
+        });
+        let a0 = f.load_elem(Type::F64, par_a, Operand::const_i64(0));
+        let a4 = f.load_elem(Type::F64, par_a, Operand::const_i64(4));
+        let sum = f.fadd(Operand::Reg(a0), Operand::Reg(a4));
+        f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::Reg(sum));
+        f.ret(Some(Operand::Reg(sum)));
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        m
+    }
+
+    fn analyze_object(m: &Module, name: &str, config: AnalysisConfig) -> AdvfReport {
+        let (golden, trace) = run_traced(m).unwrap();
+        let vm = Vm::with_defaults(m).unwrap();
+        let obj = vm.objects().by_name(name).unwrap().id;
+        let analyzer = AdvfAnalyzer::new(&trace, config);
+        // DFI resolver comparing only the output array and the return value.
+        let resolver = |fault: &moard_vm::FaultSpec| {
+            let outcome = run_with_fault(m, fault).unwrap();
+            if !outcome.status.is_completed() {
+                return OutcomeClass::Crashed;
+            }
+            let same_out = outcome
+                .global_f64("out")
+                .iter()
+                .zip(golden.global_f64("out").iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            if same_out {
+                OutcomeClass::Identical
+            } else if outcome.max_rel_diff(&golden, "out") < 1e-6 {
+                OutcomeClass::Acceptable
+            } else {
+                OutcomeClass::Incorrect
+            }
+        };
+        analyzer.analyze(obj, name, "listing1", Some(&resolver))
+    }
+
+    #[test]
+    fn advf_is_within_unit_interval_and_nontrivial() {
+        let m = listing1_module();
+        let report = analyze_object(&m, "par_a", AnalysisConfig::default());
+        let advf = report.advf();
+        assert!((0.0..=1.0).contains(&advf), "aDVF out of range: {advf}");
+        assert!(advf > 0.0, "the overwrite at par_a[0] must contribute masking");
+        assert!(report.sites_analyzed > 0);
+        // Overwriting must contribute (store to par_a[0] and par_a[4]).
+        assert!(report.accumulator.masked.overwriting > 0.0);
+    }
+
+    #[test]
+    fn analytic_only_mode_is_a_lower_bound() {
+        let m = listing1_module();
+        let with_dfi = analyze_object(&m, "par_a", AnalysisConfig::default());
+        let (_, trace) = run_traced(&m).unwrap();
+        let vm = Vm::with_defaults(&m).unwrap();
+        let obj = vm.objects().by_name("par_a").unwrap().id;
+        let analyzer = AdvfAnalyzer::new(&trace, AnalysisConfig::default());
+        let without_dfi = analyzer.analyze(obj, "par_a", "listing1", None);
+        assert!(without_dfi.advf() <= with_dfi.advf() + 1e-12);
+        assert_eq!(without_dfi.dfi_runs, 0);
+    }
+
+    #[test]
+    fn dfi_budget_is_respected() {
+        let m = listing1_module();
+        let config = AnalysisConfig {
+            max_dfi_per_object: Some(3),
+            ..Default::default()
+        };
+        let report = analyze_object(&m, "par_a", config);
+        assert!(report.dfi_runs <= 3);
+    }
+
+    #[test]
+    fn site_stride_subsamples_participations() {
+        let m = listing1_module();
+        let full = analyze_object(&m, "par_a", AnalysisConfig::default());
+        let strided = analyze_object(
+            &m,
+            "par_a",
+            AnalysisConfig {
+                site_stride: 2,
+                ..Default::default()
+            },
+        );
+        assert!(strided.sites_analyzed < full.sites_analyzed);
+        assert!(strided.sites_analyzed >= full.sites_analyzed / 2);
+    }
+
+    #[test]
+    fn model_agrees_with_direct_injection_on_overwritten_element() {
+        // Every single-bit error in par_a[0] consumed by the overwriting
+        // store must be masked according to the model, and indeed injection
+        // at that store leaves the outcome identical.
+        let m = listing1_module();
+        let (golden, trace) = run_traced(&m).unwrap();
+        let vm = Vm::with_defaults(&m).unwrap();
+        let obj = vm.objects().by_name("par_a").unwrap().id;
+        let sites = enumerate_sites(&trace, obj);
+        let store_dest_site = sites
+            .iter()
+            .find(|s| s.slot == SiteSlot::StoreDest && s.element.1 == 0)
+            .expect("store to par_a[0] participates");
+        let analyzer = AdvfAnalyzer::new(&trace, AnalysisConfig::default());
+        let (fractions, _) = analyzer.analyze_site(store_dest_site, None);
+        assert!((site_masked_fraction(&fractions) - 1.0).abs() < 1e-12);
+        // Cross-check with the injector.
+        for bit in [0u32, 31, 63] {
+            let outcome = run_with_fault(&m, &store_dest_site.fault(bit)).unwrap();
+            assert!(outcome.bits_identical(&golden));
+        }
+    }
+
+    #[test]
+    fn helper_predicates() {
+        assert!(is_store_dest(SiteSlot::StoreDest));
+        assert!(!is_store_dest(SiteSlot::Operand(0)));
+        assert_eq!(
+            site_masked_fraction(&[(Masking::Propagation, 0.25), (Masking::Algorithm, 0.5)]),
+            0.75
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Error patterns (paper §III-C and §VII-B).
+//!
+//! An error pattern describes *how* erroneous bits are distributed within a
+//! corrupted data element: which bits are flipped.  The evaluation of the
+//! paper (like most of the literature it cites) uses single-bit errors; the
+//! discussion section sketches how the methodology extends to multi-bit
+//! patterns.  Both are supported here: the aDVF analysis enumerates the
+//! configured set of patterns for each participating element and computes the
+//! fraction of patterns that are masked.
+
+use moard_ir::Type;
+
+/// A single error pattern: the set of bit positions flipped.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ErrorPattern {
+    /// Flipped bit positions (strictly increasing, all below the value width).
+    pub bits: Vec<u32>,
+}
+
+impl ErrorPattern {
+    /// A single-bit pattern.
+    pub fn single(bit: u32) -> Self {
+        ErrorPattern { bits: vec![bit] }
+    }
+
+    /// True if the pattern flips exactly one bit.
+    pub fn is_single_bit(&self) -> bool {
+        self.bits.len() == 1
+    }
+
+    /// The single flipped bit, if this is a single-bit pattern.
+    pub fn single_bit(&self) -> Option<u32> {
+        if self.is_single_bit() {
+            Some(self.bits[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// The family of error patterns to enumerate per data element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorPatternSet {
+    /// Every single-bit flip across the element width (the paper's default:
+    /// "we only study single-bit errors because they are the most common").
+    SingleBit,
+    /// Every spatially contiguous burst of `width` flipped bits (e.g. 2 for
+    /// double-bit adjacent errors), the extension sketched in §VII-B.
+    AdjacentBits { width: u32 },
+    /// Two flipped bits separated by exactly `gap` positions (the "spatially
+    /// separated" multi-bit pattern of §VII-B).
+    SeparatedPair { gap: u32 },
+    /// An explicit list of patterns (applied to every element width; patterns
+    /// with out-of-range bits are skipped for narrow types).
+    Explicit(Vec<ErrorPattern>),
+}
+
+impl Default for ErrorPatternSet {
+    fn default() -> Self {
+        ErrorPatternSet::SingleBit
+    }
+}
+
+impl ErrorPatternSet {
+    /// Enumerate the concrete patterns for a value of type `ty`.
+    pub fn patterns_for(&self, ty: Type) -> Vec<ErrorPattern> {
+        let width = ty.bit_width();
+        match self {
+            ErrorPatternSet::SingleBit => (0..width).map(ErrorPattern::single).collect(),
+            ErrorPatternSet::AdjacentBits { width: burst } => {
+                let burst = (*burst).max(1);
+                if burst > width {
+                    return vec![];
+                }
+                (0..=(width - burst))
+                    .map(|start| ErrorPattern {
+                        bits: (start..start + burst).collect(),
+                    })
+                    .collect()
+            }
+            ErrorPatternSet::SeparatedPair { gap } => {
+                let gap = (*gap).max(1);
+                if gap + 1 > width {
+                    return vec![];
+                }
+                (0..(width - gap))
+                    .map(|b| ErrorPattern {
+                        bits: vec![b, b + gap],
+                    })
+                    .collect()
+            }
+            ErrorPatternSet::Explicit(list) => list
+                .iter()
+                .filter(|p| p.bits.iter().all(|&b| b < width))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of patterns enumerated for a value of type `ty`.
+    pub fn count_for(&self, ty: Type) -> usize {
+        self.patterns_for(ty).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_covers_full_width() {
+        let set = ErrorPatternSet::SingleBit;
+        assert_eq!(set.count_for(Type::F64), 64);
+        assert_eq!(set.count_for(Type::I32), 32);
+        assert_eq!(set.count_for(Type::I1), 1);
+        let pats = set.patterns_for(Type::I8);
+        assert_eq!(pats.len(), 8);
+        assert!(pats.iter().all(|p| p.is_single_bit()));
+        assert_eq!(pats[7].single_bit(), Some(7));
+    }
+
+    #[test]
+    fn adjacent_burst_patterns() {
+        let set = ErrorPatternSet::AdjacentBits { width: 2 };
+        let pats = set.patterns_for(Type::I8);
+        assert_eq!(pats.len(), 7);
+        assert_eq!(pats[0].bits, vec![0, 1]);
+        assert_eq!(pats[6].bits, vec![6, 7]);
+        // A burst wider than the type yields nothing.
+        assert_eq!(
+            ErrorPatternSet::AdjacentBits { width: 10 }.count_for(Type::I8),
+            0
+        );
+    }
+
+    #[test]
+    fn separated_pair_patterns() {
+        let set = ErrorPatternSet::SeparatedPair { gap: 4 };
+        let pats = set.patterns_for(Type::I8);
+        assert_eq!(pats.len(), 4);
+        assert_eq!(pats[0].bits, vec![0, 4]);
+        assert_eq!(pats[3].bits, vec![3, 7]);
+    }
+
+    #[test]
+    fn explicit_patterns_filter_out_of_range_bits() {
+        let set = ErrorPatternSet::Explicit(vec![
+            ErrorPattern { bits: vec![0, 1] },
+            ErrorPattern { bits: vec![40] },
+        ]);
+        assert_eq!(set.count_for(Type::I8), 1);
+        assert_eq!(set.count_for(Type::I64), 2);
+    }
+
+    #[test]
+    fn default_is_single_bit() {
+        assert_eq!(ErrorPatternSet::default(), ErrorPatternSet::SingleBit);
+    }
+}

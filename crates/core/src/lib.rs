@@ -1,0 +1,66 @@
+//! # moard-core
+//!
+//! The analytical heart of the MOARD reproduction: modeling application
+//! resilience to transient faults on data objects with the **aDVF** metric
+//! (application-level Data Vulnerability Factor).
+//!
+//! Given a dynamic trace produced by `moard-vm`, this crate answers, for a
+//! chosen data object: *for each operation consuming elements of this object,
+//! if an element held a corrupted bit, would the application outcome remain
+//! correct?*  Masking events are recognized at three levels (paper §III):
+//!
+//! * **operation level** ([`op_rules`]) — value overwriting, logic and
+//!   comparison insensitivity, value overshadowing;
+//! * **error propagation level** ([`propagation`]) — bounded shadow replay of
+//!   the trace with the corrupted values substituted;
+//! * **algorithm level** ([`resolver`]) — deterministic fault injection with
+//!   outcome acceptance supplied by the workload, memoized by error
+//!   equivalence.
+//!
+//! [`analysis::AdvfAnalyzer`] orchestrates the pipeline and accumulates
+//! Equation 1 into per-class breakdowns ([`advf::AdvfReport`]) that directly
+//! regenerate Figures 4, 5, 8 and 9 of the paper.
+//!
+//! ```
+//! use moard_ir::prelude::*;
+//! use moard_vm::{run_traced, Vm};
+//! use moard_core::{AdvfAnalyzer, AnalysisConfig};
+//!
+//! // A tiny kernel: out[0] = 0; out[0] = out[0] + data[0];
+//! let mut m = Module::new("mini");
+//! let data = m.add_global(Global::from_f64("data", &[5.0]));
+//! let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+//! let mut f = FunctionBuilder::new("main", &[], None);
+//! f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::const_f64(0.0));
+//! let d = f.load_elem(Type::F64, data, Operand::const_i64(0));
+//! let o = f.load_elem(Type::F64, out, Operand::const_i64(0));
+//! let s = f.fadd(Operand::Reg(o), Operand::Reg(d));
+//! f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::Reg(s));
+//! f.ret(None);
+//! m.add_function(f.finish());
+//!
+//! let (_golden, trace) = run_traced(&m).unwrap();
+//! let vm = Vm::with_defaults(&m).unwrap();
+//! let obj = vm.objects().by_name("out").unwrap().id;
+//! let analyzer = AdvfAnalyzer::new(&trace, AnalysisConfig::default());
+//! let report = analyzer.analyze(obj, "out", "mini", None);
+//! assert!(report.advf() > 0.0 && report.advf() <= 1.0);
+//! ```
+
+pub mod advf;
+pub mod analysis;
+pub mod error_pattern;
+pub mod masking;
+pub mod op_rules;
+pub mod propagation;
+pub mod resolver;
+pub mod sites;
+
+pub use advf::{AdvfAccumulator, AdvfReport, MaskingTally};
+pub use analysis::{AdvfAnalyzer, AnalysisConfig};
+pub use error_pattern::{ErrorPattern, ErrorPatternSet};
+pub use masking::{Masking, OpMaskKind};
+pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
+pub use propagation::{replay, PropagationResult, UnresolvedReason};
+pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
+pub use sites::{count_fault_sites, enumerate_sites, ParticipationSite, SiteSlot};

@@ -1,0 +1,116 @@
+//! Classification of error-masking events (paper §III-A).
+//!
+//! The paper classifies application-level error masking into three classes:
+//! operation-level masking, masking during error propagation, and
+//! algorithm-level masking.  Operation-level masking is further broken down
+//! (§III-C) into value overwriting, logic-and-comparison insensitivity, and
+//! value overshadowing.  Figures 4, 5, 8 and 9 of the paper are breakdowns of
+//! aDVF along exactly these axes, so the same enums drive our reports.
+
+use std::fmt;
+
+/// The operation-level masking sub-classes of §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpMaskKind {
+    /// (1) Value overwriting: the corrupted value is overwritten / truncated /
+    /// shifted away by the operation, no matter which bit was flipped.
+    Overwriting,
+    /// (2) Logic and comparison operations: the corrupted bit does not change
+    /// the outcome of a logical / comparison / selection operation.
+    LogicCompare,
+    /// (3) Value overshadowing: the corruption is absorbed because the other
+    /// operand dominates the result's magnitude.
+    Overshadowing,
+}
+
+impl fmt::Display for OpMaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpMaskKind::Overwriting => "value-overwriting",
+            OpMaskKind::LogicCompare => "logic-and-comparison",
+            OpMaskKind::Overshadowing => "value-overshadowing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Final classification of one (dynamic operation, participating element,
+/// error pattern) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Masking {
+    /// Masked at the operation level, with the sub-class.
+    Operation(OpMaskKind),
+    /// Masked during error propagation: the error escaped the first operation
+    /// but every propagated copy was masked within the propagation window,
+    /// leaving the outcome bit-identical.
+    Propagation,
+    /// Masked at the algorithm level: the outcome is numerically different
+    /// from the golden run but acceptable under the application's own
+    /// fidelity criterion.
+    Algorithm,
+    /// Not masked: the error leads to an unacceptable outcome (silent data
+    /// corruption, crash, or hang).
+    NotMasked,
+}
+
+impl Masking {
+    /// True if the error pattern is masked (at any level).
+    pub fn is_masked(self) -> bool {
+        !matches!(self, Masking::NotMasked)
+    }
+
+    /// The coarse level used by Figure 4 ("operation", "propagation",
+    /// "algorithm"), or `None` for unmasked patterns.
+    pub fn level_name(self) -> Option<&'static str> {
+        match self {
+            Masking::Operation(_) => Some("operation"),
+            Masking::Propagation => Some("propagation"),
+            Masking::Algorithm => Some("algorithm"),
+            Masking::NotMasked => None,
+        }
+    }
+}
+
+impl fmt::Display for Masking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Masking::Operation(k) => write!(f, "operation({k})"),
+            Masking::Propagation => write!(f, "propagation"),
+            Masking::Algorithm => write!(f, "algorithm"),
+            Masking::NotMasked => write!(f, "not-masked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_predicate() {
+        assert!(Masking::Operation(OpMaskKind::Overwriting).is_masked());
+        assert!(Masking::Propagation.is_masked());
+        assert!(Masking::Algorithm.is_masked());
+        assert!(!Masking::NotMasked.is_masked());
+    }
+
+    #[test]
+    fn level_names_match_figure4_axes() {
+        assert_eq!(
+            Masking::Operation(OpMaskKind::Overshadowing).level_name(),
+            Some("operation")
+        );
+        assert_eq!(Masking::Propagation.level_name(), Some("propagation"));
+        assert_eq!(Masking::Algorithm.level_name(), Some("algorithm"));
+        assert_eq!(Masking::NotMasked.level_name(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            Masking::Operation(OpMaskKind::LogicCompare).to_string(),
+            "operation(logic-and-comparison)"
+        );
+        assert_eq!(Masking::NotMasked.to_string(), "not-masked");
+    }
+}

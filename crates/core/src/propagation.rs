@@ -1,0 +1,634 @@
+//! Error-propagation analysis (paper §III-D): bounded shadow replay of the
+//! dynamic trace.
+//!
+//! When the operation-level analysis decides an error is *not* masked by the
+//! operation that first consumes it, the corrupted locations it leaves behind
+//! (registers and/or memory words) are propagated forward through the trace:
+//! every subsequent record is re-evaluated with the corrupted values
+//! substituted, and the set of live corrupted locations is updated.  If the
+//! set becomes empty within the propagation window `k`, every error copy was
+//! masked at the operation level during propagation and the outcome is
+//! bit-identical — masking at the error-propagation level.  If the window is
+//! exhausted, control flow would diverge, or a corrupted value reaches an
+//! address computation, the question is left unresolved and handed to the
+//! deterministic fault injector (§III-E).
+//!
+//! The paper's empirical bound (1000 random injections over 16 data objects)
+//! found k = 50 sufficient: errors not masked within 50 operations virtually
+//! never end up masked by further propagation.  `k` is configurable so the
+//! `propagation_k` ablation bench can reproduce that observation.
+
+use crate::op_rules::CorruptLoc;
+use moard_ir::{eval_binop, eval_cast, eval_cmp, eval_intrinsic, RegId, Value};
+use moard_vm::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource};
+use std::collections::HashMap;
+
+/// Why the replay could not settle the masking question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnresolvedReason {
+    /// The window of `k` operations was exhausted with corruption still live.
+    WindowExhausted,
+    /// A corrupted value decides a conditional branch or switch differently
+    /// from the recorded execution.
+    ControlDivergence,
+    /// A corrupted value is used as (part of) a load or store address.
+    AddressDivergence,
+    /// Re-evaluating an operation with corrupted inputs trapped
+    /// (e.g. division by a corrupted zero).
+    EvalTrap,
+    /// The trace ended with corrupted memory still live.
+    TraceEnded,
+}
+
+/// Result of the propagation replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationResult {
+    /// Every corrupted copy was masked within the window: the outcome is
+    /// bit-identical to the golden run.
+    AllMasked {
+        /// Number of operations examined before the corruption died out.
+        ops_examined: usize,
+    },
+    /// The replay could not decide; deterministic fault injection required.
+    Unresolved {
+        reason: UnresolvedReason,
+        /// Number of corrupted locations still live when the replay stopped.
+        live_locations: usize,
+    },
+}
+
+impl PropagationResult {
+    /// True for [`PropagationResult::AllMasked`].
+    pub fn is_masked(&self) -> bool {
+        matches!(self, PropagationResult::AllMasked { .. })
+    }
+}
+
+/// Live corrupted state during replay.
+#[derive(Debug, Default, Clone)]
+struct ShadowState {
+    regs: HashMap<(u64, u32), Value>,
+    mem: HashMap<u64, Value>,
+}
+
+impl ShadowState {
+    fn from_locs(locs: &[CorruptLoc]) -> Self {
+        let mut s = ShadowState::default();
+        for loc in locs {
+            match loc {
+                CorruptLoc::Reg { frame, reg, value } => {
+                    s.regs.insert((*frame, reg.0), *value);
+                }
+                CorruptLoc::Mem { addr, value } => {
+                    s.mem.insert(*addr, *value);
+                }
+            }
+        }
+        s
+    }
+
+    fn is_clean(&self) -> bool {
+        self.regs.is_empty() && self.mem.is_empty()
+    }
+
+    fn live(&self) -> usize {
+        self.regs.len() + self.mem.len()
+    }
+
+    fn reg(&self, frame: u64, reg: RegId) -> Option<Value> {
+        self.regs.get(&(frame, reg.0)).copied()
+    }
+
+    fn kill_reg(&mut self, frame: u64, reg: RegId) {
+        self.regs.remove(&(frame, reg.0));
+    }
+
+    fn set_reg(&mut self, frame: u64, reg: RegId, corrupted: Value, clean: Value) {
+        if corrupted.bits_eq(&clean) {
+            self.kill_reg(frame, reg);
+        } else {
+            self.regs.insert((frame, reg.0), corrupted);
+        }
+    }
+
+    /// Remove every register belonging to a frame that has returned.
+    fn drop_frame(&mut self, frame: u64) {
+        self.regs.retain(|&(f, _), _| f != frame);
+    }
+
+    /// Corrupted value of an operand, if its source register is corrupted.
+    fn operand(&self, frame: u64, v: &TracedVal) -> Option<Value> {
+        match v.source {
+            ValueSource::Reg(r) => self.reg(frame, r),
+            _ => None,
+        }
+    }
+}
+
+/// Replay the trace from `start_index` (a position in `trace.records`,
+/// usually `target_record_index + 1`) with the given initial corrupted
+/// locations, examining at most `k` records.
+pub fn replay(
+    trace: &Trace,
+    start_index: usize,
+    initial: &[CorruptLoc],
+    k: usize,
+) -> PropagationResult {
+    let mut state = ShadowState::from_locs(initial);
+    if state.is_clean() {
+        return PropagationResult::AllMasked { ops_examined: 0 };
+    }
+    let mut examined = 0usize;
+    for rec in trace.records.iter().skip(start_index) {
+        if examined >= k {
+            return PropagationResult::Unresolved {
+                reason: UnresolvedReason::WindowExhausted,
+                live_locations: state.live(),
+            };
+        }
+        examined += 1;
+        match step(rec, &mut state) {
+            StepResult::Continue => {}
+            StepResult::Unresolved(reason) => {
+                return PropagationResult::Unresolved {
+                    reason,
+                    live_locations: state.live(),
+                }
+            }
+        }
+        if state.is_clean() {
+            return PropagationResult::AllMasked {
+                ops_examined: examined,
+            };
+        }
+    }
+    // Trace ended.  Registers of finished frames are dead state; only
+    // corrupted memory can still influence the snapshot the outcome is
+    // compared on.
+    if state.mem.is_empty() {
+        PropagationResult::AllMasked {
+            ops_examined: examined,
+        }
+    } else {
+        PropagationResult::Unresolved {
+            reason: UnresolvedReason::TraceEnded,
+            live_locations: state.live(),
+        }
+    }
+}
+
+enum StepResult {
+    Continue,
+    Unresolved(UnresolvedReason),
+}
+
+fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
+    let frame = rec.frame;
+    match &rec.op {
+        TraceOp::Bin {
+            op, ty, lhs, rhs, result,
+        } => {
+            let cl = state.operand(frame, lhs);
+            let cr = state.operand(frame, rhs);
+            let dst = rec.dst.expect("bin has dst");
+            if cl.is_none() && cr.is_none() {
+                state.kill_reg(frame, dst);
+                return StepResult::Continue;
+            }
+            let a = cl.unwrap_or(lhs.value);
+            let b = cr.unwrap_or(rhs.value);
+            match eval_binop(*op, *ty, &a, &b) {
+                Ok(r) => {
+                    state.set_reg(frame, dst, r, *result);
+                    StepResult::Continue
+                }
+                Err(_) => StepResult::Unresolved(UnresolvedReason::EvalTrap),
+            }
+        }
+        TraceOp::Cmp {
+            pred, lhs, rhs, result,
+        } => {
+            let cl = state.operand(frame, lhs);
+            let cr = state.operand(frame, rhs);
+            let dst = rec.dst.expect("cmp has dst");
+            if cl.is_none() && cr.is_none() {
+                state.kill_reg(frame, dst);
+                return StepResult::Continue;
+            }
+            let a = cl.unwrap_or(lhs.value);
+            let b = cr.unwrap_or(rhs.value);
+            match eval_cmp(*pred, &a, &b) {
+                Ok(r) => {
+                    state.set_reg(frame, dst, r, *result);
+                    StepResult::Continue
+                }
+                Err(_) => StepResult::Unresolved(UnresolvedReason::EvalTrap),
+            }
+        }
+        TraceOp::Cast { kind, to, src, result } => {
+            let cs = state.operand(frame, src);
+            let dst = rec.dst.expect("cast has dst");
+            match cs {
+                None => {
+                    state.kill_reg(frame, dst);
+                    StepResult::Continue
+                }
+                Some(v) => match eval_cast(*kind, *to, &v) {
+                    Ok(r) => {
+                        state.set_reg(frame, dst, r, *result);
+                        StepResult::Continue
+                    }
+                    Err(_) => StepResult::Unresolved(UnresolvedReason::EvalTrap),
+                },
+            }
+        }
+        TraceOp::Load {
+            addr,
+            addr_src,
+            result,
+            ..
+        } => {
+            // A corrupted address register means the program would read a
+            // different location: undecidable from the trace.
+            if let ValueSource::Reg(r) = addr_src {
+                if state.reg(frame, *r).is_some() {
+                    return StepResult::Unresolved(UnresolvedReason::AddressDivergence);
+                }
+            }
+            let dst = rec.dst.expect("load has dst");
+            match state.mem.get(addr) {
+                Some(v) => {
+                    let v = *v;
+                    state.set_reg(frame, dst, v, *result);
+                }
+                None => state.kill_reg(frame, dst),
+            }
+            StepResult::Continue
+        }
+        TraceOp::Store {
+            addr,
+            addr_src,
+            value,
+            ..
+        } => {
+            if let ValueSource::Reg(r) = addr_src {
+                if state.reg(frame, *r).is_some() {
+                    return StepResult::Unresolved(UnresolvedReason::AddressDivergence);
+                }
+            }
+            match state.operand(frame, value) {
+                Some(corrupted) => {
+                    if corrupted.bits_eq(&value.value) {
+                        state.mem.remove(addr);
+                    } else {
+                        state.mem.insert(*addr, corrupted);
+                    }
+                }
+                None => {
+                    // Clean value overwrites any corrupted memory.
+                    state.mem.remove(addr);
+                }
+            }
+            StepResult::Continue
+        }
+        TraceOp::Gep {
+            base,
+            index,
+            elem_size,
+            result,
+        } => {
+            let cb = state.operand(frame, base);
+            let ci = state.operand(frame, index);
+            let dst = rec.dst.expect("gep has dst");
+            if cb.is_none() && ci.is_none() {
+                state.kill_reg(frame, dst);
+                return StepResult::Continue;
+            }
+            let b = cb.unwrap_or(base.value);
+            let i = ci.unwrap_or(index.value);
+            let addr = b
+                .as_u64()
+                .wrapping_add((i.as_i64() as u64).wrapping_mul(*elem_size));
+            state.set_reg(frame, dst, Value::Ptr(addr), *result);
+            StepResult::Continue
+        }
+        TraceOp::Select {
+            cond,
+            then_v,
+            else_v,
+            result,
+        } => {
+            let cc = state.operand(frame, cond);
+            let ct = state.operand(frame, then_v);
+            let ce = state.operand(frame, else_v);
+            let dst = rec.dst.expect("select has dst");
+            if cc.is_none() && ct.is_none() && ce.is_none() {
+                state.kill_reg(frame, dst);
+                return StepResult::Continue;
+            }
+            let c = cc.unwrap_or(cond.value);
+            let t = ct.unwrap_or(then_v.value);
+            let e = ce.unwrap_or(else_v.value);
+            let r = if c.is_truthy() { t } else { e };
+            state.set_reg(frame, dst, r, *result);
+            StepResult::Continue
+        }
+        TraceOp::Intrinsic { intr, args, result } => {
+            let dst = rec.dst.expect("intrinsic has dst");
+            let mut any = false;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| match state.operand(frame, a) {
+                    Some(v) => {
+                        any = true;
+                        v
+                    }
+                    None => a.value,
+                })
+                .collect();
+            if !any {
+                state.kill_reg(frame, dst);
+                return StepResult::Continue;
+            }
+            match eval_intrinsic(*intr, &vals) {
+                Ok(r) => {
+                    state.set_reg(frame, dst, r, *result);
+                    StepResult::Continue
+                }
+                Err(_) => StepResult::Unresolved(UnresolvedReason::EvalTrap),
+            }
+        }
+        TraceOp::Mov { src, result } => {
+            let dst = rec.dst.expect("mov has dst");
+            match state.operand(frame, src) {
+                Some(v) => state.set_reg(frame, dst, v, *result),
+                None => state.kill_reg(frame, dst),
+            }
+            StepResult::Continue
+        }
+        TraceOp::Call {
+            args,
+            callee_frame,
+            param_regs,
+            ..
+        } => {
+            for (arg, param) in args.iter().zip(param_regs.iter()) {
+                if let Some(v) = state.operand(frame, arg) {
+                    state.set_reg(*callee_frame, *param, v, arg.value);
+                }
+            }
+            StepResult::Continue
+        }
+        TraceOp::Ret {
+            value,
+            caller_frame,
+            dst_in_caller,
+        } => {
+            let corrupted_ret = value.as_ref().and_then(|v| state.operand(frame, v));
+            // Every register of the returning frame dies.
+            state.drop_frame(frame);
+            if let (Some(cf), Some(dst)) = (caller_frame, dst_in_caller) {
+                match (corrupted_ret, value) {
+                    (Some(v), Some(clean)) => state.set_reg(*cf, *dst, v, clean.value),
+                    _ => state.kill_reg(*cf, *dst),
+                }
+            } else if let Some(v) = corrupted_ret {
+                // Corrupted final program return value: the outcome differs.
+                if value.map(|c| !v.bits_eq(&c.value)).unwrap_or(false) {
+                    return StepResult::Unresolved(UnresolvedReason::TraceEnded);
+                }
+            }
+            StepResult::Continue
+        }
+        TraceOp::CondBr { cond, taken } => {
+            if let Some(v) = state.operand(frame, cond) {
+                if v.is_truthy() != *taken {
+                    return StepResult::Unresolved(UnresolvedReason::ControlDivergence);
+                }
+            }
+            StepResult::Continue
+        }
+        TraceOp::Switch { value, .. } => {
+            if let Some(v) = state.operand(frame, value) {
+                if !v.bits_eq(&value.value) {
+                    return StepResult::Unresolved(UnresolvedReason::ControlDivergence);
+                }
+            }
+            StepResult::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_ir::prelude::*;
+    use moard_vm::run_traced;
+
+    /// x = a[0]; y = x * 2; a[1] = y; a[1] = 7.0; return a[1]
+    /// An error in a[0] propagates into a[1] but is overwritten by the later
+    /// constant store — the canonical propagation-masking pattern.
+    fn overwrite_later_module() -> Module {
+        let mut m = Module::new("ovl");
+        let a = m.add_global(Global::from_f64("a", &[3.0, 0.0]));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        let x = f.load_elem(Type::F64, a, Operand::const_i64(0));
+        let y = f.fmul(Operand::Reg(x), Operand::const_f64(2.0));
+        f.store_elem(Type::F64, a, Operand::const_i64(1), Operand::Reg(y));
+        f.store_elem(Type::F64, a, Operand::const_i64(1), Operand::const_f64(7.0));
+        let out = f.load_elem(Type::F64, a, Operand::const_i64(1));
+        f.ret(Some(Operand::Reg(out)));
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        m
+    }
+
+    #[test]
+    fn corruption_killed_by_later_overwrite_is_masked() {
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        // Find the fmul record; corrupt its lhs (the loaded a[0]) and its dst.
+        let fmul = trace
+            .records
+            .iter()
+            .find(|r| r.mnemonic() == "fmul")
+            .unwrap();
+        let lhs_reg = match &fmul.op {
+            TraceOp::Bin { lhs, .. } => match lhs.source {
+                ValueSource::Reg(r) => r,
+                _ => panic!(),
+            },
+            _ => panic!(),
+        };
+        let initial = vec![
+            CorruptLoc::Reg {
+                frame: fmul.frame,
+                reg: lhs_reg,
+                value: Value::F64(-3.0),
+            },
+            CorruptLoc::Reg {
+                frame: fmul.frame,
+                reg: fmul.dst.unwrap(),
+                value: Value::F64(-6.0),
+            },
+        ];
+        let res = replay(&trace, fmul.id as usize + 1, &initial, 50);
+        assert!(res.is_masked(), "later constant store must mask: {res:?}");
+    }
+
+    #[test]
+    fn corruption_reaching_final_output_is_unresolved() {
+        // Same module, but corrupt the *final* store's value: nothing after
+        // it re-writes a[1], so memory stays corrupted at trace end.
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let stores: Vec<&moard_vm::TraceRecord> = trace
+            .records
+            .iter()
+            .filter(|r| r.mnemonic() == "store")
+            .collect();
+        let last_store = stores.last().unwrap();
+        let addr = match &last_store.op {
+            TraceOp::Store { addr, .. } => *addr,
+            _ => unreachable!(),
+        };
+        let initial = vec![CorruptLoc::Mem {
+            addr,
+            value: Value::F64(-7.0),
+        }];
+        let res = replay(&trace, last_store.id as usize + 1, &initial, 50);
+        match res {
+            PropagationResult::Unresolved { .. } => {}
+            other => panic!("expected unresolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_exhaustion_is_reported() {
+        // A long chain of dependent adds keeps the corruption alive past a
+        // tiny window.
+        let mut m = Module::new("chain");
+        let a = m.add_global(Global::from_f64("a", &[1.0]));
+        let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], None);
+        let x = f.load_elem(Type::F64, a, Operand::const_i64(0));
+        let acc = f.alloc_reg(Type::F64);
+        f.mov(acc, Operand::Reg(x));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(100), |f, _i| {
+            let s = f.fadd(Operand::Reg(acc), Operand::const_f64(1.0));
+            f.mov(acc, Operand::Reg(s));
+        });
+        f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::Reg(acc));
+        f.ret(None);
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+
+        let (_, trace) = run_traced(&m).unwrap();
+        let mov = trace
+            .records
+            .iter()
+            .find(|r| r.mnemonic() == "mov")
+            .unwrap();
+        let initial = vec![CorruptLoc::Reg {
+            frame: mov.frame,
+            reg: mov.dst.unwrap(),
+            value: Value::F64(-1.0),
+        }];
+        let res = replay(&trace, mov.id as usize + 1, &initial, 10);
+        assert!(matches!(
+            res,
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::WindowExhausted,
+                ..
+            }
+        ));
+        // With a window large enough to reach the end the corruption is still
+        // live in `out`'s memory.
+        let res = replay(&trace, mov.id as usize + 1, &initial, 100_000);
+        assert!(matches!(
+            res,
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::TraceEnded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn control_divergence_is_detected() {
+        let mut m = Module::new("branchy");
+        let a = m.add_global(Global::from_f64("a", &[5.0]));
+        let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], None);
+        let x = f.load_elem(Type::F64, a, Operand::const_i64(0));
+        let c = f.cmp(CmpPred::FOgt, Operand::Reg(x), Operand::const_f64(0.0));
+        f.if_then_else(
+            Operand::Reg(c),
+            |f| f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::const_f64(1.0)),
+            |f| f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::const_f64(-1.0)),
+        );
+        f.ret(None);
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        let (_, trace) = run_traced(&m).unwrap();
+        let cmp = trace.records.iter().find(|r| r.mnemonic() == "cmp").unwrap();
+        // Corrupt the comparison result itself: the branch flips.
+        let initial = vec![CorruptLoc::Reg {
+            frame: cmp.frame,
+            reg: cmp.dst.unwrap(),
+            value: Value::I1(false),
+        }];
+        let res = replay(&trace, cmp.id as usize + 1, &initial, 50);
+        assert!(matches!(
+            res,
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::ControlDivergence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupted_index_reaching_address_is_unresolved() {
+        let mut m = Module::new("addr");
+        let idx = m.add_global(Global::from_i64("idx", &[1]));
+        let a = m.add_global(Global::from_f64("a", &[1.0, 2.0, 3.0]));
+        let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], None);
+        let i = f.load_elem(Type::I64, idx, Operand::const_i64(0));
+        let v = f.load_elem(Type::F64, a, Operand::Reg(i));
+        f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::Reg(v));
+        f.ret(None);
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        let (_, trace) = run_traced(&m).unwrap();
+        let i_load = trace
+            .records
+            .iter()
+            .find(|r| matches!(&r.op, TraceOp::Load { ty: Type::I64, .. }))
+            .unwrap();
+        let initial = vec![CorruptLoc::Reg {
+            frame: i_load.frame,
+            reg: i_load.dst.unwrap(),
+            value: Value::I64(2),
+        }];
+        let res = replay(&trace, i_load.id as usize + 1, &initial, 50);
+        assert!(matches!(
+            res,
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::AddressDivergence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_initial_state_is_trivially_masked() {
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        assert_eq!(
+            replay(&trace, 0, &[], 50),
+            PropagationResult::AllMasked { ops_examined: 0 }
+        );
+    }
+}

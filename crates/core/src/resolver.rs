@@ -1,0 +1,233 @@
+//! Deterministic-fault-injection resolution and error equivalence.
+//!
+//! The trace analysis leaves some masking questions unresolved (overshadowing
+//! candidates, control/address divergence, window exhaustion).  MOARD settles
+//! them by *deterministic fault injection*: re-running the application with
+//! exactly that bit flipped at exactly that dynamic operation and classifying
+//! the outcome against the golden run (§III-E, §IV).
+//!
+//! To avoid repeating injections for equivalent faults, MOARD leverages error
+//! equivalence (in the spirit of Relyzer/GangES, cited as [7], [20] in the
+//! paper): two fault sites at the same *static* instruction, the same operand
+//! slot, the same consumed value, and the same flipped bit produce the same
+//! intermediate corrupted state and therefore the same verdict.  The
+//! [`EquivalenceCache`] keys verdicts on exactly that tuple.
+
+use crate::sites::SiteSlot;
+use moard_vm::{FaultSpec, OutcomeClass, TraceRecord};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Something that can run a deterministic fault injection and classify the
+/// outcome.  Implemented by `moard-inject::DeterministicInjector`; test code
+/// can supply closures or canned verdicts.
+pub trait DfiResolver {
+    /// Run the application with `fault` injected and classify the outcome
+    /// against the golden run.
+    fn classify(&self, fault: &FaultSpec) -> OutcomeClass;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "dfi"
+    }
+}
+
+impl<F> DfiResolver for F
+where
+    F: Fn(&FaultSpec) -> OutcomeClass,
+{
+    fn classify(&self, fault: &FaultSpec) -> OutcomeClass {
+        self(fault)
+    }
+}
+
+/// Error-equivalence key: static instruction, slot, consumed value bits, bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EquivalenceKey {
+    /// Static location (function, block, instruction index).
+    pub static_key: (u32, u32, u32),
+    /// Operand slot / store destination.
+    pub slot_key: u32,
+    /// Raw bits of the clean value at the site.
+    pub value_bits: u64,
+    /// Flipped bit.
+    pub bit: u32,
+}
+
+impl EquivalenceKey {
+    /// Build the key for a site within a record.
+    pub fn new(rec: &TraceRecord, slot: SiteSlot, value_bits: u64, bit: u32) -> Self {
+        let slot_key = match slot {
+            SiteSlot::Operand(i) => i as u32,
+            SiteSlot::StoreDest => u32::MAX,
+        };
+        EquivalenceKey {
+            static_key: rec.static_key(),
+            slot_key,
+            value_bits,
+            bit,
+        }
+    }
+}
+
+/// Statistics of a cache-backed resolver.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Number of actual fault-injection executions performed.
+    pub injections: u64,
+    /// Number of verdicts answered from the equivalence cache.
+    pub cache_hits: u64,
+}
+
+/// A concurrent memoization layer over a [`DfiResolver`].
+pub struct EquivalenceCache {
+    map: RwLock<HashMap<EquivalenceKey, OutcomeClass>>,
+    stats: RwLock<ResolverStats>,
+}
+
+impl Default for EquivalenceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EquivalenceCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        EquivalenceCache {
+            map: RwLock::new(HashMap::new()),
+            stats: RwLock::new(ResolverStats::default()),
+        }
+    }
+
+    /// Resolve `fault` for the site identified by `key`, using the cache when
+    /// an equivalent fault was already injected.
+    pub fn classify(
+        &self,
+        key: EquivalenceKey,
+        fault: &FaultSpec,
+        resolver: &dyn DfiResolver,
+    ) -> OutcomeClass {
+        if let Some(v) = self.map.read().get(&key) {
+            self.stats.write().cache_hits += 1;
+            return *v;
+        }
+        let verdict = resolver.classify(fault);
+        self.stats.write().injections += 1;
+        self.map.write().insert(key, verdict);
+        verdict
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ResolverStats {
+        *self.stats.read()
+    }
+
+    /// Number of distinct equivalence classes resolved so far.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if nothing has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_ir::{BlockId, FuncId, Value};
+    use moard_vm::{FaultTarget, TraceOp, TracedVal};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn record(func: u32, inst: u32) -> TraceRecord {
+        TraceRecord {
+            id: 42,
+            frame: 0,
+            func: FuncId(func),
+            block: BlockId(0),
+            inst,
+            dst: None,
+            op: TraceOp::Mov {
+                src: TracedVal::constant(Value::I64(1)),
+                result: Value::I64(1),
+            },
+        }
+    }
+
+    #[test]
+    fn equivalent_faults_hit_the_cache() {
+        let cache = EquivalenceCache::new();
+        let calls = AtomicU64::new(0);
+        let resolver = |_: &FaultSpec| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            OutcomeClass::Acceptable
+        };
+        let rec = record(0, 3);
+        let key = EquivalenceKey::new(&rec, SiteSlot::Operand(0), 0xabc, 5);
+        let fault = FaultSpec::new(42, FaultTarget::Operand(0), 5);
+        for _ in 0..10 {
+            assert_eq!(
+                cache.classify(key, &fault, &resolver),
+                OutcomeClass::Acceptable
+            );
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.injections, 1);
+        assert_eq!(stats.cache_hits, 9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_bits_or_values_are_not_equivalent() {
+        let cache = EquivalenceCache::new();
+        let resolver = |_: &FaultSpec| OutcomeClass::Incorrect;
+        let rec = record(0, 3);
+        let fault = FaultSpec::new(42, FaultTarget::Operand(0), 5);
+        cache.classify(
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 5),
+            &fault,
+            &resolver,
+        );
+        cache.classify(
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 6),
+            &fault,
+            &resolver,
+        );
+        cache.classify(
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 2, 5),
+            &fault,
+            &resolver,
+        );
+        cache.classify(
+            EquivalenceKey::new(&rec, SiteSlot::StoreDest, 1, 5),
+            &fault,
+            &resolver,
+        );
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().injections, 4);
+    }
+
+    #[test]
+    fn same_static_instruction_different_dynamic_instances_are_equivalent() {
+        // Two dynamic records from the same static instruction with the same
+        // consumed value share a verdict.
+        let cache = EquivalenceCache::new();
+        let calls = AtomicU64::new(0);
+        let resolver = |_: &FaultSpec| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            OutcomeClass::Identical
+        };
+        let rec_a = record(1, 7);
+        let mut rec_b = record(1, 7);
+        rec_b.id = 1000;
+        let ka = EquivalenceKey::new(&rec_a, SiteSlot::Operand(1), 99, 3);
+        let kb = EquivalenceKey::new(&rec_b, SiteSlot::Operand(1), 99, 3);
+        assert_eq!(ka, kb);
+        cache.classify(ka, &FaultSpec::new(42, FaultTarget::Operand(1), 3), &resolver);
+        cache.classify(kb, &FaultSpec::new(1000, FaultTarget::Operand(1), 3), &resolver);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

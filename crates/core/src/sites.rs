@@ -1,0 +1,204 @@
+//! Enumeration of participation sites and valid fault-injection sites.
+//!
+//! A *participation site* is one (dynamic operation, participating element of
+//! the target data object) pair — the unit over which Equation 1 accumulates.
+//! A *valid fault-injection site* (paper §V-B) is a bit of an instruction
+//! operand or output holding a value of the target data object; the
+//! exhaustive-injection validation and the RFI comparison both draw from the
+//! same site enumeration so that the model and the injection campaigns look
+//! at identical fault populations.
+
+use moard_ir::Value;
+use moard_vm::{FaultSpec, FaultTarget, ObjectId, Trace, TraceOp, TraceRecord};
+
+/// Which value of the operation holds the target data object's element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteSlot {
+    /// The `idx`-th consumed operand (see [`TraceRecord::operands`]).
+    Operand(usize),
+    /// The destination element a store is about to overwrite.
+    StoreDest,
+}
+
+impl SiteSlot {
+    /// The fault-injection target corresponding to this slot.
+    pub fn fault_target(self) -> FaultTarget {
+        match self {
+            SiteSlot::Operand(i) => FaultTarget::Operand(i),
+            SiteSlot::StoreDest => FaultTarget::StoreDest,
+        }
+    }
+}
+
+/// One participating element occurrence of the target data object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipationSite {
+    /// Dynamic instruction id of the operation.
+    pub record_id: u64,
+    /// Which value of the operation holds the element.
+    pub slot: SiteSlot,
+    /// The element (object id, element index).
+    pub element: (ObjectId, u64),
+    /// The clean value of the element at this site.
+    pub value: Value,
+}
+
+impl ParticipationSite {
+    /// Build the deterministic-fault spec for flipping `bit` at this site.
+    pub fn fault(&self, bit: u32) -> FaultSpec {
+        FaultSpec::new(self.record_id, self.slot.fault_target(), bit)
+    }
+
+    /// Number of single-bit fault-injection sites this participation
+    /// contributes (= the bit width of the element value).
+    pub fn bit_width(&self) -> u32 {
+        self.value.ty().bit_width()
+    }
+}
+
+/// Enumerate the participation sites of `obj` in a trace, in execution order.
+///
+/// Following the paper's counting convention (illustrated on the LU `l2norm`
+/// example), the sites are:
+///
+/// * every consumed operand whose value is a direct copy of an element of the
+///   object (tracked via load provenance / register tracking), and
+/// * the destination element of every store that writes into the object
+///   (the "assignment operation" participations of the paper's examples).
+///
+/// Bare loads are not counted separately: the loaded value's consumption by
+/// the next operation is the participation (this mirrors the paper counting
+/// the *addition* and the *assignment* in `sum[m] = sum[m] + v*v`, not the
+/// load itself).
+pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
+    let mut out = Vec::new();
+    for rec in &trace.records {
+        collect_sites_for_record(rec, obj, &mut out);
+    }
+    out
+}
+
+/// Enumerate the participation sites of `obj` within a single record.
+pub fn collect_sites_for_record(rec: &TraceRecord, obj: ObjectId, out: &mut Vec<ParticipationSite>) {
+    for (i, operand) in rec.operands().iter().enumerate() {
+        if let Some((o, e)) = operand.element {
+            if o == obj {
+                out.push(ParticipationSite {
+                    record_id: rec.id,
+                    slot: SiteSlot::Operand(i),
+                    element: (o, e),
+                    value: operand.value,
+                });
+            }
+        }
+    }
+    if let TraceOp::Store {
+        element: Some((o, e)),
+        overwritten,
+        ..
+    } = &rec.op
+    {
+        if *o == obj {
+            out.push(ParticipationSite {
+                record_id: rec.id,
+                slot: SiteSlot::StoreDest,
+                element: (*o, *e),
+                value: *overwritten,
+            });
+        }
+    }
+}
+
+/// Total number of valid single-bit fault-injection sites for an object
+/// (the "trillions of sites" quantity of §V-B, at our scale).
+pub fn count_fault_sites(trace: &Trace, obj: ObjectId) -> u64 {
+    enumerate_sites(trace, obj)
+        .iter()
+        .map(|s| s.bit_width() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_ir::prelude::*;
+    use moard_vm::run_traced;
+
+    /// sum[0] = 0; for i in 0..4 { sum[0] = sum[0] + v[i]*v[i] }
+    fn l2norm_like() -> (Module, GlobalId, GlobalId) {
+        let mut m = Module::new("l2");
+        let v = m.add_global(Global::from_f64("v", &[1.0, 2.0, 3.0, 4.0]));
+        let sum = m.add_global(Global::zeroed("sum", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        f.store_elem(Type::F64, sum, Operand::const_i64(0), Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, i| {
+            let vi = f.load_elem(Type::F64, v, Operand::Reg(i));
+            let sq = f.fmul(Operand::Reg(vi), Operand::Reg(vi));
+            let s = f.load_elem(Type::F64, sum, Operand::const_i64(0));
+            let ns = f.fadd(Operand::Reg(s), Operand::Reg(sq));
+            f.store_elem(Type::F64, sum, Operand::const_i64(0), Operand::Reg(ns));
+        });
+        let out = f.load_elem(Type::F64, sum, Operand::const_i64(0));
+        f.ret(Some(Operand::Reg(out)));
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        (m, v, sum)
+    }
+
+    #[test]
+    fn site_counting_matches_paper_convention() {
+        let (m, _v, _sum) = l2norm_like();
+        let (outcome, trace) = run_traced(&m).unwrap();
+        assert_eq!(outcome.return_f64(), 30.0);
+
+        let vm = moard_vm::Vm::with_defaults(&m).unwrap();
+        let sum_obj = vm.objects().by_name("sum").unwrap().id;
+        let v_obj = vm.objects().by_name("v").unwrap().id;
+
+        // sum participations: 1 initial store-dest + per iteration
+        // (fadd operand + store-dest) = 1 + 4*2, plus the final load's
+        // consumption by ret (1).
+        let sum_sites = enumerate_sites(&trace, sum_obj);
+        assert_eq!(sum_sites.len(), 1 + 4 * 2 + 1);
+        let store_dests = sum_sites
+            .iter()
+            .filter(|s| s.slot == SiteSlot::StoreDest)
+            .count();
+        assert_eq!(store_dests, 5);
+
+        // v participations: each iteration consumes v[i] twice in the fmul.
+        let v_sites = enumerate_sites(&trace, v_obj);
+        assert_eq!(v_sites.len(), 8);
+        assert!(v_sites.iter().all(|s| matches!(s.slot, SiteSlot::Operand(_))));
+    }
+
+    #[test]
+    fn fault_sites_scale_with_bit_width() {
+        let (m, _, _) = l2norm_like();
+        let (_, trace) = run_traced(&m).unwrap();
+        let vm = moard_vm::Vm::with_defaults(&m).unwrap();
+        let v_obj = vm.objects().by_name("v").unwrap().id;
+        assert_eq!(count_fault_sites(&trace, v_obj), 8 * 64);
+    }
+
+    #[test]
+    fn fault_spec_construction() {
+        let site = ParticipationSite {
+            record_id: 17,
+            slot: SiteSlot::Operand(1),
+            element: (ObjectId(0), 3),
+            value: Value::F64(2.0),
+        };
+        let f = site.fault(63);
+        assert_eq!(f.dyn_id, 17);
+        assert_eq!(f.target, FaultTarget::Operand(1));
+        assert_eq!(f.bit, 63);
+        assert_eq!(site.bit_width(), 64);
+
+        let store_site = ParticipationSite {
+            slot: SiteSlot::StoreDest,
+            ..site
+        };
+        assert_eq!(store_site.fault(0).target, FaultTarget::StoreDest);
+    }
+}

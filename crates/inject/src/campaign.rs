@@ -1,0 +1,133 @@
+//! Parallel campaign runner.
+//!
+//! The original MOARD evaluation ran its analysis and fault-injection
+//! campaigns on a 256-core cluster; here the same embarrassingly parallel
+//! structure is exploited on the local machine with scoped worker threads
+//! fed through a crossbeam channel.  Each worker owns nothing but a reference
+//! to the injector, so results are bit-identical regardless of thread count.
+
+use crate::injector::DeterministicInjector;
+use crate::stats::CampaignStats;
+use crossbeam::channel;
+use moard_vm::{FaultSpec, OutcomeClass};
+
+/// How many worker threads to use for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Use every available CPU (as reported by the OS).
+    Auto,
+    /// Use exactly this many workers.
+    Fixed(usize),
+    /// Run everything on the calling thread (useful for debugging and for
+    /// deterministic micro-benchmarks).
+    Sequential,
+}
+
+impl Parallelism {
+    fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Sequential => 1,
+        }
+    }
+}
+
+/// Run every fault in `faults` through the injector and return the outcomes
+/// in the same order.
+pub fn run_campaign(
+    injector: &DeterministicInjector,
+    faults: &[FaultSpec],
+    parallelism: Parallelism,
+) -> Vec<OutcomeClass> {
+    let workers = parallelism.worker_count().min(faults.len().max(1));
+    if workers <= 1 {
+        return faults.iter().map(|f| injector.run_classified(f)).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, FaultSpec)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, OutcomeClass)>();
+    for (i, f) in faults.iter().enumerate() {
+        task_tx.send((i, *f)).expect("queue tasks");
+    }
+    drop(task_tx);
+
+    let mut outcomes = vec![OutcomeClass::Identical; faults.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, fault)) = task_rx.recv() {
+                    let verdict = injector.run_classified(&fault);
+                    if result_tx.send((i, verdict)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        while let Ok((i, verdict)) = result_rx.recv() {
+            outcomes[i] = verdict;
+        }
+    });
+    outcomes
+}
+
+/// Run a campaign and summarize it.
+pub fn run_campaign_stats(
+    injector: &DeterministicInjector,
+    faults: &[FaultSpec],
+    parallelism: Parallelism,
+) -> CampaignStats {
+    CampaignStats::from_outcomes(&run_campaign(injector, faults, parallelism))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_core::enumerate_sites;
+    use moard_vm::{run_traced, Vm};
+    use moard_workloads::MatMul;
+
+    fn some_faults(injector: &DeterministicInjector, count: usize) -> Vec<FaultSpec> {
+        let (_, trace) = run_traced(injector.module()).unwrap();
+        let vm = Vm::with_defaults(injector.module()).unwrap();
+        let c = vm.objects().by_name("C").unwrap().id;
+        enumerate_sites(&trace, c)
+            .iter()
+            .take(count)
+            .map(|s| s.fault(31))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_agree() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let faults = some_faults(&injector, 12);
+        let seq = run_campaign(&injector, &faults, Parallelism::Sequential);
+        let par = run_campaign(&injector, &faults, Parallelism::Fixed(4));
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 12);
+    }
+
+    #[test]
+    fn stats_wrapper_counts_runs() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let faults = some_faults(&injector, 6);
+        let stats = run_campaign_stats(&injector, &faults, Parallelism::Fixed(2));
+        assert_eq!(stats.runs, 6);
+        assert_eq!(
+            stats.identical + stats.acceptable + stats.incorrect + stats.crashed,
+            6
+        );
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let outcomes = run_campaign(&injector, &[], Parallelism::Auto);
+        assert!(outcomes.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end analysis harness: workload → trace → aDVF → campaigns.
+//!
+//! This ties the whole MOARD pipeline together for one workload instance:
+//! build the module, run the golden execution, record the dynamic trace,
+//! construct the deterministic fault injector, and expose one-call aDVF
+//! analysis and injection campaigns per data object.  The figure/table
+//! binaries in `moard-bench`, the CLI, and the examples are all thin wrappers
+//! over this type.
+
+use crate::campaign::Parallelism;
+use crate::exhaustive::{run_exhaustive, ExhaustiveConfig};
+use crate::injector::DeterministicInjector;
+use crate::random::{run_rfi, RfiConfig};
+use crate::stats::CampaignStats;
+use moard_core::{enumerate_sites, AdvfAnalyzer, AdvfReport, AnalysisConfig, ParticipationSite};
+use moard_vm::{ExecOutcome, ObjectId, Trace, Vm, VmConfig};
+use moard_workloads::Workload;
+
+/// A fully prepared workload: module, golden run, trace, and injector.
+pub struct WorkloadHarness {
+    injector: DeterministicInjector,
+    trace: Trace,
+    traced_outcome: ExecOutcome,
+}
+
+impl WorkloadHarness {
+    /// Prepare the harness for a workload (builds, runs, and traces it).
+    pub fn new(workload: Box<dyn Workload>) -> Self {
+        let injector = DeterministicInjector::new(workload);
+        let vm = Vm::new(
+            injector.module(),
+            VmConfig {
+                max_steps: injector.workload().max_steps(),
+                ..VmConfig::default()
+            },
+        )
+        .expect("module loads");
+        let (traced_outcome, trace) = vm.execute_traced();
+        assert!(
+            traced_outcome.bits_identical(injector.golden()),
+            "tracing must not perturb execution"
+        );
+        WorkloadHarness {
+            injector,
+            trace,
+            traced_outcome,
+        }
+    }
+
+    /// Prepare the harness for a workload selected by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        moard_workloads::workload_by_name(name).map(WorkloadHarness::new)
+    }
+
+    /// The workload under study.
+    pub fn workload(&self) -> &dyn Workload {
+        self.injector.workload()
+    }
+
+    /// The deterministic injector (usable as a `DfiResolver`).
+    pub fn injector(&self) -> &DeterministicInjector {
+        &self.injector
+    }
+
+    /// The golden outcome.
+    pub fn golden(&self) -> &ExecOutcome {
+        self.injector.golden()
+    }
+
+    /// The recorded dynamic trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The traced outcome (bit-identical to the golden outcome).
+    pub fn traced_outcome(&self) -> &ExecOutcome {
+        &self.traced_outcome
+    }
+
+    /// Resolve a data-object name to its id in this harness's memory image.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        let vm = Vm::with_defaults(self.injector.module()).ok()?;
+        vm.objects().by_name(name).map(|o| o.id)
+    }
+
+    /// Participation sites of a data object.
+    pub fn sites(&self, object: &str) -> Vec<ParticipationSite> {
+        match self.object_id(object) {
+            Some(id) => enumerate_sites(&self.trace, id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Run the aDVF analysis for one data object, using deterministic fault
+    /// injection to resolve what the trace analysis cannot.
+    pub fn analyze(&self, object: &str, config: AnalysisConfig) -> AdvfReport {
+        let id = self
+            .object_id(object)
+            .unwrap_or_else(|| panic!("unknown data object `{object}`"));
+        let analyzer = AdvfAnalyzer::new(&self.trace, config);
+        analyzer.analyze(id, object, self.workload().name(), Some(&self.injector))
+    }
+
+    /// Run the aDVF analysis without any deterministic fault injection
+    /// (purely analytical lower bound).
+    pub fn analyze_without_dfi(&self, object: &str, config: AnalysisConfig) -> AdvfReport {
+        let id = self
+            .object_id(object)
+            .unwrap_or_else(|| panic!("unknown data object `{object}`"));
+        let analyzer = AdvfAnalyzer::new(&self.trace, config);
+        analyzer.analyze(id, object, self.workload().name(), None)
+    }
+
+    /// Run the aDVF analysis for every target data object of the workload.
+    pub fn analyze_targets(&self, config: &AnalysisConfig) -> Vec<AdvfReport> {
+        self.workload()
+            .target_objects()
+            .iter()
+            .map(|o| self.analyze(o, config.clone()))
+            .collect()
+    }
+
+    /// Exhaustive (or strided) fault-injection campaign over one object.
+    pub fn exhaustive(&self, object: &str, config: &ExhaustiveConfig) -> CampaignStats {
+        run_exhaustive(&self.injector, &self.sites(object), config)
+    }
+
+    /// Random fault-injection campaign over one object.
+    pub fn rfi(&self, object: &str, config: &RfiConfig) -> CampaignStats {
+        run_rfi(&self.injector, &self.sites(object), config)
+    }
+
+    /// Convenience: exhaustive campaign with strides chosen so the total
+    /// number of injections stays near `budget`.
+    pub fn exhaustive_with_budget(&self, object: &str, budget: u64) -> CampaignStats {
+        let sites = self.sites(object);
+        let total: u64 = sites.iter().map(|s| s.bit_width() as u64).sum();
+        let stride = (total / budget.max(1)).max(1) as usize;
+        run_exhaustive(
+            &self.injector,
+            &sites,
+            &ExhaustiveConfig {
+                site_stride: stride,
+                bit_stride: 1,
+                parallelism: Parallelism::Auto,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_workloads::MatMul;
+
+    #[test]
+    fn harness_end_to_end_on_matmul() {
+        let h = WorkloadHarness::new(Box::new(MatMul::default()));
+        assert_eq!(h.workload().name(), "MM");
+        assert!(h.trace().len() > 100);
+        assert!(h.object_id("C").is_some());
+        assert!(h.object_id("nope").is_none());
+
+        // Unprotected MM: the aDVF of C should be very low (paper: 0.0172)
+        // because C's elements are written once and any corruption that is
+        // not overwritten survives into the output.
+        let report = h.analyze(
+            "C",
+            AnalysisConfig {
+                site_stride: 16,
+                max_dfi_per_object: Some(300),
+                ..Default::default()
+            },
+        );
+        let advf = report.advf();
+        assert!(advf < 0.3, "unprotected MM aDVF should be small, got {advf}");
+        assert!(report.sites_analyzed > 0);
+    }
+
+    #[test]
+    fn harness_by_name() {
+        assert!(WorkloadHarness::by_name("mm").is_some());
+        assert!(WorkloadHarness::by_name("not-a-workload").is_none());
+    }
+
+    #[test]
+    fn rfi_success_rate_roughly_matches_exhaustive_on_small_object() {
+        // On the same fault population, RFI with enough tests should land
+        // within a few points of the strided-exhaustive ground truth.
+        let h = WorkloadHarness::new(Box::new(MatMul::default()));
+        let exhaustive = h.exhaustive_with_budget("C", 400);
+        let rfi = h.rfi(
+            "C",
+            &RfiConfig {
+                tests: 400,
+                ..Default::default()
+            },
+        );
+        let diff = (exhaustive.success_rate() - rfi.success_rate()).abs();
+        assert!(
+            diff < 0.15,
+            "exhaustive {} vs RFI {} differ by {diff}",
+            exhaustive.success_rate(),
+            rfi.success_rate()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # moard-inject
+//!
+//! Fault-injection campaigns and the end-to-end analysis harness.
+//!
+//! Three kinds of campaigns are provided, mirroring the paper's evaluation
+//! methodology:
+//!
+//! * **deterministic** ([`injector::DeterministicInjector`]) — re-execute the
+//!   workload with one exact bit flip and classify the outcome; this is the
+//!   resolver the aDVF model calls for unresolved masking questions
+//!   (paper §III-E);
+//! * **exhaustive** ([`exhaustive`]) — inject at *every* valid fault site of
+//!   a data object, the ground truth used to validate the aDVF ranking
+//!   (§V-B, Fig. 6);
+//! * **random** ([`random`]) — the traditional RFI baseline with
+//!   statistically sized campaigns and margins of error (§V-C, Fig. 7).
+//!
+//! [`harness::WorkloadHarness`] packages a workload's module, golden run,
+//! dynamic trace, and injector behind a one-call API used by the CLI, the
+//! examples, and every figure/table binary in `moard-bench`.
+
+pub mod campaign;
+pub mod exhaustive;
+pub mod harness;
+pub mod injector;
+pub mod random;
+pub mod stats;
+
+pub use campaign::{run_campaign, run_campaign_stats, Parallelism};
+pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
+pub use harness::WorkloadHarness;
+pub use injector::DeterministicInjector;
+pub use random::{run_rfi, sample_faults, RfiConfig};
+pub use stats::{required_sample_size, z_value, CampaignStats};

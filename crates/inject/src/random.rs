@@ -1,0 +1,121 @@
+//! Random fault injection (RFI) — the traditional baseline the paper
+//! compares aDVF against (§V-C, Fig. 7).
+//!
+//! RFI draws uniformly among the *valid fault-injection sites* of a target
+//! data object (a bit of an instruction operand or store destination holding
+//! a value of the object) and reports the campaign success rate with its 95%
+//! margin of error.  The paper's point — reproduced by the `fig7_rfi_vs_advf`
+//! bench — is that RFI estimates fluctuate with the number of tests and
+//! cannot produce a stable ranking of data objects, whereas aDVF is
+//! deterministic.
+
+use crate::campaign::{run_campaign_stats, Parallelism};
+use crate::injector::DeterministicInjector;
+use crate::stats::CampaignStats;
+use moard_core::ParticipationSite;
+use moard_vm::FaultSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a random fault-injection campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct RfiConfig {
+    /// Number of injection tests.
+    pub tests: usize,
+    /// RNG seed (campaigns are reproducible given the seed).
+    pub seed: u64,
+    /// Worker threads.
+    pub parallelism: Parallelism,
+}
+
+impl Default for RfiConfig {
+    fn default() -> Self {
+        RfiConfig {
+            tests: 500,
+            seed: 0xF1_F1,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// Draw `tests` random single-bit faults among the valid sites of the target
+/// object (uniform over site × bit).
+pub fn sample_faults(sites: &[ParticipationSite], config: &RfiConfig) -> Vec<FaultSpec> {
+    if sites.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.tests)
+        .map(|_| {
+            let site = &sites[rng.gen_range(0..sites.len())];
+            let bit = rng.gen_range(0..site.bit_width());
+            site.fault(bit)
+        })
+        .collect()
+}
+
+/// Run a random fault-injection campaign over the given sites.
+pub fn run_rfi(
+    injector: &DeterministicInjector,
+    sites: &[ParticipationSite],
+    config: &RfiConfig,
+) -> CampaignStats {
+    let faults = sample_faults(sites, config);
+    run_campaign_stats(injector, &faults, config.parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_core::enumerate_sites;
+    use moard_vm::{run_traced, Vm};
+    use moard_workloads::MatMul;
+
+    #[test]
+    fn sampling_is_reproducible_and_in_range() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let (_, trace) = run_traced(injector.module()).unwrap();
+        let vm = Vm::with_defaults(injector.module()).unwrap();
+        let c = vm.objects().by_name("C").unwrap().id;
+        let sites = enumerate_sites(&trace, c);
+        let config = RfiConfig {
+            tests: 50,
+            ..Default::default()
+        };
+        let a = sample_faults(&sites, &config);
+        let b = sample_faults(&sites, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for fault in &a {
+            assert!(fault.bit < 64);
+            assert!(sites.iter().any(|s| s.record_id == fault.dyn_id));
+        }
+    }
+
+    #[test]
+    fn rfi_campaign_produces_stats() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let (_, trace) = run_traced(injector.module()).unwrap();
+        let vm = Vm::with_defaults(injector.module()).unwrap();
+        let c = vm.objects().by_name("C").unwrap().id;
+        let sites = enumerate_sites(&trace, c);
+        let stats = run_rfi(
+            &injector,
+            &sites,
+            &RfiConfig {
+                tests: 30,
+                parallelism: Parallelism::Fixed(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.runs, 30);
+        assert!(stats.success_rate() >= 0.0 && stats.success_rate() <= 1.0);
+        assert!(stats.margin_of_error(0.95) > 0.0);
+    }
+
+    #[test]
+    fn empty_site_list_yields_empty_campaign() {
+        let config = RfiConfig::default();
+        assert!(sample_faults(&[], &config).is_empty());
+    }
+}

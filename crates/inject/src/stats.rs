@@ -1,0 +1,159 @@
+//! Campaign statistics: success rates and confidence intervals.
+//!
+//! The paper's RFI comparison (Fig. 7) sizes its random campaigns with the
+//! statistical approach of Leveugle et al. (cited as [26]) at a 95%
+//! confidence level and reports the margin of error alongside each success
+//! rate; the same estimators are implemented here.
+
+use moard_vm::OutcomeClass;
+
+/// Aggregate result of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignStats {
+    /// Number of injection runs.
+    pub runs: u64,
+    /// Runs whose outcome was bit-identical to the golden run.
+    pub identical: u64,
+    /// Runs whose outcome was numerically different but acceptable.
+    pub acceptable: u64,
+    /// Runs with unacceptable (silently corrupted) outcomes.
+    pub incorrect: u64,
+    /// Runs that crashed or hung.
+    pub crashed: u64,
+}
+
+impl CampaignStats {
+    /// Tally a list of outcomes.
+    pub fn from_outcomes(outcomes: &[OutcomeClass]) -> CampaignStats {
+        let mut s = CampaignStats {
+            runs: outcomes.len() as u64,
+            identical: 0,
+            acceptable: 0,
+            incorrect: 0,
+            crashed: 0,
+        };
+        for o in outcomes {
+            match o {
+                OutcomeClass::Identical => s.identical += 1,
+                OutcomeClass::Acceptable => s.acceptable += 1,
+                OutcomeClass::Incorrect => s.incorrect += 1,
+                OutcomeClass::Crashed => s.crashed += 1,
+            }
+        }
+        s
+    }
+
+    /// Fraction of runs with a correct (identical or acceptable) outcome —
+    /// the "success rate" the paper plots in Figs. 6 and 7.
+    pub fn success_rate(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        (self.identical + self.acceptable) as f64 / self.runs as f64
+    }
+
+    /// Margin of error of the success rate at the given confidence level
+    /// (normal approximation; 0.95 → z = 1.96).
+    pub fn margin_of_error(&self, confidence: f64) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        let z = z_value(confidence);
+        let p = self.success_rate();
+        z * (p * (1.0 - p) / self.runs as f64).sqrt()
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.runs += other.runs;
+        self.identical += other.identical;
+        self.acceptable += other.acceptable;
+        self.incorrect += other.incorrect;
+        self.crashed += other.crashed;
+    }
+}
+
+/// Two-sided z value for a confidence level (supports the common levels;
+/// anything else falls back to 95%).
+pub fn z_value(confidence: f64) -> f64 {
+    if (confidence - 0.90).abs() < 1e-9 {
+        1.645
+    } else if (confidence - 0.99).abs() < 1e-9 {
+        2.576
+    } else {
+        1.96
+    }
+}
+
+/// Number of fault-injection tests required for the given margin of error at
+/// the given confidence level, assuming worst-case variance p = 0.5
+/// (Leveugle et al.'s sizing formula with an effectively infinite population).
+pub fn required_sample_size(confidence: f64, margin: f64) -> u64 {
+    let z = z_value(confidence);
+    ((z * z * 0.25) / (margin * margin)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_and_success_rate() {
+        let outcomes = vec![
+            OutcomeClass::Identical,
+            OutcomeClass::Acceptable,
+            OutcomeClass::Incorrect,
+            OutcomeClass::Crashed,
+        ];
+        let s = CampaignStats::from_outcomes(&outcomes);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.identical, 1);
+        assert_eq!(s.crashed, 1);
+        assert!((s.success_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_of_error_shrinks_with_more_runs() {
+        let small = CampaignStats {
+            runs: 500,
+            identical: 250,
+            acceptable: 0,
+            incorrect: 250,
+            crashed: 0,
+        };
+        let large = CampaignStats {
+            runs: 3500,
+            identical: 1750,
+            acceptable: 0,
+            incorrect: 1750,
+            crashed: 0,
+        };
+        assert!(large.margin_of_error(0.95) < small.margin_of_error(0.95));
+        // 95% margin at p=0.5, n=500 is about 4.4 percentage points.
+        assert!((small.margin_of_error(0.95) - 0.0438).abs() < 0.002);
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        // Classic result: ~385 samples for ±5% at 95% confidence.
+        assert_eq!(required_sample_size(0.95, 0.05), 385);
+        assert!(required_sample_size(0.99, 0.05) > 385);
+        assert!(required_sample_size(0.95, 0.01) > 9000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CampaignStats::from_outcomes(&[OutcomeClass::Identical]);
+        let b = CampaignStats::from_outcomes(&[OutcomeClass::Incorrect, OutcomeClass::Crashed]);
+        a.merge(&b);
+        assert_eq!(a.runs, 3);
+        assert!((a.success_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_campaign_is_safe() {
+        let s = CampaignStats::from_outcomes(&[]);
+        assert_eq!(s.success_rate(), 0.0);
+        assert_eq!(s.margin_of_error(0.95), 0.0);
+    }
+}

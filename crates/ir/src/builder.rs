@@ -1,0 +1,595 @@
+//! Ergonomic construction of IR functions.
+//!
+//! Workloads in `moard-workloads` build their kernels with this builder.  It
+//! provides structured-control-flow helpers (`for_loop`, `if_then`,
+//! `if_then_else`, `loop_while`) that lower to explicit basic blocks and
+//! branches, plus element-access helpers (`load_elem`, `store_elem`,
+//! `elem_addr`) that lower to `Gep` + `Load`/`Store`, mirroring how a C
+//! compiler lowers array accesses to LLVM IR.
+
+use crate::inst::{BinOp, CastKind, CmpPred, Inst, Intrinsic, Operand, Terminator};
+use crate::module::{Block, BlockId, FuncId, Function, GlobalId, RegId};
+use crate::types::Type;
+
+/// Builder for a single [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<(RegId, Type)>,
+    ret_ty: Option<Type>,
+    blocks: Vec<Block>,
+    reg_types: Vec<Type>,
+    current: BlockId,
+    finished_current: bool,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given parameter types.
+    ///
+    /// Parameter registers are allocated first, in order; retrieve them with
+    /// [`FunctionBuilder::param`].
+    pub fn new(name: impl Into<String>, param_types: &[Type], ret_ty: Option<Type>) -> Self {
+        let mut b = FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: vec![Block::placeholder("entry")],
+            reg_types: Vec::new(),
+            current: BlockId(0),
+            finished_current: false,
+        };
+        for &ty in param_types {
+            let r = b.alloc_reg(ty);
+            b.params.push((r, ty));
+        }
+        b
+    }
+
+    /// The register holding the `i`-th parameter.
+    pub fn param(&self, i: usize) -> RegId {
+        self.params[i].0
+    }
+
+    /// Allocate a fresh virtual register of type `ty`.
+    pub fn alloc_reg(&mut self, ty: Type) -> RegId {
+        let id = RegId(self.reg_types.len() as u32);
+        self.reg_types.push(ty);
+        id
+    }
+
+    /// Create a new (empty) basic block and return its id.
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::placeholder(name));
+        id
+    }
+
+    /// Switch the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+        self.finished_current = false;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Append a raw instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        assert!(
+            !self.finished_current,
+            "block {:?} already has a terminator",
+            self.current
+        );
+        self.blocks[self.current.0 as usize].insts.push(inst);
+    }
+
+    /// Set the terminator of the current block and mark it finished.
+    pub fn terminate(&mut self, term: Terminator) {
+        assert!(
+            !self.finished_current,
+            "block {:?} already has a terminator",
+            self.current
+        );
+        self.blocks[self.current.0 as usize].term = term;
+        self.finished_current = true;
+    }
+
+    // ----------------------------------------------------------------------
+    // Scalar operation helpers.
+    // ----------------------------------------------------------------------
+
+    /// Emit a binary operation and return the destination register.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> RegId {
+        let dst = self.alloc_reg(if op.is_bitwise_logic() || op.is_shift() {
+            ty
+        } else {
+            ty
+        });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            lhs,
+            rhs,
+            dst,
+        });
+        dst
+    }
+
+    /// Integer add (`i64`).
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Add, Type::I64, lhs, rhs)
+    }
+
+    /// Integer subtract (`i64`).
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Sub, Type::I64, lhs, rhs)
+    }
+
+    /// Integer multiply (`i64`).
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Mul, Type::I64, lhs, rhs)
+    }
+
+    /// Signed integer division (`i64`).
+    pub fn sdiv(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::SDiv, Type::I64, lhs, rhs)
+    }
+
+    /// Signed remainder (`i64`).
+    pub fn srem(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::SRem, Type::I64, lhs, rhs)
+    }
+
+    /// Floating-point add (`f64`).
+    pub fn fadd(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::FAdd, Type::F64, lhs, rhs)
+    }
+
+    /// Floating-point subtract (`f64`).
+    pub fn fsub(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::FSub, Type::F64, lhs, rhs)
+    }
+
+    /// Floating-point multiply (`f64`).
+    pub fn fmul(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::FMul, Type::F64, lhs, rhs)
+    }
+
+    /// Floating-point divide (`f64`).
+    pub fn fdiv(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::FDiv, Type::F64, lhs, rhs)
+    }
+
+    /// Logical shift left (`i64`).
+    pub fn shl(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Shl, Type::I64, lhs, rhs)
+    }
+
+    /// Logical shift right (`i64`).
+    pub fn lshr(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::LShr, Type::I64, lhs, rhs)
+    }
+
+    /// Arithmetic shift right (`i64`).
+    pub fn ashr(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::AShr, Type::I64, lhs, rhs)
+    }
+
+    /// Bitwise AND (`i64`).
+    pub fn and(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::And, Type::I64, lhs, rhs)
+    }
+
+    /// Bitwise OR (`i64`).
+    pub fn or(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Or, Type::I64, lhs, rhs)
+    }
+
+    /// Bitwise XOR (`i64`).
+    pub fn xor(&mut self, lhs: Operand, rhs: Operand) -> RegId {
+        self.bin(BinOp::Xor, Type::I64, lhs, rhs)
+    }
+
+    /// Emit a comparison and return the `I1` destination register.
+    pub fn cmp(&mut self, pred: CmpPred, lhs: Operand, rhs: Operand) -> RegId {
+        let dst = self.alloc_reg(Type::I1);
+        self.push(Inst::Cmp {
+            pred,
+            lhs,
+            rhs,
+            dst,
+        });
+        dst
+    }
+
+    /// Emit a cast and return the destination register.
+    pub fn cast(&mut self, kind: CastKind, to: Type, src: Operand) -> RegId {
+        let dst = self.alloc_reg(to);
+        self.push(Inst::Cast { kind, to, src, dst });
+        dst
+    }
+
+    /// Convert a signed integer to `f64`.
+    pub fn sitofp(&mut self, src: Operand) -> RegId {
+        self.cast(CastKind::SIToFP, Type::F64, src)
+    }
+
+    /// Convert an `f64` to a signed 64-bit integer.
+    pub fn fptosi(&mut self, src: Operand) -> RegId {
+        self.cast(CastKind::FPToSI, Type::I64, src)
+    }
+
+    /// Truncate an integer to a narrower type.
+    pub fn trunc(&mut self, to: Type, src: Operand) -> RegId {
+        self.cast(CastKind::Trunc, to, src)
+    }
+
+    /// Emit a select (`cond ? a : b`).
+    pub fn select(&mut self, ty: Type, cond: Operand, a: Operand, b: Operand) -> RegId {
+        let dst = self.alloc_reg(ty);
+        self.push(Inst::Select {
+            cond,
+            then_v: a,
+            else_v: b,
+            dst,
+        });
+        dst
+    }
+
+    /// Emit a register copy / constant materialization into `dst`.
+    pub fn mov(&mut self, dst: RegId, src: Operand) {
+        self.push(Inst::Mov { src, dst });
+    }
+
+    /// Emit a call of `func`; returns the destination register if `ret_ty`
+    /// is provided.
+    pub fn call(&mut self, func: FuncId, args: &[Operand], ret_ty: Option<Type>) -> Option<RegId> {
+        let dst = ret_ty.map(|ty| self.alloc_reg(ty));
+        self.push(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst,
+        });
+        dst
+    }
+
+    /// Emit a math intrinsic call.
+    pub fn intrinsic(&mut self, intr: Intrinsic, args: &[Operand], ret_ty: Type) -> RegId {
+        let dst = self.alloc_reg(ret_ty);
+        self.push(Inst::CallIntrinsic {
+            intr,
+            args: args.to_vec(),
+            dst,
+        });
+        dst
+    }
+
+    /// `sqrt` on an `f64`.
+    pub fn sqrt(&mut self, x: Operand) -> RegId {
+        self.intrinsic(Intrinsic::Sqrt, &[x], Type::F64)
+    }
+
+    /// `fabs` on an `f64`.
+    pub fn fabs(&mut self, x: Operand) -> RegId {
+        self.intrinsic(Intrinsic::Fabs, &[x], Type::F64)
+    }
+
+    // ----------------------------------------------------------------------
+    // Memory helpers.
+    // ----------------------------------------------------------------------
+
+    /// Compute the address of element `index` of a buffer starting at `base`
+    /// with elements of type `elem_ty`.
+    pub fn elem_addr(&mut self, elem_ty: Type, base: Operand, index: Operand) -> RegId {
+        let dst = self.alloc_reg(Type::Ptr);
+        self.push(Inst::Gep {
+            base,
+            index,
+            elem_size: elem_ty.byte_size(),
+            dst,
+        });
+        dst
+    }
+
+    /// Load a scalar of type `ty` from an address operand.
+    pub fn load(&mut self, ty: Type, addr: Operand) -> RegId {
+        let dst = self.alloc_reg(ty);
+        self.push(Inst::Load { ty, addr, dst });
+        dst
+    }
+
+    /// Store a scalar of type `ty` to an address operand.
+    pub fn store(&mut self, ty: Type, value: Operand, addr: Operand) {
+        self.push(Inst::Store { ty, value, addr });
+    }
+
+    /// Load element `index` of global data object `global`.
+    pub fn load_elem(&mut self, ty: Type, global: GlobalId, index: Operand) -> RegId {
+        let addr = self.elem_addr(ty, Operand::Global(global), index);
+        self.load(ty, Operand::Reg(addr))
+    }
+
+    /// Store `value` into element `index` of global data object `global`.
+    pub fn store_elem(&mut self, ty: Type, global: GlobalId, index: Operand, value: Operand) {
+        let addr = self.elem_addr(ty, Operand::Global(global), index);
+        self.store(ty, value, Operand::Reg(addr));
+    }
+
+    /// Compute a row-major linear index `i * dim1 + j`.
+    pub fn lin2(&mut self, i: Operand, j: Operand, dim1: i64) -> RegId {
+        let scaled = self.mul(i, Operand::const_i64(dim1));
+        self.add(Operand::Reg(scaled), j)
+    }
+
+    /// Compute a row-major linear index `(i * dim1 + j) * dim2 + k`.
+    pub fn lin3(&mut self, i: Operand, j: Operand, k: Operand, dim1: i64, dim2: i64) -> RegId {
+        let ij = self.lin2(i, j, dim1);
+        let scaled = self.mul(Operand::Reg(ij), Operand::const_i64(dim2));
+        self.add(Operand::Reg(scaled), k)
+    }
+
+    /// Compute a row-major linear index `((i*d1 + j)*d2 + k)*d3 + m`.
+    pub fn lin4(
+        &mut self,
+        i: Operand,
+        j: Operand,
+        k: Operand,
+        m: Operand,
+        d1: i64,
+        d2: i64,
+        d3: i64,
+    ) -> RegId {
+        let ijk = self.lin3(i, j, k, d1, d2);
+        let scaled = self.mul(Operand::Reg(ijk), Operand::const_i64(d3));
+        self.add(Operand::Reg(scaled), m)
+    }
+
+    // ----------------------------------------------------------------------
+    // Structured control flow.
+    // ----------------------------------------------------------------------
+
+    /// Return from the function.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret { value });
+    }
+
+    /// Build `for (i = start; i < end; i++) body(i)`.
+    ///
+    /// The induction variable is an `i64` register passed to the body
+    /// closure.  After this call the insertion point is the loop exit block.
+    pub fn for_loop<F>(&mut self, start: Operand, end: Operand, body: F)
+    where
+        F: FnOnce(&mut Self, RegId),
+    {
+        self.for_loop_step(start, end, 1, body);
+    }
+
+    /// Build `for (i = start; i < end; i += step) body(i)`.
+    pub fn for_loop_step<F>(&mut self, start: Operand, end: Operand, step: i64, body: F)
+    where
+        F: FnOnce(&mut Self, RegId),
+    {
+        let i = self.alloc_reg(Type::I64);
+        // Materialize the loop bound once, before the loop, so that loop
+        // iteration counts are not themselves re-read from (potentially
+        // corrupted) data every iteration unless the workload does so
+        // explicitly.
+        let bound = self.alloc_reg(Type::I64);
+        self.mov(i, start);
+        self.mov(bound, end);
+
+        let header = self.new_block("for.header");
+        let body_b = self.new_block("for.body");
+        let exit = self.new_block("for.exit");
+
+        self.terminate(Terminator::Br { target: header });
+
+        self.switch_to(header);
+        let cond = self.cmp(CmpPred::Slt, Operand::Reg(i), Operand::Reg(bound));
+        self.terminate(Terminator::CondBr {
+            cond: Operand::Reg(cond),
+            then_b: body_b,
+            else_b: exit,
+        });
+
+        self.switch_to(body_b);
+        body(self, i);
+        // Latch: i += step; continue.
+        let next = self.add(Operand::Reg(i), Operand::const_i64(step));
+        self.mov(i, Operand::Reg(next));
+        self.terminate(Terminator::Br { target: header });
+
+        self.switch_to(exit);
+    }
+
+    /// Build a while-style loop: `cond` is evaluated in a fresh header block
+    /// and must return an `I1` operand; `body` is executed while it is true.
+    pub fn loop_while<C, F>(&mut self, cond: C, body: F)
+    where
+        C: FnOnce(&mut Self) -> Operand,
+        F: FnOnce(&mut Self),
+    {
+        let header = self.new_block("while.header");
+        let body_b = self.new_block("while.body");
+        let exit = self.new_block("while.exit");
+
+        self.terminate(Terminator::Br { target: header });
+
+        self.switch_to(header);
+        let c = cond(self);
+        self.terminate(Terminator::CondBr {
+            cond: c,
+            then_b: body_b,
+            else_b: exit,
+        });
+
+        self.switch_to(body_b);
+        body(self);
+        self.terminate(Terminator::Br { target: header });
+
+        self.switch_to(exit);
+    }
+
+    /// Build `if (cond) { then() }`.
+    pub fn if_then<F>(&mut self, cond: Operand, then: F)
+    where
+        F: FnOnce(&mut Self),
+    {
+        let then_b = self.new_block("if.then");
+        let join = self.new_block("if.join");
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_b,
+            else_b: join,
+        });
+        self.switch_to(then_b);
+        then(self);
+        self.terminate(Terminator::Br { target: join });
+        self.switch_to(join);
+    }
+
+    /// Build `if (cond) { then() } else { otherwise() }`.
+    pub fn if_then_else<F, G>(&mut self, cond: Operand, then: F, otherwise: G)
+    where
+        F: FnOnce(&mut Self),
+        G: FnOnce(&mut Self),
+    {
+        let then_b = self.new_block("if.then");
+        let else_b = self.new_block("if.else");
+        let join = self.new_block("if.join");
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_b,
+            else_b,
+        });
+        self.switch_to(then_b);
+        then(self);
+        self.terminate(Terminator::Br { target: join });
+        self.switch_to(else_b);
+        otherwise(self);
+        self.terminate(Terminator::Br { target: join });
+        self.switch_to(join);
+    }
+
+    /// Finish the function.  If the current block has no terminator yet a
+    /// `ret void` is appended.
+    pub fn finish(mut self) -> Function {
+        if !self.finished_current {
+            self.terminate(Terminator::Ret { value: None });
+        }
+        Function {
+            name: self.name,
+            params: self.params,
+            ret_ty: self.ret_ty,
+            blocks: self.blocks,
+            reg_types: self.reg_types,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Global, Module};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn build_sum_loop_verifies() {
+        let mut m = Module::new("sum");
+        let data = m.add_global(Global::from_f64("data", &[1.0, 2.0, 3.0, 4.0]));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        let acc = f.alloc_reg(Type::F64);
+        f.mov(acc, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, i| {
+            let v = f.load_elem(Type::F64, data, Operand::Reg(i));
+            let s = f.fadd(Operand::Reg(acc), Operand::Reg(v));
+            f.mov(acc, Operand::Reg(s));
+        });
+        f.ret(Some(Operand::Reg(acc)));
+        m.add_function(f.finish());
+
+        verify_module(&m).expect("well-formed module");
+        // entry + header + body + exit blocks
+        assert_eq!(m.functions[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn nested_loops_and_branches_verify() {
+        let mut m = Module::new("nested");
+        let g = m.add_global(Global::zeroed("g", Type::I64, 16));
+        let mut f = FunctionBuilder::new("main", &[], None);
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, i| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, j| {
+                let idx = f.lin2(Operand::Reg(i), Operand::Reg(j), 4);
+                let c = f.cmp(CmpPred::Eq, Operand::Reg(i), Operand::Reg(j));
+                f.if_then_else(
+                    Operand::Reg(c),
+                    |f| f.store_elem(Type::I64, g, Operand::Reg(idx), Operand::const_i64(1)),
+                    |f| f.store_elem(Type::I64, g, Operand::Reg(idx), Operand::const_i64(0)),
+                );
+            });
+        });
+        f.ret(None);
+        m.add_function(f.finish());
+        verify_module(&m).expect("well-formed module");
+    }
+
+    #[test]
+    fn param_registers_are_allocated_first() {
+        let f = FunctionBuilder::new("f", &[Type::I64, Type::F64], None);
+        assert_eq!(f.param(0), RegId(0));
+        assert_eq!(f.param(1), RegId(1));
+    }
+
+    #[test]
+    fn finish_adds_missing_return() {
+        let f = FunctionBuilder::new("f", &[], None);
+        let func = f.finish();
+        assert!(matches!(
+            func.blocks[0].term,
+            Terminator::Ret { value: None }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a terminator")]
+    fn pushing_after_terminator_panics() {
+        let mut f = FunctionBuilder::new("f", &[], None);
+        f.ret(None);
+        f.mov(RegId(0), Operand::const_i64(0));
+    }
+
+    #[test]
+    fn lin3_and_lin4_compute_row_major_indices() {
+        let mut m = Module::new("idx");
+        let g = m.add_global(Global::zeroed("g", Type::I64, 1000));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::I64));
+        let idx = f.lin3(
+            Operand::const_i64(1),
+            Operand::const_i64(2),
+            Operand::const_i64(3),
+            5,
+            7,
+        );
+        let idx4 = f.lin4(
+            Operand::const_i64(1),
+            Operand::const_i64(1),
+            Operand::const_i64(1),
+            Operand::const_i64(1),
+            2,
+            3,
+            4,
+        );
+        let total = f.add(Operand::Reg(idx), Operand::Reg(idx4));
+        f.store_elem(Type::I64, g, Operand::const_i64(0), Operand::Reg(total));
+        f.ret(Some(Operand::Reg(total)));
+        m.add_function(f.finish());
+        verify_module(&m).expect("well-formed");
+        // (1*5+2)*7+3 = 52 ; ((1*2+1)*3+1)*4+1 = 41 — checked dynamically in
+        // the VM tests; here we only assert the structure exists.
+        assert!(m.functions[0].num_insts() >= 10);
+    }
+}

@@ -1,0 +1,515 @@
+//! Instruction set of the MOARD IR.
+//!
+//! Every instruction corresponds to one "operation" in the sense of the MOARD
+//! paper (§III-A): "arithmetic computation, assignment, logical and comparison
+//! instructions or an invocation of an algorithm implementation".  The dynamic
+//! trace emitted by `moard-vm` contains one record per executed instruction.
+
+use crate::module::{BlockId, FuncId, GlobalId, RegId};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// Binary arithmetic / bitwise operations, mirroring LLVM's binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    // Integer arithmetic.
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    // Floating-point arithmetic.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FRem,
+    // Shifts.
+    Shl,
+    LShr,
+    AShr,
+    // Bitwise logic.
+    And,
+    Or,
+    Xor,
+}
+
+impl BinOp {
+    /// True for the floating-point operations.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FRem
+        )
+    }
+
+    /// True for shift operations (`shl`, `lshr`, `ashr`), which the paper's
+    /// operation-level analysis groups with value overwriting because they
+    /// can discard corrupted bits.
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::LShr | BinOp::AShr)
+    }
+
+    /// True for bitwise logic operations (`and`, `or`, `xor`).
+    pub fn is_bitwise_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// True for the additive floating-point operations subject to
+    /// value-overshadowing analysis (paper §III-C(3)).
+    pub fn is_additive_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub)
+    }
+
+    /// Mnemonic used by the pretty printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::FRem => "frem",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        }
+    }
+}
+
+/// Comparison predicates (integer and ordered floating-point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    FOeq,
+    FOne,
+    FOlt,
+    FOle,
+    FOgt,
+    FOge,
+}
+
+impl CmpPred {
+    /// Mnemonic used by the pretty printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "icmp eq",
+            CmpPred::Ne => "icmp ne",
+            CmpPred::Slt => "icmp slt",
+            CmpPred::Sle => "icmp sle",
+            CmpPred::Sgt => "icmp sgt",
+            CmpPred::Sge => "icmp sge",
+            CmpPred::Ult => "icmp ult",
+            CmpPred::Ule => "icmp ule",
+            CmpPred::Ugt => "icmp ugt",
+            CmpPred::Uge => "icmp uge",
+            CmpPred::FOeq => "fcmp oeq",
+            CmpPred::FOne => "fcmp one",
+            CmpPred::FOlt => "fcmp olt",
+            CmpPred::FOle => "fcmp ole",
+            CmpPred::FOgt => "fcmp ogt",
+            CmpPred::FOge => "fcmp oge",
+        }
+    }
+
+    /// True for the floating-point predicates.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            CmpPred::FOeq | CmpPred::FOne | CmpPred::FOlt | CmpPred::FOle | CmpPred::FOgt | CmpPred::FOge
+        )
+    }
+}
+
+/// Value conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Integer truncation (discards high bits — an error-masking operation).
+    Trunc,
+    ZExt,
+    SExt,
+    FPTrunc,
+    FPExt,
+    FPToSI,
+    SIToFP,
+    BitCast,
+    PtrToInt,
+    IntToPtr,
+}
+
+impl CastKind {
+    /// Mnemonic used by the pretty printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastKind::Trunc => "trunc",
+            CastKind::ZExt => "zext",
+            CastKind::SExt => "sext",
+            CastKind::FPTrunc => "fptrunc",
+            CastKind::FPExt => "fpext",
+            CastKind::FPToSI => "fptosi",
+            CastKind::SIToFP => "sitofp",
+            CastKind::BitCast => "bitcast",
+            CastKind::PtrToInt => "ptrtoint",
+            CastKind::IntToPtr => "inttoptr",
+        }
+    }
+}
+
+/// Math intrinsics provided by the VM (the analogue of `libm` calls in the
+/// LLVM traces the original MOARD analyzes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sqrt,
+    Fabs,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Pow,
+    Floor,
+    Ceil,
+    FMin,
+    FMax,
+    SMin,
+    SMax,
+}
+
+impl Intrinsic {
+    /// Mnemonic used by the pretty printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Pow => "pow",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Ceil => "ceil",
+            Intrinsic::FMin => "fmin",
+            Intrinsic::FMax => "fmax",
+            Intrinsic::SMin => "smin",
+            Intrinsic::SMax => "smax",
+        }
+    }
+}
+
+/// An instruction operand: a constant, a virtual register, or the base
+/// address of a global data object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Immediate constant value.
+    Const(Value),
+    /// Virtual register of the current function frame.
+    Reg(RegId),
+    /// Base address of a global data object (resolved by the VM at load
+    /// time); evaluates to a `Ptr`.
+    Global(GlobalId),
+}
+
+impl Operand {
+    /// Convenience constructor for a 64-bit integer constant.
+    pub fn const_i64(v: i64) -> Operand {
+        Operand::Const(Value::I64(v))
+    }
+
+    /// Convenience constructor for a 32-bit integer constant.
+    pub fn const_i32(v: i32) -> Operand {
+        Operand::Const(Value::I32(v))
+    }
+
+    /// Convenience constructor for a double constant.
+    pub fn const_f64(v: f64) -> Operand {
+        Operand::Const(Value::F64(v))
+    }
+
+    /// Convenience constructor for a boolean constant.
+    pub fn const_bool(v: bool) -> Operand {
+        Operand::Const(Value::I1(v))
+    }
+
+    /// The register referenced, if any.
+    pub fn as_reg(&self) -> Option<RegId> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegId> for Operand {
+    fn from(r: RegId) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "{v}"),
+            Operand::Reg(r) => write!(f, "%{}", r.0),
+            Operand::Global(g) => write!(f, "@g{}", g.0),
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = op ty lhs, rhs`
+    Bin {
+        op: BinOp,
+        ty: Type,
+        lhs: Operand,
+        rhs: Operand,
+        dst: RegId,
+    },
+    /// `dst = cmp pred lhs, rhs` (result is `I1`)
+    Cmp {
+        pred: CmpPred,
+        lhs: Operand,
+        rhs: Operand,
+        dst: RegId,
+    },
+    /// `dst = cast kind src to ty`
+    Cast {
+        kind: CastKind,
+        to: Type,
+        src: Operand,
+        dst: RegId,
+    },
+    /// `dst = load ty, addr`
+    Load {
+        ty: Type,
+        addr: Operand,
+        dst: RegId,
+    },
+    /// `store ty value, addr`
+    Store {
+        ty: Type,
+        value: Operand,
+        addr: Operand,
+    },
+    /// `dst = base + index * elem_size` — element address computation
+    /// (the IR's `getelementptr`).
+    Gep {
+        base: Operand,
+        index: Operand,
+        elem_size: u64,
+        dst: RegId,
+    },
+    /// `dst = cond ? then_v : else_v`
+    Select {
+        cond: Operand,
+        then_v: Operand,
+        else_v: Operand,
+        dst: RegId,
+    },
+    /// Direct call of another function in the module.
+    Call {
+        func: FuncId,
+        args: Vec<Operand>,
+        dst: Option<RegId>,
+    },
+    /// Math intrinsic invocation.
+    CallIntrinsic {
+        intr: Intrinsic,
+        args: Vec<Operand>,
+        dst: RegId,
+    },
+    /// Register copy / constant materialization (`dst = src`).  This is the
+    /// IR-level "assignment operation" of the paper's examples.
+    Mov { src: Operand, dst: RegId },
+}
+
+impl Inst {
+    /// Destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<RegId> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Gep { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::CallIntrinsic { dst, .. }
+            | Inst::Mov { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// All operands read by this instruction, in a stable order.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Inst::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Cast { src, .. } => vec![*src],
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { value, addr, .. } => vec![*value, *addr],
+            Inst::Gep { base, index, .. } => vec![*base, *index],
+            Inst::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => vec![*cond, *then_v, *else_v],
+            Inst::Call { args, .. } => args.clone(),
+            Inst::CallIntrinsic { args, .. } => args.clone(),
+            Inst::Mov { src, .. } => vec![*src],
+        }
+    }
+
+    /// Short mnemonic for diagnostics and the pretty printer.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Bin { op, .. } => op.mnemonic(),
+            Inst::Cmp { .. } => "cmp",
+            Inst::Cast { kind, .. } => kind.mnemonic(),
+            Inst::Load { .. } => "load",
+            Inst::Store { .. } => "store",
+            Inst::Gep { .. } => "gep",
+            Inst::Select { .. } => "select",
+            Inst::Call { .. } => "call",
+            Inst::CallIntrinsic { .. } => "call.intr",
+            Inst::Mov { .. } => "mov",
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br { target: BlockId },
+    /// Conditional branch on an `I1` operand.
+    CondBr {
+        cond: Operand,
+        then_b: BlockId,
+        else_b: BlockId,
+    },
+    /// Return from the current function.
+    Ret { value: Option<Operand> },
+    /// Multi-way branch on an integer operand.
+    Switch {
+        value: Operand,
+        cases: Vec<(i64, BlockId)>,
+        default: BlockId,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { then_b, else_b, .. } => vec![*then_b, *else_b],
+            Terminator::Ret { .. } => vec![],
+            Terminator::Switch { cases, default, .. } => {
+                let mut out: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
+                out.push(*default);
+                out
+            }
+        }
+    }
+
+    /// Operands read by this terminator.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Terminator::Br { .. } => vec![],
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret { value } => value.iter().copied().collect(),
+            Terminator::Switch { value, .. } => vec![*value],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::FAdd.is_float());
+        assert!(BinOp::FAdd.is_additive_float());
+        assert!(!BinOp::FMul.is_additive_float());
+        assert!(BinOp::Shl.is_shift());
+        assert!(BinOp::And.is_bitwise_logic());
+        assert!(!BinOp::Add.is_float());
+    }
+
+    #[test]
+    fn inst_dst_and_operands() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I64,
+            lhs: Operand::const_i64(1),
+            rhs: Operand::Reg(RegId(3)),
+            dst: RegId(4),
+        };
+        assert_eq!(i.dst(), Some(RegId(4)));
+        assert_eq!(i.operands().len(), 2);
+
+        let s = Inst::Store {
+            ty: Type::F64,
+            value: Operand::const_f64(1.0),
+            addr: Operand::Reg(RegId(0)),
+        };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.operands().len(), 2);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Operand::const_bool(true),
+            then_b: BlockId(1),
+            else_b: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        let sw = Terminator::Switch {
+            value: Operand::const_i64(0),
+            cases: vec![(0, BlockId(3)), (1, BlockId(4))],
+            default: BlockId(5),
+        };
+        assert_eq!(sw.successors(), vec![BlockId(3), BlockId(4), BlockId(5)]);
+        assert!(Terminator::Ret { value: None }.successors().is_empty());
+    }
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(Operand::const_i64(5), Operand::Const(Value::I64(5)));
+        assert_eq!(Operand::Reg(RegId(2)).as_reg(), Some(RegId(2)));
+        assert_eq!(Operand::const_f64(0.0).as_reg(), None);
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty() {
+        assert_eq!(BinOp::FAdd.mnemonic(), "fadd");
+        assert_eq!(CastKind::Trunc.mnemonic(), "trunc");
+        assert_eq!(Intrinsic::Sqrt.mnemonic(), "sqrt");
+        assert!(CmpPred::FOlt.mnemonic().starts_with("fcmp"));
+    }
+}

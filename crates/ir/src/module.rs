@@ -1,0 +1,356 @@
+//! Module, function, block, and global ("data object") definitions.
+
+use crate::inst::{Inst, Terminator};
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Identifier of a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a virtual register within a function frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// Identifier of a global data object within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Initializer for a global data object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// All elements are zero of the element type.
+    Zero,
+    /// Explicit per-element values; must have exactly `count` entries.
+    Values(Vec<Value>),
+}
+
+/// A global array: the IR-level representation of a *data object* in the
+/// sense of the MOARD paper — a named, contiguous range of memory whose
+/// resilience to transient faults we want to quantify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Human-readable name (e.g. `"colidx"`, `"sum"`, `"m_delv_zeta"`).
+    pub name: String,
+    /// Element type.
+    pub elem_ty: Type,
+    /// Number of elements.
+    pub count: u64,
+    /// Initial contents.
+    pub init: GlobalInit,
+}
+
+impl Global {
+    /// A zero-initialized global array.
+    pub fn zeroed(name: impl Into<String>, elem_ty: Type, count: u64) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty,
+            count,
+            init: GlobalInit::Zero,
+        }
+    }
+
+    /// A global initialized from explicit f64 values.
+    pub fn from_f64(name: impl Into<String>, values: &[f64]) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty: Type::F64,
+            count: values.len() as u64,
+            init: GlobalInit::Values(values.iter().map(|&v| Value::F64(v)).collect()),
+        }
+    }
+
+    /// A global initialized from explicit i64 values.
+    pub fn from_i64(name: impl Into<String>, values: &[i64]) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty: Type::I64,
+            count: values.len() as u64,
+            init: GlobalInit::Values(values.iter().map(|&v| Value::I64(v)).collect()),
+        }
+    }
+
+    /// A global initialized from explicit i32 values.
+    pub fn from_i32(name: impl Into<String>, values: &[i32]) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty: Type::I32,
+            count: values.len() as u64,
+            init: GlobalInit::Values(values.iter().map(|&v| Value::I32(v)).collect()),
+        }
+    }
+
+    /// Total byte size occupied by this global.
+    pub fn byte_size(&self) -> u64 {
+        self.count * self.elem_ty.byte_size()
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ended by a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Optional label for diagnostics.
+    pub name: String,
+    /// Instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// Control-flow terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block falling through to `Ret` (placeholder used by the
+    /// builder before the real terminator is attached).
+    pub fn placeholder(name: impl Into<String>) -> Block {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Ret { value: None },
+        }
+    }
+}
+
+/// A function: parameters, registers, and a CFG of basic blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name, unique within the module.
+    pub name: String,
+    /// Parameter registers and their types (the VM copies the call arguments
+    /// into these registers on entry).
+    pub params: Vec<(RegId, Type)>,
+    /// Return type, if the function returns a value.
+    pub ret_ty: Option<Type>,
+    /// Basic blocks; block 0 is the entry block.
+    pub blocks: Vec<Block>,
+    /// Declared type of each virtual register (indexed by `RegId`).
+    pub reg_types: Vec<Type>,
+}
+
+impl Function {
+    /// Number of virtual registers in the frame.
+    pub fn num_regs(&self) -> usize {
+        self.reg_types.len()
+    }
+
+    /// Total static instruction count (excluding terminators).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Look up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+}
+
+/// A complete IR program: globals (data objects) plus functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Module name, used in diagnostics and reports.
+    pub name: String,
+    /// Global data objects.
+    pub globals: Vec<Global>,
+    /// Functions; execution starts at the function named by `entry`.
+    pub functions: Vec<Function>,
+    /// Name of the entry function (defaults to `"main"`).
+    pub entry: String,
+    name_to_func: HashMap<String, FuncId>,
+    name_to_global: HashMap<String, GlobalId>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            functions: Vec::new(),
+            entry: "main".to_string(),
+            name_to_func: HashMap::new(),
+            name_to_global: HashMap::new(),
+        }
+    }
+
+    /// Add a global data object, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a global with the same name already exists.
+    pub fn add_global(&mut self, global: Global) -> GlobalId {
+        assert!(
+            !self.name_to_global.contains_key(&global.name),
+            "duplicate global {}",
+            global.name
+        );
+        let id = GlobalId(self.globals.len() as u32);
+        self.name_to_global.insert(global.name.clone(), id);
+        self.globals.push(global);
+        id
+    }
+
+    /// Add a function, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, function: Function) -> FuncId {
+        assert!(
+            !self.name_to_func.contains_key(&function.name),
+            "duplicate function {}",
+            function.name
+        );
+        let id = FuncId(self.functions.len() as u32);
+        self.name_to_func.insert(function.name.clone(), id);
+        self.functions.push(function);
+        id
+    }
+
+    /// Declare (reserve) a function id before its body exists, so that
+    /// mutually recursive or forward calls can be built.  The body must later
+    /// be provided with [`Module::define_function`].
+    pub fn declare_function(&mut self, name: impl Into<String>) -> FuncId {
+        let name = name.into();
+        assert!(
+            !self.name_to_func.contains_key(&name),
+            "duplicate function {name}"
+        );
+        let id = FuncId(self.functions.len() as u32);
+        self.name_to_func.insert(name.clone(), id);
+        self.functions.push(Function {
+            name,
+            params: Vec::new(),
+            ret_ty: None,
+            blocks: Vec::new(),
+            reg_types: Vec::new(),
+        });
+        id
+    }
+
+    /// Fill in the body of a function previously declared with
+    /// [`Module::declare_function`].
+    ///
+    /// # Panics
+    /// Panics if the declared name and the body's name differ.
+    pub fn define_function(&mut self, id: FuncId, function: Function) {
+        assert_eq!(
+            self.functions[id.0 as usize].name, function.name,
+            "declared and defined function names must match"
+        );
+        self.functions[id.0 as usize] = function;
+    }
+
+    /// Look up a function by name.
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.name_to_func.get(name).copied()
+    }
+
+    /// Look up a global by name.
+    pub fn global_id(&self, name: &str) -> Option<GlobalId> {
+        self.name_to_global.get(name).copied()
+    }
+
+    /// The function record for an id.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// The global record for an id.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Id of the entry function.
+    ///
+    /// # Panics
+    /// Panics if the entry function does not exist.
+    pub fn entry_id(&self) -> FuncId {
+        self.function_id(&self.entry)
+            .unwrap_or_else(|| panic!("entry function `{}` not found", self.entry))
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand;
+
+    fn trivial_function(name: &str) -> Function {
+        Function {
+            name: name.to_string(),
+            params: vec![],
+            ret_ty: Some(Type::I64),
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: vec![],
+                term: Terminator::Ret {
+                    value: Some(Operand::const_i64(0)),
+                },
+            }],
+            reg_types: vec![],
+        }
+    }
+
+    #[test]
+    fn add_and_lookup_globals() {
+        let mut m = Module::new("t");
+        let a = m.add_global(Global::zeroed("a", Type::F64, 10));
+        let b = m.add_global(Global::from_i64("b", &[1, 2, 3]));
+        assert_eq!(m.global_id("a"), Some(a));
+        assert_eq!(m.global_id("b"), Some(b));
+        assert_eq!(m.global(a).byte_size(), 80);
+        assert_eq!(m.global(b).count, 3);
+        assert_eq!(m.global_id("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate global")]
+    fn duplicate_global_panics() {
+        let mut m = Module::new("t");
+        m.add_global(Global::zeroed("a", Type::F64, 1));
+        m.add_global(Global::zeroed("a", Type::F64, 1));
+    }
+
+    #[test]
+    fn add_and_lookup_functions() {
+        let mut m = Module::new("t");
+        let f = m.add_function(trivial_function("main"));
+        assert_eq!(m.function_id("main"), Some(f));
+        assert_eq!(m.entry_id(), f);
+        assert_eq!(m.num_insts(), 0);
+    }
+
+    #[test]
+    fn declare_then_define() {
+        let mut m = Module::new("t");
+        let helper = m.declare_function("helper");
+        m.add_function(trivial_function("main"));
+        m.define_function(helper, trivial_function("helper"));
+        assert_eq!(m.function_id("helper"), Some(helper));
+        assert_eq!(m.function(helper).blocks.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function")]
+    fn missing_entry_panics() {
+        let m = Module::new("t");
+        m.entry_id();
+    }
+
+    #[test]
+    fn global_constructors() {
+        let g = Global::from_f64("x", &[1.0, 2.0]);
+        assert_eq!(g.elem_ty, Type::F64);
+        assert_eq!(g.count, 2);
+        let g = Global::from_i32("y", &[7]);
+        assert_eq!(g.elem_ty, Type::I32);
+        assert_eq!(g.byte_size(), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Textual rendering of modules, functions and instructions.
+//!
+//! The format loosely follows LLVM's assembly syntax so that anyone familiar
+//! with the original MOARD's trace files can read dumps of our IR directly.
+
+use crate::inst::{Inst, Operand, Terminator};
+use crate::module::{Function, Module};
+use std::fmt::Write;
+
+/// Render a single instruction.
+pub fn format_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Bin {
+            op, ty, lhs, rhs, dst,
+        } => format!("%{} = {} {} {}, {}", dst.0, op.mnemonic(), ty, lhs, rhs),
+        Inst::Cmp {
+            pred, lhs, rhs, dst,
+        } => format!("%{} = {} {}, {}", dst.0, pred.mnemonic(), lhs, rhs),
+        Inst::Cast { kind, to, src, dst } => {
+            format!("%{} = {} {} to {}", dst.0, kind.mnemonic(), src, to)
+        }
+        Inst::Load { ty, addr, dst } => format!("%{} = load {}, {}", dst.0, ty, addr),
+        Inst::Store { ty, value, addr } => format!("store {} {}, {}", ty, value, addr),
+        Inst::Gep {
+            base,
+            index,
+            elem_size,
+            dst,
+        } => format!("%{} = gep {}, {} x{}", dst.0, base, index, elem_size),
+        Inst::Select {
+            cond,
+            then_v,
+            else_v,
+            dst,
+        } => format!("%{} = select {}, {}, {}", dst.0, cond, then_v, else_v),
+        Inst::Call { func, args, dst } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("%{} = call @f{}({})", d.0, func.0, args.join(", ")),
+                None => format!("call @f{}({})", func.0, args.join(", ")),
+            }
+        }
+        Inst::CallIntrinsic { intr, args, dst } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("%{} = {}({})", dst.0, intr.mnemonic(), args.join(", "))
+        }
+        Inst::Mov { src, dst } => format!("%{} = mov {}", dst.0, src),
+    }
+}
+
+/// Render a terminator.
+pub fn format_terminator(term: &Terminator) -> String {
+    match term {
+        Terminator::Br { target } => format!("br bb{}", target.0),
+        Terminator::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => format!("br {}, bb{}, bb{}", cond, then_b.0, else_b.0),
+        Terminator::Ret { value: Some(v) } => format!("ret {v}"),
+        Terminator::Ret { value: None } => "ret void".to_string(),
+        Terminator::Switch {
+            value,
+            cases,
+            default,
+        } => {
+            let mut s = format!("switch {value} [");
+            for (v, b) in cases {
+                let _ = write!(s, " {v} -> bb{},", b.0);
+            }
+            let _ = write!(s, " default -> bb{} ]", default.0);
+            s
+        }
+    }
+}
+
+/// Render a function.
+pub fn format_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|(r, t)| format!("{t} %{}", r.0))
+        .collect();
+    let ret = func
+        .ret_ty
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
+    let _ = writeln!(out, "define {} @{}({}) {{", ret, func.name, params.join(", "));
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{}:  ; {}", bi, block.name);
+        for inst in &block.insts {
+            let _ = writeln!(out, "  {}", format_inst(inst));
+        }
+        let _ = writeln!(out, "  {}", format_terminator(&block.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module (globals plus functions).
+pub fn format_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", module.name);
+    for (gi, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "@g{} = global [{} x {}] ; {}",
+            gi, g.count, g.elem_ty, g.name
+        );
+    }
+    for func in &module.functions {
+        out.push('\n');
+        out.push_str(&format_function(func));
+    }
+    out
+}
+
+/// Short operand description used in trace dumps.
+pub fn format_operand(op: &Operand) -> String {
+    op.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::{Global, Module};
+    use crate::prelude::*;
+
+    #[test]
+    fn module_dump_contains_all_parts() {
+        let mut m = Module::new("dump");
+        let g = m.add_global(Global::zeroed("data", Type::F64, 3));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        let v = f.load_elem(Type::F64, g, Operand::const_i64(1));
+        let s = f.fadd(Operand::Reg(v), Operand::const_f64(2.0));
+        f.store_elem(Type::F64, g, Operand::const_i64(1), Operand::Reg(s));
+        f.ret(Some(Operand::Reg(s)));
+        m.add_function(f.finish());
+
+        let text = format_module(&m);
+        assert!(text.contains("; module dump"));
+        assert!(text.contains("@g0 = global [3 x f64] ; data"));
+        assert!(text.contains("define f64 @main()"));
+        assert!(text.contains("fadd"));
+        assert!(text.contains("store"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn terminator_rendering() {
+        let t = Terminator::Switch {
+            value: Operand::const_i64(2),
+            cases: vec![(1, BlockId(1)), (2, BlockId(2))],
+            default: BlockId(3),
+        };
+        let s = format_terminator(&t);
+        assert!(s.contains("switch"));
+        assert!(s.contains("default -> bb3"));
+    }
+
+    #[test]
+    fn inst_rendering_round_trip_smoke() {
+        let i = Inst::Gep {
+            base: Operand::Global(GlobalId(0)),
+            index: Operand::const_i64(4),
+            elem_size: 8,
+            dst: RegId(7),
+        };
+        assert_eq!(format_inst(&i), "%7 = gep @g0, i64 4 x8");
+    }
+}

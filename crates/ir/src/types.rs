@@ -1,0 +1,155 @@
+//! Scalar types of the MOARD IR.
+//!
+//! The IR is deliberately restricted to scalar types: aggregate data lives in
+//! memory (globals or VM allocations) and is accessed element-wise through
+//! `Load`/`Store`/`Gep`, exactly as the dynamic LLVM IR traces analyzed by the
+//! original MOARD tool expose it.
+
+use std::fmt;
+
+/// A scalar IR type.
+///
+/// `I1` is the boolean type produced by comparisons and consumed by
+/// conditional branches and selects.  `Ptr` is an opaque 64-bit address into
+/// the VM's flat memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 1-bit boolean.
+    I1,
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 64-bit pointer into VM memory.
+    Ptr,
+}
+
+impl Type {
+    /// Width of a value of this type in bits, as visible to fault injection.
+    ///
+    /// This is the number of distinct single-bit error patterns the aDVF
+    /// analysis enumerates for a value of this type.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 8,
+            Type::I16 => 16,
+            Type::I32 => 32,
+            Type::I64 => 64,
+            Type::F32 => 32,
+            Type::F64 => 64,
+            Type::Ptr => 64,
+        }
+    }
+
+    /// Size in bytes that a value of this type occupies in VM memory.
+    pub fn byte_size(self) -> u64 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 => 8,
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::Ptr => 8,
+        }
+    }
+
+    /// Natural alignment in bytes (equal to the byte size for every scalar).
+    pub fn alignment(self) -> u64 {
+        self.byte_size()
+    }
+
+    /// True for the integer family (including `I1` and `Ptr`).
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::Ptr
+        )
+    }
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// All scalar types, useful for exhaustive tests.
+    pub fn all() -> [Type; 8] {
+        [
+            Type::I1,
+            Type::I8,
+            Type::I16,
+            Type::I32,
+            Type::I64,
+            Type::F32,
+            Type::F64,
+            Type::Ptr,
+        ]
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_width_matches_byte_size() {
+        for ty in Type::all() {
+            if ty == Type::I1 {
+                // i1 occupies a whole byte in memory but exposes 1 bit.
+                assert_eq!(ty.bit_width(), 1);
+                assert_eq!(ty.byte_size(), 1);
+            } else {
+                assert_eq!(ty.bit_width() as u64, ty.byte_size() * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_partition() {
+        for ty in Type::all() {
+            assert!(ty.is_integer() ^ ty.is_float(), "{ty} must be exactly one");
+        }
+    }
+
+    #[test]
+    fn display_round_trip_is_stable() {
+        let names: Vec<String> = Type::all().iter().map(|t| t.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["i1", "i8", "i16", "i32", "i64", "f32", "f64", "ptr"]
+        );
+    }
+
+    #[test]
+    fn alignment_equals_size() {
+        for ty in Type::all() {
+            assert_eq!(ty.alignment(), ty.byte_size());
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Static well-formedness checks for modules.
+//!
+//! The verifier catches builder mistakes early (before a workload is traced
+//! and analyzed) with errors that point at the offending function, block and
+//! instruction.  It checks reference validity (registers, blocks, globals,
+//! functions) and local type consistency.
+
+use crate::inst::{BinOp, Inst, Operand, Terminator};
+use crate::module::{BlockId, Function, Module};
+use crate::types::Type;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub function: String,
+    /// Block index within the function.
+    pub block: usize,
+    /// Instruction index within the block (`None` for terminator problems).
+    pub inst: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Some(i) => write!(
+                f,
+                "verify error in {}, block {}, inst {}: {}",
+                self.function, self.block, i, self.message
+            ),
+            None => write!(
+                f,
+                "verify error in {}, block {} terminator: {}",
+                self.function, self.block, self.message
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'m> {
+    module: &'m Module,
+    func: &'m Function,
+    errors: Vec<VerifyError>,
+    block: usize,
+    inst: Option<usize>,
+}
+
+impl<'m> Checker<'m> {
+    fn error(&mut self, message: impl Into<String>) {
+        self.errors.push(VerifyError {
+            function: self.func.name.clone(),
+            block: self.block,
+            inst: self.inst,
+            message: message.into(),
+        });
+    }
+
+    fn operand_type(&mut self, op: &Operand) -> Option<Type> {
+        match op {
+            Operand::Const(v) => Some(v.ty()),
+            Operand::Reg(r) => {
+                if (r.0 as usize) < self.func.reg_types.len() {
+                    Some(self.func.reg_types[r.0 as usize])
+                } else {
+                    self.error(format!("register %{} out of range", r.0));
+                    None
+                }
+            }
+            Operand::Global(g) => {
+                if (g.0 as usize) < self.module.globals.len() {
+                    Some(Type::Ptr)
+                } else {
+                    self.error(format!("global @g{} out of range", g.0));
+                    None
+                }
+            }
+        }
+    }
+
+    fn expect_type(&mut self, what: &str, op: &Operand, expected: Type) {
+        if let Some(got) = self.operand_type(op) {
+            if got != expected {
+                self.error(format!("{what} has type {got}, expected {expected}"));
+            }
+        }
+    }
+
+    fn expect_dst(&mut self, dst: crate::module::RegId, expected: Type) {
+        if (dst.0 as usize) >= self.func.reg_types.len() {
+            self.error(format!("destination register %{} out of range", dst.0));
+            return;
+        }
+        let got = self.func.reg_types[dst.0 as usize];
+        if got != expected {
+            self.error(format!(
+                "destination %{} has type {got}, expected {expected}",
+                dst.0
+            ));
+        }
+    }
+
+    fn expect_block(&mut self, b: BlockId) {
+        if (b.0 as usize) >= self.func.blocks.len() {
+            self.error(format!("branch target block {} out of range", b.0));
+        }
+    }
+
+    fn check_inst(&mut self, inst: &Inst) {
+        match inst {
+            Inst::Bin {
+                op, ty, lhs, rhs, dst,
+            } => {
+                if op.is_float() && !ty.is_float() {
+                    self.error(format!("float op {} with integer type {ty}", op.mnemonic()));
+                }
+                if !op.is_float() && ty.is_float() {
+                    self.error(format!(
+                        "integer op {} with float type {ty}",
+                        op.mnemonic()
+                    ));
+                }
+                // Shift amounts may be any integer type; everything else must
+                // match the operation type exactly.
+                self.expect_type("lhs", lhs, *ty);
+                if matches!(op, BinOp::Shl | BinOp::LShr | BinOp::AShr) {
+                    if let Some(t) = self.operand_type(rhs) {
+                        if !t.is_integer() {
+                            self.error(format!("shift amount has non-integer type {t}"));
+                        }
+                    }
+                } else {
+                    self.expect_type("rhs", rhs, *ty);
+                }
+                self.expect_dst(*dst, *ty);
+            }
+            Inst::Cmp {
+                pred, lhs, rhs, dst,
+            } => {
+                let lt = self.operand_type(lhs);
+                let rt = self.operand_type(rhs);
+                if let (Some(a), Some(b)) = (lt, rt) {
+                    if a != b {
+                        self.error(format!("comparison operands have types {a} and {b}"));
+                    }
+                    if pred.is_float() && !a.is_float() {
+                        self.error("float comparison on integer operands".to_string());
+                    }
+                    if !pred.is_float() && a.is_float() {
+                        self.error("integer comparison on float operands".to_string());
+                    }
+                }
+                self.expect_dst(*dst, Type::I1);
+            }
+            Inst::Cast { to, src, dst, .. } => {
+                let _ = self.operand_type(src);
+                self.expect_dst(*dst, *to);
+            }
+            Inst::Load { ty, addr, dst } => {
+                self.expect_type("load address", addr, Type::Ptr);
+                self.expect_dst(*dst, *ty);
+            }
+            Inst::Store { ty, value, addr } => {
+                self.expect_type("store value", value, *ty);
+                self.expect_type("store address", addr, Type::Ptr);
+            }
+            Inst::Gep {
+                base,
+                index,
+                elem_size,
+                dst,
+            } => {
+                self.expect_type("gep base", base, Type::Ptr);
+                if let Some(t) = self.operand_type(index) {
+                    if !t.is_integer() {
+                        self.error(format!("gep index has non-integer type {t}"));
+                    }
+                }
+                if *elem_size == 0 {
+                    self.error("gep element size is zero".to_string());
+                }
+                self.expect_dst(*dst, Type::Ptr);
+            }
+            Inst::Select {
+                cond,
+                then_v,
+                else_v,
+                dst,
+            } => {
+                self.expect_type("select condition", cond, Type::I1);
+                let tt = self.operand_type(then_v);
+                let et = self.operand_type(else_v);
+                if let (Some(a), Some(b)) = (tt, et) {
+                    if a != b {
+                        self.error(format!("select arms have types {a} and {b}"));
+                    } else {
+                        self.expect_dst(*dst, a);
+                    }
+                }
+            }
+            Inst::Call { func, args, dst } => {
+                if (func.0 as usize) >= self.module.functions.len() {
+                    self.error(format!("call target function {} out of range", func.0));
+                    return;
+                }
+                let callee = &self.module.functions[func.0 as usize];
+                if callee.params.len() != args.len() {
+                    self.error(format!(
+                        "call to {} passes {} args, expected {}",
+                        callee.name,
+                        args.len(),
+                        callee.params.len()
+                    ));
+                }
+                let param_tys: Vec<Type> = callee.params.iter().map(|(_, t)| *t).collect();
+                for (i, (arg, want)) in args.iter().zip(param_tys.iter()).enumerate() {
+                    if let Some(got) = self.operand_type(arg) {
+                        if got != *want {
+                            self.error(format!(
+                                "call to {}: argument {i} has type {got}, expected {want}",
+                                callee.name
+                            ));
+                        }
+                    }
+                }
+                match (dst, callee.ret_ty) {
+                    (Some(d), Some(rt)) => self.expect_dst(*d, rt),
+                    (Some(_), None) => {
+                        self.error(format!("call to void function {} expects a value", callee.name))
+                    }
+                    _ => {}
+                }
+            }
+            Inst::CallIntrinsic { args, dst, .. } => {
+                for a in args {
+                    let _ = self.operand_type(a);
+                }
+                if (dst.0 as usize) >= self.func.reg_types.len() {
+                    self.error(format!("destination register %{} out of range", dst.0));
+                }
+            }
+            Inst::Mov { src, dst } => {
+                if let Some(t) = self.operand_type(src) {
+                    self.expect_dst(*dst, t);
+                }
+            }
+        }
+    }
+
+    fn check_terminator(&mut self, term: &Terminator) {
+        match term {
+            Terminator::Br { target } => self.expect_block(*target),
+            Terminator::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                self.expect_type("branch condition", cond, Type::I1);
+                self.expect_block(*then_b);
+                self.expect_block(*else_b);
+            }
+            Terminator::Ret { value } => match (value, self.func.ret_ty) {
+                (Some(v), Some(rt)) => self.expect_type("return value", v, rt),
+                (Some(_), None) => self.error("returning a value from a void function".to_string()),
+                (None, Some(_)) => {
+                    // Returning void from a value function is tolerated: the
+                    // VM substitutes a zero of the declared type.  Builders
+                    // use this for early exits.
+                }
+                (None, None) => {}
+            },
+            Terminator::Switch { value, cases, default } => {
+                if let Some(t) = self.operand_type(value) {
+                    if !t.is_integer() {
+                        self.error(format!("switch on non-integer type {t}"));
+                    }
+                }
+                for (_, b) in cases {
+                    self.expect_block(*b);
+                }
+                self.expect_block(*default);
+            }
+        }
+    }
+}
+
+/// Verify a single function against its containing module.
+pub fn verify_function(module: &Module, func: &Function) -> Vec<VerifyError> {
+    let mut checker = Checker {
+        module,
+        func,
+        errors: Vec::new(),
+        block: 0,
+        inst: None,
+    };
+    if func.blocks.is_empty() {
+        checker.error("function has no blocks");
+        return checker.errors;
+    }
+    for (bi, block) in func.blocks.iter().enumerate() {
+        checker.block = bi;
+        for (ii, inst) in block.insts.iter().enumerate() {
+            checker.inst = Some(ii);
+            checker.check_inst(inst);
+        }
+        checker.inst = None;
+        checker.check_terminator(&block.term);
+    }
+    checker.errors
+}
+
+/// Verify every function in the module, plus module-level invariants
+/// (entry function existence, unique names, non-empty globals).
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    if module.function_id(&module.entry).is_none() {
+        errors.push(VerifyError {
+            function: module.entry.clone(),
+            block: 0,
+            inst: None,
+            message: "entry function not found".to_string(),
+        });
+    }
+    for (gi, g) in module.globals.iter().enumerate() {
+        if g.count == 0 {
+            errors.push(VerifyError {
+                function: format!("@{}", g.name),
+                block: gi,
+                inst: None,
+                message: "global has zero elements".to_string(),
+            });
+        }
+        if let crate::module::GlobalInit::Values(vs) = &g.init {
+            if vs.len() as u64 != g.count {
+                errors.push(VerifyError {
+                    function: format!("@{}", g.name),
+                    block: gi,
+                    inst: None,
+                    message: format!(
+                        "initializer has {} values but global declares {} elements",
+                        vs.len(),
+                        g.count
+                    ),
+                });
+            }
+            for (i, v) in vs.iter().enumerate() {
+                if v.ty() != g.elem_ty {
+                    errors.push(VerifyError {
+                        function: format!("@{}", g.name),
+                        block: gi,
+                        inst: Some(i),
+                        message: format!(
+                            "initializer element {i} has type {} but global is {}",
+                            v.ty(),
+                            g.elem_ty
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    for func in &module.functions {
+        errors.extend(verify_function(module, func));
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Convenience: verify and panic with a readable message on failure.
+/// Intended for use in workload constructors and tests.
+pub fn assert_verified(module: &Module) {
+    if let Err(errors) = verify_module(module) {
+        let mut msg = format!("module `{}` failed verification:\n", module.name);
+        for e in &errors {
+            msg.push_str(&format!("  - {e}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Inst};
+    use crate::module::{Block, Global, GlobalInit, Module, RegId};
+    use crate::value::Value;
+
+    fn empty_main() -> Function {
+        FunctionBuilder::new("main", &[], None).finish()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = Module::new("ok");
+        m.add_global(Global::zeroed("g", Type::F64, 4));
+        m.add_function(empty_main());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn missing_entry_is_reported() {
+        let mut m = Module::new("bad");
+        m.entry = "not_there".to_string();
+        m.add_function(empty_main());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("entry function")));
+    }
+
+    #[test]
+    fn zero_length_global_is_reported() {
+        let mut m = Module::new("bad");
+        m.add_global(Global::zeroed("g", Type::F64, 0));
+        m.add_function(empty_main());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("zero elements")));
+    }
+
+    #[test]
+    fn initializer_length_mismatch_is_reported() {
+        let mut m = Module::new("bad");
+        m.add_global(Global {
+            name: "g".into(),
+            elem_ty: Type::F64,
+            count: 3,
+            init: GlobalInit::Values(vec![Value::F64(1.0)]),
+        });
+        m.add_function(empty_main());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("initializer has 1 values")));
+    }
+
+    #[test]
+    fn type_mismatch_in_binop_is_reported() {
+        let mut m = Module::new("bad");
+        let mut f = FunctionBuilder::new("main", &[], None);
+        // Manually push an ill-typed instruction: fadd on I64 operands.
+        let dst = f.alloc_reg(Type::I64);
+        f.push(Inst::Bin {
+            op: BinOp::FAdd,
+            ty: Type::I64,
+            lhs: crate::inst::Operand::const_i64(1),
+            rhs: crate::inst::Operand::const_i64(2),
+            dst,
+        });
+        f.ret(None);
+        m.add_function(f.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("float op fadd")));
+    }
+
+    #[test]
+    fn out_of_range_register_is_reported() {
+        let mut m = Module::new("bad");
+        let func = Function {
+            name: "main".into(),
+            params: vec![],
+            ret_ty: None,
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: vec![Inst::Mov {
+                    src: crate::inst::Operand::Reg(RegId(42)),
+                    dst: RegId(43),
+                }],
+                term: crate::inst::Terminator::Ret { value: None },
+            }],
+            reg_types: vec![],
+        };
+        m.add_function(func);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn bad_branch_target_is_reported() {
+        let mut m = Module::new("bad");
+        let func = Function {
+            name: "main".into(),
+            params: vec![],
+            ret_ty: None,
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: vec![],
+                term: crate::inst::Terminator::Br {
+                    target: crate::module::BlockId(9),
+                },
+            }],
+            reg_types: vec![],
+        };
+        m.add_function(func);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn call_arity_mismatch_is_reported() {
+        let mut m = Module::new("bad");
+        let callee = FunctionBuilder::new("callee", &[Type::I64], None).finish();
+        let callee_id = m.add_function(callee);
+        let mut f = FunctionBuilder::new("main", &[], None);
+        f.call(callee_id, &[], None);
+        f.ret(None);
+        m.add_function(f.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("passes 0 args")));
+    }
+
+    #[test]
+    fn assert_verified_panics_with_context() {
+        let mut m = Module::new("bad");
+        m.entry = "nope".into();
+        let result = std::panic::catch_unwind(|| assert_verified(&m));
+        assert!(result.is_err());
+    }
+}

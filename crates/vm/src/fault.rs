@@ -1,0 +1,93 @@
+//! Deterministic fault specification.
+//!
+//! A [`FaultSpec`] pin-points a single transient fault: *which* dynamic
+//! instruction, *which* consumed value (or memory element), and *which* bit.
+//! This is the deterministic fault injection of the paper (§III-D/E and §IV):
+//! unlike random fault injection it is exactly reproducible and is used to
+//! resolve error-masking questions the pure trace analysis cannot settle.
+
+use std::fmt;
+
+/// Which value of the targeted dynamic instruction the fault corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The `idx`-th consumed operand (same ordering as
+    /// [`crate::trace::TraceRecord::operands`]).  If the operand was read
+    /// from a register, the corrupted value is also written back to that
+    /// register so the corruption persists in architecturally visible state.
+    Operand(usize),
+    /// The value being loaded: the fault is applied to the *memory element*
+    /// just before the load executes.  This models "an error happens to the
+    /// data object element and is consumed by this operation".
+    LoadValue,
+    /// The memory element a store is about to overwrite: the fault is
+    /// applied to memory just before the store executes.  The paper counts
+    /// this as a participating element of the destination data object.
+    StoreDest,
+    /// The result produced by the instruction (corrupted after computation,
+    /// before being written to the destination register).
+    Result,
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Operand(i) => write!(f, "operand[{i}]"),
+            FaultTarget::LoadValue => write!(f, "load-value"),
+            FaultTarget::StoreDest => write!(f, "store-dest"),
+            FaultTarget::Result => write!(f, "result"),
+        }
+    }
+}
+
+/// A single-bit (or, via repeated application, multi-bit) transient fault at
+/// an exact dynamic location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Dynamic instruction id at which the fault strikes.
+    pub dyn_id: u64,
+    /// Which value of that instruction is corrupted.
+    pub target: FaultTarget,
+    /// Bit position to flip (0 = least significant).
+    pub bit: u32,
+}
+
+impl FaultSpec {
+    /// Convenience constructor.
+    pub fn new(dyn_id: u64, target: FaultTarget, bit: u32) -> Self {
+        FaultSpec {
+            dyn_id,
+            target,
+            bit,
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault@{} {} bit {}", self.dyn_id, self.target, self.bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let s = FaultSpec::new(42, FaultTarget::Operand(1), 63).to_string();
+        assert_eq!(s, "fault@42 operand[1] bit 63");
+        let s = FaultSpec::new(7, FaultTarget::LoadValue, 0).to_string();
+        assert!(s.contains("load-value"));
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(FaultSpec::new(1, FaultTarget::Result, 2));
+        set.insert(FaultSpec::new(1, FaultTarget::Result, 2));
+        set.insert(FaultSpec::new(1, FaultTarget::Result, 3));
+        assert_eq!(set.len(), 2);
+    }
+}

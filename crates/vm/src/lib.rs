@@ -1,0 +1,58 @@
+//! # moard-vm
+//!
+//! Tracing interpreter, data-object registry, and deterministic fault
+//! injector for the MOARD IR.
+//!
+//! This crate plays the role of two components of the original MOARD tool
+//! (Guo & Li, IPDPS 2019, Fig. 3):
+//!
+//! * the **application trace generator** — an execution engine that records
+//!   one [`trace::TraceRecord`] per dynamic operation, annotated with data
+//!   semantics: which data-object element each consumed value corresponds to
+//!   (the paper's register tracking + memory address range association), the
+//!   memory addresses touched, and whether a stored value depends on the
+//!   element it overwrites; and
+//! * the **deterministic fault injector** — the same engine re-executes the
+//!   program with a single-bit flip applied at an exact dynamic instruction
+//!   ([`fault::FaultSpec`]), producing an [`outcome::ExecOutcome`] that the
+//!   model compares against the golden run.
+//!
+//! ```
+//! use moard_ir::prelude::*;
+//! use moard_vm::{run_traced, run_with_fault, FaultSpec, FaultTarget};
+//!
+//! let mut m = Module::new("demo");
+//! let a = m.add_global(Global::from_f64("a", &[1.0, 2.0, 3.0]));
+//! let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+//! let x = f.load_elem(Type::F64, a, Operand::const_i64(2));
+//! let y = f.fadd(Operand::Reg(x), Operand::const_f64(1.0));
+//! f.store_elem(Type::F64, a, Operand::const_i64(0), Operand::Reg(y));
+//! f.ret(Some(Operand::Reg(y)));
+//! m.add_function(f.finish());
+//!
+//! let (golden, trace) = run_traced(&m).unwrap();
+//! assert_eq!(golden.return_value.unwrap().as_f64(), 4.0);
+//! assert!(trace.len() > 0);
+//!
+//! // Flip the sign bit of a[2] as it is loaded: the outcome changes.
+//! let load_id = trace.records.iter()
+//!     .find(|r| r.mnemonic() == "load").unwrap().id;
+//! let faulty = run_with_fault(&m, &FaultSpec::new(load_id, FaultTarget::LoadValue, 63)).unwrap();
+//! assert_eq!(faulty.return_value.unwrap().as_f64(), -2.0);
+//! ```
+
+pub mod fault;
+pub mod interp;
+pub mod memory;
+pub mod objects;
+pub mod outcome;
+pub mod taint;
+pub mod trace;
+
+pub use fault::{FaultSpec, FaultTarget};
+pub use interp::{run_golden, run_traced, run_with_fault, Vm, VmConfig, VmError};
+pub use memory::{MemError, Memory, BASE_ADDR};
+pub use objects::{DataObject, DataObjectRegistry, ObjectId};
+pub use outcome::{ExecOutcome, ExecStatus, OutcomeClass};
+pub use taint::{TaintSet, TAINT_CAP};
+pub use trace::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource, TERMINATOR_INST};

@@ -1,0 +1,212 @@
+//! Flat, byte-addressable memory used by the interpreter.
+//!
+//! Globals (data objects) are allocated contiguously at module load time by a
+//! bump allocator.  Addresses start at a non-zero base so that a corrupted
+//! pointer of zero (or a small corrupted index) reliably faults instead of
+//! silently aliasing a live object — mirroring the segmentation faults the
+//! paper's deterministic fault injector observes for corrupted index arrays
+//! such as `colidx`.
+
+use moard_ir::{Type, Value};
+use std::fmt;
+
+/// Lowest valid address.  Anything below this is treated like an unmapped
+/// page and triggers a [`MemError`].
+pub const BASE_ADDR: u64 = 0x1000;
+
+/// A memory access error (the VM reports these as crash outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Address (or address + size) is outside the allocated region.
+    OutOfBounds { addr: u64, size: u64, limit: u64 },
+    /// Allocation would exceed the configured memory capacity.
+    OutOfMemory { requested: u64, capacity: u64 },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size, limit } => write!(
+                f,
+                "out-of-bounds access of {size} bytes at 0x{addr:x} (limit 0x{limit:x})"
+            ),
+            MemError::OutOfMemory {
+                requested,
+                capacity,
+            } => write!(f, "allocation of {requested} bytes exceeds capacity {capacity}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Flat little-endian memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    brk: u64,
+    capacity: u64,
+}
+
+impl Memory {
+    /// Create a memory with the given maximum capacity in bytes.
+    pub fn new(capacity: u64) -> Memory {
+        Memory {
+            data: Vec::new(),
+            brk: BASE_ADDR,
+            capacity: capacity + BASE_ADDR,
+        }
+    }
+
+    /// Current allocation break (one past the highest allocated address).
+    pub fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    /// Allocate `size` bytes aligned to `align`, returning the base address.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, MemError> {
+        let align = align.max(1);
+        let base = self.brk.div_ceil(align) * align;
+        let end = base + size;
+        if end > self.capacity {
+            return Err(MemError::OutOfMemory {
+                requested: size,
+                capacity: self.capacity - BASE_ADDR,
+            });
+        }
+        self.brk = end;
+        let needed = (end - BASE_ADDR) as usize;
+        if self.data.len() < needed {
+            self.data.resize(needed, 0);
+        }
+        Ok(base)
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<usize, MemError> {
+        if addr < BASE_ADDR || addr.checked_add(size).is_none_or(|end| end > self.brk) {
+            return Err(MemError::OutOfBounds {
+                addr,
+                size,
+                limit: self.brk,
+            });
+        }
+        Ok((addr - BASE_ADDR) as usize)
+    }
+
+    /// Read raw bytes.
+    pub fn read_bytes(&self, addr: u64, size: u64) -> Result<&[u8], MemError> {
+        let off = self.check(addr, size)?;
+        Ok(&self.data[off..off + size as usize])
+    }
+
+    /// Load a scalar of type `ty` from `addr` (little-endian).
+    pub fn load(&self, ty: Type, addr: u64) -> Result<Value, MemError> {
+        let size = ty.byte_size();
+        let off = self.check(addr, size)?;
+        let mut raw = [0u8; 8];
+        raw[..size as usize].copy_from_slice(&self.data[off..off + size as usize]);
+        let bits = u64::from_le_bytes(raw);
+        Ok(Value::from_bits(ty, bits))
+    }
+
+    /// Store a scalar of type `ty` to `addr` (little-endian).
+    pub fn store(&mut self, ty: Type, addr: u64, value: Value) -> Result<(), MemError> {
+        let size = ty.byte_size();
+        let off = self.check(addr, size)?;
+        let bits = value.to_bits().to_le_bytes();
+        self.data[off..off + size as usize].copy_from_slice(&bits[..size as usize]);
+        Ok(())
+    }
+
+    /// Flip bit `bit` of the scalar of type `ty` stored at `addr`.
+    ///
+    /// This is the "transient fault on a data object element" primitive used
+    /// by the deterministic fault injector when a fault site refers to a
+    /// value residing in memory.
+    pub fn flip_bit(&mut self, ty: Type, addr: u64, bit: u32) -> Result<(), MemError> {
+        let v = self.load(ty, addr)?;
+        self.store(ty, addr, v.flip_bit(bit))
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.brk - BASE_ADDR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = Memory::new(1 << 16);
+        let a = m.alloc(3, 1).unwrap();
+        let b = m.alloc(8, 8).unwrap();
+        assert_eq!(a, BASE_ADDR);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn store_load_round_trip_all_types() {
+        let mut m = Memory::new(1 << 16);
+        let base = m.alloc(128, 8).unwrap();
+        let samples = [
+            Value::I8(-7),
+            Value::I16(300),
+            Value::I32(-70000),
+            Value::I64(1 << 50),
+            Value::F32(2.5),
+            Value::F64(-1.25e-7),
+            Value::Ptr(0xabc),
+            Value::I1(true),
+        ];
+        let mut addr = base;
+        for v in samples {
+            m.store(v.ty(), addr, v).unwrap();
+            let back = m.load(v.ty(), addr).unwrap();
+            assert!(v.bits_eq(&back), "{v} failed round trip");
+            addr += v.ty().byte_size();
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_detected() {
+        let mut m = Memory::new(64);
+        let base = m.alloc(16, 8).unwrap();
+        assert!(m.load(Type::F64, base + 16).is_err());
+        assert!(m.load(Type::F64, 0).is_err());
+        assert!(m.store(Type::I64, base + 9, Value::I64(0)).is_err());
+        // Address arithmetic overflow must not panic.
+        assert!(m.load(Type::F64, u64::MAX - 2).is_err());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = Memory::new(32);
+        assert!(m.alloc(16, 8).is_ok());
+        assert!(m.alloc(64, 8).is_err());
+    }
+
+    #[test]
+    fn flip_bit_in_memory() {
+        let mut m = Memory::new(64);
+        let a = m.alloc(8, 8).unwrap();
+        m.store(Type::F64, a, Value::F64(1.0)).unwrap();
+        m.flip_bit(Type::F64, a, 63).unwrap();
+        assert_eq!(m.load(Type::F64, a).unwrap(), Value::F64(-1.0));
+        m.flip_bit(Type::F64, a, 63).unwrap();
+        assert_eq!(m.load(Type::F64, a).unwrap(), Value::F64(1.0));
+    }
+
+    #[test]
+    fn adjacent_scalars_do_not_clobber() {
+        let mut m = Memory::new(64);
+        let a = m.alloc(16, 8).unwrap();
+        m.store(Type::I32, a, Value::I32(-1)).unwrap();
+        m.store(Type::I32, a + 4, Value::I32(7)).unwrap();
+        assert_eq!(m.load(Type::I32, a).unwrap(), Value::I32(-1));
+        assert_eq!(m.load(Type::I32, a + 4).unwrap(), Value::I32(7));
+    }
+}

@@ -1,0 +1,208 @@
+//! Data-object registry: the bridge between raw memory addresses and the
+//! *data semantics* the MOARD analysis needs.
+//!
+//! The paper stresses that random fault injection "loses data semantics":
+//! a corrupted value cannot be attributed to a data object.  MOARD instead
+//! tracks the memory address range of every data object and the registers
+//! currently holding its values.  This module provides the address-range
+//! half; register tracking lives in the interpreter's provenance machinery.
+
+use moard_ir::{GlobalId, Type};
+use std::collections::HashMap;
+
+/// Identifier of a data object within a [`DataObjectRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+/// A registered data object: a named, contiguous array of scalar elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataObject {
+    /// Registry id.
+    pub id: ObjectId,
+    /// Human-readable name (matches the IR global's name).
+    pub name: String,
+    /// The IR global backing this object.
+    pub global: GlobalId,
+    /// Base address in VM memory.
+    pub base: u64,
+    /// Element scalar type.
+    pub elem_ty: Type,
+    /// Number of elements.
+    pub count: u64,
+}
+
+impl DataObject {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.count * self.elem_ty.byte_size()
+    }
+
+    /// Address of element `index`.
+    pub fn elem_addr(&self, index: u64) -> u64 {
+        self.base + index * self.elem_ty.byte_size()
+    }
+
+    /// Does `addr` fall inside this object?  Returns the element index if so
+    /// (the address may point into the middle of an element).
+    pub fn locate(&self, addr: u64) -> Option<u64> {
+        if addr >= self.base && addr < self.end() {
+            Some((addr - self.base) / self.elem_ty.byte_size())
+        } else {
+            None
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.count * self.elem_ty.byte_size()
+    }
+}
+
+/// Registry of every data object in a loaded module.
+#[derive(Debug, Clone, Default)]
+pub struct DataObjectRegistry {
+    objects: Vec<DataObject>,
+    by_name: HashMap<String, ObjectId>,
+    by_global: HashMap<GlobalId, ObjectId>,
+    /// Sorted (base, id) pairs for address lookup.
+    ranges: Vec<(u64, ObjectId)>,
+}
+
+impl DataObjectRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a data object.  Objects must be registered in increasing
+    /// base-address order (the VM allocates them that way).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        global: GlobalId,
+        base: u64,
+        elem_ty: Type,
+        count: u64,
+    ) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        let name = name.into();
+        let obj = DataObject {
+            id,
+            name: name.clone(),
+            global,
+            base,
+            elem_ty,
+            count,
+        };
+        debug_assert!(
+            self.ranges.last().map(|&(b, _)| b < base).unwrap_or(true),
+            "objects must be registered in address order"
+        );
+        self.by_name.insert(name, id);
+        self.by_global.insert(global, id);
+        self.ranges.push((base, id));
+        self.objects.push(obj);
+        id
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// All objects.
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> {
+        self.objects.iter()
+    }
+
+    /// Object by id.
+    pub fn get(&self, id: ObjectId) -> &DataObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Object by name.
+    pub fn by_name(&self, name: &str) -> Option<&DataObject> {
+        self.by_name.get(name).map(|id| self.get(*id))
+    }
+
+    /// Object backing an IR global.
+    pub fn by_global(&self, global: GlobalId) -> Option<&DataObject> {
+        self.by_global.get(&global).map(|id| self.get(*id))
+    }
+
+    /// Locate which object (and element index) an address falls into.
+    pub fn locate(&self, addr: u64) -> Option<(ObjectId, u64)> {
+        // Binary search on base addresses, then check containment.
+        let idx = self.ranges.partition_point(|&(base, _)| base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let (_, id) = self.ranges[idx - 1];
+        let obj = self.get(id);
+        obj.locate(addr).map(|e| (id, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> DataObjectRegistry {
+        let mut r = DataObjectRegistry::new();
+        r.register("a", GlobalId(0), 0x1000, Type::F64, 4); // 0x1000..0x1020
+        r.register("b", GlobalId(1), 0x1020, Type::I32, 8); // 0x1020..0x1040
+        r.register("c", GlobalId(2), 0x2000, Type::F64, 2); // 0x2000..0x2010
+        r
+    }
+
+    #[test]
+    fn locate_finds_correct_object_and_element() {
+        let r = registry();
+        assert_eq!(r.locate(0x1000), Some((ObjectId(0), 0)));
+        assert_eq!(r.locate(0x1008), Some((ObjectId(0), 1)));
+        assert_eq!(r.locate(0x101f), Some((ObjectId(0), 3)));
+        assert_eq!(r.locate(0x1020), Some((ObjectId(1), 0)));
+        assert_eq!(r.locate(0x1024), Some((ObjectId(1), 1)));
+        assert_eq!(r.locate(0x2008), Some((ObjectId(2), 1)));
+    }
+
+    #[test]
+    fn locate_misses_gaps_and_out_of_range() {
+        let r = registry();
+        assert_eq!(r.locate(0xfff), None);
+        assert_eq!(r.locate(0x1040), None); // gap between b and c
+        assert_eq!(r.locate(0x2010), None);
+    }
+
+    #[test]
+    fn lookup_by_name_and_global() {
+        let r = registry();
+        assert_eq!(r.by_name("b").unwrap().count, 8);
+        assert_eq!(r.by_global(GlobalId(2)).unwrap().name, "c");
+        assert!(r.by_name("missing").is_none());
+    }
+
+    #[test]
+    fn elem_addr_is_inverse_of_locate() {
+        let r = registry();
+        let obj = r.by_name("a").unwrap();
+        for i in 0..obj.count {
+            let addr = obj.elem_addr(i);
+            assert_eq!(r.locate(addr), Some((obj.id, i)));
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        let r = registry();
+        assert_eq!(r.by_name("a").unwrap().byte_size(), 32);
+        assert_eq!(r.by_name("b").unwrap().byte_size(), 32);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Execution outcomes and outcome comparison.
+//!
+//! The MOARD fault model judges a corrupted run against the error-free
+//! ("golden") run at the level of the *application outcome*: bit-identical,
+//! numerically different but acceptable under the application's own fidelity
+//! criterion, incorrect, or crashed.  This module holds the raw outcome data;
+//! the acceptance criteria themselves live with each workload.
+
+use moard_ir::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How an execution terminated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Ran to completion.
+    Completed,
+    /// A memory access fault (the analogue of a segmentation fault).
+    MemFault(String),
+    /// An arithmetic trap (division by zero, overflow in division).
+    Trap(String),
+    /// The step budget was exhausted (e.g. a corrupted loop bound produced a
+    /// runaway loop).
+    Timeout,
+}
+
+impl ExecStatus {
+    /// True only for [`ExecStatus::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ExecStatus::Completed)
+    }
+}
+
+impl fmt::Display for ExecStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecStatus::Completed => write!(f, "completed"),
+            ExecStatus::MemFault(m) => write!(f, "memory fault: {m}"),
+            ExecStatus::Trap(m) => write!(f, "trap: {m}"),
+            ExecStatus::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// The observable outcome of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Termination status.
+    pub status: ExecStatus,
+    /// Value returned by the entry function (if it completed and returns one).
+    pub return_value: Option<Value>,
+    /// Final contents of every global data object, keyed by object name.
+    pub globals: BTreeMap<String, Vec<Value>>,
+    /// Number of dynamic instructions executed.
+    pub steps: u64,
+}
+
+impl ExecOutcome {
+    /// Bit-exact equality of the application-visible outcome: status,
+    /// return value, and every global's final contents.
+    ///
+    /// This is the "numerically the same as the error-free case" criterion
+    /// the model uses to decide that *all* errors were masked.
+    pub fn bits_identical(&self, other: &ExecOutcome) -> bool {
+        if self.status != other.status {
+            return false;
+        }
+        match (&self.return_value, &other.return_value) {
+            (Some(a), Some(b)) if !a.bits_eq(b) => return false,
+            (Some(_), None) | (None, Some(_)) => return false,
+            _ => {}
+        }
+        if self.globals.len() != other.globals.len() {
+            return false;
+        }
+        for (name, vals) in &self.globals {
+            match other.globals.get(name) {
+                Some(o) if o.len() == vals.len() => {
+                    if vals.iter().zip(o.iter()).any(|(a, b)| !a.bits_eq(b)) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Final contents of a global as `f64` values (empty if absent).
+    pub fn global_f64(&self, name: &str) -> Vec<f64> {
+        self.globals
+            .get(name)
+            .map(|vs| vs.iter().map(|v| v.as_f64()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Return value as `f64` (0.0 if absent).
+    pub fn return_f64(&self) -> f64 {
+        self.return_value.map(|v| v.as_f64()).unwrap_or(0.0)
+    }
+
+    /// Maximum relative element-wise difference between a global in `self`
+    /// and the same global in `golden`.  Returns `f64::INFINITY` on shape
+    /// mismatch or if the global is missing.
+    pub fn max_rel_diff(&self, golden: &ExecOutcome, name: &str) -> f64 {
+        let a = self.global_f64(name);
+        let b = golden.global_f64(name);
+        if a.len() != b.len() || a.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut worst: f64 = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let denom = y.abs().max(1e-300);
+            let d = if x.is_finite() {
+                (x - y).abs() / denom.max(1.0_f64.min(denom))
+            } else {
+                f64::INFINITY
+            };
+            let d = if y.abs() < 1e-12 { (x - y).abs() } else { d };
+            worst = worst.max(d);
+        }
+        worst
+    }
+}
+
+/// Classification of a fault-injected run relative to the golden run.
+///
+/// This is the verdict returned by the deterministic fault injector and
+/// consumed by the model's propagation- and algorithm-level analyses
+/// (paper §III-D and §III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeClass {
+    /// Bit-identical to the golden run: every error was eventually masked at
+    /// the operation level during propagation.
+    Identical,
+    /// Numerically different but acceptable under the application's fidelity
+    /// criterion: algorithm-level masking.
+    Acceptable,
+    /// Completed but unacceptable output: silent data corruption.
+    Incorrect,
+    /// Crashed (memory fault / trap) or timed out.
+    Crashed,
+}
+
+impl OutcomeClass {
+    /// "Success" in the sense of fault-injection campaigns: the application
+    /// outcome is still correct (identical or acceptable).
+    pub fn is_success(self) -> bool {
+        matches!(self, OutcomeClass::Identical | OutcomeClass::Acceptable)
+    }
+}
+
+impl fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OutcomeClass::Identical => "identical",
+            OutcomeClass::Acceptable => "acceptable",
+            OutcomeClass::Incorrect => "incorrect",
+            OutcomeClass::Crashed => "crashed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(vals: &[f64]) -> ExecOutcome {
+        let mut globals = BTreeMap::new();
+        globals.insert("x".to_string(), vals.iter().map(|&v| Value::F64(v)).collect());
+        ExecOutcome {
+            status: ExecStatus::Completed,
+            return_value: Some(Value::F64(1.0)),
+            globals,
+            steps: 10,
+        }
+    }
+
+    #[test]
+    fn bits_identical_detects_equality_and_difference() {
+        let a = outcome(&[1.0, 2.0]);
+        let b = outcome(&[1.0, 2.0]);
+        let c = outcome(&[1.0, 2.0000000001]);
+        assert!(a.bits_identical(&b));
+        assert!(!a.bits_identical(&c));
+    }
+
+    #[test]
+    fn status_mismatch_is_not_identical() {
+        let a = outcome(&[1.0]);
+        let mut b = outcome(&[1.0]);
+        b.status = ExecStatus::Timeout;
+        assert!(!a.bits_identical(&b));
+        assert!(!b.status.is_completed());
+    }
+
+    #[test]
+    fn max_rel_diff_measures_perturbation() {
+        let golden = outcome(&[1.0, 100.0]);
+        let close = outcome(&[1.0 + 1e-12, 100.0]);
+        let far = outcome(&[2.0, 100.0]);
+        assert!(golden.max_rel_diff(&golden, "x") == 0.0);
+        assert!(close.max_rel_diff(&golden, "x") < 1e-9);
+        assert!(far.max_rel_diff(&golden, "x") > 0.5);
+        assert!(golden.max_rel_diff(&golden, "missing").is_infinite());
+    }
+
+    #[test]
+    fn outcome_class_success() {
+        assert!(OutcomeClass::Identical.is_success());
+        assert!(OutcomeClass::Acceptable.is_success());
+        assert!(!OutcomeClass::Incorrect.is_success());
+        assert!(!OutcomeClass::Crashed.is_success());
+        assert_eq!(OutcomeClass::Crashed.to_string(), "crashed");
+    }
+
+    #[test]
+    fn global_f64_and_return_f64() {
+        let a = outcome(&[3.0, 4.0]);
+        assert_eq!(a.global_f64("x"), vec![3.0, 4.0]);
+        assert!(a.global_f64("nope").is_empty());
+        assert_eq!(a.return_f64(), 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Bounded dependence ("taint") sets.
+//!
+//! The interpreter tracks, for every live register value and every stored
+//! memory word, which data-object elements the value was computed from.  The
+//! aDVF operation-level analysis needs this for exactly one question — the
+//! one raised by Statement B of the paper's LU example (`sum[m] = sum[m] +
+//! ...`): *does the value being stored to element `e` depend on the current
+//! value of `e`?*  If it does, the store does **not** mask an existing error
+//! in `e`; if it does not (a plain overwrite, Statement A), it does.
+//!
+//! Dependence sets are bounded: once a value depends on more than
+//! [`TAINT_CAP`] distinct elements the set saturates and conservatively
+//! answers "maybe depends" to every query.  This keeps tracing O(1) per
+//! operation while never letting the analysis over-count masking events.
+
+use crate::objects::ObjectId;
+
+/// Maximum number of distinct elements tracked per value.
+pub const TAINT_CAP: usize = 24;
+
+/// A bounded set of `(object, element)` pairs a value depends on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintSet {
+    elems: Vec<(ObjectId, u64)>,
+    saturated: bool,
+}
+
+impl TaintSet {
+    /// The empty set (value depends on no data-object element).
+    pub fn empty() -> Self {
+        TaintSet::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(obj: ObjectId, elem: u64) -> Self {
+        TaintSet {
+            elems: vec![(obj, elem)],
+            saturated: false,
+        }
+    }
+
+    /// True if the set is empty and not saturated.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty() && !self.saturated
+    }
+
+    /// True once the set has overflowed and answers conservatively.
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Number of tracked elements (meaningless once saturated).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Insert a dependence.
+    pub fn insert(&mut self, obj: ObjectId, elem: u64) {
+        if self.saturated {
+            return;
+        }
+        if self.elems.contains(&(obj, elem)) {
+            return;
+        }
+        if self.elems.len() >= TAINT_CAP {
+            self.saturated = true;
+            self.elems.clear();
+            return;
+        }
+        self.elems.push((obj, elem));
+    }
+
+    /// Union another set into this one.
+    pub fn union_with(&mut self, other: &TaintSet) {
+        if other.saturated {
+            self.saturated = true;
+            self.elems.clear();
+            return;
+        }
+        for &(o, e) in &other.elems {
+            self.insert(o, e);
+            if self.saturated {
+                return;
+            }
+        }
+    }
+
+    /// Union of two sets.
+    pub fn union(a: &TaintSet, b: &TaintSet) -> TaintSet {
+        let mut out = a.clone();
+        out.union_with(b);
+        out
+    }
+
+    /// Does the value (possibly) depend on element `elem` of `obj`?
+    ///
+    /// Saturated sets answer `true` for every query (conservative).
+    pub fn may_depend_on(&self, obj: ObjectId, elem: u64) -> bool {
+        self.saturated || self.elems.contains(&(obj, elem))
+    }
+
+    /// Clear to the empty set.
+    pub fn clear(&mut self) {
+        self.elems.clear();
+        self.saturated = false;
+    }
+
+    /// Iterate over tracked dependences (empty when saturated).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, u64)> + '_ {
+        self.elems.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = TaintSet::empty();
+        assert!(t.is_empty());
+        t.insert(ObjectId(0), 3);
+        t.insert(ObjectId(1), 0);
+        t.insert(ObjectId(0), 3); // duplicate
+        assert_eq!(t.len(), 2);
+        assert!(t.may_depend_on(ObjectId(0), 3));
+        assert!(!t.may_depend_on(ObjectId(0), 4));
+    }
+
+    #[test]
+    fn union_merges_dependences() {
+        let a = TaintSet::singleton(ObjectId(0), 1);
+        let b = TaintSet::singleton(ObjectId(0), 2);
+        let u = TaintSet::union(&a, &b);
+        assert!(u.may_depend_on(ObjectId(0), 1));
+        assert!(u.may_depend_on(ObjectId(0), 2));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn saturation_is_conservative() {
+        let mut t = TaintSet::empty();
+        for i in 0..(TAINT_CAP as u64 + 5) {
+            t.insert(ObjectId(0), i);
+        }
+        assert!(t.is_saturated());
+        // Conservative: everything "may depend".
+        assert!(t.may_depend_on(ObjectId(9), 999));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn union_with_saturated_saturates() {
+        let mut sat = TaintSet::empty();
+        for i in 0..(TAINT_CAP as u64 + 1) {
+            sat.insert(ObjectId(1), i);
+        }
+        let mut t = TaintSet::singleton(ObjectId(0), 0);
+        t.union_with(&sat);
+        assert!(t.is_saturated());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TaintSet::singleton(ObjectId(0), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.is_saturated());
+    }
+
+    #[test]
+    fn singleton_is_queryable() {
+        let t = TaintSet::singleton(ObjectId(2), 7);
+        assert!(t.may_depend_on(ObjectId(2), 7));
+        assert!(!t.may_depend_on(ObjectId(2), 8));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(ObjectId(2), 7)]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Dynamic instruction trace.
+//!
+//! One [`TraceRecord`] is emitted per executed IR operation.  Each record
+//! carries everything the aDVF analysis needs without re-running the program:
+//! the opcode and its semantic class, every consumed operand *value*, the
+//! result value, the memory addresses touched, which data-object element (if
+//! any) each consumed value corresponds to, and enough register/frame
+//! information to replay error propagation forward through the trace.
+
+use crate::objects::ObjectId;
+use moard_ir::{BinOp, BlockId, CastKind, CmpPred, FuncId, Intrinsic, RegId, Type, Value};
+
+/// Where a consumed value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSource {
+    /// A virtual register of the executing frame.
+    Reg(RegId),
+    /// An immediate constant.
+    Const,
+    /// The base address of a global (always a pointer).
+    GlobalBase,
+}
+
+/// A consumed operand value, annotated with data semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedVal {
+    /// The value as consumed (after any injected fault).
+    pub value: Value,
+    /// Source of the value.
+    pub source: ValueSource,
+    /// If the value *is* (a direct, untransformed copy of) element `e` of a
+    /// registered data object, that element.  This is the "register
+    /// tracking" of the paper: it lets the analysis know which operands of an
+    /// operation hold values of the target data object.
+    pub element: Option<(ObjectId, u64)>,
+}
+
+impl TracedVal {
+    /// A constant operand (no data semantics).
+    pub fn constant(value: Value) -> Self {
+        TracedVal {
+            value,
+            source: ValueSource::Const,
+            element: None,
+        }
+    }
+}
+
+/// The semantic payload of a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// Binary arithmetic / logic / shift.
+    Bin {
+        op: BinOp,
+        ty: Type,
+        lhs: TracedVal,
+        rhs: TracedVal,
+        result: Value,
+    },
+    /// Comparison.
+    Cmp {
+        pred: CmpPred,
+        lhs: TracedVal,
+        rhs: TracedVal,
+        result: Value,
+    },
+    /// Cast / conversion.
+    Cast {
+        kind: CastKind,
+        to: Type,
+        src: TracedVal,
+        result: Value,
+    },
+    /// Memory load.
+    Load {
+        ty: Type,
+        addr: u64,
+        /// Where the address value came from (register / constant / global
+        /// base); needed by propagation replay to detect corrupted addresses.
+        addr_src: ValueSource,
+        /// Data-object element the address falls into, if any.
+        element: Option<(ObjectId, u64)>,
+        result: Value,
+    },
+    /// Memory store.
+    Store {
+        ty: Type,
+        addr: u64,
+        /// Where the address value came from.
+        addr_src: ValueSource,
+        /// Data-object element the destination falls into, if any.
+        element: Option<(ObjectId, u64)>,
+        /// The value written.
+        value: TracedVal,
+        /// The value that was overwritten (the previous memory contents).
+        overwritten: Value,
+        /// True if the stored value was computed from the destination
+        /// element's current value (e.g. `sum[m] = sum[m] + x`): in that case
+        /// the store does *not* mask a pre-existing error in the element.
+        value_depends_on_dest: bool,
+    },
+    /// Address computation.
+    Gep {
+        base: TracedVal,
+        index: TracedVal,
+        elem_size: u64,
+        result: Value,
+    },
+    /// Conditional select.
+    Select {
+        cond: TracedVal,
+        then_v: TracedVal,
+        else_v: TracedVal,
+        result: Value,
+    },
+    /// Math intrinsic.
+    Intrinsic {
+        intr: Intrinsic,
+        args: Vec<TracedVal>,
+        result: Value,
+    },
+    /// Register copy.
+    Mov { src: TracedVal, result: Value },
+    /// Function call: arguments are copied into the callee's parameter
+    /// registers in a new frame.
+    Call {
+        callee: FuncId,
+        args: Vec<TracedVal>,
+        /// Frame id assigned to the callee.
+        callee_frame: u64,
+        /// Parameter registers of the callee (same order as `args`).
+        param_regs: Vec<RegId>,
+    },
+    /// Function return.
+    Ret {
+        value: Option<TracedVal>,
+        /// Frame id of the caller resumed by this return (`None` when the
+        /// entry function returns).
+        caller_frame: Option<u64>,
+        /// Destination register in the caller receiving the return value.
+        dst_in_caller: Option<RegId>,
+    },
+    /// Conditional branch (records the decision for divergence detection).
+    CondBr { cond: TracedVal, taken: bool },
+    /// Switch (records which successor was taken).
+    Switch { value: TracedVal, taken_index: usize },
+}
+
+/// One executed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Dynamic instruction id (0-based, increasing in execution order).
+    pub id: u64,
+    /// Frame id of the executing function activation (for register scoping).
+    pub frame: u64,
+    /// Static location: function.
+    pub func: FuncId,
+    /// Static location: block.
+    pub block: BlockId,
+    /// Static location: instruction index within the block
+    /// (`u32::MAX` for terminators).
+    pub inst: u32,
+    /// Destination register written by this operation, if any
+    /// (in frame `frame`, except for `Ret` where it is in the caller frame).
+    pub dst: Option<RegId>,
+    /// Semantic payload.
+    pub op: TraceOp,
+}
+
+/// Marker value used in `inst` for terminator records.
+pub const TERMINATOR_INST: u32 = u32::MAX;
+
+impl TraceRecord {
+    /// A stable key identifying the *static* instruction that produced this
+    /// record.  Used for error-equivalence grouping.
+    pub fn static_key(&self) -> (u32, u32, u32) {
+        (self.func.0, self.block.0, self.inst)
+    }
+
+    /// The record's result value, if the operation produces one.
+    pub fn result(&self) -> Option<Value> {
+        match &self.op {
+            TraceOp::Bin { result, .. }
+            | TraceOp::Cmp { result, .. }
+            | TraceOp::Cast { result, .. }
+            | TraceOp::Load { result, .. }
+            | TraceOp::Gep { result, .. }
+            | TraceOp::Select { result, .. }
+            | TraceOp::Intrinsic { result, .. }
+            | TraceOp::Mov { result, .. } => Some(*result),
+            _ => None,
+        }
+    }
+
+    /// All consumed operands of this record, in a stable order.
+    pub fn operands(&self) -> Vec<&TracedVal> {
+        match &self.op {
+            TraceOp::Bin { lhs, rhs, .. } => vec![lhs, rhs],
+            TraceOp::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+            TraceOp::Cast { src, .. } => vec![src],
+            TraceOp::Load { .. } => vec![],
+            TraceOp::Store { value, .. } => vec![value],
+            TraceOp::Gep { base, index, .. } => vec![base, index],
+            TraceOp::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => vec![cond, then_v, else_v],
+            TraceOp::Intrinsic { args, .. } => args.iter().collect(),
+            TraceOp::Mov { src, .. } => vec![src],
+            TraceOp::Call { args, .. } => args.iter().collect(),
+            TraceOp::Ret { value, .. } => value.iter().collect(),
+            TraceOp::CondBr { cond, .. } => vec![cond],
+            TraceOp::Switch { value, .. } => vec![value],
+        }
+    }
+
+    /// Short mnemonic for reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match &self.op {
+            TraceOp::Bin { op, .. } => op.mnemonic(),
+            TraceOp::Cmp { .. } => "cmp",
+            TraceOp::Cast { kind, .. } => kind.mnemonic(),
+            TraceOp::Load { .. } => "load",
+            TraceOp::Store { .. } => "store",
+            TraceOp::Gep { .. } => "gep",
+            TraceOp::Select { .. } => "select",
+            TraceOp::Intrinsic { intr, .. } => intr.mnemonic(),
+            TraceOp::Mov { .. } => "mov",
+            TraceOp::Call { .. } => "call",
+            TraceOp::Ret { .. } => "ret",
+            TraceOp::CondBr { .. } => "condbr",
+            TraceOp::Switch { .. } => "switch",
+        }
+    }
+}
+
+/// A complete dynamic trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Records in execution order; `records[i].id == i`.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record by dynamic id.
+    pub fn record(&self, id: u64) -> Option<&TraceRecord> {
+        self.records.get(id as usize)
+    }
+
+    /// Iterate over records that *consume or overwrite* an element of the
+    /// given data object — i.e. the operations "with the participation of the
+    /// target data object" in the paper's aDVF definition.
+    pub fn records_touching(&self, obj: ObjectId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| {
+            r.operands()
+                .iter()
+                .any(|v| matches!(v.element, Some((o, _)) if o == obj))
+                || matches!(
+                    &r.op,
+                    TraceOp::Store {
+                        element: Some((o, _)),
+                        ..
+                    } if *o == obj
+                )
+                || matches!(
+                    &r.op,
+                    TraceOp::Load {
+                        element: Some((o, _)),
+                        ..
+                    } if *o == obj
+                )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, op: TraceOp) -> TraceRecord {
+        TraceRecord {
+            id,
+            frame: 0,
+            func: FuncId(0),
+            block: BlockId(0),
+            inst: id as u32,
+            dst: None,
+            op,
+        }
+    }
+
+    #[test]
+    fn operands_and_result_extraction() {
+        let r = record(
+            0,
+            TraceOp::Bin {
+                op: BinOp::FAdd,
+                ty: Type::F64,
+                lhs: TracedVal::constant(Value::F64(1.0)),
+                rhs: TracedVal::constant(Value::F64(2.0)),
+                result: Value::F64(3.0),
+            },
+        );
+        assert_eq!(r.operands().len(), 2);
+        assert_eq!(r.result(), Some(Value::F64(3.0)));
+        assert_eq!(r.mnemonic(), "fadd");
+
+        let s = record(
+            1,
+            TraceOp::Store {
+                ty: Type::F64,
+                addr: 0x1000,
+                addr_src: ValueSource::Const,
+                element: Some((ObjectId(0), 0)),
+                value: TracedVal::constant(Value::F64(5.0)),
+                overwritten: Value::F64(0.0),
+                value_depends_on_dest: false,
+            },
+        );
+        assert_eq!(s.operands().len(), 1);
+        assert_eq!(s.result(), None);
+    }
+
+    #[test]
+    fn records_touching_filters_by_object() {
+        let mut trace = Trace::default();
+        trace.records.push(record(
+            0,
+            TraceOp::Load {
+                ty: Type::F64,
+                addr: 0x1000,
+                addr_src: ValueSource::Const,
+                element: Some((ObjectId(0), 0)),
+                result: Value::F64(1.0),
+            },
+        ));
+        trace.records.push(record(
+            1,
+            TraceOp::Load {
+                ty: Type::F64,
+                addr: 0x2000,
+                addr_src: ValueSource::Const,
+                element: Some((ObjectId(1), 0)),
+                result: Value::F64(2.0),
+            },
+        ));
+        trace.records.push(record(
+            2,
+            TraceOp::Bin {
+                op: BinOp::FMul,
+                ty: Type::F64,
+                lhs: TracedVal {
+                    value: Value::F64(1.0),
+                    source: ValueSource::Reg(RegId(0)),
+                    element: Some((ObjectId(0), 0)),
+                },
+                rhs: TracedVal::constant(Value::F64(2.0)),
+                result: Value::F64(2.0),
+            },
+        ));
+        let touching0: Vec<u64> = trace.records_touching(ObjectId(0)).map(|r| r.id).collect();
+        assert_eq!(touching0, vec![0, 2]);
+        let touching1: Vec<u64> = trace.records_touching(ObjectId(1)).map(|r| r.id).collect();
+        assert_eq!(touching1, vec![1]);
+    }
+
+    #[test]
+    fn static_key_is_stable() {
+        let r = record(5, TraceOp::Mov {
+            src: TracedVal::constant(Value::I64(1)),
+            result: Value::I64(1),
+        });
+        assert_eq!(r.static_key(), (0, 0, 5));
+    }
+}

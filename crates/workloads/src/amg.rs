@@ -1,0 +1,464 @@
+//! AMG2013 — algebraic multigrid solver for unstructured-grid linear systems
+//! (Table I; Henson & Yang, cited as [22] in the paper).
+//!
+//! The paper uses a compact LLNL version with GMRES(10) preconditioned by
+//! AMG, on the anisotropic input matrix, evaluating `hypre_GMRESSolve` with
+//! target data objects `ipiv` (the integer pivot array of the small dense
+//! solve inside GMRES) and `A` (the sparse-matrix values).
+//!
+//! The kernel is GMRES(restart) on the reduced anisotropic 5-point Laplacian,
+//! preconditioned by weighted-Jacobi sweeps (standing in for the AMG V-cycle
+//! — both are error-attenuating stationary preconditioners, which is what
+//! matters for algorithm-level masking).  The least-squares problem in the
+//! Krylov basis is solved by Gaussian elimination with partial pivoting,
+//! which is where `ipiv` participates: a corrupted pivot index immediately
+//! scrambles the small solve or faults, giving `ipiv` its low aDVF.
+
+use crate::linalg::{random_vector, CsrMatrix};
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the AMG/GMRES kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct AmgConfig {
+    /// Grid extent in x (matrix dimension is nx*ny).
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Anisotropy factor of the Laplacian.
+    pub epsilon: f64,
+    /// Krylov subspace dimension (GMRES restart length).
+    pub restart: usize,
+    /// Jacobi pre-smoothing sweeps used as the preconditioner.
+    pub precond_sweeps: usize,
+    /// RNG seed for the right-hand side.
+    pub seed: u64,
+}
+
+impl Default for AmgConfig {
+    fn default() -> Self {
+        AmgConfig {
+            nx: 6,
+            ny: 5,
+            epsilon: 0.1,
+            restart: 10,
+            precond_sweeps: 3,
+            seed: 0x5EED_A3,
+        }
+    }
+}
+
+/// The AMG workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Amg {
+    /// Problem configuration.
+    pub config: AmgConfig,
+}
+
+impl Amg {
+    /// AMG with an explicit configuration.
+    pub fn with_config(config: AmgConfig) -> Self {
+        Amg { config }
+    }
+
+    /// The generated anisotropic matrix.
+    pub fn matrix(&self) -> CsrMatrix {
+        CsrMatrix::anisotropic_laplacian(self.config.nx, self.config.ny, self.config.epsilon)
+    }
+}
+
+impl Workload for Amg {
+    fn name(&self) -> &'static str {
+        "AMG"
+    }
+
+    fn description(&self) -> &'static str {
+        "Algebraic multigrid-preconditioned GMRES on an anisotropic grid (compact)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "hypre_GMRESSolve"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["ipiv", "A"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["x", "final_res"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        // GMRES is judged by how well it reduces the residual; small
+        // perturbations of the computed update are acceptable.
+        Acceptance::MaxRelDiff(1e-3)
+    }
+
+    fn max_steps(&self) -> u64 {
+        4_000_000
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let mat = self.matrix();
+        let n = mat.n;
+        let ni = n as i64;
+        let m_dim = cfg.restart;
+        let mi = m_dim as i64;
+        let rhs = random_vector(n, 0.5, 1.5, cfg.seed);
+
+        let mut module = Module::new("amg");
+        let a = module.add_global(Global::from_f64("A", &mat.a));
+        let colidx = module.add_global(Global::from_i64("colidx", &mat.colidx));
+        let rowstr = module.add_global(Global::from_i64("rowstr", &mat.rowstr));
+        let diag_idx: Vec<i64> = (0..n)
+            .map(|i| {
+                (mat.rowstr[i]..mat.rowstr[i + 1])
+                    .find(|&k| mat.colidx[k as usize] as usize == i)
+                    .unwrap()
+            })
+            .collect();
+        let diag = module.add_global(Global::from_i64("diag_idx", &diag_idx));
+        let b = module.add_global(Global::from_f64("b", &rhs));
+        let x = module.add_global(Global::zeroed("x", Type::F64, n as u64));
+        // Krylov basis V: (restart+1) x n, row-major.
+        let v = module.add_global(Global::zeroed(
+            "V",
+            Type::F64,
+            ((m_dim + 1) * n) as u64,
+        ));
+        // Hessenberg H: (restart+1) x restart, row-major.
+        let h = module.add_global(Global::zeroed(
+            "H",
+            Type::F64,
+            ((m_dim + 1) * m_dim) as u64,
+        ));
+        let g_vec = module.add_global(Global::zeroed("g", Type::F64, (m_dim + 1) as u64));
+        let y_vec = module.add_global(Global::zeroed("y", Type::F64, m_dim as u64));
+        let ipiv = module.add_global(Global::zeroed("ipiv", Type::I64, m_dim as u64));
+        let w = module.add_global(Global::zeroed("w", Type::F64, n as u64));
+        let scratch = module.add_global(Global::zeroed("scratch", Type::F64, n as u64));
+        let r0 = module.add_global(Global::zeroed("r0", Type::F64, n as u64));
+        let final_res = module.add_global(Global::zeroed("final_res", Type::F64, 1));
+
+        // matvec(dst, src): dst = A * src (CSR).
+        let mut mv = FunctionBuilder::new("matvec", &[Type::Ptr, Type::Ptr], None);
+        {
+            let dst = mv.param(0);
+            let src = mv.param(1);
+            mv.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, row| {
+                let sum = f.alloc_reg(Type::F64);
+                f.mov(sum, Operand::const_f64(0.0));
+                let start = f.load_elem(Type::I64, rowstr, Operand::Reg(row));
+                let rp1 = f.add(Operand::Reg(row), Operand::const_i64(1));
+                let end = f.load_elem(Type::I64, rowstr, Operand::Reg(rp1));
+                f.for_loop(Operand::Reg(start), Operand::Reg(end), |f, k| {
+                    let col = f.load_elem(Type::I64, colidx, Operand::Reg(k));
+                    let av = f.load_elem(Type::F64, a, Operand::Reg(k));
+                    let sa = f.elem_addr(Type::F64, Operand::Reg(src), Operand::Reg(col));
+                    let sv = f.load(Type::F64, Operand::Reg(sa));
+                    let p = f.fmul(Operand::Reg(av), Operand::Reg(sv));
+                    let s = f.fadd(Operand::Reg(sum), Operand::Reg(p));
+                    f.mov(sum, Operand::Reg(s));
+                });
+                let da = f.elem_addr(Type::F64, Operand::Reg(dst), Operand::Reg(row));
+                f.store(Type::F64, Operand::Reg(sum), Operand::Reg(da));
+            });
+            mv.ret(None);
+        }
+        let matvec = module.add_function(mv.finish());
+
+        // precond(dst, src): weighted-Jacobi sweeps approximating the AMG
+        // V-cycle: dst = 0; repeat: dst += 0.7 * (src - A dst) / diag.
+        // `scratch` holds A*dst so the sweep is a true Jacobi update even
+        // when `dst` aliases another working vector of the caller.
+        let mut pc = FunctionBuilder::new("amg_precond", &[Type::Ptr, Type::Ptr], None);
+        {
+            let dst = pc.param(0);
+            let src = pc.param(1);
+            pc.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                let da = f.elem_addr(Type::F64, Operand::Reg(dst), Operand::Reg(i));
+                f.store(Type::F64, Operand::const_f64(0.0), Operand::Reg(da));
+            });
+            for _ in 0..cfg.precond_sweeps {
+                pc.call(matvec, &[Operand::Global(scratch), Operand::Reg(pc.param(0))], None);
+                pc.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                    let sa = f.elem_addr(Type::F64, Operand::Reg(src), Operand::Reg(i));
+                    let sv = f.load(Type::F64, Operand::Reg(sa));
+                    let wv = f.load_elem(Type::F64, scratch, Operand::Reg(i));
+                    let resid = f.fsub(Operand::Reg(sv), Operand::Reg(wv));
+                    let dk = f.load_elem(Type::I64, diag, Operand::Reg(i));
+                    let dv = f.load_elem(Type::F64, a, Operand::Reg(dk));
+                    let scaled = f.fdiv(Operand::Reg(resid), Operand::Reg(dv));
+                    let relax = f.fmul(Operand::Reg(scaled), Operand::const_f64(0.7));
+                    let da = f.elem_addr(Type::F64, Operand::Reg(dst), Operand::Reg(i));
+                    let cur = f.load(Type::F64, Operand::Reg(da));
+                    let nv = f.fadd(Operand::Reg(cur), Operand::Reg(relax));
+                    f.store(Type::F64, Operand::Reg(nv), Operand::Reg(da));
+                });
+            }
+            pc.ret(None);
+        }
+        let precond = module.add_function(pc.finish());
+
+        // main: one GMRES(m) cycle with MGS Arnoldi and a pivoted dense solve.
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        // r0 = M^{-1} b  (x0 = 0), beta = ||r0||, V[0] = r0 / beta.
+        f.call(precond, &[Operand::Global(r0), Operand::Global(b)], None);
+        let beta_sq = f.alloc_reg(Type::F64);
+        f.mov(beta_sq, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+            let rv = f.load_elem(Type::F64, r0, Operand::Reg(i));
+            let sq = f.fmul(Operand::Reg(rv), Operand::Reg(rv));
+            let s = f.fadd(Operand::Reg(beta_sq), Operand::Reg(sq));
+            f.mov(beta_sq, Operand::Reg(s));
+        });
+        let beta = f.sqrt(Operand::Reg(beta_sq));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+            let rv = f.load_elem(Type::F64, r0, Operand::Reg(i));
+            let nv = f.fdiv(Operand::Reg(rv), Operand::Reg(beta));
+            f.store_elem(Type::F64, v, Operand::Reg(i), Operand::Reg(nv));
+        });
+        f.store_elem(Type::F64, g_vec, Operand::const_i64(0), Operand::Reg(beta));
+
+        // Arnoldi: for j in 0..m: w = M^{-1} A V[j]; orthogonalize; V[j+1].
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(mi), |f, j| {
+            // w = A * V[j] (use r0 as scratch for V[j] base address math).
+            let vj_off = f.mul(Operand::Reg(j), Operand::const_i64(ni));
+            let vj_addr = f.elem_addr(Type::F64, Operand::Global(v), Operand::Reg(vj_off));
+            f.call(matvec, &[Operand::Global(r0), Operand::Reg(vj_addr)], None);
+            f.call(precond, &[Operand::Global(w), Operand::Global(r0)], None);
+            // Modified Gram-Schmidt against V[0..=j].
+            let jp1 = f.add(Operand::Reg(j), Operand::const_i64(1));
+            f.for_loop(Operand::const_i64(0), Operand::Reg(jp1), |f, row| {
+                let dotp = f.alloc_reg(Type::F64);
+                f.mov(dotp, Operand::const_f64(0.0));
+                let off = f.mul(Operand::Reg(row), Operand::const_i64(ni));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                    let vi = f.add(Operand::Reg(off), Operand::Reg(i));
+                    let vv = f.load_elem(Type::F64, v, Operand::Reg(vi));
+                    let wv = f.load_elem(Type::F64, w, Operand::Reg(i));
+                    let p = f.fmul(Operand::Reg(vv), Operand::Reg(wv));
+                    let s = f.fadd(Operand::Reg(dotp), Operand::Reg(p));
+                    f.mov(dotp, Operand::Reg(s));
+                });
+                // H[row][j] = dot; w -= dot * V[row]
+                let hidx = f.mul(Operand::Reg(row), Operand::const_i64(mi));
+                let hidx = f.add(Operand::Reg(hidx), Operand::Reg(j));
+                f.store_elem(Type::F64, h, Operand::Reg(hidx), Operand::Reg(dotp));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                    let vi = f.add(Operand::Reg(off), Operand::Reg(i));
+                    let vv = f.load_elem(Type::F64, v, Operand::Reg(vi));
+                    let wv = f.load_elem(Type::F64, w, Operand::Reg(i));
+                    let sub = f.fmul(Operand::Reg(dotp), Operand::Reg(vv));
+                    let nw = f.fsub(Operand::Reg(wv), Operand::Reg(sub));
+                    f.store_elem(Type::F64, w, Operand::Reg(i), Operand::Reg(nw));
+                });
+            });
+            // H[j+1][j] = ||w||; V[j+1] = w / ||w||.
+            let nrm_sq = f.alloc_reg(Type::F64);
+            f.mov(nrm_sq, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                let wv = f.load_elem(Type::F64, w, Operand::Reg(i));
+                let sq = f.fmul(Operand::Reg(wv), Operand::Reg(wv));
+                let s = f.fadd(Operand::Reg(nrm_sq), Operand::Reg(sq));
+                f.mov(nrm_sq, Operand::Reg(s));
+            });
+            let nrm = f.sqrt(Operand::Reg(nrm_sq));
+            let hidx = f.mul(Operand::Reg(jp1), Operand::const_i64(mi));
+            let hidx = f.add(Operand::Reg(hidx), Operand::Reg(j));
+            f.store_elem(Type::F64, h, Operand::Reg(hidx), Operand::Reg(nrm));
+            let voff = f.mul(Operand::Reg(jp1), Operand::const_i64(ni));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+                let wv = f.load_elem(Type::F64, w, Operand::Reg(i));
+                let nv = f.fdiv(Operand::Reg(wv), Operand::Reg(nrm));
+                let vi = f.add(Operand::Reg(voff), Operand::Reg(i));
+                f.store_elem(Type::F64, v, Operand::Reg(vi), Operand::Reg(nv));
+            });
+            // g[j+1] = 0 (only g[0] = beta is non-zero before the solve).
+            f.store_elem(Type::F64, g_vec, Operand::Reg(jp1), Operand::const_f64(0.0));
+        });
+
+        // Solve the (m x m) least-squares problem approximately by Gaussian
+        // elimination with partial pivoting on the square part of H
+        // (H[0..m][0..m]) against g[0..m], producing y and the pivot array
+        // ipiv — the hypre_GMRESSolve step where ipiv participates.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(mi), |f, col| {
+            // Find the pivot row with the largest |H[row][col]|, row >= col.
+            let best = f.alloc_reg(Type::I64);
+            let best_val = f.alloc_reg(Type::F64);
+            f.mov(best, Operand::Reg(col));
+            let hcc = f.mul(Operand::Reg(col), Operand::const_i64(mi));
+            let hcc = f.add(Operand::Reg(hcc), Operand::Reg(col));
+            let hv = f.load_elem(Type::F64, h, Operand::Reg(hcc));
+            let habs = f.fabs(Operand::Reg(hv));
+            f.mov(best_val, Operand::Reg(habs));
+            let cp1 = f.add(Operand::Reg(col), Operand::const_i64(1));
+            f.for_loop(Operand::Reg(cp1), Operand::const_i64(mi), |f, row| {
+                let hrc = f.mul(Operand::Reg(row), Operand::const_i64(mi));
+                let hrc = f.add(Operand::Reg(hrc), Operand::Reg(col));
+                let hv = f.load_elem(Type::F64, h, Operand::Reg(hrc));
+                let habs = f.fabs(Operand::Reg(hv));
+                let better = f.cmp(CmpPred::FOgt, Operand::Reg(habs), Operand::Reg(best_val));
+                f.if_then(Operand::Reg(better), |f| {
+                    f.mov(best, Operand::Reg(row));
+                    f.mov(best_val, Operand::Reg(habs));
+                });
+            });
+            f.store_elem(Type::I64, ipiv, Operand::Reg(col), Operand::Reg(best));
+            // Swap rows col and ipiv[col] of H and entries of g.
+            let piv = f.load_elem(Type::I64, ipiv, Operand::Reg(col));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(mi), |f, cc| {
+                let a_idx = f.mul(Operand::Reg(col), Operand::const_i64(mi));
+                let a_idx = f.add(Operand::Reg(a_idx), Operand::Reg(cc));
+                let b_idx = f.mul(Operand::Reg(piv), Operand::const_i64(mi));
+                let b_idx = f.add(Operand::Reg(b_idx), Operand::Reg(cc));
+                let av = f.load_elem(Type::F64, h, Operand::Reg(a_idx));
+                let bv = f.load_elem(Type::F64, h, Operand::Reg(b_idx));
+                f.store_elem(Type::F64, h, Operand::Reg(a_idx), Operand::Reg(bv));
+                f.store_elem(Type::F64, h, Operand::Reg(b_idx), Operand::Reg(av));
+            });
+            let ga = f.load_elem(Type::F64, g_vec, Operand::Reg(col));
+            let gb = f.load_elem(Type::F64, g_vec, Operand::Reg(piv));
+            f.store_elem(Type::F64, g_vec, Operand::Reg(col), Operand::Reg(gb));
+            f.store_elem(Type::F64, g_vec, Operand::Reg(piv), Operand::Reg(ga));
+            // Eliminate below the pivot.
+            f.for_loop(Operand::Reg(cp1), Operand::const_i64(mi), |f, row| {
+                let hrc = f.mul(Operand::Reg(row), Operand::const_i64(mi));
+                let hrc = f.add(Operand::Reg(hrc), Operand::Reg(col));
+                let num = f.load_elem(Type::F64, h, Operand::Reg(hrc));
+                let hcc = f.mul(Operand::Reg(col), Operand::const_i64(mi));
+                let hcc = f.add(Operand::Reg(hcc), Operand::Reg(col));
+                let den = f.load_elem(Type::F64, h, Operand::Reg(hcc));
+                let fac = f.fdiv(Operand::Reg(num), Operand::Reg(den));
+                f.for_loop(Operand::Reg(col), Operand::const_i64(mi), |f, cc| {
+                    let a_idx = f.mul(Operand::Reg(row), Operand::const_i64(mi));
+                    let a_idx = f.add(Operand::Reg(a_idx), Operand::Reg(cc));
+                    let p_idx = f.mul(Operand::Reg(col), Operand::const_i64(mi));
+                    let p_idx = f.add(Operand::Reg(p_idx), Operand::Reg(cc));
+                    let av = f.load_elem(Type::F64, h, Operand::Reg(a_idx));
+                    let pv = f.load_elem(Type::F64, h, Operand::Reg(p_idx));
+                    let sub = f.fmul(Operand::Reg(fac), Operand::Reg(pv));
+                    let nv = f.fsub(Operand::Reg(av), Operand::Reg(sub));
+                    f.store_elem(Type::F64, h, Operand::Reg(a_idx), Operand::Reg(nv));
+                });
+                let gr = f.load_elem(Type::F64, g_vec, Operand::Reg(row));
+                let gc = f.load_elem(Type::F64, g_vec, Operand::Reg(col));
+                let sub = f.fmul(Operand::Reg(fac), Operand::Reg(gc));
+                let ng = f.fsub(Operand::Reg(gr), Operand::Reg(sub));
+                f.store_elem(Type::F64, g_vec, Operand::Reg(row), Operand::Reg(ng));
+            });
+        });
+        // Back substitution for y.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(mi), |f, t| {
+            let mm1 = f.sub(Operand::const_i64(mi - 1), Operand::Reg(t));
+            let acc = f.alloc_reg(Type::F64);
+            let gv = f.load_elem(Type::F64, g_vec, Operand::Reg(mm1));
+            f.mov(acc, Operand::Reg(gv));
+            let rp1 = f.add(Operand::Reg(mm1), Operand::const_i64(1));
+            f.for_loop(Operand::Reg(rp1), Operand::const_i64(mi), |f, cc| {
+                let hidx = f.mul(Operand::Reg(mm1), Operand::const_i64(mi));
+                let hidx = f.add(Operand::Reg(hidx), Operand::Reg(cc));
+                let hv = f.load_elem(Type::F64, h, Operand::Reg(hidx));
+                let yv = f.load_elem(Type::F64, y_vec, Operand::Reg(cc));
+                let sub = f.fmul(Operand::Reg(hv), Operand::Reg(yv));
+                let na = f.fsub(Operand::Reg(acc), Operand::Reg(sub));
+                f.mov(acc, Operand::Reg(na));
+            });
+            let hdd = f.mul(Operand::Reg(mm1), Operand::const_i64(mi));
+            let hdd = f.add(Operand::Reg(hdd), Operand::Reg(mm1));
+            let dv = f.load_elem(Type::F64, h, Operand::Reg(hdd));
+            let yv = f.fdiv(Operand::Reg(acc), Operand::Reg(dv));
+            f.store_elem(Type::F64, y_vec, Operand::Reg(mm1), Operand::Reg(yv));
+        });
+        // x = V^T[0..m] y.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+            let acc = f.alloc_reg(Type::F64);
+            f.mov(acc, Operand::const_f64(0.0));
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(mi), |f, j| {
+                let yv = f.load_elem(Type::F64, y_vec, Operand::Reg(j));
+                let voff = f.mul(Operand::Reg(j), Operand::const_i64(ni));
+                let vi = f.add(Operand::Reg(voff), Operand::Reg(i));
+                let vv = f.load_elem(Type::F64, v, Operand::Reg(vi));
+                let p = f.fmul(Operand::Reg(yv), Operand::Reg(vv));
+                let s = f.fadd(Operand::Reg(acc), Operand::Reg(p));
+                f.mov(acc, Operand::Reg(s));
+            });
+            f.store_elem(Type::F64, x, Operand::Reg(i), Operand::Reg(acc));
+        });
+        // final_res = || b - A x || (true residual).
+        f.call(matvec, &[Operand::Global(w), Operand::Global(x)], None);
+        let res_sq = f.alloc_reg(Type::F64);
+        f.mov(res_sq, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
+            let bv = f.load_elem(Type::F64, b, Operand::Reg(i));
+            let wv = f.load_elem(Type::F64, w, Operand::Reg(i));
+            let d = f.fsub(Operand::Reg(bv), Operand::Reg(wv));
+            let sq = f.fmul(Operand::Reg(d), Operand::Reg(d));
+            let s = f.fadd(Operand::Reg(res_sq), Operand::Reg(sq));
+            f.mov(res_sq, Operand::Reg(s));
+        });
+        let res = f.sqrt(Operand::Reg(res_sq));
+        f.store_elem(Type::F64, final_res, Operand::const_i64(0), Operand::Reg(res));
+        f.ret(Some(Operand::Reg(res)));
+
+        module.add_function(f.finish());
+        assert_verified(&module);
+        module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    #[test]
+    fn gmres_reduces_the_residual() {
+        let amg = Amg::default();
+        let outcome = golden_run(&amg).unwrap();
+        assert!(outcome.status.is_completed(), "status: {:?}", outcome.status);
+        let b = random_vector(amg.matrix().n, 0.5, 1.5, amg.config.seed);
+        let b_norm = crate::linalg::norm2(&b);
+        let res = outcome.return_f64();
+        assert!(
+            res < 0.5 * b_norm,
+            "GMRES should reduce the residual: {res} vs ||b|| = {b_norm}"
+        );
+    }
+
+    #[test]
+    fn solution_approximately_satisfies_the_system() {
+        let amg = Amg::default();
+        let outcome = golden_run(&amg).unwrap();
+        let mat = amg.matrix();
+        let x = outcome.global_f64("x");
+        let ax = mat.matvec(&x);
+        let b = random_vector(mat.n, 0.5, 1.5, amg.config.seed);
+        let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| q - p).collect();
+        let reported = outcome.global_f64("final_res")[0];
+        assert!((crate::linalg::norm2(&resid) - reported).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivot_array_is_populated() {
+        let amg = Amg::default();
+        let outcome = golden_run(&amg).unwrap();
+        let ipiv = &outcome.globals["ipiv"];
+        assert_eq!(ipiv.len(), amg.config.restart);
+        // Every pivot index is within range (>= its column index).
+        for (col, p) in ipiv.iter().enumerate() {
+            let p = p.as_i64();
+            assert!(p >= col as i64 && (p as usize) < amg.config.restart);
+        }
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let amg = Amg::default();
+        assert_eq!(amg.name(), "AMG");
+        assert_eq!(amg.code_segment(), "hypre_GMRESSolve");
+        assert_eq!(amg.target_objects(), vec!["ipiv", "A"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! # moard-workloads
+//!
+//! The benchmark substrate of the MOARD reproduction: reduced-scale Rust/IR
+//! re-implementations of every workload the paper evaluates (Table I) plus
+//! the two case-study applications of §VI.
+//!
+//! * NPB kernels: [`npb::Cg`], [`npb::Mg`], [`npb::Ft`], [`npb::Bt`],
+//!   [`npb::Sp`], [`npb::Lu`];
+//! * proxy / production applications: [`lulesh::Lulesh`], [`amg::Amg`];
+//! * case-study applications: [`mm::MatMul`] (GEMM, ABFT baseline) and
+//!   [`pf::Pf`] (Rodinia Particle Filter).
+//!
+//! Every workload implements [`spec::Workload`]: it builds an IR [`Module`]
+//! with named global data objects, declares which of them are the paper's
+//! *target data objects*, which are the *outputs* that define the
+//! application outcome, and how outcomes are judged acceptable
+//! (algorithm-level fidelity).
+//!
+//! [`Module`]: moard_ir::Module
+
+pub mod amg;
+pub mod linalg;
+pub mod lulesh;
+pub mod mm;
+pub mod npb;
+pub mod pf;
+pub mod spec;
+
+pub use amg::{Amg, AmgConfig};
+pub use lulesh::{Lulesh, LuleshConfig};
+pub use mm::{MatMul, MmConfig};
+pub use pf::{Pf, PfConfig};
+pub use spec::{classify_by_outputs, golden_run, Acceptance, Workload, WorkloadInfo};
+
+/// All eight benchmark workloads of Table I, in the order of the paper's
+/// figures (CG, MG, FT, BT, SP, LU, LULESH, AMG).
+pub fn table1_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(npb::Cg::default()),
+        Box::new(npb::Mg::default()),
+        Box::new(npb::Ft::default()),
+        Box::new(npb::Bt::default()),
+        Box::new(npb::Sp::default()),
+        Box::new(npb::Lu::default()),
+        Box::new(Lulesh::default()),
+        Box::new(Amg::default()),
+    ]
+}
+
+/// Look a workload up by (case-insensitive) name; includes the case-study
+/// workloads MM and PF in addition to the Table I benchmarks.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    let lower = name.to_ascii_lowercase();
+    let w: Box<dyn Workload> = match lower.as_str() {
+        "cg" => Box::new(npb::Cg::default()),
+        "mg" => Box::new(npb::Mg::default()),
+        "ft" => Box::new(npb::Ft::default()),
+        "bt" => Box::new(npb::Bt::default()),
+        "sp" => Box::new(npb::Sp::default()),
+        "lu" => Box::new(npb::Lu::default()),
+        "lulesh" => Box::new(Lulesh::default()),
+        "amg" => Box::new(Amg::default()),
+        "mm" | "matmul" => Box::new(MatMul::default()),
+        "pf" | "particlefilter" => Box::new(Pf::default()),
+        _ => return None,
+    };
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_eight_table1_benchmarks() {
+        let all = table1_workloads();
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["CG", "MG", "FT", "BT", "SP", "LU", "LULESH", "AMG"]);
+        // 16 target data objects in total, as in the paper.
+        let total_targets: usize = all.iter().map(|w| w.target_objects().len()).sum();
+        assert_eq!(total_targets, 16);
+    }
+
+    #[test]
+    fn every_workload_builds_a_verified_module_with_its_objects() {
+        for w in table1_workloads() {
+            let module = w.build();
+            for target in w.target_objects() {
+                assert!(
+                    module.global_id(target).is_some(),
+                    "{}: target object {target} missing",
+                    w.name()
+                );
+            }
+            for output in w.output_objects() {
+                assert!(
+                    module.global_id(output).is_some(),
+                    "{}: output object {output} missing",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(workload_by_name("cg").unwrap().name(), "CG");
+        assert_eq!(workload_by_name("LULESH").unwrap().name(), "LULESH");
+        assert_eq!(workload_by_name("MatMul").unwrap().name(), "MM");
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_golden_run_completes() {
+        for w in table1_workloads() {
+            let outcome = golden_run(w.as_ref()).expect("vm load");
+            assert!(
+                outcome.status.is_completed(),
+                "{} golden run failed: {:?}",
+                w.name(),
+                outcome.status
+            );
+        }
+    }
+}

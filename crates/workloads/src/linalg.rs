@@ -1,0 +1,247 @@
+//! Deterministic input generation shared by the workloads: sparse matrices
+//! in CSR form, dense matrices, and reproducible pseudo-random sequences.
+//!
+//! All inputs are generated with fixed seeds so that every golden run, trace,
+//! and fault-injection campaign across the whole repository sees exactly the
+//! same data — a prerequisite for the aDVF analysis, which compares corrupted
+//! runs bit-by-bit against the golden run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse matrix in compressed-sparse-row form, mirroring the
+/// `a` / `colidx` / `rowstr` triplet of the NPB CG benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Row start offsets, length `n + 1`.
+    pub rowstr: Vec<i64>,
+    /// Column indices of the stored entries.
+    pub colidx: Vec<i64>,
+    /// Stored entry values.
+    pub a: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Dense matrix-vector product (reference implementation used by tests).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (s, e) = (self.rowstr[i] as usize, self.rowstr[i + 1] as usize);
+            for k in s..e {
+                *yi += self.a[k] * x[self.colidx[k] as usize];
+            }
+        }
+        y
+    }
+
+    /// Generate a symmetric positive-definite-ish sparse matrix: strong
+    /// diagonal plus `extra_per_row` random off-diagonal entries per row.
+    pub fn diagonally_dominant(n: usize, extra_per_row: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rowstr = Vec::with_capacity(n + 1);
+        let mut colidx = Vec::new();
+        let mut a = Vec::new();
+        rowstr.push(0);
+        for i in 0..n {
+            // Collect distinct off-diagonal columns.
+            let mut cols = vec![i];
+            while cols.len() < extra_per_row + 1 {
+                let c = rng.gen_range(0..n);
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            cols.sort_unstable();
+            for c in cols {
+                let v = if c == i {
+                    // Diagonal dominance keeps CG and GMRES well conditioned.
+                    (extra_per_row as f64) + 2.0 + rng.gen_range(0.0..1.0)
+                } else {
+                    -rng.gen_range(0.1..1.0)
+                };
+                colidx.push(c as i64);
+                a.push(v);
+            }
+            rowstr.push(colidx.len() as i64);
+        }
+        CsrMatrix { n, rowstr, colidx, a }
+    }
+
+    /// Generate the 5-point anisotropic Laplacian on an `nx` x `ny` grid —
+    /// the "aniso" input problem of AMG2013, shrunk to laptop scale.
+    pub fn anisotropic_laplacian(nx: usize, ny: usize, epsilon: f64) -> CsrMatrix {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| (j * nx + i) as i64;
+        let mut rowstr = Vec::with_capacity(n + 1);
+        let mut colidx = Vec::new();
+        let mut a = Vec::new();
+        rowstr.push(0);
+        for j in 0..ny {
+            for i in 0..nx {
+                let mut push = |c: i64, v: f64| {
+                    colidx.push(c);
+                    a.push(v);
+                };
+                if j > 0 {
+                    push(idx(i, j - 1), -epsilon);
+                }
+                if i > 0 {
+                    push(idx(i - 1, j), -1.0);
+                }
+                push(idx(i, j), 2.0 + 2.0 * epsilon);
+                if i + 1 < nx {
+                    push(idx(i + 1, j), -1.0);
+                }
+                if j + 1 < ny {
+                    push(idx(i, j + 1), -epsilon);
+                }
+                rowstr.push(colidx.len() as i64);
+            }
+        }
+        CsrMatrix { n, rowstr, colidx, a }
+    }
+}
+
+/// Deterministic pseudo-random vector in `[lo, hi)`.
+pub fn random_vector(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic pseudo-random dense matrix (row-major `rows x cols`).
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    random_vector(rows * cols, -1.0, 1.0, seed)
+}
+
+/// Reference dense matrix multiplication, row-major (used by tests and by the
+/// ABFT case study to cross-check the IR kernels).
+pub fn matmul_ref(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_generation_is_deterministic_and_well_formed() {
+        let m1 = CsrMatrix::diagonally_dominant(32, 4, 7);
+        let m2 = CsrMatrix::diagonally_dominant(32, 4, 7);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.rowstr.len(), 33);
+        assert_eq!(m1.nnz(), 32 * 5);
+        // Every column index in range, every row has its diagonal.
+        for i in 0..m1.n {
+            let (s, e) = (m1.rowstr[i] as usize, m1.rowstr[i + 1] as usize);
+            assert!(m1.colidx[s..e].iter().any(|&c| c as usize == i));
+            assert!(m1.colidx[s..e].iter().all(|&c| (c as usize) < m1.n));
+        }
+    }
+
+    #[test]
+    fn diagonally_dominant_rows_dominate() {
+        let m = CsrMatrix::diagonally_dominant(16, 3, 1);
+        for i in 0..m.n {
+            let (s, e) = (m.rowstr[i] as usize, m.rowstr[i + 1] as usize);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in s..e {
+                if m.colidx[k] as usize == i {
+                    diag = m.a[k];
+                } else {
+                    off += m.a[k].abs();
+                }
+            }
+            assert!(diag > off, "row {i} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn laplacian_structure() {
+        let m = CsrMatrix::anisotropic_laplacian(4, 3, 0.1);
+        assert_eq!(m.n, 12);
+        assert_eq!(m.rowstr.len(), 13);
+        // Interior point has 5 entries, corner has 3.
+        let row_len =
+            |i: usize| (m.rowstr[i + 1] - m.rowstr[i]) as usize;
+        assert_eq!(row_len(0), 3);
+        assert_eq!(row_len(5), 5);
+        // Symmetric: A x = A^T x for a test vector.
+        let x = random_vector(m.n, 0.0, 1.0, 3);
+        let y = m.matvec(&x);
+        assert_eq!(y.len(), 12);
+    }
+
+    #[test]
+    fn matvec_matches_dense_reference() {
+        let m = CsrMatrix::diagonally_dominant(8, 2, 5);
+        let x = random_vector(8, -1.0, 1.0, 11);
+        // Build the dense form and multiply.
+        let mut dense = vec![0.0; 64];
+        for i in 0..8 {
+            for k in m.rowstr[i] as usize..m.rowstr[i + 1] as usize {
+                dense[i * 8 + m.colidx[k] as usize] += m.a[k];
+            }
+        }
+        let mut want = vec![0.0; 8];
+        for i in 0..8 {
+            for j in 0..8 {
+                want[i] += dense[i * 8 + j] * x[j];
+            }
+        }
+        let got = m.matvec(&x);
+        for (a, b) in want.iter().zip(got.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_ref_identity() {
+        let n = 4;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b = random_matrix(n, n, 2);
+        let c = matmul_ref(&eye, &b, n);
+        for (x, y) in c.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+        let v1 = random_vector(10, 0.0, 1.0, 42);
+        let v2 = random_vector(10, 0.0, 1.0, 42);
+        assert_eq!(v1, v2);
+        assert!(v1.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+}

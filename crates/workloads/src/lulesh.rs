@@ -1,0 +1,298 @@
+//! LULESH — unstructured Lagrangian explicit shock hydrodynamics proxy app
+//! (Table I; Karlin et al., cited as [21] in the paper).
+//!
+//! The paper studies the routine `CalcMonotonicQRegionForElems` with target
+//! data objects `m_delv_zeta` (a double-precision velocity-gradient array,
+//! plotted as `zeta`) and `m_elemBC` (an integer array of boundary-condition
+//! flags, plotted as `elemBC`).  For the RFI comparison (Fig. 7) and the
+//! model validation (Fig. 6) the coordinate arrays `m_x`, `m_y`, `m_z` of the
+//! same routine's element loop are studied as well.
+//!
+//! The kernel reproduces the routine's structure: for every element it
+//! gathers the ζ-direction velocity gradients of the element and its
+//! neighbour, applies the monotonic limiter (min/max clamping against
+//! `monoq_limiter`), branches on the boundary-condition flags, and computes
+//! the artificial viscosity terms `qq` and `ql` from the limited gradient and
+//! an element length scale derived from the nodal coordinates `m_x/m_y/m_z`.
+
+use crate::linalg::random_vector;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem configuration for the LULESH kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct LuleshConfig {
+    /// Number of elements in the region (the paper uses a 5x5x5 input; we
+    /// keep the element count but work on the flattened region).
+    pub num_elem: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LuleshConfig {
+    fn default() -> Self {
+        LuleshConfig {
+            num_elem: 125,
+            seed: 0x5EED_11,
+        }
+    }
+}
+
+/// The LULESH workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lulesh {
+    /// Problem configuration.
+    pub config: LuleshConfig,
+}
+
+impl Lulesh {
+    /// LULESH with an explicit configuration.
+    pub fn with_config(config: LuleshConfig) -> Self {
+        Lulesh { config }
+    }
+
+    /// Boundary-condition flags: 0 for interior elements, 1 / 2 for the two
+    /// ζ faces (deterministic pattern like the structured LULESH mesh).
+    pub fn elem_bc(&self) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xbc);
+        (0..self.config.num_elem)
+            .map(|i| {
+                if i % 25 == 0 {
+                    1
+                } else if i % 25 == 24 {
+                    2
+                } else if rng.gen_range(0..10) == 0 {
+                    3
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+}
+
+impl Workload for Lulesh {
+    fn name(&self) -> &'static str {
+        "LULESH"
+    }
+
+    fn description(&self) -> &'static str {
+        "Unstructured Lagrangian explicit shock hydrodynamics (input 5x5x5)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "CalcMonotonicQRegionForElems"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["m_delv_zeta", "m_elemBC"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["qq", "ql"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-6)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let ne = cfg.num_elem;
+        let n = ne as i64;
+
+        let mut m = Module::new("lulesh");
+        let delv_init = random_vector(ne, -0.5, 0.5, cfg.seed);
+        let x_init = random_vector(ne, 0.0, 1.0, cfg.seed ^ 1);
+        let y_init = random_vector(ne, 0.0, 1.0, cfg.seed ^ 2);
+        let z_init = random_vector(ne, 0.0, 1.0, cfg.seed ^ 3);
+        let m_delv_zeta = m.add_global(Global::from_f64("m_delv_zeta", &delv_init));
+        let m_elem_bc = m.add_global(Global::from_i64("m_elemBC", &self.elem_bc()));
+        let m_x = m.add_global(Global::from_f64("m_x", &x_init));
+        let m_y = m.add_global(Global::from_f64("m_y", &y_init));
+        let m_z = m.add_global(Global::from_f64("m_z", &z_init));
+        let qq = m.add_global(Global::zeroed("qq", Type::F64, ne as u64));
+        let ql = m.add_global(Global::zeroed("ql", Type::F64, ne as u64));
+
+        let monoq_limiter = 2.0;
+        let monoq_max_slope = 1.0;
+        let qlc = 0.5;
+        let qqc = 2.0;
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, e| {
+            // Gather delv for the element and its +ζ neighbour (clamped).
+            let dz = f.load_elem(Type::F64, m_delv_zeta, Operand::Reg(e));
+            let ep1 = f.add(Operand::Reg(e), Operand::const_i64(1));
+            let last = f.cmp(CmpPred::Sge, Operand::Reg(ep1), Operand::const_i64(n));
+            let nb_idx = f.select(Type::I64, Operand::Reg(last), Operand::Reg(e), Operand::Reg(ep1));
+            let dzp = f.load_elem(Type::F64, m_delv_zeta, Operand::Reg(nb_idx));
+
+            // norm = 1 / (delv + eps); phi = 0.5*(delv_m/denominator ratios)
+            let eps = 1e-36;
+            let denom = f.fadd(Operand::Reg(dz), Operand::const_f64(eps));
+            let norm = f.fdiv(Operand::const_f64(1.0), Operand::Reg(denom));
+            let phizm = f.fmul(Operand::Reg(dzp), Operand::Reg(norm));
+
+            // Branch on the boundary condition flags: on ζ boundary faces the
+            // neighbour ratio is forced (1 on face-1, 0 on face-2 / free).
+            let bc = f.load_elem(Type::I64, m_elem_bc, Operand::Reg(e));
+            let phi = f.alloc_reg(Type::F64);
+            f.mov(phi, Operand::Reg(phizm));
+            let is_face1 = f.cmp(CmpPred::Eq, Operand::Reg(bc), Operand::const_i64(1));
+            f.if_then(Operand::Reg(is_face1), |f| {
+                f.mov(phi, Operand::const_f64(1.0));
+            });
+            let is_face2 = f.cmp(CmpPred::Eq, Operand::Reg(bc), Operand::const_i64(2));
+            f.if_then(Operand::Reg(is_face2), |f| {
+                f.mov(phi, Operand::const_f64(0.0));
+            });
+
+            // Monotonic limiter: phi = clamp(phi, 0, monoq_max_slope) scaled
+            // by the limiter constant.
+            let scaled = f.fmul(Operand::Reg(phi), Operand::const_f64(monoq_limiter));
+            let half = f.fmul(Operand::Reg(scaled), Operand::const_f64(0.5));
+            let zero_cl = f.intrinsic(
+                Intrinsic::FMax,
+                &[Operand::Reg(half), Operand::const_f64(0.0)],
+                Type::F64,
+            );
+            let limited = f.intrinsic(
+                Intrinsic::FMin,
+                &[Operand::Reg(zero_cl), Operand::const_f64(monoq_max_slope)],
+                Type::F64,
+            );
+
+            // Element length scale from the nodal coordinates.
+            let xv = f.load_elem(Type::F64, m_x, Operand::Reg(e));
+            let yv = f.load_elem(Type::F64, m_y, Operand::Reg(e));
+            let zv = f.load_elem(Type::F64, m_z, Operand::Reg(e));
+            let xx = f.fmul(Operand::Reg(xv), Operand::Reg(xv));
+            let yy = f.fmul(Operand::Reg(yv), Operand::Reg(yv));
+            let zz = f.fmul(Operand::Reg(zv), Operand::Reg(zv));
+            let s1 = f.fadd(Operand::Reg(xx), Operand::Reg(yy));
+            let s2 = f.fadd(Operand::Reg(s1), Operand::Reg(zz));
+            let length = f.sqrt(Operand::Reg(s2));
+
+            // Artificial viscosity terms, zeroed for expanding elements
+            // (delv > 0), quadratic and linear otherwise.
+            let expanding = f.cmp(CmpPred::FOgt, Operand::Reg(dz), Operand::const_f64(0.0));
+            f.if_then_else(
+                Operand::Reg(expanding),
+                |f| {
+                    f.store_elem(Type::F64, qq, Operand::Reg(e), Operand::const_f64(0.0));
+                    f.store_elem(Type::F64, ql, Operand::Reg(e), Operand::const_f64(0.0));
+                },
+                |f| {
+                    let one_minus = f.fsub(Operand::const_f64(1.0), Operand::Reg(limited));
+                    let dl = f.fmul(Operand::Reg(dz), Operand::Reg(length));
+                    let dl_lim = f.fmul(Operand::Reg(dl), Operand::Reg(one_minus));
+                    let qlv = f.fmul(Operand::Reg(dl_lim), Operand::const_f64(qlc));
+                    let qlv = f.fabs(Operand::Reg(qlv));
+                    let dl2 = f.fmul(Operand::Reg(dl_lim), Operand::Reg(dl_lim));
+                    let qqv = f.fmul(Operand::Reg(dl2), Operand::const_f64(qqc));
+                    f.store_elem(Type::F64, ql, Operand::Reg(e), Operand::Reg(qlv));
+                    f.store_elem(Type::F64, qq, Operand::Reg(e), Operand::Reg(qqv));
+                },
+            );
+        });
+
+        // Scalar summary: total artificial viscosity.
+        let total = f.alloc_reg(Type::F64);
+        f.mov(total, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, e| {
+            let a = f.load_elem(Type::F64, qq, Operand::Reg(e));
+            let b = f.load_elem(Type::F64, ql, Operand::Reg(e));
+            let s = f.fadd(Operand::Reg(a), Operand::Reg(b));
+            let t = f.fadd(Operand::Reg(total), Operand::Reg(s));
+            f.mov(total, Operand::Reg(t));
+        });
+        f.ret(Some(Operand::Reg(total)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    fn reference(cfg: LuleshConfig, bc: &[i64]) -> (Vec<f64>, Vec<f64>) {
+        let ne = cfg.num_elem;
+        let delv = random_vector(ne, -0.5, 0.5, cfg.seed);
+        let xs = random_vector(ne, 0.0, 1.0, cfg.seed ^ 1);
+        let ys = random_vector(ne, 0.0, 1.0, cfg.seed ^ 2);
+        let zs = random_vector(ne, 0.0, 1.0, cfg.seed ^ 3);
+        let mut qq = vec![0.0; ne];
+        let mut ql = vec![0.0; ne];
+        for e in 0..ne {
+            let dz = delv[e];
+            let nb = if e + 1 >= ne { e } else { e + 1 };
+            let dzp = delv[nb];
+            let norm = 1.0 / (dz + 1e-36);
+            let mut phi = dzp * norm;
+            if bc[e] == 1 {
+                phi = 1.0;
+            }
+            if bc[e] == 2 {
+                phi = 0.0;
+            }
+            let limited = (phi * 2.0 * 0.5).max(0.0).min(1.0);
+            let length = (xs[e] * xs[e] + ys[e] * ys[e] + zs[e] * zs[e]).sqrt();
+            if dz > 0.0 {
+                qq[e] = 0.0;
+                ql[e] = 0.0;
+            } else {
+                let dl_lim = dz * length * (1.0 - limited);
+                ql[e] = (dl_lim * 0.5).abs();
+                qq[e] = dl_lim * dl_lim * 2.0;
+            }
+        }
+        (qq, ql)
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let w = Lulesh::default();
+        let outcome = golden_run(&w).unwrap();
+        assert!(outcome.status.is_completed());
+        let (qq_ref, ql_ref) = reference(w.config, &w.elem_bc());
+        let qq = outcome.global_f64("qq");
+        let ql = outcome.global_f64("ql");
+        for (a, b) in qq.iter().zip(qq_ref.iter()) {
+            assert!((a - b).abs() < 1e-9, "qq mismatch {a} vs {b}");
+        }
+        for (a, b) in ql.iter().zip(ql_ref.iter()) {
+            assert!((a - b).abs() < 1e-9, "ql mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn boundary_flags_matter() {
+        // The boundary-condition array must actually influence the outcome —
+        // otherwise elemBC's aDVF would be trivially 1.
+        let w = Lulesh::default();
+        let bc = w.elem_bc();
+        assert!(bc.iter().any(|&b| b == 1));
+        assert!(bc.iter().any(|&b| b == 2));
+        assert!(bc.iter().any(|&b| b == 0));
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let w = Lulesh::default();
+        assert_eq!(w.name(), "LULESH");
+        assert_eq!(w.code_segment(), "CalcMonotonicQRegionForElems");
+        assert_eq!(w.target_objects(), vec!["m_delv_zeta", "m_elemBC"]);
+        let module = w.build();
+        for g in ["m_x", "m_y", "m_z", "qq", "ql"] {
+            assert!(module.global_id(g).is_some());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Dense matrix multiplication `C = A × B` (paper §VI, Fig. 8).
+//!
+//! The first ABFT case study measures the aDVF of the result matrix `C`
+//! without protection (≈ 0.017 — almost every corrupted element of `C`
+//! survives into the output, because `C` is written once and never
+//! re-derived) and with the Wu & Ding checksum ABFT (≈ 0.82 — corrupted
+//! elements are corrected during the verification phase, which the model
+//! attributes to value overwriting during error propagation).
+//!
+//! This module provides the unprotected kernel; `moard-abft` builds the
+//! checksum-protected variant on top of the same structure.
+
+use crate::linalg::{matmul_ref, random_matrix};
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the matrix-multiply kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MmConfig {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// RNG seed for A and B.
+    pub seed: u64,
+}
+
+impl Default for MmConfig {
+    fn default() -> Self {
+        MmConfig {
+            n: 8,
+            seed: 0x5EED_33,
+        }
+    }
+}
+
+/// The unprotected matrix-multiplication workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatMul {
+    /// Problem configuration.
+    pub config: MmConfig,
+}
+
+impl MatMul {
+    /// Matrix multiply with an explicit configuration.
+    pub fn with_config(config: MmConfig) -> Self {
+        MatMul { config }
+    }
+
+    /// Input matrix A (row-major).
+    pub fn a(&self) -> Vec<f64> {
+        random_matrix(self.config.n, self.config.n, self.config.seed)
+    }
+
+    /// Input matrix B (row-major).
+    pub fn b(&self) -> Vec<f64> {
+        random_matrix(self.config.n, self.config.n, self.config.seed ^ 0xbb)
+    }
+
+    /// Reference product.
+    pub fn expected(&self) -> Vec<f64> {
+        matmul_ref(&self.a(), &self.b(), self.config.n)
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> &'static str {
+        "MM"
+    }
+
+    fn description(&self) -> &'static str {
+        "Dense matrix multiplication C = A x B (ABFT case-study baseline)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["C"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["C"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        // Matrix multiplication demands numerical integrity: any deviation of
+        // the product is an unacceptable outcome (paper §II-A's "precise
+        // numerical integrity" notion).
+        Acceptance::Exact
+    }
+
+    fn build(&self) -> Module {
+        let n = self.config.n as i64;
+        let mut m = Module::new("mm");
+        let a = m.add_global(Global::from_f64("A", &self.a()));
+        let b = m.add_global(Global::from_f64("B", &self.b()));
+        let c = m.add_global(Global::zeroed("C", Type::F64, (self.config.n * self.config.n) as u64));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        // C = 0, then the canonical accumulate-in-place triple loop
+        // C[i][j] += A[i][k] * B[k][j]: every partial sum lives in C itself,
+        // which is exactly why an error in C is almost never masked without
+        // ABFT (paper Fig. 8: aDVF(C) ≈ 0.017).
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n * n), |f, e| {
+            f.store_elem(Type::F64, c, Operand::Reg(e), Operand::const_f64(0.0));
+        });
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, k| {
+                let aik = f.lin2(Operand::Reg(i), Operand::Reg(k), n);
+                let av = f.load_elem(Type::F64, a, Operand::Reg(aik));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let bkj = f.lin2(Operand::Reg(k), Operand::Reg(j), n);
+                    let bv = f.load_elem(Type::F64, b, Operand::Reg(bkj));
+                    let p = f.fmul(Operand::Reg(av), Operand::Reg(bv));
+                    let cij = f.lin2(Operand::Reg(i), Operand::Reg(j), n);
+                    let cv = f.load_elem(Type::F64, c, Operand::Reg(cij));
+                    let s = f.fadd(Operand::Reg(cv), Operand::Reg(p));
+                    f.store_elem(Type::F64, c, Operand::Reg(cij), Operand::Reg(s));
+                });
+            });
+        });
+        // Return the trace of C as a scalar summary.
+        let tr = f.alloc_reg(Type::F64);
+        f.mov(tr, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            let cii = f.lin2(Operand::Reg(i), Operand::Reg(i), n);
+            let v = f.load_elem(Type::F64, c, Operand::Reg(cii));
+            let s = f.fadd(Operand::Reg(tr), Operand::Reg(v));
+            f.mov(tr, Operand::Reg(s));
+        });
+        f.ret(Some(Operand::Reg(tr)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    #[test]
+    fn product_matches_reference() {
+        let mm = MatMul::default();
+        let outcome = golden_run(&mm).unwrap();
+        assert!(outcome.status.is_completed());
+        let got = outcome.global_f64("C");
+        let want = mm.expected();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let trace: f64 = (0..mm.config.n).map(|i| want[i * mm.config.n + i]).sum();
+        assert!((outcome.return_f64() - trace).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata() {
+        let mm = MatMul::default();
+        assert_eq!(mm.name(), "MM");
+        assert_eq!(mm.target_objects(), vec!["C"]);
+        assert_eq!(mm.acceptance(), Acceptance::Exact);
+    }
+}

@@ -1,0 +1,258 @@
+//! NPB BT — Block Tri-diagonal solver (Table I).
+//!
+//! The paper studies the routine `x_solve` with target data objects
+//! `grid_points` (the integer array holding the grid dimensions, which drives
+//! loop bounds and indexing — its corruption "can easily cause major changes
+//! in computation", giving it a low aDVF of ≈0.38) and `u` (the
+//! double-precision state array).
+//!
+//! The kernel is a reduced-scale Thomas-algorithm sweep along the x lines of
+//! a 3-D grid: forward elimination followed by back substitution on a
+//! diagonally dominant tridiagonal system per line, with the right-hand side
+//! derived from `u`.  Loop bounds and linear indices are *loaded from
+//! `grid_points`* exactly as in NPB, which is what exposes the index array to
+//! the fault model.
+
+use crate::linalg::random_vector;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the BT kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct BtConfig {
+    /// Grid points per dimension.
+    pub nx: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BtConfig {
+    fn default() -> Self {
+        BtConfig {
+            nx: 6,
+            seed: 0x5EED_B7,
+        }
+    }
+}
+
+/// The BT workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bt {
+    /// Problem configuration.
+    pub config: BtConfig,
+}
+
+impl Bt {
+    /// BT with an explicit configuration.
+    pub fn with_config(config: BtConfig) -> Self {
+        Bt { config }
+    }
+}
+
+impl Workload for Bt {
+    fn name(&self) -> &'static str {
+        "BT"
+    }
+
+    fn description(&self) -> &'static str {
+        "Block Tri-diagonal solver (reduced class S)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "x_solve"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["grid_points", "u"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["rhs"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-5)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let nx = cfg.nx;
+        let ncell = nx * nx * nx;
+
+        let mut m = Module::new("bt");
+        let grid_points = m.add_global(Global::from_i64(
+            "grid_points",
+            &[nx as i64, nx as i64, nx as i64],
+        ));
+        let u_init = random_vector(ncell, 0.5, 1.5, cfg.seed);
+        let u = m.add_global(Global::from_f64("u", &u_init));
+        let rhs = m.add_global(Global::zeroed("rhs", Type::F64, ncell as u64));
+        // Scratch diagonals for one line (length nx).
+        let lhs_a = m.add_global(Global::zeroed("lhs_a", Type::F64, nx as u64));
+        let lhs_b = m.add_global(Global::zeroed("lhs_b", Type::F64, nx as u64));
+        let lhs_c = m.add_global(Global::zeroed("lhs_c", Type::F64, nx as u64));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+
+        // Load the grid dimensions from grid_points (the NPB idiom that makes
+        // the integer array participate in almost every index computation).
+        let gx = f.load_elem(Type::I64, grid_points, Operand::const_i64(0));
+        let gy = f.load_elem(Type::I64, grid_points, Operand::const_i64(1));
+        let gz = f.load_elem(Type::I64, grid_points, Operand::const_i64(2));
+
+        // rhs = 1.2 * u  (the compute_rhs stand-in).
+        f.for_loop(Operand::const_i64(0), Operand::Reg(gz), |f, k| {
+            f.for_loop(Operand::const_i64(0), Operand::Reg(gy), |f, j| {
+                f.for_loop(Operand::const_i64(0), Operand::Reg(gx), |f, i| {
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let uv = f.load_elem(Type::F64, u, Operand::Reg(idx));
+                    let scaled = f.fmul(Operand::Reg(uv), Operand::const_f64(1.2));
+                    f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(scaled));
+                });
+            });
+        });
+
+        // x_solve: for each (k, j) line, assemble a tridiagonal system whose
+        // coefficients depend on u, then Thomas-eliminate in place on rhs.
+        f.for_loop(Operand::const_i64(0), Operand::Reg(gz), |f, k| {
+            f.for_loop(Operand::const_i64(0), Operand::Reg(gy), |f, j| {
+                // Assemble the three diagonals for this line.
+                f.for_loop(Operand::const_i64(0), Operand::Reg(gx), |f, i| {
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let uv = f.load_elem(Type::F64, u, Operand::Reg(idx));
+                    // b = 4 + u, a = c = -1 (diagonally dominant).
+                    let diag = f.fadd(Operand::Reg(uv), Operand::const_f64(4.0));
+                    f.store_elem(Type::F64, lhs_b, Operand::Reg(i), Operand::Reg(diag));
+                    f.store_elem(Type::F64, lhs_a, Operand::Reg(i), Operand::const_f64(-1.0));
+                    f.store_elem(Type::F64, lhs_c, Operand::Reg(i), Operand::const_f64(-1.0));
+                });
+                // Forward elimination over the line.
+                f.for_loop(Operand::const_i64(1), Operand::Reg(gx), |f, i| {
+                    let im1 = f.sub(Operand::Reg(i), Operand::const_i64(1));
+                    let a_i = f.load_elem(Type::F64, lhs_a, Operand::Reg(i));
+                    let b_prev = f.load_elem(Type::F64, lhs_b, Operand::Reg(im1));
+                    let fac = f.fdiv(Operand::Reg(a_i), Operand::Reg(b_prev));
+                    let c_prev = f.load_elem(Type::F64, lhs_c, Operand::Reg(im1));
+                    let b_i = f.load_elem(Type::F64, lhs_b, Operand::Reg(i));
+                    let corr = f.fmul(Operand::Reg(fac), Operand::Reg(c_prev));
+                    let nb = f.fsub(Operand::Reg(b_i), Operand::Reg(corr));
+                    f.store_elem(Type::F64, lhs_b, Operand::Reg(i), Operand::Reg(nb));
+                    // rhs[i] -= fac * rhs[i-1]
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let idx_prev = f.add(Operand::Reg(kji), Operand::Reg(im1));
+                    let r_prev = f.load_elem(Type::F64, rhs, Operand::Reg(idx_prev));
+                    let r_i = f.load_elem(Type::F64, rhs, Operand::Reg(idx));
+                    let corr = f.fmul(Operand::Reg(fac), Operand::Reg(r_prev));
+                    let nr = f.fsub(Operand::Reg(r_i), Operand::Reg(corr));
+                    f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(nr));
+                });
+                // Back substitution: rhs[i] = (rhs[i] - c[i]*rhs[i+1]) / b[i],
+                // iterating i from gx-1 down to 0 (expressed with an
+                // ascending loop over t and i = gx-1-t).
+                f.for_loop(Operand::const_i64(0), Operand::Reg(gx), |f, t| {
+                    let gxm1 = f.sub(Operand::Reg(gx), Operand::const_i64(1));
+                    let i = f.sub(Operand::Reg(gxm1), Operand::Reg(t));
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let r_i = f.load_elem(Type::F64, rhs, Operand::Reg(idx));
+                    let acc = f.alloc_reg(Type::F64);
+                    f.mov(acc, Operand::Reg(r_i));
+                    let has_next = f.cmp(CmpPred::Slt, Operand::Reg(i), Operand::Reg(gxm1));
+                    f.if_then(Operand::Reg(has_next), |f| {
+                        let ip1 = f.add(Operand::Reg(i), Operand::const_i64(1));
+                        let idx_next = f.add(Operand::Reg(kji), Operand::Reg(ip1));
+                        let r_next = f.load_elem(Type::F64, rhs, Operand::Reg(idx_next));
+                        let c_i = f.load_elem(Type::F64, lhs_c, Operand::Reg(i));
+                        let corr = f.fmul(Operand::Reg(c_i), Operand::Reg(r_next));
+                        let adj = f.fsub(Operand::Reg(acc), Operand::Reg(corr));
+                        f.mov(acc, Operand::Reg(adj));
+                    });
+                    let b_i = f.load_elem(Type::F64, lhs_b, Operand::Reg(i));
+                    let solved = f.fdiv(Operand::Reg(acc), Operand::Reg(b_i));
+                    f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(solved));
+                });
+            });
+        });
+
+        // Return the sum of the solution as a scalar summary.
+        let total = f.alloc_reg(Type::F64);
+        f.mov(total, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ncell as i64), |f, e| {
+            let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
+            let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
+            f.mov(total, Operand::Reg(s));
+        });
+        f.ret(Some(Operand::Reg(total)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    fn reference(cfg: BtConfig) -> Vec<f64> {
+        let nx = cfg.nx;
+        let u = random_vector(nx * nx * nx, 0.5, 1.5, cfg.seed);
+        let mut rhs: Vec<f64> = u.iter().map(|v| 1.2 * v).collect();
+        let idx = |k: usize, j: usize, i: usize| (k * nx + j) * nx + i;
+        for k in 0..nx {
+            for j in 0..nx {
+                let mut b: Vec<f64> = (0..nx).map(|i| 4.0 + u[idx(k, j, i)]).collect();
+                let c = vec![-1.0; nx];
+                let a = vec![-1.0; nx];
+                for i in 1..nx {
+                    let fac = a[i] / b[i - 1];
+                    b[i] -= fac * c[i - 1];
+                    rhs[idx(k, j, i)] -= fac * rhs[idx(k, j, i - 1)];
+                }
+                for t in 0..nx {
+                    let i = nx - 1 - t;
+                    let mut acc = rhs[idx(k, j, i)];
+                    if i + 1 < nx {
+                        acc -= c[i] * rhs[idx(k, j, i + 1)];
+                    }
+                    rhs[idx(k, j, i)] = acc / b[i];
+                }
+            }
+        }
+        rhs
+    }
+
+    #[test]
+    fn golden_run_matches_reference_thomas_solve() {
+        let bt = Bt::default();
+        let outcome = golden_run(&bt).unwrap();
+        assert!(outcome.status.is_completed());
+        let want = reference(bt.config);
+        let got = outcome.global_f64("rhs");
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let bt = Bt::default();
+        assert_eq!(bt.name(), "BT");
+        assert_eq!(bt.code_segment(), "x_solve");
+        assert_eq!(bt.target_objects(), vec!["grid_points", "u"]);
+    }
+}

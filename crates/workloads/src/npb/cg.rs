@@ -1,0 +1,282 @@
+//! NPB CG — Conjugate Gradient with irregular memory access (Table I).
+//!
+//! The paper studies the routine `conj_grad` in the main loop, with target
+//! data objects `r` (the double-precision residual vector) and `colidx` (the
+//! integer column-index array of the CSR matrix).  For the model-validation
+//! experiment (Fig. 6) the remaining major data objects of `conj_grad`
+//! (`rowstr`, `a`, `p`, `q`) are also registered.
+//!
+//! The kernel is a faithful, reduced-scale conjugate-gradient iteration on a
+//! randomly generated, diagonally dominant sparse matrix: the same
+//! sparse-matrix-vector products through `colidx`/`rowstr` indirection, the
+//! same vector updates on `r`, `p`, `z`, `q`, and the same residual-norm
+//! reduction — the operation mix that determines each object's aDVF.
+
+use crate::linalg::CsrMatrix;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the CG kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CgConfig {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Extra off-diagonal non-zeros per row.
+    pub extra_per_row: usize,
+    /// Number of CG iterations.
+    pub iterations: usize,
+    /// RNG seed for the matrix and right-hand side.
+    pub seed: u64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            n: 24,
+            extra_per_row: 4,
+            iterations: 8,
+            seed: 0x5EED_C6,
+        }
+    }
+}
+
+/// The CG workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cg {
+    /// Problem configuration.
+    pub config: CgConfig,
+}
+
+impl Cg {
+    /// CG with an explicit configuration.
+    pub fn with_config(config: CgConfig) -> Self {
+        Cg { config }
+    }
+
+    /// The generated input matrix (used by tests and the validation bench).
+    pub fn matrix(&self) -> CsrMatrix {
+        CsrMatrix::diagonally_dominant(self.config.n, self.config.extra_per_row, self.config.seed)
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn description(&self) -> &'static str {
+        "Conjugate Gradient, irregular memory access (reduced class S)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "conj_grad"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["r", "colidx"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["z", "rnorm"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        // CG is an iterative solver: outcomes within a small relative error
+        // of the golden solution are acceptable (paper §II-A: "satisfying a
+        // minimum fidelity threshold").
+        Acceptance::MaxRelDiff(1e-4)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let n = cfg.n as i64;
+        let mat = self.matrix();
+        let rhs = crate::linalg::random_vector(cfg.n, 0.5, 1.5, cfg.seed ^ 0xb);
+
+        let mut m = Module::new("cg");
+        let a = m.add_global(Global::from_f64("a", &mat.a));
+        let colidx = m.add_global(Global::from_i64("colidx", &mat.colidx));
+        let rowstr = m.add_global(Global::from_i64("rowstr", &mat.rowstr));
+        let x = m.add_global(Global::from_f64("x", &rhs));
+        let z = m.add_global(Global::zeroed("z", Type::F64, cfg.n as u64));
+        let p = m.add_global(Global::zeroed("p", Type::F64, cfg.n as u64));
+        let q = m.add_global(Global::zeroed("q", Type::F64, cfg.n as u64));
+        let r = m.add_global(Global::zeroed("r", Type::F64, cfg.n as u64));
+        let rnorm = m.add_global(Global::zeroed("rnorm", Type::F64, 1));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+
+        // Initialization: q = z = 0, r = p = x.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+            f.store_elem(Type::F64, q, Operand::Reg(j), Operand::const_f64(0.0));
+            f.store_elem(Type::F64, z, Operand::Reg(j), Operand::const_f64(0.0));
+            let xj = f.load_elem(Type::F64, x, Operand::Reg(j));
+            f.store_elem(Type::F64, r, Operand::Reg(j), Operand::Reg(xj));
+            f.store_elem(Type::F64, p, Operand::Reg(j), Operand::Reg(xj));
+        });
+
+        // rho = r . r
+        let rho = f.alloc_reg(Type::F64);
+        f.mov(rho, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+            let rj = f.load_elem(Type::F64, r, Operand::Reg(j));
+            let sq = f.fmul(Operand::Reg(rj), Operand::Reg(rj));
+            let s = f.fadd(Operand::Reg(rho), Operand::Reg(sq));
+            f.mov(rho, Operand::Reg(s));
+        });
+
+        // Main CG iteration.
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(cfg.iterations as i64),
+            |f, _it| {
+                // q = A * p  (CSR matvec through rowstr/colidx indirection).
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let sum = f.alloc_reg(Type::F64);
+                    f.mov(sum, Operand::const_f64(0.0));
+                    let start = f.load_elem(Type::I64, rowstr, Operand::Reg(j));
+                    let j1 = f.add(Operand::Reg(j), Operand::const_i64(1));
+                    let end = f.load_elem(Type::I64, rowstr, Operand::Reg(j1));
+                    f.for_loop(Operand::Reg(start), Operand::Reg(end), |f, k| {
+                        let col = f.load_elem(Type::I64, colidx, Operand::Reg(k));
+                        let av = f.load_elem(Type::F64, a, Operand::Reg(k));
+                        let pv = f.load_elem(Type::F64, p, Operand::Reg(col));
+                        let prod = f.fmul(Operand::Reg(av), Operand::Reg(pv));
+                        let s = f.fadd(Operand::Reg(sum), Operand::Reg(prod));
+                        f.mov(sum, Operand::Reg(s));
+                    });
+                    f.store_elem(Type::F64, q, Operand::Reg(j), Operand::Reg(sum));
+                });
+
+                // d = p . q ; alpha = rho / d
+                let d = f.alloc_reg(Type::F64);
+                f.mov(d, Operand::const_f64(0.0));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let pj = f.load_elem(Type::F64, p, Operand::Reg(j));
+                    let qj = f.load_elem(Type::F64, q, Operand::Reg(j));
+                    let prod = f.fmul(Operand::Reg(pj), Operand::Reg(qj));
+                    let s = f.fadd(Operand::Reg(d), Operand::Reg(prod));
+                    f.mov(d, Operand::Reg(s));
+                });
+                let alpha = f.fdiv(Operand::Reg(rho), Operand::Reg(d));
+
+                // z += alpha p ; r -= alpha q
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let pj = f.load_elem(Type::F64, p, Operand::Reg(j));
+                    let zj = f.load_elem(Type::F64, z, Operand::Reg(j));
+                    let ap = f.fmul(Operand::Reg(alpha), Operand::Reg(pj));
+                    let nz = f.fadd(Operand::Reg(zj), Operand::Reg(ap));
+                    f.store_elem(Type::F64, z, Operand::Reg(j), Operand::Reg(nz));
+                    let qj = f.load_elem(Type::F64, q, Operand::Reg(j));
+                    let rj = f.load_elem(Type::F64, r, Operand::Reg(j));
+                    let aq = f.fmul(Operand::Reg(alpha), Operand::Reg(qj));
+                    let nr = f.fsub(Operand::Reg(rj), Operand::Reg(aq));
+                    f.store_elem(Type::F64, r, Operand::Reg(j), Operand::Reg(nr));
+                });
+
+                // rho0 = rho ; rho = r . r ; beta = rho / rho0
+                let rho0 = f.alloc_reg(Type::F64);
+                f.mov(rho0, Operand::Reg(rho));
+                f.mov(rho, Operand::const_f64(0.0));
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let rj = f.load_elem(Type::F64, r, Operand::Reg(j));
+                    let sq = f.fmul(Operand::Reg(rj), Operand::Reg(rj));
+                    let s = f.fadd(Operand::Reg(rho), Operand::Reg(sq));
+                    f.mov(rho, Operand::Reg(s));
+                });
+                let beta = f.fdiv(Operand::Reg(rho), Operand::Reg(rho0));
+
+                // p = r + beta p
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
+                    let rj = f.load_elem(Type::F64, r, Operand::Reg(j));
+                    let pj = f.load_elem(Type::F64, p, Operand::Reg(j));
+                    let bp = f.fmul(Operand::Reg(beta), Operand::Reg(pj));
+                    let np = f.fadd(Operand::Reg(rj), Operand::Reg(bp));
+                    f.store_elem(Type::F64, p, Operand::Reg(j), Operand::Reg(np));
+                });
+            },
+        );
+
+        // rnorm = sqrt(rho)
+        let rn = f.sqrt(Operand::Reg(rho));
+        f.store_elem(Type::F64, rnorm, Operand::const_i64(0), Operand::Reg(rn));
+        f.ret(Some(Operand::Reg(rn)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    fn reference_cg(cfg: CgConfig) -> (Vec<f64>, f64) {
+        let cg = Cg::with_config(cfg);
+        let mat = cg.matrix();
+        let b = crate::linalg::random_vector(cfg.n, 0.5, 1.5, cfg.seed ^ 0xb);
+        let mut z = vec![0.0; cfg.n];
+        let mut r = b.clone();
+        let mut p = b.clone();
+        let mut rho: f64 = crate::linalg::dot(&r, &r);
+        for _ in 0..cfg.iterations {
+            let q = mat.matvec(&p);
+            let alpha = rho / crate::linalg::dot(&p, &q);
+            for j in 0..cfg.n {
+                z[j] += alpha * p[j];
+                r[j] -= alpha * q[j];
+            }
+            let rho0 = rho;
+            rho = crate::linalg::dot(&r, &r);
+            let beta = rho / rho0;
+            for j in 0..cfg.n {
+                p[j] = r[j] + beta * p[j];
+            }
+        }
+        (z, rho.sqrt())
+    }
+
+    #[test]
+    fn golden_run_matches_reference_implementation() {
+        let cg = Cg::default();
+        let outcome = golden_run(&cg).unwrap();
+        assert!(outcome.status.is_completed());
+        let (z_ref, rnorm_ref) = reference_cg(cg.config);
+        let z = outcome.global_f64("z");
+        assert_eq!(z.len(), cg.config.n);
+        for (a, b) in z.iter().zip(z_ref.iter()) {
+            assert!((a - b).abs() < 1e-9, "z mismatch: {a} vs {b}");
+        }
+        assert!((outcome.return_f64() - rnorm_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cg_converges() {
+        let cg = Cg::default();
+        let outcome = golden_run(&cg).unwrap();
+        let b = crate::linalg::random_vector(cg.config.n, 0.5, 1.5, cg.config.seed ^ 0xb);
+        let initial_norm = crate::linalg::norm2(&b);
+        assert!(
+            outcome.return_f64() < 1e-2 * initial_norm,
+            "CG did not converge: rnorm {} vs initial {}",
+            outcome.return_f64(),
+            initial_norm
+        );
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let cg = Cg::default();
+        assert_eq!(cg.name(), "CG");
+        assert_eq!(cg.code_segment(), "conj_grad");
+        assert_eq!(cg.target_objects(), vec!["r", "colidx"]);
+        // Fig. 6 objects exist as globals.
+        let module = cg.build();
+        for obj in ["rowstr", "colidx", "a", "p", "q", "r"] {
+            assert!(module.global_id(obj).is_some(), "missing global {obj}");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! NPB FT — Discrete 3-D Fast Fourier Transform (Table I).
+//!
+//! The paper studies the routine `fftXYZ` with target data objects `plane`
+//! (the working buffer of complex samples for the line FFTs) and `exp1` (the
+//! precomputed twiddle/roll factors).  Both are double-precision and show
+//! aDVF close to 1, dominated by overwriting and overshadowing, plus a large
+//! algorithm-level contribution for `plane` ("frequent transpose and 1D FFT
+//! computations that average out the data corruption").
+//!
+//! The kernel is a reduced-scale batch of radix-2 line FFTs over the rows and
+//! columns of a small 2-D complex grid (the `fftXYZ` structure: FFT along one
+//! dimension, transpose, FFT along the next), followed by the NPB-style
+//! checksum reduction that defines the application outcome.
+
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem configuration for the FT kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct FtConfig {
+    /// Grid dimension (rows == cols == n, power of two).
+    pub n: usize,
+    /// RNG seed for the initial complex field.
+    pub seed: u64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            n: 8,
+            seed: 0x5EED_F7,
+        }
+    }
+}
+
+/// The FT workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ft {
+    /// Problem configuration.
+    pub config: FtConfig,
+}
+
+impl Ft {
+    /// FT with an explicit configuration.
+    pub fn with_config(config: FtConfig) -> Self {
+        Ft { config }
+    }
+
+    /// Initial complex field (interleaved re/im), deterministic.
+    pub fn initial_field(&self) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (0..self.config.n * self.config.n * 2)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect()
+    }
+
+    /// Twiddle factors for an n-point radix-2 FFT: exp(-2πi k / n) for
+    /// k in 0..n/2, interleaved re/im.
+    pub fn twiddles(&self) -> Vec<f64> {
+        let n = self.config.n;
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n / 2 {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            out.push(angle.cos());
+            out.push(angle.sin());
+        }
+        out
+    }
+}
+
+impl Workload for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn description(&self) -> &'static str {
+        "Discrete 3D fast Fourier Transform (reduced class S, 2-D grid)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "fftXYZ"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["plane", "exp1"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["chk"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        // The NPB FT verification compares checksums to a few digits; small
+        // perturbations of the spectrum are acceptable.
+        Acceptance::MaxRelDiff(1e-3)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let n = cfg.n as i64;
+        let half = n / 2;
+
+        let mut m = Module::new("ft");
+        let plane = m.add_global(Global::from_f64("plane", &self.initial_field()));
+        let exp1 = m.add_global(Global::from_f64("exp1", &self.twiddles()));
+        let scratch = m.add_global(Global::zeroed("scratch", Type::F64, (cfg.n * 2) as u64));
+        let chk = m.add_global(Global::zeroed("chk", Type::F64, 2));
+
+        // fft_line(base_offset, stride): in-place n-point radix-2 DIT FFT of
+        // the complex line starting at element `base_offset` of `plane` with
+        // the given complex-element stride (1 for rows, n for columns).
+        // Implemented iteratively: bit-reversal copy into `scratch`, then
+        // butterfly stages reading twiddles from `exp1`.
+        let mut lf = FunctionBuilder::new("fft_line", &[Type::I64, Type::I64], None);
+        {
+            let base = lf.param(0);
+            let stride = lf.param(1);
+            let bits = (cfg.n as f64).log2() as i64;
+            // Bit-reversal permutation into scratch (interleaved re/im).
+            lf.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+                // rev = bit-reverse of i over `bits` bits.
+                let rev = f.alloc_reg(Type::I64);
+                f.mov(rev, Operand::const_i64(0));
+                for b in 0..bits {
+                    let bit = f.lshr(Operand::Reg(i), Operand::const_i64(b));
+                    let bit = f.and(Operand::Reg(bit), Operand::const_i64(1));
+                    let shifted = f.shl(Operand::Reg(bit), Operand::const_i64(bits - 1 - b));
+                    let nr = f.or(Operand::Reg(rev), Operand::Reg(shifted));
+                    f.mov(rev, Operand::Reg(nr));
+                }
+                // scratch[2i..] = plane[(base + rev*stride)*2 ..]
+                let src_elem = f.mul(Operand::Reg(rev), Operand::Reg(stride));
+                let src_elem = f.add(Operand::Reg(src_elem), Operand::Reg(base));
+                let src_re = f.mul(Operand::Reg(src_elem), Operand::const_i64(2));
+                let src_im = f.add(Operand::Reg(src_re), Operand::const_i64(1));
+                let re = f.load_elem(Type::F64, plane, Operand::Reg(src_re));
+                let im = f.load_elem(Type::F64, plane, Operand::Reg(src_im));
+                let dst_re = f.mul(Operand::Reg(i), Operand::const_i64(2));
+                let dst_im = f.add(Operand::Reg(dst_re), Operand::const_i64(1));
+                f.store_elem(Type::F64, scratch, Operand::Reg(dst_re), Operand::Reg(re));
+                f.store_elem(Type::F64, scratch, Operand::Reg(dst_im), Operand::Reg(im));
+            });
+            // Butterfly stages.
+            let mut len = 2i64;
+            while len <= n {
+                let twiddle_step = n / len;
+                lf.for_loop_step(Operand::const_i64(0), Operand::const_i64(n), len, |f, start| {
+                    f.for_loop(Operand::const_i64(0), Operand::const_i64(len / 2), |f, k| {
+                        // w = exp1[k * twiddle_step]
+                        let widx = f.mul(Operand::Reg(k), Operand::const_i64(twiddle_step));
+                        let wre_i = f.mul(Operand::Reg(widx), Operand::const_i64(2));
+                        let wim_i = f.add(Operand::Reg(wre_i), Operand::const_i64(1));
+                        let wre = f.load_elem(Type::F64, exp1, Operand::Reg(wre_i));
+                        let wim = f.load_elem(Type::F64, exp1, Operand::Reg(wim_i));
+                        // a = scratch[start + k], b = scratch[start + k + len/2]
+                        let ai = f.add(Operand::Reg(start), Operand::Reg(k));
+                        let bi = f.add(Operand::Reg(ai), Operand::const_i64(len / 2));
+                        let are_i = f.mul(Operand::Reg(ai), Operand::const_i64(2));
+                        let aim_i = f.add(Operand::Reg(are_i), Operand::const_i64(1));
+                        let bre_i = f.mul(Operand::Reg(bi), Operand::const_i64(2));
+                        let bim_i = f.add(Operand::Reg(bre_i), Operand::const_i64(1));
+                        let are = f.load_elem(Type::F64, scratch, Operand::Reg(are_i));
+                        let aim = f.load_elem(Type::F64, scratch, Operand::Reg(aim_i));
+                        let bre = f.load_elem(Type::F64, scratch, Operand::Reg(bre_i));
+                        let bim = f.load_elem(Type::F64, scratch, Operand::Reg(bim_i));
+                        // t = w * b  (complex multiply)
+                        let t1 = f.fmul(Operand::Reg(wre), Operand::Reg(bre));
+                        let t2 = f.fmul(Operand::Reg(wim), Operand::Reg(bim));
+                        let tre = f.fsub(Operand::Reg(t1), Operand::Reg(t2));
+                        let t3 = f.fmul(Operand::Reg(wre), Operand::Reg(bim));
+                        let t4 = f.fmul(Operand::Reg(wim), Operand::Reg(bre));
+                        let tim = f.fadd(Operand::Reg(t3), Operand::Reg(t4));
+                        // scratch[a] = a + t ; scratch[b] = a - t
+                        let nre = f.fadd(Operand::Reg(are), Operand::Reg(tre));
+                        let nim = f.fadd(Operand::Reg(aim), Operand::Reg(tim));
+                        let mre = f.fsub(Operand::Reg(are), Operand::Reg(tre));
+                        let mim = f.fsub(Operand::Reg(aim), Operand::Reg(tim));
+                        f.store_elem(Type::F64, scratch, Operand::Reg(are_i), Operand::Reg(nre));
+                        f.store_elem(Type::F64, scratch, Operand::Reg(aim_i), Operand::Reg(nim));
+                        f.store_elem(Type::F64, scratch, Operand::Reg(bre_i), Operand::Reg(mre));
+                        f.store_elem(Type::F64, scratch, Operand::Reg(bim_i), Operand::Reg(mim));
+                    });
+                });
+                len *= 2;
+            }
+            // Copy back to plane along the line.
+            lf.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+                let si = f.mul(Operand::Reg(i), Operand::const_i64(2));
+                let si1 = f.add(Operand::Reg(si), Operand::const_i64(1));
+                let re = f.load_elem(Type::F64, scratch, Operand::Reg(si));
+                let im = f.load_elem(Type::F64, scratch, Operand::Reg(si1));
+                let dst_elem = f.mul(Operand::Reg(i), Operand::Reg(stride));
+                let dst_elem = f.add(Operand::Reg(dst_elem), Operand::Reg(base));
+                let dre = f.mul(Operand::Reg(dst_elem), Operand::const_i64(2));
+                let dim = f.add(Operand::Reg(dre), Operand::const_i64(1));
+                f.store_elem(Type::F64, plane, Operand::Reg(dre), Operand::Reg(re));
+                f.store_elem(Type::F64, plane, Operand::Reg(dim), Operand::Reg(im));
+            });
+            lf.ret(None);
+        }
+        let fft_line = m.add_function(lf.finish());
+
+        // main: FFT along rows (X), then along columns (Y), then checksum.
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        // Rows: line i starts at element i*n with stride 1.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, row| {
+            let base = f.mul(Operand::Reg(row), Operand::const_i64(n));
+            f.call(fft_line, &[Operand::Reg(base), Operand::const_i64(1)], None);
+        });
+        // Columns: line j starts at element j with stride n.
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, col| {
+            f.call(fft_line, &[Operand::Reg(col), Operand::const_i64(n)], None);
+        });
+        // Checksum: sum of a strided subset of spectrum entries (NPB-style).
+        let cre = f.alloc_reg(Type::F64);
+        let cim = f.alloc_reg(Type::F64);
+        f.mov(cre, Operand::const_f64(0.0));
+        f.mov(cim, Operand::const_f64(0.0));
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(n * n),
+            |f, e| {
+                let keep = f.srem(Operand::Reg(e), Operand::const_i64(half.max(1)));
+                let is_kept = f.cmp(CmpPred::Eq, Operand::Reg(keep), Operand::const_i64(0));
+                f.if_then(Operand::Reg(is_kept), |f| {
+                    let re_i = f.mul(Operand::Reg(e), Operand::const_i64(2));
+                    let im_i = f.add(Operand::Reg(re_i), Operand::const_i64(1));
+                    let re = f.load_elem(Type::F64, plane, Operand::Reg(re_i));
+                    let im = f.load_elem(Type::F64, plane, Operand::Reg(im_i));
+                    let nre = f.fadd(Operand::Reg(cre), Operand::Reg(re));
+                    let nim = f.fadd(Operand::Reg(cim), Operand::Reg(im));
+                    f.mov(cre, Operand::Reg(nre));
+                    f.mov(cim, Operand::Reg(nim));
+                });
+            },
+        );
+        f.store_elem(Type::F64, chk, Operand::const_i64(0), Operand::Reg(cre));
+        f.store_elem(Type::F64, chk, Operand::const_i64(1), Operand::Reg(cim));
+        f.ret(Some(Operand::Reg(cre)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    /// Reference 2-D FFT (rows then columns) on interleaved complex data.
+    fn reference_fft2d(mut data: Vec<f64>, n: usize) -> Vec<f64> {
+        fn fft1d(line: &mut [(f64, f64)]) {
+            let n = line.len();
+            if n <= 1 {
+                return;
+            }
+            // Bit reversal.
+            let bits = n.trailing_zeros();
+            for i in 0..n {
+                let j = (i as u32).reverse_bits() >> (32 - bits);
+                let j = j as usize;
+                if j > i {
+                    line.swap(i, j);
+                }
+            }
+            let mut len = 2;
+            while len <= n {
+                let ang = -2.0 * std::f64::consts::PI / len as f64;
+                for start in (0..n).step_by(len) {
+                    for k in 0..len / 2 {
+                        let (wre, wim) = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                        let (are, aim) = line[start + k];
+                        let (bre, bim) = line[start + k + len / 2];
+                        let tre = wre * bre - wim * bim;
+                        let tim = wre * bim + wim * bre;
+                        line[start + k] = (are + tre, aim + tim);
+                        line[start + k + len / 2] = (are - tre, aim - tim);
+                    }
+                }
+                len *= 2;
+            }
+        }
+        let get = |d: &Vec<f64>, e: usize| (d[2 * e], d[2 * e + 1]);
+        // Rows.
+        for row in 0..n {
+            let mut line: Vec<(f64, f64)> = (0..n).map(|i| get(&data, row * n + i)).collect();
+            fft1d(&mut line);
+            for (i, (re, im)) in line.into_iter().enumerate() {
+                data[2 * (row * n + i)] = re;
+                data[2 * (row * n + i) + 1] = im;
+            }
+        }
+        // Columns.
+        for col in 0..n {
+            let mut line: Vec<(f64, f64)> = (0..n).map(|j| get(&data, j * n + col)).collect();
+            fft1d(&mut line);
+            for (j, (re, im)) in line.into_iter().enumerate() {
+                data[2 * (j * n + col)] = re;
+                data[2 * (j * n + col) + 1] = im;
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn golden_fft_matches_reference() {
+        let ft = Ft::default();
+        let outcome = golden_run(&ft).unwrap();
+        assert!(outcome.status.is_completed());
+        let n = ft.config.n;
+        let reference = reference_fft2d(ft.initial_field(), n);
+        let plane = outcome.global_f64("plane");
+        assert_eq!(plane.len(), reference.len());
+        for (a, b) in plane.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-9, "spectrum mismatch: {a} vs {b}");
+        }
+        // Checksum matches the reference spectrum reduction.
+        let half = n / 2;
+        let (mut cre, mut cim) = (0.0, 0.0);
+        for e in 0..n * n {
+            if e % half == 0 {
+                cre += reference[2 * e];
+                cim += reference[2 * e + 1];
+            }
+        }
+        let chk = outcome.global_f64("chk");
+        assert!((chk[0] - cre).abs() < 1e-9);
+        assert!((chk[1] - cim).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let ft = Ft::default();
+        assert_eq!(ft.name(), "FT");
+        assert_eq!(ft.code_segment(), "fftXYZ");
+        assert_eq!(ft.target_objects(), vec!["plane", "exp1"]);
+        assert_eq!(ft.twiddles().len(), ft.config.n);
+    }
+}

@@ -1,0 +1,299 @@
+//! NPB LU — Lower-Upper Gauss-Seidel solver (Table I).
+//!
+//! The paper evaluates the routine `ssor` with target data objects `u` (the
+//! solution array) and `rsd` (the steady-state residual array).  The paper's
+//! worked aDVF example (Listing 2, Equation 2) is the `l2norm` routine inside
+//! `ssor`, which this module reproduces statement-for-statement: the first
+//! loop zeroes `sum[m]`, the second accumulates `sum[m] += v*v` over the 3-D
+//! grid, and the third takes `sqrt(sum[m]/cells)`.
+//!
+//! The surrounding SSOR sweep is a reduced-scale relaxation: each step
+//! recomputes `rsd` from `u` and the right-hand side and applies an
+//! under-relaxed update to `u`, which is the operation mix (load-compute-
+//! store, accumulation, overwriting) that drives `u`'s and `rsd`'s aDVF.
+
+use crate::linalg::random_vector;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the LU/SSOR kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct LuConfig {
+    /// Grid points per dimension (the grid is `nx^3` with 5 components per
+    /// point, like the NPB `v[..][..][..][5]` arrays).
+    pub nx: usize,
+    /// Number of SSOR sweeps.
+    pub sweeps: usize,
+    /// Under-relaxation factor.
+    pub omega: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig {
+            nx: 4,
+            sweeps: 3,
+            omega: 0.8,
+            seed: 0x5EED_14,
+        }
+    }
+}
+
+/// The LU workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lu {
+    /// Problem configuration.
+    pub config: LuConfig,
+}
+
+impl Lu {
+    /// LU with an explicit configuration.
+    pub fn with_config(config: LuConfig) -> Self {
+        Lu { config }
+    }
+
+    fn cells(&self) -> usize {
+        self.config.nx * self.config.nx * self.config.nx
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn description(&self) -> &'static str {
+        "Lower-Upper Gauss-Seidel solver (reduced class S)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "ssor"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["u", "rsd"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["u", "sum"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-4)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let nx = cfg.nx as i64;
+        let ncell = self.cells();
+        let nelem = ncell * 5;
+
+        let mut m = Module::new("lu");
+        let u_init = random_vector(nelem, 0.0, 1.0, cfg.seed);
+        let frct_init = random_vector(nelem, 0.0, 1.0, cfg.seed ^ 0x7);
+        let u = m.add_global(Global::from_f64("u", &u_init));
+        let rsd = m.add_global(Global::zeroed("rsd", Type::F64, nelem as u64));
+        let frct = m.add_global(Global::from_f64("frct", &frct_init));
+        let sum = m.add_global(Global::zeroed("sum", Type::F64, 5));
+
+        // l2norm(v, sum): the paper's Listing 2, on a flattened
+        // v[nz][ny][nx][5] array.
+        let mut l2 = FunctionBuilder::new("l2norm", &[Type::Ptr], None);
+        let vbase = l2.param(0);
+        // First loop: sum[m] = 0.0                       (Statement A)
+        l2.for_loop(Operand::const_i64(0), Operand::const_i64(5), |f, mm| {
+            f.store_elem(Type::F64, sum, Operand::Reg(mm), Operand::const_f64(0.0));
+        });
+        // Second loop nest: sum[m] += v[k][j][i][m]^2    (Statement B)
+        l2.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, k| {
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, j| {
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, i| {
+                    f.for_loop(Operand::const_i64(0), Operand::const_i64(5), |f, mm| {
+                        let idx = f.lin4(
+                            Operand::Reg(k),
+                            Operand::Reg(j),
+                            Operand::Reg(i),
+                            Operand::Reg(mm),
+                            nx,
+                            nx,
+                            5,
+                        );
+                        let addr = f.elem_addr(Type::F64, Operand::Reg(vbase), Operand::Reg(idx));
+                        let v = f.load(Type::F64, Operand::Reg(addr));
+                        let sq = f.fmul(Operand::Reg(v), Operand::Reg(v));
+                        let s = f.load_elem(Type::F64, sum, Operand::Reg(mm));
+                        let ns = f.fadd(Operand::Reg(s), Operand::Reg(sq));
+                        f.store_elem(Type::F64, sum, Operand::Reg(mm), Operand::Reg(ns));
+                    });
+                });
+            });
+        });
+        // Third loop: sum[m] = sqrt(sum[m] / cells)      (Statement C)
+        let cells_f = ncell as f64;
+        l2.for_loop(Operand::const_i64(0), Operand::const_i64(5), |f, mm| {
+            let s = f.load_elem(Type::F64, sum, Operand::Reg(mm));
+            let scaled = f.fdiv(Operand::Reg(s), Operand::const_f64(cells_f));
+            let root = f.sqrt(Operand::Reg(scaled));
+            f.store_elem(Type::F64, sum, Operand::Reg(mm), Operand::Reg(root));
+        });
+        l2.ret(None);
+        let l2_id = m.add_function(l2.finish());
+
+        // ssor: sweeps of rsd = frct - 0.2*(u + neighbor averages);
+        //       u += omega * rsd; then l2norm(rsd, sum).
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(cfg.sweeps as i64),
+            |f, _sweep| {
+                // Residual computation (Jacobi-style stencil on the flattened
+                // grid; neighbor in the i direction only, boundaries clamped).
+                f.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, k| {
+                    f.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, j| {
+                        f.for_loop(Operand::const_i64(0), Operand::const_i64(nx), |f, i| {
+                            f.for_loop(Operand::const_i64(0), Operand::const_i64(5), |f, mm| {
+                                let idx = f.lin4(
+                                    Operand::Reg(k),
+                                    Operand::Reg(j),
+                                    Operand::Reg(i),
+                                    Operand::Reg(mm),
+                                    nx,
+                                    nx,
+                                    5,
+                                );
+                                let uv = f.load_elem(Type::F64, u, Operand::Reg(idx));
+                                let fv = f.load_elem(Type::F64, frct, Operand::Reg(idx));
+                                // Left neighbor (clamped at the boundary).
+                                let im1 = f.sub(Operand::Reg(i), Operand::const_i64(1));
+                                let is_left = f.cmp(
+                                    CmpPred::Slt,
+                                    Operand::Reg(im1),
+                                    Operand::const_i64(0),
+                                );
+                                let i_nb = f.select(
+                                    Type::I64,
+                                    Operand::Reg(is_left),
+                                    Operand::Reg(i),
+                                    Operand::Reg(im1),
+                                );
+                                let idx_nb = f.lin4(
+                                    Operand::Reg(k),
+                                    Operand::Reg(j),
+                                    Operand::Reg(i_nb),
+                                    Operand::Reg(mm),
+                                    nx,
+                                    nx,
+                                    5,
+                                );
+                                let unb = f.load_elem(Type::F64, u, Operand::Reg(idx_nb));
+                                let avg = f.fadd(Operand::Reg(uv), Operand::Reg(unb));
+                                let scaled = f.fmul(Operand::Reg(avg), Operand::const_f64(0.2));
+                                let res = f.fsub(Operand::Reg(fv), Operand::Reg(scaled));
+                                f.store_elem(Type::F64, rsd, Operand::Reg(idx), Operand::Reg(res));
+                            });
+                        });
+                    });
+                });
+                // u += omega * rsd
+                f.for_loop(
+                    Operand::const_i64(0),
+                    Operand::const_i64(nelem as i64),
+                    |f, e| {
+                        let rv = f.load_elem(Type::F64, rsd, Operand::Reg(e));
+                        let uv = f.load_elem(Type::F64, u, Operand::Reg(e));
+                        let upd = f.fmul(Operand::Reg(rv), Operand::const_f64(cfg.omega));
+                        let nu = f.fadd(Operand::Reg(uv), Operand::Reg(upd));
+                        f.store_elem(Type::F64, u, Operand::Reg(e), Operand::Reg(nu));
+                    },
+                );
+            },
+        );
+        // Final residual norm of rsd (the paper's l2norm call).
+        f.call(l2_id, &[Operand::Global(rsd)], None);
+        let s0 = f.load_elem(Type::F64, sum, Operand::const_i64(0));
+        f.ret(Some(Operand::Reg(s0)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    fn reference(cfg: LuConfig) -> (Vec<f64>, Vec<f64>) {
+        let nx = cfg.nx;
+        let ncell = nx * nx * nx;
+        let nelem = ncell * 5;
+        let mut u = random_vector(nelem, 0.0, 1.0, cfg.seed);
+        let frct = random_vector(nelem, 0.0, 1.0, cfg.seed ^ 0x7);
+        let mut rsd = vec![0.0; nelem];
+        let idx = |k: usize, j: usize, i: usize, m: usize| ((k * nx + j) * nx + i) * 5 + m;
+        for _ in 0..cfg.sweeps {
+            for k in 0..nx {
+                for j in 0..nx {
+                    for i in 0..nx {
+                        for m in 0..5 {
+                            let i_nb = if i == 0 { i } else { i - 1 };
+                            let avg = u[idx(k, j, i, m)] + u[idx(k, j, i_nb, m)];
+                            rsd[idx(k, j, i, m)] = frct[idx(k, j, i, m)] - 0.2 * avg;
+                        }
+                    }
+                }
+            }
+            for e in 0..nelem {
+                u[e] += cfg.omega * rsd[e];
+            }
+        }
+        let mut sum = vec![0.0; 5];
+        for k in 0..nx {
+            for j in 0..nx {
+                for i in 0..nx {
+                    for m in 0..5 {
+                        let v = rsd[idx(k, j, i, m)];
+                        sum[m] += v * v;
+                    }
+                }
+            }
+        }
+        for s in sum.iter_mut() {
+            *s = (*s / ncell as f64).sqrt();
+        }
+        (u, sum)
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let lu = Lu::default();
+        let outcome = golden_run(&lu).unwrap();
+        assert!(outcome.status.is_completed());
+        let (u_ref, sum_ref) = reference(lu.config);
+        let u = outcome.global_f64("u");
+        let sum = outcome.global_f64("sum");
+        assert_eq!(u.len(), u_ref.len());
+        for (a, b) in u.iter().zip(u_ref.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in sum.iter().zip(sum_ref.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((outcome.return_f64() - sum_ref[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let lu = Lu::default();
+        assert_eq!(lu.name(), "LU");
+        assert_eq!(lu.code_segment(), "ssor");
+        assert_eq!(lu.target_objects(), vec!["u", "rsd"]);
+        let module = lu.build();
+        assert!(module.global_id("sum").is_some());
+        assert!(module.function_id("l2norm").is_some());
+    }
+}

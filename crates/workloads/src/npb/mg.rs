@@ -1,0 +1,288 @@
+//! NPB MG — Multi-Grid on a sequence of meshes (Table I).
+//!
+//! The paper studies the routine `mg3P` (the multigrid V-cycle) with target
+//! data objects `u` (the solution mesh) and `r` (the residual mesh).  The
+//! multigrid algorithm is the canonical example of algorithm-level error
+//! masking in the resilience literature (Casas et al., cited as [14] in the
+//! paper): its smoothing and coarse-grid correction steps attenuate error
+//! magnitude, so corrupted mesh values are tolerated far beyond what
+//! operation-level analysis alone explains.
+//!
+//! The kernel is a reduced-scale 1-D V-cycle (smooth → restrict → recurse →
+//! prolongate → smooth) solving a Poisson problem, preserving the
+//! overwrite-heavy residual computation and the accumulation-heavy smoothing
+//! that shape `u`'s and `r`'s aDVF.
+
+use crate::linalg::random_vector;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the MG kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MgConfig {
+    /// Fine-grid size (must be a power of two).
+    pub n: usize,
+    /// Number of V-cycles.
+    pub cycles: usize,
+    /// Jacobi smoothing steps per level.
+    pub smooth_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        MgConfig {
+            n: 32,
+            cycles: 2,
+            smooth_steps: 2,
+            seed: 0x5EED_36,
+        }
+    }
+}
+
+/// The MG workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mg {
+    /// Problem configuration.
+    pub config: MgConfig,
+}
+
+impl Mg {
+    /// MG with an explicit configuration.
+    pub fn with_config(config: MgConfig) -> Self {
+        Mg { config }
+    }
+}
+
+impl Workload for Mg {
+    fn name(&self) -> &'static str {
+        "MG"
+    }
+
+    fn description(&self) -> &'static str {
+        "Multi-Grid on a sequence of meshes (reduced class S)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "mg3P"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["u", "r"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["u", "resid_norm"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-3)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let n = cfg.n as i64;
+        let nc = (cfg.n / 2) as i64; // coarse grid size
+
+        let mut m = Module::new("mg");
+        let v_init = random_vector(cfg.n, -1.0, 1.0, cfg.seed); // right-hand side
+        let v = m.add_global(Global::from_f64("v", &v_init));
+        let u = m.add_global(Global::zeroed("u", Type::F64, cfg.n as u64));
+        let r = m.add_global(Global::zeroed("r", Type::F64, cfg.n as u64));
+        let rc = m.add_global(Global::zeroed("rc", Type::F64, nc as u64)); // coarse residual
+        let uc = m.add_global(Global::zeroed("uc", Type::F64, nc as u64)); // coarse correction
+        let resid_norm = m.add_global(Global::zeroed("resid_norm", Type::F64, 1));
+
+        // resid(u, v, r, size): r[i] = v[i] - A u[i] with A the 1-D Laplacian
+        // (2u[i] - u[i-1] - u[i+1]), boundaries treated as zero.
+        let mut residf = FunctionBuilder::new("resid", &[Type::Ptr, Type::Ptr, Type::Ptr, Type::I64], None);
+        {
+            let ub = residf.param(0);
+            let vb = residf.param(1);
+            let rb = residf.param(2);
+            let size = residf.param(3);
+            residf.for_loop(Operand::const_i64(0), Operand::Reg(size), |f, i| {
+                let ua = f.elem_addr(Type::F64, Operand::Reg(ub), Operand::Reg(i));
+                let ui = f.load(Type::F64, Operand::Reg(ua));
+                let two_u = f.fmul(Operand::Reg(ui), Operand::const_f64(2.0));
+                // Left neighbor.
+                let left = f.alloc_reg(Type::F64);
+                f.mov(left, Operand::const_f64(0.0));
+                let im1 = f.sub(Operand::Reg(i), Operand::const_i64(1));
+                let has_left = f.cmp(CmpPred::Sge, Operand::Reg(im1), Operand::const_i64(0));
+                f.if_then(Operand::Reg(has_left), |f| {
+                    let la = f.elem_addr(Type::F64, Operand::Reg(ub), Operand::Reg(im1));
+                    let lv = f.load(Type::F64, Operand::Reg(la));
+                    f.mov(left, Operand::Reg(lv));
+                });
+                // Right neighbor.
+                let right = f.alloc_reg(Type::F64);
+                f.mov(right, Operand::const_f64(0.0));
+                let ip1 = f.add(Operand::Reg(i), Operand::const_i64(1));
+                let has_right = f.cmp(CmpPred::Slt, Operand::Reg(ip1), Operand::Reg(size));
+                f.if_then(Operand::Reg(has_right), |f| {
+                    let ra = f.elem_addr(Type::F64, Operand::Reg(ub), Operand::Reg(ip1));
+                    let rv = f.load(Type::F64, Operand::Reg(ra));
+                    f.mov(right, Operand::Reg(rv));
+                });
+                let nb = f.fadd(Operand::Reg(left), Operand::Reg(right));
+                let au = f.fsub(Operand::Reg(two_u), Operand::Reg(nb));
+                let va = f.elem_addr(Type::F64, Operand::Reg(vb), Operand::Reg(i));
+                let vi = f.load(Type::F64, Operand::Reg(va));
+                let res = f.fsub(Operand::Reg(vi), Operand::Reg(au));
+                let ra = f.elem_addr(Type::F64, Operand::Reg(rb), Operand::Reg(i));
+                f.store(Type::F64, Operand::Reg(res), Operand::Reg(ra));
+            });
+            residf.ret(None);
+        }
+        let resid_id = m.add_function(residf.finish());
+
+        // smooth(u, r, size, steps): Jacobi relaxation u[i] += 0.4 * r[i],
+        // recomputing r between steps is done by the caller.
+        let mut smoothf = FunctionBuilder::new("psinv", &[Type::Ptr, Type::Ptr, Type::I64], None);
+        {
+            let ub = smoothf.param(0);
+            let rb = smoothf.param(1);
+            let size = smoothf.param(2);
+            smoothf.for_loop(Operand::const_i64(0), Operand::Reg(size), |f, i| {
+                let ra = f.elem_addr(Type::F64, Operand::Reg(rb), Operand::Reg(i));
+                let ri = f.load(Type::F64, Operand::Reg(ra));
+                let ua = f.elem_addr(Type::F64, Operand::Reg(ub), Operand::Reg(i));
+                let ui = f.load(Type::F64, Operand::Reg(ua));
+                let corr = f.fmul(Operand::Reg(ri), Operand::const_f64(0.4));
+                let nu = f.fadd(Operand::Reg(ui), Operand::Reg(corr));
+                f.store(Type::F64, Operand::Reg(nu), Operand::Reg(ua));
+            });
+            smoothf.ret(None);
+        }
+        let smooth_id = m.add_function(smoothf.finish());
+
+        // main: V-cycles.
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        for _cycle in 0..cfg.cycles {
+            // Pre-smoothing on the fine grid.
+            for _ in 0..cfg.smooth_steps {
+                f.call(
+                    resid_id,
+                    &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                    None,
+                );
+                f.call(
+                    smooth_id,
+                    &[Operand::Global(u), Operand::Global(r), Operand::const_i64(n)],
+                    None,
+                );
+            }
+            // Residual and restriction to the coarse grid (full weighting).
+            f.call(
+                resid_id,
+                &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                None,
+            );
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(nc), |f, ic| {
+                let i2 = f.mul(Operand::Reg(ic), Operand::const_i64(2));
+                let i2p = f.add(Operand::Reg(i2), Operand::const_i64(1));
+                let a = f.load_elem(Type::F64, r, Operand::Reg(i2));
+                let b = f.load_elem(Type::F64, r, Operand::Reg(i2p));
+                let s = f.fadd(Operand::Reg(a), Operand::Reg(b));
+                let avg = f.fmul(Operand::Reg(s), Operand::const_f64(0.5));
+                f.store_elem(Type::F64, rc, Operand::Reg(ic), Operand::Reg(avg));
+                f.store_elem(Type::F64, uc, Operand::Reg(ic), Operand::const_f64(0.0));
+            });
+            // Coarse-grid smoothing (acts as the approximate coarse solve).
+            for _ in 0..(2 * cfg.smooth_steps) {
+                f.call(
+                    smooth_id,
+                    &[Operand::Global(uc), Operand::Global(rc), Operand::const_i64(nc)],
+                    None,
+                );
+            }
+            // Prolongation: u[2i] += uc[i], u[2i+1] += uc[i].
+            f.for_loop(Operand::const_i64(0), Operand::const_i64(nc), |f, ic| {
+                let corr = f.load_elem(Type::F64, uc, Operand::Reg(ic));
+                let i2 = f.mul(Operand::Reg(ic), Operand::const_i64(2));
+                let i2p = f.add(Operand::Reg(i2), Operand::const_i64(1));
+                for idx in [i2, i2p] {
+                    let cur = f.load_elem(Type::F64, u, Operand::Reg(idx));
+                    let nu = f.fadd(Operand::Reg(cur), Operand::Reg(corr));
+                    f.store_elem(Type::F64, u, Operand::Reg(idx), Operand::Reg(nu));
+                }
+            });
+            // Post-smoothing.
+            for _ in 0..cfg.smooth_steps {
+                f.call(
+                    resid_id,
+                    &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                    None,
+                );
+                f.call(
+                    smooth_id,
+                    &[Operand::Global(u), Operand::Global(r), Operand::const_i64(n)],
+                    None,
+                );
+            }
+        }
+        // Final residual norm.
+        f.call(
+            resid_id,
+            &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+            None,
+        );
+        let acc = f.alloc_reg(Type::F64);
+        f.mov(acc, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
+            let ri = f.load_elem(Type::F64, r, Operand::Reg(i));
+            let sq = f.fmul(Operand::Reg(ri), Operand::Reg(ri));
+            let s = f.fadd(Operand::Reg(acc), Operand::Reg(sq));
+            f.mov(acc, Operand::Reg(s));
+        });
+        let norm = f.sqrt(Operand::Reg(acc));
+        f.store_elem(Type::F64, resid_norm, Operand::const_i64(0), Operand::Reg(norm));
+        f.ret(Some(Operand::Reg(norm)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    #[test]
+    fn v_cycles_reduce_the_residual() {
+        let mg = Mg::default();
+        let outcome = golden_run(&mg).unwrap();
+        assert!(outcome.status.is_completed());
+        let initial = crate::linalg::norm2(&random_vector(mg.config.n, -1.0, 1.0, mg.config.seed));
+        let after = outcome.return_f64();
+        assert!(
+            after < 0.7 * initial,
+            "V-cycles should reduce the residual: {after} vs {initial}"
+        );
+        assert_eq!(outcome.global_f64("u").len(), mg.config.n);
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        let mg = Mg::default();
+        let a = golden_run(&mg).unwrap();
+        let b = golden_run(&mg).unwrap();
+        assert!(a.bits_identical(&b));
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let mg = Mg::default();
+        assert_eq!(mg.name(), "MG");
+        assert_eq!(mg.code_segment(), "mg3P");
+        assert_eq!(mg.target_objects(), vec!["u", "r"]);
+        let module = mg.build();
+        assert!(module.function_id("resid").is_some());
+        assert!(module.function_id("psinv").is_some());
+    }
+}

@@ -1,0 +1,22 @@
+//! Reduced-scale re-implementations of the six NAS Parallel Benchmarks
+//! evaluated by the paper (Table I): CG, MG, FT, BT, SP and LU.
+//!
+//! Each kernel reproduces the *evaluated code segment* and its target data
+//! objects at a problem size small enough for exhaustive-injection validation
+//! on a single machine, while keeping the operation mix (integer index
+//! indirection, floating-point accumulation, overwrite-heavy initialization,
+//! line solves, transforms) that determines each data object's aDVF.
+
+pub mod bt;
+pub mod cg;
+pub mod ft;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+pub use bt::{Bt, BtConfig};
+pub use cg::{Cg, CgConfig};
+pub use ft::{Ft, FtConfig};
+pub use lu::{Lu, LuConfig};
+pub use mg::{Mg, MgConfig};
+pub use sp::{Sp, SpConfig};

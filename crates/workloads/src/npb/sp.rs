@@ -1,0 +1,249 @@
+//! NPB SP — Scalar Penta-diagonal solver (Table I).
+//!
+//! The paper studies the routine `x_solve` with target data objects `rhoi`
+//! (the double-precision inverse-density auxiliary array, aDVF ≈ 0.99,
+//! dominated by operation-level masking) and `grid_points` (the integer grid
+//! dimension array, aDVF ≈ 0.06 — the most vulnerable object in the study).
+//!
+//! The kernel mirrors SP's structure: `rhoi` is computed as the reciprocal of
+//! the density component of `u`, the right-hand side is assembled from `u`
+//! and `rhoi`, and a scalar pentadiagonal line solve (two-step forward
+//! elimination, two-step back substitution) runs along x lines with loop
+//! bounds and indices taken from `grid_points`.
+
+use crate::linalg::random_vector;
+use crate::spec::{Acceptance, Workload};
+use moard_ir::prelude::*;
+use moard_ir::verify::assert_verified;
+
+/// Problem configuration for the SP kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct SpConfig {
+    /// Grid points per dimension.
+    pub nx: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpConfig {
+    fn default() -> Self {
+        SpConfig {
+            nx: 6,
+            seed: 0x5EED_59,
+        }
+    }
+}
+
+/// The SP workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sp {
+    /// Problem configuration.
+    pub config: SpConfig,
+}
+
+impl Sp {
+    /// SP with an explicit configuration.
+    pub fn with_config(config: SpConfig) -> Self {
+        Sp { config }
+    }
+}
+
+impl Workload for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn description(&self) -> &'static str {
+        "Scalar Penta-diagonal solver (reduced class S)"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "x_solve"
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["rhoi", "grid_points"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["rhs"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-5)
+    }
+
+    fn build(&self) -> Module {
+        let cfg = self.config;
+        let nx = cfg.nx;
+        let ncell = nx * nx * nx;
+
+        let mut m = Module::new("sp");
+        let grid_points = m.add_global(Global::from_i64(
+            "grid_points",
+            &[nx as i64, nx as i64, nx as i64],
+        ));
+        let u_init = random_vector(ncell, 1.0, 2.0, cfg.seed);
+        let u = m.add_global(Global::from_f64("u", &u_init));
+        let rhoi = m.add_global(Global::zeroed("rhoi", Type::F64, ncell as u64));
+        let rhs = m.add_global(Global::zeroed("rhs", Type::F64, ncell as u64));
+
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        let gx = f.load_elem(Type::I64, grid_points, Operand::const_i64(0));
+        let gy = f.load_elem(Type::I64, grid_points, Operand::const_i64(1));
+        let gz = f.load_elem(Type::I64, grid_points, Operand::const_i64(2));
+
+        // rhoi = 1 / u   and   rhs = 0.8 * u * rhoi + 0.3 * u
+        // (the compute_rhs stand-in; every element of rhoi is written once
+        // and read back, the overwrite-then-consume mix that gives rhoi its
+        // high operation-level masking).
+        f.for_loop(Operand::const_i64(0), Operand::Reg(gz), |f, k| {
+            f.for_loop(Operand::const_i64(0), Operand::Reg(gy), |f, j| {
+                f.for_loop(Operand::const_i64(0), Operand::Reg(gx), |f, i| {
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let uv = f.load_elem(Type::F64, u, Operand::Reg(idx));
+                    let inv = f.fdiv(Operand::const_f64(1.0), Operand::Reg(uv));
+                    f.store_elem(Type::F64, rhoi, Operand::Reg(idx), Operand::Reg(inv));
+                    let ri = f.load_elem(Type::F64, rhoi, Operand::Reg(idx));
+                    let t1 = f.fmul(Operand::Reg(uv), Operand::Reg(ri));
+                    let t1 = f.fmul(Operand::Reg(t1), Operand::const_f64(0.8));
+                    let t2 = f.fmul(Operand::Reg(uv), Operand::const_f64(0.3));
+                    let r = f.fadd(Operand::Reg(t1), Operand::Reg(t2));
+                    f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(r));
+                });
+            });
+        });
+
+        // x_solve: scalar pentadiagonal elimination along x lines, using a
+        // constant-coefficient stencil scaled by rhoi at the pivot.
+        f.for_loop(Operand::const_i64(0), Operand::Reg(gz), |f, k| {
+            f.for_loop(Operand::const_i64(0), Operand::Reg(gy), |f, j| {
+                // Forward sweep eliminating the two sub-diagonals.
+                f.for_loop(Operand::const_i64(2), Operand::Reg(gx), |f, i| {
+                    let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                    let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                    let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                    let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                    let im1 = f.sub(Operand::Reg(i), Operand::const_i64(1));
+                    let im2 = f.sub(Operand::Reg(i), Operand::const_i64(2));
+                    let idx1 = f.add(Operand::Reg(kji), Operand::Reg(im1));
+                    let idx2 = f.add(Operand::Reg(kji), Operand::Reg(im2));
+                    let pivot = f.load_elem(Type::F64, rhoi, Operand::Reg(idx));
+                    let r0 = f.load_elem(Type::F64, rhs, Operand::Reg(idx));
+                    let r1 = f.load_elem(Type::F64, rhs, Operand::Reg(idx1));
+                    let r2 = f.load_elem(Type::F64, rhs, Operand::Reg(idx2));
+                    // rhs[i] -= 0.25*pivot*rhs[i-1] + 0.1*pivot*rhs[i-2]
+                    let c1 = f.fmul(Operand::Reg(pivot), Operand::const_f64(0.25));
+                    let c2 = f.fmul(Operand::Reg(pivot), Operand::const_f64(0.1));
+                    let t1 = f.fmul(Operand::Reg(c1), Operand::Reg(r1));
+                    let t2 = f.fmul(Operand::Reg(c2), Operand::Reg(r2));
+                    let sub = f.fadd(Operand::Reg(t1), Operand::Reg(t2));
+                    let nr = f.fsub(Operand::Reg(r0), Operand::Reg(sub));
+                    f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(nr));
+                });
+                // Backward sweep eliminating the two super-diagonals.
+                f.for_loop(Operand::const_i64(0), Operand::Reg(gx), |f, t| {
+                    let gxm1 = f.sub(Operand::Reg(gx), Operand::const_i64(1));
+                    let i = f.sub(Operand::Reg(gxm1), Operand::Reg(t));
+                    let bound = f.sub(Operand::Reg(gx), Operand::const_i64(3));
+                    let fits = f.cmp(CmpPred::Sle, Operand::Reg(i), Operand::Reg(bound));
+                    f.if_then(Operand::Reg(fits), |f| {
+                        let kj = f.mul(Operand::Reg(k), Operand::Reg(gy));
+                        let kj = f.add(Operand::Reg(kj), Operand::Reg(j));
+                        let kji = f.mul(Operand::Reg(kj), Operand::Reg(gx));
+                        let idx = f.add(Operand::Reg(kji), Operand::Reg(i));
+                        let ip1 = f.add(Operand::Reg(i), Operand::const_i64(1));
+                        let ip2 = f.add(Operand::Reg(i), Operand::const_i64(2));
+                        let idx1 = f.add(Operand::Reg(kji), Operand::Reg(ip1));
+                        let idx2 = f.add(Operand::Reg(kji), Operand::Reg(ip2));
+                        let pivot = f.load_elem(Type::F64, rhoi, Operand::Reg(idx));
+                        let r0 = f.load_elem(Type::F64, rhs, Operand::Reg(idx));
+                        let r1 = f.load_elem(Type::F64, rhs, Operand::Reg(idx1));
+                        let r2 = f.load_elem(Type::F64, rhs, Operand::Reg(idx2));
+                        let c1 = f.fmul(Operand::Reg(pivot), Operand::const_f64(0.2));
+                        let c2 = f.fmul(Operand::Reg(pivot), Operand::const_f64(0.05));
+                        let t1 = f.fmul(Operand::Reg(c1), Operand::Reg(r1));
+                        let t2 = f.fmul(Operand::Reg(c2), Operand::Reg(r2));
+                        let sub = f.fadd(Operand::Reg(t1), Operand::Reg(t2));
+                        let nr = f.fsub(Operand::Reg(r0), Operand::Reg(sub));
+                        f.store_elem(Type::F64, rhs, Operand::Reg(idx), Operand::Reg(nr));
+                    });
+                });
+            });
+        });
+
+        // Scalar summary.
+        let total = f.alloc_reg(Type::F64);
+        f.mov(total, Operand::const_f64(0.0));
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(ncell as i64), |f, e| {
+            let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
+            let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
+            f.mov(total, Operand::Reg(s));
+        });
+        f.ret(Some(Operand::Reg(total)));
+
+        m.add_function(f.finish());
+        assert_verified(&m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::golden_run;
+
+    fn reference(cfg: SpConfig) -> Vec<f64> {
+        let nx = cfg.nx;
+        let u = random_vector(nx * nx * nx, 1.0, 2.0, cfg.seed);
+        let rhoi: Vec<f64> = u.iter().map(|v| 1.0 / v).collect();
+        let mut rhs: Vec<f64> = u
+            .iter()
+            .zip(rhoi.iter())
+            .map(|(uv, ri)| 0.8 * uv * ri + 0.3 * uv)
+            .collect();
+        let idx = |k: usize, j: usize, i: usize| (k * nx + j) * nx + i;
+        for k in 0..nx {
+            for j in 0..nx {
+                for i in 2..nx {
+                    let pivot = rhoi[idx(k, j, i)];
+                    let sub = 0.25 * pivot * rhs[idx(k, j, i - 1)] + 0.1 * pivot * rhs[idx(k, j, i - 2)];
+                    rhs[idx(k, j, i)] -= sub;
+                }
+                for t in 0..nx {
+                    let i = nx - 1 - t;
+                    if i + 2 < nx {
+                        let pivot = rhoi[idx(k, j, i)];
+                        let sub = 0.2 * pivot * rhs[idx(k, j, i + 1)] + 0.05 * pivot * rhs[idx(k, j, i + 2)];
+                        rhs[idx(k, j, i)] -= sub;
+                    }
+                }
+            }
+        }
+        rhs
+    }
+
+    #[test]
+    fn golden_run_matches_reference_penta_solve() {
+        let sp = Sp::default();
+        let outcome = golden_run(&sp).unwrap();
+        assert!(outcome.status.is_completed());
+        let want = reference(sp.config);
+        let got = outcome.global_f64("rhs");
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let sp = Sp::default();
+        assert_eq!(sp.name(), "SP");
+        assert_eq!(sp.code_segment(), "x_solve");
+        assert_eq!(sp.target_objects(), vec!["rhoi", "grid_points"]);
+    }
+}

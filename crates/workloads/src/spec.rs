@@ -1,0 +1,229 @@
+//! The [`Workload`] abstraction and the workload registry (Table I of the
+//! paper).
+//!
+//! A workload bundles an IR module (the benchmark kernel), the names of the
+//! *target data objects* whose resilience is studied, the names of the
+//! *output* objects that define the application outcome, and the acceptance
+//! criterion that distinguishes "numerically different but acceptable"
+//! (algorithm-level masking) from silent data corruption.
+
+use moard_ir::Module;
+use moard_vm::{ExecOutcome, OutcomeClass, Vm, VmConfig, VmError};
+
+/// Acceptance criterion comparing a fault-injected outcome against the golden
+/// outcome over the workload's output objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acceptance {
+    /// The maximum element-wise relative difference over all output objects
+    /// must stay below the tolerance.
+    MaxRelDiff(f64),
+    /// The outcome must be bit-identical (no algorithm-level tolerance at
+    /// all) — used for the plain matrix-multiply case study where numerical
+    /// integrity is required.
+    Exact,
+}
+
+/// A benchmark kernel studied by the MOARD evaluation.
+pub trait Workload: Send + Sync {
+    /// Short name, e.g. `"CG"` (matches Table I).
+    fn name(&self) -> &'static str;
+
+    /// One-line description (Table I's "Benchmark description").
+    fn description(&self) -> &'static str;
+
+    /// The routine the paper evaluates, e.g. `"conj_grad"` (Table I's
+    /// "Code segment for evaluation").
+    fn code_segment(&self) -> &'static str;
+
+    /// Build the IR module implementing the kernel.
+    fn build(&self) -> Module;
+
+    /// Names of the target data objects (Table I's last column).
+    fn target_objects(&self) -> Vec<&'static str>;
+
+    /// Names of the globals that constitute the application outcome.
+    fn output_objects(&self) -> Vec<&'static str>;
+
+    /// Acceptance criterion for algorithm-level correctness.
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-6)
+    }
+
+    /// Step budget for one execution of this workload (protects campaigns
+    /// against corrupted loop bounds).
+    fn max_steps(&self) -> u64 {
+        2_000_000
+    }
+
+    /// Classify a fault-injected outcome against the golden outcome.
+    fn classify(&self, golden: &ExecOutcome, outcome: &ExecOutcome) -> OutcomeClass {
+        classify_by_outputs(
+            golden,
+            outcome,
+            &self.output_objects(),
+            self.acceptance(),
+        )
+    }
+}
+
+/// Default outcome classification shared by all workloads.
+pub fn classify_by_outputs(
+    golden: &ExecOutcome,
+    outcome: &ExecOutcome,
+    outputs: &[&str],
+    acceptance: Acceptance,
+) -> OutcomeClass {
+    if !outcome.status.is_completed() {
+        return OutcomeClass::Crashed;
+    }
+    let mut identical = true;
+    let mut worst_rel = 0.0f64;
+    for name in outputs {
+        let g = golden.globals.get(*name);
+        let o = outcome.globals.get(*name);
+        match (g, o) {
+            (Some(g), Some(o)) if g.len() == o.len() => {
+                for (a, b) in g.iter().zip(o.iter()) {
+                    if !a.bits_eq(b) {
+                        identical = false;
+                    }
+                }
+                worst_rel = worst_rel.max(outcome.max_rel_diff(golden, name));
+            }
+            _ => return OutcomeClass::Incorrect,
+        }
+    }
+    match (&golden.return_value, &outcome.return_value) {
+        (Some(a), Some(b)) if !a.bits_eq(b) => {
+            identical = false;
+            let (x, y) = (a.as_f64(), b.as_f64());
+            if !y.is_finite() {
+                worst_rel = f64::INFINITY;
+            } else {
+                let denom = x.abs().max(1e-12);
+                worst_rel = worst_rel.max((x - y).abs() / denom);
+            }
+        }
+        (Some(_), None) | (None, Some(_)) => return OutcomeClass::Incorrect,
+        _ => {}
+    }
+    if identical {
+        return OutcomeClass::Identical;
+    }
+    match acceptance {
+        Acceptance::Exact => OutcomeClass::Incorrect,
+        Acceptance::MaxRelDiff(tol) => {
+            if worst_rel <= tol {
+                OutcomeClass::Acceptable
+            } else {
+                OutcomeClass::Incorrect
+            }
+        }
+    }
+}
+
+/// Execute the golden (error-free) run of a workload.
+pub fn golden_run(workload: &dyn Workload) -> Result<ExecOutcome, VmError> {
+    let module = workload.build();
+    let vm = Vm::new(
+        &module,
+        VmConfig {
+            max_steps: workload.max_steps(),
+            ..VmConfig::default()
+        },
+    )?;
+    Ok(vm.execute())
+}
+
+/// One row of Table I, for reports.
+#[derive(Debug, Clone)]
+pub struct WorkloadInfo {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Evaluated code segment.
+    pub code_segment: &'static str,
+    /// Target data objects.
+    pub targets: Vec<&'static str>,
+}
+
+impl WorkloadInfo {
+    /// Collect the info of a workload.
+    pub fn of(w: &dyn Workload) -> WorkloadInfo {
+        WorkloadInfo {
+            name: w.name(),
+            description: w.description(),
+            code_segment: w.code_segment(),
+            targets: w.target_objects(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moard_ir::Value;
+    use moard_vm::ExecStatus;
+    use std::collections::BTreeMap;
+
+    fn outcome(vals: &[f64], status: ExecStatus) -> ExecOutcome {
+        let mut globals = BTreeMap::new();
+        globals.insert(
+            "out".to_string(),
+            vals.iter().map(|&v| Value::F64(v)).collect(),
+        );
+        ExecOutcome {
+            status,
+            return_value: None,
+            globals,
+            steps: 1,
+        }
+    }
+
+    #[test]
+    fn classification_identical_acceptable_incorrect_crashed() {
+        let golden = outcome(&[1.0, 2.0], ExecStatus::Completed);
+        let same = outcome(&[1.0, 2.0], ExecStatus::Completed);
+        let close = outcome(&[1.0, 2.0 + 1e-9], ExecStatus::Completed);
+        let far = outcome(&[1.0, 4.0], ExecStatus::Completed);
+        let crash = outcome(&[1.0, 2.0], ExecStatus::Timeout);
+        let acc = Acceptance::MaxRelDiff(1e-6);
+        assert_eq!(
+            classify_by_outputs(&golden, &same, &["out"], acc),
+            OutcomeClass::Identical
+        );
+        assert_eq!(
+            classify_by_outputs(&golden, &close, &["out"], acc),
+            OutcomeClass::Acceptable
+        );
+        assert_eq!(
+            classify_by_outputs(&golden, &far, &["out"], acc),
+            OutcomeClass::Incorrect
+        );
+        assert_eq!(
+            classify_by_outputs(&golden, &crash, &["out"], acc),
+            OutcomeClass::Crashed
+        );
+    }
+
+    #[test]
+    fn exact_acceptance_rejects_any_difference() {
+        let golden = outcome(&[1.0], ExecStatus::Completed);
+        let close = outcome(&[1.0 + 1e-15], ExecStatus::Completed);
+        assert_eq!(
+            classify_by_outputs(&golden, &close, &["out"], Acceptance::Exact),
+            OutcomeClass::Incorrect
+        );
+    }
+
+    #[test]
+    fn missing_output_is_incorrect() {
+        let golden = outcome(&[1.0], ExecStatus::Completed);
+        let other = outcome(&[1.0], ExecStatus::Completed);
+        assert_eq!(
+            classify_by_outputs(&golden, &other, &["nope"], Acceptance::Exact),
+            OutcomeClass::Incorrect
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # moard
+//!
+//! Umbrella crate of the MOARD reproduction ("MOARD: Modeling Application
+//! Resilience to Transient Faults on Data Objects", Guo & Li, IPDPS 2019).
+//!
+//! It re-exports the component crates behind one dependency:
+//!
+//! * [`ir`] — the LLVM-like IR the workloads are written in;
+//! * [`vm`] — the tracing interpreter and deterministic fault injector;
+//! * [`model`] — the aDVF model (error-masking classification, propagation
+//!   replay, equivalence-cached DFI resolution, Equation 1);
+//! * [`inject`] — exhaustive / random campaigns and the one-call
+//!   [`inject::WorkloadHarness`];
+//! * [`workloads`] — the Table I benchmarks plus the MM and PF case studies;
+//! * [`abft`] — the checksum-protected case-study variants.
+//!
+//! ```no_run
+//! use moard::inject::WorkloadHarness;
+//! use moard::model::AnalysisConfig;
+//!
+//! let harness = WorkloadHarness::by_name("cg").unwrap();
+//! let report = harness.analyze("r", AnalysisConfig::default());
+//! println!("aDVF(r in CG) = {:.3}", report.advf());
+//! ```
+
+pub use moard_abft as abft;
+pub use moard_core as model;
+pub use moard_inject as inject;
+pub use moard_ir as ir;
+pub use moard_vm as vm;
+pub use moard_workloads as workloads;

@@ -1,0 +1,33 @@
+//! Model-validation integration test (paper §V-B): on a per-object basis the
+//! aDVF value and the exhaustive-injection success rate must broadly agree,
+//! and the relative ordering of clearly-separated objects must match.
+
+use moard::inject::WorkloadHarness;
+use moard::model::AnalysisConfig;
+
+#[test]
+fn advf_tracks_exhaustive_injection_success_rate() {
+    let harness = WorkloadHarness::by_name("lulesh").unwrap();
+    let config = AnalysisConfig {
+        site_stride: 6,
+        max_dfi_per_object: Some(800),
+        ..Default::default()
+    };
+    // m_delv_zeta (floating point, heavily masked) vs m_elemBC (integer
+    // branch flags): both metrics must agree on which is sturdier.
+    let zeta_advf = harness.analyze("m_delv_zeta", config.clone()).advf();
+    let bc_advf = harness.analyze("m_elemBC", config.clone()).advf();
+    let zeta_fi = harness.exhaustive_with_budget("m_delv_zeta", 800).success_rate();
+    let bc_fi = harness.exhaustive_with_budget("m_elemBC", 800).success_rate();
+
+    assert_eq!(
+        zeta_advf > bc_advf,
+        zeta_fi > bc_fi,
+        "model and injection disagree on the ordering: aDVF ({zeta_advf:.3} vs {bc_advf:.3}), FI ({zeta_fi:.3} vs {bc_fi:.3})"
+    );
+    // And the absolute values should not be wildly apart for the FP array.
+    assert!(
+        (zeta_advf - zeta_fi).abs() < 0.35,
+        "aDVF {zeta_advf:.3} vs exhaustive success rate {zeta_fi:.3}"
+    );
+}

@@ -1,0 +1,61 @@
+//! Cross-crate property-based tests on the public API.
+
+use moard::ir::{Type, Value};
+use moard::model::{AdvfAccumulator, ErrorPatternSet, Masking, OpMaskKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bit flips are involutions on every scalar type.
+    #[test]
+    fn flip_twice_is_identity(bits in any::<u64>(), bit in 0u32..64) {
+        for ty in [Type::I64, Type::F64, Type::Ptr] {
+            let v = Value::from_bits(ty, bits);
+            let b = bit % ty.bit_width();
+            prop_assert!(v.flip_bit(b).flip_bit(b).bits_eq(&v));
+        }
+    }
+
+    /// aDVF stays within [0, 1] for any mix of per-site masking fractions.
+    #[test]
+    fn advf_stays_in_unit_interval(fracs in proptest::collection::vec(0.0f64..=1.0, 1..50)) {
+        let mut acc = AdvfAccumulator::new();
+        for f in &fracs {
+            // Split the fraction arbitrarily between two classes.
+            let half = f / 2.0;
+            acc.add_participation(&[
+                (Masking::Operation(OpMaskKind::Overwriting), half),
+                (Masking::Algorithm, f - half),
+            ]);
+        }
+        let advf = acc.advf();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&advf));
+        let (op, prop_level, alg) = acc.accumulator_levels();
+        prop_assert!((op + prop_level + alg - advf).abs() < 1e-9);
+    }
+
+    /// Every enumerated error pattern is within the type width and single-bit
+    /// enumeration is exactly the width.
+    #[test]
+    fn error_patterns_respect_width(burst in 1u32..5) {
+        for ty in [Type::I8, Type::I32, Type::F64] {
+            let single = ErrorPatternSet::SingleBit.patterns_for(ty);
+            prop_assert_eq!(single.len() as u32, ty.bit_width());
+            let adj = ErrorPatternSet::AdjacentBits { width: burst }.patterns_for(ty);
+            for p in &adj {
+                prop_assert!(p.bits.iter().all(|&b| b < ty.bit_width()));
+            }
+        }
+    }
+}
+
+/// Helper trait to read the level breakdown in the property test without
+/// repeating the tuple juggling.
+trait Levels {
+    fn accumulator_levels(&self) -> (f64, f64, f64);
+}
+
+impl Levels for AdvfAccumulator {
+    fn accumulator_levels(&self) -> (f64, f64, f64) {
+        self.level_breakdown()
+    }
+}
