@@ -72,11 +72,7 @@ impl Workload for AbftMatMul {
         let a_chk = m.add_global(Global::zeroed("A_chk", Type::F64, nn as u64));
         let b_chk = m.add_global(Global::zeroed("B_chk", Type::F64, nn as u64));
         // Full checksummed product (n+1) x (n+1): the protected data object.
-        let c = m.add_global(Global::zeroed(
-            "C",
-            Type::F64,
-            ((nn + 1) * (nn + 1)) as u64,
-        ));
+        let c = m.add_global(Global::zeroed("C", Type::F64, ((nn + 1) * (nn + 1)) as u64));
         let c_out = m.add_global(Global::zeroed("C_out", Type::F64, (nn * nn) as u64));
         // Verification bookkeeping.
         let bad_row = m.add_global(Global::from_i64("bad_row", &[-1]));
@@ -113,9 +109,13 @@ impl Workload for AbftMatMul {
         });
 
         // --- Zero the full product.
-        f.for_loop(Operand::const_i64(0), Operand::const_i64(stride * stride), |f, e| {
-            f.store_elem(Type::F64, c, Operand::Reg(e), Operand::const_f64(0.0));
-        });
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(stride * stride),
+            |f, e| {
+                f.store_elem(Type::F64, c, Operand::Reg(e), Operand::const_f64(0.0));
+            },
+        );
 
         // --- Data part: C[i][j] += A[i][k] * B[k][j]  (accumulate in C).
         f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, i| {
@@ -188,10 +188,20 @@ impl Workload for AbftMatMul {
             let bad = f.cmp(CmpPred::FOgt, Operand::Reg(mag), Operand::const_f64(tol));
             f.if_then(Operand::Reg(bad), |f| {
                 f.store_elem(Type::I64, bad_row, Operand::const_i64(0), Operand::Reg(i));
-                f.store_elem(Type::F64, row_delta, Operand::const_i64(0), Operand::Reg(delta));
+                f.store_elem(
+                    Type::F64,
+                    row_delta,
+                    Operand::const_i64(0),
+                    Operand::Reg(delta),
+                );
                 let cnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(0));
                 let inc = f.add(Operand::Reg(cnt), Operand::const_i64(1));
-                f.store_elem(Type::I64, mismatches, Operand::const_i64(0), Operand::Reg(inc));
+                f.store_elem(
+                    Type::I64,
+                    mismatches,
+                    Operand::const_i64(0),
+                    Operand::Reg(inc),
+                );
             });
         });
         f.for_loop(Operand::const_i64(0), Operand::const_i64(n), |f, j| {
@@ -212,7 +222,12 @@ impl Workload for AbftMatMul {
                 f.store_elem(Type::I64, bad_col, Operand::const_i64(0), Operand::Reg(j));
                 let cnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(1));
                 let inc = f.add(Operand::Reg(cnt), Operand::const_i64(1));
-                f.store_elem(Type::I64, mismatches, Operand::const_i64(1), Operand::Reg(inc));
+                f.store_elem(
+                    Type::I64,
+                    mismatches,
+                    Operand::const_i64(1),
+                    Operand::Reg(inc),
+                );
             });
         });
         // Correct a located single-element error: C[r][c] += row_delta.
@@ -220,7 +235,12 @@ impl Workload for AbftMatMul {
         let ccnt = f.load_elem(Type::I64, mismatches, Operand::const_i64(1));
         let one_row = f.cmp(CmpPred::Eq, Operand::Reg(rcnt), Operand::const_i64(1));
         let one_col = f.cmp(CmpPred::Eq, Operand::Reg(ccnt), Operand::const_i64(1));
-        let correctable = f.bin(BinOp::And, Type::I1, Operand::Reg(one_row), Operand::Reg(one_col));
+        let correctable = f.bin(
+            BinOp::And,
+            Type::I1,
+            Operand::Reg(one_row),
+            Operand::Reg(one_col),
+        );
         f.if_then(Operand::Reg(correctable), |f| {
             let r = f.load_elem(Type::I64, bad_row, Operand::const_i64(0));
             let cc = f.load_elem(Type::I64, bad_col, Operand::const_i64(0));
@@ -304,7 +324,10 @@ mod injection_probe {
     /// phase: the outcome stays acceptable for high-magnitude bit flips.
     #[test]
     fn corrupted_partial_sum_is_corrected_by_verification() {
-        let w = AbftMatMul::with_config(MmConfig { n: 6, ..Default::default() });
+        let w = AbftMatMul::with_config(MmConfig {
+            n: 6,
+            ..Default::default()
+        });
         let module = w.build();
         let (golden, trace) = run_traced(&module).unwrap();
         let vm = Vm::with_defaults(&module).unwrap();

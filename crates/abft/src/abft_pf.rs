@@ -67,7 +67,11 @@ impl Workload for AbftPf {
         let mut m = Module::new("abft_pf");
         let obs = m.add_global(Global::from_f64("obs", &baseline.observations()));
         let noise = m.add_global(Global::from_f64("noise", &baseline.process_noise()));
-        let xpart = m.add_global(Global::zeroed("x_particles", Type::F64, cfg.particles as u64));
+        let xpart = m.add_global(Global::zeroed(
+            "x_particles",
+            Type::F64,
+            cfg.particles as u64,
+        ));
         let weights = m.add_global(Global::zeroed("weights", Type::F64, cfg.particles as u64));
         let xnew = m.add_global(Global::zeroed("x_new", Type::F64, cfg.particles as u64));
         let xe = m.add_global(Global::zeroed("xe", Type::F64, cfg.steps as u64));

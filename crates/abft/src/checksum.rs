@@ -172,7 +172,8 @@ mod tests {
         let a = random_matrix(n, n, 7);
         let b = random_matrix(n, n, 8);
         let mut cf = full_checksum_product(&a, &b, n);
-        cf[0 * (n + 1) + 1] += 1.0;
+        // Corrupt (row 0, col 1) and (row 2, col 3) of the checksum matrix.
+        cf[1] += 1.0;
         cf[2 * (n + 1) + 3] += 1.0;
         assert_eq!(verify_full_product(&cf, n, 1e-6), None);
     }

@@ -26,3 +26,41 @@ pub use checksum::{
     encode_column_checksum, encode_row_checksum, full_checksum_product, verify_full_product,
     DetectedError,
 };
+
+use moard_workloads::Registry;
+
+/// Register the ABFT case-study variants into a workload registry, making
+/// them addressable by the CLI and the `AnalysisSession` façade exactly like
+/// the built-in workloads (`abft-mm`, `abft-pf`, plus long-form aliases).
+pub fn register(registry: &mut Registry) {
+    registry.register(&["abft-matmul", "abftmm"], || {
+        Box::new(AbftMatMul::default())
+    });
+    registry.register(&["abft-particlefilter", "abftpf"], || {
+        Box::new(AbftPf::default())
+    });
+}
+
+/// A registry holding the built-in workloads plus the ABFT variants.
+pub fn registry_with_abft() -> Registry {
+    let mut registry = Registry::builtin();
+    register(&mut registry);
+    registry
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use moard_workloads::WorkloadRegistry;
+
+    #[test]
+    fn abft_variants_register_uniformly() {
+        let registry = super::registry_with_abft();
+        assert_eq!(registry.create("abft-mm").unwrap().name(), "ABFT-MM");
+        assert_eq!(registry.create("ABFT-PF").unwrap().name(), "ABFT-PF");
+        assert_eq!(registry.create("abftmm").unwrap().name(), "ABFT-MM");
+        // The built-ins are still there and the Table I subset is unchanged.
+        assert!(registry.contains("lulesh"));
+        assert_eq!(registry.table1().len(), 8);
+        assert_eq!(registry.names().len(), 12);
+    }
+}

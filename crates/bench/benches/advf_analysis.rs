@@ -1,33 +1,28 @@
-//! Criterion bench: throughput of the analytical aDVF pipeline (operation
+//! Micro-bench: throughput of the analytical aDVF pipeline (operation
 //! rules + propagation replay, no deterministic fault injection).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use moard_bench::micro::{bench, black_box};
 use moard_core::{AdvfAnalyzer, AnalysisConfig};
 use moard_vm::{run_traced, Vm};
 use moard_workloads::{MatMul, MmConfig, Workload};
 
-fn bench_advf_analysis(c: &mut Criterion) {
-    let mm = MatMul::with_config(MmConfig { n: 6, ..Default::default() });
+fn main() {
+    let mm = MatMul::with_config(MmConfig {
+        n: 6,
+        ..Default::default()
+    });
     let module = mm.build();
     let (_, trace) = run_traced(&module).unwrap();
     let vm = Vm::with_defaults(&module).unwrap();
     let obj = vm.objects().by_name("C").unwrap().id;
-    let mut group = c.benchmark_group("advf_analysis");
-    group.sample_size(10);
-    group.bench_function("mm_C_analytic_only", |b| {
-        b.iter(|| {
-            let analyzer = AdvfAnalyzer::new(
-                &trace,
-                AnalysisConfig {
-                    site_stride: 4,
-                    ..Default::default()
-                },
-            );
-            analyzer.analyze(obj, "C", "MM", None)
-        })
+    bench("advf_analysis/mm_C_analytic_only", 2, 10, || {
+        let analyzer = AdvfAnalyzer::new(
+            &trace,
+            AnalysisConfig {
+                site_stride: 4,
+                ..Default::default()
+            },
+        );
+        black_box(analyzer.analyze(obj, "C", "MM", None));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_advf_analysis);
-criterion_main!(benches);

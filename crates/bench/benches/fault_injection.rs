@@ -1,30 +1,25 @@
-//! Criterion bench: cost of one deterministic fault injection (a full
+//! Micro-bench: cost of one deterministic fault injection (a full
 //! re-execution plus outcome classification), the unit of work of the
 //! exhaustive and RFI campaigns.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use moard_bench::micro::{bench, black_box};
 use moard_core::enumerate_sites;
 use moard_inject::DeterministicInjector;
 use moard_vm::{run_traced, Vm};
 use moard_workloads::{MatMul, MmConfig};
 
-fn bench_fault_injection(c: &mut Criterion) {
+fn main() {
     let injector = DeterministicInjector::new(Box::new(MatMul::with_config(MmConfig {
         n: 6,
         ..Default::default()
-    })));
+    })))
+    .expect("MM prepares");
     let (_, trace) = run_traced(injector.module()).unwrap();
     let vm = Vm::with_defaults(injector.module()).unwrap();
     let obj = vm.objects().by_name("C").unwrap().id;
     let site = enumerate_sites(&trace, obj)[10].clone();
     let fault = site.fault(31);
-    let mut group = c.benchmark_group("fault_injection");
-    group.sample_size(20);
-    group.bench_function("mm_single_dfi", |b| {
-        b.iter(|| injector.run_classified(&fault))
+    bench("fault_injection/mm_single_dfi", 5, 20, || {
+        black_box(injector.run_classified(&fault));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fault_injection);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench (ablation): cost of the propagation replay as the window
+//! Micro-bench (ablation): cost of the propagation replay as the window
 //! k grows — the §III-D design choice between analysis accuracy and cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moard_bench::micro::{bench, black_box};
 use moard_core::{analyze_operation, replay, ErrorPattern, OpVerdict, SiteSlot};
 use moard_vm::run_traced;
 use moard_workloads::{npb::Cg, Workload};
 
-fn bench_propagation_k(c: &mut Criterion) {
+fn main() {
     let cg = Cg::default();
     let module = cg.build();
     let (_, trace) = run_traced(&module).unwrap();
@@ -25,15 +25,9 @@ fn bench_propagation_k(c: &mut Criterion) {
         }
     }
     let (start, corrupt) = seed.expect("found a propagating site");
-    let mut group = c.benchmark_group("propagation_k");
-    group.sample_size(20);
     for k in [5usize, 10, 25, 50, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| replay(&trace, start, &corrupt, k))
+        bench(&format!("propagation_k/k={k}"), 5, 20, || {
+            black_box(replay(&trace, start, &corrupt, k));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_propagation_k);
-criterion_main!(benches);

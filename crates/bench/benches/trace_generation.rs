@@ -1,23 +1,20 @@
-//! Criterion bench: cost of dynamic trace generation (golden run vs traced
+//! Micro-bench: cost of dynamic trace generation (golden run vs traced
 //! run), the "application trace generator" overhead of the MOARD pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use moard_bench::micro::{bench, black_box};
 use moard_vm::{run_golden, run_traced};
 use moard_workloads::{MatMul, MmConfig, Workload};
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mm = MatMul::with_config(MmConfig { n: 6, ..Default::default() });
+fn main() {
+    let mm = MatMul::with_config(MmConfig {
+        n: 6,
+        ..Default::default()
+    });
     let module = mm.build();
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(20);
-    group.bench_function("mm_golden_run", |b| {
-        b.iter(|| run_golden(&module).unwrap())
+    bench("trace_generation/mm_golden_run", 5, 20, || {
+        black_box(run_golden(&module).unwrap());
     });
-    group.bench_function("mm_traced_run", |b| {
-        b.iter(|| run_traced(&module).unwrap())
+    bench("trace_generation/mm_traced_run", 5, 20, || {
+        black_box(run_traced(&module).unwrap());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_trace_generation);
-criterion_main!(benches);

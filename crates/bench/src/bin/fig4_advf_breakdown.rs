@@ -6,7 +6,10 @@
 //! (the §V-A comparison of colidx vs. r); pass `--full` for exhaustive
 //! site coverage.
 
-use moard_bench::{analyze_workload, included, level_header, level_row, print_header, workload_filter, Effort};
+use moard_bench::{
+    analyze_workload, included, level_header, level_row, print_header, unwrap_or_exit,
+    workload_filter, Effort,
+};
 
 fn main() {
     let effort = Effort::from_args();
@@ -22,8 +25,9 @@ fn main() {
         if !included(&filter, w.name()) {
             continue;
         }
-        for report in analyze_workload(w.name(), effort) {
-            println!("{}", level_row(&report));
+        let session = unwrap_or_exit(analyze_workload(w.name(), effort));
+        for report in &session.reports {
+            println!("{}", level_row(report));
             if show_events {
                 println!(
                     "    masking events = {:.3e}, participations = {}",

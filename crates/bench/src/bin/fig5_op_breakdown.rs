@@ -1,7 +1,10 @@
 //! Figure 5 — aDVF broken down by operation-level masking kind:
 //! value overwriting, value overshadowing, and logic & comparison.
 
-use moard_bench::{analyze_workload, included, kind_header, kind_row, print_header, workload_filter, Effort};
+use moard_bench::{
+    analyze_workload, included, kind_header, kind_row, print_header, unwrap_or_exit,
+    workload_filter, Effort,
+};
 
 fn main() {
     let effort = Effort::from_args();
@@ -16,8 +19,9 @@ fn main() {
         if !included(&filter, w.name()) {
             continue;
         }
-        for report in analyze_workload(w.name(), effort) {
-            println!("{}", kind_row(&report));
+        let session = unwrap_or_exit(analyze_workload(w.name(), effort));
+        for report in &session.reports {
+            println!("{}", kind_row(report));
         }
     }
 }

@@ -3,8 +3,7 @@
 //! LULESH's CalcMonotonicQRegionForElems; both metrics must rank the
 //! objects identically.
 
-use moard_bench::{print_header, Effort};
-use moard_inject::WorkloadHarness;
+use moard_bench::{harness_or_exit, print_header, unwrap_or_exit, Effort};
 
 fn main() {
     let effort = Effort::from_args();
@@ -22,11 +21,12 @@ fn main() {
         "workload", "object", "aDVF", "success rate", "injections"
     );
     for (wl, objects) in cases {
-        let harness = WorkloadHarness::by_name(wl).expect("workload");
+        let harness = harness_or_exit(wl);
         let mut rows: Vec<(String, f64, f64)> = Vec::new();
         for obj in objects {
-            let report = harness.analyze(obj, effort.analysis_config());
-            let campaign = harness.exhaustive_with_budget(obj, effort.exhaustive_budget());
+            let report = unwrap_or_exit(harness.analyze(obj, effort.analysis_config()));
+            let campaign =
+                unwrap_or_exit(harness.exhaustive_with_budget(obj, effort.exhaustive_budget()));
             println!(
                 "{:<8} {:<10} {:>8.4} {:>14.4} {:>10}",
                 harness.workload().name(),
@@ -43,14 +43,8 @@ fn main() {
         by_fi.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
         let advf_rank: Vec<&str> = by_advf.iter().map(|r| r.0.as_str()).collect();
         let fi_rank: Vec<&str> = by_fi.iter().map(|r| r.0.as_str()).collect();
-        println!(
-            "  ranking by aDVF:            {}",
-            advf_rank.join(" < ")
-        );
-        println!(
-            "  ranking by fault injection: {}",
-            fi_rank.join(" < ")
-        );
+        println!("  ranking by aDVF:            {}", advf_rank.join(" < "));
+        println!("  ranking by fault injection: {}", fi_rank.join(" < "));
         println!(
             "  rankings agree: {}",
             if advf_rank == fi_rank { "YES" } else { "no" }

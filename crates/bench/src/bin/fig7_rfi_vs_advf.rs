@@ -2,8 +2,8 @@
 //! 95% margins of error) for the LULESH coordinate arrays m_x, m_y, m_z,
 //! compared with the deterministic aDVF values.
 
-use moard_bench::{print_header, Effort};
-use moard_inject::{Parallelism, RfiConfig, WorkloadHarness};
+use moard_bench::{harness_or_exit, print_header, unwrap_or_exit, Effort};
+use moard_inject::{Parallelism, RfiConfig};
 
 fn main() {
     let effort = Effort::from_args();
@@ -12,7 +12,7 @@ fn main() {
         "RFI success rate vs number of tests (95% CI) against deterministic aDVF",
         effort,
     );
-    let harness = WorkloadHarness::by_name("lulesh").expect("workload");
+    let harness = harness_or_exit("lulesh");
     let objects = ["m_x", "m_y", "m_z"];
     let test_counts: Vec<usize> = match effort {
         Effort::Quick => vec![500, 1000, 1500],
@@ -24,14 +24,14 @@ fn main() {
     );
     for obj in objects {
         for (set, &tests) in test_counts.iter().enumerate() {
-            let stats = harness.rfi(
+            let stats = unwrap_or_exit(harness.rfi(
                 obj,
                 &RfiConfig {
                     tests,
                     seed: 0xF1_F1 + set as u64,
                     parallelism: Parallelism::Auto,
                 },
-            );
+            ));
             println!(
                 "{:<8} {:>8} {:>14.4} {:>12.4}",
                 obj,
@@ -40,8 +40,13 @@ fn main() {
                 stats.margin_of_error(0.95)
             );
         }
-        let report = harness.analyze(obj, effort.analysis_config());
-        println!("{:<8} {:>8} {:>14.4}   (deterministic aDVF)", obj, "aDVF", report.advf());
+        let report = unwrap_or_exit(harness.analyze(obj, effort.analysis_config()));
+        println!(
+            "{:<8} {:>8} {:>14.4}   (deterministic aDVF)",
+            obj,
+            "aDVF",
+            report.advf()
+        );
         println!();
     }
 }

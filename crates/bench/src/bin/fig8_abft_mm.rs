@@ -2,13 +2,20 @@
 //! matrix C with and without checksum ABFT, with level and operation-kind
 //! breakdowns.
 
-use moard_bench::{kind_header, kind_row, level_header, level_row, print_header, Effort};
+use moard_bench::{
+    kind_header, kind_row, level_header, level_row, print_header, unwrap_or_exit, Effort,
+};
 use moard_core::AdvfReport;
-use moard_inject::WorkloadHarness;
+use moard_inject::Session;
 
 fn analyze(workload: Box<dyn moard_workloads::Workload>, effort: Effort) -> AdvfReport {
-    let harness = WorkloadHarness::new(workload);
-    harness.analyze("C", effort.analysis_config())
+    let mut session = unwrap_or_exit(
+        Session::from_workload(workload)
+            .config(effort.analysis_config())
+            .object("C")
+            .run(),
+    );
+    session.reports.remove(0)
 }
 
 fn main() {

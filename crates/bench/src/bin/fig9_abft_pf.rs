@@ -1,13 +1,20 @@
 //! Figure 9 — the Particle Filter ABFT case study: aDVF of the estimate
 //! vector xe with and without ABFT protection of the vector multiplications.
 
-use moard_bench::{kind_header, kind_row, level_header, level_row, print_header, Effort};
+use moard_bench::{
+    kind_header, kind_row, level_header, level_row, print_header, unwrap_or_exit, Effort,
+};
 use moard_core::AdvfReport;
-use moard_inject::WorkloadHarness;
+use moard_inject::Session;
 
 fn analyze(workload: Box<dyn moard_workloads::Workload>, effort: Effort) -> AdvfReport {
-    let harness = WorkloadHarness::new(workload);
-    harness.analyze("xe", effort.analysis_config())
+    let mut session = unwrap_or_exit(
+        Session::from_workload(workload)
+            .config(effort.analysis_config())
+            .object("xe")
+            .run(),
+    );
+    session.reports.remove(0)
 }
 
 fn main() {

@@ -8,9 +8,8 @@
 //! operation-level rules cannot mask, checks whether the propagation replay
 //! masks them within k, and compares with the deterministic-injection verdict.
 
-use moard_bench::{print_header, Effort};
+use moard_bench::{harness_or_exit, print_header, unwrap_or_exit, Effort};
 use moard_core::{analyze_operation, replay, ErrorPattern, OpVerdict};
-use moard_inject::WorkloadHarness;
 use moard_vm::OutcomeClass;
 
 fn main() {
@@ -30,9 +29,9 @@ fn main() {
         let mut not_masked_within_k = 0u64;
         let mut incorrect_outcomes = 0u64;
         for wl in workloads {
-            let harness = WorkloadHarness::by_name(wl).expect("workload");
+            let harness = harness_or_exit(wl);
             for object in harness.workload().target_objects() {
-                let sites = harness.sites(object);
+                let sites = unwrap_or_exit(harness.sites(object));
                 let stride = (sites.len() / per_object).max(1);
                 for site in sites.iter().step_by(stride) {
                     let rec = harness.trace().record(site.record_id).unwrap();

@@ -4,8 +4,8 @@
 fn main() {
     println!("# MOARD reproduction — Table I");
     println!(
-        "{:<8} {:<34} {:<30} {}",
-        "name", "description", "code segment", "target data objects"
+        "{:<8} {:<34} {:<30} target data objects",
+        "name", "description", "code segment"
     );
     for w in moard_workloads::table1_workloads() {
         let info = moard_workloads::WorkloadInfo::of(w.as_ref());

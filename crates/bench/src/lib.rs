@@ -9,8 +9,10 @@
 //! site coverage for runtime (deterministic striding), and `--full` for the
 //! exhaustive settings.
 
-use moard_core::{AdvfReport, AnalysisConfig};
-use moard_inject::WorkloadHarness;
+pub mod micro;
+
+use moard_core::{AdvfReport, AnalysisConfig, MoardError};
+use moard_inject::{Session, SessionReport, WorkloadHarness};
 
 /// Effort level selected on the command line of a figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,11 +126,26 @@ pub fn kind_header() -> String {
     )
 }
 
-/// Analyze every target data object of a named workload.
-pub fn analyze_workload(name: &str, effort: Effort) -> Vec<AdvfReport> {
-    let harness = WorkloadHarness::by_name(name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
-    harness.analyze_targets(&effort.analysis_config())
+/// Analyze every target data object of a named workload through the
+/// session façade (objects fan out over worker threads).
+pub fn analyze_workload(name: &str, effort: Effort) -> Result<SessionReport, MoardError> {
+    Session::for_workload(name)?
+        .config(effort.analysis_config())
+        .run()
+}
+
+/// Prepare a harness by name, or print the typed error and exit — the
+/// figure binaries' graceful replacement for `.expect(..)`.
+pub fn harness_or_exit(name: &str) -> WorkloadHarness {
+    unwrap_or_exit(WorkloadHarness::by_name(name))
+}
+
+/// Unwrap a pipeline result, or print the typed error and exit(1).
+pub fn unwrap_or_exit<T>(result: Result<T, MoardError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 #[cfg(test)]
@@ -167,6 +184,7 @@ mod tests {
             dfi_runs: 0,
             dfi_cache_hits: 0,
             resolved_analytically: 1,
+            config_fingerprint: 0,
         };
         assert!(level_row(&report).contains("CG"));
         assert!(kind_row(&report).contains("1.0000"));

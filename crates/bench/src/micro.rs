@@ -1,0 +1,71 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The Criterion dependency is unavailable in this offline build, so the
+//! `benches/` targets are plain `harness = false` binaries built on this
+//! module: warm up, run a fixed number of timed iterations, report the
+//! median and spread.  Good enough to compare orders of magnitude and catch
+//! regressions by eye; not a statistics suite.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Time `f` over `iters` iterations (after `warmup` untimed ones) and print
+/// a one-line summary.
+pub fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples_ns: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples_ns.push(start.elapsed().as_nanos());
+    }
+    samples_ns.sort_unstable();
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+    println!(
+        "{name:<40} median {} (min {}, max {}, n={iters})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure_the_right_number_of_times() {
+        let mut calls = 0u32;
+        bench("counter", 2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,155 +1,418 @@
-//! `moard` — command-line interface to the MOARD reproduction.
+//! `moard` — JSON-first command-line interface to the MOARD reproduction.
 //!
 //! Subcommands:
 //!
-//! * `moard list` — Table I: workloads, code segments, target data objects;
-//! * `moard analyze <workload> [object] [--k N] [--no-dfi] [--stride N]` —
-//!   aDVF analysis with the three-level and operation-kind breakdowns;
-//! * `moard inject <workload> <object> [--tests N] [--exhaustive]` —
-//!   random or (strided) exhaustive fault-injection campaign;
+//! * `moard list` — Table I plus case studies and ABFT variants;
+//! * `moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N]
+//!   [--no-dfi] [--seq]` — aDVF analysis with the three-level and
+//!   operation-kind breakdowns;
+//! * `moard report <workload> [object...]` — the full serialized session
+//!   report (always JSON);
+//! * `moard inject <workload> <object> [--tests N] [--exhaustive]` — random
+//!   or (strided) exhaustive fault-injection campaign;
 //! * `moard rank <workload>` — rank the workload's target objects by aDVF.
+//!
+//! `--format json|text` (global) switches every subcommand between
+//! machine-consumable JSON on the stable versioned schema and the
+//! human-readable tables.  All errors are typed [`MoardError`]s rendered to
+//! stderr with exit code 1; nothing in this binary panics on user input.
 
-use moard_core::AnalysisConfig;
-use moard_inject::{Parallelism, RfiConfig, WorkloadHarness};
+use moard_core::MoardError;
+use moard_inject::{Parallelism, RfiConfig, Session, SessionReport};
+use moard_json::{Json, ToJson};
+use moard_workloads::{Registry, WorkloadRegistry};
 
-fn usage() -> ! {
-    eprintln!("usage: moard <list|analyze|inject|rank> [args]");
-    eprintln!("  moard list");
-    eprintln!("  moard analyze <workload> [object] [--k N] [--stride N] [--no-dfi]");
-    eprintln!("  moard inject  <workload> <object> [--tests N] [--exhaustive]");
-    eprintln!("  moard rank    <workload> [--stride N]");
-    std::process::exit(2);
+/// `println!` that ignores a closed stdout (e.g. `moard list | head -1`)
+/// instead of panicking on the broken pipe.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+const USAGE: &str = "usage: moard [--format json|text] <command> [args]
+  moard list
+  moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N] [--no-dfi] [--seq]
+  moard report  <workload> [object...] [--k N] [--stride N] [--max-dfi N] [--no-dfi]
+  moard inject  <workload> <object> [--tests N] [--seed N] [--exhaustive] [--budget N]
+  moard rank    <workload> [--k N] [--stride N] [--max-dfi N]
+
+options:
+  --format json|text   output format (default: text; `report` is always JSON)
+  --stride N           analyze every N-th participation site (default 4)
+  --max-dfi N          cap deterministic fault injections per object (default 5000)
+  --k N                propagation window (default 50)
+  --no-dfi             purely analytical lower bound (no fault injection)
+  --seq                analyze objects sequentially (default: parallel)";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
-fn analysis_config(args: &[String]) -> AnalysisConfig {
-    let mut config = AnalysisConfig {
-        site_stride: flag_value(args, "--stride").unwrap_or(4) as usize,
-        max_dfi_per_object: Some(flag_value(args, "--max-dfi").unwrap_or(5_000)),
-        ..Default::default()
+struct Cli {
+    args: Vec<String>,
+    format: Format,
+    registry: Registry,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let format = match take_flag_value(&mut args, "--format") {
+        Ok(None) => Format::Text,
+        Ok(Some(v)) if v == "text" => Format::Text,
+        Ok(Some(v)) if v == "json" => Format::Json,
+        Ok(Some(other)) => {
+            eprintln!("unknown format `{other}` (expected `json` or `text`)");
+            std::process::exit(2);
+        }
+        Err(()) => {
+            eprintln!("flag `--format` requires a value (`json` or `text`)");
+            std::process::exit(2);
+        }
     };
-    if let Some(k) = flag_value(args, "--k") {
-        config.propagation_window = k as usize;
+    let cli = Cli {
+        args,
+        format,
+        registry: moard_abft::registry_with_abft(),
+    };
+    match run(&cli) {
+        Ok(()) => {}
+        Err(CliError::Usage) => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        Err(CliError::Moard(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
-    config
+}
+
+enum CliError {
+    Usage,
+    Moard(MoardError),
+}
+
+impl From<MoardError> for CliError {
+    fn from(e: MoardError) -> Self {
+        CliError::Moard(e)
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), CliError> {
+    check_flags(&cli.args)?;
+    match cli.args.first().map(String::as_str) {
+        Some("list") => cmd_list(cli),
+        Some("analyze") => cmd_analyze(cli),
+        Some("report") => cmd_report(cli),
+        Some("inject") => cmd_inject(cli),
+        Some("rank") => cmd_rank(cli),
+        _ => Err(CliError::Usage),
+    }
+}
+
+/// Flags that take a value.
+const VALUED_FLAGS: &[&str] = &[
+    "--k",
+    "--stride",
+    "--max-dfi",
+    "--tests",
+    "--seed",
+    "--budget",
+];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive"];
+
+/// Reject unknown `--` flags: a typo (`--no-dfl`, `--exhuastive`,
+/// `--format=json`) must not silently run the analysis under settings the
+/// user did not ask for.
+fn check_flags(args: &[String]) -> Result<(), CliError> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUED_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") && !BOOL_FLAGS.contains(&a.as_str()) {
+            return Err(CliError::Moard(MoardError::InvalidConfig(format!(
+                "unknown flag `{a}` (see `moard` usage; note `--flag value`, not `--flag=value`)"
+            ))));
+        }
+    }
+    Ok(())
+}
+
+/// Value of `--flag <value>`, removed from `args` if present.  A dangling
+/// flag with no value is `Err` — it must not silently fall back to the
+/// default.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Value of a numeric `--flag N`.  A present flag with a missing or
+/// unparseable value is a hard error — silently falling back to a default
+/// would run the analysis under settings the user did not ask for.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, MoardError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let value = args.get(i + 1).ok_or_else(|| {
+        MoardError::InvalidConfig(format!("flag `{flag}` requires a numeric value"))
+    })?;
+    value.parse().map(Some).map_err(|_| {
+        MoardError::InvalidConfig(format!(
+            "flag `{flag}` expects an unsigned integer, got `{value}`"
+        ))
+    })
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Positional (non-flag) arguments after the subcommand, skipping flag values.
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in &args[1..] {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUED_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// Session builder with the CLI's analysis settings applied.
+fn configured_session(
+    cli: &Cli,
+    workload: &str,
+) -> Result<moard_inject::SessionBuilder, MoardError> {
+    let mut builder = Session::for_workload_in(&cli.registry, workload)?
+        .stride(flag_value(&cli.args, "--stride")?.unwrap_or(4) as usize)
+        .max_dfi(flag_value(&cli.args, "--max-dfi")?.unwrap_or(5_000));
+    if let Some(k) = flag_value(&cli.args, "--k")? {
+        builder = builder.window(k as usize);
+    }
+    if has_flag(&cli.args, "--no-dfi") {
+        builder = builder.without_dfi();
+    }
+    if has_flag(&cli.args, "--seq") {
+        builder = builder.parallelism(Parallelism::Sequential);
+    }
+    Ok(builder)
+}
+
+fn session_for_positionals(cli: &Cli) -> Result<SessionReport, CliError> {
+    let pos = positionals(&cli.args);
+    let Some(workload) = pos.first() else {
+        return Err(CliError::Usage);
+    };
+    let mut builder = configured_session(cli, workload)?;
+    for object in &pos[1..] {
+        builder = builder.object(object.as_str());
+    }
+    Ok(builder.run()?)
+}
+
+fn cmd_list(cli: &Cli) -> Result<(), CliError> {
+    let descriptors = cli.registry.descriptors();
+    match cli.format {
+        Format::Json => {
+            let doc = Json::object([
+                ("schema_version", Json::from(moard_core::SCHEMA_VERSION)),
+                (
+                    "workloads",
+                    Json::array(descriptors.iter().map(|d| {
+                        Json::object([
+                            ("name", Json::from(d.name)),
+                            (
+                                "aliases",
+                                Json::array(d.aliases.iter().map(|a| Json::from(*a))),
+                            ),
+                            ("description", Json::from(d.description)),
+                            ("code_segment", Json::from(d.code_segment)),
+                            (
+                                "targets",
+                                Json::array(d.targets.iter().map(|t| Json::from(*t))),
+                            ),
+                            ("table1", Json::from(d.table1)),
+                        ])
+                    })),
+                ),
+            ]);
+            out!("{}", doc.to_pretty());
+        }
+        Format::Text => {
+            out!(
+                "{:<8} {:<55} {:<30} target data objects",
+                "name",
+                "description",
+                "code segment"
+            );
+            for d in &descriptors {
+                out!(
+                    "{:<8} {:<55} {:<30} {}",
+                    d.name,
+                    d.description,
+                    d.code_segment,
+                    d.targets.join(", ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(cli: &Cli) -> Result<(), CliError> {
+    let report = session_for_positionals(cli)?;
+    match cli.format {
+        Format::Json => out!("{}", report.to_json().to_pretty()),
+        Format::Text => {
+            for r in &report.reports {
+                print_report(r);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(cli: &Cli) -> Result<(), CliError> {
+    // `report` exists to feed machines; it is JSON regardless of --format.
+    let report = session_for_positionals(cli)?;
+    out!("{}", report.to_json().to_pretty());
+    Ok(())
+}
+
+fn cmd_inject(cli: &Cli) -> Result<(), CliError> {
+    let pos = positionals(&cli.args);
+    let (Some(workload), Some(object)) = (pos.first(), pos.get(1)) else {
+        return Err(CliError::Usage);
+    };
+    let session = configured_session(cli, workload)?
+        .object(object.as_str())
+        .build()?;
+    let harness = session.harness();
+    let stats = if has_flag(&cli.args, "--exhaustive") {
+        harness
+            .exhaustive_with_budget(object, flag_value(&cli.args, "--budget")?.unwrap_or(5_000))?
+    } else {
+        harness.rfi(
+            object,
+            &RfiConfig {
+                tests: flag_value(&cli.args, "--tests")?.unwrap_or(1_000) as usize,
+                seed: flag_value(&cli.args, "--seed")?.unwrap_or(0xF1F1),
+                parallelism: Parallelism::Auto,
+            },
+        )?
+    };
+    match cli.format {
+        Format::Json => {
+            let mut doc = stats.to_json();
+            if let Json::Obj(members) = &mut doc {
+                members.insert(
+                    1,
+                    ("workload".into(), Json::from(harness.workload().name())),
+                );
+                members.insert(2, ("object".into(), Json::from(object.as_str())));
+            }
+            out!("{}", doc.to_pretty());
+        }
+        Format::Text => {
+            out!("workload      : {}", harness.workload().name());
+            out!("data object   : {object}");
+            out!("injections    : {}", stats.runs);
+            out!("identical     : {}", stats.identical);
+            out!("acceptable    : {}", stats.acceptable);
+            out!("incorrect     : {}", stats.incorrect);
+            out!("crashed       : {}", stats.crashed);
+            out!("success rate  : {:.4}", stats.success_rate());
+            out!("margin (95%)  : {:.4}", stats.margin_of_error(0.95));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rank(cli: &Cli) -> Result<(), CliError> {
+    let mut report = session_for_positionals(cli)?;
+    report.reports.sort_by(|a, b| {
+        a.advf()
+            .partial_cmp(&b.advf())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    match cli.format {
+        Format::Json => {
+            let doc = Json::object([
+                ("schema_version", Json::from(moard_core::SCHEMA_VERSION)),
+                ("workload", Json::from(report.workload.as_str())),
+                ("order", Json::from("most vulnerable first")),
+                (
+                    "ranking",
+                    Json::array(report.reports.iter().map(|r| {
+                        Json::object([
+                            ("object", Json::from(r.object.as_str())),
+                            ("advf", Json::from(r.advf())),
+                        ])
+                    })),
+                ),
+            ]);
+            out!("{}", doc.to_pretty());
+        }
+        Format::Text => {
+            out!(
+                "data objects of {} from most to least vulnerable:",
+                report.workload
+            );
+            for r in &report.reports {
+                out!("  {:<14} aDVF = {:.4}", r.object, r.advf());
+            }
+        }
+    }
+    Ok(())
 }
 
 fn print_report(report: &moard_core::AdvfReport) {
     let (op, prop, alg) = report.accumulator.level_breakdown();
     let (ow, os, lc) = report.accumulator.kind_breakdown();
-    println!("workload          : {}", report.workload);
-    println!("data object       : {}", report.object);
-    println!("aDVF              : {:.4}", report.advf());
-    println!("  operation level : {op:.4} (overwriting {ow:.4}, overshadowing {os:.4}, logic/compare {lc:.4})");
-    println!("  propagation     : {prop:.4}");
-    println!("  algorithm       : {alg:.4}");
-    println!("sites analyzed    : {}", report.sites_analyzed);
-    println!(
+    out!("workload          : {}", report.workload);
+    out!("data object       : {}", report.object);
+    out!("aDVF              : {:.4}", report.advf());
+    out!("  operation level : {op:.4} (overwriting {ow:.4}, overshadowing {os:.4}, logic/compare {lc:.4})");
+    out!("  propagation     : {prop:.4}");
+    out!("  algorithm       : {alg:.4}");
+    out!("sites analyzed    : {}", report.sites_analyzed);
+    out!(
         "DFI runs          : {} ({} cache hits, {} resolved analytically)",
-        report.dfi_runs, report.dfi_cache_hits, report.resolved_analytically
+        report.dfi_runs,
+        report.dfi_cache_hits,
+        report.resolved_analytically
     );
-    println!();
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage() };
-    match cmd.as_str() {
-        "list" => {
-            println!(
-                "{:<8} {:<34} {:<30} {}",
-                "name", "description", "code segment", "target data objects"
-            );
-            for w in moard_workloads::table1_workloads() {
-                let info = moard_workloads::WorkloadInfo::of(w.as_ref());
-                println!(
-                    "{:<8} {:<34} {:<30} {}",
-                    info.name,
-                    info.description,
-                    info.code_segment,
-                    info.targets.join(", ")
-                );
-            }
-            println!("{:<8} {:<34} {:<30} C", "MM", "Dense matrix multiply (case study)", "matmul");
-            println!("{:<8} {:<34} {:<30} xe", "PF", "Particle filter (case study)", "particleFilter");
-        }
-        "analyze" => {
-            let Some(workload) = args.get(1) else { usage() };
-            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
-                eprintln!("unknown workload `{workload}` (try `moard list`)");
-                std::process::exit(1);
-            });
-            let config = analysis_config(&args);
-            let no_dfi = args.iter().any(|a| a == "--no-dfi");
-            let objects: Vec<String> = match args.get(2).filter(|a| !a.starts_with("--")) {
-                Some(obj) => vec![obj.clone()],
-                None => harness
-                    .workload()
-                    .target_objects()
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
-            };
-            for obj in objects {
-                let report = if no_dfi {
-                    harness.analyze_without_dfi(&obj, config.clone())
-                } else {
-                    harness.analyze(&obj, config.clone())
-                };
-                print_report(&report);
-            }
-        }
-        "inject" => {
-            let (Some(workload), Some(object)) = (args.get(1), args.get(2)) else { usage() };
-            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
-                eprintln!("unknown workload `{workload}`");
-                std::process::exit(1);
-            });
-            let stats = if args.iter().any(|a| a == "--exhaustive") {
-                harness.exhaustive_with_budget(object, flag_value(&args, "--budget").unwrap_or(5_000))
-            } else {
-                harness.rfi(
-                    object,
-                    &RfiConfig {
-                        tests: flag_value(&args, "--tests").unwrap_or(1_000) as usize,
-                        seed: flag_value(&args, "--seed").unwrap_or(0xF1F1),
-                        parallelism: Parallelism::Auto,
-                    },
-                )
-            };
-            println!("workload      : {}", harness.workload().name());
-            println!("data object   : {object}");
-            println!("injections    : {}", stats.runs);
-            println!("identical     : {}", stats.identical);
-            println!("acceptable    : {}", stats.acceptable);
-            println!("incorrect     : {}", stats.incorrect);
-            println!("crashed       : {}", stats.crashed);
-            println!("success rate  : {:.4}", stats.success_rate());
-            println!("margin (95%)  : {:.4}", stats.margin_of_error(0.95));
-        }
-        "rank" => {
-            let Some(workload) = args.get(1) else { usage() };
-            let harness = WorkloadHarness::by_name(workload).unwrap_or_else(|| {
-                eprintln!("unknown workload `{workload}`");
-                std::process::exit(1);
-            });
-            let config = analysis_config(&args);
-            let mut reports = harness.analyze_targets(&config);
-            reports.sort_by(|a, b| a.advf().partial_cmp(&b.advf()).unwrap());
-            println!(
-                "data objects of {} from most to least vulnerable:",
-                harness.workload().name()
-            );
-            for r in reports {
-                println!("  {:<14} aDVF = {:.4}", r.object, r.advf());
-            }
-        }
-        _ => usage(),
-    }
+    out!(
+        "config fingerprint: {}",
+        moard_core::fingerprint_hex(report.config_fingerprint)
+    );
+    out!();
 }

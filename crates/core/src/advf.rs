@@ -33,7 +33,11 @@ pub struct MaskingTally {
 impl MaskingTally {
     /// Total number of masking events (the numerator of Equation 1).
     pub fn total(&self) -> f64 {
-        self.overwriting + self.logic_compare + self.overshadowing + self.propagation + self.algorithm
+        self.overwriting
+            + self.logic_compare
+            + self.overshadowing
+            + self.propagation
+            + self.algorithm
     }
 
     /// Operation-level events only.
@@ -153,6 +157,10 @@ pub struct AdvfReport {
     pub dfi_cache_hits: u64,
     /// Number of sites resolved purely analytically (no DFI needed).
     pub resolved_analytically: u64,
+    /// Fingerprint of the [`crate::AnalysisConfig`] that produced this report
+    /// (see `AnalysisConfig::fingerprint`); lets consumers of serialized
+    /// reports tell apart results computed under different settings.
+    pub config_fingerprint: u64,
 }
 
 impl AdvfReport {
@@ -285,6 +293,7 @@ mod tests {
             dfi_runs: 0,
             dfi_cache_hits: 0,
             resolved_analytically: 1,
+            config_fingerprint: 0,
         };
         let s = r.to_string();
         assert!(s.contains("aDVF=1.0000"));

@@ -28,7 +28,7 @@ use moard_vm::{ObjectId, OutcomeClass, Trace, TraceRecord};
 use std::cell::Cell;
 
 /// Analyzer configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisConfig {
     /// Maximum number of operations the propagation replay examines after the
     /// target operation (the paper's `k`, default 50 — see §III-D).
@@ -64,6 +64,60 @@ impl AnalysisConfig {
             propagation_window: k,
             ..Default::default()
         }
+    }
+
+    /// Check every field is inside its valid domain.
+    ///
+    /// `site_stride = 0` would analyze no site at all while silently looking
+    /// like a request for "all sites"; it is rejected rather than normalized
+    /// so callers cannot ship a typo into a long campaign.
+    pub fn validate(&self) -> Result<(), crate::MoardError> {
+        if self.site_stride == 0 {
+            return Err(crate::MoardError::InvalidConfig(
+                "site_stride must be >= 1 (1 analyzes every site)".into(),
+            ));
+        }
+        if self.max_dfi_per_object == Some(0) {
+            return Err(crate::MoardError::InvalidConfig(
+                "max_dfi_per_object must be >= 1, or None to disable the cap".into(),
+            ));
+        }
+        if let crate::ErrorPatternSet::Explicit(patterns) = &self.patterns {
+            // An empty set (or a pattern flipping no bits) enumerates zero
+            // error patterns — every site would trivially count as fully
+            // masked.  It also has no faithful canonical form, so rejecting
+            // it keeps the config fingerprint collision-free.
+            if patterns.is_empty() || patterns.iter().any(|p| p.bits.is_empty()) {
+                return Err(crate::MoardError::InvalidConfig(
+                    "explicit error-pattern sets must be non-empty and every \
+                     pattern must flip at least one bit"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable 64-bit fingerprint of the configuration (FNV-1a over a
+    /// canonical rendering).  Serialized reports embed it so results
+    /// computed under different settings are never conflated.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!(
+            "v1;k={};stride={};max_dfi={};patterns={}",
+            self.propagation_window,
+            self.site_stride,
+            match self.max_dfi_per_object {
+                Some(n) => n.to_string(),
+                None => "unbounded".to_string(),
+            },
+            self.patterns.canonical()
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
     }
 }
 
@@ -131,6 +185,7 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_runs: stats_after.injections - stats_before.injections,
             dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
             resolved_analytically,
+            config_fingerprint: self.config.fingerprint(),
         }
     }
 
@@ -164,10 +219,7 @@ impl<'a> AdvfAnalyzer<'a> {
             }
         }
         (
-            counts
-                .into_iter()
-                .map(|(c, k)| (c, k as f64 / n))
-                .collect(),
+            counts.into_iter().map(|(c, k)| (c, k as f64 / n)).collect(),
             used_dfi,
         )
     }
@@ -345,7 +397,10 @@ mod tests {
         let report = analyze_object(&m, "par_a", AnalysisConfig::default());
         let advf = report.advf();
         assert!((0.0..=1.0).contains(&advf), "aDVF out of range: {advf}");
-        assert!(advf > 0.0, "the overwrite at par_a[0] must contribute masking");
+        assert!(
+            advf > 0.0,
+            "the overwrite at par_a[0] must contribute masking"
+        );
         assert!(report.sites_analyzed > 0);
         // Overwriting must contribute (store to par_a[0] and par_a[4]).
         assert!(report.accumulator.masked.overwriting > 0.0);

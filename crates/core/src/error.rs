@@ -1,0 +1,156 @@
+//! The unified error type of the MOARD public API.
+//!
+//! Every fallible entry point of `moard-core`, `moard-inject`, and the CLI
+//! returns `Result<_, MoardError>` instead of panicking or answering
+//! `Option`.  The variants are deliberately descriptive: an unknown workload
+//! or data object carries the list of valid names so callers (and the CLI)
+//! can point the user at what *would* have worked.
+
+use moard_json::JsonError;
+use moard_vm::VmError;
+use std::fmt;
+
+/// Everything that can go wrong across the MOARD analysis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoardError {
+    /// The requested workload is not registered.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+        /// Registered workload names.
+        available: Vec<String>,
+    },
+    /// The requested data object does not exist in the workload's module.
+    UnknownObject {
+        /// The workload under study.
+        workload: String,
+        /// The object name that failed to resolve.
+        object: String,
+        /// Object names that do exist.
+        available: Vec<String>,
+    },
+    /// The data object exists but no operation of the trace touches it, so
+    /// an aDVF is undefined (Equation 1 would divide by zero).
+    NoParticipationSites {
+        /// The workload under study.
+        workload: String,
+        /// The object without participation sites.
+        object: String,
+    },
+    /// An analysis configuration field is out of its valid domain.
+    InvalidConfig(String),
+    /// The VM refused to load or run the workload module.
+    Vm(VmError),
+    /// The golden (fault-free) execution did not complete.
+    GoldenRunFailed {
+        /// The workload whose golden run failed.
+        workload: String,
+        /// Human-readable execution status.
+        status: String,
+    },
+    /// The traced execution diverged from the golden execution — tracing
+    /// must never perturb the application.
+    TracePerturbed {
+        /// The workload whose trace diverged.
+        workload: String,
+    },
+    /// A report could not be parsed or re-built from JSON.
+    Json(JsonError),
+    /// A serialized report carries a schema version this build cannot read.
+    SchemaMismatch {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for MoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoardError::UnknownWorkload { name, available } => write!(
+                f,
+                "unknown workload `{name}` (available: {})",
+                available.join(", ")
+            ),
+            MoardError::UnknownObject {
+                workload,
+                object,
+                available,
+            } => write!(
+                f,
+                "workload {workload} has no data object `{object}` (available: {})",
+                available.join(", ")
+            ),
+            MoardError::NoParticipationSites { workload, object } => write!(
+                f,
+                "data object `{object}` of {workload} has no participation sites; \
+                 its aDVF is undefined"
+            ),
+            MoardError::InvalidConfig(what) => write!(f, "invalid analysis config: {what}"),
+            MoardError::Vm(e) => write!(f, "VM error: {e}"),
+            MoardError::GoldenRunFailed { workload, status } => {
+                write!(f, "golden run of {workload} did not complete: {status}")
+            }
+            MoardError::TracePerturbed { workload } => {
+                write!(f, "tracing perturbed the execution of {workload}")
+            }
+            MoardError::Json(e) => write!(f, "report (de)serialization failed: {e}"),
+            MoardError::SchemaMismatch { found, expected } => write!(
+                f,
+                "report schema version {found} is not readable by this build (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MoardError {}
+
+impl From<VmError> for MoardError {
+    fn from(e: VmError) -> Self {
+        MoardError::Vm(e)
+    }
+}
+
+impl From<JsonError> for MoardError {
+    fn from(e: JsonError) -> Self {
+        MoardError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_relevant_names() {
+        let e = MoardError::UnknownWorkload {
+            name: "nope".into(),
+            available: vec!["CG".into(), "MM".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("nope") && s.contains("CG") && s.contains("MM"));
+
+        let e = MoardError::UnknownObject {
+            workload: "MM".into(),
+            object: "D".into(),
+            available: vec!["A".into(), "B".into(), "C".into()],
+        };
+        assert!(e.to_string().contains("`D`"));
+
+        let e = MoardError::NoParticipationSites {
+            workload: "MM".into(),
+            object: "unused".into(),
+        };
+        assert!(e.to_string().contains("no participation sites"));
+    }
+
+    #[test]
+    fn conversions_from_layer_errors() {
+        let vm: MoardError = VmError::NoEntry("main".into()).into();
+        assert!(matches!(vm, MoardError::Vm(_)));
+        let json: MoardError = JsonError::MissingField("advf".into()).into();
+        assert!(matches!(json, MoardError::Json(_)));
+        assert!(std::error::Error::source(&json).is_none());
+    }
+}

@@ -39,10 +39,11 @@ impl ErrorPattern {
 }
 
 /// The family of error patterns to enumerate per data element.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ErrorPatternSet {
     /// Every single-bit flip across the element width (the paper's default:
     /// "we only study single-bit errors because they are the most common").
+    #[default]
     SingleBit,
     /// Every spatially contiguous burst of `width` flipped bits (e.g. 2 for
     /// double-bit adjacent errors), the extension sketched in §VII-B.
@@ -53,12 +54,6 @@ pub enum ErrorPatternSet {
     /// An explicit list of patterns (applied to every element width; patterns
     /// with out-of-range bits are skipped for narrow types).
     Explicit(Vec<ErrorPattern>),
-}
-
-impl Default for ErrorPatternSet {
-    fn default() -> Self {
-        ErrorPatternSet::SingleBit
-    }
 }
 
 impl ErrorPatternSet {
@@ -100,6 +95,58 @@ impl ErrorPatternSet {
     /// Number of patterns enumerated for a value of type `ty`.
     pub fn count_for(&self, ty: Type) -> usize {
         self.patterns_for(ty).len()
+    }
+
+    /// Canonical textual form, stable across releases; feeds the analysis
+    /// config fingerprint and the serialized report schema.
+    pub fn canonical(&self) -> String {
+        match self {
+            ErrorPatternSet::SingleBit => "single-bit".to_string(),
+            ErrorPatternSet::AdjacentBits { width } => format!("adjacent-bits:{width}"),
+            ErrorPatternSet::SeparatedPair { gap } => format!("separated-pair:{gap}"),
+            ErrorPatternSet::Explicit(list) => {
+                let pats: Vec<String> = list
+                    .iter()
+                    .map(|p| {
+                        p.bits
+                            .iter()
+                            .map(|b| b.to_string())
+                            .collect::<Vec<_>>()
+                            .join("+")
+                    })
+                    .collect();
+                format!("explicit:{}", pats.join(","))
+            }
+        }
+    }
+
+    /// Parse the canonical form produced by [`ErrorPatternSet::canonical`].
+    pub fn from_canonical(text: &str) -> Option<ErrorPatternSet> {
+        if text == "single-bit" {
+            return Some(ErrorPatternSet::SingleBit);
+        }
+        if let Some(width) = text.strip_prefix("adjacent-bits:") {
+            return width
+                .parse()
+                .ok()
+                .map(|width| ErrorPatternSet::AdjacentBits { width });
+        }
+        if let Some(gap) = text.strip_prefix("separated-pair:") {
+            return gap
+                .parse()
+                .ok()
+                .map(|gap| ErrorPatternSet::SeparatedPair { gap });
+        }
+        if let Some(body) = text.strip_prefix("explicit:") {
+            let mut patterns = Vec::new();
+            for part in body.split(',').filter(|p| !p.is_empty()) {
+                let bits: Option<Vec<u32>> =
+                    part.split('+').map(|b| b.parse::<u32>().ok()).collect();
+                patterns.push(ErrorPattern { bits: bits? });
+            }
+            return Some(ErrorPatternSet::Explicit(patterns));
+        }
+        None
     }
 }
 

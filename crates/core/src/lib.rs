@@ -42,25 +42,42 @@
 //! let (_golden, trace) = run_traced(&m).unwrap();
 //! let vm = Vm::with_defaults(&m).unwrap();
 //! let obj = vm.objects().by_name("out").unwrap().id;
-//! let analyzer = AdvfAnalyzer::new(&trace, AnalysisConfig::default());
+//! let config = AnalysisConfig::default();
+//! config.validate()?;
+//! let analyzer = AdvfAnalyzer::new(&trace, config);
 //! let report = analyzer.analyze(obj, "out", "mini", None);
 //! assert!(report.advf() > 0.0 && report.advf() <= 1.0);
+//!
+//! // Reports serialize to a versioned JSON schema and round-trip bit-exactly.
+//! let text = report.to_json_string();
+//! let back = moard_core::AdvfReport::from_json_str(&text)?;
+//! assert_eq!(back.advf().to_bits(), report.advf().to_bits());
+//! # Ok::<(), moard_core::MoardError>(())
 //! ```
+//!
+//! The one-call façade over this pipeline (workload lookup, tracing,
+//! deterministic injection, parallel multi-object analysis) is
+//! `moard_inject::AnalysisSession`; every fallible entry point across both
+//! crates returns `Result<_, `[`MoardError`]`>`.
 
 pub mod advf;
 pub mod analysis;
+pub mod error;
 pub mod error_pattern;
 pub mod masking;
 pub mod op_rules;
 pub mod propagation;
+pub mod report;
 pub mod resolver;
 pub mod sites;
 
 pub use advf::{AdvfAccumulator, AdvfReport, MaskingTally};
 pub use analysis::{AdvfAnalyzer, AnalysisConfig};
+pub use error::MoardError;
 pub use error_pattern::{ErrorPattern, ErrorPatternSet};
 pub use masking::{Masking, OpMaskKind};
 pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
 pub use propagation::{replay, PropagationResult, UnresolvedReason};
+pub use report::{check_schema_version, fingerprint_hex, parse_fingerprint, SCHEMA_VERSION};
 pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
-pub use sites::{count_fault_sites, enumerate_sites, ParticipationSite, SiteSlot};
+pub use sites::{count_fault_sites, enumerate_sites, has_sites, ParticipationSite, SiteSlot};

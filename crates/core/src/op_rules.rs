@@ -25,7 +25,11 @@ use moard_vm::{TraceOp, TraceRecord, TracedVal, ValueSource};
 pub enum CorruptLoc {
     /// A virtual register of a specific frame holds `value` instead of the
     /// clean value recorded in the trace.
-    Reg { frame: u64, reg: RegId, value: Value },
+    Reg {
+        frame: u64,
+        reg: RegId,
+        value: Value,
+    },
     /// A memory word holds `value` instead of the clean value.
     Mem { addr: u64, value: Value },
 }
@@ -144,7 +148,11 @@ fn analyze_operand(rec: &TraceRecord, idx: usize, pattern: &ErrorPattern) -> OpV
 
     match &rec.op {
         TraceOp::Bin {
-            op, ty, lhs, rhs, result,
+            op,
+            ty,
+            lhs,
+            rhs,
+            result,
         } => {
             let (a, b) = if idx == 0 {
                 (corrupted, rhs.value)
@@ -175,7 +183,10 @@ fn analyze_operand(rec: &TraceRecord, idx: usize, pattern: &ErrorPattern) -> OpV
             }
         }
         TraceOp::Cmp {
-            pred, lhs, rhs, result,
+            pred,
+            lhs,
+            rhs,
+            result,
         } => {
             let (a, b) = if idx == 0 {
                 (corrupted, rhs.value)
@@ -197,7 +208,9 @@ fn analyze_operand(rec: &TraceRecord, idx: usize, pattern: &ErrorPattern) -> OpV
                 Err(_) => OpVerdict::NotMasked,
             }
         }
-        TraceOp::Cast { kind, to, result, .. } => match eval_cast(*kind, *to, &corrupted) {
+        TraceOp::Cast {
+            kind, to, result, ..
+        } => match eval_cast(*kind, *to, &corrupted) {
             Err(_) => OpVerdict::NotMasked,
             Ok(r) if r.bits_eq(result) => OpVerdict::Masked(masked_kind_for_cast(*kind)),
             Ok(r) => {

@@ -186,7 +186,11 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
     let frame = rec.frame;
     match &rec.op {
         TraceOp::Bin {
-            op, ty, lhs, rhs, result,
+            op,
+            ty,
+            lhs,
+            rhs,
+            result,
         } => {
             let cl = state.operand(frame, lhs);
             let cr = state.operand(frame, rhs);
@@ -206,7 +210,10 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
             }
         }
         TraceOp::Cmp {
-            pred, lhs, rhs, result,
+            pred,
+            lhs,
+            rhs,
+            result,
         } => {
             let cl = state.operand(frame, lhs);
             let cr = state.operand(frame, rhs);
@@ -225,7 +232,12 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
                 Err(_) => StepResult::Unresolved(UnresolvedReason::EvalTrap),
             }
         }
-        TraceOp::Cast { kind, to, src, result } => {
+        TraceOp::Cast {
+            kind,
+            to,
+            src,
+            result,
+        } => {
             let cs = state.operand(frame, src);
             let dst = rec.dst.expect("cast has dst");
             match cs {
@@ -564,14 +576,32 @@ mod tests {
         let c = f.cmp(CmpPred::FOgt, Operand::Reg(x), Operand::const_f64(0.0));
         f.if_then_else(
             Operand::Reg(c),
-            |f| f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::const_f64(1.0)),
-            |f| f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::const_f64(-1.0)),
+            |f| {
+                f.store_elem(
+                    Type::F64,
+                    out,
+                    Operand::const_i64(0),
+                    Operand::const_f64(1.0),
+                )
+            },
+            |f| {
+                f.store_elem(
+                    Type::F64,
+                    out,
+                    Operand::const_i64(0),
+                    Operand::const_f64(-1.0),
+                )
+            },
         );
         f.ret(None);
         m.add_function(f.finish());
         moard_ir::verify::assert_verified(&m);
         let (_, trace) = run_traced(&m).unwrap();
-        let cmp = trace.records.iter().find(|r| r.mnemonic() == "cmp").unwrap();
+        let cmp = trace
+            .records
+            .iter()
+            .find(|r| r.mnemonic() == "cmp")
+            .unwrap();
         // Corrupt the comparison result itself: the branch flips.
         let initial = vec![CorruptLoc::Reg {
             frame: cmp.frame,

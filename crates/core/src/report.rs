@@ -1,0 +1,327 @@
+//! Serialization of analysis results to a stable, versioned JSON schema.
+//!
+//! Reports are the machine-consumable face of the pipeline: the CLI's
+//! `--format json`, the `moard report` subcommand, and any external tooling
+//! all speak this schema.  Guarantees:
+//!
+//! * **versioned** — every document carries `schema_version`; readers reject
+//!   versions they do not understand instead of mis-parsing them;
+//! * **bit-exact** — floating-point tallies round-trip to identical bit
+//!   patterns (shortest-roundtrip formatting in `moard-json`);
+//! * **config-fingerprinted** — every report embeds the fingerprint of the
+//!   [`AnalysisConfig`] that produced it, so results computed under
+//!   different windows/strides/DFI caps are never conflated;
+//! * **self-describing** — derived quantities consumers usually want (the
+//!   aDVF value, the per-level and per-kind breakdowns of Figs. 4 and 5)
+//!   are materialized alongside the raw numerator/denominator.
+
+use crate::advf::{AdvfAccumulator, AdvfReport, MaskingTally};
+use crate::analysis::AnalysisConfig;
+use crate::error::MoardError;
+use crate::error_pattern::ErrorPatternSet;
+use moard_json::{FromJson, Json, JsonError, ToJson};
+
+/// Version of the JSON report schema this build writes and reads.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Render a config fingerprint as the fixed-width hex string used in JSON.
+pub fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+/// Parse a fingerprint rendered by [`fingerprint_hex`].
+pub fn parse_fingerprint(text: &str) -> Result<u64, JsonError> {
+    u64::from_str_radix(text, 16).map_err(|_| JsonError::WrongType {
+        field: "config_fingerprint".into(),
+        expected: "a 16-digit hex string",
+    })
+}
+
+/// Check a document's `schema_version` against what this build understands.
+pub fn check_schema_version(doc: &Json) -> Result<(), MoardError> {
+    let found = doc.u32_field("schema_version")?;
+    if found != SCHEMA_VERSION {
+        return Err(MoardError::SchemaMismatch {
+            found,
+            expected: SCHEMA_VERSION,
+        });
+    }
+    Ok(())
+}
+
+impl ToJson for MaskingTally {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("overwriting", Json::from(self.overwriting)),
+            ("logic_compare", Json::from(self.logic_compare)),
+            ("overshadowing", Json::from(self.overshadowing)),
+            ("propagation", Json::from(self.propagation)),
+            ("algorithm", Json::from(self.algorithm)),
+        ])
+    }
+}
+
+impl FromJson for MaskingTally {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(MaskingTally {
+            overwriting: value.f64_field("overwriting")?,
+            logic_compare: value.f64_field("logic_compare")?,
+            overshadowing: value.f64_field("overshadowing")?,
+            propagation: value.f64_field("propagation")?,
+            algorithm: value.f64_field("algorithm")?,
+        })
+    }
+}
+
+impl ToJson for AdvfAccumulator {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("masked", self.masked.to_json()),
+            ("participations", Json::from(self.participations)),
+        ])
+    }
+}
+
+impl FromJson for AdvfAccumulator {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(AdvfAccumulator {
+            masked: MaskingTally::from_json(value.field("masked")?)?,
+            participations: value.u64_field("participations")?,
+        })
+    }
+}
+
+impl ToJson for AnalysisConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("propagation_window", Json::from(self.propagation_window)),
+            ("site_stride", Json::from(self.site_stride)),
+            (
+                "max_dfi_per_object",
+                match self.max_dfi_per_object {
+                    Some(n) => Json::from(n),
+                    None => Json::Null,
+                },
+            ),
+            ("patterns", Json::from(self.patterns.canonical())),
+        ])
+    }
+}
+
+impl FromJson for AnalysisConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let patterns_text = value.str_field("patterns")?;
+        let patterns =
+            ErrorPatternSet::from_canonical(patterns_text).ok_or(JsonError::WrongType {
+                field: "patterns".into(),
+                expected: "a canonical error-pattern-set string",
+            })?;
+        let max_dfi_per_object = match value.field("max_dfi_per_object")? {
+            Json::Null => None,
+            other => Some(other.as_u64().ok_or(JsonError::WrongType {
+                field: "max_dfi_per_object".into(),
+                expected: "an unsigned integer or null",
+            })?),
+        };
+        Ok(AnalysisConfig {
+            propagation_window: value.u64_field("propagation_window")? as usize,
+            site_stride: value.u64_field("site_stride")? as usize,
+            max_dfi_per_object,
+            patterns,
+        })
+    }
+}
+
+impl ToJson for AdvfReport {
+    fn to_json(&self) -> Json {
+        let (op, prop, alg) = self.accumulator.level_breakdown();
+        let (ow, os, lc) = self.accumulator.kind_breakdown();
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("workload", Json::from(self.workload.as_str())),
+            ("object", Json::from(self.object.as_str())),
+            (
+                "config_fingerprint",
+                Json::from(fingerprint_hex(self.config_fingerprint)),
+            ),
+            ("advf", Json::from(self.advf())),
+            (
+                "levels",
+                Json::object([
+                    ("operation", Json::from(op)),
+                    ("propagation", Json::from(prop)),
+                    ("algorithm", Json::from(alg)),
+                ]),
+            ),
+            (
+                "kinds",
+                Json::object([
+                    ("overwriting", Json::from(ow)),
+                    ("overshadowing", Json::from(os)),
+                    ("logic_compare", Json::from(lc)),
+                ]),
+            ),
+            ("accumulator", self.accumulator.to_json()),
+            ("sites_analyzed", Json::from(self.sites_analyzed)),
+            ("dfi_runs", Json::from(self.dfi_runs)),
+            ("dfi_cache_hits", Json::from(self.dfi_cache_hits)),
+            (
+                "resolved_analytically",
+                Json::from(self.resolved_analytically),
+            ),
+        ])
+    }
+}
+
+impl AdvfReport {
+    /// Rebuild a report from its JSON document, checking the schema version.
+    ///
+    /// Derived members (`advf`, `levels`, `kinds`) are not trusted: they are
+    /// recomputed from the accumulator on access, so a hand-edited document
+    /// cannot carry an aDVF value inconsistent with its own numerator.
+    pub fn from_json(doc: &Json) -> Result<AdvfReport, MoardError> {
+        check_schema_version(doc)?;
+        Ok(AdvfReport {
+            workload: doc.str_field("workload")?.to_string(),
+            object: doc.str_field("object")?.to_string(),
+            config_fingerprint: parse_fingerprint(doc.str_field("config_fingerprint")?)?,
+            accumulator: AdvfAccumulator::from_json(doc.field("accumulator")?)?,
+            sites_analyzed: doc.u64_field("sites_analyzed")?,
+            dfi_runs: doc.u64_field("dfi_runs")?,
+            dfi_cache_hits: doc.u64_field("dfi_cache_hits")?,
+            resolved_analytically: doc.u64_field("resolved_analytically")?,
+        })
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse a report serialized with [`AdvfReport::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<AdvfReport, MoardError> {
+        AdvfReport::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masking::{Masking, OpMaskKind};
+
+    fn sample_report() -> AdvfReport {
+        let mut acc = AdvfAccumulator::new();
+        acc.add_participation(&[(Masking::Operation(OpMaskKind::Overwriting), 1.0)]);
+        acc.add_participation(&[(Masking::Propagation, 1.0 / 3.0)]);
+        acc.add_participation(&[
+            (Masking::Algorithm, 0.125),
+            (Masking::Operation(OpMaskKind::LogicCompare), 0.25),
+        ]);
+        acc.add_participation(&[]);
+        AdvfReport {
+            workload: "CG".into(),
+            object: "colidx".into(),
+            accumulator: acc,
+            sites_analyzed: 4,
+            dfi_runs: 2,
+            dfi_cache_hits: 7,
+            resolved_analytically: 2,
+            config_fingerprint: AnalysisConfig::default().fingerprint(),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = AdvfReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.advf().to_bits(), report.advf().to_bits());
+    }
+
+    #[test]
+    fn report_json_materializes_derived_fields() {
+        let report = sample_report();
+        let doc = report.to_json();
+        assert_eq!(doc.u32_field("schema_version").unwrap(), SCHEMA_VERSION);
+        let advf = doc.f64_field("advf").unwrap();
+        assert_eq!(advf.to_bits(), report.advf().to_bits());
+        let (op, prop, alg) = report.accumulator.level_breakdown();
+        let levels = doc.field("levels").unwrap();
+        assert_eq!(levels.f64_field("operation").unwrap(), op);
+        assert_eq!(levels.f64_field("propagation").unwrap(), prop);
+        assert_eq!(levels.f64_field("algorithm").unwrap(), alg);
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let mut doc = sample_report().to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::from(99u32);
+        }
+        match AdvfReport::from_json(&doc) {
+            Err(MoardError::SchemaMismatch {
+                found: 99,
+                expected,
+            }) => {
+                assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_round_trips_including_patterns() {
+        for config in [
+            AnalysisConfig::default(),
+            AnalysisConfig {
+                propagation_window: 10,
+                site_stride: 4,
+                max_dfi_per_object: Some(5_000),
+                patterns: ErrorPatternSet::AdjacentBits { width: 2 },
+            },
+            AnalysisConfig {
+                patterns: ErrorPatternSet::Explicit(vec![
+                    crate::ErrorPattern { bits: vec![0, 7] },
+                    crate::ErrorPattern { bits: vec![63] },
+                ]),
+                ..Default::default()
+            },
+        ] {
+            let doc = config.to_json();
+            let back = AnalysisConfig::from_json(&doc).unwrap();
+            assert_eq!(back, config);
+            assert_eq!(back.fingerprint(), config.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = AnalysisConfig::default();
+        let b = AnalysisConfig {
+            site_stride: 2,
+            ..Default::default()
+        };
+        let c = AnalysisConfig {
+            max_dfi_per_object: Some(1),
+            ..Default::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
+        // Hex rendering round-trips.
+        let hex = fingerprint_hex(a.fingerprint());
+        assert_eq!(parse_fingerprint(&hex).unwrap(), a.fingerprint());
+    }
+
+    #[test]
+    fn tampered_documents_fail_loudly() {
+        let text = sample_report().to_json_string();
+        let broken = text.replace("\"participations\"", "\"particignorations\"");
+        assert!(matches!(
+            AdvfReport::from_json_str(&broken),
+            Err(MoardError::Json(JsonError::MissingField(_)))
+        ));
+        assert!(AdvfReport::from_json_str("{not json").is_err());
+    }
+}

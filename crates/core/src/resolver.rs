@@ -15,8 +15,8 @@
 
 use crate::sites::SiteSlot;
 use moard_vm::{FaultSpec, OutcomeClass, TraceRecord};
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Something that can run a deterministic fault injection and classify the
 /// outcome.  Implemented by `moard-inject::DeterministicInjector`; test code
@@ -108,29 +108,32 @@ impl EquivalenceCache {
         fault: &FaultSpec,
         resolver: &dyn DfiResolver,
     ) -> OutcomeClass {
-        if let Some(v) = self.map.read().get(&key) {
-            self.stats.write().cache_hits += 1;
+        if let Some(v) = self.map.read().expect("cache lock poisoned").get(&key) {
+            self.stats.write().expect("stats lock poisoned").cache_hits += 1;
             return *v;
         }
         let verdict = resolver.classify(fault);
-        self.stats.write().injections += 1;
-        self.map.write().insert(key, verdict);
+        self.stats.write().expect("stats lock poisoned").injections += 1;
+        self.map
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, verdict);
         verdict
     }
 
     /// Current statistics.
     pub fn stats(&self) -> ResolverStats {
-        *self.stats.read()
+        *self.stats.read().expect("stats lock poisoned")
     }
 
     /// Number of distinct equivalence classes resolved so far.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().expect("cache lock poisoned").len()
     }
 
     /// True if nothing has been resolved yet.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().expect("cache lock poisoned").is_empty()
     }
 }
 
@@ -226,8 +229,16 @@ mod tests {
         let ka = EquivalenceKey::new(&rec_a, SiteSlot::Operand(1), 99, 3);
         let kb = EquivalenceKey::new(&rec_b, SiteSlot::Operand(1), 99, 3);
         assert_eq!(ka, kb);
-        cache.classify(ka, &FaultSpec::new(42, FaultTarget::Operand(1), 3), &resolver);
-        cache.classify(kb, &FaultSpec::new(1000, FaultTarget::Operand(1), 3), &resolver);
+        cache.classify(
+            ka,
+            &FaultSpec::new(42, FaultTarget::Operand(1), 3),
+            &resolver,
+        );
+        cache.classify(
+            kb,
+            &FaultSpec::new(1000, FaultTarget::Operand(1), 3),
+            &resolver,
+        );
         assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 }

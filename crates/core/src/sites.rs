@@ -78,8 +78,22 @@ pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
     out
 }
 
+/// Does `obj` participate anywhere in the trace?  Short-circuits on the
+/// first site instead of materializing the full enumeration.
+pub fn has_sites(trace: &Trace, obj: ObjectId) -> bool {
+    let mut scratch = Vec::new();
+    trace.records.iter().any(|rec| {
+        collect_sites_for_record(rec, obj, &mut scratch);
+        !scratch.is_empty()
+    })
+}
+
 /// Enumerate the participation sites of `obj` within a single record.
-pub fn collect_sites_for_record(rec: &TraceRecord, obj: ObjectId, out: &mut Vec<ParticipationSite>) {
+pub fn collect_sites_for_record(
+    rec: &TraceRecord,
+    obj: ObjectId,
+    out: &mut Vec<ParticipationSite>,
+) {
     for (i, operand) in rec.operands().iter().enumerate() {
         if let Some((o, e)) = operand.element {
             if o == obj {
@@ -130,7 +144,12 @@ mod tests {
         let v = m.add_global(Global::from_f64("v", &[1.0, 2.0, 3.0, 4.0]));
         let sum = m.add_global(Global::zeroed("sum", Type::F64, 1));
         let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
-        f.store_elem(Type::F64, sum, Operand::const_i64(0), Operand::const_f64(0.0));
+        f.store_elem(
+            Type::F64,
+            sum,
+            Operand::const_i64(0),
+            Operand::const_f64(0.0),
+        );
         f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, i| {
             let vi = f.load_elem(Type::F64, v, Operand::Reg(i));
             let sq = f.fmul(Operand::Reg(vi), Operand::Reg(vi));
@@ -169,7 +188,9 @@ mod tests {
         // v participations: each iteration consumes v[i] twice in the fmul.
         let v_sites = enumerate_sites(&trace, v_obj);
         assert_eq!(v_sites.len(), 8);
-        assert!(v_sites.iter().all(|s| matches!(s.slot, SiteSlot::Operand(_))));
+        assert!(v_sites
+            .iter()
+            .all(|s| matches!(s.slot, SiteSlot::Operand(_))));
     }
 
     #[test]

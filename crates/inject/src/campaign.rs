@@ -3,13 +3,14 @@
 //! The original MOARD evaluation ran its analysis and fault-injection
 //! campaigns on a 256-core cluster; here the same embarrassingly parallel
 //! structure is exploited on the local machine with scoped worker threads
-//! fed through a crossbeam channel.  Each worker owns nothing but a reference
-//! to the injector, so results are bit-identical regardless of thread count.
+//! pulling task indices off a shared atomic counter.  Each worker owns
+//! nothing but a reference to the injector and writes its verdicts back by
+//! task index, so results are bit-identical regardless of thread count.
 
 use crate::injector::DeterministicInjector;
 use crate::stats::CampaignStats;
-use crossbeam::channel;
 use moard_vm::{FaultSpec, OutcomeClass};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many worker threads to use for a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +25,8 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    fn worker_count(self) -> usize {
+    /// The number of worker threads this policy resolves to on this machine.
+    pub fn worker_count(self) -> usize {
         match self {
             Parallelism::Auto => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -35,6 +37,57 @@ impl Parallelism {
     }
 }
 
+/// Run `len` independent tasks over `workers` scoped threads pulling indices
+/// off a shared atomic counter, and return the results in index order.
+///
+/// The shared fan-out of campaigns ([`run_campaign`]) and multi-object
+/// analysis (`WorkloadHarness::analyze_objects`): results are assembled by
+/// index, so the output is identical to a sequential `(0..len).map(task)`
+/// regardless of thread count.
+pub(crate) fn run_indexed<T, F>(workers: usize, len: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(len.max(1));
+    if workers <= 1 {
+        return (0..len).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut shards: Vec<Vec<(usize, T)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    });
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for (i, result) in shards.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
 /// Run every fault in `faults` through the injector and return the outcomes
 /// in the same order.
 pub fn run_campaign(
@@ -42,37 +95,9 @@ pub fn run_campaign(
     faults: &[FaultSpec],
     parallelism: Parallelism,
 ) -> Vec<OutcomeClass> {
-    let workers = parallelism.worker_count().min(faults.len().max(1));
-    if workers <= 1 {
-        return faults.iter().map(|f| injector.run_classified(f)).collect();
-    }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, FaultSpec)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, OutcomeClass)>();
-    for (i, f) in faults.iter().enumerate() {
-        task_tx.send((i, *f)).expect("queue tasks");
-    }
-    drop(task_tx);
-
-    let mut outcomes = vec![OutcomeClass::Identical; faults.len()];
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, fault)) = task_rx.recv() {
-                    let verdict = injector.run_classified(&fault);
-                    if result_tx.send((i, verdict)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(result_tx);
-        while let Ok((i, verdict)) = result_rx.recv() {
-            outcomes[i] = verdict;
-        }
-    });
-    outcomes
+    run_indexed(parallelism.worker_count(), faults.len(), |i| {
+        injector.run_classified(&faults[i])
+    })
 }
 
 /// Run a campaign and summarize it.
@@ -104,7 +129,7 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_results_agree() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let faults = some_faults(&injector, 12);
         let seq = run_campaign(&injector, &faults, Parallelism::Sequential);
         let par = run_campaign(&injector, &faults, Parallelism::Fixed(4));
@@ -114,7 +139,7 @@ mod tests {
 
     #[test]
     fn stats_wrapper_counts_runs() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let faults = some_faults(&injector, 6);
         let stats = run_campaign_stats(&injector, &faults, Parallelism::Fixed(2));
         assert_eq!(stats.runs, 6);
@@ -126,7 +151,7 @@ mod tests {
 
     #[test]
     fn empty_campaign() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let outcomes = run_campaign(&injector, &[], Parallelism::Auto);
         assert!(outcomes.is_empty());
     }

@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn enumeration_counts_are_exact() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn exhaustive_campaign_on_a_tiny_slice_runs() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;

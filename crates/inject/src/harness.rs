@@ -2,54 +2,75 @@
 //!
 //! This ties the whole MOARD pipeline together for one workload instance:
 //! build the module, run the golden execution, record the dynamic trace,
-//! construct the deterministic fault injector, and expose one-call aDVF
-//! analysis and injection campaigns per data object.  The figure/table
-//! binaries in `moard-bench`, the CLI, and the examples are all thin wrappers
-//! over this type.
+//! resolve the data-object table **once**, construct the deterministic fault
+//! injector, and expose aDVF analysis and injection campaigns per data
+//! object.  Every fallible entry point returns `Result<_, MoardError>`.
+//!
+//! Most callers want the builder façade in [`crate::session`] instead; the
+//! figure/table binaries in `moard-bench`, the CLI, and the examples are all
+//! thin wrappers over one of the two.
 
 use crate::campaign::Parallelism;
 use crate::exhaustive::{run_exhaustive, ExhaustiveConfig};
 use crate::injector::DeterministicInjector;
 use crate::random::{run_rfi, RfiConfig};
 use crate::stats::CampaignStats;
-use moard_core::{enumerate_sites, AdvfAnalyzer, AdvfReport, AnalysisConfig, ParticipationSite};
-use moard_vm::{ExecOutcome, ObjectId, Trace, Vm, VmConfig};
+use moard_core::{
+    enumerate_sites, AdvfAnalyzer, AdvfReport, AnalysisConfig, MoardError, ParticipationSite,
+};
+use moard_vm::{DataObjectRegistry, ExecOutcome, ObjectId, Trace, Vm, VmConfig};
 use moard_workloads::Workload;
 
-/// A fully prepared workload: module, golden run, trace, and injector.
+/// A fully prepared workload: module, golden run, trace, object table, and
+/// injector.
 pub struct WorkloadHarness {
     injector: DeterministicInjector,
     trace: Trace,
     traced_outcome: ExecOutcome,
+    /// Data-object table, resolved once at construction (object lookups used
+    /// to rebuild a whole `Vm` per call).
+    objects: DataObjectRegistry,
 }
 
 impl WorkloadHarness {
     /// Prepare the harness for a workload (builds, runs, and traces it).
-    pub fn new(workload: Box<dyn Workload>) -> Self {
-        let injector = DeterministicInjector::new(workload);
+    pub fn new(workload: Box<dyn Workload>) -> Result<Self, MoardError> {
+        let injector = DeterministicInjector::new(workload)?;
         let vm = Vm::new(
             injector.module(),
             VmConfig {
                 max_steps: injector.workload().max_steps(),
                 ..VmConfig::default()
             },
-        )
-        .expect("module loads");
+        )?;
+        let objects = vm.objects().clone();
         let (traced_outcome, trace) = vm.execute_traced();
-        assert!(
-            traced_outcome.bits_identical(injector.golden()),
-            "tracing must not perturb execution"
-        );
-        WorkloadHarness {
+        if !traced_outcome.bits_identical(injector.golden()) {
+            return Err(MoardError::TracePerturbed {
+                workload: injector.workload().name().to_string(),
+            });
+        }
+        Ok(WorkloadHarness {
             injector,
             trace,
             traced_outcome,
-        }
+            objects,
+        })
     }
 
-    /// Prepare the harness for a workload selected by name.
-    pub fn by_name(name: &str) -> Option<Self> {
-        moard_workloads::workload_by_name(name).map(WorkloadHarness::new)
+    /// Prepare the harness for a workload selected by name from the built-in
+    /// registry.
+    pub fn by_name(name: &str) -> Result<Self, MoardError> {
+        Self::by_name_in(moard_workloads::builtin_registry(), name)
+    }
+
+    /// Prepare the harness for a workload selected by name from a caller
+    /// supplied registry (e.g. one extended with the ABFT variants).
+    pub fn by_name_in(
+        registry: &dyn moard_workloads::WorkloadRegistry,
+        name: &str,
+    ) -> Result<Self, MoardError> {
+        WorkloadHarness::new(create_workload(registry, name)?)
     }
 
     /// The workload under study.
@@ -77,66 +98,151 @@ impl WorkloadHarness {
         &self.traced_outcome
     }
 
-    /// Resolve a data-object name to its id in this harness's memory image.
-    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
-        let vm = Vm::with_defaults(self.injector.module()).ok()?;
-        vm.objects().by_name(name).map(|o| o.id)
+    /// The data-object table of this harness's memory image.
+    pub fn objects(&self) -> &DataObjectRegistry {
+        &self.objects
+    }
+
+    /// Resolve a data-object name in the cached object table.
+    pub fn object_id(&self, name: &str) -> Result<ObjectId, MoardError> {
+        self.objects
+            .by_name(name)
+            .map(|o| o.id)
+            .ok_or_else(|| MoardError::UnknownObject {
+                workload: self.workload().name().to_string(),
+                object: name.to_string(),
+                available: self.objects.iter().map(|o| o.name.clone()).collect(),
+            })
     }
 
     /// Participation sites of a data object.
-    pub fn sites(&self, object: &str) -> Vec<ParticipationSite> {
-        match self.object_id(object) {
-            Some(id) => enumerate_sites(&self.trace, id),
-            None => Vec::new(),
-        }
+    pub fn sites(&self, object: &str) -> Result<Vec<ParticipationSite>, MoardError> {
+        let id = self.object_id(object)?;
+        Ok(enumerate_sites(&self.trace, id))
     }
 
     /// Run the aDVF analysis for one data object, using deterministic fault
     /// injection to resolve what the trace analysis cannot.
-    pub fn analyze(&self, object: &str, config: AnalysisConfig) -> AdvfReport {
-        let id = self
-            .object_id(object)
-            .unwrap_or_else(|| panic!("unknown data object `{object}`"));
-        let analyzer = AdvfAnalyzer::new(&self.trace, config);
-        analyzer.analyze(id, object, self.workload().name(), Some(&self.injector))
+    pub fn analyze(&self, object: &str, config: AnalysisConfig) -> Result<AdvfReport, MoardError> {
+        self.analyze_inner(object, config, true)
     }
 
     /// Run the aDVF analysis without any deterministic fault injection
     /// (purely analytical lower bound).
-    pub fn analyze_without_dfi(&self, object: &str, config: AnalysisConfig) -> AdvfReport {
-        let id = self
-            .object_id(object)
-            .unwrap_or_else(|| panic!("unknown data object `{object}`"));
-        let analyzer = AdvfAnalyzer::new(&self.trace, config);
-        analyzer.analyze(id, object, self.workload().name(), None)
+    pub fn analyze_without_dfi(
+        &self,
+        object: &str,
+        config: AnalysisConfig,
+    ) -> Result<AdvfReport, MoardError> {
+        self.analyze_inner(object, config, false)
     }
 
-    /// Run the aDVF analysis for every target data object of the workload.
-    pub fn analyze_targets(&self, config: &AnalysisConfig) -> Vec<AdvfReport> {
-        self.workload()
+    fn analyze_inner(
+        &self,
+        object: &str,
+        config: AnalysisConfig,
+        use_dfi: bool,
+    ) -> Result<AdvfReport, MoardError> {
+        config.validate()?;
+        let id = self.object_id(object)?;
+        if !moard_core::has_sites(&self.trace, id) {
+            return Err(MoardError::NoParticipationSites {
+                workload: self.workload().name().to_string(),
+                object: object.to_string(),
+            });
+        }
+        let analyzer = AdvfAnalyzer::new(&self.trace, config);
+        let resolver = use_dfi.then_some(&self.injector as &dyn moard_core::DfiResolver);
+        Ok(analyzer.analyze(id, object, self.workload().name(), resolver))
+    }
+
+    /// Run the aDVF analysis for every target data object of the workload,
+    /// fanning the objects out over worker threads.
+    ///
+    /// Each object's analysis is self-contained (its own analyzer and
+    /// equivalence cache), so the reports are **bit-identical** to a
+    /// sequential run regardless of thread count, and arrive in target-object
+    /// order.
+    pub fn analyze_targets(
+        &self,
+        config: &AnalysisConfig,
+        parallelism: Parallelism,
+    ) -> Result<Vec<AdvfReport>, MoardError> {
+        let objects: Vec<String> = self
+            .workload()
             .target_objects()
             .iter()
-            .map(|o| self.analyze(o, config.clone()))
-            .collect()
+            .map(|s| s.to_string())
+            .collect();
+        self.analyze_objects(&objects, config, parallelism)
+    }
+
+    /// Run the aDVF analysis for an explicit list of data objects, fanning
+    /// the objects out over worker threads (see [`Self::analyze_targets`]).
+    pub fn analyze_objects(
+        &self,
+        objects: &[String],
+        config: &AnalysisConfig,
+        parallelism: Parallelism,
+    ) -> Result<Vec<AdvfReport>, MoardError> {
+        self.analyze_many(objects, config, parallelism, true)
+    }
+
+    /// [`Self::analyze_objects`] without deterministic fault injection
+    /// (purely analytical lower bound, same fan-out).
+    pub fn analyze_objects_without_dfi(
+        &self,
+        objects: &[String],
+        config: &AnalysisConfig,
+        parallelism: Parallelism,
+    ) -> Result<Vec<AdvfReport>, MoardError> {
+        self.analyze_many(objects, config, parallelism, false)
+    }
+
+    fn analyze_many(
+        &self,
+        objects: &[String],
+        config: &AnalysisConfig,
+        parallelism: Parallelism,
+        use_dfi: bool,
+    ) -> Result<Vec<AdvfReport>, MoardError> {
+        config.validate()?;
+        // Fail fast on unknown objects before spending any analysis time.
+        for object in objects {
+            self.object_id(object)?;
+        }
+        crate::campaign::run_indexed(parallelism.worker_count(), objects.len(), |i| {
+            self.analyze_inner(&objects[i], config.clone(), use_dfi)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Exhaustive (or strided) fault-injection campaign over one object.
-    pub fn exhaustive(&self, object: &str, config: &ExhaustiveConfig) -> CampaignStats {
-        run_exhaustive(&self.injector, &self.sites(object), config)
+    pub fn exhaustive(
+        &self,
+        object: &str,
+        config: &ExhaustiveConfig,
+    ) -> Result<CampaignStats, MoardError> {
+        Ok(run_exhaustive(&self.injector, &self.sites(object)?, config))
     }
 
     /// Random fault-injection campaign over one object.
-    pub fn rfi(&self, object: &str, config: &RfiConfig) -> CampaignStats {
-        run_rfi(&self.injector, &self.sites(object), config)
+    pub fn rfi(&self, object: &str, config: &RfiConfig) -> Result<CampaignStats, MoardError> {
+        Ok(run_rfi(&self.injector, &self.sites(object)?, config))
     }
 
     /// Convenience: exhaustive campaign with strides chosen so the total
     /// number of injections stays near `budget`.
-    pub fn exhaustive_with_budget(&self, object: &str, budget: u64) -> CampaignStats {
-        let sites = self.sites(object);
+    pub fn exhaustive_with_budget(
+        &self,
+        object: &str,
+        budget: u64,
+    ) -> Result<CampaignStats, MoardError> {
+        let sites = self.sites(object)?;
         let total: u64 = sites.iter().map(|s| s.bit_width() as u64).sum();
         let stride = (total / budget.max(1)).max(1) as usize;
-        run_exhaustive(
+        Ok(run_exhaustive(
             &self.injector,
             &sites,
             &ExhaustiveConfig {
@@ -144,8 +250,24 @@ impl WorkloadHarness {
                 bit_stride: 1,
                 parallelism: Parallelism::Auto,
             },
-        )
+        ))
     }
+}
+
+/// Instantiate a workload from a registry, or produce the typed
+/// [`MoardError::UnknownWorkload`] carrying the registered names.  Shared by
+/// every by-name entry point (`WorkloadHarness::by_name_in`,
+/// `AnalysisSession::for_workload_in`).
+pub(crate) fn create_workload(
+    registry: &dyn moard_workloads::WorkloadRegistry,
+    name: &str,
+) -> Result<Box<dyn Workload>, MoardError> {
+    registry
+        .create(name)
+        .ok_or_else(|| MoardError::UnknownWorkload {
+            name: name.to_string(),
+            available: registry.names().iter().map(|n| n.to_string()).collect(),
+        })
 }
 
 #[cfg(test)]
@@ -155,47 +277,87 @@ mod tests {
 
     #[test]
     fn harness_end_to_end_on_matmul() {
-        let h = WorkloadHarness::new(Box::new(MatMul::default()));
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
         assert_eq!(h.workload().name(), "MM");
         assert!(h.trace().len() > 100);
-        assert!(h.object_id("C").is_some());
-        assert!(h.object_id("nope").is_none());
+        assert!(h.object_id("C").is_ok());
+        assert!(matches!(
+            h.object_id("nope"),
+            Err(MoardError::UnknownObject { .. })
+        ));
 
         // Unprotected MM: the aDVF of C should be very low (paper: 0.0172)
         // because C's elements are written once and any corruption that is
         // not overwritten survives into the output.
-        let report = h.analyze(
-            "C",
-            AnalysisConfig {
-                site_stride: 16,
-                max_dfi_per_object: Some(300),
-                ..Default::default()
-            },
-        );
+        let report = h
+            .analyze(
+                "C",
+                AnalysisConfig {
+                    site_stride: 16,
+                    max_dfi_per_object: Some(300),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let advf = report.advf();
-        assert!(advf < 0.3, "unprotected MM aDVF should be small, got {advf}");
+        assert!(
+            advf < 0.3,
+            "unprotected MM aDVF should be small, got {advf}"
+        );
         assert!(report.sites_analyzed > 0);
     }
 
     #[test]
     fn harness_by_name() {
-        assert!(WorkloadHarness::by_name("mm").is_some());
-        assert!(WorkloadHarness::by_name("not-a-workload").is_none());
+        assert!(WorkloadHarness::by_name("mm").is_ok());
+        match WorkloadHarness::by_name("not-a-workload") {
+            Err(MoardError::UnknownWorkload { name, available }) => {
+                assert_eq!(name, "not-a-workload");
+                assert!(available.iter().any(|n| n == "MM"));
+            }
+            other => panic!("expected UnknownWorkload, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn object_table_is_cached_and_consistent_with_the_vm() {
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
+        let vm = Vm::with_defaults(h.injector().module()).unwrap();
+        for obj in vm.objects().iter() {
+            assert_eq!(h.object_id(&obj.name).unwrap(), obj.id);
+        }
+        assert_eq!(h.objects().len(), vm.objects().len());
+    }
+
+    #[test]
+    fn parallel_target_analysis_is_bit_identical_to_sequential() {
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
+        let config = AnalysisConfig {
+            site_stride: 16,
+            max_dfi_per_object: Some(200),
+            ..Default::default()
+        };
+        let seq = h.analyze_targets(&config, Parallelism::Sequential).unwrap();
+        let par = h.analyze_targets(&config, Parallelism::Fixed(4)).unwrap();
+        assert_eq!(seq, par);
+        assert!(!seq.is_empty());
     }
 
     #[test]
     fn rfi_success_rate_roughly_matches_exhaustive_on_small_object() {
         // On the same fault population, RFI with enough tests should land
         // within a few points of the strided-exhaustive ground truth.
-        let h = WorkloadHarness::new(Box::new(MatMul::default()));
-        let exhaustive = h.exhaustive_with_budget("C", 400);
-        let rfi = h.rfi(
-            "C",
-            &RfiConfig {
-                tests: 400,
-                ..Default::default()
-            },
-        );
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
+        let exhaustive = h.exhaustive_with_budget("C", 400).unwrap();
+        let rfi = h
+            .rfi(
+                "C",
+                &RfiConfig {
+                    tests: 400,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let diff = (exhaustive.success_rate() - rfi.success_rate()).abs();
         assert!(
             diff < 0.15,

@@ -6,7 +6,7 @@
 //! exactly that bit flipped and classifies the outcome against the golden
 //! run using the workload's own acceptance criterion.
 
-use moard_core::DfiResolver;
+use moard_core::{DfiResolver, MoardError};
 use moard_ir::Module;
 use moard_vm::{ExecOutcome, FaultSpec, OutcomeClass, Vm, VmConfig};
 use moard_workloads::Workload;
@@ -21,28 +21,27 @@ pub struct DeterministicInjector {
 
 impl DeterministicInjector {
     /// Build the injector: constructs the module and runs the golden
-    /// execution once.
-    pub fn new(workload: Box<dyn Workload>) -> Self {
+    /// execution once.  Fails with a typed error if the module does not
+    /// load or the golden run does not complete.
+    pub fn new(workload: Box<dyn Workload>) -> Result<Self, MoardError> {
         let module = workload.build();
         let config = VmConfig {
             max_steps: workload.max_steps(),
             ..VmConfig::default()
         };
-        let golden = Vm::new(&module, config.clone())
-            .expect("workload module must load")
-            .execute();
-        assert!(
-            golden.status.is_completed(),
-            "golden run of {} did not complete: {:?}",
-            workload.name(),
-            golden.status
-        );
-        DeterministicInjector {
+        let golden = Vm::new(&module, config.clone())?.execute();
+        if !golden.status.is_completed() {
+            return Err(MoardError::GoldenRunFailed {
+                workload: workload.name().to_string(),
+                status: format!("{:?}", golden.status),
+            });
+        }
+        Ok(DeterministicInjector {
             workload,
             module,
             golden,
             config,
-        }
+        })
     }
 
     /// The workload under test.
@@ -98,7 +97,7 @@ mod tests {
 
     #[test]
     fn injector_classifies_mm_faults() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;
@@ -131,7 +130,7 @@ mod tests {
 
     #[test]
     fn dfi_resolver_trait_is_implemented() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let resolver: &dyn DfiResolver = &injector;
         assert_eq!(resolver.name(), "MM");
         // A fault at a non-existent dynamic instruction is a no-op: identical.

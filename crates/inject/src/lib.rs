@@ -16,19 +16,34 @@
 //!   statistically sized campaigns and margins of error (§V-C, Fig. 7).
 //!
 //! [`harness::WorkloadHarness`] packages a workload's module, golden run,
-//! dynamic trace, and injector behind a one-call API used by the CLI, the
-//! examples, and every figure/table binary in `moard-bench`.
+//! dynamic trace, object table, and injector behind a one-call API, and
+//! [`session::AnalysisSession`] is the fluent, `Result`-based façade over it
+//! used by the CLI, the examples, and every figure/table binary in
+//! `moard-bench`:
+//!
+//! ```no_run
+//! use moard_inject::Session;
+//!
+//! let report = Session::for_workload("mm")?.object("C").stride(4).run()?;
+//! println!("{}", report.to_json_string());
+//! # Ok::<(), moard_core::MoardError>(())
+//! ```
+//!
+//! Every fallible entry point returns `Result<_, `[`MoardError`]`>`.
 
 pub mod campaign;
 pub mod exhaustive;
 pub mod harness;
 pub mod injector;
 pub mod random;
+pub mod session;
 pub mod stats;
 
 pub use campaign::{run_campaign, run_campaign_stats, Parallelism};
 pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
 pub use harness::WorkloadHarness;
 pub use injector::DeterministicInjector;
+pub use moard_core::MoardError;
 pub use random::{run_rfi, sample_faults, RfiConfig};
+pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};
 pub use stats::{required_sample_size, z_value, CampaignStats};

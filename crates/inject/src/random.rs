@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn sampling_is_reproducible_and_in_range() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;
@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn rfi_campaign_produces_stats() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default()));
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;

@@ -5,6 +5,8 @@
 //! confidence level and reports the margin of error alongside each success
 //! rate; the same estimators are implemented here.
 
+use moard_core::{check_schema_version, MoardError, SCHEMA_VERSION};
+use moard_json::{Json, JsonError, ToJson};
 use moard_vm::OutcomeClass;
 
 /// Aggregate result of a fault-injection campaign.
@@ -70,6 +72,52 @@ impl CampaignStats {
         self.acceptable += other.acceptable;
         self.incorrect += other.incorrect;
         self.crashed += other.crashed;
+    }
+
+    /// Rebuild from a JSON document, checking the schema version.  The
+    /// derived `success_rate`/`margin_95` members are not trusted; they are
+    /// recomputed from the tallies on access.
+    pub fn from_json(doc: &Json) -> Result<CampaignStats, MoardError> {
+        check_schema_version(doc)?;
+        Ok(CampaignStats {
+            runs: doc.u64_field("runs")?,
+            identical: doc.u64_field("identical")?,
+            acceptable: doc.u64_field("acceptable")?,
+            incorrect: doc.u64_field("incorrect")?,
+            crashed: doc.u64_field("crashed")?,
+        })
+    }
+
+    /// Parse a campaign serialized with `to_json().to_string()`.
+    pub fn from_json_str(text: &str) -> Result<CampaignStats, MoardError> {
+        CampaignStats::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for CampaignStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("runs", Json::from(self.runs)),
+            ("identical", Json::from(self.identical)),
+            ("acceptable", Json::from(self.acceptable)),
+            ("incorrect", Json::from(self.incorrect)),
+            ("crashed", Json::from(self.crashed)),
+            ("success_rate", Json::from(self.success_rate())),
+            ("margin_95", Json::from(self.margin_of_error(0.95))),
+        ])
+    }
+}
+
+impl moard_json::FromJson for CampaignStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        CampaignStats::from_json(value).map_err(|e| match e {
+            MoardError::Json(j) => j,
+            other => JsonError::Parse {
+                offset: 0,
+                msg: other.to_string(),
+            },
+        })
     }
 }
 
@@ -155,5 +203,30 @@ mod tests {
         let s = CampaignStats::from_outcomes(&[]);
         assert_eq!(s.success_rate(), 0.0);
         assert_eq!(s.margin_of_error(0.95), 0.0);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let s = CampaignStats {
+            runs: 1000,
+            identical: 700,
+            acceptable: 100,
+            incorrect: 150,
+            crashed: 50,
+        };
+        let doc = s.to_json();
+        assert_eq!(doc.u32_field("schema_version").unwrap(), SCHEMA_VERSION);
+        assert_eq!(
+            doc.f64_field("success_rate").unwrap().to_bits(),
+            s.success_rate().to_bits()
+        );
+        let back = CampaignStats::from_json_str(&doc.to_string()).unwrap();
+        assert_eq!(back, s);
+        // A wrong schema version is rejected.
+        let bad = doc.to_string().replacen("1", "9", 1);
+        assert!(matches!(
+            CampaignStats::from_json_str(&bad),
+            Err(MoardError::SchemaMismatch { .. })
+        ));
     }
 }

@@ -102,11 +102,7 @@ impl FunctionBuilder {
 
     /// Emit a binary operation and return the destination register.
     pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> RegId {
-        let dst = self.alloc_reg(if op.is_bitwise_logic() || op.is_shift() {
-            ty
-        } else {
-            ty
-        });
+        let dst = self.alloc_reg(ty);
         self.push(Inst::Bin {
             op,
             ty,
@@ -331,6 +327,7 @@ impl FunctionBuilder {
     }
 
     /// Compute a row-major linear index `((i*d1 + j)*d2 + k)*d3 + m`.
+    #[allow(clippy::too_many_arguments)]
     pub fn lin4(
         &mut self,
         i: Operand,

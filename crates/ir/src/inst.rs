@@ -137,7 +137,12 @@ impl CmpPred {
     pub fn is_float(self) -> bool {
         matches!(
             self,
-            CmpPred::FOeq | CmpPred::FOne | CmpPred::FOlt | CmpPred::FOle | CmpPred::FOgt | CmpPred::FOge
+            CmpPred::FOeq
+                | CmpPred::FOne
+                | CmpPred::FOlt
+                | CmpPred::FOle
+                | CmpPred::FOgt
+                | CmpPred::FOge
         )
     }
 }
@@ -301,11 +306,7 @@ pub enum Inst {
         dst: RegId,
     },
     /// `dst = load ty, addr`
-    Load {
-        ty: Type,
-        addr: Operand,
-        dst: RegId,
-    },
+    Load { ty: Type, addr: Operand, dst: RegId },
     /// `store ty value, addr`
     Store {
         ty: Type,

@@ -11,10 +11,17 @@ use std::fmt::Write;
 pub fn format_inst(inst: &Inst) -> String {
     match inst {
         Inst::Bin {
-            op, ty, lhs, rhs, dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+            dst,
         } => format!("%{} = {} {} {}, {}", dst.0, op.mnemonic(), ty, lhs, rhs),
         Inst::Cmp {
-            pred, lhs, rhs, dst,
+            pred,
+            lhs,
+            rhs,
+            dst,
         } => format!("%{} = {} {}, {}", dst.0, pred.mnemonic(), lhs, rhs),
         Inst::Cast { kind, to, src, dst } => {
             format!("%{} = {} {} to {}", dst.0, kind.mnemonic(), src, to)
@@ -86,7 +93,13 @@ pub fn format_function(func: &Function) -> String {
         .ret_ty
         .map(|t| t.to_string())
         .unwrap_or_else(|| "void".to_string());
-    let _ = writeln!(out, "define {} @{}({}) {{", ret, func.name, params.join(", "));
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        ret,
+        func.name,
+        params.join(", ")
+    );
     for (bi, block) in func.blocks.iter().enumerate() {
         let _ = writeln!(out, "bb{}:  ; {}", bi, block.name);
         for inst in &block.insts {

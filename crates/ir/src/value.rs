@@ -391,7 +391,9 @@ pub fn eval_cmp(pred: CmpPred, lhs: &Value, rhs: &Value) -> Result<Value, EvalEr
         CmpPred::Ugt => lhs.as_u64() > rhs.as_u64(),
         CmpPred::Uge => lhs.as_u64() >= rhs.as_u64(),
         CmpPred::FOeq => lhs.as_f64() == rhs.as_f64(),
-        CmpPred::FOne => lhs.as_f64() != rhs.as_f64() && !lhs.as_f64().is_nan() && !rhs.as_f64().is_nan(),
+        CmpPred::FOne => {
+            lhs.as_f64() != rhs.as_f64() && !lhs.as_f64().is_nan() && !rhs.as_f64().is_nan()
+        }
         CmpPred::FOlt => lhs.as_f64() < rhs.as_f64(),
         CmpPred::FOle => lhs.as_f64() <= rhs.as_f64(),
         CmpPred::FOgt => lhs.as_f64() > rhs.as_f64(),
@@ -546,7 +548,10 @@ mod tests {
         // Flipping bit 0 of x before the shift produces the same output:
         let corrupted = x.flip_bit(0);
         let shifted2 = eval_binop(BinOp::LShr, Type::I64, &corrupted, &Value::I64(2)).unwrap();
-        assert!(shifted.bits_eq(&shifted2), "low-bit error must be shifted away");
+        assert!(
+            shifted.bits_eq(&shifted2),
+            "low-bit error must be shifted away"
+        );
     }
 
     #[test]

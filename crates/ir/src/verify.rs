@@ -113,16 +113,17 @@ impl<'m> Checker<'m> {
     fn check_inst(&mut self, inst: &Inst) {
         match inst {
             Inst::Bin {
-                op, ty, lhs, rhs, dst,
+                op,
+                ty,
+                lhs,
+                rhs,
+                dst,
             } => {
                 if op.is_float() && !ty.is_float() {
                     self.error(format!("float op {} with integer type {ty}", op.mnemonic()));
                 }
                 if !op.is_float() && ty.is_float() {
-                    self.error(format!(
-                        "integer op {} with float type {ty}",
-                        op.mnemonic()
-                    ));
+                    self.error(format!("integer op {} with float type {ty}", op.mnemonic()));
                 }
                 // Shift amounts may be any integer type; everything else must
                 // match the operation type exactly.
@@ -139,7 +140,10 @@ impl<'m> Checker<'m> {
                 self.expect_dst(*dst, *ty);
             }
             Inst::Cmp {
-                pred, lhs, rhs, dst,
+                pred,
+                lhs,
+                rhs,
+                dst,
             } => {
                 let lt = self.operand_type(lhs);
                 let rt = self.operand_type(rhs);
@@ -229,9 +233,10 @@ impl<'m> Checker<'m> {
                 }
                 match (dst, callee.ret_ty) {
                     (Some(d), Some(rt)) => self.expect_dst(*d, rt),
-                    (Some(_), None) => {
-                        self.error(format!("call to void function {} expects a value", callee.name))
-                    }
+                    (Some(_), None) => self.error(format!(
+                        "call to void function {} expects a value",
+                        callee.name
+                    )),
                     _ => {}
                 }
             }
@@ -273,7 +278,11 @@ impl<'m> Checker<'m> {
                 }
                 (None, None) => {}
             },
-            Terminator::Switch { value, cases, default } => {
+            Terminator::Switch {
+                value,
+                cases,
+                default,
+            } => {
                 if let Some(t) = self.operand_type(value) {
                     if !t.is_integer() {
                         self.error(format!("switch on non-integer type {t}"));
@@ -435,7 +444,9 @@ mod tests {
         });
         m.add_function(empty_main());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("initializer has 1 values")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("initializer has 1 values")));
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! # moard-json
+//!
+//! A zero-dependency JSON layer: a value model ([`Json`]), a strict parser
+//! ([`Json::parse`]), and a deterministic writer ([`Json::to_string`],
+//! [`Json::to_pretty`]).
+//!
+//! This crate plays the role `serde`/`serde_json` would play in an online
+//! build: the build environment of this repository has no network access to a
+//! crates registry, so the serializable report types of `moard-core` and
+//! `moard-inject` implement the [`ToJson`]/[`FromJson`] traits defined here
+//! instead of `Serialize`/`Deserialize`.  The design goals match what the
+//! reports need:
+//!
+//! * **deterministic output** — object members keep insertion order, so the
+//!   same report always serializes to the same bytes;
+//! * **bit-exact floats** — finite `f64` values are written with Rust's
+//!   shortest-roundtrip formatting and therefore re-parse to the identical
+//!   bit pattern;
+//! * **exact integers** — `u64`/`i64` are kept as integers end to end, never
+//!   squeezed through an `f64`.
+//!
+//! ```
+//! use moard_json::Json;
+//!
+//! let doc = Json::object([
+//!     ("schema_version", Json::from(1u64)),
+//!     ("advf", Json::from(0.0172f64)),
+//! ]);
+//! let text = doc.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(doc, back);
+//! assert_eq!(back.u64_field("schema_version").unwrap(), 1);
+//! ```
+
+use std::fmt;
+
+/// A JSON number, kept in its most faithful representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Anything written with a fraction or exponent.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A JSON document or fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised by parsing or by typed field access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// The input is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A required object member is absent.
+    MissingField(String),
+    /// A member exists but has the wrong type or is out of range.
+    WrongType {
+        /// The member (or path) accessed.
+        field: String,
+        /// What the caller expected to find.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            JsonError::MissingField(name) => write!(f, "missing JSON field `{name}`"),
+            JsonError::WrongType { field, expected } => {
+                write!(f, "JSON field `{field}` is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(Number::U(v))
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(Number::U(v as u64))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(Number::U(v as u64))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        if v >= 0 {
+            Json::Num(Number::U(v as u64))
+        } else {
+            Json::Num(Number::I(v))
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(Number::F(v))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, keeping their order.
+    pub fn object<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Member of an object by name.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member of an object by name, as an error if absent.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        self.get(name)
+            .ok_or_else(|| JsonError::MissingField(name.to_string()))
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Typed member access: `u64`.
+    pub fn u64_field(&self, name: &str) -> Result<u64, JsonError> {
+        self.field(name)?.as_u64().ok_or(JsonError::WrongType {
+            field: name.to_string(),
+            expected: "an unsigned integer",
+        })
+    }
+
+    /// Typed member access: `u32`.
+    pub fn u32_field(&self, name: &str) -> Result<u32, JsonError> {
+        u32::try_from(self.u64_field(name)?).map_err(|_| JsonError::WrongType {
+            field: name.to_string(),
+            expected: "a 32-bit unsigned integer",
+        })
+    }
+
+    /// Typed member access: `f64` (integers widen).
+    pub fn f64_field(&self, name: &str) -> Result<f64, JsonError> {
+        self.field(name)?.as_f64().ok_or(JsonError::WrongType {
+            field: name.to_string(),
+            expected: "a number",
+        })
+    }
+
+    /// Typed member access: string.
+    pub fn str_field(&self, name: &str) -> Result<&str, JsonError> {
+        self.field(name)?.as_str().ok_or(JsonError::WrongType {
+            field: name.to_string(),
+            expected: "a string",
+        })
+    }
+
+    /// Typed member access: array.
+    pub fn arr_field(&self, name: &str) -> Result<&[Json], JsonError> {
+        self.field(name)?.as_array().ok_or(JsonError::WrongType {
+            field: name.to_string(),
+            expected: "an array",
+        })
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+
+    /// Parse a JSON document (must consume the entire input).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+/// Compact serialization (no whitespace); `Display` also powers
+/// `Json::to_string()`.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_value(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+            write_value(&items[i], out, indent, d)
+        }),
+        Json::Obj(members) => {
+            write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+                let (k, v) = &members[i];
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, out, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+/// Finite floats use Rust's shortest-roundtrip `{:?}` formatting, so the
+/// emitted text re-parses to the identical bit pattern.  JSON has no NaN or
+/// infinity; those serialize as `null` (and fail typed access on the way
+/// back, which is the desired loud behavior for corrupted reports).
+fn write_number(n: Number, out: &mut String) {
+    use std::fmt::Write;
+    match n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F(f) if f.is_finite() => {
+            let _ = write!(out, "{f:?}");
+        }
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                    return text
+                        .parse::<i64>()
+                        .map(|v| Json::Num(Number::I(v)))
+                        .or_else(|_| {
+                            text.parse::<f64>()
+                                .map(|v| Json::Num(Number::F(v)))
+                                .map_err(|_| self.err("invalid number"))
+                        });
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Num(Number::U(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Json::Num(Number::F(v)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Types that serialize themselves into a [`Json`] value.
+pub trait ToJson {
+    /// Produce the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that reconstruct themselves from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Rebuild from the JSON representation.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            0.017_2,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.5e-308,
+            1e300,
+        ] {
+            let text = Json::from(x).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn u64_is_exact_beyond_f64_precision() {
+        let big = u64::MAX - 1;
+        let text = Json::from(big).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let doc = Json::object([
+            ("name", Json::from("aDVF")),
+            ("values", Json::array([Json::from(1u64), Json::from(0.5)])),
+            (
+                "inner",
+                Json::object([("empty", Json::array([])), ("flag", Json::from(true))]),
+            ),
+            ("nothing", Json::Null),
+        ]);
+        let compact = doc.to_string();
+        let pretty = doc.to_pretty();
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        assert_eq!(Json::parse(&pretty).unwrap(), doc);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let doc = Json::object([("z", Json::from(1u64)), ("a", Json::from(2u64))]);
+        assert_eq!(doc.to_string(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "line\nbreak \"quote\" \\ tab\t control\u{1} unicode \u{1F600}";
+        let text = Json::from(tricky).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(tricky));
+        // Explicit escapes parse too.
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"")
+                .unwrap()
+                .as_str(),
+            Some("Aé😀")
+        );
+    }
+
+    #[test]
+    fn typed_accessors_report_errors() {
+        let doc = Json::object([("n", Json::from(3.5))]);
+        assert_eq!(
+            doc.u64_field("missing"),
+            Err(JsonError::MissingField("missing".into()))
+        );
+        assert!(matches!(
+            doc.u64_field("n"),
+            Err(JsonError::WrongType { .. })
+        ));
+        assert_eq!(doc.f64_field("n"), Ok(3.5));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in [
+            "", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"\\q\"", "[] x",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text} should fail");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn negative_i64_round_trips() {
+        let text = Json::from(i64::MIN).to_string();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v, Json::Num(Number::I(i64::MIN)));
+        assert_eq!(v.to_string(), text);
+    }
+}

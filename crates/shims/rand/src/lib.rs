@@ -1,0 +1,143 @@
+//! In-tree deterministic stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no access to a crates
+//! registry, so this shim provides the tiny slice of the `rand` 0.8 API the
+//! workspace actually uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and `Rng::gen_range` over integer and `f64` ranges.
+//!
+//! The generator is SplitMix64 — a small, well-distributed 64-bit PRNG.  The
+//! streams differ from upstream `rand`'s `StdRng` (ChaCha12), which is fine
+//! everywhere the workspace draws randomness: seeded synthetic workload data
+//! and reproducible RFI campaigns, where the only requirement is determinism
+//! for a given seed.
+
+/// Seedable generators (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (mirrors the used subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(&mut || self.next_u64())
+    }
+}
+
+/// A half-open range a value can be drawn from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+
+    /// Draw one sample using the supplied bit source.
+    fn sample(self, next_u64: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+pub mod rngs {
+    //! Concrete generators (mirrors `rand::rngs`).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+
+            fn sample(self, next_u64: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = next_u64() as u128 % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u32, u64, usize, i32, i64);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+
+    fn sample(self, next_u64: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        // Rounding of `start + span * unit` can land exactly on `end`;
+        // clamp to the largest representable value below it so the range
+        // stays half-open.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn values_are_spread_out() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+}

@@ -199,7 +199,11 @@ impl<'m> Vm<'m> {
             let mut vals = Vec::with_capacity(obj.count as usize);
             for i in 0..obj.count {
                 let addr = obj.elem_addr(i);
-                vals.push(self.memory.load(obj.elem_ty, addr).unwrap_or(Value::zero(obj.elem_ty)));
+                vals.push(
+                    self.memory
+                        .load(obj.elem_ty, addr)
+                        .unwrap_or(Value::zero(obj.elem_ty)),
+                );
             }
             out.insert(obj.name.clone(), vals);
         }
@@ -324,7 +328,11 @@ impl<'m> Vm<'m> {
                 let frame = &mut frames[frame_idx];
                 match inst {
                     Inst::Bin {
-                        op, ty, lhs, rhs, dst,
+                        op,
+                        ty,
+                        lhs,
+                        rhs,
+                        dst,
                     } => {
                         let mut a = self.eval_operand(frame, &lhs);
                         let mut b = self.eval_operand(frame, &rhs);
@@ -333,23 +341,32 @@ impl<'m> Vm<'m> {
                         let result = match eval_binop(op, ty, &a.value, &b.value) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out = self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
+                                let out =
+                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                                 return (out, trace);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Bin {
-                            op,
-                            ty,
-                            lhs: a.traced(),
-                            rhs: b.traced(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Bin {
+                                op,
+                                ty,
+                                lhs: a.traced(),
+                                rhs: b.traced(),
+                                result,
+                            }
+                        );
                         let taint = TaintSet::union(&a.taint, &b.taint);
                         Self::set_reg(frame, dst, result, None, taint);
                     }
                     Inst::Cmp {
-                        pred, lhs, rhs, dst,
+                        pred,
+                        lhs,
+                        rhs,
+                        dst,
                     } => {
                         let mut a = self.eval_operand(frame, &lhs);
                         let mut b = self.eval_operand(frame, &rhs);
@@ -357,12 +374,17 @@ impl<'m> Vm<'m> {
                         Self::maybe_inject_operand(fault, dyn_id, 1, &mut b, frame);
                         let result = eval_cmp(pred, &a.value, &b.value).unwrap_or(Value::I1(false));
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Cmp {
-                            pred,
-                            lhs: a.traced(),
-                            rhs: b.traced(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Cmp {
+                                pred,
+                                lhs: a.traced(),
+                                rhs: b.traced(),
+                                result,
+                            }
+                        );
                         let taint = TaintSet::union(&a.taint, &b.taint);
                         Self::set_reg(frame, dst, result, None, taint);
                     }
@@ -372,17 +394,23 @@ impl<'m> Vm<'m> {
                         let result = match eval_cast(kind, to, &s.value) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out = self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
+                                let out =
+                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                                 return (out, trace);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Cast {
-                            kind,
-                            to,
-                            src: s.traced(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Cast {
+                                kind,
+                                to,
+                                src: s.traced(),
+                                result,
+                            }
+                        );
                         Self::set_reg(frame, dst, result, None, s.taint);
                     }
                     Inst::Load { ty, addr, dst } => {
@@ -416,13 +444,18 @@ impl<'m> Vm<'m> {
                         };
                         let value = Self::maybe_inject_result(fault, dyn_id, value);
                         let element = self.objects.locate(address);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Load {
-                            ty,
-                            addr: address,
-                            addr_src: a.source,
-                            element,
-                            result: value,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Load {
+                                ty,
+                                addr: address,
+                                addr_src: a.source,
+                                element,
+                                result: value,
+                            }
+                        );
                         let mut taint = mem_taint.get(&address).cloned().unwrap_or_default();
                         if let Some((o, e)) = element {
                             taint.insert(o, e);
@@ -453,27 +486,30 @@ impl<'m> Vm<'m> {
                             }
                         }
                         let element = self.objects.locate(address);
-                        let overwritten = self
-                            .memory
-                            .load(ty, address)
-                            .unwrap_or(Value::zero(ty));
+                        let overwritten = self.memory.load(ty, address).unwrap_or(Value::zero(ty));
                         let depends = match element {
                             Some((o, e)) => v.taint.may_depend_on(o, e),
                             None => false,
                         };
                         if let Err(e) = self.memory.store(ty, address, v.value) {
-                            let out = self.finish(ExecStatus::MemFault(e.to_string()), None, dyn_id);
+                            let out =
+                                self.finish(ExecStatus::MemFault(e.to_string()), None, dyn_id);
                             return (out, trace);
                         }
-                        emit!(frame, inst_idx as u32, None, TraceOp::Store {
-                            ty,
-                            addr: address,
-                            addr_src: a.source,
-                            element,
-                            value: v.traced(),
-                            overwritten,
-                            value_depends_on_dest: depends,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            None,
+                            TraceOp::Store {
+                                ty,
+                                addr: address,
+                                addr_src: a.source,
+                                element,
+                                value: v.traced(),
+                                overwritten,
+                                value_depends_on_dest: depends,
+                            }
+                        );
                         if v.taint.is_empty() {
                             mem_taint.remove(&address);
                         } else {
@@ -496,12 +532,17 @@ impl<'m> Vm<'m> {
                             .wrapping_add((i.value.as_i64() as u64).wrapping_mul(elem_size));
                         let result = Value::Ptr(address);
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Gep {
-                            base: b.traced(),
-                            index: i.traced(),
-                            elem_size,
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Gep {
+                                base: b.traced(),
+                                index: i.traced(),
+                                elem_size,
+                                result,
+                            }
+                        );
                         let taint = TaintSet::union(&b.taint, &i.taint);
                         Self::set_reg(frame, dst, result, None, taint);
                     }
@@ -519,12 +560,17 @@ impl<'m> Vm<'m> {
                         Self::maybe_inject_operand(fault, dyn_id, 2, &mut e, frame);
                         let chosen = if c.value.is_truthy() { &t } else { &e };
                         let result = Self::maybe_inject_result(fault, dyn_id, chosen.value);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Select {
-                            cond: c.traced(),
-                            then_v: t.traced(),
-                            else_v: e.traced(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Select {
+                                cond: c.traced(),
+                                then_v: t.traced(),
+                                else_v: e.traced(),
+                                result,
+                            }
+                        );
                         let mut taint = TaintSet::union(&c.taint, &chosen.taint);
                         // The unchosen arm's dependences do not flow into the
                         // result value, but the condition's do.
@@ -533,10 +579,8 @@ impl<'m> Vm<'m> {
                         Self::set_reg(frame, dst, result, prov, taint);
                     }
                     Inst::CallIntrinsic { intr, args, dst } => {
-                        let mut vals: Vec<OpVal> = args
-                            .iter()
-                            .map(|a| self.eval_operand(frame, a))
-                            .collect();
+                        let mut vals: Vec<OpVal> =
+                            args.iter().map(|a| self.eval_operand(frame, a)).collect();
                         for (i, v) in vals.iter_mut().enumerate() {
                             Self::maybe_inject_operand(fault, dyn_id, i, v, frame);
                         }
@@ -544,16 +588,22 @@ impl<'m> Vm<'m> {
                         let result = match eval_intrinsic(intr, &raw) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out = self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
+                                let out =
+                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                                 return (out, trace);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Intrinsic {
-                            intr,
-                            args: vals.iter().map(|v| v.traced()).collect(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Intrinsic {
+                                intr,
+                                args: vals.iter().map(|v| v.traced()).collect(),
+                                result,
+                            }
+                        );
                         let mut taint = TaintSet::empty();
                         for v in &vals {
                             taint.union_with(&v.taint);
@@ -564,17 +614,24 @@ impl<'m> Vm<'m> {
                         let mut s = self.eval_operand(frame, &src);
                         Self::maybe_inject_operand(fault, dyn_id, 0, &mut s, frame);
                         let result = Self::maybe_inject_result(fault, dyn_id, s.value);
-                        emit!(frame, inst_idx as u32, Some(dst), TraceOp::Mov {
-                            src: s.traced(),
-                            result,
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            Some(dst),
+                            TraceOp::Mov {
+                                src: s.traced(),
+                                result,
+                            }
+                        );
                         Self::set_reg(frame, dst, result, s.element, s.taint);
                     }
-                    Inst::Call { func: callee, args, dst } => {
-                        let mut vals: Vec<OpVal> = args
-                            .iter()
-                            .map(|a| self.eval_operand(frame, a))
-                            .collect();
+                    Inst::Call {
+                        func: callee,
+                        args,
+                        dst,
+                    } => {
+                        let mut vals: Vec<OpVal> =
+                            args.iter().map(|a| self.eval_operand(frame, a)).collect();
                         for (i, v) in vals.iter_mut().enumerate() {
                             Self::maybe_inject_operand(fault, dyn_id, i, v, frame);
                         }
@@ -583,12 +640,17 @@ impl<'m> Vm<'m> {
                             callee_fn.params.iter().map(|(r, _)| *r).collect();
                         let callee_frame_id = next_frame_id;
                         next_frame_id += 1;
-                        emit!(frame, inst_idx as u32, dst, TraceOp::Call {
-                            callee,
-                            args: vals.iter().map(|v| v.traced()).collect(),
-                            callee_frame: callee_frame_id,
-                            param_regs: param_regs.clone(),
-                        });
+                        emit!(
+                            frame,
+                            inst_idx as u32,
+                            dst,
+                            TraceOp::Call {
+                                callee,
+                                args: vals.iter().map(|v| v.traced()).collect(),
+                                callee_frame: callee_frame_id,
+                                param_regs: param_regs.clone(),
+                            }
+                        );
                         let mut new_frame = self.new_frame(callee, callee_frame_id, dst);
                         for (v, r) in vals.iter().zip(param_regs.iter()) {
                             Self::set_reg(&mut new_frame, *r, v.value, v.element, v.taint.clone());
@@ -617,10 +679,15 @@ impl<'m> Vm<'m> {
                         let mut c = self.eval_operand(frame, &cond);
                         Self::maybe_inject_operand(fault, dyn_id, 0, &mut c, frame);
                         let taken = c.value.is_truthy();
-                        emit!(frame, TERMINATOR_INST, None, TraceOp::CondBr {
-                            cond: c.traced(),
-                            taken,
-                        });
+                        emit!(
+                            frame,
+                            TERMINATOR_INST,
+                            None,
+                            TraceOp::CondBr {
+                                cond: c.traced(),
+                                taken,
+                            }
+                        );
                         frame.block = if taken { then_b } else { else_b };
                         frame.inst = 0;
                         dyn_id += 1;
@@ -643,10 +710,15 @@ impl<'m> Vm<'m> {
                                 break;
                             }
                         }
-                        emit!(frame, TERMINATOR_INST, None, TraceOp::Switch {
-                            value: v.traced(),
-                            taken_index,
-                        });
+                        emit!(
+                            frame,
+                            TERMINATOR_INST,
+                            None,
+                            TraceOp::Switch {
+                                value: v.traced(),
+                                taken_index,
+                            }
+                        );
                         frame.block = target;
                         frame.inst = 0;
                         dyn_id += 1;
@@ -760,7 +832,10 @@ mod tests {
         let out = run_golden(&m).unwrap();
         assert!(out.status.is_completed());
         assert_eq!(out.return_f64(), 28.0);
-        assert_eq!(out.global_f64("data"), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(
+            out.global_f64("data"),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        );
     }
 
     #[test]
@@ -778,12 +853,16 @@ mod tests {
         let stores = trace
             .records
             .iter()
-            .filter(|r| matches!(&r.op, TraceOp::Store { element: Some((o, _)), .. } if *o == data_obj))
+            .filter(
+                |r| matches!(&r.op, TraceOp::Store { element: Some((o, _)), .. } if *o == data_obj),
+            )
             .count();
         let loads = trace
             .records
             .iter()
-            .filter(|r| matches!(&r.op, TraceOp::Load { element: Some((o, _)), .. } if *o == data_obj))
+            .filter(
+                |r| matches!(&r.op, TraceOp::Load { element: Some((o, _)), .. } if *o == data_obj),
+            )
             .count();
         assert_eq!(stores, 8);
         assert_eq!(loads, 8);
@@ -928,7 +1007,9 @@ mod tests {
         let sq_id = m.add_function(sq.finish());
 
         let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
-        let r = f.call(sq_id, &[Operand::const_f64(3.0)], Some(Type::F64)).unwrap();
+        let r = f
+            .call(sq_id, &[Operand::const_f64(3.0)], Some(Type::F64))
+            .unwrap();
         f.store_elem(Type::F64, out_g, Operand::const_i64(0), Operand::Reg(r));
         f.ret(Some(Operand::Reg(r)));
         m.add_function(f.finish());
@@ -948,7 +1029,15 @@ mod tests {
         let ret = trace
             .records
             .iter()
-            .find(|r| matches!(&r.op, TraceOp::Ret { caller_frame: Some(_), .. }))
+            .find(|r| {
+                matches!(
+                    &r.op,
+                    TraceOp::Ret {
+                        caller_frame: Some(_),
+                        ..
+                    }
+                )
+            })
             .unwrap();
         if let (TraceOp::Call { callee_frame, .. }, TraceOp::Ret { caller_frame, .. }) =
             (&call.op, &ret.op)
@@ -987,13 +1076,25 @@ mod tests {
         let fadd = trace
             .records
             .iter()
-            .find(|r| matches!(&r.op, TraceOp::Bin { op: BinOp::FAdd, .. }))
+            .find(|r| {
+                matches!(
+                    &r.op,
+                    TraceOp::Bin {
+                        op: BinOp::FAdd,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         // Flip the sign of acc as consumed by the fadd.
         let fault = FaultSpec::new(fadd.id, FaultTarget::Operand(0), 63);
         let out = run_with_fault(&m, &fault).unwrap();
         assert_eq!(out.global_f64("sink"), vec![-9.0]);
-        assert_eq!(out.return_f64(), -10.0, "corruption persists in the register");
+        assert_eq!(
+            out.return_f64(),
+            -10.0,
+            "corruption persists in the register"
+        );
     }
 
     #[test]
@@ -1013,13 +1114,28 @@ mod tests {
             default: bd,
         });
         f.switch_to(b0);
-        f.store_elem(Type::I64, out_g, Operand::const_i64(0), Operand::const_i64(100));
+        f.store_elem(
+            Type::I64,
+            out_g,
+            Operand::const_i64(0),
+            Operand::const_i64(100),
+        );
         f.terminate(Terminator::Br { target: join });
         f.switch_to(b1);
-        f.store_elem(Type::I64, out_g, Operand::const_i64(0), Operand::const_i64(200));
+        f.store_elem(
+            Type::I64,
+            out_g,
+            Operand::const_i64(0),
+            Operand::const_i64(200),
+        );
         f.terminate(Terminator::Br { target: join });
         f.switch_to(bd);
-        f.store_elem(Type::I64, out_g, Operand::const_i64(0), Operand::const_i64(300));
+        f.store_elem(
+            Type::I64,
+            out_g,
+            Operand::const_i64(0),
+            Operand::const_i64(300),
+        );
         f.terminate(Terminator::Br { target: join });
         f.switch_to(join);
         f.ret(None);
@@ -1034,8 +1150,16 @@ mod tests {
         let m = sum_module();
         let vm1 = Vm::with_defaults(&m).unwrap();
         let vm2 = Vm::with_defaults(&m).unwrap();
-        let o1: Vec<(String, u64)> = vm1.objects().iter().map(|o| (o.name.clone(), o.base)).collect();
-        let o2: Vec<(String, u64)> = vm2.objects().iter().map(|o| (o.name.clone(), o.base)).collect();
+        let o1: Vec<(String, u64)> = vm1
+            .objects()
+            .iter()
+            .map(|o| (o.name.clone(), o.base))
+            .collect();
+        let o2: Vec<(String, u64)> = vm2
+            .objects()
+            .iter()
+            .map(|o| (o.name.clone(), o.base))
+            .collect();
         assert_eq!(o1, o2);
     }
 }

@@ -33,7 +33,10 @@ impl fmt::Display for MemError {
             MemError::OutOfMemory {
                 requested,
                 capacity,
-            } => write!(f, "allocation of {requested} bytes exceeds capacity {capacity}"),
+            } => write!(
+                f,
+                "allocation of {requested} bytes exceeds capacity {capacity}"
+            ),
         }
     }
 }

@@ -168,7 +168,10 @@ mod tests {
 
     fn outcome(vals: &[f64]) -> ExecOutcome {
         let mut globals = BTreeMap::new();
-        globals.insert("x".to_string(), vals.iter().map(|&v| Value::F64(v)).collect());
+        globals.insert(
+            "x".to_string(),
+            vals.iter().map(|&v| Value::F64(v)).collect(),
+        );
         ExecOutcome {
             status: ExecStatus::Completed,
             return_value: Some(Value::F64(1.0)),

@@ -143,7 +143,10 @@ pub enum TraceOp {
     /// Conditional branch (records the decision for divergence detection).
     CondBr { cond: TracedVal, taken: bool },
     /// Switch (records which successor was taken).
-    Switch { value: TracedVal, taken_index: usize },
+    Switch {
+        value: TracedVal,
+        taken_index: usize,
+    },
 }
 
 /// One executed operation.
@@ -378,10 +381,13 @@ mod tests {
 
     #[test]
     fn static_key_is_stable() {
-        let r = record(5, TraceOp::Mov {
-            src: TracedVal::constant(Value::I64(1)),
-            result: Value::I64(1),
-        });
+        let r = record(
+            5,
+            TraceOp::Mov {
+                src: TracedVal::constant(Value::I64(1)),
+                result: Value::I64(1),
+            },
+        );
         assert_eq!(r.static_key(), (0, 0, 5));
     }
 }

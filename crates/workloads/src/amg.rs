@@ -44,7 +44,7 @@ impl Default for AmgConfig {
             epsilon: 0.1,
             restart: 10,
             precond_sweeps: 3,
-            seed: 0x5EED_A3,
+            seed: 0x5E_EDA3,
         }
     }
 }
@@ -123,17 +123,9 @@ impl Workload for Amg {
         let b = module.add_global(Global::from_f64("b", &rhs));
         let x = module.add_global(Global::zeroed("x", Type::F64, n as u64));
         // Krylov basis V: (restart+1) x n, row-major.
-        let v = module.add_global(Global::zeroed(
-            "V",
-            Type::F64,
-            ((m_dim + 1) * n) as u64,
-        ));
+        let v = module.add_global(Global::zeroed("V", Type::F64, ((m_dim + 1) * n) as u64));
         // Hessenberg H: (restart+1) x restart, row-major.
-        let h = module.add_global(Global::zeroed(
-            "H",
-            Type::F64,
-            ((m_dim + 1) * m_dim) as u64,
-        ));
+        let h = module.add_global(Global::zeroed("H", Type::F64, ((m_dim + 1) * m_dim) as u64));
         let g_vec = module.add_global(Global::zeroed("g", Type::F64, (m_dim + 1) as u64));
         let y_vec = module.add_global(Global::zeroed("y", Type::F64, m_dim as u64));
         let ipiv = module.add_global(Global::zeroed("ipiv", Type::I64, m_dim as u64));
@@ -182,7 +174,11 @@ impl Workload for Amg {
                 f.store(Type::F64, Operand::const_f64(0.0), Operand::Reg(da));
             });
             for _ in 0..cfg.precond_sweeps {
-                pc.call(matvec, &[Operand::Global(scratch), Operand::Reg(pc.param(0))], None);
+                pc.call(
+                    matvec,
+                    &[Operand::Global(scratch), Operand::Reg(pc.param(0))],
+                    None,
+                );
                 pc.for_loop(Operand::const_i64(0), Operand::const_i64(ni), |f, i| {
                     let sa = f.elem_addr(Type::F64, Operand::Reg(src), Operand::Reg(i));
                     let sv = f.load(Type::F64, Operand::Reg(sa));
@@ -400,7 +396,12 @@ impl Workload for Amg {
             f.mov(res_sq, Operand::Reg(s));
         });
         let res = f.sqrt(Operand::Reg(res_sq));
-        f.store_elem(Type::F64, final_res, Operand::const_i64(0), Operand::Reg(res));
+        f.store_elem(
+            Type::F64,
+            final_res,
+            Operand::const_i64(0),
+            Operand::Reg(res),
+        );
         f.ret(Some(Operand::Reg(res)));
 
         module.add_function(f.finish());
@@ -418,7 +419,11 @@ mod tests {
     fn gmres_reduces_the_residual() {
         let amg = Amg::default();
         let outcome = golden_run(&amg).unwrap();
-        assert!(outcome.status.is_completed(), "status: {:?}", outcome.status);
+        assert!(
+            outcome.status.is_completed(),
+            "status: {:?}",
+            outcome.status
+        );
         let b = random_vector(amg.matrix().n, 0.5, 1.5, amg.config.seed);
         let b_norm = crate::linalg::norm2(&b);
         let res = outcome.return_f64();

@@ -24,47 +24,30 @@ pub mod lulesh;
 pub mod mm;
 pub mod npb;
 pub mod pf;
+pub mod registry;
 pub mod spec;
 
 pub use amg::{Amg, AmgConfig};
 pub use lulesh::{Lulesh, LuleshConfig};
 pub use mm::{MatMul, MmConfig};
 pub use pf::{Pf, PfConfig};
+pub use registry::{
+    builtin_registry, Registry, WorkloadDescriptor, WorkloadFactory, WorkloadRegistry,
+};
 pub use spec::{classify_by_outputs, golden_run, Acceptance, Workload, WorkloadInfo};
 
 /// All eight benchmark workloads of Table I, in the order of the paper's
 /// figures (CG, MG, FT, BT, SP, LU, LULESH, AMG).
 pub fn table1_workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(npb::Cg::default()),
-        Box::new(npb::Mg::default()),
-        Box::new(npb::Ft::default()),
-        Box::new(npb::Bt::default()),
-        Box::new(npb::Sp::default()),
-        Box::new(npb::Lu::default()),
-        Box::new(Lulesh::default()),
-        Box::new(Amg::default()),
-    ]
+    builtin_registry().table1()
 }
 
-/// Look a workload up by (case-insensitive) name; includes the case-study
-/// workloads MM and PF in addition to the Table I benchmarks.
+/// Look a workload up by (case-insensitive) name or alias in the built-in
+/// registry; includes the case-study workloads MM and PF in addition to the
+/// Table I benchmarks.  External workload families (e.g. the ABFT variants)
+/// live in their own [`Registry`] compositions — see `moard_abft::register`.
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
-    let lower = name.to_ascii_lowercase();
-    let w: Box<dyn Workload> = match lower.as_str() {
-        "cg" => Box::new(npb::Cg::default()),
-        "mg" => Box::new(npb::Mg::default()),
-        "ft" => Box::new(npb::Ft::default()),
-        "bt" => Box::new(npb::Bt::default()),
-        "sp" => Box::new(npb::Sp::default()),
-        "lu" => Box::new(npb::Lu::default()),
-        "lulesh" => Box::new(Lulesh::default()),
-        "amg" => Box::new(Amg::default()),
-        "mm" | "matmul" => Box::new(MatMul::default()),
-        "pf" | "particlefilter" => Box::new(Pf::default()),
-        _ => return None,
-    };
-    Some(w)
+    builtin_registry().create(name)
 }
 
 #[cfg(test)]
@@ -75,7 +58,10 @@ mod tests {
     fn registry_contains_the_eight_table1_benchmarks() {
         let all = table1_workloads();
         let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["CG", "MG", "FT", "BT", "SP", "LU", "LULESH", "AMG"]);
+        assert_eq!(
+            names,
+            vec!["CG", "MG", "FT", "BT", "SP", "LU", "LULESH", "AMG"]
+        );
         // 16 target data objects in total, as in the paper.
         let total_targets: usize = all.iter().map(|w| w.target_objects().len()).sum();
         assert_eq!(total_targets, 16);

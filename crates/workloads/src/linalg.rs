@@ -71,7 +71,12 @@ impl CsrMatrix {
             }
             rowstr.push(colidx.len() as i64);
         }
-        CsrMatrix { n, rowstr, colidx, a }
+        CsrMatrix {
+            n,
+            rowstr,
+            colidx,
+            a,
+        }
     }
 
     /// Generate the 5-point anisotropic Laplacian on an `nx` x `ny` grid —
@@ -105,7 +110,12 @@ impl CsrMatrix {
                 rowstr.push(colidx.len() as i64);
             }
         }
-        CsrMatrix { n, rowstr, colidx, a }
+        CsrMatrix {
+            n,
+            rowstr,
+            colidx,
+            a,
+        }
     }
 }
 
@@ -188,8 +198,7 @@ mod tests {
         assert_eq!(m.n, 12);
         assert_eq!(m.rowstr.len(), 13);
         // Interior point has 5 entries, corner has 3.
-        let row_len =
-            |i: usize| (m.rowstr[i + 1] - m.rowstr[i]) as usize;
+        let row_len = |i: usize| (m.rowstr[i + 1] - m.rowstr[i]) as usize;
         assert_eq!(row_len(0), 3);
         assert_eq!(row_len(5), 5);
         // Symmetric: A x = A^T x for a test vector.
@@ -209,7 +218,7 @@ mod tests {
                 dense[i * 8 + m.colidx[k] as usize] += m.a[k];
             }
         }
-        let mut want = vec![0.0; 8];
+        let mut want = [0.0; 8];
         for i in 0..8 {
             for j in 0..8 {
                 want[i] += dense[i * 8 + j] * x[j];

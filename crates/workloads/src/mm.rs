@@ -28,7 +28,7 @@ impl Default for MmConfig {
     fn default() -> Self {
         MmConfig {
             n: 8,
-            seed: 0x5EED_33,
+            seed: 0x5E_ED33,
         }
     }
 }
@@ -95,7 +95,11 @@ impl Workload for MatMul {
         let mut m = Module::new("mm");
         let a = m.add_global(Global::from_f64("A", &self.a()));
         let b = m.add_global(Global::from_f64("B", &self.b()));
-        let c = m.add_global(Global::zeroed("C", Type::F64, (self.config.n * self.config.n) as u64));
+        let c = m.add_global(Global::zeroed(
+            "C",
+            Type::F64,
+            (self.config.n * self.config.n) as u64,
+        ));
 
         let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
         // C = 0, then the canonical accumulate-in-place triple loop

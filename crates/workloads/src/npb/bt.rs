@@ -31,7 +31,7 @@ impl Default for BtConfig {
     fn default() -> Self {
         BtConfig {
             nx: 6,
-            seed: 0x5EED_B7,
+            seed: 0x5E_EDB7,
         }
     }
 }
@@ -189,11 +189,15 @@ impl Workload for Bt {
         // Return the sum of the solution as a scalar summary.
         let total = f.alloc_reg(Type::F64);
         f.mov(total, Operand::const_f64(0.0));
-        f.for_loop(Operand::const_i64(0), Operand::const_i64(ncell as i64), |f, e| {
-            let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
-            let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
-            f.mov(total, Operand::Reg(s));
-        });
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(ncell as i64),
+            |f, e| {
+                let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
+                let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
+                f.mov(total, Operand::Reg(s));
+            },
+        );
         f.ret(Some(Operand::Reg(total)));
 
         m.add_function(f.finish());

@@ -36,7 +36,7 @@ impl Default for CgConfig {
             n: 24,
             extra_per_row: 4,
             iterations: 8,
-            seed: 0x5EED_C6,
+            seed: 0x5E_EDC6,
         }
     }
 }

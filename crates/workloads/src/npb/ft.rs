@@ -31,7 +31,7 @@ impl Default for FtConfig {
     fn default() -> Self {
         FtConfig {
             n: 8,
-            seed: 0x5EED_F7,
+            seed: 0x5E_EDF7,
         }
     }
 }
@@ -147,43 +147,72 @@ impl Workload for Ft {
             let mut len = 2i64;
             while len <= n {
                 let twiddle_step = n / len;
-                lf.for_loop_step(Operand::const_i64(0), Operand::const_i64(n), len, |f, start| {
-                    f.for_loop(Operand::const_i64(0), Operand::const_i64(len / 2), |f, k| {
-                        // w = exp1[k * twiddle_step]
-                        let widx = f.mul(Operand::Reg(k), Operand::const_i64(twiddle_step));
-                        let wre_i = f.mul(Operand::Reg(widx), Operand::const_i64(2));
-                        let wim_i = f.add(Operand::Reg(wre_i), Operand::const_i64(1));
-                        let wre = f.load_elem(Type::F64, exp1, Operand::Reg(wre_i));
-                        let wim = f.load_elem(Type::F64, exp1, Operand::Reg(wim_i));
-                        // a = scratch[start + k], b = scratch[start + k + len/2]
-                        let ai = f.add(Operand::Reg(start), Operand::Reg(k));
-                        let bi = f.add(Operand::Reg(ai), Operand::const_i64(len / 2));
-                        let are_i = f.mul(Operand::Reg(ai), Operand::const_i64(2));
-                        let aim_i = f.add(Operand::Reg(are_i), Operand::const_i64(1));
-                        let bre_i = f.mul(Operand::Reg(bi), Operand::const_i64(2));
-                        let bim_i = f.add(Operand::Reg(bre_i), Operand::const_i64(1));
-                        let are = f.load_elem(Type::F64, scratch, Operand::Reg(are_i));
-                        let aim = f.load_elem(Type::F64, scratch, Operand::Reg(aim_i));
-                        let bre = f.load_elem(Type::F64, scratch, Operand::Reg(bre_i));
-                        let bim = f.load_elem(Type::F64, scratch, Operand::Reg(bim_i));
-                        // t = w * b  (complex multiply)
-                        let t1 = f.fmul(Operand::Reg(wre), Operand::Reg(bre));
-                        let t2 = f.fmul(Operand::Reg(wim), Operand::Reg(bim));
-                        let tre = f.fsub(Operand::Reg(t1), Operand::Reg(t2));
-                        let t3 = f.fmul(Operand::Reg(wre), Operand::Reg(bim));
-                        let t4 = f.fmul(Operand::Reg(wim), Operand::Reg(bre));
-                        let tim = f.fadd(Operand::Reg(t3), Operand::Reg(t4));
-                        // scratch[a] = a + t ; scratch[b] = a - t
-                        let nre = f.fadd(Operand::Reg(are), Operand::Reg(tre));
-                        let nim = f.fadd(Operand::Reg(aim), Operand::Reg(tim));
-                        let mre = f.fsub(Operand::Reg(are), Operand::Reg(tre));
-                        let mim = f.fsub(Operand::Reg(aim), Operand::Reg(tim));
-                        f.store_elem(Type::F64, scratch, Operand::Reg(are_i), Operand::Reg(nre));
-                        f.store_elem(Type::F64, scratch, Operand::Reg(aim_i), Operand::Reg(nim));
-                        f.store_elem(Type::F64, scratch, Operand::Reg(bre_i), Operand::Reg(mre));
-                        f.store_elem(Type::F64, scratch, Operand::Reg(bim_i), Operand::Reg(mim));
-                    });
-                });
+                lf.for_loop_step(
+                    Operand::const_i64(0),
+                    Operand::const_i64(n),
+                    len,
+                    |f, start| {
+                        f.for_loop(
+                            Operand::const_i64(0),
+                            Operand::const_i64(len / 2),
+                            |f, k| {
+                                // w = exp1[k * twiddle_step]
+                                let widx = f.mul(Operand::Reg(k), Operand::const_i64(twiddle_step));
+                                let wre_i = f.mul(Operand::Reg(widx), Operand::const_i64(2));
+                                let wim_i = f.add(Operand::Reg(wre_i), Operand::const_i64(1));
+                                let wre = f.load_elem(Type::F64, exp1, Operand::Reg(wre_i));
+                                let wim = f.load_elem(Type::F64, exp1, Operand::Reg(wim_i));
+                                // a = scratch[start + k], b = scratch[start + k + len/2]
+                                let ai = f.add(Operand::Reg(start), Operand::Reg(k));
+                                let bi = f.add(Operand::Reg(ai), Operand::const_i64(len / 2));
+                                let are_i = f.mul(Operand::Reg(ai), Operand::const_i64(2));
+                                let aim_i = f.add(Operand::Reg(are_i), Operand::const_i64(1));
+                                let bre_i = f.mul(Operand::Reg(bi), Operand::const_i64(2));
+                                let bim_i = f.add(Operand::Reg(bre_i), Operand::const_i64(1));
+                                let are = f.load_elem(Type::F64, scratch, Operand::Reg(are_i));
+                                let aim = f.load_elem(Type::F64, scratch, Operand::Reg(aim_i));
+                                let bre = f.load_elem(Type::F64, scratch, Operand::Reg(bre_i));
+                                let bim = f.load_elem(Type::F64, scratch, Operand::Reg(bim_i));
+                                // t = w * b  (complex multiply)
+                                let t1 = f.fmul(Operand::Reg(wre), Operand::Reg(bre));
+                                let t2 = f.fmul(Operand::Reg(wim), Operand::Reg(bim));
+                                let tre = f.fsub(Operand::Reg(t1), Operand::Reg(t2));
+                                let t3 = f.fmul(Operand::Reg(wre), Operand::Reg(bim));
+                                let t4 = f.fmul(Operand::Reg(wim), Operand::Reg(bre));
+                                let tim = f.fadd(Operand::Reg(t3), Operand::Reg(t4));
+                                // scratch[a] = a + t ; scratch[b] = a - t
+                                let nre = f.fadd(Operand::Reg(are), Operand::Reg(tre));
+                                let nim = f.fadd(Operand::Reg(aim), Operand::Reg(tim));
+                                let mre = f.fsub(Operand::Reg(are), Operand::Reg(tre));
+                                let mim = f.fsub(Operand::Reg(aim), Operand::Reg(tim));
+                                f.store_elem(
+                                    Type::F64,
+                                    scratch,
+                                    Operand::Reg(are_i),
+                                    Operand::Reg(nre),
+                                );
+                                f.store_elem(
+                                    Type::F64,
+                                    scratch,
+                                    Operand::Reg(aim_i),
+                                    Operand::Reg(nim),
+                                );
+                                f.store_elem(
+                                    Type::F64,
+                                    scratch,
+                                    Operand::Reg(bre_i),
+                                    Operand::Reg(mre),
+                                );
+                                f.store_elem(
+                                    Type::F64,
+                                    scratch,
+                                    Operand::Reg(bim_i),
+                                    Operand::Reg(mim),
+                                );
+                            },
+                        );
+                    },
+                );
                 len *= 2;
             }
             // Copy back to plane along the line.
@@ -219,24 +248,20 @@ impl Workload for Ft {
         let cim = f.alloc_reg(Type::F64);
         f.mov(cre, Operand::const_f64(0.0));
         f.mov(cim, Operand::const_f64(0.0));
-        f.for_loop(
-            Operand::const_i64(0),
-            Operand::const_i64(n * n),
-            |f, e| {
-                let keep = f.srem(Operand::Reg(e), Operand::const_i64(half.max(1)));
-                let is_kept = f.cmp(CmpPred::Eq, Operand::Reg(keep), Operand::const_i64(0));
-                f.if_then(Operand::Reg(is_kept), |f| {
-                    let re_i = f.mul(Operand::Reg(e), Operand::const_i64(2));
-                    let im_i = f.add(Operand::Reg(re_i), Operand::const_i64(1));
-                    let re = f.load_elem(Type::F64, plane, Operand::Reg(re_i));
-                    let im = f.load_elem(Type::F64, plane, Operand::Reg(im_i));
-                    let nre = f.fadd(Operand::Reg(cre), Operand::Reg(re));
-                    let nim = f.fadd(Operand::Reg(cim), Operand::Reg(im));
-                    f.mov(cre, Operand::Reg(nre));
-                    f.mov(cim, Operand::Reg(nim));
-                });
-            },
-        );
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(n * n), |f, e| {
+            let keep = f.srem(Operand::Reg(e), Operand::const_i64(half.max(1)));
+            let is_kept = f.cmp(CmpPred::Eq, Operand::Reg(keep), Operand::const_i64(0));
+            f.if_then(Operand::Reg(is_kept), |f| {
+                let re_i = f.mul(Operand::Reg(e), Operand::const_i64(2));
+                let im_i = f.add(Operand::Reg(re_i), Operand::const_i64(1));
+                let re = f.load_elem(Type::F64, plane, Operand::Reg(re_i));
+                let im = f.load_elem(Type::F64, plane, Operand::Reg(im_i));
+                let nre = f.fadd(Operand::Reg(cre), Operand::Reg(re));
+                let nim = f.fadd(Operand::Reg(cim), Operand::Reg(im));
+                f.mov(cre, Operand::Reg(nre));
+                f.mov(cim, Operand::Reg(nim));
+            });
+        });
         f.store_elem(Type::F64, chk, Operand::const_i64(0), Operand::Reg(cre));
         f.store_elem(Type::F64, chk, Operand::const_i64(1), Operand::Reg(cim));
         f.ret(Some(Operand::Reg(cre)));

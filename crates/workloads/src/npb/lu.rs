@@ -37,7 +37,7 @@ impl Default for LuConfig {
             nx: 4,
             sweeps: 3,
             omega: 0.8,
-            seed: 0x5EED_14,
+            seed: 0x5E_ED14,
         }
     }
 }
@@ -168,11 +168,8 @@ impl Workload for Lu {
                                 let fv = f.load_elem(Type::F64, frct, Operand::Reg(idx));
                                 // Left neighbor (clamped at the boundary).
                                 let im1 = f.sub(Operand::Reg(i), Operand::const_i64(1));
-                                let is_left = f.cmp(
-                                    CmpPred::Slt,
-                                    Operand::Reg(im1),
-                                    Operand::const_i64(0),
-                                );
+                                let is_left =
+                                    f.cmp(CmpPred::Slt, Operand::Reg(im1), Operand::const_i64(0));
                                 let i_nb = f.select(
                                     Type::I64,
                                     Operand::Reg(is_left),

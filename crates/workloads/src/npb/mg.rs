@@ -37,7 +37,7 @@ impl Default for MgConfig {
             n: 32,
             cycles: 2,
             smooth_steps: 2,
-            seed: 0x5EED_36,
+            seed: 0x5E_ED36,
         }
     }
 }
@@ -97,7 +97,8 @@ impl Workload for Mg {
 
         // resid(u, v, r, size): r[i] = v[i] - A u[i] with A the 1-D Laplacian
         // (2u[i] - u[i-1] - u[i+1]), boundaries treated as zero.
-        let mut residf = FunctionBuilder::new("resid", &[Type::Ptr, Type::Ptr, Type::Ptr, Type::I64], None);
+        let mut residf =
+            FunctionBuilder::new("resid", &[Type::Ptr, Type::Ptr, Type::Ptr, Type::I64], None);
         {
             let ub = residf.param(0);
             let vb = residf.param(1);
@@ -166,19 +167,33 @@ impl Workload for Mg {
             for _ in 0..cfg.smooth_steps {
                 f.call(
                     resid_id,
-                    &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                    &[
+                        Operand::Global(u),
+                        Operand::Global(v),
+                        Operand::Global(r),
+                        Operand::const_i64(n),
+                    ],
                     None,
                 );
                 f.call(
                     smooth_id,
-                    &[Operand::Global(u), Operand::Global(r), Operand::const_i64(n)],
+                    &[
+                        Operand::Global(u),
+                        Operand::Global(r),
+                        Operand::const_i64(n),
+                    ],
                     None,
                 );
             }
             // Residual and restriction to the coarse grid (full weighting).
             f.call(
                 resid_id,
-                &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                &[
+                    Operand::Global(u),
+                    Operand::Global(v),
+                    Operand::Global(r),
+                    Operand::const_i64(n),
+                ],
                 None,
             );
             f.for_loop(Operand::const_i64(0), Operand::const_i64(nc), |f, ic| {
@@ -195,7 +210,11 @@ impl Workload for Mg {
             for _ in 0..(2 * cfg.smooth_steps) {
                 f.call(
                     smooth_id,
-                    &[Operand::Global(uc), Operand::Global(rc), Operand::const_i64(nc)],
+                    &[
+                        Operand::Global(uc),
+                        Operand::Global(rc),
+                        Operand::const_i64(nc),
+                    ],
                     None,
                 );
             }
@@ -214,12 +233,21 @@ impl Workload for Mg {
             for _ in 0..cfg.smooth_steps {
                 f.call(
                     resid_id,
-                    &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+                    &[
+                        Operand::Global(u),
+                        Operand::Global(v),
+                        Operand::Global(r),
+                        Operand::const_i64(n),
+                    ],
                     None,
                 );
                 f.call(
                     smooth_id,
-                    &[Operand::Global(u), Operand::Global(r), Operand::const_i64(n)],
+                    &[
+                        Operand::Global(u),
+                        Operand::Global(r),
+                        Operand::const_i64(n),
+                    ],
                     None,
                 );
             }
@@ -227,7 +255,12 @@ impl Workload for Mg {
         // Final residual norm.
         f.call(
             resid_id,
-            &[Operand::Global(u), Operand::Global(v), Operand::Global(r), Operand::const_i64(n)],
+            &[
+                Operand::Global(u),
+                Operand::Global(v),
+                Operand::Global(r),
+                Operand::const_i64(n),
+            ],
             None,
         );
         let acc = f.alloc_reg(Type::F64);
@@ -239,7 +272,12 @@ impl Workload for Mg {
             f.mov(acc, Operand::Reg(s));
         });
         let norm = f.sqrt(Operand::Reg(acc));
-        f.store_elem(Type::F64, resid_norm, Operand::const_i64(0), Operand::Reg(norm));
+        f.store_elem(
+            Type::F64,
+            resid_norm,
+            Operand::const_i64(0),
+            Operand::Reg(norm),
+        );
         f.ret(Some(Operand::Reg(norm)));
 
         m.add_function(f.finish());

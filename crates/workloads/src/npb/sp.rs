@@ -29,7 +29,7 @@ impl Default for SpConfig {
     fn default() -> Self {
         SpConfig {
             nx: 6,
-            seed: 0x5EED_59,
+            seed: 0x5E_ED59,
         }
     }
 }
@@ -178,11 +178,15 @@ impl Workload for Sp {
         // Scalar summary.
         let total = f.alloc_reg(Type::F64);
         f.mov(total, Operand::const_f64(0.0));
-        f.for_loop(Operand::const_i64(0), Operand::const_i64(ncell as i64), |f, e| {
-            let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
-            let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
-            f.mov(total, Operand::Reg(s));
-        });
+        f.for_loop(
+            Operand::const_i64(0),
+            Operand::const_i64(ncell as i64),
+            |f, e| {
+                let v = f.load_elem(Type::F64, rhs, Operand::Reg(e));
+                let s = f.fadd(Operand::Reg(total), Operand::Reg(v));
+                f.mov(total, Operand::Reg(s));
+            },
+        );
         f.ret(Some(Operand::Reg(total)));
 
         m.add_function(f.finish());
@@ -210,14 +214,16 @@ mod tests {
             for j in 0..nx {
                 for i in 2..nx {
                     let pivot = rhoi[idx(k, j, i)];
-                    let sub = 0.25 * pivot * rhs[idx(k, j, i - 1)] + 0.1 * pivot * rhs[idx(k, j, i - 2)];
+                    let sub =
+                        0.25 * pivot * rhs[idx(k, j, i - 1)] + 0.1 * pivot * rhs[idx(k, j, i - 2)];
                     rhs[idx(k, j, i)] -= sub;
                 }
                 for t in 0..nx {
                     let i = nx - 1 - t;
                     if i + 2 < nx {
                         let pivot = rhoi[idx(k, j, i)];
-                        let sub = 0.2 * pivot * rhs[idx(k, j, i + 1)] + 0.05 * pivot * rhs[idx(k, j, i + 2)];
+                        let sub = 0.2 * pivot * rhs[idx(k, j, i + 1)]
+                            + 0.05 * pivot * rhs[idx(k, j, i + 2)];
                         rhs[idx(k, j, i)] -= sub;
                     }
                 }

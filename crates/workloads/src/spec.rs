@@ -57,12 +57,7 @@ pub trait Workload: Send + Sync {
 
     /// Classify a fault-injected outcome against the golden outcome.
     fn classify(&self, golden: &ExecOutcome, outcome: &ExecOutcome) -> OutcomeClass {
-        classify_by_outputs(
-            golden,
-            outcome,
-            &self.output_objects(),
-            self.acceptance(),
-        )
+        classify_by_outputs(golden, outcome, &self.output_objects(), self.acceptance())
     }
 }
 

@@ -1,39 +1,37 @@
-//! Quickstart: compute the aDVF of one data object of one workload.
+//! Quickstart: compute the aDVF of the data objects of one workload through
+//! the `AnalysisSession` façade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use moard::inject::WorkloadHarness;
-use moard::model::AnalysisConfig;
+use moard::inject::Session;
+use moard::model::MoardError;
 
-fn main() {
+fn main() -> Result<(), MoardError> {
     // The LU benchmark: the paper's worked example (Listing 2 / Equation 2)
-    // computes aDVF for the l2norm routine inside `ssor`.
-    let harness = WorkloadHarness::by_name("lu").expect("LU workload exists");
-    println!(
-        "workload {} ({} dynamic operations traced)",
-        harness.workload().name(),
-        harness.trace().len()
-    );
-    let config = AnalysisConfig {
-        site_stride: 4,                    // analyze every 4th participation site
-        max_dfi_per_object: Some(2_000),   // cap deterministic fault injections
-        ..Default::default()
-    };
-    for object in harness.workload().target_objects() {
-        let report = harness.analyze(object, config.clone());
-        let (op, prop, alg) = report.accumulator.level_breakdown();
+    // computes aDVF for the l2norm routine inside `ssor`.  No object is
+    // selected, so the session analyzes LU's target objects — in parallel.
+    let report = Session::for_workload("lu")?
+        .stride(4) // analyze every 4th participation site
+        .max_dfi(2_000) // cap deterministic fault injections
+        .run()?;
+
+    for r in &report.reports {
+        let (op, prop, alg) = r.accumulator.level_breakdown();
         println!(
-            "aDVF({object:<4}) = {:.3}   [operation {:.3} | propagation {:.3} | algorithm {:.3}]   sites={} dfi={}",
-            report.advf(),
+            "aDVF({:<4}) = {:.3}   [operation {:.3} | propagation {:.3} | algorithm {:.3}]   sites={} dfi={}",
+            r.object,
+            r.advf(),
             op,
             prop,
             alg,
-            report.sites_analyzed,
-            report.dfi_runs
+            r.sites_analyzed,
+            r.dfi_runs
         );
     }
     println!("\nLarger aDVF means the application tolerates more errors in that object,");
     println!("so protection effort is better spent on the objects with the lowest aDVF.");
+    println!("\nThe same result as machine-readable JSON: moard report lu");
+    Ok(())
 }

@@ -6,36 +6,42 @@
 //! cargo run --release --example rank_data_objects
 //! ```
 
-use moard::inject::WorkloadHarness;
-use moard::model::AnalysisConfig;
+use moard::inject::Session;
+use moard::model::MoardError;
 
-fn main() {
-    let harness = WorkloadHarness::by_name("cg").expect("CG workload exists");
+fn main() -> Result<(), MoardError> {
     let objects = ["rowstr", "colidx", "a", "p", "q"];
-    let config = AnalysisConfig {
-        site_stride: 8,
-        max_dfi_per_object: Some(1_500),
-        ..Default::default()
-    };
+    let session = Session::for_workload("cg")?
+        .objects(objects)
+        .stride(8)
+        .max_dfi(1_500)
+        .build()?;
+    let report = session.run()?;
 
     println!("{:<10} {:>8} {:>14}", "object", "aDVF", "FI success");
     let mut rows = Vec::new();
-    for object in objects {
-        let report = harness.analyze(object, config.clone());
-        let campaign = harness.exhaustive_with_budget(object, 1_000);
+    for r in &report.reports {
+        let campaign = session.harness().exhaustive_with_budget(&r.object, 1_000)?;
         println!(
             "{:<10} {:>8.4} {:>14.4}",
-            object,
-            report.advf(),
+            r.object,
+            r.advf(),
             campaign.success_rate()
         );
-        rows.push((object, report.advf(), campaign.success_rate()));
+        rows.push((r.object.clone(), r.advf(), campaign.success_rate()));
     }
 
     let mut by_advf = rows.clone();
     by_advf.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let mut by_fi = rows.clone();
     by_fi.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
-    println!("\nmost-vulnerable-first ranking by aDVF : {:?}", by_advf.iter().map(|r| r.0).collect::<Vec<_>>());
-    println!("most-vulnerable-first ranking by FI   : {:?}", by_fi.iter().map(|r| r.0).collect::<Vec<_>>());
+    println!(
+        "\nmost-vulnerable-first ranking by aDVF : {:?}",
+        by_advf.iter().map(|r| r.0.as_str()).collect::<Vec<_>>()
+    );
+    println!(
+        "most-vulnerable-first ranking by FI   : {:?}",
+        by_fi.iter().map(|r| r.0.as_str()).collect::<Vec<_>>()
+    );
+    Ok(())
 }

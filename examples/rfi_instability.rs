@@ -7,24 +7,28 @@
 //! cargo run --release --example rfi_instability
 //! ```
 
-use moard::inject::{Parallelism, RfiConfig, WorkloadHarness};
-use moard::model::AnalysisConfig;
+use moard::inject::{Parallelism, RfiConfig, Session};
+use moard::model::MoardError;
 
-fn main() {
-    let harness = WorkloadHarness::by_name("lulesh").expect("LULESH workload exists");
+fn main() -> Result<(), MoardError> {
     let objects = ["m_x", "m_y", "m_z"];
+    let session = Session::for_workload("lulesh")?
+        .objects(objects)
+        .stride(8)
+        .max_dfi(1_500)
+        .build()?;
 
     for &tests in &[300usize, 600, 900] {
         print!("RFI with {tests:>4} tests :");
         for (i, object) in objects.iter().enumerate() {
-            let stats = harness.rfi(
+            let stats = session.harness().rfi(
                 object,
                 &RfiConfig {
                     tests,
                     seed: 0xF1F1 + i as u64 + tests as u64,
                     parallelism: Parallelism::Auto,
                 },
-            );
+            )?;
             print!(
                 "  {object} = {:.3} ± {:.3}",
                 stats.success_rate(),
@@ -35,15 +39,11 @@ fn main() {
     }
 
     print!("deterministic aDVF  :");
-    let config = AnalysisConfig {
-        site_stride: 8,
-        max_dfi_per_object: Some(1_500),
-        ..Default::default()
-    };
-    for object in objects {
-        let report = harness.analyze(object, config.clone());
-        print!("  {object} = {:.3}        ", report.advf());
+    let report = session.run()?;
+    for r in &report.reports {
+        print!("  {} = {:.3}        ", r.object, r.advf());
     }
     println!();
     println!("\nThe RFI estimates move around between campaigns; the aDVF values do not.");
+    Ok(())
 }

@@ -8,24 +8,46 @@
 //! * [`ir`] — the LLVM-like IR the workloads are written in;
 //! * [`vm`] — the tracing interpreter and deterministic fault injector;
 //! * [`model`] — the aDVF model (error-masking classification, propagation
-//!   replay, equivalence-cached DFI resolution, Equation 1);
-//! * [`inject`] — exhaustive / random campaigns and the one-call
-//!   [`inject::WorkloadHarness`];
-//! * [`workloads`] — the Table I benchmarks plus the MM and PF case studies;
+//!   replay, equivalence-cached DFI resolution, Equation 1) plus the
+//!   [`model::MoardError`] type and the versioned JSON report schema;
+//! * [`inject`] — exhaustive / random campaigns, the
+//!   [`inject::WorkloadHarness`], and the [`inject::AnalysisSession`]
+//!   façade;
+//! * [`workloads`] — the Table I benchmarks, the MM and PF case studies,
+//!   and the extensible [`workloads::WorkloadRegistry`];
 //! * [`abft`] — the checksum-protected case-study variants.
 //!
-//! ```no_run
-//! use moard::inject::WorkloadHarness;
-//! use moard::model::AnalysisConfig;
+//! The front door is the fluent, `Result`-based session builder:
 //!
-//! let harness = WorkloadHarness::by_name("cg").unwrap();
-//! let report = harness.analyze("r", AnalysisConfig::default());
-//! println!("aDVF(r in CG) = {:.3}", report.advf());
+//! ```no_run
+//! use moard::inject::Session;
+//!
+//! let report = Session::for_workload("mm")?
+//!     .object("C")
+//!     .window(50)
+//!     .stride(4)
+//!     .max_dfi(5_000)
+//!     .run()?;
+//! println!("aDVF(C in MM) = {:.3}", report.reports[0].advf());
+//!
+//! // Reports serialize to a stable, versioned JSON schema…
+//! let text = report.to_json_string();
+//! // …and round-trip losslessly.
+//! let back = moard::inject::SessionReport::from_json_str(&text)?;
+//! assert_eq!(back, report);
+//! # Ok::<(), moard::model::MoardError>(())
 //! ```
 
 pub use moard_abft as abft;
 pub use moard_core as model;
 pub use moard_inject as inject;
 pub use moard_ir as ir;
+pub use moard_json as json;
 pub use moard_vm as vm;
 pub use moard_workloads as workloads;
+
+/// A workload registry holding everything this repository ships: the Table I
+/// benchmarks, the MM/PF case studies, and the ABFT variants.
+pub fn full_registry() -> workloads::Registry {
+    abft::registry_with_abft()
+}

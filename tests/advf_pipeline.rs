@@ -1,29 +1,41 @@
 //! Cross-crate integration tests: the full pipeline from workload to aDVF
-//! report, checked against the behaviour the paper reports.
+//! report through the `AnalysisSession` façade, checked against the
+//! behaviour the paper reports.
 
-use moard::inject::WorkloadHarness;
-use moard::model::AnalysisConfig;
+use moard::inject::{Session, SessionBuilder};
 
-fn quick() -> AnalysisConfig {
-    AnalysisConfig {
-        site_stride: 12,
-        max_dfi_per_object: Some(400),
-        ..Default::default()
-    }
+fn quick(builder: SessionBuilder) -> SessionBuilder {
+    builder.stride(12).max_dfi(400)
+}
+
+fn advf_of(workload: &str, object: &str) -> f64 {
+    quick(Session::for_workload(workload).unwrap())
+        .object(object)
+        .run()
+        .unwrap()
+        .reports[0]
+        .advf()
 }
 
 #[test]
 fn advf_is_always_a_valid_fraction() {
     for name in ["cg", "lu", "mm", "pf"] {
-        let harness = WorkloadHarness::by_name(name).unwrap();
-        for object in harness.workload().target_objects() {
-            let report = harness.analyze(object, quick());
-            let advf = report.advf();
+        // No object selected: the session analyzes every target object.
+        let report = quick(Session::for_workload(name).unwrap()).run().unwrap();
+        assert!(!report.reports.is_empty());
+        for r in &report.reports {
+            let advf = r.advf();
             assert!(
                 (0.0..=1.0).contains(&advf),
-                "{name}/{object}: aDVF {advf} out of [0,1]"
+                "{name}/{}: aDVF {advf} out of [0,1]",
+                r.object
             );
-            assert!(report.sites_analyzed > 0, "{name}/{object}: no sites analyzed");
+            assert!(
+                r.sites_analyzed > 0,
+                "{name}/{}: no sites analyzed",
+                r.object
+            );
+            assert_eq!(r.config_fingerprint, report.config.fingerprint());
         }
     }
 }
@@ -33,17 +45,15 @@ fn fp_state_arrays_are_more_resilient_than_integer_index_arrays() {
     // Evaluation conclusion 1/3 of the paper: double-precision state arrays
     // (r in CG) tolerate far more corruption than integer index arrays
     // (colidx in CG), and grid_points in SP is among the most vulnerable.
-    let cg = WorkloadHarness::by_name("cg").unwrap();
-    let r = cg.analyze("r", quick()).advf();
-    let colidx = cg.analyze("colidx", quick()).advf();
+    let r = advf_of("cg", "r");
+    let colidx = advf_of("cg", "colidx");
     assert!(
         r > colidx,
         "expected aDVF(r) > aDVF(colidx), got {r} vs {colidx}"
     );
 
-    let sp = WorkloadHarness::by_name("sp").unwrap();
-    let rhoi = sp.analyze("rhoi", quick()).advf();
-    let grid_points = sp.analyze("grid_points", quick()).advf();
+    let rhoi = advf_of("sp", "rhoi");
+    let grid_points = advf_of("sp", "grid_points");
     assert!(
         rhoi > grid_points,
         "expected aDVF(rhoi) > aDVF(grid_points), got {rhoi} vs {grid_points}"
@@ -54,20 +64,28 @@ fn fp_state_arrays_are_more_resilient_than_integer_index_arrays() {
 fn analysis_is_deterministic() {
     // Evaluation conclusion 4: unlike RFI, the aDVF calculation is
     // deterministic — two runs produce the same number, bit for bit.
-    let harness = WorkloadHarness::by_name("lulesh").unwrap();
-    let a = harness.analyze("m_elemBC", quick());
-    let b = harness.analyze("m_elemBC", quick());
-    assert_eq!(a.advf().to_bits(), b.advf().to_bits());
-    assert_eq!(a.accumulator, b.accumulator);
+    let a = quick(Session::for_workload("lulesh").unwrap())
+        .object("m_elemBC")
+        .run()
+        .unwrap();
+    let b = quick(Session::for_workload("lulesh").unwrap())
+        .object("m_elemBC")
+        .run()
+        .unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.reports[0].advf().to_bits(), b.reports[0].advf().to_bits());
 }
 
 #[test]
 fn masking_event_counts_alone_are_misleading() {
     // Evaluation conclusion 2: comparing raw masking-event counts between
     // objects says little; the aDVF ratio is what ranks them correctly.
-    let cg = WorkloadHarness::by_name("cg").unwrap();
-    let r = cg.analyze("r", quick());
-    let colidx = cg.analyze("colidx", quick());
+    let report = quick(Session::for_workload("cg").unwrap())
+        .objects(["r", "colidx"])
+        .run()
+        .unwrap();
+    let r = report.report_for("r").unwrap();
+    let colidx = report.report_for("colidx").unwrap();
     // colidx participates in plenty of operations (it is read every matvec),
     // so it can accumulate a comparable number of masking events...
     assert!(colidx.masking_events() > 0.0);

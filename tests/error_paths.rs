@@ -1,0 +1,169 @@
+//! Every fallible path of the public façade returns a typed `MoardError` —
+//! no panics, no bare `Option`s (the api_redesign acceptance checklist).
+
+use moard::inject::{Session, WorkloadHarness};
+use moard::ir::prelude::*;
+use moard::model::{AnalysisConfig, MoardError};
+use moard::workloads::{Acceptance, Workload};
+
+/// A tiny workload with a data object (`unused`) that no operation ever
+/// touches — its aDVF is undefined (zero participation sites).
+#[derive(Debug, Clone, Copy, Default)]
+struct WithUnusedObject;
+
+impl Workload for WithUnusedObject {
+    fn name(&self) -> &'static str {
+        "UNUSED-OBJ"
+    }
+
+    fn description(&self) -> &'static str {
+        "test workload with an untouched data object"
+    }
+
+    fn code_segment(&self) -> &'static str {
+        "main"
+    }
+
+    fn build(&self) -> Module {
+        let mut m = Module::new("unused_obj");
+        let data = m.add_global(Global::from_f64("data", &[1.0, 2.0]));
+        let out = m.add_global(Global::zeroed("out", Type::F64, 1));
+        m.add_global(Global::from_f64("unused", &[7.0; 4]));
+        let mut f = FunctionBuilder::new("main", &[], None);
+        let a = f.load_elem(Type::F64, data, Operand::const_i64(0));
+        let b = f.load_elem(Type::F64, data, Operand::const_i64(1));
+        let s = f.fadd(Operand::Reg(a), Operand::Reg(b));
+        f.store_elem(Type::F64, out, Operand::const_i64(0), Operand::Reg(s));
+        f.ret(None);
+        m.add_function(f.finish());
+        m
+    }
+
+    fn target_objects(&self) -> Vec<&'static str> {
+        vec!["data"]
+    }
+
+    fn output_objects(&self) -> Vec<&'static str> {
+        vec!["out"]
+    }
+
+    fn acceptance(&self) -> Acceptance {
+        Acceptance::MaxRelDiff(1e-9)
+    }
+}
+
+#[test]
+fn unknown_workload_is_a_typed_error_with_suggestions() {
+    match Session::for_workload("warp-core") {
+        Err(MoardError::UnknownWorkload { name, available }) => {
+            assert_eq!(name, "warp-core");
+            assert!(available.contains(&"CG".to_string()));
+            assert!(available.contains(&"MM".to_string()));
+        }
+        _ => panic!("expected UnknownWorkload"),
+    }
+    // The harness entry point agrees.
+    assert!(matches!(
+        WorkloadHarness::by_name("warp-core"),
+        Err(MoardError::UnknownWorkload { .. })
+    ));
+}
+
+#[test]
+fn unknown_object_is_a_typed_error_with_suggestions() {
+    let err = Session::for_workload("mm")
+        .unwrap()
+        .object("D")
+        .stride(16)
+        .max_dfi(50)
+        .run()
+        .unwrap_err();
+    match err {
+        MoardError::UnknownObject {
+            workload,
+            object,
+            available,
+        } => {
+            assert_eq!(workload, "MM");
+            assert_eq!(object, "D");
+            assert!(available.contains(&"C".to_string()));
+        }
+        other => panic!("expected UnknownObject, got {other}"),
+    }
+}
+
+#[test]
+fn zero_site_object_is_a_typed_error() {
+    let session = Session::from_workload(Box::new(WithUnusedObject))
+        .object("unused")
+        .build()
+        .unwrap();
+    match session.run() {
+        Err(MoardError::NoParticipationSites { workload, object }) => {
+            assert_eq!(workload, "UNUSED-OBJ");
+            assert_eq!(object, "unused");
+        }
+        other => panic!(
+            "expected NoParticipationSites, got {:?}",
+            other.map(|r| r.reports.len())
+        ),
+    }
+    // An object with sites still analyzes fine in the same workload.
+    assert!(Session::from_workload(Box::new(WithUnusedObject))
+        .object("data")
+        .run()
+        .is_ok());
+}
+
+#[test]
+fn zero_stride_is_an_invalid_config_error_everywhere() {
+    // Through the builder…
+    let err = Session::for_workload("mm")
+        .unwrap()
+        .stride(0)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, MoardError::InvalidConfig(_)), "got {err}");
+    // …and through the raw config validation.
+    let config = AnalysisConfig {
+        site_stride: 0,
+        ..Default::default()
+    };
+    assert!(matches!(
+        config.validate(),
+        Err(MoardError::InvalidConfig(_))
+    ));
+    // A zero DFI budget is a config error too, not a silent no-op.
+    let config = AnalysisConfig {
+        max_dfi_per_object: Some(0),
+        ..Default::default()
+    };
+    assert!(config.validate().is_err());
+    // Explicit pattern sets that enumerate nothing are rejected as well:
+    // they would count every site as trivially masked and have no faithful
+    // canonical form for the config fingerprint.
+    use moard::model::{ErrorPattern, ErrorPatternSet};
+    for patterns in [vec![], vec![ErrorPattern { bits: vec![] }]] {
+        let config = AnalysisConfig {
+            patterns: ErrorPatternSet::Explicit(patterns),
+            ..Default::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(MoardError::InvalidConfig(_))
+        ));
+    }
+}
+
+#[test]
+fn errors_render_actionable_messages() {
+    let Err(err) = Session::for_workload("warp-core") else {
+        panic!("expected an error for an unknown workload");
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("warp-core") && msg.contains("CG"), "{msg}");
+    let Err(err) = Session::for_workload("mm").unwrap().object("D").build() else {
+        panic!("expected an error for an unknown object");
+    };
+    assert!(err.to_string().contains("`D`"));
+}

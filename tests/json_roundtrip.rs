@@ -1,0 +1,100 @@
+//! JSON round-trip and parallel-determinism acceptance tests: a serialized
+//! `AdvfReport`/`SessionReport` deserializes back bit-exactly (aDVF value,
+//! breakdowns, schema version), and parallel multi-object analysis produces
+//! reports bit-identical to a sequential run.
+
+use moard::inject::{Parallelism, Session, SessionReport};
+use moard::json::Json;
+use moard::model::{AdvfReport, SCHEMA_VERSION};
+
+fn mm_session(parallelism: Parallelism) -> SessionReport {
+    Session::for_workload("mm")
+        .unwrap()
+        .stride(16)
+        .max_dfi(150)
+        .parallelism(parallelism)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn advf_report_round_trips_bit_exactly() {
+    let report = &mm_session(Parallelism::Sequential).reports[0];
+    let text = report.to_json_string();
+    let back = AdvfReport::from_json_str(&text).unwrap();
+
+    // Struct equality covers every field (f64 equality in Rust is bitwise
+    // for these finite tallies)…
+    assert_eq!(&back, report);
+    // …and the headline quantities are explicitly bit-exact.
+    assert_eq!(back.advf().to_bits(), report.advf().to_bits());
+    let (op_a, prop_a, alg_a) = report.accumulator.level_breakdown();
+    let (op_b, prop_b, alg_b) = back.accumulator.level_breakdown();
+    assert_eq!(op_a.to_bits(), op_b.to_bits());
+    assert_eq!(prop_a.to_bits(), prop_b.to_bits());
+    assert_eq!(alg_a.to_bits(), alg_b.to_bits());
+    let (ow_a, os_a, lc_a) = report.accumulator.kind_breakdown();
+    let (ow_b, os_b, lc_b) = back.accumulator.kind_breakdown();
+    assert_eq!(ow_a.to_bits(), ow_b.to_bits());
+    assert_eq!(os_a.to_bits(), os_b.to_bits());
+    assert_eq!(lc_a.to_bits(), lc_b.to_bits());
+    assert_eq!(back.config_fingerprint, report.config_fingerprint);
+
+    // The schema version survives and is the one this build writes.
+    let doc = Json::parse(&text).unwrap();
+    assert_eq!(doc.u32_field("schema_version").unwrap(), SCHEMA_VERSION);
+
+    // A second serialization is byte-identical (deterministic output).
+    assert_eq!(back.to_json_string(), text);
+}
+
+#[test]
+fn session_report_round_trips_through_pretty_and_compact_forms() {
+    let report = mm_session(Parallelism::Sequential);
+    let compact = report.to_json_string();
+    let pretty = report.to_json().to_pretty();
+    assert_eq!(SessionReport::from_json_str(&compact).unwrap(), report);
+    assert_eq!(SessionReport::from_json_str(&pretty).unwrap(), report);
+}
+
+#[test]
+fn parallel_analysis_is_bit_identical_to_sequential() {
+    let seq = mm_session(Parallelism::Sequential);
+    let par = mm_session(Parallelism::Auto);
+    assert_eq!(seq, par);
+    assert_eq!(seq.to_json_string(), par.to_json_string());
+
+    // Multi-object workload: CG has two targets analyzed concurrently.
+    let cg_seq = Session::for_workload("cg")
+        .unwrap()
+        .stride(24)
+        .max_dfi(100)
+        .parallelism(Parallelism::Sequential)
+        .run()
+        .unwrap();
+    let cg_par = Session::for_workload("cg")
+        .unwrap()
+        .stride(24)
+        .max_dfi(100)
+        .parallelism(Parallelism::Fixed(4))
+        .run()
+        .unwrap();
+    assert!(cg_seq.reports.len() >= 2);
+    assert_eq!(cg_seq, cg_par);
+    assert_eq!(cg_seq.to_json_string(), cg_par.to_json_string());
+}
+
+#[test]
+fn a_tampered_schema_version_is_rejected() {
+    let report = mm_session(Parallelism::Sequential);
+    let bad = report
+        .to_json_string()
+        .replacen("\"schema_version\":1", "\"schema_version\":42", 1);
+    assert!(matches!(
+        SessionReport::from_json_str(&bad),
+        Err(moard::model::MoardError::SchemaMismatch {
+            found: 42,
+            expected: SCHEMA_VERSION
+        })
+    ));
+}

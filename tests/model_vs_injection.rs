@@ -2,23 +2,32 @@
 //! aDVF value and the exhaustive-injection success rate must broadly agree,
 //! and the relative ordering of clearly-separated objects must match.
 
-use moard::inject::WorkloadHarness;
-use moard::model::AnalysisConfig;
+use moard::inject::Session;
 
 #[test]
 fn advf_tracks_exhaustive_injection_success_rate() {
-    let harness = WorkloadHarness::by_name("lulesh").unwrap();
-    let config = AnalysisConfig {
-        site_stride: 6,
-        max_dfi_per_object: Some(800),
-        ..Default::default()
-    };
+    let session = Session::for_workload("lulesh")
+        .unwrap()
+        .objects(["m_delv_zeta", "m_elemBC"])
+        .stride(4)
+        .max_dfi(5_000)
+        .build()
+        .unwrap();
+    let report = session.run().unwrap();
     // m_delv_zeta (floating point, heavily masked) vs m_elemBC (integer
     // branch flags): both metrics must agree on which is sturdier.
-    let zeta_advf = harness.analyze("m_delv_zeta", config.clone()).advf();
-    let bc_advf = harness.analyze("m_elemBC", config.clone()).advf();
-    let zeta_fi = harness.exhaustive_with_budget("m_delv_zeta", 800).success_rate();
-    let bc_fi = harness.exhaustive_with_budget("m_elemBC", 800).success_rate();
+    let zeta_advf = report.report_for("m_delv_zeta").unwrap().advf();
+    let bc_advf = report.report_for("m_elemBC").unwrap().advf();
+    let zeta_fi = session
+        .harness()
+        .exhaustive_with_budget("m_delv_zeta", 800)
+        .unwrap()
+        .success_rate();
+    let bc_fi = session
+        .harness()
+        .exhaustive_with_budget("m_elemBC", 800)
+        .unwrap()
+        .success_rate();
 
     assert_eq!(
         zeta_advf > bc_advf,
