@@ -10,7 +10,7 @@
 //! The target data object is the working product matrix `C` — the same
 //! object studied in the unprotected [`moard_workloads::MatMul`] baseline —
 //! so the two aDVF values are directly comparable, which is exactly the
-//! comparison Fig. 8 plots ([C] vs ABFT_[C]).
+//! comparison Fig. 8 plots (\[C\] vs ABFT_\[C\]).
 
 use moard_ir::prelude::*;
 use moard_ir::verify::assert_verified;

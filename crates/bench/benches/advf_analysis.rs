@@ -1,28 +1,37 @@
 //! Micro-bench: throughput of the analytical aDVF pipeline (operation
-//! rules + propagation replay, no deterministic fault injection).
+//! rules + propagation replay, no deterministic fault injection) on the
+//! trace engine's two reference workloads, plus the sharded per-site
+//! variant that fans the same analysis out over worker threads.
 
 use moard_bench::micro::{bench, black_box};
-use moard_core::{AdvfAnalyzer, AnalysisConfig};
-use moard_vm::{run_traced, Vm};
-use moard_workloads::{MatMul, MmConfig, Workload};
+use moard_bench::smoke::{smoke_config, smoke_workloads};
+use moard_core::AdvfAnalyzer;
 
 fn main() {
-    let mm = MatMul::with_config(MmConfig {
-        n: 6,
-        ..Default::default()
-    });
-    let module = mm.build();
-    let (_, trace) = run_traced(&module).unwrap();
-    let vm = Vm::with_defaults(&module).unwrap();
-    let obj = vm.objects().by_name("C").unwrap().id;
-    bench("advf_analysis/mm_C_analytic_only", 2, 10, || {
-        let analyzer = AdvfAnalyzer::new(
-            &trace,
-            AnalysisConfig {
-                site_stride: 4,
-                ..Default::default()
+    let config = smoke_config();
+    for wl in smoke_workloads() {
+        let stats = wl.trace.stats();
+        println!(
+            "# {}: {} records, {} index entries over {} objects",
+            wl.workload, stats.records, stats.index_entries, stats.indexed_objects
+        );
+        bench(
+            &format!("advf_analysis/{}_analytic_only", wl.key),
+            2,
+            10,
+            || {
+                let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
+                black_box(analyzer.analyze(wl.object, wl.object_name, &wl.workload, None));
             },
         );
-        black_box(analyzer.analyze(obj, "C", "MM", None));
-    });
+        bench(
+            &format!("advf_analysis/{}_sharded_x4", wl.key),
+            2,
+            10,
+            || {
+                let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
+                black_box(analyzer.analyze_sharded(wl.object, wl.object_name, &wl.workload, 4));
+            },
+        );
+    }
 }

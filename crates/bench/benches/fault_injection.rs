@@ -17,8 +17,14 @@ fn main() {
     let (_, trace) = run_traced(injector.module()).unwrap();
     let vm = Vm::with_defaults(injector.module()).unwrap();
     let obj = vm.objects().by_name("C").unwrap().id;
-    let site = enumerate_sites(&trace, obj)[10].clone();
-    let fault = site.fault(31);
+    // Site enumeration is served by the per-object trace index.
+    let sites = enumerate_sites(&trace, obj);
+    println!(
+        "# C: {} participation sites over {} indexed records",
+        sites.len(),
+        trace.touching_ids(obj).len()
+    );
+    let fault = sites[10].fault(31);
     bench("fault_injection/mm_single_dfi", 5, 20, || {
         black_box(injector.run_classified(&fault));
     });

@@ -1,33 +1,33 @@
 //! Micro-bench (ablation): cost of the propagation replay as the window
 //! k grows — the §III-D design choice between analysis accuracy and cost.
+//!
+//! The propagating seed is found through the trace's per-object record
+//! index (no linear scan over the full record list), and the replays share
+//! one reusable [`ReplayCursor`], mirroring how the analyzer drives the
+//! engine.
 
 use moard_bench::micro::{bench, black_box};
-use moard_core::{analyze_operation, replay, ErrorPattern, OpVerdict, SiteSlot};
-use moard_vm::run_traced;
+use moard_bench::smoke::propagation_seeds;
+use moard_core::ReplayCursor;
+use moard_vm::{run_traced, Vm};
 use moard_workloads::{npb::Cg, Workload};
 
 fn main() {
     let cg = Cg::default();
     let module = cg.build();
     let (_, trace) = run_traced(&module).unwrap();
-    // Pick an operand site whose error genuinely propagates.
-    let mut seed = None;
-    'outer: for rec in &trace.records {
-        for (i, op) in rec.operands().iter().enumerate() {
-            if op.element.is_some() {
-                if let OpVerdict::Propagate { corrupt } =
-                    analyze_operation(rec, SiteSlot::Operand(i), &ErrorPattern::single(62))
-                {
-                    seed = Some((rec.id as usize + 1, corrupt));
-                    break 'outer;
-                }
-            }
-        }
-    }
+    let vm = Vm::with_defaults(&module).unwrap();
+    // Pick a site whose error genuinely propagates, walking only the
+    // records the index lists for the target objects.
+    let seed = cg.target_objects().iter().find_map(|name| {
+        let obj = vm.objects().by_name(name)?.id;
+        propagation_seeds(&trace, obj, 1).into_iter().next()
+    });
     let (start, corrupt) = seed.expect("found a propagating site");
+    let mut cursor = ReplayCursor::new(&trace);
     for k in [5usize, 10, 25, 50, 100] {
         bench(&format!("propagation_k/k={k}"), 5, 20, || {
-            black_box(replay(&trace, start, &corrupt, k));
+            black_box(cursor.replay(start, &corrupt, k));
         });
     }
 }

@@ -1,8 +1,11 @@
 //! Micro-bench: cost of dynamic trace generation (golden run vs traced
 //! run), the "application trace generator" overhead of the MOARD pipeline.
+//! The traced run now also builds the per-object record index, so the
+//! golden/traced gap is the full price of the indexed trace engine; the
+//! index-lookup bench shows what that buys per `records_touching` query.
 
 use moard_bench::micro::{bench, black_box};
-use moard_vm::{run_golden, run_traced};
+use moard_vm::{run_golden, run_traced, Vm};
 use moard_workloads::{MatMul, MmConfig, Workload};
 
 fn main() {
@@ -16,5 +19,17 @@ fn main() {
     });
     bench("trace_generation/mm_traced_run", 5, 20, || {
         black_box(run_traced(&module).unwrap());
+    });
+
+    let (_, trace) = run_traced(&module).unwrap();
+    let stats = trace.stats();
+    println!(
+        "# mm trace: {} records, {} index entries over {} objects",
+        stats.records, stats.index_entries, stats.indexed_objects
+    );
+    let vm = Vm::with_defaults(&module).unwrap();
+    let c = vm.objects().by_name("C").unwrap().id;
+    bench("trace_generation/mm_records_touching_C", 5, 20, || {
+        black_box(trace.records_touching(c).count());
     });
 }

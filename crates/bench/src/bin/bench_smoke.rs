@@ -1,0 +1,139 @@
+//! CI bench-smoke harness: run the fixed micro-benchmark suite of the trace
+//! engine's hot paths, write the schema-versioned `BENCH_*.json` report, and
+//! gate against a committed baseline.
+//!
+//! ```text
+//! bench_smoke --out BENCH_2.json                 # run, write the report
+//! bench_smoke --check BENCH_baseline.json        # also fail on >25% regression
+//! bench_smoke --check BENCH_baseline.json --tolerance 0.4
+//! bench_smoke --write-baseline BENCH_baseline.json   # refresh the baseline
+//! ```
+//!
+//! The tolerance can also be set with the `BENCH_SMOKE_TOLERANCE` environment
+//! variable (a fraction, e.g. `0.25`); the command-line flag wins.  When a
+//! baseline entry records `pre_pr_median_ns`, the written report materializes
+//! each bench's speedup over that pre-trace-engine reference.
+
+use moard_bench::smoke::{gate, run_suite, Baseline, SmokeReport, DEFAULT_TOLERANCE};
+
+struct Args {
+    out: Option<String>,
+    check: Option<String>,
+    write_baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        check: None,
+        write_baseline: None,
+        tolerance: match std::env::var("BENCH_SMOKE_TOLERANCE") {
+            Ok(text) => text
+                .parse::<f64>()
+                .map_err(|_| format!("BENCH_SMOKE_TOLERANCE `{text}` is not a number"))?,
+            Err(_) => DEFAULT_TOLERANCE,
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--tolerance" => {
+                let text = value("--tolerance")?;
+                args.tolerance = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("--tolerance `{text}` is not a number"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !(0.0..10.0).contains(&args.tolerance) {
+        return Err(format!(
+            "tolerance {} out of range (expected a fraction like 0.25)",
+            args.tolerance
+        ));
+    }
+    Ok(args)
+}
+
+fn read_baseline(path: &str) -> Result<Baseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    Baseline::from_json_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))
+}
+
+fn write_report(path: &str, report: &SmokeReport, reference: Option<&Baseline>) {
+    let text = report.to_json(reference).to_pretty() + "\n";
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "# MOARD bench-smoke (tolerance {:.0}%)",
+        args.tolerance * 100.0
+    );
+    let report = run_suite();
+
+    let baseline = args.check.as_deref().map(|path| {
+        read_baseline(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    if let Some(path) = &args.out {
+        write_report(path, &report, baseline.as_ref());
+    }
+    if let Some(path) = &args.write_baseline {
+        // Refreshing a baseline must not lose the pre-PR reference medians
+        // it carries: without an explicit --check baseline, fall back to the
+        // file being overwritten as the `pre_pr_median_ns` source.
+        let reference = match &baseline {
+            Some(b) => Some(b.clone()),
+            None => std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| Baseline::from_json_str(&text).ok()),
+        };
+        write_report(path, &report, reference.as_ref());
+    }
+
+    if let Some(baseline) = &baseline {
+        let lines = gate(&report, baseline, args.tolerance).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let mut regressed = false;
+        println!();
+        for line in &lines {
+            let status = if line.regressed { "REGRESSED" } else { "ok" };
+            regressed |= line.regressed;
+            println!(
+                "{:<28} {:>12} ns vs baseline {:>12} ns  ({:>6.2}x)  {status}",
+                line.name, line.current_ns, line.baseline_ns, line.ratio
+            );
+        }
+        if regressed {
+            eprintln!(
+                "error: benchmark regression beyond {:.0}% tolerance",
+                args.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nall benches within {:.0}% of baseline",
+            args.tolerance * 100.0
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! masks them within k, and compares with the deterministic-injection verdict.
 
 use moard_bench::{harness_or_exit, print_header, unwrap_or_exit, Effort};
-use moard_core::{analyze_operation, replay, ErrorPattern, OpVerdict};
+use moard_core::{analyze_operation, ErrorPattern, OpVerdict, ReplayCursor};
 use moard_vm::OutcomeClass;
 
 fn main() {
@@ -30,6 +30,9 @@ fn main() {
         let mut incorrect_outcomes = 0u64;
         for wl in workloads {
             let harness = harness_or_exit(wl);
+            // Sites are enumerated through the per-object trace index, and
+            // one cursor's replay buffers are reused across all of them.
+            let mut cursor = ReplayCursor::new(harness.trace());
             for object in harness.workload().target_objects() {
                 let sites = unwrap_or_exit(harness.sites(object));
                 let stride = (sites.len() / per_object).max(1);
@@ -42,7 +45,7 @@ fn main() {
                         OpVerdict::OvershadowCandidate { corrupt } => corrupt,
                         _ => continue,
                     };
-                    let prop = replay(harness.trace(), site.record_id as usize + 1, &corrupt, k);
+                    let prop = cursor.replay(site.record_id as usize + 1, &corrupt, k);
                     if prop.is_masked() {
                         continue;
                     }

@@ -10,6 +10,7 @@
 //! exhaustive settings.
 
 pub mod micro;
+pub mod smoke;
 
 use moard_core::{AdvfReport, AnalysisConfig, MoardError};
 use moard_inject::{Session, SessionReport, WorkloadHarness};

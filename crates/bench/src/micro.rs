@@ -13,9 +13,25 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
-/// Time `f` over `iters` iterations (after `warmup` untimed ones) and print
-/// a one-line summary.
-pub fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
+/// Summary statistics of one timed benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchStats {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Median of the timed samples, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest timed sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest timed sample, in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+/// Time `f` over `iters` iterations (after `warmup` untimed ones), print a
+/// one-line summary, and return the statistics (consumed by the
+/// `bench_smoke` regression gate).
+pub fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) -> BenchStats {
     assert!(iters > 0, "need at least one timed iteration");
     for _ in 0..warmup {
         f();
@@ -36,6 +52,13 @@ pub fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
         fmt_ns(min),
         fmt_ns(max)
     );
+    BenchStats {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: min,
+        max_ns: max,
+        iters,
+    }
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -57,8 +80,11 @@ mod tests {
     #[test]
     fn bench_runs_the_closure_the_right_number_of_times() {
         let mut calls = 0u32;
-        bench("counter", 2, 5, || calls += 1);
+        let stats = bench("counter", 2, 5, || calls += 1);
         assert_eq!(calls, 7);
+        assert_eq!(stats.name, "counter");
+        assert_eq!(stats.iters, 5);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
     }
 
     #[test]

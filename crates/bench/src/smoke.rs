@@ -1,0 +1,460 @@
+//! The `bench-smoke` suite: fixed-configuration micro-benchmarks of the two
+//! trace-engine hot paths (aDVF analysis and propagation replay) on the MM
+//! and PF workloads, with a JSON report and a regression gate.
+//!
+//! The suite is what the `bench-smoke` CI job runs: it times each benchmark,
+//! writes a schema-versioned `BENCH_*.json` document (embedding the exact
+//! analysis-configuration fingerprint and the trace length of every workload
+//! measured, so numbers from different configurations or workload sizes are
+//! never conflated), and compares the medians against a committed
+//! `BENCH_baseline.json`, failing on a configurable regression threshold
+//! (default 25%).
+//!
+//! Baseline entries may carry a `pre_pr_median_ns` field recording the
+//! pre-trace-engine numbers; when present, the report also materializes the
+//! speedup of the current engine over that reference.
+
+use crate::micro::{bench, black_box, BenchStats};
+use moard_core::{
+    analyze_operation, enumerate_sites, fingerprint_hex, parse_fingerprint, replay,
+    trace_stats_to_json, AdvfAnalyzer, AnalysisConfig, CorruptLoc, ErrorPattern, OpVerdict,
+};
+use moard_json::{Json, JsonError};
+use moard_vm::{run_traced, Trace, TraceStats, Vm};
+use moard_workloads::{MatMul, MmConfig, Pf, Workload};
+
+/// Version of the `BENCH_*.json` schema this build writes and reads.
+pub const SMOKE_SCHEMA_VERSION: u32 = 1;
+
+/// Default regression threshold: fail when a median is more than 25% slower
+/// than its baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// The analysis configuration every smoke benchmark runs under (analytic
+/// mode: the suite measures the trace engine, not the fault injector).
+pub fn smoke_config() -> AnalysisConfig {
+    AnalysisConfig {
+        site_stride: 4,
+        ..Default::default()
+    }
+}
+
+/// One prepared workload of the suite: its trace and the target object.
+pub struct SmokeWorkload {
+    /// Lower-case suite name (`mm`, `pf`).
+    pub key: &'static str,
+    /// Workload display name (`MM`, `PF`).
+    pub workload: String,
+    /// The recorded dynamic trace.
+    pub trace: Trace,
+    /// Target object id within the trace.
+    pub object: moard_vm::ObjectId,
+    /// Target object name.
+    pub object_name: &'static str,
+}
+
+/// Build the fixed MM and PF instances the suite measures.
+pub fn smoke_workloads() -> Vec<SmokeWorkload> {
+    let mut out = Vec::new();
+    let mm = MatMul::with_config(MmConfig {
+        n: 6,
+        ..Default::default()
+    });
+    let module = mm.build();
+    let (_, trace) = run_traced(&module).expect("MM builds and runs");
+    let vm = Vm::with_defaults(&module).expect("MM loads");
+    let object = vm.objects().by_name("C").expect("MM has C").id;
+    out.push(SmokeWorkload {
+        key: "mm",
+        workload: mm.name().to_string(),
+        trace,
+        object,
+        object_name: "C",
+    });
+
+    let pf = Pf::default();
+    let module = pf.build();
+    let (_, trace) = run_traced(&module).expect("PF builds and runs");
+    let vm = Vm::with_defaults(&module).expect("PF loads");
+    let object = vm.objects().by_name("xe").expect("PF has xe").id;
+    out.push(SmokeWorkload {
+        key: "pf",
+        workload: pf.name().to_string(),
+        trace,
+        object,
+        object_name: "xe",
+    });
+    out
+}
+
+/// Collect up to `cap` propagation seeds for the object: participation sites
+/// whose operation-level verdict leaves corrupted locations to replay.
+pub fn propagation_seeds(
+    trace: &Trace,
+    object: moard_vm::ObjectId,
+    cap: usize,
+) -> Vec<(usize, Vec<CorruptLoc>)> {
+    let mut seeds = Vec::new();
+    for site in enumerate_sites(trace, object) {
+        let rec = trace.record(site.record_id).expect("site in trace");
+        let bit = 62 % site.bit_width();
+        match analyze_operation(rec, site.slot, &ErrorPattern::single(bit)) {
+            OpVerdict::Propagate { corrupt } | OpVerdict::OvershadowCandidate { corrupt } => {
+                seeds.push((site.record_id as usize + 1, corrupt));
+            }
+            _ => {}
+        }
+        if seeds.len() >= cap {
+            break;
+        }
+    }
+    seeds
+}
+
+/// The result of one suite run.
+#[derive(Debug, Clone)]
+pub struct SmokeReport {
+    /// Per-benchmark timing statistics, in suite order.
+    pub benches: Vec<BenchStats>,
+    /// Trace statistics (record count, index sizes) per measured workload,
+    /// in suite order.
+    pub traces: Vec<(String, TraceStats)>,
+    /// Fingerprint of the [`smoke_config`] the timings were taken under.
+    pub config_fingerprint: u64,
+}
+
+/// Run the full suite: `advf_analysis/{mm,pf}` (analytic aDVF of the target
+/// object) and `propagation_k/{mm,pf}/k=50` (replay of every collected
+/// propagation seed with the paper's default window).
+pub fn run_suite() -> SmokeReport {
+    let config = smoke_config();
+    let k = config.propagation_window;
+    let mut benches = Vec::new();
+    let mut traces = Vec::new();
+    for wl in smoke_workloads() {
+        traces.push((wl.workload.clone(), wl.trace.stats()));
+        benches.push(bench(&format!("advf_analysis/{}", wl.key), 2, 10, || {
+            let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
+            black_box(analyzer.analyze(wl.object, wl.object_name, &wl.workload, None));
+        }));
+        let seeds = propagation_seeds(&wl.trace, wl.object, 256);
+        assert!(
+            !seeds.is_empty(),
+            "{} must expose at least one propagation seed",
+            wl.workload
+        );
+        benches.push(bench(
+            &format!("propagation_k/{}/k={k}", wl.key),
+            2,
+            20,
+            || {
+                for (start, corrupt) in &seeds {
+                    black_box(replay(&wl.trace, *start, corrupt, k));
+                }
+            },
+        ));
+    }
+    SmokeReport {
+        benches,
+        traces,
+        config_fingerprint: config.fingerprint(),
+    }
+}
+
+impl SmokeReport {
+    /// The schema-versioned JSON document of this run.  `speedup_vs_pre_pr`
+    /// is materialized per bench when `reference` (a parsed baseline with
+    /// `pre_pr_median_ns` entries) provides a matching name.
+    pub fn to_json(&self, reference: Option<&Baseline>) -> Json {
+        Json::object([
+            ("schema_version", Json::from(SMOKE_SCHEMA_VERSION)),
+            ("kind", Json::from("moard-bench-smoke")),
+            (
+                "config_fingerprint",
+                Json::from(fingerprint_hex(self.config_fingerprint)),
+            ),
+            (
+                "traces",
+                Json::object(
+                    self.traces
+                        .iter()
+                        .map(|(name, stats)| (name.as_str(), trace_stats_to_json(stats))),
+                ),
+            ),
+            (
+                "benches",
+                Json::array(self.benches.iter().map(|b| {
+                    let mut fields = vec![
+                        ("name", Json::from(b.name.as_str())),
+                        ("median_ns", Json::from(b.median_ns as u64)),
+                        ("min_ns", Json::from(b.min_ns as u64)),
+                        ("max_ns", Json::from(b.max_ns as u64)),
+                        ("iters", Json::from(b.iters)),
+                    ];
+                    if let Some(pre) = reference.and_then(|r| r.pre_pr_median_ns(&b.name)) {
+                        fields.push(("pre_pr_median_ns", Json::from(pre)));
+                        fields.push((
+                            "speedup_vs_pre_pr",
+                            Json::from(pre as f64 / b.median_ns.max(1) as f64),
+                        ));
+                    }
+                    Json::object(fields)
+                })),
+            ),
+        ])
+    }
+}
+
+/// One committed baseline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineBench {
+    /// Benchmark name (matches [`BenchStats::name`]).
+    pub name: String,
+    /// Committed reference median, in nanoseconds.
+    pub median_ns: u64,
+    /// Median of the pre-trace-engine implementation, when recorded.
+    pub pre_pr_median_ns: Option<u64>,
+}
+
+/// A parsed `BENCH_baseline.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Fingerprint of the analysis configuration the baseline was taken
+    /// under; comparing against a different configuration is rejected.
+    pub config_fingerprint: u64,
+    /// Baseline entries.
+    pub benches: Vec<BaselineBench>,
+}
+
+impl Baseline {
+    /// Parse a baseline document.
+    pub fn from_json_str(text: &str) -> Result<Baseline, JsonError> {
+        let doc = Json::parse(text)?;
+        let version = doc.u32_field("schema_version")?;
+        if version != SMOKE_SCHEMA_VERSION {
+            return Err(JsonError::WrongType {
+                field: "schema_version".into(),
+                expected: "a supported bench-smoke schema version",
+            });
+        }
+        let config_fingerprint = parse_fingerprint(doc.str_field("config_fingerprint")?)?;
+        let benches = doc
+            .arr_field("benches")?
+            .iter()
+            .map(|b| {
+                Ok(BaselineBench {
+                    name: b.str_field("name")?.to_string(),
+                    median_ns: b.u64_field("median_ns")?,
+                    pre_pr_median_ns: match b.field("pre_pr_median_ns") {
+                        Ok(v) => v.as_u64(),
+                        Err(_) => None,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(Baseline {
+            config_fingerprint,
+            benches,
+        })
+    }
+
+    /// The committed median for a benchmark name.
+    pub fn median_ns(&self, name: &str) -> Option<u64> {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.median_ns)
+    }
+
+    /// The recorded pre-PR median for a benchmark name.
+    pub fn pre_pr_median_ns(&self, name: &str) -> Option<u64> {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .and_then(|b| b.pre_pr_median_ns)
+    }
+}
+
+/// One line of the regression gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLine {
+    /// Benchmark name.
+    pub name: String,
+    /// Median of the current run, in nanoseconds.
+    pub current_ns: u64,
+    /// Committed baseline median, in nanoseconds.
+    pub baseline_ns: u64,
+    /// `current / baseline`; above `1 + tolerance` is a regression.
+    pub ratio: f64,
+    /// True if this benchmark regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compare a run against a committed baseline.  The comparison must be
+/// total in both directions: a baseline entry missing from the run would
+/// silently disable its gate, and a run bench missing from the baseline
+/// would never be gated at all — both are errors, not passes.
+pub fn gate(
+    report: &SmokeReport,
+    baseline: &Baseline,
+    tolerance: f64,
+) -> Result<Vec<GateLine>, String> {
+    if baseline.config_fingerprint != report.config_fingerprint {
+        return Err(format!(
+            "baseline config fingerprint {} does not match the current suite ({}); \
+             regenerate the baseline",
+            fingerprint_hex(baseline.config_fingerprint),
+            fingerprint_hex(report.config_fingerprint)
+        ));
+    }
+    let mut lines = Vec::new();
+    for entry in &baseline.benches {
+        let current = report
+            .benches
+            .iter()
+            .find(|b| b.name == entry.name)
+            .ok_or_else(|| {
+                format!(
+                    "baseline bench `{}` missing from the current run",
+                    entry.name
+                )
+            })?;
+        let current_ns = current.median_ns as u64;
+        let ratio = current_ns as f64 / entry.median_ns.max(1) as f64;
+        lines.push(GateLine {
+            name: entry.name.clone(),
+            current_ns,
+            baseline_ns: entry.median_ns,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    for bench in &report.benches {
+        if baseline.median_ns(&bench.name).is_none() {
+            return Err(format!(
+                "bench `{}` has no baseline entry; refresh BENCH_baseline.json \
+                 (bench_smoke --write-baseline) so it is gated",
+                bench.name
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SmokeReport {
+        SmokeReport {
+            benches: vec![
+                BenchStats {
+                    name: "advf_analysis/mm".into(),
+                    median_ns: 500,
+                    min_ns: 400,
+                    max_ns: 600,
+                    iters: 10,
+                },
+                BenchStats {
+                    name: "propagation_k/mm/k=50".into(),
+                    median_ns: 90,
+                    min_ns: 80,
+                    max_ns: 100,
+                    iters: 20,
+                },
+            ],
+            traces: vec![(
+                "MM".into(),
+                TraceStats {
+                    records: 1234,
+                    indexed_objects: 3,
+                    index_entries: 400,
+                },
+            )],
+            config_fingerprint: smoke_config().fingerprint(),
+        }
+    }
+
+    fn sample_baseline(mm_ns: u64, prop_ns: u64) -> Baseline {
+        Baseline {
+            config_fingerprint: smoke_config().fingerprint(),
+            benches: vec![
+                BaselineBench {
+                    name: "advf_analysis/mm".into(),
+                    median_ns: mm_ns,
+                    pre_pr_median_ns: Some(2 * mm_ns),
+                },
+                BaselineBench {
+                    name: "propagation_k/mm/k=50".into(),
+                    median_ns: prop_ns,
+                    pre_pr_median_ns: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_as_a_baseline() {
+        let report = sample_report();
+        let text = report.to_json(None).to_pretty();
+        let baseline = Baseline::from_json_str(&text).unwrap();
+        assert_eq!(baseline.config_fingerprint, report.config_fingerprint);
+        assert_eq!(baseline.median_ns("advf_analysis/mm"), Some(500));
+        assert_eq!(baseline.pre_pr_median_ns("advf_analysis/mm"), None);
+    }
+
+    #[test]
+    fn speedup_is_materialized_against_a_reference() {
+        let report = sample_report();
+        let reference = sample_baseline(450, 100);
+        let doc = report.to_json(Some(&reference));
+        let benches = doc.arr_field("benches").unwrap();
+        assert_eq!(benches[0].u64_field("pre_pr_median_ns").unwrap(), 900);
+        let speedup = benches[0].f64_field("speedup_vs_pre_pr").unwrap();
+        assert!((speedup - 900.0 / 500.0).abs() < 1e-12);
+        // No pre-PR record for the propagation bench: fields absent.
+        assert!(benches[1].field("pre_pr_median_ns").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let report = sample_report();
+        // 500 vs 450 is an 11% regression: inside the default 25% tolerance.
+        let lines = gate(&report, &sample_baseline(450, 100), DEFAULT_TOLERANCE).unwrap();
+        assert!(lines.iter().all(|l| !l.regressed));
+        // 500 vs 300 is a 67% regression: flagged.
+        let lines = gate(&report, &sample_baseline(300, 100), DEFAULT_TOLERANCE).unwrap();
+        assert!(lines[0].regressed);
+        assert!(!lines[1].regressed);
+    }
+
+    #[test]
+    fn gate_rejects_mismatched_fingerprint_and_missing_benches() {
+        let report = sample_report();
+        let mut baseline = sample_baseline(450, 100);
+        baseline.config_fingerprint ^= 1;
+        assert!(gate(&report, &baseline, DEFAULT_TOLERANCE).is_err());
+
+        // A baseline entry with no matching bench in the run.
+        let mut baseline = sample_baseline(450, 100);
+        baseline.benches.push(BaselineBench {
+            name: "advf_analysis/ghost".into(),
+            median_ns: 1,
+            pre_pr_median_ns: None,
+        });
+        assert!(gate(&report, &baseline, DEFAULT_TOLERANCE).is_err());
+
+        // A run bench with no baseline entry must fail too, or it would
+        // never be gated.
+        let mut baseline = sample_baseline(450, 100);
+        baseline.benches.pop();
+        let err = gate(&report, &baseline, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("no baseline entry"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::from_json_str("{not json").is_err());
+        assert!(Baseline::from_json_str(r#"{"schema_version": 99}"#).is_err());
+    }
+}

@@ -21,11 +21,11 @@ use crate::advf::{AdvfAccumulator, AdvfReport};
 use crate::error_pattern::ErrorPatternSet;
 use crate::masking::{Masking, OpMaskKind};
 use crate::op_rules::{analyze_operation, OpVerdict};
-use crate::propagation::{replay, PropagationResult};
+use crate::propagation::{PropagationResult, ReplayCursor};
 use crate::resolver::{DfiResolver, EquivalenceCache, EquivalenceKey};
 use crate::sites::{enumerate_sites, ParticipationSite, SiteSlot};
 use moard_vm::{ObjectId, OutcomeClass, Trace, TraceRecord};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,11 +122,16 @@ impl AnalysisConfig {
 }
 
 /// The aDVF analyzer bound to one dynamic trace.
+///
+/// The analyzer is `Sync`: the trace is immutable, the equivalence cache is
+/// internally locked, and the DFI-budget flag is atomic, so sharded per-site
+/// analysis ([`AdvfAnalyzer::analyze_sharded`]) can share one analyzer
+/// across worker threads.
 pub struct AdvfAnalyzer<'a> {
     trace: &'a Trace,
     config: AnalysisConfig,
     cache: EquivalenceCache,
-    dfi_budget_exhausted: Cell<bool>,
+    dfi_budget_exhausted: AtomicBool,
 }
 
 impl<'a> AdvfAnalyzer<'a> {
@@ -136,7 +141,7 @@ impl<'a> AdvfAnalyzer<'a> {
             trace,
             config,
             cache: EquivalenceCache::new(),
-            dfi_budget_exhausted: Cell::new(false),
+            dfi_budget_exhausted: AtomicBool::new(false),
         }
     }
 
@@ -163,13 +168,16 @@ impl<'a> AdvfAnalyzer<'a> {
         let mut analyzed = 0u64;
         let stride = self.config.site_stride.max(1);
         let stats_before = self.cache.stats();
+        // One replay cursor for the whole object: every site classification
+        // reuses its shadow-state buffers.
+        let mut cursor = ReplayCursor::new(self.trace);
 
         for (i, site) in sites.iter().enumerate() {
             if i % stride != 0 {
                 continue;
             }
             analyzed += 1;
-            let (fractions, used_dfi) = self.analyze_site(site, resolver);
+            let (fractions, used_dfi) = self.analyze_site_in(&mut cursor, site, resolver);
             if !used_dfi {
                 resolved_analytically += 1;
             }
@@ -189,10 +197,102 @@ impl<'a> AdvfAnalyzer<'a> {
         }
     }
 
+    /// Purely analytical analysis of one object with the participation
+    /// sites sharded across `workers` threads.
+    ///
+    /// Each worker owns a private [`ReplayCursor`] over the shared immutable
+    /// trace (zero cloning) and classifies a disjoint subset of the strided
+    /// sites; the per-site fractions are then folded into the accumulator
+    /// **in site order**, so the report is bit-identical to
+    /// `analyze(object, .., None)` regardless of thread count.  Sharding is
+    /// restricted to the analytic mode because a shared DFI cache would make
+    /// run/hit tallies depend on scheduling.
+    pub fn analyze_sharded(
+        &self,
+        object: ObjectId,
+        object_name: &str,
+        workload: &str,
+        workers: usize,
+    ) -> AdvfReport {
+        let sites = enumerate_sites(self.trace, object);
+        let stride = self.config.site_stride.max(1);
+        let selected: Vec<&ParticipationSite> = sites.iter().step_by(stride).collect();
+        let workers = workers.max(1).min(selected.len().max(1));
+        let stats_before = self.cache.stats();
+
+        // Per-class masked fractions of one site (`analyze_site` output).
+        type SiteFractions = Vec<(Masking, f64)>;
+        let mut fractions: Vec<Option<SiteFractions>> = vec![None; selected.len()];
+        if workers <= 1 {
+            let mut cursor = ReplayCursor::new(self.trace);
+            for (slot, site) in fractions.iter_mut().zip(selected.iter()) {
+                *slot = Some(self.analyze_site_in(&mut cursor, site, None).0);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut shards: Vec<Vec<(usize, SiteFractions)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let selected = &selected;
+                        scope.spawn(move || {
+                            let mut cursor = ReplayCursor::new(self.trace);
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(site) = selected.get(i) else {
+                                    break;
+                                };
+                                local.push((i, self.analyze_site_in(&mut cursor, site, None).0));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                shards = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded analysis worker panicked"))
+                    .collect();
+            });
+            for (i, f) in shards.into_iter().flatten() {
+                fractions[i] = Some(f);
+            }
+        }
+
+        // Deterministic fold: site order, exactly as the sequential loop.
+        let mut acc = AdvfAccumulator::new();
+        for f in &fractions {
+            acc.add_participation(f.as_ref().expect("every site index was claimed"));
+        }
+        let stats_after = self.cache.stats();
+        AdvfReport {
+            object: object_name.to_string(),
+            workload: workload.to_string(),
+            accumulator: acc,
+            sites_analyzed: selected.len() as u64,
+            dfi_runs: stats_after.injections - stats_before.injections,
+            dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+            resolved_analytically: selected.len() as u64,
+            config_fingerprint: self.config.fingerprint(),
+        }
+    }
+
     /// Analyze one participation site across all configured error patterns.
     /// Returns the per-class masked fractions and whether DFI was consulted.
     pub fn analyze_site(
         &self,
+        site: &ParticipationSite,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> (Vec<(Masking, f64)>, bool) {
+        self.analyze_site_in(&mut ReplayCursor::new(self.trace), site, resolver)
+    }
+
+    /// [`AdvfAnalyzer::analyze_site`] with a caller-supplied replay cursor
+    /// (reused across sites by the analysis loops).
+    pub fn analyze_site_in(
+        &self,
+        cursor: &mut ReplayCursor<'a>,
         site: &ParticipationSite,
         resolver: Option<&dyn DfiResolver>,
     ) -> (Vec<(Masking, f64)>, bool) {
@@ -208,7 +308,7 @@ impl<'a> AdvfAnalyzer<'a> {
         let mut counts: Vec<(Masking, u64)> = Vec::new();
         let mut used_dfi = false;
         for pattern in &patterns {
-            let (class, dfi) = self.classify(rec, site, pattern.clone(), resolver);
+            let (class, dfi) = self.classify_in(cursor, rec, site, pattern.clone(), resolver);
             used_dfi |= dfi;
             if class == Masking::NotMasked {
                 continue;
@@ -233,6 +333,24 @@ impl<'a> AdvfAnalyzer<'a> {
         pattern: crate::error_pattern::ErrorPattern,
         resolver: Option<&dyn DfiResolver>,
     ) -> (Masking, bool) {
+        self.classify_in(
+            &mut ReplayCursor::new(self.trace),
+            rec,
+            site,
+            pattern,
+            resolver,
+        )
+    }
+
+    /// [`AdvfAnalyzer::classify`] with a caller-supplied replay cursor.
+    pub fn classify_in(
+        &self,
+        cursor: &mut ReplayCursor<'a>,
+        rec: &TraceRecord,
+        site: &ParticipationSite,
+        pattern: crate::error_pattern::ErrorPattern,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> (Masking, bool) {
         match analyze_operation(rec, site.slot, &pattern) {
             OpVerdict::Masked(kind) => (Masking::Operation(kind), false),
             OpVerdict::NotMasked => (Masking::NotMasked, false),
@@ -240,8 +358,7 @@ impl<'a> AdvfAnalyzer<'a> {
                 // Overshadowing initiated the masking; whichever mechanism
                 // finishes it, the event is attributed to overshadowing
                 // (paper §III-C, discussion after the three classes).
-                let prop = replay(
-                    self.trace,
+                let prop = cursor.replay(
                     rec.id as usize + 1,
                     &corrupt,
                     self.config.propagation_window,
@@ -258,8 +375,7 @@ impl<'a> AdvfAnalyzer<'a> {
                 }
             }
             OpVerdict::Propagate { corrupt } => {
-                let prop = replay(
-                    self.trace,
+                let prop = cursor.replay(
                     rec.id as usize + 1,
                     &corrupt,
                     self.config.propagation_window,
@@ -296,12 +412,12 @@ impl<'a> AdvfAnalyzer<'a> {
         // The deterministic fault injector applies single-bit flips; wider
         // patterns that reach this point stay conservatively unresolved.
         let bit = pattern.single_bit()?;
-        if self.dfi_budget_exhausted.get() {
+        if self.dfi_budget_exhausted.load(Ordering::Relaxed) {
             return None;
         }
         if let Some(limit) = self.config.max_dfi_per_object {
             if self.cache.stats().injections >= limit {
-                self.dfi_budget_exhausted.set(true);
+                self.dfi_budget_exhausted.store(true, Ordering::Relaxed);
                 return None;
             }
         }
@@ -468,6 +584,35 @@ mod tests {
             let outcome = run_with_fault(&m, &store_dest_site.fault(bit)).unwrap();
             assert!(outcome.bits_identical(&golden));
         }
+    }
+
+    #[test]
+    fn sharded_analysis_is_bit_identical_to_sequential() {
+        let m = listing1_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let vm = Vm::with_defaults(&m).unwrap();
+        let obj = vm.objects().by_name("par_a").unwrap().id;
+        let analyzer = AdvfAnalyzer::new(&trace, AnalysisConfig::default());
+        let sequential = analyzer.analyze(obj, "par_a", "listing1", None);
+        for workers in [1usize, 2, 4, 64] {
+            let sharded = analyzer.analyze_sharded(obj, "par_a", "listing1", workers);
+            assert_eq!(sharded, sequential, "workers={workers}");
+            assert_eq!(
+                sharded.advf().to_bits(),
+                sequential.advf().to_bits(),
+                "workers={workers}"
+            );
+        }
+        // Striding composes with sharding the same way it does sequentially.
+        let strided_config = AnalysisConfig {
+            site_stride: 3,
+            ..Default::default()
+        };
+        let analyzer = AdvfAnalyzer::new(&trace, strided_config);
+        assert_eq!(
+            analyzer.analyze_sharded(obj, "par_a", "listing1", 4),
+            analyzer.analyze(obj, "par_a", "listing1", None)
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub use error::MoardError;
 pub use error_pattern::{ErrorPattern, ErrorPatternSet};
 pub use masking::{Masking, OpMaskKind};
 pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
-pub use propagation::{replay, PropagationResult, UnresolvedReason};
-pub use report::{check_schema_version, fingerprint_hex, parse_fingerprint, SCHEMA_VERSION};
+pub use propagation::{replay, PropagationResult, ReplayCursor, UnresolvedReason};
+pub use report::{
+    check_schema_version, fingerprint_hex, parse_fingerprint, trace_stats_to_json, SCHEMA_VERSION,
+};
 pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
 pub use sites::{count_fault_sites, enumerate_sites, has_sites, ParticipationSite, SiteSlot};

@@ -141,7 +141,7 @@ fn analyze_store_dest(rec: &TraceRecord) -> OpVerdict {
 
 fn analyze_operand(rec: &TraceRecord, idx: usize, pattern: &ErrorPattern) -> OpVerdict {
     let operands = rec.operands();
-    let Some(operand) = operands.get(idx).copied() else {
+    let Some(operand) = operands.get(idx) else {
         return OpVerdict::NotMasked;
     };
     let corrupted = corrupted_operand(operand, pattern);

@@ -17,11 +17,26 @@
 //! found k = 50 sufficient: errors not masked within 50 operations virtually
 //! never end up masked by further propagation.  `k` is configurable so the
 //! `propagation_k` ablation bench can reproduce that observation.
+//!
+//! ## Engine notes
+//!
+//! Replay is *the* hot loop of the analytical pipeline (every participation
+//! site × every error pattern replays a window), so the implementation is
+//! tuned accordingly:
+//!
+//! * the trace is walked through [`moard_vm::Trace::window`], a zero-copy
+//!   slice cursor — sharded per-site replay across worker threads shares one
+//!   immutable trace with no cloning;
+//! * the live corrupted state (`ShadowState`) is a pair of small linear
+//!   vectors, not hash maps: live sets are almost always a handful of
+//!   locations, where linear probing beats hashing by a wide margin;
+//! * a [`ReplayCursor`] owns the state buffers and is reusable across
+//!   replays, so a site loop performs no per-replay allocation.  The free
+//!   [`replay`] function remains as the one-shot convenience entry point.
 
 use crate::op_rules::CorruptLoc;
 use moard_ir::{eval_binop, eval_cast, eval_cmp, eval_intrinsic, RegId, Value};
 use moard_vm::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource};
-use std::collections::HashMap;
 
 /// Why the replay could not settle the masking question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,27 +79,37 @@ impl PropagationResult {
     }
 }
 
-/// Live corrupted state during replay.
+/// Live corrupted state during replay: small linear tables keyed by
+/// (frame, register) and by memory address.
+///
+/// Live sets during replay are tiny (an error seeds one or two locations and
+/// masking shrinks the set), so linear scans over dense vectors beat hash
+/// maps on both lookup latency and allocation count.  Entries are unique by
+/// key; removal is `swap_remove` (order is irrelevant to every observable
+/// result: lookups, liveness counts, and emptiness).
 #[derive(Debug, Default, Clone)]
 struct ShadowState {
-    regs: HashMap<(u64, u32), Value>,
-    mem: HashMap<u64, Value>,
+    regs: Vec<((u64, u32), Value)>,
+    mem: Vec<(u64, Value)>,
 }
 
 impl ShadowState {
-    fn from_locs(locs: &[CorruptLoc]) -> Self {
-        let mut s = ShadowState::default();
+    /// Reset the buffers (keeping their capacity) and seed the initial
+    /// corrupted locations.  Later duplicates overwrite earlier ones, the
+    /// insert semantics the map-based implementation had.
+    fn reset(&mut self, locs: &[CorruptLoc]) {
+        self.regs.clear();
+        self.mem.clear();
         for loc in locs {
             match loc {
                 CorruptLoc::Reg { frame, reg, value } => {
-                    s.regs.insert((*frame, reg.0), *value);
+                    self.reg_insert(*frame, *reg, *value);
                 }
                 CorruptLoc::Mem { addr, value } => {
-                    s.mem.insert(*addr, *value);
+                    self.mem_insert(*addr, *value);
                 }
             }
         }
-        s
     }
 
     fn is_clean(&self) -> bool {
@@ -96,24 +121,57 @@ impl ShadowState {
     }
 
     fn reg(&self, frame: u64, reg: RegId) -> Option<Value> {
-        self.regs.get(&(frame, reg.0)).copied()
+        let key = (frame, reg.0);
+        self.regs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn reg_insert(&mut self, frame: u64, reg: RegId, value: Value) {
+        let key = (frame, reg.0);
+        match self.regs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = value,
+            None => self.regs.push((key, value)),
+        }
     }
 
     fn kill_reg(&mut self, frame: u64, reg: RegId) {
-        self.regs.remove(&(frame, reg.0));
+        let key = (frame, reg.0);
+        if let Some(i) = self.regs.iter().position(|(k, _)| *k == key) {
+            self.regs.swap_remove(i);
+        }
     }
 
     fn set_reg(&mut self, frame: u64, reg: RegId, corrupted: Value, clean: Value) {
         if corrupted.bits_eq(&clean) {
             self.kill_reg(frame, reg);
         } else {
-            self.regs.insert((frame, reg.0), corrupted);
+            self.reg_insert(frame, reg, corrupted);
         }
     }
 
     /// Remove every register belonging to a frame that has returned.
     fn drop_frame(&mut self, frame: u64) {
-        self.regs.retain(|&(f, _), _| f != frame);
+        self.regs.retain(|((f, _), _)| *f != frame);
+    }
+
+    fn mem_get(&self, addr: u64) -> Option<Value> {
+        self.mem.iter().find(|(a, _)| *a == addr).map(|(_, v)| *v)
+    }
+
+    fn mem_insert(&mut self, addr: u64, value: Value) {
+        match self.mem.iter_mut().find(|(a, _)| *a == addr) {
+            Some((_, slot)) => *slot = value,
+            None => self.mem.push((addr, value)),
+        }
+    }
+
+    fn mem_remove(&mut self, addr: u64) {
+        if let Some(i) = self.mem.iter().position(|(a, _)| *a == addr) {
+            self.mem.swap_remove(i);
+        }
+    }
+
+    fn mem_is_empty(&self) -> bool {
+        self.mem.is_empty()
     }
 
     /// Corrupted value of an operand, if its source register is corrupted.
@@ -125,56 +183,98 @@ impl ShadowState {
     }
 }
 
-/// Replay the trace from `start_index` (a position in `trace.records`,
-/// usually `target_record_index + 1`) with the given initial corrupted
-/// locations, examining at most `k` records.
+/// A reusable replay cursor over one immutable trace.
+///
+/// The cursor owns the shadow-state buffers, so a loop replaying many sites
+/// (the aDVF analyzer, a sharded worker) allocates nothing per replay.  The
+/// trace itself is only borrowed — any number of cursors in any number of
+/// threads can walk the same trace concurrently.
+pub struct ReplayCursor<'t> {
+    trace: &'t Trace,
+    state: ShadowState,
+}
+
+impl<'t> ReplayCursor<'t> {
+    /// A cursor over `trace` with empty state buffers.
+    pub fn new(trace: &'t Trace) -> Self {
+        ReplayCursor {
+            trace,
+            state: ShadowState::default(),
+        }
+    }
+
+    /// The trace this cursor walks.
+    pub fn trace(&self) -> &'t Trace {
+        self.trace
+    }
+
+    /// Replay the trace from `start_index` (a record position, usually
+    /// `target_record_index + 1`) with the given initial corrupted
+    /// locations, examining at most `k` records.
+    ///
+    /// A `start_index` at or past the end of the trace examines nothing: the
+    /// verdict is then decided purely by whether corrupted *memory* is live
+    /// (registers of finished frames are dead state).
+    pub fn replay(
+        &mut self,
+        start_index: usize,
+        initial: &[CorruptLoc],
+        k: usize,
+    ) -> PropagationResult {
+        let state = &mut self.state;
+        state.reset(initial);
+        if state.is_clean() {
+            return PropagationResult::AllMasked { ops_examined: 0 };
+        }
+        let mut examined = 0usize;
+        for rec in self.trace.window(start_index) {
+            if examined >= k {
+                return PropagationResult::Unresolved {
+                    reason: UnresolvedReason::WindowExhausted,
+                    live_locations: state.live(),
+                };
+            }
+            examined += 1;
+            match step(rec, state) {
+                StepResult::Continue => {}
+                StepResult::Unresolved(reason) => {
+                    return PropagationResult::Unresolved {
+                        reason,
+                        live_locations: state.live(),
+                    }
+                }
+            }
+            if state.is_clean() {
+                return PropagationResult::AllMasked {
+                    ops_examined: examined,
+                };
+            }
+        }
+        // Trace ended.  Registers of finished frames are dead state; only
+        // corrupted memory can still influence the snapshot the outcome is
+        // compared on.
+        if state.mem_is_empty() {
+            PropagationResult::AllMasked {
+                ops_examined: examined,
+            }
+        } else {
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::TraceEnded,
+                live_locations: state.live(),
+            }
+        }
+    }
+}
+
+/// One-shot replay: build a throw-away [`ReplayCursor`] and run it.  Loops
+/// over many sites should hold a cursor instead to reuse its buffers.
 pub fn replay(
     trace: &Trace,
     start_index: usize,
     initial: &[CorruptLoc],
     k: usize,
 ) -> PropagationResult {
-    let mut state = ShadowState::from_locs(initial);
-    if state.is_clean() {
-        return PropagationResult::AllMasked { ops_examined: 0 };
-    }
-    let mut examined = 0usize;
-    for rec in trace.records.iter().skip(start_index) {
-        if examined >= k {
-            return PropagationResult::Unresolved {
-                reason: UnresolvedReason::WindowExhausted,
-                live_locations: state.live(),
-            };
-        }
-        examined += 1;
-        match step(rec, &mut state) {
-            StepResult::Continue => {}
-            StepResult::Unresolved(reason) => {
-                return PropagationResult::Unresolved {
-                    reason,
-                    live_locations: state.live(),
-                }
-            }
-        }
-        if state.is_clean() {
-            return PropagationResult::AllMasked {
-                ops_examined: examined,
-            };
-        }
-    }
-    // Trace ended.  Registers of finished frames are dead state; only
-    // corrupted memory can still influence the snapshot the outcome is
-    // compared on.
-    if state.mem.is_empty() {
-        PropagationResult::AllMasked {
-            ops_examined: examined,
-        }
-    } else {
-        PropagationResult::Unresolved {
-            reason: UnresolvedReason::TraceEnded,
-            live_locations: state.live(),
-        }
-    }
+    ReplayCursor::new(trace).replay(start_index, initial, k)
 }
 
 enum StepResult {
@@ -268,11 +368,8 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
                 }
             }
             let dst = rec.dst.expect("load has dst");
-            match state.mem.get(addr) {
-                Some(v) => {
-                    let v = *v;
-                    state.set_reg(frame, dst, v, *result);
-                }
+            match state.mem_get(*addr) {
+                Some(v) => state.set_reg(frame, dst, v, *result),
                 None => state.kill_reg(frame, dst),
             }
             StepResult::Continue
@@ -291,14 +388,14 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
             match state.operand(frame, value) {
                 Some(corrupted) => {
                     if corrupted.bits_eq(&value.value) {
-                        state.mem.remove(addr);
+                        state.mem_remove(*addr);
                     } else {
-                        state.mem.insert(*addr, corrupted);
+                        state.mem_insert(*addr, corrupted);
                     }
                 }
                 None => {
                     // Clean value overwrites any corrupted memory.
-                    state.mem.remove(addr);
+                    state.mem_remove(*addr);
                 }
             }
             StepResult::Continue
@@ -460,11 +557,7 @@ mod tests {
         let m = overwrite_later_module();
         let (_, trace) = run_traced(&m).unwrap();
         // Find the fmul record; corrupt its lhs (the loaded a[0]) and its dst.
-        let fmul = trace
-            .records
-            .iter()
-            .find(|r| r.mnemonic() == "fmul")
-            .unwrap();
+        let fmul = trace.iter().find(|r| r.mnemonic() == "fmul").unwrap();
         let lhs_reg = match &fmul.op {
             TraceOp::Bin { lhs, .. } => match lhs.source {
                 ValueSource::Reg(r) => r,
@@ -494,11 +587,8 @@ mod tests {
         // it re-writes a[1], so memory stays corrupted at trace end.
         let m = overwrite_later_module();
         let (_, trace) = run_traced(&m).unwrap();
-        let stores: Vec<&moard_vm::TraceRecord> = trace
-            .records
-            .iter()
-            .filter(|r| r.mnemonic() == "store")
-            .collect();
+        let stores: Vec<&moard_vm::TraceRecord> =
+            trace.iter().filter(|r| r.mnemonic() == "store").collect();
         let last_store = stores.last().unwrap();
         let addr = match &last_store.op {
             TraceOp::Store { addr, .. } => *addr,
@@ -536,11 +626,7 @@ mod tests {
         moard_ir::verify::assert_verified(&m);
 
         let (_, trace) = run_traced(&m).unwrap();
-        let mov = trace
-            .records
-            .iter()
-            .find(|r| r.mnemonic() == "mov")
-            .unwrap();
+        let mov = trace.iter().find(|r| r.mnemonic() == "mov").unwrap();
         let initial = vec![CorruptLoc::Reg {
             frame: mov.frame,
             reg: mov.dst.unwrap(),
@@ -597,11 +683,7 @@ mod tests {
         m.add_function(f.finish());
         moard_ir::verify::assert_verified(&m);
         let (_, trace) = run_traced(&m).unwrap();
-        let cmp = trace
-            .records
-            .iter()
-            .find(|r| r.mnemonic() == "cmp")
-            .unwrap();
+        let cmp = trace.iter().find(|r| r.mnemonic() == "cmp").unwrap();
         // Corrupt the comparison result itself: the branch flips.
         let initial = vec![CorruptLoc::Reg {
             frame: cmp.frame,
@@ -633,7 +715,6 @@ mod tests {
         moard_ir::verify::assert_verified(&m);
         let (_, trace) = run_traced(&m).unwrap();
         let i_load = trace
-            .records
             .iter()
             .find(|r| matches!(&r.op, TraceOp::Load { ty: Type::I64, .. }))
             .unwrap();
@@ -660,5 +741,171 @@ mod tests {
             replay(&trace, 0, &[], 50),
             PropagationResult::AllMasked { ops_examined: 0 }
         );
+    }
+
+    /// Test-only naive replay: the pre-index implementation, iterating the
+    /// full record list with `skip` instead of the zero-copy window cursor.
+    /// The parity tests below pin the indexed engine to this reference on
+    /// the window edge cases.
+    fn naive_replay(
+        trace: &Trace,
+        start_index: usize,
+        initial: &[CorruptLoc],
+        k: usize,
+    ) -> PropagationResult {
+        let mut state = ShadowState::default();
+        state.reset(initial);
+        if state.is_clean() {
+            return PropagationResult::AllMasked { ops_examined: 0 };
+        }
+        let mut examined = 0usize;
+        for rec in trace.iter().skip(start_index) {
+            if examined >= k {
+                return PropagationResult::Unresolved {
+                    reason: UnresolvedReason::WindowExhausted,
+                    live_locations: state.live(),
+                };
+            }
+            examined += 1;
+            match step(rec, &mut state) {
+                StepResult::Continue => {}
+                StepResult::Unresolved(reason) => {
+                    return PropagationResult::Unresolved {
+                        reason,
+                        live_locations: state.live(),
+                    }
+                }
+            }
+            if state.is_clean() {
+                return PropagationResult::AllMasked {
+                    ops_examined: examined,
+                };
+            }
+        }
+        if state.mem_is_empty() {
+            PropagationResult::AllMasked {
+                ops_examined: examined,
+            }
+        } else {
+            PropagationResult::Unresolved {
+                reason: UnresolvedReason::TraceEnded,
+                live_locations: state.live(),
+            }
+        }
+    }
+
+    fn corrupt_reg_seed(trace: &Trace, mnemonic: &str) -> (usize, Vec<CorruptLoc>) {
+        let rec = trace.iter().find(|r| r.mnemonic() == mnemonic).unwrap();
+        (
+            rec.id as usize + 1,
+            vec![CorruptLoc::Reg {
+                frame: rec.frame,
+                reg: rec.dst.unwrap(),
+                value: Value::F64(-123.25),
+            }],
+        )
+    }
+
+    #[test]
+    fn window_edge_site_at_trace_tail_matches_naive() {
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let len = trace.len();
+        let mem_seed = vec![CorruptLoc::Mem {
+            addr: 0x1008,
+            value: Value::F64(-7.0),
+        }];
+        let reg_seed = vec![CorruptLoc::Reg {
+            frame: 0,
+            reg: moard_ir::RegId(0),
+            value: Value::F64(-1.0),
+        }];
+        // Replays starting at the last record, exactly at the end, and past
+        // the end: live memory must report TraceEnded, live registers of a
+        // finished program must count as masked.
+        for start in [len - 1, len, len + 10] {
+            for (seed, expect_masked) in [(&mem_seed, false), (&reg_seed, start >= len)] {
+                let indexed = replay(&trace, start, seed, 50);
+                let naive = naive_replay(&trace, start, seed, 50);
+                assert_eq!(indexed, naive, "start={start}");
+                if start >= len {
+                    assert_eq!(indexed.is_masked(), expect_masked, "start={start}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_edge_k_exceeding_remaining_records_matches_naive() {
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let (start, seed) = corrupt_reg_seed(&trace, "fmul");
+        let remaining = trace.len() - start;
+        // Windows straddling the tail: exactly the remaining records, one
+        // more, and far past the end all agree with the naive walk (the
+        // clamp cannot double-count or skip the final records).
+        for k in [remaining, remaining + 1, remaining * 10 + 7] {
+            assert_eq!(
+                replay(&trace, start, &seed, k),
+                naive_replay(&trace, start, &seed, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_edge_strided_sites_in_last_partial_window_match_naive() {
+        // Walk sites of a real object with a stride whose final step lands
+        // in the last partial window of the trace, and check indexed/naive
+        // parity of every replay — including sites whose window is shorter
+        // than k.
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let vm = moard_vm::Vm::with_defaults(&m).unwrap();
+        let a = vm.objects().by_name("a").unwrap().id;
+        let sites = crate::sites::enumerate_sites(&trace, a);
+        assert!(sites.len() >= 3, "fixture object participates enough");
+        let k = 4;
+        for stride in [1usize, 2, 3] {
+            let mut checked_partial_window = false;
+            for site in sites.iter().step_by(stride) {
+                let start = site.record_id as usize + 1;
+                let seed = vec![CorruptLoc::Mem {
+                    addr: 0x1000,
+                    value: Value::F64(99.5),
+                }];
+                assert_eq!(
+                    replay(&trace, start, &seed, k),
+                    naive_replay(&trace, start, &seed, k),
+                    "stride={stride} site at record {}",
+                    site.record_id
+                );
+                checked_partial_window |= trace.len() - start < k;
+            }
+            assert!(
+                checked_partial_window,
+                "stride {stride} must exercise a window shorter than k"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_reuse_is_equivalent_to_one_shot_replay() {
+        let m = overwrite_later_module();
+        let (_, trace) = run_traced(&m).unwrap();
+        let (start, seed) = corrupt_reg_seed(&trace, "fmul");
+        let mut cursor = ReplayCursor::new(&trace);
+        assert!(std::ptr::eq(cursor.trace(), &trace));
+        for _ in 0..3 {
+            for k in [1usize, 2, 50] {
+                assert_eq!(
+                    cursor.replay(start, &seed, k),
+                    replay(&trace, start, &seed, k)
+                );
+            }
+            // Interleave a replay that leaves live state in the buffers to
+            // prove reset fully isolates successive replays.
+            let _ = cursor.replay(trace.len() - 1, &seed, 50);
+        }
     }
 }

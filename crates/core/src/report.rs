@@ -37,6 +37,18 @@ pub fn parse_fingerprint(text: &str) -> Result<u64, JsonError> {
     })
 }
 
+/// Serialize trace-engine statistics ([`moard_vm::TraceStats`]: record
+/// count, indexed objects, index entries) for embedding in benchmark and
+/// diagnostic documents (`BENCH_*.json`).  Session reports do **not** embed
+/// trace stats — their schema is pinned bit-for-bit by the golden tests.
+pub fn trace_stats_to_json(stats: &moard_vm::TraceStats) -> Json {
+    Json::object([
+        ("records", Json::from(stats.records)),
+        ("indexed_objects", Json::from(stats.indexed_objects)),
+        ("index_entries", Json::from(stats.index_entries)),
+    ])
+}
+
 /// Check a document's `schema_version` against what this build understands.
 pub fn check_schema_version(doc: &Json) -> Result<(), MoardError> {
     let found = doc.u32_field("schema_version")?;
@@ -312,6 +324,18 @@ mod tests {
         // Hex rendering round-trips.
         let hex = fingerprint_hex(a.fingerprint());
         assert_eq!(parse_fingerprint(&hex).unwrap(), a.fingerprint());
+    }
+
+    #[test]
+    fn trace_stats_serialize_for_bench_documents() {
+        let doc = trace_stats_to_json(&moard_vm::TraceStats {
+            records: 42,
+            indexed_objects: 3,
+            index_entries: 17,
+        });
+        assert_eq!(doc.u64_field("records").unwrap(), 42);
+        assert_eq!(doc.u64_field("indexed_objects").unwrap(), 3);
+        assert_eq!(doc.u64_field("index_entries").unwrap(), 17);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the outcome against the golden run (§III-E, §IV).
 //!
 //! To avoid repeating injections for equivalent faults, MOARD leverages error
-//! equivalence (in the spirit of Relyzer/GangES, cited as [7], [20] in the
+//! equivalence (in the spirit of Relyzer/GangES, cited as \[7\], \[20\] in the
 //! paper): two fault sites at the same *static* instruction, the same operand
 //! slot, the same consumed value, and the same flipped bit produce the same
 //! intermediate corrupted state and therefore the same verdict.  The

@@ -70,19 +70,26 @@ impl ParticipationSite {
 /// the next operation is the participation (this mirrors the paper counting
 /// the *addition* and the *assignment* in `sum[m] = sum[m] + v*v`, not the
 /// load itself).
+///
+/// Served from the trace's per-object record index: only the records known
+/// to touch `obj` are visited, so the cost is proportional to the object's
+/// participation count, not to the trace length.
 pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
     let mut out = Vec::new();
-    for rec in &trace.records {
+    for rec in trace.records_touching(obj) {
         collect_sites_for_record(rec, obj, &mut out);
     }
     out
 }
 
-/// Does `obj` participate anywhere in the trace?  Short-circuits on the
-/// first site instead of materializing the full enumeration.
+/// Does `obj` participate anywhere in the trace?  Walks only the indexed
+/// records touching `obj` and short-circuits on the first site instead of
+/// materializing the full enumeration.  (A record can touch an object
+/// without contributing a site — a bare load whose value is never consumed —
+/// so a non-empty index alone is not sufficient.)
 pub fn has_sites(trace: &Trace, obj: ObjectId) -> bool {
     let mut scratch = Vec::new();
-    trace.records.iter().any(|rec| {
+    trace.records_touching(obj).any(|rec| {
         collect_sites_for_record(rec, obj, &mut scratch);
         !scratch.is_empty()
     })

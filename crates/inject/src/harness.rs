@@ -93,6 +93,11 @@ impl WorkloadHarness {
         &self.trace
     }
 
+    /// Summary statistics of the trace and its per-object index.
+    pub fn trace_stats(&self) -> moard_vm::TraceStats {
+        self.trace.stats()
+    }
+
     /// The traced outcome (bit-identical to the golden outcome).
     pub fn traced_outcome(&self) -> &ExecOutcome {
         &self.traced_outcome
@@ -211,11 +216,42 @@ impl WorkloadHarness {
         for object in objects {
             self.object_id(object)?;
         }
-        crate::campaign::run_indexed(parallelism.worker_count(), objects.len(), |i| {
+        let workers = parallelism.worker_count();
+        // A single analytic object offers no across-object parallelism;
+        // shard its participation sites across the workers instead.  The
+        // report stays bit-identical to a sequential run (ordered fold; see
+        // `AdvfAnalyzer::analyze_sharded`).  The DFI path keeps per-object
+        // fan-out only: a shared injection cache across site shards would
+        // make run/hit tallies scheduling-dependent.
+        if !use_dfi && objects.len() == 1 && workers > 1 {
+            return Ok(vec![self.analyze_sharded_inner(
+                &objects[0],
+                config,
+                workers,
+            )?]);
+        }
+        crate::campaign::run_indexed(workers, objects.len(), |i| {
             self.analyze_inner(&objects[i], config.clone(), use_dfi)
         })
         .into_iter()
         .collect()
+    }
+
+    fn analyze_sharded_inner(
+        &self,
+        object: &str,
+        config: &AnalysisConfig,
+        workers: usize,
+    ) -> Result<AdvfReport, MoardError> {
+        let id = self.object_id(object)?;
+        if !moard_core::has_sites(&self.trace, id) {
+            return Err(MoardError::NoParticipationSites {
+                workload: self.workload().name().to_string(),
+                object: object.to_string(),
+            });
+        }
+        let analyzer = AdvfAnalyzer::new(&self.trace, config.clone());
+        Ok(analyzer.analyze_sharded(id, object, self.workload().name(), workers))
     }
 
     /// Exhaustive (or strided) fault-injection campaign over one object.
@@ -341,6 +377,38 @@ mod tests {
         let par = h.analyze_targets(&config, Parallelism::Fixed(4)).unwrap();
         assert_eq!(seq, par);
         assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn sharded_single_object_analytic_run_is_bit_identical_to_sequential() {
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
+        let config = AnalysisConfig {
+            site_stride: 8,
+            ..Default::default()
+        };
+        let objects = vec!["C".to_string()];
+        let seq = h
+            .analyze_objects_without_dfi(&objects, &config, Parallelism::Sequential)
+            .unwrap();
+        let sharded = h
+            .analyze_objects_without_dfi(&objects, &config, Parallelism::Fixed(4))
+            .unwrap();
+        assert_eq!(seq, sharded);
+        assert_eq!(sharded[0].dfi_runs, 0);
+    }
+
+    #[test]
+    fn trace_stats_expose_the_index() {
+        let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
+        let stats = h.trace_stats();
+        assert_eq!(stats.records, h.trace().len() as u64);
+        assert!(stats.indexed_objects >= 3, "A, B and C are all touched");
+        assert!(stats.index_entries > 0);
+        let c = h.object_id("C").unwrap();
+        assert_eq!(
+            h.trace().touching_ids(c).len(),
+            h.trace().records_touching(c).count()
+        );
     }
 
     #[test]

@@ -166,6 +166,12 @@ impl AnalysisSession {
         &self.harness
     }
 
+    /// Trace-engine statistics of the prepared workload (record count and
+    /// per-object index sizes).
+    pub fn trace_stats(&self) -> moard_vm::TraceStats {
+        self.harness.trace_stats()
+    }
+
     /// The analysis configuration of this session.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
@@ -386,5 +392,31 @@ mod tests {
             .unwrap();
         assert!(without.reports[0].advf() <= with_dfi.reports[0].advf() + 1e-12);
         assert_eq!(without.reports[0].dfi_runs, 0);
+    }
+
+    #[test]
+    fn analytic_single_object_report_is_identical_across_parallelism() {
+        // The without-DFI single-object path shards participation sites
+        // across threads; the session report must not depend on it.
+        let run = |parallelism| {
+            quick(Session::for_workload("mm").unwrap())
+                .object("C")
+                .without_dfi()
+                .parallelism(parallelism)
+                .run()
+                .unwrap()
+        };
+        let seq = run(Parallelism::Sequential);
+        let par = run(Parallelism::Fixed(8));
+        assert_eq!(seq, par);
+        assert_eq!(seq.to_json_string(), par.to_json_string());
+    }
+
+    #[test]
+    fn session_exposes_trace_stats() {
+        let session = quick(Session::for_workload("mm").unwrap()).build().unwrap();
+        let stats = session.trace_stats();
+        assert_eq!(stats.records, session.harness().trace().len() as u64);
+        assert!(stats.index_entries > 0);
     }
 }

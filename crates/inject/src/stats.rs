@@ -1,7 +1,7 @@
 //! Campaign statistics: success rates and confidence intervals.
 //!
 //! The paper's RFI comparison (Fig. 7) sizes its random campaigns with the
-//! statistical approach of Leveugle et al. (cited as [26]) at a 95%
+//! statistical approach of Leveugle et al. (the paper's reference \[26\]) at a 95%
 //! confidence level and reports the margin of error alongside each success
 //! rate; the same estimators are implemented here.
 

@@ -1,7 +1,7 @@
 //! # moard-json
 //!
 //! A zero-dependency JSON layer: a value model ([`Json`]), a strict parser
-//! ([`Json::parse`]), and a deterministic writer ([`Json::to_string`],
+//! ([`Json::parse`]), and a deterministic writer (`Json::to_string`,
 //! [`Json::to_pretty`]).
 //!
 //! This crate plays the role `serde`/`serde_json` would play in an online

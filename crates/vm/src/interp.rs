@@ -296,7 +296,7 @@ impl<'m> Vm<'m> {
         macro_rules! emit {
             ($frame:expr, $inst_idx:expr, $dst:expr, $op:expr) => {
                 if let Some(t) = trace.as_mut() {
-                    t.records.push(TraceRecord {
+                    t.push(TraceRecord {
                         id: dyn_id,
                         frame: $frame.frame_id,
                         func: $frame.func,
@@ -745,7 +745,7 @@ impl<'m> Vm<'m> {
                         {
                             let frame = &frames[frame_idx];
                             if let Some(t) = trace.as_mut() {
-                                t.records.push(TraceRecord {
+                                t.push(TraceRecord {
                                     id: dyn_id,
                                     frame: frame_id_done,
                                     func: frame.func,
@@ -845,20 +845,18 @@ mod tests {
         assert_eq!(out.return_f64(), 28.0);
         assert!(!trace.is_empty());
         // Every record's id matches its index.
-        for (i, r) in trace.records.iter().enumerate() {
+        for (i, r) in trace.iter().enumerate() {
             assert_eq!(r.id as usize, i);
         }
         // There are exactly 8 stores and 8 loads touching `data`.
         let data_obj = ObjectId(0);
         let stores = trace
-            .records
             .iter()
             .filter(
                 |r| matches!(&r.op, TraceOp::Store { element: Some((o, _)), .. } if *o == data_obj),
             )
             .count();
         let loads = trace
-            .records
             .iter()
             .filter(
                 |r| matches!(&r.op, TraceOp::Load { element: Some((o, _)), .. } if *o == data_obj),
@@ -885,7 +883,6 @@ mod tests {
 
         let (_, trace) = run_traced(&m).unwrap();
         let stores: Vec<&TraceRecord> = trace
-            .records
             .iter()
             .filter(|r| matches!(r.op, TraceOp::Store { .. }))
             .collect();
@@ -916,7 +913,6 @@ mod tests {
         let (golden, trace) = run_traced(&m).unwrap();
         // Find the first store to `data`.
         let store = trace
-            .records
             .iter()
             .find(|r| matches!(r.op, TraceOp::Store { .. }))
             .unwrap();
@@ -931,7 +927,6 @@ mod tests {
         let (golden, trace) = run_traced(&m).unwrap();
         // Find a load of data[3] (value 3.0) and flip its sign bit in memory.
         let load = trace
-            .records
             .iter()
             .find(|r| matches!(&r.op, TraceOp::Load { result, .. } if result.as_f64() == 3.0))
             .unwrap();
@@ -957,7 +952,6 @@ mod tests {
 
         let (_, trace) = run_traced(&m).unwrap();
         let idx_load = trace
-            .records
             .iter()
             .find(|r| matches!(&r.op, TraceOp::Load { ty: Type::I64, .. }))
             .unwrap();
@@ -1022,12 +1016,10 @@ mod tests {
         // The trace contains call and ret records linked by frame ids.
         let (_, trace) = run_traced(&m).unwrap();
         let call = trace
-            .records
             .iter()
             .find(|r| matches!(r.op, TraceOp::Call { .. }))
             .unwrap();
         let ret = trace
-            .records
             .iter()
             .find(|r| {
                 matches!(
@@ -1074,7 +1066,6 @@ mod tests {
         m.add_function(f.finish());
         let (_, trace) = run_traced(&m).unwrap();
         let fadd = trace
-            .records
             .iter()
             .find(|r| {
                 matches!(

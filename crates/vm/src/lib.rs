@@ -35,7 +35,7 @@
 //! assert!(trace.len() > 0);
 //!
 //! // Flip the sign bit of a[2] as it is loaded: the outcome changes.
-//! let load_id = trace.records.iter()
+//! let load_id = trace.iter()
 //!     .find(|r| r.mnemonic() == "load").unwrap().id;
 //! let faulty = run_with_fault(&m, &FaultSpec::new(load_id, FaultTarget::LoadValue, 63)).unwrap();
 //! assert_eq!(faulty.return_value.unwrap().as_f64(), -2.0);
@@ -55,4 +55,7 @@ pub use memory::{MemError, Memory, BASE_ADDR};
 pub use objects::{DataObject, DataObjectRegistry, ObjectId};
 pub use outcome::{ExecOutcome, ExecStatus, OutcomeClass};
 pub use taint::{TaintSet, TAINT_CAP};
-pub use trace::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource, TERMINATOR_INST};
+pub use trace::{
+    Operands, OperandsIter, Trace, TraceIndex, TraceOp, TraceRecord, TraceStats, TracedVal,
+    ValueSource, TERMINATOR_INST,
+};

@@ -1,5 +1,5 @@
 //! AMG2013 — algebraic multigrid solver for unstructured-grid linear systems
-//! (Table I; Henson & Yang, cited as [22] in the paper).
+//! (Table I; Henson & Yang, cited as \[22\] in the paper).
 //!
 //! The paper uses a compact LLNL version with GMRES(10) preconditioned by
 //! AMG, on the anisotropic input matrix, evaluating `hypre_GMRESSolve` with

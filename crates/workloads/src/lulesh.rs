@@ -1,5 +1,5 @@
 //! LULESH — unstructured Lagrangian explicit shock hydrodynamics proxy app
-//! (Table I; Karlin et al., cited as [21] in the paper).
+//! (Table I; Karlin et al., cited as \[21\] in the paper).
 //!
 //! The paper studies the routine `CalcMonotonicQRegionForElems` with target
 //! data objects `m_delv_zeta` (a double-precision velocity-gradient array,

@@ -3,7 +3,7 @@
 //! The paper studies the routine `mg3P` (the multigrid V-cycle) with target
 //! data objects `u` (the solution mesh) and `r` (the residual mesh).  The
 //! multigrid algorithm is the canonical example of algorithm-level error
-//! masking in the resilience literature (Casas et al., cited as [14] in the
+//! masking in the resilience literature (Casas et al., cited as \[14\] in the
 //! paper): its smoothing and coarse-grid correction steps attenuate error
 //! magnitude, so corrupted mesh values are tolerated far beyond what
 //! operation-level analysis alone explains.

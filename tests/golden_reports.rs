@@ -1,0 +1,83 @@
+//! Golden-report pinning for the trace engine.
+//!
+//! Each golden file under `tests/golden/` is the pretty-printed
+//! [`SessionReport`] JSON of a fixed workload/configuration pair, produced by
+//! the flat-scan trace engine before the indexed engine replaced it.  The
+//! indexed engine must reproduce every document **byte for byte** — same
+//! masking tallies, same DFI counts, same fingerprints — so any semantic
+//! drift in indexing, site enumeration, or replay fails loudly in CI.
+//!
+//! To regenerate after an *intentional* schema or model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+
+use moard_inject::{Session, SessionBuilder, SessionReport};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn render(report: &SessionReport) -> String {
+    report.to_json().to_pretty() + "\n"
+}
+
+fn check_golden(name: &str, builder: SessionBuilder) {
+    let report = builder.run().expect("session runs");
+    let text = render(&report);
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &text).expect("golden written");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        text, golden,
+        "SessionReport for `{name}` is no longer bit-identical to the golden \
+         report; if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+    // The golden document must also round-trip through the parser.
+    let back = SessionReport::from_json_str(&golden).expect("golden parses");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn mm_session_report_is_bit_identical_to_golden() {
+    check_golden(
+        "mm",
+        Session::for_workload("mm")
+            .unwrap()
+            .window(50)
+            .stride(16)
+            .max_dfi(150),
+    );
+}
+
+#[test]
+fn pf_session_report_is_bit_identical_to_golden() {
+    check_golden(
+        "pf",
+        Session::for_workload("pf")
+            .unwrap()
+            .window(50)
+            .stride(16)
+            .max_dfi(150),
+    );
+}
+
+#[test]
+fn cg_session_report_is_bit_identical_to_golden() {
+    check_golden(
+        "cg",
+        Session::for_workload("cg")
+            .unwrap()
+            .window(50)
+            .stride(24)
+            .max_dfi(100),
+    );
+}
