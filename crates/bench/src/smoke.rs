@@ -19,9 +19,10 @@ use moard_core::{
     analyze_operation, enumerate_sites, fingerprint_hex, parse_fingerprint, replay,
     trace_stats_to_json, AdvfAnalyzer, AnalysisConfig, CorruptLoc, ErrorPattern, OpVerdict,
 };
+use moard_inject::{Parallelism, StudyRunner, StudySpec, WorkloadSelector};
 use moard_json::{Json, JsonError};
 use moard_vm::{run_traced, Trace, TraceStats, Vm};
-use moard_workloads::{MatMul, MmConfig, Pf, Workload};
+use moard_workloads::{MatMul, MmConfig, Pf, Registry, Workload};
 
 /// Version of the `BENCH_*.json` schema this build writes and reads.
 pub const SMOKE_SCHEMA_VERSION: u32 = 1;
@@ -87,6 +88,39 @@ pub fn smoke_workloads() -> Vec<SmokeWorkload> {
     out
 }
 
+fn mm_small() -> Box<dyn Workload> {
+    Box::new(MatMul::with_config(MmConfig {
+        n: 6,
+        ..Default::default()
+    }))
+}
+
+fn pf_default() -> Box<dyn Workload> {
+    Box::new(Pf::default())
+}
+
+/// Registry holding exactly the suite's fixed MM/PF instances — the sweep
+/// smoke case runs the study driver against it, so the scheduler is
+/// measured over the same workloads the per-path benches time.
+pub fn smoke_registry() -> Registry {
+    let mut r = Registry::empty();
+    r.register(&[], mm_small);
+    r.register(&[], pf_default);
+    r
+}
+
+/// The study the sweep smoke case executes: both suite workloads, their
+/// target objects, the suite's analysis configuration, analytic mode (the
+/// bench measures the sweep scheduler and trace engine, not the injector).
+pub fn sweep_spec() -> StudySpec {
+    let config = smoke_config();
+    StudySpec::default()
+        .workloads(WorkloadSelector::All)
+        .windows(vec![config.propagation_window])
+        .strides(vec![config.site_stride])
+        .without_dfi()
+}
+
 /// Collect up to `cap` propagation seeds for the object: participation sites
 /// whose operation-level verdict leaves corrupted locations to replay.
 pub fn propagation_seeds(
@@ -124,8 +158,11 @@ pub struct SmokeReport {
 }
 
 /// Run the full suite: `advf_analysis/{mm,pf}` (analytic aDVF of the target
-/// object) and `propagation_k/{mm,pf}/k=50` (replay of every collected
-/// propagation seed with the paper's default window).
+/// object), `propagation_k/{mm,pf}/k=50` (replay of every collected
+/// propagation seed with the paper's default window), and `sweep/mm+pf`
+/// (the study driver end to end: spec expansion, harness preparation, and
+/// per-task scheduling over both workloads, single-threaded so the timing
+/// gates the scheduler's overhead rather than the machine's core count).
 pub fn run_suite() -> SmokeReport {
     let config = smoke_config();
     let k = config.propagation_window;
@@ -154,6 +191,15 @@ pub fn run_suite() -> SmokeReport {
             },
         ));
     }
+    let registry = smoke_registry();
+    let spec = sweep_spec();
+    benches.push(bench("sweep/mm+pf", 1, 5, || {
+        let report = StudyRunner::new(spec.clone())
+            .parallelism(Parallelism::Sequential)
+            .run_in(&registry)
+            .expect("the smoke sweep covers only known workloads");
+        black_box(report);
+    }));
     SmokeReport {
         benches,
         traces,
@@ -450,6 +496,26 @@ mod tests {
         baseline.benches.pop();
         let err = gate(&report, &baseline, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.contains("no baseline entry"), "{err}");
+    }
+
+    #[test]
+    fn sweep_smoke_case_covers_both_suite_workloads() {
+        use moard_workloads::WorkloadRegistry;
+        let registry = smoke_registry();
+        let tasks = sweep_spec().expand(&registry).unwrap();
+        // MM targets C, PF targets xe: one analytic aDVF task each.
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().any(|t| t.workload == "MM" && t.object == "C"));
+        assert!(tasks.iter().any(|t| t.workload == "PF" && t.object == "xe"));
+        // Analytic mode: the bench must never touch the fault injector.
+        assert!(tasks.iter().all(|t| matches!(
+            t.kind,
+            moard_inject::StudyTaskKind::Advf { use_dfi: false, .. }
+        )));
+        // The smoke registry's MM is the same reduced instance the other
+        // benches measure.
+        let mm = registry.create("mm").unwrap();
+        assert_eq!(mm.name(), "MM");
     }
 
     #[test]

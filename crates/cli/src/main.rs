@@ -8,17 +8,29 @@
 //!   operation-kind breakdowns;
 //! * `moard report <workload> [object...]` — the full serialized session
 //!   report (always JSON);
+//! * `moard sweep [--workloads all|table1|w1,w2] [--objects o1,o2] [--k
+//!   N,N…] [--stride N,N…] [--max-dfi N|unbounded,…] [--rfi-tests N,N…]
+//!   [--store DIR] [--resume]` — the study driver: the full workload ×
+//!   object × parameter-grid campaign in one run, scheduled per task across
+//!   the worker pool and folded into a versioned `StudyReport`.  With
+//!   `--store DIR` every completed task is persisted; a killed sweep
+//!   re-run with `--resume` folds the stored tasks as cache hits and emits
+//!   a byte-identical report;
 //! * `moard inject <workload> <object> [--tests N] [--exhaustive]` — random
 //!   or (strided) exhaustive fault-injection campaign;
 //! * `moard rank <workload>` — rank the workload's target objects by aDVF.
 //!
 //! `--format json|text` (global) switches every subcommand between
-//! machine-consumable JSON on the stable versioned schema and the
-//! human-readable tables.  All errors are typed [`MoardError`]s rendered to
-//! stderr with exit code 1; nothing in this binary panics on user input.
+//! machine-consumable JSON on the stable versioned schema (see
+//! `docs/REPORT_SCHEMA.md`) and the human-readable tables.  All errors are
+//! typed [`MoardError`]s rendered to stderr with exit code 1; nothing in
+//! this binary panics on user input.
 
-use moard_core::MoardError;
-use moard_inject::{Parallelism, RfiConfig, Session, SessionReport};
+use moard_core::{MoardError, StudyReport};
+use moard_inject::{
+    ObjectSelector, Parallelism, RfiConfig, Session, SessionReport, StudyRunner, StudySpec,
+    SweepStats, WorkloadSelector,
+};
 use moard_json::{Json, ToJson};
 use moard_workloads::{Registry, WorkloadRegistry};
 
@@ -35,6 +47,9 @@ const USAGE: &str = "usage: moard [--format json|text] <command> [args]
   moard list
   moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N] [--no-dfi] [--seq]
   moard report  <workload> [object...] [--k N] [--stride N] [--max-dfi N] [--no-dfi]
+  moard sweep   [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
+                [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...] [--no-dfi]
+                [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume] [--seq]
   moard inject  <workload> <object> [--tests N] [--seed N] [--exhaustive] [--budget N]
   moard rank    <workload> [--k N] [--stride N] [--max-dfi N]
 
@@ -44,7 +59,16 @@ options:
   --max-dfi N          cap deterministic fault injections per object (default 5000)
   --k N                propagation window (default 50)
   --no-dfi             purely analytical lower bound (no fault injection)
-  --seq                analyze objects sequentially (default: parallel)";
+  --seq                analyze objects sequentially (default: parallel)
+
+sweep options (grid flags take comma-separated lists; the sweep covers the
+full workload x object x grid cross-product):
+  --workloads SEL      all (default), table1, or a comma-separated name list
+  --objects o1,o2      explicit data objects (default: each workload's targets)
+  --rfi-tests N,N...   attach a random-fault-injection validation leg
+  --rfi-seed N         base RNG seed of the RFI leg (default 61937)
+  --store DIR          persist every completed task to DIR
+  --resume             fold tasks already in --store DIR as cache hits";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -108,6 +132,7 @@ fn run(cli: &Cli) -> Result<(), CliError> {
         Some("list") => cmd_list(cli),
         Some("analyze") => cmd_analyze(cli),
         Some("report") => cmd_report(cli),
+        Some("sweep") => cmd_sweep(cli),
         Some("inject") => cmd_inject(cli),
         Some("rank") => cmd_rank(cli),
         _ => Err(CliError::Usage),
@@ -122,9 +147,14 @@ const VALUED_FLAGS: &[&str] = &[
     "--tests",
     "--seed",
     "--budget",
+    "--workloads",
+    "--objects",
+    "--rfi-tests",
+    "--rfi-seed",
+    "--store",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive"];
+const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
 
 /// Reject unknown `--` flags: a typo (`--no-dfl`, `--exhuastive`,
 /// `--format=json`) must not silently run the analysis under settings the
@@ -179,6 +209,39 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, MoardError> {
             "flag `{flag}` expects an unsigned integer, got `{value}`"
         ))
     })
+}
+
+/// Value of a string-valued `--flag value` (non-removing).  A present flag
+/// with a missing value is a hard error — and so is a following `--token`,
+/// which would otherwise be swallowed as the value (`--store --resume`
+/// must not create a directory literally named `--resume`).
+fn str_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, MoardError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(value) if !value.starts_with("--") => Ok(Some(value.as_str())),
+        _ => Err(MoardError::InvalidConfig(format!(
+            "flag `{flag}` requires a value"
+        ))),
+    }
+}
+
+/// Value of a comma-separated numeric list `--flag N,N,...`.
+fn flag_list(args: &[String], flag: &str) -> Result<Option<Vec<u64>>, MoardError> {
+    let Some(text) = str_flag_value(args, flag)? else {
+        return Ok(None);
+    };
+    text.split(',')
+        .map(|item| {
+            item.trim().parse::<u64>().map_err(|_| {
+                MoardError::InvalidConfig(format!(
+                    "flag `{flag}` expects comma-separated unsigned integers, got `{item}`"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -305,6 +368,173 @@ fn cmd_report(cli: &Cli) -> Result<(), CliError> {
     let report = session_for_positionals(cli)?;
     out!("{}", report.to_json().to_pretty());
     Ok(())
+}
+
+/// Build the [`StudySpec`] described by the sweep command line.
+fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
+    let pos = positionals(&cli.args);
+    let workloads = match str_flag_value(&cli.args, "--workloads")? {
+        // Giving both forms would silently drop one of them; reject instead.
+        Some(_) if !pos.is_empty() => {
+            return Err(MoardError::InvalidConfig(format!(
+                "workloads given both positionally (`{}`) and via `--workloads`; use one form",
+                pos.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ")
+            )))
+        }
+        Some("all") => WorkloadSelector::All,
+        Some("table1") => WorkloadSelector::Table1,
+        Some(list) => WorkloadSelector::Named(list.split(',').map(|s| s.trim().into()).collect()),
+        None if !pos.is_empty() => WorkloadSelector::Named(
+            pos.iter()
+                .flat_map(|s| s.split(','))
+                .map(|s| s.trim().to_string())
+                .collect(),
+        ),
+        None => WorkloadSelector::All,
+    };
+    let mut spec = StudySpec::default()
+        .workloads(workloads)
+        .windows(
+            flag_list(&cli.args, "--k")?
+                .unwrap_or_else(|| vec![50])
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        )
+        .strides(
+            flag_list(&cli.args, "--stride")?
+                .unwrap_or_else(|| vec![4])
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        )
+        .max_dfis(match str_flag_value(&cli.args, "--max-dfi")? {
+            None => vec![Some(5_000)],
+            Some(list) => list
+                .split(',')
+                .map(|item| match item.trim() {
+                    "unbounded" | "none" => Ok(None),
+                    number => number.parse::<u64>().map(Some).map_err(|_| {
+                        MoardError::InvalidConfig(format!(
+                            "flag `--max-dfi` expects comma-separated unsigned integers or \
+                             `unbounded`, got `{number}`"
+                        ))
+                    }),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        });
+    if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
+        spec = spec.objects(ObjectSelector::Named(
+            objects.split(',').map(|s| s.trim().into()).collect(),
+        ));
+    }
+    if has_flag(&cli.args, "--no-dfi") {
+        spec = spec.without_dfi();
+    }
+    if let Some(tests) = flag_list(&cli.args, "--rfi-tests")? {
+        let seed = flag_value(&cli.args, "--rfi-seed")?.unwrap_or(0xF1_F1);
+        spec = spec.rfi_leg(tests.into_iter().map(|v| v as usize).collect(), seed);
+    }
+    Ok(spec)
+}
+
+fn cmd_sweep(cli: &Cli) -> Result<(), CliError> {
+    let spec = sweep_spec(cli)?;
+    let mut runner = StudyRunner::new(spec);
+    if has_flag(&cli.args, "--seq") {
+        runner = runner.parallelism(Parallelism::Sequential);
+    }
+    let resume = has_flag(&cli.args, "--resume");
+    match str_flag_value(&cli.args, "--store")? {
+        Some(dir) => runner = runner.store(dir)?.resume(resume),
+        None if resume => {
+            return Err(CliError::Moard(MoardError::InvalidConfig(
+                "`--resume` requires `--store DIR` (there is nothing to resume from)".into(),
+            )))
+        }
+        None => {}
+    }
+    let (report, stats) = runner.run_detailed_in(&cli.registry)?;
+    match cli.format {
+        Format::Json => out!("{}", report.to_json().to_pretty()),
+        Format::Text => print_study(&report, &stats, &cli.registry),
+    }
+    Ok(())
+}
+
+fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn WorkloadRegistry) {
+    out!(
+        "study fingerprint : {}",
+        moard_core::fingerprint_hex(report.study_fingerprint)
+    );
+    out!(
+        "tasks             : {} ({} executed, {} cache hits, {} harnesses prepared)",
+        stats.tasks,
+        stats.executed,
+        stats.cache_hits,
+        stats.harnesses_prepared
+    );
+    for workload in report.workloads() {
+        out!();
+        match registry.descriptor(workload) {
+            Some(d) => out!("{workload} — {} [{}]", d.description, d.code_segment),
+            None => out!("{workload}"),
+        }
+        out!(
+            "  {:<14} {:>5} {:>7} {:>9} {:>8} {:>10} {:>12} {:>10} {:>8} {:>8}",
+            "object",
+            "k",
+            "stride",
+            "max-dfi",
+            "aDVF",
+            "op-level",
+            "propagation",
+            "algorithm",
+            "sites",
+            "dfi"
+        );
+        for entry in report.entries.iter().filter(|e| e.workload == workload) {
+            let (op, prop, alg) = entry.advf.accumulator.level_breakdown();
+            out!(
+                "  {:<14} {:>5} {:>7} {:>9} {:>8.4} {:>10.4} {:>12.4} {:>10.4} {:>8} {:>8}",
+                entry.object,
+                entry.config.propagation_window,
+                entry.config.site_stride,
+                entry
+                    .config
+                    .max_dfi_per_object
+                    .map_or("unbounded".to_string(), |n| n.to_string()),
+                entry.advf.advf(),
+                op,
+                prop,
+                alg,
+                entry.advf.sites_analyzed,
+                entry.advf.dfi_runs
+            );
+        }
+    }
+    if !report.rfi.is_empty() {
+        out!();
+        out!("RFI validation leg:");
+        out!(
+            "  {:<8} {:<14} {:>8} {:>14} {:>12}",
+            "workload",
+            "object",
+            "tests",
+            "success rate",
+            "margin(95%)"
+        );
+        for entry in &report.rfi {
+            out!(
+                "  {:<8} {:<14} {:>8} {:>14.4} {:>12.4}",
+                entry.workload,
+                entry.object,
+                entry.summary.tests,
+                entry.summary.success_rate(),
+                entry.summary.margin_95()
+            );
+        }
+    }
 }
 
 fn cmd_inject(cli: &Cli) -> Result<(), CliError> {

@@ -1,0 +1,181 @@
+//! Integration tests of the `moard sweep` subcommand: the JSON and text
+//! output surfaces, the resume-from-a-partial-store flow, and the error
+//! paths — all through the real binary.
+
+use moard_core::StudyReport;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn moard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_moard"))
+        .args(args)
+        .output()
+        .expect("the moard binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moard-cli-sweep-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fast sweep: MM's one target object, heavy striding, a small DFI cap.
+const QUICK: &[&str] = &["sweep", "mm", "--stride", "32", "--max-dfi", "100"];
+
+#[test]
+fn json_output_is_a_valid_study_report() {
+    let output = moard(&[&["--format", "json"], QUICK].concat());
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let report = StudyReport::from_json_str(&stdout(&output)).expect("stdout parses");
+    assert_eq!(report.entries.len(), 1);
+    assert_eq!(report.entries[0].workload, "MM");
+    assert_eq!(report.entries[0].object, "C");
+    assert_eq!(report.entries[0].config.site_stride, 32);
+    assert_eq!(report.entries[0].config.max_dfi_per_object, Some(100));
+    assert!(report.rfi.is_empty());
+    // The analysis really ran.
+    assert!(report.entries[0].advf.sites_analyzed > 0);
+}
+
+#[test]
+fn text_output_renders_the_study_table() {
+    let output = moard(QUICK);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("study fingerprint"), "{text}");
+    assert!(text.contains("tasks"), "{text}");
+    assert!(text.contains("MM"), "{text}");
+    assert!(text.contains("aDVF"), "{text}");
+    // One task, executed fresh (no store involved).
+    assert!(text.contains("1 executed, 0 cache hits"), "{text}");
+}
+
+#[test]
+fn rfi_leg_appears_in_both_formats() {
+    let args = &[QUICK, &["--rfi-tests", "20", "--rfi-seed", "9"]].concat();
+    let output = moard(args);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("RFI validation leg"));
+    let output = moard(&[&["--format", "json"], args.as_slice()].concat());
+    let report = StudyReport::from_json_str(&stdout(&output)).unwrap();
+    assert_eq!(report.rfi.len(), 1);
+    assert_eq!(report.rfi[0].summary.tests, 20);
+    assert_eq!(report.rfi[0].summary.seed, 9);
+    assert_eq!(report.rfi[0].summary.runs(), 20);
+}
+
+#[test]
+fn resume_after_a_partial_store_is_byte_identical() {
+    let store = temp_dir("resume");
+    let store_arg = store.to_str().unwrap();
+    let base = [
+        &["--format", "json"],
+        QUICK,
+        &["--k", "20,50", "--store", store_arg],
+    ]
+    .concat();
+
+    // Cold run fills the store (two grid points → two task documents).
+    let cold = moard(&base);
+    assert!(cold.status.success(), "stderr: {}", stderr(&cold));
+    let mut files = list_store(&store);
+    assert_eq!(files.len(), 2);
+
+    // Simulate a sweep killed after one completed task: drop one document.
+    files.sort();
+    std::fs::remove_file(&files[0]).unwrap();
+    assert_eq!(list_store(&store).len(), 1);
+
+    // The resumed sweep recomputes only the missing task and reproduces the
+    // cold report byte for byte.
+    let resumed = moard(&[base.as_slice(), &["--resume"]].concat());
+    assert!(resumed.status.success(), "stderr: {}", stderr(&resumed));
+    assert_eq!(stdout(&resumed), stdout(&cold));
+    // …and completes the store again.
+    assert_eq!(list_store(&store).len(), 2);
+
+    // Text mode reports the cache hits of a fully resumed run.
+    let full = moard(&[QUICK, &["--k", "20,50", "--store", store_arg, "--resume"]].concat());
+    assert!(full.status.success());
+    assert!(
+        stdout(&full).contains("0 executed, 2 cache hits, 0 harnesses prepared"),
+        "{}",
+        stdout(&full)
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn unknown_workload_is_a_typed_failure() {
+    let output = moard(&["sweep", "warp-drive"]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr(&output);
+    assert!(err.contains("unknown workload"), "{err}");
+    assert!(err.contains("warp-drive"), "{err}");
+    // The list of valid names is offered.
+    assert!(err.contains("MM"), "{err}");
+}
+
+#[test]
+fn unknown_object_and_bad_flags_are_typed_failures() {
+    let output = moard(&["sweep", "mm", "--objects", "no-such-object"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("no data object"),
+        "{}",
+        stderr(&output)
+    );
+
+    let output = moard(&["sweep", "mm", "--resume"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("--store"), "{}", stderr(&output));
+
+    let output = moard(&["sweep", "mm", "--stride", "a,b"]);
+    assert_eq!(output.status.code(), Some(1));
+
+    let output = moard(&["sweep", "mm", "--exhuastive"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("unknown flag"),
+        "{}",
+        stderr(&output)
+    );
+
+    // A following flag token must not be swallowed as a value: this must
+    // error, not create a store directory literally named `--resume`.
+    let output = moard(&["sweep", "mm", "--store", "--resume"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("requires a value"),
+        "{}",
+        stderr(&output)
+    );
+    assert!(!Path::new("--resume").exists());
+
+    // Workloads given both positionally and via --workloads would silently
+    // drop one of the two selections; it must be rejected instead.
+    let output = moard(&["sweep", "lulesh", "--workloads", "table1"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("use one form"),
+        "{}",
+        stderr(&output)
+    );
+}
+
+fn list_store(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect()
+}

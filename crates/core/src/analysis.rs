@@ -112,12 +112,7 @@ impl AnalysisConfig {
             },
             self.patterns.canonical()
         );
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in canonical.bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        crate::report::fnv1a(canonical.as_bytes())
     }
 }
 

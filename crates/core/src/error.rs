@@ -54,6 +54,14 @@ pub enum MoardError {
         /// The workload whose trace diverged.
         workload: String,
     },
+    /// A filesystem operation failed (e.g. reading or writing a result
+    /// store).  Carries the path and the rendered OS error.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// Human-readable OS error.
+        message: String,
+    },
     /// A report could not be parsed or re-built from JSON.
     Json(JsonError),
     /// A serialized report carries a schema version this build cannot read.
@@ -95,11 +103,22 @@ impl fmt::Display for MoardError {
             MoardError::TracePerturbed { workload } => {
                 write!(f, "tracing perturbed the execution of {workload}")
             }
+            MoardError::Io { path, message } => write!(f, "I/O error on {path}: {message}"),
             MoardError::Json(e) => write!(f, "report (de)serialization failed: {e}"),
             MoardError::SchemaMismatch { found, expected } => write!(
                 f,
                 "report schema version {found} is not readable by this build (expected {expected})"
             ),
+        }
+    }
+}
+
+impl MoardError {
+    /// Wrap a [`std::io::Error`] together with the path it occurred on.
+    pub fn io(path: impl Into<String>, error: std::io::Error) -> MoardError {
+        MoardError::Io {
+            path: path.into(),
+            message: error.to_string(),
         }
     }
 }

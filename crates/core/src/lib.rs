@@ -79,7 +79,8 @@ pub use masking::{Masking, OpMaskKind};
 pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
 pub use propagation::{replay, PropagationResult, ReplayCursor, UnresolvedReason};
 pub use report::{
-    check_schema_version, fingerprint_hex, parse_fingerprint, trace_stats_to_json, SCHEMA_VERSION,
+    check_schema_version, fingerprint_hex, fnv1a, parse_fingerprint, trace_stats_to_json, RfiEntry,
+    RfiSummary, StudyEntry, StudyReport, SCHEMA_VERSION,
 };
 pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
 pub use sites::{count_fault_sites, enumerate_sites, has_sites, ParticipationSite, SiteSlot};

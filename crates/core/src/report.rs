@@ -24,6 +24,19 @@ use moard_json::{FromJson, Json, JsonError, ToJson};
 /// Version of the JSON report schema this build writes and reads.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// FNV-1a over a byte string — the canonical 64-bit fingerprint hash.
+/// Analysis-config fingerprints, study-spec fingerprints, and the result
+/// store's content addresses all use this one construction so they can
+/// never silently desynchronize.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Render a config fingerprint as the fixed-width hex string used in JSON.
 pub fn fingerprint_hex(fingerprint: u64) -> String {
     format!("{fingerprint:016x}")
@@ -216,6 +229,289 @@ impl AdvfReport {
     }
 }
 
+/// Summary of one random-fault-injection validation campaign (the paper's
+/// Fig. 7 leg), serialized inside a [`StudyReport`].
+///
+/// This is the serializable face of a campaign tally; the campaign *runner*
+/// lives in `moard-inject`.  Derived quantities (`success_rate`,
+/// `margin_95`) are materialized in JSON but recomputed from the raw counts
+/// on read, so a hand-edited document cannot carry a rate inconsistent with
+/// its own tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfiSummary {
+    /// Number of injection tests requested.
+    pub tests: u64,
+    /// RNG seed of the campaign (campaigns are reproducible given the seed).
+    pub seed: u64,
+    /// Runs whose outcome was bit-identical to the golden run.
+    pub identical: u64,
+    /// Runs whose outcome was numerically different but acceptable.
+    pub acceptable: u64,
+    /// Runs with unacceptable (silently corrupted) outcomes.
+    pub incorrect: u64,
+    /// Runs that crashed or hung.
+    pub crashed: u64,
+}
+
+impl RfiSummary {
+    /// Total number of classified runs.
+    pub fn runs(&self) -> u64 {
+        self.identical + self.acceptable + self.incorrect + self.crashed
+    }
+
+    /// Fraction of runs with a correct (identical or acceptable) outcome.
+    pub fn success_rate(&self) -> f64 {
+        let runs = self.runs();
+        if runs == 0 {
+            return 0.0;
+        }
+        (self.identical + self.acceptable) as f64 / runs as f64
+    }
+
+    /// Margin of error of the success rate at 95% confidence (normal
+    /// approximation, z = 1.96).
+    pub fn margin_95(&self) -> f64 {
+        let runs = self.runs();
+        if runs == 0 {
+            return 0.0;
+        }
+        let p = self.success_rate();
+        1.96 * (p * (1.0 - p) / runs as f64).sqrt()
+    }
+}
+
+impl ToJson for RfiSummary {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("tests", Json::from(self.tests)),
+            ("seed", Json::from(self.seed)),
+            ("identical", Json::from(self.identical)),
+            ("acceptable", Json::from(self.acceptable)),
+            ("incorrect", Json::from(self.incorrect)),
+            ("crashed", Json::from(self.crashed)),
+            ("success_rate", Json::from(self.success_rate())),
+            ("margin_95", Json::from(self.margin_95())),
+        ])
+    }
+}
+
+impl FromJson for RfiSummary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RfiSummary {
+            tests: value.u64_field("tests")?,
+            seed: value.u64_field("seed")?,
+            identical: value.u64_field("identical")?,
+            acceptable: value.u64_field("acceptable")?,
+            incorrect: value.u64_field("incorrect")?,
+            crashed: value.u64_field("crashed")?,
+        })
+    }
+}
+
+/// One cell of a study's task matrix: the aDVF report of one data object of
+/// one workload under one analysis configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyEntry {
+    /// Workload name (canonical, e.g. `"MM"`).
+    pub workload: String,
+    /// Data object name.
+    pub object: String,
+    /// The analysis configuration this cell was computed under.
+    pub config: AnalysisConfig,
+    /// The aDVF report of (workload, object) under `config`.
+    pub advf: AdvfReport,
+}
+
+/// One random-fault-injection validation cell of a study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfiEntry {
+    /// Workload name (canonical).
+    pub workload: String,
+    /// Data object name.
+    pub object: String,
+    /// The campaign tally.
+    pub summary: RfiSummary,
+}
+
+/// The aggregate result of a multi-workload parameter sweep (a *study*):
+/// the full cross-product of workloads × data objects × analysis
+/// configurations, plus an optional random-fault-injection validation leg.
+///
+/// A study report is the one-document reproduction of the paper's batched
+/// evaluation: Table I's workload/object matrix, the Fig. 4 per-object aDVF
+/// aggregates, and the Fig. 7 RFI-vs-aDVF comparison all read off one
+/// `StudyReport`.  Like [`crate::advf::AdvfReport`], it serializes to the
+/// stable versioned schema and round-trips bit-exactly; it additionally
+/// embeds the fingerprint of the *study specification* that produced it, so
+/// reports from different sweeps are never conflated.  The sweep engine that
+/// produces these (`StudyRunner` in `moard-inject`) folds its task results
+/// in task-matrix order, so the document is byte-identical whether the sweep
+/// ran cold, in parallel, or resumed from a partial result store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StudyReport {
+    /// Fingerprint of the study specification (`StudySpec::fingerprint` in
+    /// `moard-inject`) that produced this report.
+    pub study_fingerprint: u64,
+    /// aDVF cells, in task-matrix order (workload × object × config).
+    pub entries: Vec<StudyEntry>,
+    /// RFI validation cells, in task-matrix order; empty when the study had
+    /// no RFI leg.
+    pub rfi: Vec<RfiEntry>,
+}
+
+impl StudyReport {
+    /// The first aDVF cell of (workload, object), if the study covered it.
+    /// With a multi-configuration grid this is the cell of the first grid
+    /// point; use [`StudyReport::entries_for`] for the full series.
+    pub fn entry(&self, workload: &str, object: &str) -> Option<&StudyEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.workload == workload && e.object == object)
+    }
+
+    /// All aDVF cells of (workload, object), in grid order.
+    pub fn entries_for<'a>(
+        &'a self,
+        workload: &'a str,
+        object: &'a str,
+    ) -> impl Iterator<Item = &'a StudyEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.workload == workload && e.object == object)
+    }
+
+    /// The distinct workloads covered, in task-matrix order.
+    pub fn workloads(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.workload.as_str()) {
+                out.push(&e.workload);
+            }
+        }
+        out
+    }
+
+    /// The distinct objects of one workload, in task-matrix order — the
+    /// Table I "target data objects" column of that row.
+    pub fn objects_of(&self, workload: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in self.entries.iter().filter(|e| e.workload == workload) {
+            if !out.contains(&e.object.as_str()) {
+                out.push(&e.object);
+            }
+        }
+        out
+    }
+
+    /// RFI validation cells of (workload, object), in task-matrix order.
+    pub fn rfi_for<'a>(
+        &'a self,
+        workload: &'a str,
+        object: &'a str,
+    ) -> impl Iterator<Item = &'a RfiEntry> {
+        self.rfi
+            .iter()
+            .filter(move |e| e.workload == workload && e.object == object)
+    }
+
+    /// The JSON document of this report.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("kind", Json::from("moard-study")),
+            (
+                "study_fingerprint",
+                Json::from(fingerprint_hex(self.study_fingerprint)),
+            ),
+            (
+                "entries",
+                Json::array(self.entries.iter().map(|e| {
+                    Json::object([
+                        ("workload", Json::from(e.workload.as_str())),
+                        ("object", Json::from(e.object.as_str())),
+                        ("config", e.config.to_json()),
+                        (
+                            "config_fingerprint",
+                            Json::from(fingerprint_hex(e.config.fingerprint())),
+                        ),
+                        ("advf_report", e.advf.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "rfi",
+                Json::array(self.rfi.iter().map(|e| {
+                    Json::object([
+                        ("workload", Json::from(e.workload.as_str())),
+                        ("object", Json::from(e.object.as_str())),
+                        ("summary", e.summary.to_json()),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Rebuild from a JSON document, checking the schema version and the
+    /// consistency of every embedded configuration fingerprint.
+    pub fn from_json(doc: &Json) -> Result<StudyReport, MoardError> {
+        check_schema_version(doc)?;
+        let study_fingerprint = parse_fingerprint(doc.str_field("study_fingerprint")?)?;
+        let mut entries = Vec::new();
+        for cell in doc.arr_field("entries")? {
+            let config = AnalysisConfig::from_json(cell.field("config")?)?;
+            let found = parse_fingerprint(cell.str_field("config_fingerprint")?)?;
+            if found != config.fingerprint() {
+                return Err(MoardError::InvalidConfig(format!(
+                    "study entry config fingerprint {found:016x} does not match its \
+                     embedded config ({:016x})",
+                    config.fingerprint()
+                )));
+            }
+            let advf = AdvfReport::from_json(cell.field("advf_report")?)?;
+            if advf.config_fingerprint != config.fingerprint() {
+                return Err(MoardError::InvalidConfig(format!(
+                    "study entry aDVF report was produced under config {:016x}, not \
+                     the entry's config {:016x}",
+                    advf.config_fingerprint,
+                    config.fingerprint()
+                )));
+            }
+            entries.push(StudyEntry {
+                workload: cell.str_field("workload")?.to_string(),
+                object: cell.str_field("object")?.to_string(),
+                config,
+                advf,
+            });
+        }
+        let rfi = doc
+            .arr_field("rfi")?
+            .iter()
+            .map(|cell| {
+                Ok(RfiEntry {
+                    workload: cell.str_field("workload")?.to_string(),
+                    object: cell.str_field("object")?.to_string(),
+                    summary: RfiSummary::from_json(cell.field("summary")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, MoardError>>()?;
+        Ok(StudyReport {
+            study_fingerprint,
+            entries,
+            rfi,
+        })
+    }
+
+    /// Parse a report serialized with [`StudyReport::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<StudyReport, MoardError> {
+        StudyReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +632,106 @@ mod tests {
         assert_eq!(doc.u64_field("records").unwrap(), 42);
         assert_eq!(doc.u64_field("indexed_objects").unwrap(), 3);
         assert_eq!(doc.u64_field("index_entries").unwrap(), 17);
+    }
+
+    fn sample_study() -> StudyReport {
+        let config = AnalysisConfig {
+            site_stride: 2,
+            ..Default::default()
+        };
+        let mut advf = sample_report();
+        advf.config_fingerprint = config.fingerprint();
+        StudyReport {
+            study_fingerprint: 0xDEAD_BEEF_0123_4567,
+            entries: vec![StudyEntry {
+                workload: "CG".into(),
+                object: "colidx".into(),
+                config,
+                advf,
+            }],
+            rfi: vec![RfiEntry {
+                workload: "CG".into(),
+                object: "colidx".into(),
+                summary: RfiSummary {
+                    tests: 500,
+                    seed: 0xF1F1,
+                    identical: 300,
+                    acceptable: 100,
+                    incorrect: 80,
+                    crashed: 20,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn study_report_round_trips_bit_exactly() {
+        let study = sample_study();
+        let text = study.to_json_string();
+        let back = StudyReport::from_json_str(&text).unwrap();
+        assert_eq!(back, study);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn study_report_aggregates() {
+        let study = sample_study();
+        assert_eq!(study.workloads(), vec!["CG"]);
+        assert_eq!(study.objects_of("CG"), vec!["colidx"]);
+        assert!(study.entry("CG", "colidx").is_some());
+        assert!(study.entry("CG", "rowstr").is_none());
+        assert_eq!(study.entries_for("CG", "colidx").count(), 1);
+        assert_eq!(study.rfi_for("CG", "colidx").count(), 1);
+        assert_eq!(study.rfi_for("MM", "C").count(), 0);
+    }
+
+    #[test]
+    fn rfi_summary_derives_rate_and_margin() {
+        let s = sample_study().rfi[0].summary;
+        assert_eq!(s.runs(), 500);
+        assert!((s.success_rate() - 0.8).abs() < 1e-12);
+        // z * sqrt(p(1-p)/n) with p=0.8, n=500.
+        assert!((s.margin_95() - 1.96 * (0.8f64 * 0.2 / 500.0).sqrt()).abs() < 1e-12);
+        let doc = s.to_json();
+        assert_eq!(
+            doc.f64_field("success_rate").unwrap().to_bits(),
+            s.success_rate().to_bits()
+        );
+        let back = RfiSummary::from_json(&doc).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn study_report_rejects_inconsistent_fingerprints() {
+        let study = sample_study();
+        // Tamper: swap the entry's config for a different one without
+        // updating the embedded fingerprint.
+        let mut doc = study.to_json();
+        if let Json::Obj(members) = &mut doc {
+            let entries = members
+                .iter_mut()
+                .find(|(k, _)| k == "entries")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Arr(cells) = entries {
+                if let Json::Obj(cell) = &mut cells[0] {
+                    let config = cell.iter_mut().find(|(k, _)| k == "config").unwrap();
+                    config.1 = AnalysisConfig::default().to_json();
+                }
+            }
+        }
+        assert!(matches!(
+            StudyReport::from_json(&doc),
+            Err(MoardError::InvalidConfig(_))
+        ));
+        // A wrong schema version is rejected before anything else
+        // (`schema_version` is the first member, so the first digit in the
+        // compact rendering is its value).
+        let bad = study.to_json_string().replacen("1", "9", 1);
+        assert!(matches!(
+            StudyReport::from_json_str(&bad),
+            Err(MoardError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! # moard-inject
 //!
-//! Fault-injection campaigns and the end-to-end analysis harness.
+//! Fault-injection campaigns, the end-to-end analysis harness, the
+//! [`Session`] façade, and the [`StudyRunner`] sweep engine — everything
+//! between "a workload name" and "a serialized report".
+//!
+//! ## Campaigns
 //!
 //! Three kinds of campaigns are provided, mirroring the paper's evaluation
 //! methodology:
@@ -15,6 +19,8 @@
 //! * **random** ([`random`]) — the traditional RFI baseline with
 //!   statistically sized campaigns and margins of error (§V-C, Fig. 7).
 //!
+//! ## One workload: the `Session` façade
+//!
 //! [`harness::WorkloadHarness`] packages a workload's module, golden run,
 //! dynamic trace, object table, and injector behind a one-call API, and
 //! [`session::AnalysisSession`] is the fluent, `Result`-based façade over it
@@ -24,8 +30,61 @@
 //! ```no_run
 //! use moard_inject::Session;
 //!
-//! let report = Session::for_workload("mm")?.object("C").stride(4).run()?;
+//! let report = Session::for_workload("mm")?
+//!     .object("C")
+//!     .window(50)     // propagation window k
+//!     .stride(4)      // every 4th participation site
+//!     .max_dfi(5_000) // cap deterministic fault injections
+//!     .run()?;        // objects analyzed in parallel
+//! println!("aDVF(C in MM) = {:.4}", report.reports[0].advf());
 //! println!("{}", report.to_json_string());
+//! # Ok::<(), moard_core::MoardError>(())
+//! ```
+//!
+//! ## Many workloads: the study driver
+//!
+//! The paper's evaluation is a *campaign*: every Table I workload × its
+//! target data objects × a grid of model parameters.  [`sweep::StudySpec`]
+//! declares such a study and [`sweep::StudyRunner`] executes it — scheduling
+//! the expanded task matrix across the worker pool one *task* (not one
+//! workload) at a time, persisting every completed task to an on-disk
+//! [`store::ResultStore`], and folding the results into one versioned
+//! [`moard_core::StudyReport`].  A killed sweep resumes with cache hits and
+//! produces a byte-identical report:
+//!
+//! ```no_run
+//! use moard_inject::{StudyRunner, StudySpec, WorkloadSelector};
+//!
+//! let spec = StudySpec::default()
+//!     .workloads(WorkloadSelector::All) // Table I + case studies
+//!     .strides(vec![4])
+//!     .max_dfis(vec![Some(5_000)])
+//!     .rfi_leg(vec![500, 1_000], 0xF1F1); // Fig. 7 validation leg
+//! let report = StudyRunner::new(spec)
+//!     .store("sweep-store")? // persist completed tasks…
+//!     .resume(true)          // …and reuse anything already there
+//!     .run()?;
+//! for workload in report.workloads() {
+//!     for object in report.objects_of(workload) {
+//!         let cell = report.entry(workload, object).unwrap();
+//!         println!("{workload:8} {object:14} aDVF = {:.4}", cell.advf.advf());
+//!     }
+//! }
+//! # Ok::<(), moard_core::MoardError>(())
+//! ```
+//!
+//! Expanding a spec is cheap (no module is built, no trace recorded), so the
+//! task matrix can be inspected up front:
+//!
+//! ```
+//! use moard_inject::{StudySpec, WorkloadSelector};
+//!
+//! let spec = StudySpec::default()
+//!     .workloads(WorkloadSelector::Named(vec!["mm".into()]))
+//!     .windows(vec![20, 50]);
+//! let tasks = spec.expand(moard_workloads::builtin_registry())?;
+//! assert_eq!(tasks.len(), 2); // MM's one target object × two windows
+//! assert!(tasks.iter().all(|t| t.workload == "MM" && t.object == "C"));
 //! # Ok::<(), moard_core::MoardError>(())
 //! ```
 //!
@@ -38,6 +97,8 @@ pub mod injector;
 pub mod random;
 pub mod session;
 pub mod stats;
+pub mod store;
+pub mod sweep;
 
 pub use campaign::{run_campaign, run_campaign_stats, Parallelism};
 pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
@@ -47,3 +108,8 @@ pub use moard_core::MoardError;
 pub use random::{run_rfi, sample_faults, RfiConfig};
 pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};
 pub use stats::{required_sample_size, z_value, CampaignStats};
+pub use store::ResultStore;
+pub use sweep::{
+    ObjectSelector, RfiLeg, StudyRunner, StudySpec, StudyTask, StudyTaskKind, SweepStats,
+    WorkloadSelector,
+};

@@ -50,6 +50,17 @@ pub trait WorkloadRegistry: Send + Sync {
     fn contains(&self, name: &str) -> bool {
         self.create(name).is_some()
     }
+
+    /// Metadata of one registered workload, looked up by name or alias
+    /// (case-insensitive) — the per-workload view of [`Self::descriptors`]
+    /// used by the sweep engine's reporting surfaces.
+    fn descriptor(&self, name: &str) -> Option<WorkloadDescriptor> {
+        let wanted = name.to_ascii_lowercase();
+        self.descriptors().into_iter().find(|d| {
+            d.name.to_ascii_lowercase() == wanted
+                || d.aliases.iter().any(|a| a.to_ascii_lowercase() == wanted)
+        })
+    }
 }
 
 struct Entry {
@@ -194,6 +205,15 @@ mod tests {
         let mm = descriptors.iter().find(|d| d.name == "MM").unwrap();
         assert!(!mm.table1);
         assert_eq!(mm.aliases, &["matmul"]);
+    }
+
+    #[test]
+    fn descriptor_lookup_follows_names_and_aliases() {
+        let r = builtin_registry();
+        assert_eq!(r.descriptor("CG").unwrap().name, "CG");
+        assert_eq!(r.descriptor("matmul").unwrap().name, "MM");
+        assert_eq!(r.descriptor("pf").unwrap().name, "PF");
+        assert!(r.descriptor("nope").is_none());
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //! assert_eq!(back, report);
 //! # Ok::<(), moard::model::MoardError>(())
 //! ```
+//!
+//! For the full multi-workload campaign — the paper's Table I / Fig. 4 /
+//! Fig. 7 evaluation as one resumable parameter sweep — see the study
+//! driver ([`inject::StudySpec`] / [`inject::StudyRunner`]) and the
+//! repository's `docs/ARCHITECTURE.md`.
 
 pub use moard_abft as abft;
 pub use moard_core as model;

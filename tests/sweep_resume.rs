@@ -1,0 +1,104 @@
+//! Resumability property of the study driver: for every prefix length N of
+//! a completed result store, a sweep resumed from only those N task
+//! documents produces a `StudyReport` **byte-identical** to the cold run —
+//! the store is an optimization, never an observable.
+//!
+//! (Hand-rolled property loop over N, in the style of `tests/properties.rs`;
+//! the repository builds without a property-testing dependency.)
+
+use moard::inject::{Parallelism, StudyRunner, StudySpec, WorkloadSelector};
+use std::path::PathBuf;
+
+fn spec() -> StudySpec {
+    StudySpec::default()
+        .workloads(WorkloadSelector::Named(vec!["mm".into()]))
+        .windows(vec![20, 50])
+        .strides(vec![16])
+        .max_dfis(vec![Some(100)])
+        .rfi_leg(vec![30], 0xF1F1)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("moard-sweep-resume-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn resuming_from_any_store_prefix_reproduces_the_cold_report() {
+    // Ground truth: the cold, store-less run.
+    let cold = StudyRunner::new(spec()).run().unwrap();
+    let cold_json = cold.to_json_string();
+    assert_eq!(cold.entries.len(), 2, "two grid points over MM/C");
+    assert_eq!(cold.rfi.len(), 1, "one RFI campaign");
+
+    // Fill a store completely (3 tasks → 3 documents).
+    let full = temp_dir("full");
+    let report = StudyRunner::new(spec())
+        .store(&full)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.to_json_string(), cold_json);
+    let mut documents: Vec<PathBuf> = std::fs::read_dir(&full)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    documents.sort();
+    let tasks = documents.len();
+    assert_eq!(tasks, 3);
+
+    // Property: kill the sweep after N completed tasks (simulated by a
+    // store holding only N of the documents), resume, and require a
+    // byte-identical report for every N — including the degenerate ends
+    // (N = 0 is a cold run with an empty store; N = tasks recomputes
+    // nothing at all).
+    for n in 0..=tasks {
+        let partial = temp_dir(&format!("partial-{n}"));
+        std::fs::create_dir_all(&partial).unwrap();
+        for doc in &documents[..n] {
+            std::fs::copy(doc, partial.join(doc.file_name().unwrap())).unwrap();
+        }
+        let (resumed, stats) = StudyRunner::new(spec())
+            .store(&partial)
+            .unwrap()
+            .resume(true)
+            .parallelism(Parallelism::Fixed(2))
+            .run_detailed()
+            .unwrap();
+        assert_eq!(stats.cache_hits, n, "N={n}");
+        assert_eq!(stats.executed, tasks - n, "N={n}");
+        assert_eq!(
+            resumed.to_json_string(),
+            cold_json,
+            "resumed report diverged from the cold run at N={n}"
+        );
+        // The resumed sweep heals the store back to completeness.
+        assert_eq!(std::fs::read_dir(&partial).unwrap().count(), tasks);
+        let _ = std::fs::remove_dir_all(&partial);
+    }
+    let _ = std::fs::remove_dir_all(&full);
+}
+
+#[test]
+fn corrupting_a_store_document_forces_recomputation_not_failure() {
+    let dir = temp_dir("corrupt");
+    let cold_json = StudyRunner::new(spec()).run().unwrap().to_json_string();
+    StudyRunner::new(spec()).store(&dir).unwrap().run().unwrap();
+    // Truncate every document.
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::write(entry.path(), "{torn").unwrap();
+    }
+    let (resumed, stats) = StudyRunner::new(spec())
+        .store(&dir)
+        .unwrap()
+        .resume(true)
+        .run_detailed()
+        .unwrap();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.executed, stats.tasks);
+    assert_eq!(resumed.to_json_string(), cold_json);
+    let _ = std::fs::remove_dir_all(&dir);
+}
