@@ -185,6 +185,7 @@ mod tests {
             dfi_runs: 0,
             dfi_cache_hits: 0,
             resolved_analytically: 1,
+            dfi_budget_exhausted: false,
             config_fingerprint: 0,
         };
         assert!(level_row(&report).contains("CG"));

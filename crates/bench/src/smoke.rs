@@ -19,7 +19,9 @@ use moard_core::{
     analyze_operation, enumerate_sites, fingerprint_hex, parse_fingerprint, replay,
     trace_stats_to_json, AdvfAnalyzer, AnalysisConfig, CorruptLoc, ErrorPattern, OpVerdict,
 };
-use moard_inject::{Parallelism, StudyRunner, StudySpec, WorkloadSelector};
+use moard_inject::{
+    Parallelism, StudyRunner, StudySpec, ValidationRunner, ValidationSpec, WorkloadSelector,
+};
 use moard_json::{Json, JsonError};
 use moard_vm::{run_traced, Trace, TraceStats, Vm};
 use moard_workloads::{MatMul, MmConfig, Pf, Registry, Workload};
@@ -121,6 +123,21 @@ pub fn sweep_spec() -> StudySpec {
         .without_dfi()
 }
 
+/// The campaign the validate smoke case executes: both suite workloads,
+/// their target objects, an adaptive shard-deterministic RFI leg with a
+/// CI-sized budget, and an analytic aDVF leg (the bench times the
+/// validation engine's scheduling, sampling, and injection loop — the DFI
+/// resolver has its own cases).
+pub fn validate_smoke_spec() -> ValidationSpec {
+    ValidationSpec::default()
+        .workloads(WorkloadSelector::All)
+        .stride(8)
+        .without_dfi()
+        .target_margin(0.15)
+        .max_trials(64)
+        .shards(16, 2)
+}
+
 /// Collect up to `cap` propagation seeds for the object: participation sites
 /// whose operation-level verdict leaves corrupted locations to replay.
 pub fn propagation_seeds(
@@ -159,10 +176,13 @@ pub struct SmokeReport {
 
 /// Run the full suite: `advf_analysis/{mm,pf}` (analytic aDVF of the target
 /// object), `propagation_k/{mm,pf}/k=50` (replay of every collected
-/// propagation seed with the paper's default window), and `sweep/mm+pf`
+/// propagation seed with the paper's default window), `sweep/mm+pf`
 /// (the study driver end to end: spec expansion, harness preparation, and
 /// per-task scheduling over both workloads, single-threaded so the timing
-/// gates the scheduler's overhead rather than the machine's core count).
+/// gates the scheduler's overhead rather than the machine's core count),
+/// and `validate/mm+pf` (the validation engine end to end: analytic aDVF
+/// legs plus adaptive shard-deterministic RFI campaigns, single-threaded
+/// for the same reason).
 pub fn run_suite() -> SmokeReport {
     let config = smoke_config();
     let k = config.propagation_window;
@@ -198,6 +218,14 @@ pub fn run_suite() -> SmokeReport {
             .parallelism(Parallelism::Sequential)
             .run_in(&registry)
             .expect("the smoke sweep covers only known workloads");
+        black_box(report);
+    }));
+    let spec = validate_smoke_spec();
+    benches.push(bench("validate/mm+pf", 1, 5, || {
+        let report = ValidationRunner::new(spec.clone())
+            .parallelism(Parallelism::Sequential)
+            .run_in(&registry)
+            .expect("the smoke campaign covers only known workloads");
         black_box(report);
     }));
     SmokeReport {
@@ -516,6 +544,21 @@ mod tests {
         // benches measure.
         let mm = registry.create("mm").unwrap();
         assert_eq!(mm.name(), "MM");
+    }
+
+    #[test]
+    fn validate_smoke_case_covers_both_suite_workloads() {
+        let registry = smoke_registry();
+        let spec = validate_smoke_spec();
+        let cells = spec.expand(&registry).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().any(|c| c.workload == "MM" && c.object == "C"));
+        assert!(cells.iter().any(|c| c.workload == "PF" && c.object == "xe"));
+        // The aDVF leg is analytic (the injection loop the bench times is
+        // the adaptive RFI campaign, not the DFI resolver)…
+        assert!(!spec.use_dfi);
+        // …and the campaign budget is CI-sized.
+        assert!(spec.max_trials <= 64);
     }
 
     #[test]

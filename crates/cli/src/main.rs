@@ -16,6 +16,15 @@
 //!   `--store DIR` every completed task is persisted; a killed sweep
 //!   re-run with `--resume` folds the stored tasks as cache hits and emits
 //!   a byte-identical report;
+//! * `moard validate [--workloads SEL] [--objects o1,o2] [--margin F]
+//!   [--max-trials N] [--confidence 90|95|99] [--seed N] [--store DIR]
+//!   [--resume]` — the model-validation engine: one **adaptive**
+//!   random-fault-injection campaign per (workload, object) cell, stopped
+//!   once the Wilson interval is narrower than the target margin (or at the
+//!   trial cap), compared against the cell's aDVF prediction with
+//!   agree/disagree verdicts and per-workload rank correlations.  Campaigns
+//!   are shard-deterministic: the report is identical for any thread count
+//!   and resumes byte-identically from a killed run via `--store/--resume`;
 //! * `moard inject <workload> <object> [--tests N] [--exhaustive]` — random
 //!   or (strided) exhaustive fault-injection campaign;
 //! * `moard rank <workload>` — rank the workload's target objects by aDVF.
@@ -26,10 +35,10 @@
 //! typed [`MoardError`]s rendered to stderr with exit code 1; nothing in
 //! this binary panics on user input.
 
-use moard_core::{MoardError, StudyReport};
+use moard_core::{MoardError, StudyReport, ValidationReport};
 use moard_inject::{
     ObjectSelector, Parallelism, RfiConfig, Session, SessionReport, StudyRunner, StudySpec,
-    SweepStats, WorkloadSelector,
+    SweepStats, ValidationRunner, ValidationSpec, ValidationStats, WorkloadSelector,
 };
 use moard_json::{Json, ToJson};
 use moard_workloads::{Registry, WorkloadRegistry};
@@ -50,6 +59,10 @@ const USAGE: &str = "usage: moard [--format json|text] <command> [args]
   moard sweep   [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
                 [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...] [--no-dfi]
                 [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume] [--seq]
+  moard validate [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
+                [--k N] [--stride N] [--max-dfi N|unbounded] [--no-dfi]
+                [--confidence 90|95|99] [--margin F] [--max-trials N] [--seed N]
+                [--tolerance F] [--store DIR] [--resume] [--seq]
   moard inject  <workload> <object> [--tests N] [--seed N] [--exhaustive] [--budget N]
   moard rank    <workload> [--k N] [--stride N] [--max-dfi N]
 
@@ -68,7 +81,15 @@ full workload x object x grid cross-product):
   --rfi-tests N,N...   attach a random-fault-injection validation leg
   --rfi-seed N         base RNG seed of the RFI leg (default 61937)
   --store DIR          persist every completed task to DIR
-  --resume             fold tasks already in --store DIR as cache hits";
+  --resume             fold tasks already in --store DIR as cache hits
+
+validate options (one adaptive RFI campaign per (workload, object) cell,
+site-matched to the aDVF leg's stride; see docs/ARCHITECTURE.md):
+  --confidence 90|95|99  confidence level of every interval (default 95)
+  --margin F           stop a cell once its Wilson half-width <= F (default 0.05)
+  --max-trials N       per-cell trial cap (default 2000)
+  --seed N             base RNG seed of the shard streams (default 61937)
+  --tolerance F        model-error allowance of the verdict (default 0.35)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -127,15 +148,22 @@ impl From<MoardError> for CliError {
 }
 
 fn run(cli: &Cli) -> Result<(), CliError> {
-    check_flags(&cli.args)?;
-    match cli.args.first().map(String::as_str) {
-        Some("list") => cmd_list(cli),
-        Some("analyze") => cmd_analyze(cli),
-        Some("report") => cmd_report(cli),
-        Some("sweep") => cmd_sweep(cli),
-        Some("inject") => cmd_inject(cli),
-        Some("rank") => cmd_rank(cli),
-        _ => Err(CliError::Usage),
+    let Some(command) = cli.args.first().map(String::as_str) else {
+        return Err(CliError::Usage);
+    };
+    let Some(allowed) = allowed_flags(command) else {
+        return Err(CliError::Usage);
+    };
+    check_flags(command, allowed, &cli.args)?;
+    match command {
+        "list" => cmd_list(cli),
+        "analyze" => cmd_analyze(cli),
+        "report" => cmd_report(cli),
+        "sweep" => cmd_sweep(cli),
+        "validate" => cmd_validate(cli),
+        "inject" => cmd_inject(cli),
+        "rank" => cmd_rank(cli),
+        _ => unreachable!("allowed_flags resolved the command"),
     }
 }
 
@@ -152,27 +180,95 @@ const VALUED_FLAGS: &[&str] = &[
     "--rfi-tests",
     "--rfi-seed",
     "--store",
+    "--confidence",
+    "--margin",
+    "--max-trials",
+    "--tolerance",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
 
-/// Reject unknown `--` flags: a typo (`--no-dfl`, `--exhuastive`,
-/// `--format=json`) must not silently run the analysis under settings the
-/// user did not ask for.
-fn check_flags(args: &[String]) -> Result<(), CliError> {
+/// The flags each subcommand actually reads, or `None` for an unknown
+/// subcommand.  A flag outside its command's list is an error even though
+/// another command accepts it — `moard sweep --max-trials 10` must not
+/// silently run an uncapped sweep.
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    const ANALYSIS: &[&str] = &["--k", "--stride", "--max-dfi", "--no-dfi", "--seq"];
+    const SWEEP: &[&str] = &[
+        "--k",
+        "--stride",
+        "--max-dfi",
+        "--no-dfi",
+        "--seq",
+        "--workloads",
+        "--objects",
+        "--rfi-tests",
+        "--rfi-seed",
+        "--store",
+        "--resume",
+    ];
+    const VALIDATE: &[&str] = &[
+        "--k",
+        "--stride",
+        "--max-dfi",
+        "--no-dfi",
+        "--seq",
+        "--workloads",
+        "--objects",
+        "--confidence",
+        "--margin",
+        "--max-trials",
+        "--seed",
+        "--tolerance",
+        "--store",
+        "--resume",
+    ];
+    const INJECT: &[&str] = &[
+        "--k",
+        "--stride",
+        "--max-dfi",
+        "--no-dfi",
+        "--seq",
+        "--tests",
+        "--seed",
+        "--exhaustive",
+        "--budget",
+    ];
+    match command {
+        "list" => Some(&[]),
+        "analyze" | "report" | "rank" => Some(ANALYSIS),
+        "sweep" => Some(SWEEP),
+        "validate" => Some(VALIDATE),
+        "inject" => Some(INJECT),
+        _ => None,
+    }
+}
+
+/// Reject unknown `--` flags (a typo — `--no-dfl`, `--exhuastive`,
+/// `--format=json` — must not silently run the analysis under settings the
+/// user did not ask for) and flags the current subcommand does not read
+/// (a misplaced flag would be silently dropped).
+fn check_flags(command: &str, allowed: &[&str], args: &[String]) -> Result<(), CliError> {
     let mut skip = false;
     for a in args {
         if skip {
             skip = false;
             continue;
         }
-        if VALUED_FLAGS.contains(&a.as_str()) {
-            skip = true;
+        if !a.starts_with("--") {
             continue;
         }
-        if a.starts_with("--") && !BOOL_FLAGS.contains(&a.as_str()) {
+        let flag = a.as_str();
+        if VALUED_FLAGS.contains(&flag) {
+            skip = true;
+        } else if !BOOL_FLAGS.contains(&flag) {
             return Err(CliError::Moard(MoardError::InvalidConfig(format!(
                 "unknown flag `{a}` (see `moard` usage; note `--flag value`, not `--flag=value`)"
+            ))));
+        }
+        if !allowed.contains(&flag) {
+            return Err(CliError::Moard(MoardError::InvalidConfig(format!(
+                "flag `{flag}` is not valid for `moard {command}` (see `moard` usage)"
             ))));
         }
     }
@@ -225,6 +321,30 @@ fn str_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>,
             "flag `{flag}` requires a value"
         ))),
     }
+}
+
+/// One `--max-dfi` item: `unbounded`/`none` lifts the cap, anything else
+/// must be an unsigned cap (shared by `sweep`'s grid list and `validate`'s
+/// single value).
+fn parse_max_dfi(item: &str) -> Result<Option<u64>, MoardError> {
+    match item.trim() {
+        "unbounded" | "none" => Ok(None),
+        number => number.parse::<u64>().map(Some).map_err(|_| {
+            MoardError::InvalidConfig(format!(
+                "flag `--max-dfi` expects unsigned integers or `unbounded`, got `{number}`"
+            ))
+        }),
+    }
+}
+
+/// Value of a fractional `--flag F` (e.g. `--margin 0.05`).
+fn float_flag_value(args: &[String], flag: &str) -> Result<Option<f64>, MoardError> {
+    let Some(text) = str_flag_value(args, flag)? else {
+        return Ok(None);
+    };
+    text.parse().map(Some).map_err(|_| {
+        MoardError::InvalidConfig(format!("flag `{flag}` expects a number, got `{text}`"))
+    })
 }
 
 /// Value of a comma-separated numeric list `--flag N,N,...`.
@@ -370,10 +490,11 @@ fn cmd_report(cli: &Cli) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Build the [`StudySpec`] described by the sweep command line.
-fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
+/// The [`WorkloadSelector`] described by `--workloads` and/or positional
+/// workload names (shared by `sweep` and `validate`).
+fn workload_selector(cli: &Cli) -> Result<WorkloadSelector, MoardError> {
     let pos = positionals(&cli.args);
-    let workloads = match str_flag_value(&cli.args, "--workloads")? {
+    Ok(match str_flag_value(&cli.args, "--workloads")? {
         // Giving both forms would silently drop one of them; reject instead.
         Some(_) if !pos.is_empty() => {
             return Err(MoardError::InvalidConfig(format!(
@@ -391,7 +512,12 @@ fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
                 .collect(),
         ),
         None => WorkloadSelector::All,
-    };
+    })
+}
+
+/// Build the [`StudySpec`] described by the sweep command line.
+fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
+    let workloads = workload_selector(cli)?;
     let mut spec = StudySpec::default()
         .workloads(workloads)
         .windows(
@@ -412,15 +538,7 @@ fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
             None => vec![Some(5_000)],
             Some(list) => list
                 .split(',')
-                .map(|item| match item.trim() {
-                    "unbounded" | "none" => Ok(None),
-                    number => number.parse::<u64>().map(Some).map_err(|_| {
-                        MoardError::InvalidConfig(format!(
-                            "flag `--max-dfi` expects comma-separated unsigned integers or \
-                             `unbounded`, got `{number}`"
-                        ))
-                    }),
-                })
+                .map(parse_max_dfi)
                 .collect::<Result<Vec<_>, _>>()?,
         });
     if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
@@ -438,21 +556,27 @@ fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
     Ok(spec)
 }
 
+/// The `--store DIR` / `--resume` pair, with the resume-requires-store rule
+/// enforced (shared by `sweep` and `validate`).
+fn store_flags(args: &[String]) -> Result<(Option<&str>, bool), MoardError> {
+    let resume = has_flag(args, "--resume");
+    match str_flag_value(args, "--store")? {
+        Some(dir) => Ok((Some(dir), resume)),
+        None if resume => Err(MoardError::InvalidConfig(
+            "`--resume` requires `--store DIR` (there is nothing to resume from)".into(),
+        )),
+        None => Ok((None, false)),
+    }
+}
+
 fn cmd_sweep(cli: &Cli) -> Result<(), CliError> {
     let spec = sweep_spec(cli)?;
     let mut runner = StudyRunner::new(spec);
     if has_flag(&cli.args, "--seq") {
         runner = runner.parallelism(Parallelism::Sequential);
     }
-    let resume = has_flag(&cli.args, "--resume");
-    match str_flag_value(&cli.args, "--store")? {
-        Some(dir) => runner = runner.store(dir)?.resume(resume),
-        None if resume => {
-            return Err(CliError::Moard(MoardError::InvalidConfig(
-                "`--resume` requires `--store DIR` (there is nothing to resume from)".into(),
-            )))
-        }
-        None => {}
+    if let (Some(dir), resume) = store_flags(&cli.args)? {
+        runner = runner.store(dir)?.resume(resume);
     }
     let (report, stats) = runner.run_detailed_in(&cli.registry)?;
     match cli.format {
@@ -535,6 +659,142 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
             );
         }
     }
+}
+
+/// Build the [`ValidationSpec`] described by the validate command line.
+fn validate_spec(cli: &Cli) -> Result<ValidationSpec, MoardError> {
+    let mut spec = ValidationSpec::default()
+        .workloads(workload_selector(cli)?)
+        .stride(flag_value(&cli.args, "--stride")?.unwrap_or(4) as usize);
+    spec.config.max_dfi_per_object = match str_flag_value(&cli.args, "--max-dfi")? {
+        None => Some(5_000),
+        Some(value) => parse_max_dfi(value)?,
+    };
+    if let Some(k) = flag_value(&cli.args, "--k")? {
+        spec = spec.window(k as usize);
+    }
+    if has_flag(&cli.args, "--no-dfi") {
+        spec = spec.without_dfi();
+    }
+    if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
+        spec = spec.objects(ObjectSelector::Named(
+            objects.split(',').map(|s| s.trim().into()).collect(),
+        ));
+    }
+    if let Some(percent) = flag_value(&cli.args, "--confidence")? {
+        spec = spec.confidence(percent as f64 / 100.0);
+    }
+    if let Some(margin) = float_flag_value(&cli.args, "--margin")? {
+        spec = spec.target_margin(margin);
+    }
+    if let Some(cap) = flag_value(&cli.args, "--max-trials")? {
+        spec = spec.max_trials(cap);
+    }
+    if let Some(seed) = flag_value(&cli.args, "--seed")? {
+        spec = spec.seed(seed);
+    }
+    if let Some(tolerance) = float_flag_value(&cli.args, "--tolerance")? {
+        spec = spec.tolerance(tolerance);
+    }
+    Ok(spec)
+}
+
+fn cmd_validate(cli: &Cli) -> Result<(), CliError> {
+    let spec = validate_spec(cli)?;
+    let mut runner = ValidationRunner::new(spec);
+    if has_flag(&cli.args, "--seq") {
+        runner = runner.parallelism(Parallelism::Sequential);
+    }
+    if let (Some(dir), resume) = store_flags(&cli.args)? {
+        runner = runner.store(dir)?.resume(resume);
+    }
+    let (report, stats) = runner.run_detailed_in(&cli.registry)?;
+    match cli.format {
+        Format::Json => out!("{}", report.to_json().to_pretty()),
+        Format::Text => print_validation(&report, &stats, &cli.registry),
+    }
+    Ok(())
+}
+
+fn print_validation(
+    report: &ValidationReport,
+    stats: &ValidationStats,
+    registry: &dyn WorkloadRegistry,
+) {
+    out!(
+        "spec fingerprint  : {}",
+        moard_core::fingerprint_hex(report.spec_fingerprint)
+    );
+    out!(
+        "cells             : {} ({} advf + {} rfi executed, {} cache hits, {} harnesses prepared, {} trials)",
+        stats.cells,
+        stats.advf_executed,
+        stats.rfi_executed,
+        stats.cache_hits,
+        stats.harnesses_prepared,
+        stats.trials_executed
+    );
+    out!(
+        "campaign          : {:.0}% confidence, target margin {}, cap {} trials/cell, seed {}, tolerance {}",
+        report.confidence * 100.0,
+        report.target_margin,
+        report.max_trials,
+        report.seed,
+        report.tolerance
+    );
+    for workload in report.workloads() {
+        out!();
+        match registry.descriptor(workload) {
+            Some(d) => out!("{workload} — {} [{}]", d.description, d.code_segment),
+            None => out!("{workload}"),
+        }
+        out!(
+            "  {:<14} {:>8} {:>9} {:>8} {:>8} {:>7} {:>7} {:>10}  verdict",
+            "object",
+            "aDVF",
+            "RFI rate",
+            "ci-low",
+            "ci-high",
+            "trials",
+            "shards",
+            "deviation"
+        );
+        for cell in report.cells.iter().filter(|c| c.workload == workload) {
+            let (low, high) = cell.rfi.wilson_bounds(report.confidence);
+            out!(
+                "  {:<14} {:>8.4} {:>9.4} {:>8.4} {:>8.4} {:>7} {:>7} {:>10.4}  {}{}",
+                cell.object,
+                cell.advf.advf(),
+                cell.rfi.success_rate(),
+                low,
+                high,
+                cell.rfi.trials(),
+                cell.rfi.shards,
+                report.deviation(cell),
+                report.verdict(cell).as_str(),
+                if report.model_truncated(cell) {
+                    " (dfi budget truncated)"
+                } else {
+                    ""
+                }
+            );
+        }
+        let rank = report.rank(workload);
+        if let Some(tau) = rank.correlation() {
+            out!(
+                "  rank correlation: {tau:+.2} ({} concordant / {} discordant of {} resolved pairs)",
+                rank.concordant,
+                rank.discordant,
+                rank.resolved_pairs
+            );
+        }
+    }
+    out!();
+    out!(
+        "agreement         : {}/{} cells",
+        report.agreed(),
+        report.cells.len()
+    );
 }
 
 fn cmd_inject(cli: &Cli) -> Result<(), CliError> {

@@ -157,6 +157,12 @@ pub struct AdvfReport {
     pub dfi_cache_hits: u64,
     /// Number of sites resolved purely analytically (no DFI needed).
     pub resolved_analytically: u64,
+    /// True if at least one masking question went unresolved because the
+    /// per-object DFI budget was exhausted — the report's aDVF is then a
+    /// lower bound (unresolved questions count as not masked).  `false`
+    /// when the cap was never hit, including runs that landed exactly on it
+    /// with nothing left to ask.
+    pub dfi_budget_exhausted: bool,
     /// Fingerprint of the [`crate::AnalysisConfig`] that produced this report
     /// (see `AnalysisConfig::fingerprint`); lets consumers of serialized
     /// reports tell apart results computed under different settings.
@@ -293,6 +299,7 @@ mod tests {
             dfi_runs: 0,
             dfi_cache_hits: 0,
             resolved_analytically: 1,
+            dfi_budget_exhausted: false,
             config_fingerprint: 0,
         };
         let s = r.to_string();

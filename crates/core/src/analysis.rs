@@ -23,7 +23,7 @@ use crate::masking::{Masking, OpMaskKind};
 use crate::op_rules::{analyze_operation, OpVerdict};
 use crate::propagation::{PropagationResult, ReplayCursor};
 use crate::resolver::{DfiResolver, EquivalenceCache, EquivalenceKey};
-use crate::sites::{enumerate_sites, ParticipationSite, SiteSlot};
+use crate::sites::{enumerate_strided_sites, ParticipationSite, SiteSlot};
 use moard_vm::{ObjectId, OutcomeClass, Trace, TraceRecord};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -157,20 +157,16 @@ impl<'a> AdvfAnalyzer<'a> {
         workload: &str,
         resolver: Option<&dyn DfiResolver>,
     ) -> AdvfReport {
-        let sites = enumerate_sites(self.trace, object);
+        let sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
         let mut acc = AdvfAccumulator::new();
         let mut resolved_analytically = 0u64;
         let mut analyzed = 0u64;
-        let stride = self.config.site_stride.max(1);
         let stats_before = self.cache.stats();
         // One replay cursor for the whole object: every site classification
         // reuses its shadow-state buffers.
         let mut cursor = ReplayCursor::new(self.trace);
 
-        for (i, site) in sites.iter().enumerate() {
-            if i % stride != 0 {
-                continue;
-            }
+        for site in &sites {
             analyzed += 1;
             let (fractions, used_dfi) = self.analyze_site_in(&mut cursor, site, resolver);
             if !used_dfi {
@@ -188,6 +184,7 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_runs: stats_after.injections - stats_before.injections,
             dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
             resolved_analytically,
+            dfi_budget_exhausted: self.dfi_budget_exhausted.load(Ordering::Relaxed),
             config_fingerprint: self.config.fingerprint(),
         }
     }
@@ -209,9 +206,8 @@ impl<'a> AdvfAnalyzer<'a> {
         workload: &str,
         workers: usize,
     ) -> AdvfReport {
-        let sites = enumerate_sites(self.trace, object);
-        let stride = self.config.site_stride.max(1);
-        let selected: Vec<&ParticipationSite> = sites.iter().step_by(stride).collect();
+        let sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
+        let selected: Vec<&ParticipationSite> = sites.iter().collect();
         let workers = workers.max(1).min(selected.len().max(1));
         let stats_before = self.cache.stats();
 
@@ -269,6 +265,7 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_runs: stats_after.injections - stats_before.injections,
             dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
             resolved_analytically: selected.len() as u64,
+            dfi_budget_exhausted: false,
             config_fingerprint: self.config.fingerprint(),
         }
     }
@@ -566,7 +563,7 @@ mod tests {
         let (golden, trace) = run_traced(&m).unwrap();
         let vm = Vm::with_defaults(&m).unwrap();
         let obj = vm.objects().by_name("par_a").unwrap().id;
-        let sites = enumerate_sites(&trace, obj);
+        let sites = crate::sites::enumerate_sites(&trace, obj);
         let store_dest_site = sites
             .iter()
             .find(|s| s.slot == SiteSlot::StoreDest && s.element.1 == 0)

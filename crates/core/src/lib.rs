@@ -70,6 +70,7 @@ pub mod propagation;
 pub mod report;
 pub mod resolver;
 pub mod sites;
+pub mod stats;
 
 pub use advf::{AdvfAccumulator, AdvfReport, MaskingTally};
 pub use analysis::{AdvfAnalyzer, AnalysisConfig};
@@ -79,8 +80,15 @@ pub use masking::{Masking, OpMaskKind};
 pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
 pub use propagation::{replay, PropagationResult, ReplayCursor, UnresolvedReason};
 pub use report::{
-    check_schema_version, fingerprint_hex, fnv1a, parse_fingerprint, trace_stats_to_json, RfiEntry,
-    RfiSummary, StudyEntry, StudyReport, SCHEMA_VERSION,
+    check_schema_version, fingerprint_hex, fnv1a, parse_fingerprint, trace_stats_to_json,
+    CellVerdict, RfiCampaign, RfiEntry, RfiSummary, StudyEntry, StudyReport, ValidationCell,
+    ValidationReport, WorkloadRank, SCHEMA_VERSION,
 };
 pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
-pub use sites::{count_fault_sites, enumerate_sites, has_sites, ParticipationSite, SiteSlot};
+pub use sites::{
+    count_fault_sites, enumerate_sites, enumerate_strided_sites, has_sites, ParticipationSite,
+    SiteSlot,
+};
+pub use stats::{
+    required_sample_size, supported_confidence, wilson_bounds, wilson_margin, z_value,
+};

@@ -194,6 +194,10 @@ impl ToJson for AdvfReport {
                 "resolved_analytically",
                 Json::from(self.resolved_analytically),
             ),
+            (
+                "dfi_budget_exhausted",
+                Json::from(self.dfi_budget_exhausted),
+            ),
         ])
     }
 }
@@ -215,6 +219,14 @@ impl AdvfReport {
             dfi_runs: doc.u64_field("dfi_runs")?,
             dfi_cache_hits: doc.u64_field("dfi_cache_hits")?,
             resolved_analytically: doc.u64_field("resolved_analytically")?,
+            dfi_budget_exhausted: doc
+                .field("dfi_budget_exhausted")?
+                .as_bool()
+                .ok_or(JsonError::WrongType {
+                    field: "dfi_budget_exhausted".into(),
+                    expected: "a boolean",
+                })
+                .map_err(MoardError::Json)?,
         })
     }
 
@@ -268,15 +280,12 @@ impl RfiSummary {
         (self.identical + self.acceptable) as f64 / runs as f64
     }
 
-    /// Margin of error of the success rate at 95% confidence (normal
-    /// approximation, z = 1.96).
+    /// Margin of error of the success rate at 95% confidence (Wilson score
+    /// half-width; see [`crate::stats`] — unlike the Wald margin it does not
+    /// collapse to zero at success rates of 0 or 1, and an empty campaign
+    /// honestly reports the maximal half-width 0.5 rather than certainty).
     pub fn margin_95(&self) -> f64 {
-        let runs = self.runs();
-        if runs == 0 {
-            return 0.0;
-        }
-        let p = self.success_rate();
-        1.96 * (p * (1.0 - p) / runs as f64).sqrt()
+        crate::stats::wilson_margin(self.identical + self.acceptable, self.runs(), 0.95)
     }
 }
 
@@ -512,6 +521,463 @@ impl StudyReport {
     }
 }
 
+/// One adaptive random-fault-injection campaign of the model-validation
+/// engine: the outcome tallies plus the facts of its execution (how many
+/// deterministic shards were folded, whether the margin target was reached
+/// before the trial cap).
+///
+/// Derived quantities (`trials`, `success_rate`, the Wilson interval) are
+/// materialized in JSON but recomputed from the raw counts on read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfiCampaign {
+    /// Deterministic trial shards folded (in shard order).
+    pub shards: u64,
+    /// Runs whose outcome was bit-identical to the golden run.
+    pub identical: u64,
+    /// Runs whose outcome was numerically different but acceptable.
+    pub acceptable: u64,
+    /// Runs with unacceptable (silently corrupted) outcomes.
+    pub incorrect: u64,
+    /// Runs that crashed or hung.
+    pub crashed: u64,
+    /// True if the Wilson half-width reached the target margin before the
+    /// trial cap; false if the cap stopped the campaign first.
+    pub converged: bool,
+}
+
+impl RfiCampaign {
+    /// Total number of classified trials.
+    pub fn trials(&self) -> u64 {
+        self.identical + self.acceptable + self.incorrect + self.crashed
+    }
+
+    /// Trials with a correct (identical or acceptable) outcome.
+    pub fn successes(&self) -> u64 {
+        self.identical + self.acceptable
+    }
+
+    /// Fraction of trials with a correct outcome.
+    pub fn success_rate(&self) -> f64 {
+        let trials = self.trials();
+        if trials == 0 {
+            return 0.0;
+        }
+        self.successes() as f64 / trials as f64
+    }
+
+    /// Wilson score interval of the success rate at the given confidence
+    /// level; bounds always lie in [0, 1].
+    pub fn wilson_bounds(&self, confidence: f64) -> (f64, f64) {
+        crate::stats::wilson_bounds(self.successes(), self.trials(), confidence)
+    }
+
+    /// Half-width of the Wilson interval.
+    pub fn margin(&self, confidence: f64) -> f64 {
+        crate::stats::wilson_margin(self.successes(), self.trials(), confidence)
+    }
+}
+
+impl ToJson for RfiCampaign {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("shards", Json::from(self.shards)),
+            ("identical", Json::from(self.identical)),
+            ("acceptable", Json::from(self.acceptable)),
+            ("incorrect", Json::from(self.incorrect)),
+            ("crashed", Json::from(self.crashed)),
+            ("converged", Json::from(self.converged)),
+            ("trials", Json::from(self.trials())),
+            ("success_rate", Json::from(self.success_rate())),
+        ])
+    }
+}
+
+impl FromJson for RfiCampaign {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RfiCampaign {
+            shards: value.u64_field("shards")?,
+            identical: value.u64_field("identical")?,
+            acceptable: value.u64_field("acceptable")?,
+            incorrect: value.u64_field("incorrect")?,
+            crashed: value.u64_field("crashed")?,
+            converged: value
+                .field("converged")?
+                .as_bool()
+                .ok_or(JsonError::WrongType {
+                    field: "converged".into(),
+                    expected: "a boolean",
+                })?,
+        })
+    }
+}
+
+/// One (workload, data object) cell of a validation report: the model's
+/// aDVF prediction next to the adaptive RFI campaign that tested it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationCell {
+    /// Workload name (canonical, e.g. `"MM"`).
+    pub workload: String,
+    /// Data-object name.
+    pub object: String,
+    /// The aDVF leg: the model's full report for this cell.
+    pub advf: AdvfReport,
+    /// The injection leg: the adaptive RFI campaign.
+    pub rfi: RfiCampaign,
+}
+
+/// Per-cell verdict of the model-vs-injection comparison.
+///
+/// The model predicts the campaign success rate directly (aDVF is the
+/// masking fraction).  The prediction is compared against the Wilson
+/// interval of the observed rate widened by the model `tolerance`:
+///
+/// * [`CellVerdict::Agree`] — the prediction lies inside the widened
+///   interval;
+/// * [`CellVerdict::ModelConservative`] — the model claims *less* masking
+///   than injection observed (the documented direction of error when the
+///   DFI budget truncates: unresolved sites count as not masked);
+/// * [`CellVerdict::ModelOptimistic`] — the model claims *more* masking
+///   than injection observed (a genuine model error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVerdict {
+    /// Prediction within the tolerance-widened confidence interval.
+    Agree,
+    /// Prediction below the interval: the model under-claims masking.
+    ModelConservative,
+    /// Prediction above the interval: the model over-claims masking.
+    ModelOptimistic,
+}
+
+impl CellVerdict {
+    /// Stable string form used in JSON and the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CellVerdict::Agree => "agree",
+            CellVerdict::ModelConservative => "model-conservative",
+            CellVerdict::ModelOptimistic => "model-optimistic",
+        }
+    }
+}
+
+/// Per-workload rank-correlation summary: does the model order the
+/// workload's data objects by resilience the same way injection does?
+///
+/// A pair of cells is **resolved** when the observed rates differ by more
+/// than the sum of their margins (the campaigns distinguish the objects)
+/// *and* the model's predictions are not exactly tied (a tie expresses no
+/// ordering); only resolved pairs enter the Kendall tally — near-ties
+/// carry no ranking information at the campaign's sample size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRank {
+    /// Workload name.
+    pub workload: String,
+    /// Number of validation cells of this workload.
+    pub cells: u64,
+    /// Object pairs whose observed rates are statistically distinguishable.
+    pub resolved_pairs: u64,
+    /// Resolved pairs the model orders the same way injection does.
+    pub concordant: u64,
+    /// Resolved pairs the model orders the opposite way.
+    pub discordant: u64,
+}
+
+impl WorkloadRank {
+    /// Kendall rank correlation over the resolved pairs:
+    /// `(concordant − discordant) / resolved_pairs`, or `None` when no pair
+    /// is resolved (a single object, or campaigns too small to separate
+    /// any two objects).
+    pub fn correlation(&self) -> Option<f64> {
+        if self.resolved_pairs == 0 {
+            return None;
+        }
+        Some((self.concordant as f64 - self.discordant as f64) / self.resolved_pairs as f64)
+    }
+}
+
+/// The result of a model-validation run: for every selected (workload,
+/// object) cell, the aDVF prediction, the adaptive RFI campaign with its
+/// Wilson interval, the agree/disagree verdict, and per-workload rank
+/// correlations — the engine-grade version of the paper's §V-B comparison.
+///
+/// Like every report in this module it is schema-versioned, embeds the
+/// fingerprint of the `ValidationSpec` that produced it (so resumed runs
+/// can never fold cells from a different campaign), and round-trips
+/// bit-exactly; all judgment calls (verdicts, correlations, intervals) are
+/// *derived* from the stored tallies, never stored themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Fingerprint of the producing `ValidationSpec` (`moard-inject`).
+    pub spec_fingerprint: u64,
+    /// Confidence level of every interval in this report (0.90/0.95/0.99).
+    pub confidence: f64,
+    /// Target Wilson half-width at which a cell's campaign stops early.
+    pub target_margin: f64,
+    /// Per-cell trial cap.
+    pub max_trials: u64,
+    /// Base RNG seed of the campaign's shard streams.
+    pub seed: u64,
+    /// Absolute model-error allowance added to each interval before the
+    /// verdict is taken.
+    pub tolerance: f64,
+    /// Whether the aDVF legs consulted deterministic fault injection.
+    /// Analytic runs (`--no-dfi`) count every unresolvable site as not
+    /// masked, so their predictions are lower bounds by construction.
+    pub use_dfi: bool,
+    /// The analysis configuration of the aDVF leg (its `site_stride` also
+    /// selects the site population both legs draw from).
+    pub config: AnalysisConfig,
+    /// The cells, in campaign-matrix order (workload-major, then object).
+    pub cells: Vec<ValidationCell>,
+}
+
+impl ValidationReport {
+    /// The cell of (workload, object), if the campaign covered it.
+    pub fn cell(&self, workload: &str, object: &str) -> Option<&ValidationCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.object == object)
+    }
+
+    /// The distinct workloads covered, in campaign-matrix order.
+    pub fn workloads(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.workload.as_str()) {
+                out.push(&c.workload);
+            }
+        }
+        out
+    }
+
+    /// Absolute deviation between the model's prediction and the observed
+    /// success rate of a cell.
+    pub fn deviation(&self, cell: &ValidationCell) -> f64 {
+        (cell.advf.advf() - cell.rfi.success_rate()).abs()
+    }
+
+    /// True if the aDVF leg of this cell could not resolve every masking
+    /// question, making its prediction a *lower bound* (unresolved sites
+    /// count as not masked): either deterministic injection was disabled
+    /// outright, or at least one DFI request of this cell was denied by the
+    /// exhausted budget (the exact signal the analyzer records — a run that
+    /// lands on the cap with nothing left to ask is *not* truncated).
+    pub fn model_truncated(&self, cell: &ValidationCell) -> bool {
+        !self.use_dfi || cell.advf.dfi_budget_exhausted
+    }
+
+    /// The verdict of one cell (see [`CellVerdict`]).
+    pub fn verdict(&self, cell: &ValidationCell) -> CellVerdict {
+        let (low, high) = cell.rfi.wilson_bounds(self.confidence);
+        let predicted = cell.advf.advf();
+        if predicted < low - self.tolerance {
+            CellVerdict::ModelConservative
+        } else if predicted > high + self.tolerance {
+            CellVerdict::ModelOptimistic
+        } else {
+            CellVerdict::Agree
+        }
+    }
+
+    /// True if the cell counts as agreeing: the verdict is
+    /// [`CellVerdict::Agree`], or the model under-claims while its DFI
+    /// budget was truncated (the prediction is then an honest lower bound,
+    /// not a model error).
+    pub fn agrees(&self, cell: &ValidationCell) -> bool {
+        match self.verdict(cell) {
+            CellVerdict::Agree => true,
+            CellVerdict::ModelConservative => self.model_truncated(cell),
+            CellVerdict::ModelOptimistic => false,
+        }
+    }
+
+    /// Number of agreeing cells (see [`ValidationReport::agrees`]).
+    pub fn agreed(&self) -> u64 {
+        self.cells.iter().filter(|c| self.agrees(c)).count() as u64
+    }
+
+    /// The rank-correlation summary of one workload's cells.
+    pub fn rank(&self, workload: &str) -> WorkloadRank {
+        let cells: Vec<&ValidationCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.workload == workload)
+            .collect();
+        let mut rank = WorkloadRank {
+            workload: workload.to_string(),
+            cells: cells.len() as u64,
+            resolved_pairs: 0,
+            concordant: 0,
+            discordant: 0,
+        };
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                let observed = a.rfi.success_rate() - b.rfi.success_rate();
+                let resolved =
+                    observed.abs() > a.rfi.margin(self.confidence) + b.rfi.margin(self.confidence);
+                if !resolved {
+                    continue;
+                }
+                // Kendall convention: a pair the model predicts as exactly
+                // tied expresses no ordering — it is neither concordant nor
+                // discordant, and does not enter the denominator.
+                let predicted = a.advf.advf() - b.advf.advf();
+                if predicted == 0.0 {
+                    continue;
+                }
+                rank.resolved_pairs += 1;
+                if predicted * observed > 0.0 {
+                    rank.concordant += 1;
+                } else {
+                    rank.discordant += 1;
+                }
+            }
+        }
+        rank
+    }
+
+    /// Rank-correlation summaries of every covered workload, in
+    /// campaign-matrix order.
+    pub fn ranks(&self) -> Vec<WorkloadRank> {
+        self.workloads().iter().map(|w| self.rank(w)).collect()
+    }
+
+    /// The JSON document of this report.  Verdicts, intervals, deviations,
+    /// and rank correlations are materialized for consumers but recomputed
+    /// from the raw tallies on read.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("kind", Json::from("moard-validation")),
+            (
+                "spec_fingerprint",
+                Json::from(fingerprint_hex(self.spec_fingerprint)),
+            ),
+            ("confidence", Json::from(self.confidence)),
+            ("target_margin", Json::from(self.target_margin)),
+            ("max_trials", Json::from(self.max_trials)),
+            ("seed", Json::from(self.seed)),
+            ("tolerance", Json::from(self.tolerance)),
+            ("use_dfi", Json::from(self.use_dfi)),
+            ("config", self.config.to_json()),
+            (
+                "config_fingerprint",
+                Json::from(fingerprint_hex(self.config.fingerprint())),
+            ),
+            (
+                "cells",
+                Json::array(self.cells.iter().map(|c| {
+                    let (low, high) = c.rfi.wilson_bounds(self.confidence);
+                    Json::object([
+                        ("workload", Json::from(c.workload.as_str())),
+                        ("object", Json::from(c.object.as_str())),
+                        ("advf_report", c.advf.to_json()),
+                        ("rfi", c.rfi.to_json()),
+                        ("ci_low", Json::from(low)),
+                        ("ci_high", Json::from(high)),
+                        ("margin", Json::from(c.rfi.margin(self.confidence))),
+                        ("deviation", Json::from(self.deviation(c))),
+                        ("model_truncated", Json::from(self.model_truncated(c))),
+                        ("verdict", Json::from(self.verdict(c).as_str())),
+                        ("agree", Json::from(self.agrees(c))),
+                    ])
+                })),
+            ),
+            (
+                "ranks",
+                Json::array(self.ranks().iter().map(|r| {
+                    Json::object([
+                        ("workload", Json::from(r.workload.as_str())),
+                        ("cells", Json::from(r.cells)),
+                        ("resolved_pairs", Json::from(r.resolved_pairs)),
+                        ("concordant", Json::from(r.concordant)),
+                        ("discordant", Json::from(r.discordant)),
+                        (
+                            "rank_correlation",
+                            match r.correlation() {
+                                Some(tau) => Json::from(tau),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                })),
+            ),
+            ("agreed", Json::from(self.agreed())),
+        ])
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Rebuild from a JSON document: checks the schema version, re-derives
+    /// every judgment from the stored tallies, and verifies that each cell's
+    /// aDVF report was produced under this report's analysis configuration.
+    pub fn from_json(doc: &Json) -> Result<ValidationReport, MoardError> {
+        check_schema_version(doc)?;
+        // Every derived interval would silently fall back to the 95% z
+        // value for a level this build does not know; reject instead of
+        // mislabeling the statistics.
+        let confidence = doc.f64_field("confidence")?;
+        if !crate::stats::supported_confidence(confidence) {
+            return Err(MoardError::InvalidConfig(format!(
+                "validation report confidence level {confidence} is not supported \
+                 (use 0.90, 0.95, or 0.99)"
+            )));
+        }
+        let config = AnalysisConfig::from_json(doc.field("config")?)?;
+        let found = parse_fingerprint(doc.str_field("config_fingerprint")?)?;
+        if found != config.fingerprint() {
+            return Err(MoardError::InvalidConfig(format!(
+                "validation config fingerprint {found:016x} does not match its embedded \
+                 config ({:016x})",
+                config.fingerprint()
+            )));
+        }
+        let mut cells = Vec::new();
+        for cell in doc.arr_field("cells")? {
+            let advf = AdvfReport::from_json(cell.field("advf_report")?)?;
+            if advf.config_fingerprint != config.fingerprint() {
+                return Err(MoardError::InvalidConfig(format!(
+                    "validation cell aDVF report was produced under config {:016x}, not \
+                     the campaign's config {:016x}",
+                    advf.config_fingerprint,
+                    config.fingerprint()
+                )));
+            }
+            cells.push(ValidationCell {
+                workload: cell.str_field("workload")?.to_string(),
+                object: cell.str_field("object")?.to_string(),
+                advf,
+                rfi: RfiCampaign::from_json(cell.field("rfi")?)?,
+            });
+        }
+        Ok(ValidationReport {
+            spec_fingerprint: parse_fingerprint(doc.str_field("spec_fingerprint")?)?,
+            confidence,
+            target_margin: doc.f64_field("target_margin")?,
+            max_trials: doc.u64_field("max_trials")?,
+            seed: doc.u64_field("seed")?,
+            tolerance: doc.f64_field("tolerance")?,
+            use_dfi: doc
+                .field("use_dfi")?
+                .as_bool()
+                .ok_or(JsonError::WrongType {
+                    field: "use_dfi".into(),
+                    expected: "a boolean",
+                })
+                .map_err(MoardError::Json)?,
+            config,
+            cells,
+        })
+    }
+
+    /// Parse a report serialized with [`ValidationReport::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<ValidationReport, MoardError> {
+        ValidationReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +1000,7 @@ mod tests {
             dfi_runs: 2,
             dfi_cache_hits: 7,
             resolved_analytically: 2,
+            dfi_budget_exhausted: false,
             config_fingerprint: AnalysisConfig::default().fingerprint(),
         }
     }
@@ -690,8 +1157,9 @@ mod tests {
         let s = sample_study().rfi[0].summary;
         assert_eq!(s.runs(), 500);
         assert!((s.success_rate() - 0.8).abs() < 1e-12);
-        // z * sqrt(p(1-p)/n) with p=0.8, n=500.
-        assert!((s.margin_95() - 1.96 * (0.8f64 * 0.2 / 500.0).sqrt()).abs() < 1e-12);
+        // Wilson half-width for 400/500 at 95%; close to (but not) Wald.
+        assert_eq!(s.margin_95(), crate::stats::wilson_margin(400, 500, 0.95));
+        assert!((s.margin_95() - 1.96 * (0.8f64 * 0.2 / 500.0).sqrt()).abs() < 0.002);
         let doc = s.to_json();
         assert_eq!(
             doc.f64_field("success_rate").unwrap().to_bits(),
@@ -699,6 +1167,17 @@ mod tests {
         );
         let back = RfiSummary::from_json(&doc).unwrap();
         assert_eq!(back, s);
+        // An empty campaign knows nothing: maximal half-width, not a
+        // zero-width claim of certainty.
+        let empty = RfiSummary {
+            tests: 0,
+            seed: 0,
+            identical: 0,
+            acceptable: 0,
+            incorrect: 0,
+            crashed: 0,
+        };
+        assert_eq!(empty.margin_95(), 0.5);
     }
 
     #[test]
@@ -732,6 +1211,222 @@ mod tests {
             StudyReport::from_json_str(&bad),
             Err(MoardError::SchemaMismatch { .. })
         ));
+    }
+
+    fn validation_cell(
+        workload: &str,
+        object: &str,
+        advf_value: f64,
+        successes: u64,
+        trials: u64,
+        config: &AnalysisConfig,
+        dfi_budget_exhausted: bool,
+    ) -> ValidationCell {
+        // An accumulator whose advf() equals `advf_value` over 1000 sites.
+        let mut acc = AdvfAccumulator::new();
+        for _ in 0..1000 {
+            acc.add_participation(&[(Masking::Algorithm, advf_value)]);
+        }
+        ValidationCell {
+            workload: workload.into(),
+            object: object.into(),
+            advf: AdvfReport {
+                workload: workload.into(),
+                object: object.into(),
+                accumulator: acc,
+                sites_analyzed: 1000,
+                dfi_runs: 40,
+                dfi_cache_hits: 0,
+                resolved_analytically: 0,
+                dfi_budget_exhausted,
+                config_fingerprint: config.fingerprint(),
+            },
+            rfi: RfiCampaign {
+                shards: trials.div_ceil(32),
+                identical: successes,
+                acceptable: 0,
+                incorrect: trials - successes,
+                crashed: 0,
+                converged: false,
+            },
+        }
+    }
+
+    fn sample_validation() -> ValidationReport {
+        let config = AnalysisConfig {
+            site_stride: 8,
+            max_dfi_per_object: Some(100),
+            ..Default::default()
+        };
+        let cells = vec![
+            // Agrees: prediction 0.50 vs observed 100/200 = 0.50.
+            validation_cell("CG", "r", 0.50, 100, 200, &config, false),
+            // Conservative with a truncated budget: counts as agreeing.
+            validation_cell("CG", "colidx", 0.05, 160, 200, &config, true),
+            // Optimistic: prediction 0.90 vs observed 20/200 = 0.10.
+            validation_cell("MM", "C", 0.90, 20, 200, &config, false),
+        ];
+        ValidationReport {
+            spec_fingerprint: 0x0123_4567_89AB_CDEF,
+            confidence: 0.95,
+            target_margin: 0.05,
+            max_trials: 200,
+            seed: 0xF1F1,
+            tolerance: 0.10,
+            use_dfi: true,
+            config,
+            cells,
+        }
+    }
+
+    #[test]
+    fn analytic_predictions_are_lower_bounds() {
+        // With DFI disabled, every prediction is a lower bound by
+        // construction: a conservative verdict must count as agreeing even
+        // though no cell can exhaust a DFI budget.
+        let report = ValidationReport {
+            use_dfi: false,
+            ..sample_validation()
+        };
+        assert!(report.model_truncated(&report.cells[0]));
+        assert!(report.agrees(&report.cells[1]));
+        // The optimistic cell still fails: over-claiming masking is a model
+        // error regardless of the resolver.
+        assert!(!report.agrees(&report.cells[2]));
+    }
+
+    #[test]
+    fn rank_correlation_excludes_exactly_tied_predictions() {
+        let config = AnalysisConfig {
+            site_stride: 8,
+            max_dfi_per_object: Some(100),
+            ..Default::default()
+        };
+        // Both predictions exactly 1.0, observed rates clearly separated:
+        // the model expresses no ordering, so the pair must not be tallied
+        // (and certainly not as discordant).
+        let report = ValidationReport {
+            cells: vec![
+                validation_cell("FT", "plane", 1.0, 198, 200, &config, false),
+                validation_cell("FT", "exp1", 1.0, 150, 200, &config, false),
+            ],
+            ..sample_validation()
+        };
+        let rank = report.rank("FT");
+        assert_eq!(rank.resolved_pairs, 0);
+        assert_eq!(rank.discordant, 0);
+        assert_eq!(rank.correlation(), None);
+    }
+
+    #[test]
+    fn validation_verdicts_follow_the_widened_interval() {
+        let report = sample_validation();
+        let verdicts: Vec<CellVerdict> = report.cells.iter().map(|c| report.verdict(c)).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                CellVerdict::Agree,
+                CellVerdict::ModelConservative,
+                CellVerdict::ModelOptimistic
+            ]
+        );
+        // The conservative cell ran out of DFI budget: it still agrees.
+        assert!(report.agrees(&report.cells[0]));
+        assert!(report.model_truncated(&report.cells[1]));
+        assert!(report.agrees(&report.cells[1]));
+        assert!(!report.agrees(&report.cells[2]));
+        assert_eq!(report.agreed(), 2);
+        // Interval bounds stay inside the unit interval.
+        for cell in &report.cells {
+            let (low, high) = cell.rfi.wilson_bounds(report.confidence);
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+            assert!(low <= cell.rfi.success_rate() && cell.rfi.success_rate() <= high);
+        }
+    }
+
+    #[test]
+    fn validation_rank_correlation_skips_unresolved_pairs() {
+        let report = sample_validation();
+        // CG: observed 0.50 vs 0.80 (resolved), predicted 0.50 vs 0.05 —
+        // the model orders the pair the opposite way.
+        let rank = report.rank("CG");
+        assert_eq!(rank.cells, 2);
+        assert_eq!(rank.resolved_pairs, 1);
+        assert_eq!(rank.discordant, 1);
+        assert_eq!(rank.correlation(), Some(-1.0));
+        // MM has a single cell: no pairs to rank.
+        let rank = report.rank("MM");
+        assert_eq!(rank.resolved_pairs, 0);
+        assert_eq!(rank.correlation(), None);
+        assert_eq!(report.ranks().len(), 2);
+        assert_eq!(report.workloads(), vec!["CG", "MM"]);
+    }
+
+    #[test]
+    fn validation_report_round_trips_bit_exactly() {
+        let report = sample_validation();
+        let text = report.to_json_string();
+        let back = ValidationReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), text);
+        // Pretty form parses to the same report.
+        let back = ValidationReport::from_json_str(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn validation_report_rejects_tampering() {
+        let report = sample_validation();
+        // Wrong schema version.
+        let bad =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\":1", "\"schema_version\":9", 1);
+        assert!(matches!(
+            ValidationReport::from_json_str(&bad),
+            Err(MoardError::SchemaMismatch { .. })
+        ));
+        // A cell's aDVF report produced under a different configuration.
+        let mut doc = report.to_json();
+        if let Json::Obj(members) = &mut doc {
+            let config = members
+                .iter_mut()
+                .find(|(k, _)| k == "config")
+                .map(|(_, v)| v)
+                .unwrap();
+            *config = AnalysisConfig::default().to_json();
+        }
+        assert!(matches!(
+            ValidationReport::from_json(&doc),
+            Err(MoardError::InvalidConfig(_))
+        ));
+        // An unsupported confidence level would silently fall back to the
+        // 95% z value in every derived interval; it must be rejected.
+        let bad = report
+            .to_json_string()
+            .replacen("\"confidence\":0.95", "\"confidence\":0.8", 1);
+        assert!(matches!(
+            ValidationReport::from_json_str(&bad),
+            Err(MoardError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rfi_campaign_round_trips_and_derives() {
+        let campaign = RfiCampaign {
+            shards: 4,
+            identical: 90,
+            acceptable: 10,
+            incorrect: 20,
+            crashed: 8,
+            converged: true,
+        };
+        assert_eq!(campaign.trials(), 128);
+        assert_eq!(campaign.successes(), 100);
+        let doc = campaign.to_json();
+        assert_eq!(doc.u64_field("trials").unwrap(), 128);
+        let back = RfiCampaign::from_json(&doc).unwrap();
+        assert_eq!(back, campaign);
     }
 
     #[test]

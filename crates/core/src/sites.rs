@@ -82,6 +82,32 @@ pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
     out
 }
 
+/// The strided subset of [`enumerate_sites`]: every `stride`-th
+/// participation site, in trace order (`stride` 0 is treated as 1).
+///
+/// This is **the** site population of a strided analysis — the aDVF
+/// analyzer and the validation engine's RFI sampler both call it, so the
+/// two legs of a model-vs-injection comparison can never drift onto
+/// different subsets (which would turn model-error measurements into
+/// sampling bias).
+pub fn enumerate_strided_sites(
+    trace: &Trace,
+    obj: ObjectId,
+    stride: usize,
+) -> Vec<ParticipationSite> {
+    let mut sites = enumerate_sites(trace, obj);
+    let stride = stride.max(1);
+    if stride > 1 {
+        let mut kept = 0;
+        for i in (0..sites.len()).step_by(stride) {
+            sites.swap(kept, i);
+            kept += 1;
+        }
+        sites.truncate(kept);
+    }
+    sites
+}
+
 /// Does `obj` participate anywhere in the trace?  Walks only the indexed
 /// records touching `obj` and short-circuits on the first site instead of
 /// materializing the full enumeration.  (A record can touch an object

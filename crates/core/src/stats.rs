@@ -1,0 +1,161 @@
+//! Binomial interval estimation for fault-injection campaigns.
+//!
+//! Random fault injection estimates a success *proportion* from a finite
+//! number of trials; every consumer of such an estimate (the Fig. 6/7
+//! comparisons, the model-validation engine, the CLI's campaign summaries)
+//! needs a confidence interval around it.  The earlier revisions used the
+//! Wald normal approximation `p ± z·√(p(1−p)/n)`, which degenerates to a
+//! zero-width interval at p̂ = 0 or p̂ = 1 — exactly the proportions that
+//! dominate resilient (or hopeless) data objects.  Everything here is built
+//! on the **Wilson score interval** instead: its bounds never leave [0, 1],
+//! its width stays honest at the extremes, and for moderate p̂ it agrees
+//! with Wald to a fraction of a percentage point.
+//!
+//! The same construction also yields the campaign-sizing rule (Leveugle et
+//! al., the paper's reference \[26\]): the number of trials needed before
+//! the worst-case (p̂ = 0.5) half-width drops below a target margin.
+
+/// Two-sided z value for a confidence level.  The supported levels are the
+/// three the statistical fault-injection literature actually uses; anything
+/// else falls back to 95%.
+pub fn z_value(confidence: f64) -> f64 {
+    if (confidence - 0.90).abs() < 1e-9 {
+        1.645
+    } else if (confidence - 0.99).abs() < 1e-9 {
+        2.576
+    } else {
+        1.96
+    }
+}
+
+/// True if `confidence` is one of the supported levels (0.90, 0.95, 0.99).
+pub fn supported_confidence(confidence: f64) -> bool {
+    [0.90, 0.95, 0.99]
+        .iter()
+        .any(|c| (confidence - c).abs() < 1e-9)
+}
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `runs` at the given confidence level.  Returns `(low, high)` with
+/// `0 ≤ low ≤ p̂ ≤ high ≤ 1`.
+///
+/// With zero runs nothing is known: the interval is the whole unit
+/// interval `(0, 1)`.
+pub fn wilson_bounds(successes: u64, runs: u64, confidence: f64) -> (f64, f64) {
+    debug_assert!(successes <= runs);
+    if runs == 0 {
+        return (0.0, 1.0);
+    }
+    let n = runs as f64;
+    let p = successes as f64 / n;
+    let z = z_value(confidence);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Half-width of the Wilson interval — the margin of error reported next to
+/// a campaign success rate.  `0.5` when nothing has run yet (the interval is
+/// all of [0, 1]), and strictly positive for every finite campaign: unlike
+/// the Wald margin it does **not** collapse to zero at p̂ ∈ {0, 1}.
+pub fn wilson_margin(successes: u64, runs: u64, confidence: f64) -> f64 {
+    let (low, high) = wilson_bounds(successes, runs, confidence);
+    (high - low) / 2.0
+}
+
+/// Number of fault-injection trials required before the Wilson half-width at
+/// the worst-case proportion p̂ = 0.5 drops to `margin` or below.
+///
+/// At p̂ = 0.5 the Wilson half-width has the closed form `z / (2·√(n+z²))`,
+/// so the bound solves to `n ≥ z²/(4·margin²) − z²` — the Wald-based
+/// `z²/(4·margin²)` of Leveugle et al. minus the `z²` the score interval
+/// saves.  Consistent with [`wilson_margin`]: the returned `n` is the
+/// smallest for which `wilson_margin(n/2, n, confidence) ≤ margin`.
+pub fn required_sample_size(confidence: f64, margin: f64) -> u64 {
+    assert!(
+        margin > 0.0 && margin < 1.0,
+        "margin of error must be in (0, 1), got {margin}"
+    );
+    let z = z_value(confidence);
+    let n = (z * z) / (4.0 * margin * margin) - z * z;
+    n.max(1.0).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values_cover_the_common_levels() {
+        assert_eq!(z_value(0.90), 1.645);
+        assert_eq!(z_value(0.95), 1.96);
+        assert_eq!(z_value(0.99), 2.576);
+        // Unknown levels fall back to 95%.
+        assert_eq!(z_value(0.1234), 1.96);
+        assert!(supported_confidence(0.95));
+        assert!(!supported_confidence(0.1234));
+    }
+
+    #[test]
+    fn wilson_bounds_stay_in_unit_interval_at_the_extremes() {
+        // The Wald interval is (0, 0) at p̂ = 0; Wilson must not be.
+        let (low, high) = wilson_bounds(0, 200, 0.95);
+        assert_eq!(low, 0.0);
+        assert!(high > 0.0 && high < 0.05, "high = {high}");
+        let (low, high) = wilson_bounds(200, 200, 0.95);
+        assert_eq!(high, 1.0);
+        assert!(low < 1.0 && low > 0.95, "low = {low}");
+        assert!(wilson_margin(0, 200, 0.95) > 0.0);
+        assert!(wilson_margin(200, 200, 0.95) > 0.0);
+    }
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        for &(s, n) in &[(0u64, 50u64), (1, 50), (25, 50), (49, 50), (50, 50)] {
+            for &c in &[0.90, 0.95, 0.99] {
+                let (low, high) = wilson_bounds(s, n, c);
+                let p = s as f64 / n as f64;
+                assert!((0.0..=1.0).contains(&low));
+                assert!((0.0..=1.0).contains(&high));
+                assert!(low <= p + 1e-12 && p <= high + 1e-12, "({s},{n},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_agrees_with_wald_for_moderate_proportions() {
+        // p̂ = 0.5, n = 500: Wald gives 1.96·√(0.25/500) ≈ 0.0438.
+        let margin = wilson_margin(250, 500, 0.95);
+        assert!((margin - 0.0438).abs() < 0.002, "margin = {margin}");
+    }
+
+    #[test]
+    fn empty_campaign_knows_nothing() {
+        assert_eq!(wilson_bounds(0, 0, 0.95), (0.0, 1.0));
+        assert_eq!(wilson_margin(0, 0, 0.95), 0.5);
+    }
+
+    #[test]
+    fn sample_size_is_consistent_with_the_interval() {
+        // Classic ±5% at 95%: 381 with the score interval (Wald says 385).
+        let n = required_sample_size(0.95, 0.05);
+        assert_eq!(n, 381);
+        // The returned n achieves the margin; n − 1 does not.
+        assert!(wilson_margin(n / 2, n, 0.95) <= 0.05);
+        assert!(wilson_margin((n - 1) / 2, n - 1, 0.95) > 0.05);
+        assert!(required_sample_size(0.99, 0.05) > n);
+        assert!(required_sample_size(0.95, 0.01) > 9000);
+    }
+
+    #[test]
+    fn tighter_margins_and_higher_confidence_need_more_trials() {
+        for &c in &[0.90, 0.95, 0.99] {
+            assert!(required_sample_size(c, 0.02) > required_sample_size(c, 0.05));
+        }
+        for &(lo, hi) in &[(0.90, 0.95), (0.95, 0.99)] {
+            assert!(required_sample_size(hi, 0.05) > required_sample_size(lo, 0.05));
+        }
+    }
+}

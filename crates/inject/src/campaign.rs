@@ -109,6 +109,32 @@ pub fn run_campaign_stats(
     CampaignStats::from_outcomes(&run_campaign(injector, faults, parallelism))
 }
 
+/// Run `shard_count` independent fault shards across the worker pool and
+/// return each shard's tally **in shard order**.
+///
+/// `faults_of(i)` materializes shard `i`'s faults (typically from a
+/// shard-indexed RNG stream, see `random::sample_shard`); each shard's
+/// outcomes are tallied by the worker that ran it.  Because the result is
+/// ordered by shard index, folding the tallies left-to-right is
+/// bit-identical regardless of thread count — the invariant the validation
+/// engine's adaptive stopping rule rests on.
+pub fn run_shard_campaign<F>(
+    injector: &DeterministicInjector,
+    shard_count: usize,
+    parallelism: Parallelism,
+    faults_of: F,
+) -> Vec<CampaignStats>
+where
+    F: Fn(usize) -> Vec<FaultSpec> + Sync,
+{
+    run_indexed(parallelism.worker_count(), shard_count, |i| {
+        let faults = faults_of(i);
+        let outcomes: Vec<OutcomeClass> =
+            faults.iter().map(|f| injector.run_classified(f)).collect();
+        CampaignStats::from_outcomes(&outcomes)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +180,27 @@ mod tests {
         let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let outcomes = run_campaign(&injector, &[], Parallelism::Auto);
         assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn shard_campaign_is_ordered_and_thread_invariant() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let faults = some_faults(&injector, 12);
+        // Three shards of four faults each, materialized by index.
+        let faults_of = |i: usize| faults[i * 4..(i + 1) * 4].to_vec();
+        let seq = run_shard_campaign(&injector, 3, Parallelism::Sequential, faults_of);
+        let par = run_shard_campaign(&injector, 3, Parallelism::Fixed(4), faults_of);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 3);
+        assert!(seq.iter().all(|s| s.runs == 4));
+        // The shard-order fold equals the flat campaign's tally.
+        let mut folded = CampaignStats::default();
+        for shard in &seq {
+            folded.merge(shard);
+        }
+        assert_eq!(
+            folded,
+            run_campaign_stats(&injector, &faults, Parallelism::Auto)
+        );
     }
 }

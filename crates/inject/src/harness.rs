@@ -126,6 +126,19 @@ impl WorkloadHarness {
         Ok(enumerate_sites(&self.trace, id))
     }
 
+    /// The strided site subset an analysis with `stride` covers — the same
+    /// selection [`moard_core::AdvfAnalyzer`] makes internally, so campaigns
+    /// sampling from it (the validation engine's RFI leg) stay on exactly
+    /// the site population of the corresponding aDVF report.
+    pub fn strided_sites(
+        &self,
+        object: &str,
+        stride: usize,
+    ) -> Result<Vec<ParticipationSite>, MoardError> {
+        let id = self.object_id(object)?;
+        Ok(moard_core::enumerate_strided_sites(&self.trace, id, stride))
+    }
+
     /// Run the aDVF analysis for one data object, using deterministic fault
     /// injection to resolve what the trace analysis cannot.
     pub fn analyze(&self, object: &str, config: AnalysisConfig) -> Result<AdvfReport, MoardError> {

@@ -73,6 +73,19 @@
 //! # Ok::<(), moard_core::MoardError>(())
 //! ```
 //!
+//! ## Validating the model: the validation engine
+//!
+//! [`validate::ValidationSpec`] / [`validate::ValidationRunner`] are the
+//! statistically rigorous version of the paper's §V-B comparison: for every
+//! selected (workload, object) cell, an **adaptive** random-fault-injection
+//! campaign — trials drawn in shard-indexed RNG streams, folded in shard
+//! order (bit-identical across thread counts), stopping once the Wilson
+//! interval is narrower than a target margin or a trial cap is reached —
+//! tested against the cell's aDVF prediction, with per-cell agree/disagree
+//! verdicts and per-workload rank correlations in the produced
+//! [`moard_core::ValidationReport`].  Both legs of every cell cache in the
+//! same [`store::ResultStore`], so killed campaigns resume byte-identically.
+//!
 //! Expanding a spec is cheap (no module is built, no trace recorded), so the
 //! task matrix can be inspected up front:
 //!
@@ -99,13 +112,14 @@ pub mod session;
 pub mod stats;
 pub mod store;
 pub mod sweep;
+pub mod validate;
 
 pub use campaign::{run_campaign, run_campaign_stats, Parallelism};
 pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
 pub use harness::WorkloadHarness;
 pub use injector::DeterministicInjector;
 pub use moard_core::MoardError;
-pub use random::{run_rfi, sample_faults, RfiConfig};
+pub use random::{run_rfi, sample_faults, sample_shard, shard_seed, RfiConfig};
 pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};
 pub use stats::{required_sample_size, z_value, CampaignStats};
 pub use store::ResultStore;
@@ -113,3 +127,4 @@ pub use sweep::{
     ObjectSelector, RfiLeg, StudyRunner, StudySpec, StudyTask, StudyTaskKind, SweepStats,
     WorkloadSelector,
 };
+pub use validate::{ValidationCellSpec, ValidationRunner, ValidationSpec, ValidationStats};

@@ -3,11 +3,22 @@
 //!
 //! RFI draws uniformly among the *valid fault-injection sites* of a target
 //! data object (a bit of an instruction operand or store destination holding
-//! a value of the object) and reports the campaign success rate with its 95%
-//! margin of error.  The paper's point — reproduced by the `fig7_rfi_vs_advf`
-//! bench — is that RFI estimates fluctuate with the number of tests and
-//! cannot produce a stable ranking of data objects, whereas aDVF is
-//! deterministic.
+//! a value of the object) and reports the campaign success rate with its
+//! Wilson margin of error.  The paper's point — reproduced by the
+//! `fig7_rfi_vs_advf` bench — is that RFI estimates fluctuate with the
+//! number of tests and cannot produce a stable ranking of data objects,
+//! whereas aDVF is deterministic.
+//!
+//! Two sampling surfaces are provided:
+//!
+//! * [`sample_faults`] — one flat stream for a fixed-size campaign (the
+//!   Fig. 7 leg of the sweep engine);
+//! * [`sample_shard`] — **shard-indexed streams** for the adaptive
+//!   campaigns of the validation engine: shard `i` of a campaign draws from
+//!   its own RNG stream derived from `(base seed, shard index)`, so any
+//!   prefix of shards is bit-identical no matter how many shards end up
+//!   running, in what order, or on how many threads.  An adaptive stopping
+//!   rule that works in whole shards is therefore deterministic.
 
 use crate::campaign::{run_campaign_stats, Parallelism};
 use crate::injector::DeterministicInjector;
@@ -38,6 +49,18 @@ impl Default for RfiConfig {
     }
 }
 
+/// Draw `count` random single-bit faults among the valid sites (uniform over
+/// site × bit) from the given RNG.
+fn draw_faults(sites: &[ParticipationSite], rng: &mut StdRng, count: usize) -> Vec<FaultSpec> {
+    (0..count)
+        .map(|_| {
+            let site = &sites[rng.gen_range(0..sites.len())];
+            let bit = rng.gen_range(0..site.bit_width());
+            site.fault(bit)
+        })
+        .collect()
+}
+
 /// Draw `tests` random single-bit faults among the valid sites of the target
 /// object (uniform over site × bit).
 pub fn sample_faults(sites: &[ParticipationSite], config: &RfiConfig) -> Vec<FaultSpec> {
@@ -45,13 +68,30 @@ pub fn sample_faults(sites: &[ParticipationSite], config: &RfiConfig) -> Vec<Fau
         return Vec::new();
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    (0..config.tests)
-        .map(|_| {
-            let site = &sites[rng.gen_range(0..sites.len())];
-            let bit = rng.gen_range(0..site.bit_width());
-            site.fault(bit)
-        })
-        .collect()
+    draw_faults(sites, &mut rng, config.tests)
+}
+
+/// The RNG stream seed of shard `index` of a campaign with base seed
+/// `seed`: an FNV-1a mix of both, so neighbouring shards (and neighbouring
+/// campaigns) get well-separated SplitMix64 streams.
+pub fn shard_seed(seed: u64, index: u64) -> u64 {
+    moard_core::fnv1a(format!("rfi-shard;seed={seed:016x};shard={index}").as_bytes())
+}
+
+/// Draw the `count` faults of shard `index` of an adaptive campaign —
+/// a pure function of `(sites, seed, index, count)`, independent of every
+/// other shard.  Returns an empty vector when there are no sites.
+pub fn sample_shard(
+    sites: &[ParticipationSite],
+    seed: u64,
+    index: u64,
+    count: usize,
+) -> Vec<FaultSpec> {
+    if sites.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(shard_seed(seed, index));
+    draw_faults(sites, &mut rng, count)
 }
 
 /// Run a random fault-injection campaign over the given sites.
@@ -71,13 +111,17 @@ mod tests {
     use moard_vm::{run_traced, Vm};
     use moard_workloads::MatMul;
 
-    #[test]
-    fn sampling_is_reproducible_and_in_range() {
-        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+    fn mm_sites(injector: &DeterministicInjector) -> Vec<moard_core::ParticipationSite> {
         let (_, trace) = run_traced(injector.module()).unwrap();
         let vm = Vm::with_defaults(injector.module()).unwrap();
         let c = vm.objects().by_name("C").unwrap().id;
-        let sites = enumerate_sites(&trace, c);
+        enumerate_sites(&trace, c)
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_in_range() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let sites = mm_sites(&injector);
         let config = RfiConfig {
             tests: 50,
             ..Default::default()
@@ -93,12 +137,31 @@ mod tests {
     }
 
     #[test]
+    fn shard_streams_are_independent_and_reproducible() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let sites = mm_sites(&injector);
+        // Each shard is a pure function of (seed, index, count)…
+        let s0 = sample_shard(&sites, 7, 0, 20);
+        let s1 = sample_shard(&sites, 7, 1, 20);
+        assert_eq!(s0, sample_shard(&sites, 7, 0, 20));
+        assert_eq!(s1, sample_shard(&sites, 7, 1, 20));
+        // …distinct across shard indices and base seeds…
+        assert_ne!(s0, s1);
+        assert_ne!(s0, sample_shard(&sites, 8, 0, 20));
+        // …and clipping a shard's count preserves its prefix, so the last
+        // (clipped) shard of a capped campaign is a prefix of the full one.
+        assert_eq!(s0[..5], sample_shard(&sites, 7, 0, 5)[..]);
+        // Every fault targets a valid site.
+        for fault in s0.iter().chain(&s1) {
+            assert!(fault.bit < 64);
+            assert!(sites.iter().any(|s| s.record_id == fault.dyn_id));
+        }
+    }
+
+    #[test]
     fn rfi_campaign_produces_stats() {
         let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
-        let (_, trace) = run_traced(injector.module()).unwrap();
-        let vm = Vm::with_defaults(injector.module()).unwrap();
-        let c = vm.objects().by_name("C").unwrap().id;
-        let sites = enumerate_sites(&trace, c);
+        let sites = mm_sites(&injector);
         let stats = run_rfi(
             &injector,
             &sites,
@@ -117,5 +180,6 @@ mod tests {
     fn empty_site_list_yields_empty_campaign() {
         let config = RfiConfig::default();
         assert!(sample_faults(&[], &config).is_empty());
+        assert!(sample_shard(&[], 1, 0, 10).is_empty());
     }
 }

@@ -3,14 +3,20 @@
 //! The paper's RFI comparison (Fig. 7) sizes its random campaigns with the
 //! statistical approach of Leveugle et al. (the paper's reference \[26\]) at a 95%
 //! confidence level and reports the margin of error alongside each success
-//! rate; the same estimators are implemented here.
+//! rate.  All interval arithmetic is the **Wilson score interval** from
+//! [`moard_core::stats`]: unlike the Wald normal approximation the earlier
+//! revisions used, its bounds never leave [0, 1] and its width stays honest
+//! at success rates of exactly 0 or 1 — the proportions the validation
+//! engine's adaptive stopping rule must be able to trust.
 
 use moard_core::{check_schema_version, MoardError, SCHEMA_VERSION};
 use moard_json::{Json, JsonError, ToJson};
 use moard_vm::OutcomeClass;
 
+pub use moard_core::stats::{required_sample_size, z_value};
+
 /// Aggregate result of a fault-injection campaign.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignStats {
     /// Number of injection runs.
     pub runs: u64,
@@ -29,10 +35,7 @@ impl CampaignStats {
     pub fn from_outcomes(outcomes: &[OutcomeClass]) -> CampaignStats {
         let mut s = CampaignStats {
             runs: outcomes.len() as u64,
-            identical: 0,
-            acceptable: 0,
-            incorrect: 0,
-            crashed: 0,
+            ..Default::default()
         };
         for o in outcomes {
             match o {
@@ -45,27 +48,39 @@ impl CampaignStats {
         s
     }
 
+    /// Runs with a correct (identical or acceptable) outcome.
+    pub fn successes(&self) -> u64 {
+        self.identical + self.acceptable
+    }
+
     /// Fraction of runs with a correct (identical or acceptable) outcome —
     /// the "success rate" the paper plots in Figs. 6 and 7.
     pub fn success_rate(&self) -> f64 {
         if self.runs == 0 {
             return 0.0;
         }
-        (self.identical + self.acceptable) as f64 / self.runs as f64
+        self.successes() as f64 / self.runs as f64
     }
 
-    /// Margin of error of the success rate at the given confidence level
-    /// (normal approximation; 0.95 → z = 1.96).
+    /// Wilson score interval of the success rate at the given confidence
+    /// level.  The bounds always lie in [0, 1] and bracket the point
+    /// estimate; with zero runs the interval is all of (0, 1).
+    pub fn wilson_bounds(&self, confidence: f64) -> (f64, f64) {
+        moard_core::stats::wilson_bounds(self.successes(), self.runs, confidence)
+    }
+
+    /// Margin of error of the success rate at the given confidence level:
+    /// the half-width of the Wilson score interval.  Strictly positive for
+    /// every finite campaign (0.5 before any run), including campaigns at
+    /// p̂ = 0 or p̂ = 1 where the Wald margin would collapse to zero.
     pub fn margin_of_error(&self, confidence: f64) -> f64 {
-        if self.runs == 0 {
-            return 0.0;
-        }
-        let z = z_value(confidence);
-        let p = self.success_rate();
-        z * (p * (1.0 - p) / self.runs as f64).sqrt()
+        moard_core::stats::wilson_margin(self.successes(), self.runs, confidence)
     }
 
-    /// Merge another tally into this one.
+    /// Merge another tally into this one.  Merging is associative and
+    /// commutative, and `from_outcomes(a ++ b)` equals
+    /// `from_outcomes(a).merge(&from_outcomes(b))` — the validation engine
+    /// relies on this to fold per-shard tallies in shard order.
     pub fn merge(&mut self, other: &CampaignStats) {
         self.runs += other.runs;
         self.identical += other.identical;
@@ -121,26 +136,6 @@ impl moard_json::FromJson for CampaignStats {
     }
 }
 
-/// Two-sided z value for a confidence level (supports the common levels;
-/// anything else falls back to 95%).
-pub fn z_value(confidence: f64) -> f64 {
-    if (confidence - 0.90).abs() < 1e-9 {
-        1.645
-    } else if (confidence - 0.99).abs() < 1e-9 {
-        2.576
-    } else {
-        1.96
-    }
-}
-
-/// Number of fault-injection tests required for the given margin of error at
-/// the given confidence level, assuming worst-case variance p = 0.5
-/// (Leveugle et al.'s sizing formula with an effectively infinite population).
-pub fn required_sample_size(confidence: f64, margin: f64) -> u64 {
-    let z = z_value(confidence);
-    ((z * z * 0.25) / (margin * margin)).ceil() as u64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +152,7 @@ mod tests {
         assert_eq!(s.runs, 4);
         assert_eq!(s.identical, 1);
         assert_eq!(s.crashed, 1);
+        assert_eq!(s.successes(), 2);
         assert!((s.success_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -165,16 +161,14 @@ mod tests {
         let small = CampaignStats {
             runs: 500,
             identical: 250,
-            acceptable: 0,
             incorrect: 250,
-            crashed: 0,
+            ..Default::default()
         };
         let large = CampaignStats {
             runs: 3500,
             identical: 1750,
-            acceptable: 0,
             incorrect: 1750,
-            crashed: 0,
+            ..Default::default()
         };
         assert!(large.margin_of_error(0.95) < small.margin_of_error(0.95));
         // 95% margin at p=0.5, n=500 is about 4.4 percentage points.
@@ -182,11 +176,43 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_proportions_keep_a_positive_margin() {
+        // Every run succeeded / failed: the Wald margin would be exactly 0,
+        // silently claiming certainty.  The Wilson margin stays honest.
+        let all_good = CampaignStats {
+            runs: 400,
+            identical: 400,
+            ..Default::default()
+        };
+        let all_bad = CampaignStats {
+            runs: 400,
+            crashed: 400,
+            ..Default::default()
+        };
+        for s in [all_good, all_bad] {
+            assert!(s.margin_of_error(0.95) > 0.0);
+            let (low, high) = s.wilson_bounds(0.95);
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+            assert!(low <= s.success_rate() && s.success_rate() <= high);
+        }
+    }
+
+    #[test]
     fn sample_size_formula() {
-        // Classic result: ~385 samples for ±5% at 95% confidence.
-        assert_eq!(required_sample_size(0.95, 0.05), 385);
-        assert!(required_sample_size(0.99, 0.05) > 385);
+        // ±5% at 95% confidence: 381 with the Wilson interval (the classic
+        // Wald-based figure is 385; the score interval saves z²).
+        assert_eq!(required_sample_size(0.95, 0.05), 381);
+        assert!(required_sample_size(0.99, 0.05) > 381);
         assert!(required_sample_size(0.95, 0.01) > 9000);
+        // Consistency with the margin: the returned n reaches the target.
+        let n = required_sample_size(0.95, 0.05);
+        let s = CampaignStats {
+            runs: n,
+            identical: n / 2,
+            incorrect: n - n / 2,
+            ..Default::default()
+        };
+        assert!(s.margin_of_error(0.95) <= 0.05);
     }
 
     #[test]
@@ -202,7 +228,9 @@ mod tests {
     fn empty_campaign_is_safe() {
         let s = CampaignStats::from_outcomes(&[]);
         assert_eq!(s.success_rate(), 0.0);
-        assert_eq!(s.margin_of_error(0.95), 0.0);
+        // Nothing has run: the interval is the whole unit interval.
+        assert_eq!(s.wilson_bounds(0.95), (0.0, 1.0));
+        assert_eq!(s.margin_of_error(0.95), 0.5);
     }
 
     #[test]

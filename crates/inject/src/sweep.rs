@@ -60,7 +60,7 @@ pub enum WorkloadSelector {
 }
 
 impl WorkloadSelector {
-    fn canonical(&self) -> String {
+    pub(crate) fn canonical(&self) -> String {
         match self {
             WorkloadSelector::All => "all".into(),
             WorkloadSelector::Table1 => "table1".into(),
@@ -79,7 +79,7 @@ pub enum ObjectSelector {
 }
 
 impl ObjectSelector {
-    fn canonical(&self) -> String {
+    pub(crate) fn canonical(&self) -> String {
         match self {
             ObjectSelector::Targets => "targets".into(),
             ObjectSelector::Named(names) => format!("named:{}", names.join(",")),
@@ -274,36 +274,8 @@ impl StudySpec {
     /// any analysis time is spent.
     pub fn expand(&self, registry: &dyn WorkloadRegistry) -> Result<Vec<StudyTask>, MoardError> {
         self.validate()?;
-        let names: Vec<String> = match &self.workloads {
-            WorkloadSelector::All => registry.names().iter().map(|n| n.to_string()).collect(),
-            WorkloadSelector::Table1 => registry
-                .descriptors()
-                .iter()
-                .filter(|d| d.table1)
-                .map(|d| d.name.to_string())
-                .collect(),
-            WorkloadSelector::Named(names) => names.clone(),
-        };
         let configs = self.configs();
-        let mut cells: Vec<(String, Vec<String>)> = Vec::new();
-        for name in &names {
-            let workload = create_workload(registry, name)?;
-            // Names and aliases resolving to the same canonical workload
-            // (e.g. `mm,matmul`) must not duplicate its tasks — task keys
-            // stay unique and the report carries each cell once.
-            if cells.iter().any(|(w, _)| *w == workload.name()) {
-                continue;
-            }
-            let objects: Vec<String> = match &self.objects {
-                ObjectSelector::Targets => workload
-                    .target_objects()
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
-                ObjectSelector::Named(list) => list.clone(),
-            };
-            cells.push((workload.name().to_string(), objects));
-        }
+        let cells = resolve_cells(registry, &self.workloads, &self.objects)?;
         let mut tasks = Vec::new();
         for (workload, objects) in &cells {
             for object in objects {
@@ -337,6 +309,48 @@ impl StudySpec {
         }
         Ok(tasks)
     }
+}
+
+/// Resolve workload/object selectors against a registry into the
+/// deterministic (workload, objects) cell grid — shared by the sweep
+/// engine's task expansion and the validation engine's campaign matrix.
+///
+/// Workload names and aliases resolving to the same canonical workload
+/// (e.g. `mm,matmul`) must not duplicate its cells — task/cell keys stay
+/// unique and every report carries each cell once.  Unknown workload names
+/// surface as typed errors before any analysis time is spent.
+pub(crate) fn resolve_cells(
+    registry: &dyn WorkloadRegistry,
+    workloads: &WorkloadSelector,
+    objects: &ObjectSelector,
+) -> Result<Vec<(String, Vec<String>)>, MoardError> {
+    let names: Vec<String> = match workloads {
+        WorkloadSelector::All => registry.names().iter().map(|n| n.to_string()).collect(),
+        WorkloadSelector::Table1 => registry
+            .descriptors()
+            .iter()
+            .filter(|d| d.table1)
+            .map(|d| d.name.to_string())
+            .collect(),
+        WorkloadSelector::Named(names) => names.clone(),
+    };
+    let mut cells: Vec<(String, Vec<String>)> = Vec::new();
+    for name in &names {
+        let workload = create_workload(registry, name)?;
+        if cells.iter().any(|(w, _)| *w == workload.name()) {
+            continue;
+        }
+        let objects: Vec<String> = match objects {
+            ObjectSelector::Targets => workload
+                .target_objects()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ObjectSelector::Named(list) => list.clone(),
+        };
+        cells.push((workload.name().to_string(), objects));
+    }
+    Ok(cells)
 }
 
 fn join(values: &[usize]) -> String {

@@ -1,0 +1,139 @@
+//! Property tests for `CampaignStats` and the Wilson interval arithmetic
+//! the validation engine's stopping rule rests on.  The crates registry is
+//! unavailable in this environment, so the properties run over hand-rolled
+//! seeded loops (the workspace's stand-in for proptest): 256 seeds of the
+//! in-tree SplitMix64 generator, each producing random tallies and random
+//! partitions of random outcome streams.
+
+use moard::inject::CampaignStats;
+use moard::vm::OutcomeClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: u64 = 256;
+
+fn random_outcomes(rng: &mut StdRng, len: usize) -> Vec<OutcomeClass> {
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => OutcomeClass::Identical,
+            1 => OutcomeClass::Acceptable,
+            2 => OutcomeClass::Incorrect,
+            _ => OutcomeClass::Crashed,
+        })
+        .collect()
+}
+
+fn random_stats(rng: &mut StdRng) -> CampaignStats {
+    let len = rng.gen_range(0usize..200);
+    CampaignStats::from_outcomes(&random_outcomes(rng, len))
+}
+
+fn merged(a: &CampaignStats, b: &CampaignStats) -> CampaignStats {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+#[test]
+fn merge_is_commutative_and_associative_bit_identically() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_stats(&mut rng);
+        let b = random_stats(&mut rng);
+        let c = random_stats(&mut rng);
+        // Commutative…
+        assert_eq!(merged(&a, &b), merged(&b, &a), "seed {seed}");
+        // …and associative, to the exact tallies (all-integer fields, so
+        // equality here is bit-identity).
+        assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c)),
+            "seed {seed}"
+        );
+        // The identity element is the empty campaign.
+        assert_eq!(merged(&a, &CampaignStats::default()), a, "seed {seed}");
+    }
+}
+
+#[test]
+fn sharded_tallies_fold_to_the_one_shot_construction() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..300);
+        let outcomes = random_outcomes(&mut rng, len);
+        // Split the stream into random shard boundaries…
+        let mut cuts = vec![0, outcomes.len()];
+        for _ in 0..rng.gen_range(0usize..6) {
+            if !outcomes.is_empty() {
+                cuts.push(rng.gen_range(0usize..outcomes.len()));
+            }
+        }
+        cuts.sort_unstable();
+        // …tally each shard independently and fold in shard order.
+        let mut folded = CampaignStats::default();
+        for pair in cuts.windows(2) {
+            folded.merge(&CampaignStats::from_outcomes(&outcomes[pair[0]..pair[1]]));
+        }
+        // The fold equals the one-shot tally of the concatenation — the
+        // invariant that makes the adaptive campaign's per-shard tallies
+        // equivalent to one long sequential campaign.
+        assert_eq!(
+            folded,
+            CampaignStats::from_outcomes(&outcomes),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn wilson_bounds_stay_in_the_unit_interval_across_random_tallies() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = random_stats(&mut rng);
+        for confidence in [0.90, 0.95, 0.99] {
+            let (low, high) = stats.wilson_bounds(confidence);
+            assert!(
+                (0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high),
+                "seed {seed}: ({low}, {high})"
+            );
+            assert!(low <= high, "seed {seed}");
+            if stats.runs > 0 {
+                // The interval brackets the point estimate and has positive
+                // width even at success rates of exactly 0 or 1 (where the
+                // Wald construction would collapse).
+                let p = stats.success_rate();
+                assert!(low <= p + 1e-12 && p <= high + 1e-12, "seed {seed}");
+                assert!(stats.margin_of_error(confidence) > 0.0, "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn margin_never_grows_when_a_campaign_extends() {
+    // Monotone shrink at fixed proportion: folding more shards of the same
+    // composition can only tighten the interval — the property that makes
+    // the adaptive stopping rule terminate.
+    for seed in 0..SEEDS / 4 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let identical = rng.gen_range(0u64..50);
+        let crashed = rng.gen_range(0u64..50);
+        let shard = CampaignStats {
+            runs: identical + crashed,
+            identical,
+            crashed,
+            ..Default::default()
+        };
+        if shard.runs == 0 {
+            continue;
+        }
+        let mut grown = shard;
+        let mut previous = grown.margin_of_error(0.95);
+        for _ in 0..8 {
+            grown.merge(&shard);
+            let margin = grown.margin_of_error(0.95);
+            assert!(margin <= previous + 1e-12, "seed {seed}");
+            previous = margin;
+        }
+    }
+}

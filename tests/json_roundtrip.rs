@@ -3,9 +3,10 @@
 //! breakdowns, schema version), and parallel multi-object analysis produces
 //! reports bit-identical to a sequential run.
 
-use moard::inject::{Parallelism, Session, SessionReport};
+use moard::inject::{ObjectSelector, WorkloadSelector};
+use moard::inject::{Parallelism, Session, SessionReport, ValidationRunner, ValidationSpec};
 use moard::json::Json;
-use moard::model::{AdvfReport, SCHEMA_VERSION};
+use moard::model::{AdvfReport, ValidationReport, SCHEMA_VERSION};
 
 fn mm_session(parallelism: Parallelism) -> SessionReport {
     Session::for_workload("mm")
@@ -82,6 +83,50 @@ fn parallel_analysis_is_bit_identical_to_sequential() {
     assert!(cg_seq.reports.len() >= 2);
     assert_eq!(cg_seq, cg_par);
     assert_eq!(cg_seq.to_json_string(), cg_par.to_json_string());
+}
+
+#[test]
+fn validation_report_round_trips_bit_exactly() {
+    let spec = ValidationSpec::default()
+        .workloads(WorkloadSelector::Named(vec!["mm".into()]))
+        .objects(ObjectSelector::Named(vec!["C".into()]))
+        .stride(32)
+        .max_dfi(100)
+        .target_margin(0.15)
+        .max_trials(48)
+        .shards(16, 2)
+        .seed(11);
+    let report = ValidationRunner::new(spec).run().unwrap();
+
+    // Compact and pretty forms both parse back to the exact report…
+    let compact = report.to_json_string();
+    let pretty = report.to_json().to_pretty();
+    let back = ValidationReport::from_json_str(&compact).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(ValidationReport::from_json_str(&pretty).unwrap(), report);
+    // …re-serialization is byte-identical…
+    assert_eq!(back.to_json_string(), compact);
+    // …and the derived quantities are recomputed bit-exactly, not trusted.
+    let cell = &back.cells[0];
+    assert_eq!(
+        cell.advf.advf().to_bits(),
+        report.cells[0].advf.advf().to_bits()
+    );
+    assert_eq!(
+        cell.rfi.success_rate().to_bits(),
+        report.cells[0].rfi.success_rate().to_bits()
+    );
+    assert_eq!(back.verdict(cell), report.verdict(&report.cells[0]));
+
+    // A tampered schema version is rejected.
+    let bad = compact.replacen("\"schema_version\":1", "\"schema_version\":77", 1);
+    assert!(matches!(
+        ValidationReport::from_json_str(&bad),
+        Err(moard::model::MoardError::SchemaMismatch {
+            found: 77,
+            expected: SCHEMA_VERSION
+        })
+    ));
 }
 
 #[test]
