@@ -340,7 +340,7 @@ mod injection_probe {
             .nth(40)
             .unwrap();
         for bit in [50u32, 55, 60, 62] {
-            let outcome = run_with_fault(&module, &site.fault(bit)).unwrap();
+            let outcome = run_with_fault(&module, &site.fault_bit(bit)).unwrap();
             let class = w.classify(&golden, &outcome);
             assert!(
                 class.is_success(),

@@ -24,7 +24,7 @@ fn main() {
         sites.len(),
         trace.touching_ids(obj).len()
     );
-    let fault = sites[10].fault(31);
+    let fault = sites[10].fault_bit(31);
     bench("fault_injection/mm_single_dfi", 5, 20, || {
         black_box(injector.run_classified(&fault));
     });

@@ -25,8 +25,11 @@ fn main() {
         let mut rows: Vec<(String, f64, f64)> = Vec::new();
         for obj in objects {
             let report = unwrap_or_exit(harness.analyze(obj, effort.analysis_config()));
-            let campaign =
-                unwrap_or_exit(harness.exhaustive_with_budget(obj, effort.exhaustive_budget()));
+            let campaign = unwrap_or_exit(harness.exhaustive_with_budget(
+                obj,
+                effort.exhaustive_budget(),
+                &moard_core::ErrorPatternSet::SingleBit,
+            ));
             println!(
                 "{:<8} {:<10} {:>8.4} {:>14.4} {:>10}",
                 harness.workload().name(),

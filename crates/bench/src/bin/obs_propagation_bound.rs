@@ -50,7 +50,7 @@ fn main() {
                         continue;
                     }
                     not_masked_within_k += 1;
-                    let outcome = harness.injector().run_classified(&site.fault(bit));
+                    let outcome = harness.injector().run_classified(&site.fault_bit(bit));
                     if !matches!(outcome, OutcomeClass::Identical) {
                         incorrect_outcomes += 1;
                     }

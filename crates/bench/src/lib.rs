@@ -186,6 +186,8 @@ mod tests {
             dfi_cache_hits: 0,
             resolved_analytically: 1,
             dfi_budget_exhausted: false,
+            patterns: "single-bit".into(),
+            pattern_tallies: vec![],
             config_fingerprint: 0,
         };
         assert!(level_row(&report).contains("CG"));

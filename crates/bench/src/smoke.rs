@@ -42,6 +42,18 @@ pub fn smoke_config() -> AnalysisConfig {
     }
 }
 
+/// The multi-bit configuration of the `patterns/mm` case: the same suite
+/// settings with adjacent double-bit bursts (§VII-B) instead of single-bit
+/// flips, so the pattern-generalized hot path — mask-keyed classification,
+/// per-pattern-class tallies, one-XOR fault application — is
+/// regression-gated alongside the single-bit engine.
+pub fn multibit_config() -> AnalysisConfig {
+    AnalysisConfig {
+        patterns: moard_core::ErrorPatternSet::AdjacentBits { width: 2 },
+        ..smoke_config()
+    }
+}
+
 /// One prepared workload of the suite: its trace and the target object.
 pub struct SmokeWorkload {
     /// Lower-case suite name (`mm`, `pf`).
@@ -176,7 +188,9 @@ pub struct SmokeReport {
 
 /// Run the full suite: `advf_analysis/{mm,pf}` (analytic aDVF of the target
 /// object), `propagation_k/{mm,pf}/k=50` (replay of every collected
-/// propagation seed with the paper's default window), `sweep/mm+pf`
+/// propagation seed with the paper's default window),
+/// `patterns/mm/adjacent-bits:2` (the multi-bit analysis hot path — same
+/// MM instance, adjacent double-bit bursts), `sweep/mm+pf`
 /// (the study driver end to end: spec expansion, harness preparation, and
 /// per-task scheduling over both workloads, single-threaded so the timing
 /// gates the scheduler's overhead rather than the machine's core count),
@@ -188,7 +202,8 @@ pub fn run_suite() -> SmokeReport {
     let k = config.propagation_window;
     let mut benches = Vec::new();
     let mut traces = Vec::new();
-    for wl in smoke_workloads() {
+    let workloads = smoke_workloads();
+    for wl in &workloads {
         traces.push((wl.workload.clone(), wl.trace.stats()));
         benches.push(bench(&format!("advf_analysis/{}", wl.key), 2, 10, || {
             let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
@@ -211,6 +226,17 @@ pub fn run_suite() -> SmokeReport {
             },
         ));
     }
+    // The multi-bit hot path: analytic aDVF of MM's C under adjacent
+    // double-bit bursts (pattern enumeration, mask-keyed classification,
+    // and per-pattern-class tallies all on the clock), reusing the already
+    // prepared MM instance.
+    let multibit = multibit_config();
+    let mm = &workloads[0];
+    assert_eq!(mm.key, "mm", "the suite's first workload is MM");
+    benches.push(bench("patterns/mm/adjacent-bits:2", 2, 10, || {
+        let analyzer = AdvfAnalyzer::new(&mm.trace, multibit.clone());
+        black_box(analyzer.analyze(mm.object, mm.object_name, &mm.workload, None));
+    }));
     let registry = smoke_registry();
     let spec = sweep_spec();
     benches.push(bench("sweep/mm+pf", 1, 5, || {

@@ -54,23 +54,31 @@ macro_rules! out {
 
 const USAGE: &str = "usage: moard [--format json|text] <command> [args]
   moard list
-  moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N] [--no-dfi] [--seq]
-  moard report  <workload> [object...] [--k N] [--stride N] [--max-dfi N] [--no-dfi]
+  moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N] [--patterns P]
+                [--no-dfi] [--seq]
+  moard report  <workload> [object...] [--k N] [--stride N] [--max-dfi N] [--patterns P]
+                [--no-dfi]
   moard sweep   [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
-                [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...] [--no-dfi]
+                [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...]
+                [--patterns P,P...] [--no-dfi]
                 [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume] [--seq]
   moard validate [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
-                [--k N] [--stride N] [--max-dfi N|unbounded] [--no-dfi]
+                [--k N] [--stride N] [--max-dfi N|unbounded] [--patterns P] [--no-dfi]
                 [--confidence 90|95|99] [--margin F] [--max-trials N] [--seed N]
                 [--tolerance F] [--store DIR] [--resume] [--seq]
-  moard inject  <workload> <object> [--tests N] [--seed N] [--exhaustive] [--budget N]
-  moard rank    <workload> [--k N] [--stride N] [--max-dfi N]
+  moard inject  <workload> <object> [--tests N] [--seed N] [--patterns P]
+                [--exhaustive] [--budget N]
+  moard rank    <workload> [--k N] [--stride N] [--max-dfi N] [--patterns P]
 
 options:
   --format json|text   output format (default: text; `report` is always JSON)
   --stride N           analyze every N-th participation site (default 4)
   --max-dfi N          cap deterministic fault injections per object (default 5000)
   --k N                propagation window (default 50)
+  --patterns P         error-pattern set: single-bit (default),
+                       adjacent-bits:N (N-bit bursts, paper sec. VII-B),
+                       separated-pair:N (two bits N apart), or
+                       explicit:b+b,b,... (sweep accepts a comma list grid)
   --no-dfi             purely analytical lower bound (no fault injection)
   --seq                analyze objects sequentially (default: parallel)
 
@@ -184,6 +192,7 @@ const VALUED_FLAGS: &[&str] = &[
     "--margin",
     "--max-trials",
     "--tolerance",
+    "--patterns",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
@@ -193,11 +202,19 @@ const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
 /// another command accepts it — `moard sweep --max-trials 10` must not
 /// silently run an uncapped sweep.
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
-    const ANALYSIS: &[&str] = &["--k", "--stride", "--max-dfi", "--no-dfi", "--seq"];
+    const ANALYSIS: &[&str] = &[
+        "--k",
+        "--stride",
+        "--max-dfi",
+        "--patterns",
+        "--no-dfi",
+        "--seq",
+    ];
     const SWEEP: &[&str] = &[
         "--k",
         "--stride",
         "--max-dfi",
+        "--patterns",
         "--no-dfi",
         "--seq",
         "--workloads",
@@ -211,6 +228,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--k",
         "--stride",
         "--max-dfi",
+        "--patterns",
         "--no-dfi",
         "--seq",
         "--workloads",
@@ -227,6 +245,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--k",
         "--stride",
         "--max-dfi",
+        "--patterns",
         "--no-dfi",
         "--seq",
         "--tests",
@@ -337,6 +356,27 @@ fn parse_max_dfi(item: &str) -> Result<Option<u64>, MoardError> {
     }
 }
 
+/// One `--patterns` item, parsed via the canonical pattern-set grammar
+/// (`single-bit`, `adjacent-bits:N`, `separated-pair:N`,
+/// `explicit:b+b,...`).
+fn parse_patterns(item: &str) -> Result<moard_core::ErrorPatternSet, MoardError> {
+    moard_core::ErrorPatternSet::from_canonical(item.trim()).ok_or_else(|| {
+        MoardError::InvalidConfig(format!(
+            "flag `--patterns` expects `single-bit`, `adjacent-bits:N`, `separated-pair:N` \
+             (N >= 1), or `explicit:b+b,...` with strictly increasing bits, got `{item}`"
+        ))
+    })
+}
+
+/// The single-valued `--patterns P` of analyze/report/rank/validate/inject
+/// (`sweep` takes a comma-separated grid list instead).
+fn patterns_flag(args: &[String]) -> Result<Option<moard_core::ErrorPatternSet>, MoardError> {
+    match str_flag_value(args, "--patterns")? {
+        None => Ok(None),
+        Some(text) => parse_patterns(text).map(Some),
+    }
+}
+
 /// Value of a fractional `--flag F` (e.g. `--margin 0.05`).
 fn float_flag_value(args: &[String], flag: &str) -> Result<Option<f64>, MoardError> {
     let Some(text) = str_flag_value(args, flag)? else {
@@ -399,6 +439,9 @@ fn configured_session(
         .max_dfi(flag_value(&cli.args, "--max-dfi")?.unwrap_or(5_000));
     if let Some(k) = flag_value(&cli.args, "--k")? {
         builder = builder.window(k as usize);
+    }
+    if let Some(patterns) = patterns_flag(&cli.args)? {
+        builder = builder.patterns(patterns);
     }
     if has_flag(&cli.args, "--no-dfi") {
         builder = builder.without_dfi();
@@ -541,6 +584,27 @@ fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
                 .map(parse_max_dfi)
                 .collect::<Result<Vec<_>, _>>()?,
         });
+    if let Some(list) = str_flag_value(&cli.args, "--patterns")? {
+        // Explicit pattern sets contain commas of their own
+        // (`explicit:0,63`), so the grid list cannot be naively split; an
+        // `explicit:` entry swallows the items that follow it.
+        let mut sets = Vec::new();
+        let mut rest = list;
+        loop {
+            let (item, tail) = match rest.find(',') {
+                Some(at) if !rest.trim_start().starts_with("explicit:") => {
+                    (&rest[..at], Some(&rest[at + 1..]))
+                }
+                _ => (rest, None),
+            };
+            sets.push(parse_patterns(item)?);
+            match tail {
+                Some(tail) => rest = tail,
+                None => break,
+            }
+        }
+        spec = spec.patterns(sets);
+    }
     if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
         spec = spec.objects(ObjectSelector::Named(
             objects.split(',').map(|s| s.trim().into()).collect(),
@@ -605,11 +669,12 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
             None => out!("{workload}"),
         }
         out!(
-            "  {:<14} {:>5} {:>7} {:>9} {:>8} {:>10} {:>12} {:>10} {:>8} {:>8}",
+            "  {:<14} {:>5} {:>7} {:>9} {:>16} {:>8} {:>10} {:>12} {:>10} {:>8} {:>8}",
             "object",
             "k",
             "stride",
             "max-dfi",
+            "patterns",
             "aDVF",
             "op-level",
             "propagation",
@@ -620,7 +685,7 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
         for entry in report.entries.iter().filter(|e| e.workload == workload) {
             let (op, prop, alg) = entry.advf.accumulator.level_breakdown();
             out!(
-                "  {:<14} {:>5} {:>7} {:>9} {:>8.4} {:>10.4} {:>12.4} {:>10.4} {:>8} {:>8}",
+                "  {:<14} {:>5} {:>7} {:>9} {:>16} {:>8.4} {:>10.4} {:>12.4} {:>10.4} {:>8} {:>8}",
                 entry.object,
                 entry.config.propagation_window,
                 entry.config.site_stride,
@@ -628,6 +693,7 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
                     .config
                     .max_dfi_per_object
                     .map_or("unbounded".to_string(), |n| n.to_string()),
+                entry.config.patterns.canonical(),
                 entry.advf.advf(),
                 op,
                 prop,
@@ -641,18 +707,20 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
         out!();
         out!("RFI validation leg:");
         out!(
-            "  {:<8} {:<14} {:>8} {:>14} {:>12}",
+            "  {:<8} {:<14} {:>16} {:>8} {:>14} {:>12}",
             "workload",
             "object",
+            "patterns",
             "tests",
             "success rate",
             "margin(95%)"
         );
         for entry in &report.rfi {
             out!(
-                "  {:<8} {:<14} {:>8} {:>14.4} {:>12.4}",
+                "  {:<8} {:<14} {:>16} {:>8} {:>14.4} {:>12.4}",
                 entry.workload,
                 entry.object,
+                entry.patterns,
                 entry.summary.tests,
                 entry.summary.success_rate(),
                 entry.summary.margin_95()
@@ -672,6 +740,9 @@ fn validate_spec(cli: &Cli) -> Result<ValidationSpec, MoardError> {
     };
     if let Some(k) = flag_value(&cli.args, "--k")? {
         spec = spec.window(k as usize);
+    }
+    if let Some(patterns) = patterns_flag(&cli.args)? {
+        spec = spec.patterns(patterns);
     }
     if has_flag(&cli.args, "--no-dfi") {
         spec = spec.without_dfi();
@@ -735,12 +806,13 @@ fn print_validation(
         stats.trials_executed
     );
     out!(
-        "campaign          : {:.0}% confidence, target margin {}, cap {} trials/cell, seed {}, tolerance {}",
+        "campaign          : {:.0}% confidence, target margin {}, cap {} trials/cell, seed {}, tolerance {}, patterns {}",
         report.confidence * 100.0,
         report.target_margin,
         report.max_trials,
         report.seed,
-        report.tolerance
+        report.tolerance,
+        report.config.patterns.canonical()
     );
     for workload in report.workloads() {
         out!();
@@ -807,8 +879,11 @@ fn cmd_inject(cli: &Cli) -> Result<(), CliError> {
         .build()?;
     let harness = session.harness();
     let stats = if has_flag(&cli.args, "--exhaustive") {
-        harness
-            .exhaustive_with_budget(object, flag_value(&cli.args, "--budget")?.unwrap_or(5_000))?
+        harness.exhaustive_with_budget(
+            object,
+            flag_value(&cli.args, "--budget")?.unwrap_or(5_000),
+            &patterns_flag(&cli.args)?.unwrap_or_default(),
+        )?
     } else {
         harness.rfi(
             object,
@@ -816,6 +891,7 @@ fn cmd_inject(cli: &Cli) -> Result<(), CliError> {
                 tests: flag_value(&cli.args, "--tests")?.unwrap_or(1_000) as usize,
                 seed: flag_value(&cli.args, "--seed")?.unwrap_or(0xF1F1),
                 parallelism: Parallelism::Auto,
+                patterns: patterns_flag(&cli.args)?.unwrap_or_default(),
             },
         )?
     };
@@ -889,6 +965,7 @@ fn print_report(report: &moard_core::AdvfReport) {
     let (ow, os, lc) = report.accumulator.kind_breakdown();
     out!("workload          : {}", report.workload);
     out!("data object       : {}", report.object);
+    out!("error patterns    : {}", report.patterns);
     out!("aDVF              : {:.4}", report.advf());
     out!("  operation level : {op:.4} (overwriting {ow:.4}, overshadowing {os:.4}, logic/compare {lc:.4})");
     out!("  propagation     : {prop:.4}");

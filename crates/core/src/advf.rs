@@ -140,6 +140,109 @@ impl AdvfAccumulator {
     }
 }
 
+/// Masking tallies of one pattern *class*: every enumerated error pattern
+/// flipping exactly `flipped_bits` bits (single-bit flips are the 1-bit
+/// class; an `adjacent-bits:2` burst is the 2-bit class; explicit sets may
+/// populate several classes at once).  Counts are exact `(site, pattern)`
+/// evaluation tallies — integers, so shard folds commute bit-exactly — and
+/// they are what a §VII-B "DVF vs burst width" study reads off a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatternClassTally {
+    /// Number of bits every pattern in this class flips.
+    pub flipped_bits: u32,
+    /// `(site, pattern)` evaluations performed for this class.
+    pub evaluated: u64,
+    /// Evaluations masked by value overwriting.
+    pub overwriting: u64,
+    /// Evaluations masked by logic / comparison operations.
+    pub logic_compare: u64,
+    /// Evaluations masked by value overshadowing.
+    pub overshadowing: u64,
+    /// Evaluations masked at the error-propagation level.
+    pub propagation: u64,
+    /// Evaluations masked at the algorithm level.
+    pub algorithm: u64,
+}
+
+impl PatternClassTally {
+    /// An empty tally of the given class.
+    pub fn new(flipped_bits: u32) -> Self {
+        PatternClassTally {
+            flipped_bits,
+            ..Default::default()
+        }
+    }
+
+    /// Total masked evaluations of this class.
+    pub fn masked(&self) -> u64 {
+        self.overwriting
+            + self.logic_compare
+            + self.overshadowing
+            + self.propagation
+            + self.algorithm
+    }
+
+    /// Evaluations not masked by any level.
+    pub fn not_masked(&self) -> u64 {
+        self.evaluated - self.masked()
+    }
+
+    /// Fraction of this class's evaluations that were masked — the
+    /// per-pattern-class aDVF analogue.
+    pub fn masked_fraction(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.masked() as f64 / self.evaluated as f64
+        }
+    }
+
+    /// Record one classified evaluation.
+    pub fn record(&mut self, class: Masking) {
+        self.evaluated += 1;
+        match class {
+            Masking::Operation(OpMaskKind::Overwriting) => self.overwriting += 1,
+            Masking::Operation(OpMaskKind::LogicCompare) => self.logic_compare += 1,
+            Masking::Operation(OpMaskKind::Overshadowing) => self.overshadowing += 1,
+            Masking::Propagation => self.propagation += 1,
+            Masking::Algorithm => self.algorithm += 1,
+            Masking::NotMasked => {}
+        }
+    }
+
+    /// Element-wise sum with another tally of the same class.
+    pub fn merge(&mut self, other: &PatternClassTally) {
+        debug_assert_eq!(self.flipped_bits, other.flipped_bits);
+        self.evaluated += other.evaluated;
+        self.overwriting += other.overwriting;
+        self.logic_compare += other.logic_compare;
+        self.overshadowing += other.overshadowing;
+        self.propagation += other.propagation;
+        self.algorithm += other.algorithm;
+    }
+}
+
+/// Merge `from` into `into`, keyed by class and kept sorted by
+/// `flipped_bits` (integer sums, so the result is independent of merge
+/// order — the property sharded analysis relies on).
+pub fn merge_pattern_tallies(into: &mut Vec<PatternClassTally>, from: &[PatternClassTally]) {
+    for tally in from {
+        match into
+            .iter_mut()
+            .find(|t| t.flipped_bits == tally.flipped_bits)
+        {
+            Some(existing) => existing.merge(tally),
+            None => {
+                let at = into
+                    .iter()
+                    .position(|t| t.flipped_bits > tally.flipped_bits)
+                    .unwrap_or(into.len());
+                into.insert(at, *tally);
+            }
+        }
+    }
+}
+
 /// Final per-object report produced by the analyzer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdvfReport {
@@ -163,6 +266,14 @@ pub struct AdvfReport {
     /// when the cap was never hit, including runs that landed exactly on it
     /// with nothing left to ask.
     pub dfi_budget_exhausted: bool,
+    /// Canonical rendering of the error-pattern set the analysis enumerated
+    /// (`ErrorPatternSet::canonical`), recorded directly so a report is
+    /// self-describing without re-deriving the config from its fingerprint.
+    pub patterns: String,
+    /// Per-pattern-class masking tallies (sorted by `flipped_bits`): how
+    /// each class of enumerated patterns — 1-bit flips, 2-bit bursts, … —
+    /// fared across the analyzed sites.
+    pub pattern_tallies: Vec<PatternClassTally>,
     /// Fingerprint of the [`crate::AnalysisConfig`] that produced this report
     /// (see `AnalysisConfig::fingerprint`); lets consumers of serialized
     /// reports tell apart results computed under different settings.
@@ -300,11 +411,43 @@ mod tests {
             dfi_cache_hits: 0,
             resolved_analytically: 1,
             dfi_budget_exhausted: false,
+            patterns: "single-bit".into(),
+            pattern_tallies: vec![],
             config_fingerprint: 0,
         };
         let s = r.to_string();
         assert!(s.contains("aDVF=1.0000"));
         assert!(s.contains("lu"));
         assert_eq!(r.masking_events(), 1.0);
+    }
+
+    #[test]
+    fn pattern_class_tallies_count_and_merge() {
+        let mut one = PatternClassTally::new(1);
+        one.record(Masking::Operation(OpMaskKind::Overwriting));
+        one.record(Masking::NotMasked);
+        one.record(Masking::Propagation);
+        assert_eq!(one.evaluated, 3);
+        assert_eq!(one.masked(), 2);
+        assert_eq!(one.not_masked(), 1);
+        assert!((one.masked_fraction() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut two = PatternClassTally::new(2);
+        two.record(Masking::Algorithm);
+
+        // Merging keys by class and keeps the list sorted, regardless of
+        // the order contributions arrive in.
+        let mut a = Vec::new();
+        merge_pattern_tallies(&mut a, &[two, one]);
+        let mut b = Vec::new();
+        merge_pattern_tallies(&mut b, &[one]);
+        merge_pattern_tallies(&mut b, &[two]);
+        assert_eq!(a, b);
+        assert_eq!(a[0].flipped_bits, 1);
+        assert_eq!(a[1].flipped_bits, 2);
+        merge_pattern_tallies(&mut a, &[one]);
+        assert_eq!(a[0].evaluated, 6);
+        assert_eq!(a.len(), 2);
+        assert_eq!(PatternClassTally::new(3).masked_fraction(), 0.0);
     }
 }

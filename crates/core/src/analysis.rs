@@ -17,7 +17,7 @@
 //! The per-class masking fractions accumulate into an [`AdvfAccumulator`]
 //! exactly as Equation 1 prescribes.
 
-use crate::advf::{AdvfAccumulator, AdvfReport};
+use crate::advf::{merge_pattern_tallies, AdvfAccumulator, AdvfReport, PatternClassTally};
 use crate::error_pattern::ErrorPatternSet;
 use crate::masking::{Masking, OpMaskKind};
 use crate::op_rules::{analyze_operation, OpVerdict};
@@ -157,8 +157,9 @@ impl<'a> AdvfAnalyzer<'a> {
         workload: &str,
         resolver: Option<&dyn DfiResolver>,
     ) -> AdvfReport {
-        let sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
+        let sites = self.pattern_sites(object);
         let mut acc = AdvfAccumulator::new();
+        let mut tallies: Vec<PatternClassTally> = Vec::new();
         let mut resolved_analytically = 0u64;
         let mut analyzed = 0u64;
         let stats_before = self.cache.stats();
@@ -168,7 +169,8 @@ impl<'a> AdvfAnalyzer<'a> {
 
         for site in &sites {
             analyzed += 1;
-            let (fractions, used_dfi) = self.analyze_site_in(&mut cursor, site, resolver);
+            let (fractions, used_dfi) =
+                self.analyze_site_tallied(&mut cursor, site, resolver, &mut tallies);
             if !used_dfi {
                 resolved_analytically += 1;
             }
@@ -185,8 +187,23 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
             resolved_analytically,
             dfi_budget_exhausted: self.dfi_budget_exhausted.load(Ordering::Relaxed),
+            patterns: self.config.patterns.canonical(),
+            pattern_tallies: tallies,
             config_fingerprint: self.config.fingerprint(),
         }
+    }
+
+    /// The site population of this analysis: the strided participation
+    /// sites whose element type enumerates at least one pattern of the
+    /// configured set.  This is the *shared* population: the RFI sampler of
+    /// the validation engine draws uniformly over exactly these sites ×
+    /// their patterns, so model and injection can never drift onto
+    /// different fault populations.  (Under `SingleBit` no site is ever
+    /// filtered — every type has at least one bit.)
+    pub fn pattern_sites(&self, object: ObjectId) -> Vec<ParticipationSite> {
+        let mut sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
+        sites.retain(|s| s.pattern_count(&self.config.patterns) > 0);
+        sites
     }
 
     /// Purely analytical analysis of one object with the participation
@@ -206,7 +223,7 @@ impl<'a> AdvfAnalyzer<'a> {
         workload: &str,
         workers: usize,
     ) -> AdvfReport {
-        let sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
+        let sites = self.pattern_sites(object);
         let selected: Vec<&ParticipationSite> = sites.iter().collect();
         let workers = workers.max(1).min(selected.len().max(1));
         let stats_before = self.cache.stats();
@@ -214,14 +231,21 @@ impl<'a> AdvfAnalyzer<'a> {
         // Per-class masked fractions of one site (`analyze_site` output).
         type SiteFractions = Vec<(Masking, f64)>;
         let mut fractions: Vec<Option<SiteFractions>> = vec![None; selected.len()];
+        let mut tallies: Vec<PatternClassTally> = Vec::new();
         if workers <= 1 {
             let mut cursor = ReplayCursor::new(self.trace);
             for (slot, site) in fractions.iter_mut().zip(selected.iter()) {
-                *slot = Some(self.analyze_site_in(&mut cursor, site, None).0);
+                *slot = Some(
+                    self.analyze_site_tallied(&mut cursor, site, None, &mut tallies)
+                        .0,
+                );
             }
         } else {
             let next = AtomicUsize::new(0);
-            let mut shards: Vec<Vec<(usize, SiteFractions)>> = Vec::new();
+            // One worker's output: its claimed (site index, fractions)
+            // pairs plus its local pattern-class tallies.
+            type WorkerShard = (Vec<(usize, Vec<(Masking, f64)>)>, Vec<PatternClassTally>);
+            let mut shards: Vec<WorkerShard> = Vec::new();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -230,14 +254,24 @@ impl<'a> AdvfAnalyzer<'a> {
                         scope.spawn(move || {
                             let mut cursor = ReplayCursor::new(self.trace);
                             let mut local = Vec::new();
+                            let mut local_tallies: Vec<PatternClassTally> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(site) = selected.get(i) else {
                                     break;
                                 };
-                                local.push((i, self.analyze_site_in(&mut cursor, site, None).0));
+                                local.push((
+                                    i,
+                                    self.analyze_site_tallied(
+                                        &mut cursor,
+                                        site,
+                                        None,
+                                        &mut local_tallies,
+                                    )
+                                    .0,
+                                ));
                             }
-                            local
+                            (local, local_tallies)
                         })
                     })
                     .collect();
@@ -246,8 +280,14 @@ impl<'a> AdvfAnalyzer<'a> {
                     .map(|h| h.join().expect("sharded analysis worker panicked"))
                     .collect();
             });
-            for (i, f) in shards.into_iter().flatten() {
-                fractions[i] = Some(f);
+            // Pattern-class tallies are exact integer counts keyed (and kept
+            // sorted) by class, so folding them worker-by-worker yields the
+            // same vector as the sequential loop no matter the scheduling.
+            for (local, local_tallies) in shards {
+                for (i, f) in local {
+                    fractions[i] = Some(f);
+                }
+                merge_pattern_tallies(&mut tallies, &local_tallies);
             }
         }
 
@@ -266,6 +306,8 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
             resolved_analytically: selected.len() as u64,
             dfi_budget_exhausted: false,
+            patterns: self.config.patterns.canonical(),
+            pattern_tallies: tallies,
             config_fingerprint: self.config.fingerprint(),
         }
     }
@@ -288,6 +330,20 @@ impl<'a> AdvfAnalyzer<'a> {
         site: &ParticipationSite,
         resolver: Option<&dyn DfiResolver>,
     ) -> (Vec<(Masking, f64)>, bool) {
+        let mut tallies = Vec::new();
+        self.analyze_site_tallied(cursor, site, resolver, &mut tallies)
+    }
+
+    /// [`AdvfAnalyzer::analyze_site_in`] that additionally folds each
+    /// classified `(pattern, verdict)` into the per-pattern-class tallies
+    /// of the report being assembled.
+    pub fn analyze_site_tallied(
+        &self,
+        cursor: &mut ReplayCursor<'a>,
+        site: &ParticipationSite,
+        resolver: Option<&dyn DfiResolver>,
+        tallies: &mut Vec<PatternClassTally>,
+    ) -> (Vec<(Masking, f64)>, bool) {
         let rec = self
             .trace
             .record(site.record_id)
@@ -302,6 +358,7 @@ impl<'a> AdvfAnalyzer<'a> {
         for pattern in &patterns {
             let (class, dfi) = self.classify_in(cursor, rec, site, pattern.clone(), resolver);
             used_dfi |= dfi;
+            record_pattern_class(tallies, pattern.bits.len() as u32, class);
             if class == Masking::NotMasked {
                 continue;
             }
@@ -400,10 +457,11 @@ impl<'a> AdvfAnalyzer<'a> {
         pattern: &crate::error_pattern::ErrorPattern,
         resolver: Option<&dyn DfiResolver>,
     ) -> Option<OutcomeClass> {
+        // The deterministic fault injector applies any error pattern in one
+        // XOR, so *every* enumerated pattern resolves exactly — there is no
+        // conservative single-bit-only path that would silently count wider
+        // patterns as not masked.
         let resolver = resolver?;
-        // The deterministic fault injector applies single-bit flips; wider
-        // patterns that reach this point stay conservatively unresolved.
-        let bit = pattern.single_bit()?;
         if self.dfi_budget_exhausted.load(Ordering::Relaxed) {
             return None;
         }
@@ -413,14 +471,32 @@ impl<'a> AdvfAnalyzer<'a> {
                 return None;
             }
         }
-        let key = EquivalenceKey::new(rec, site.slot, site.value.to_bits(), bit);
-        let fault = site.fault(bit);
+        let key = EquivalenceKey::new(rec, site.slot, site.value.to_bits(), pattern.mask());
+        let fault = site.fault(pattern);
         Some(self.cache.classify(key, &fault, resolver))
     }
 
     /// Cumulative DFI statistics across all objects analyzed so far.
     pub fn dfi_stats(&self) -> crate::resolver::ResolverStats {
         self.cache.stats()
+    }
+}
+
+/// Record one classified `(pattern, verdict)` into the tally keyed by its
+/// pattern class, keeping the vector sorted by `flipped_bits` (the same
+/// invariant [`merge_pattern_tallies`] maintains across shards).
+fn record_pattern_class(tallies: &mut Vec<PatternClassTally>, width: u32, class: Masking) {
+    match tallies.iter_mut().find(|t| t.flipped_bits == width) {
+        Some(t) => t.record(class),
+        None => {
+            let mut t = PatternClassTally::new(width);
+            t.record(class);
+            let at = tallies
+                .iter()
+                .position(|e| e.flipped_bits > width)
+                .unwrap_or(tallies.len());
+            tallies.insert(at, t);
+        }
     }
 }
 
@@ -573,7 +649,7 @@ mod tests {
         assert!((site_masked_fraction(&fractions) - 1.0).abs() < 1e-12);
         // Cross-check with the injector.
         for bit in [0u32, 31, 63] {
-            let outcome = run_with_fault(&m, &store_dest_site.fault(bit)).unwrap();
+            let outcome = run_with_fault(&m, &store_dest_site.fault_bit(bit)).unwrap();
             assert!(outcome.bits_identical(&golden));
         }
     }

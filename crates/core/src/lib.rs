@@ -72,7 +72,9 @@ pub mod resolver;
 pub mod sites;
 pub mod stats;
 
-pub use advf::{AdvfAccumulator, AdvfReport, MaskingTally};
+pub use advf::{
+    merge_pattern_tallies, AdvfAccumulator, AdvfReport, MaskingTally, PatternClassTally,
+};
 pub use analysis::{AdvfAnalyzer, AnalysisConfig};
 pub use error::MoardError;
 pub use error_pattern::{ErrorPattern, ErrorPatternSet};

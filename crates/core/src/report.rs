@@ -15,14 +15,24 @@
 //!   aDVF value, the per-level and per-kind breakdowns of Figs. 4 and 5)
 //!   are materialized alongside the raw numerator/denominator.
 
-use crate::advf::{AdvfAccumulator, AdvfReport, MaskingTally};
+use crate::advf::{AdvfAccumulator, AdvfReport, MaskingTally, PatternClassTally};
 use crate::analysis::AnalysisConfig;
 use crate::error::MoardError;
 use crate::error_pattern::ErrorPatternSet;
 use moard_json::{FromJson, Json, JsonError, ToJson};
 
 /// Version of the JSON report schema this build writes and reads.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — initial versioned schema (session / study / validation
+///   reports, single-bit-only injection substrate);
+/// * **2** — pattern-generalized fault engine: `AdvfReport` documents gain
+///   the additive `patterns` (canonical error-pattern-set string) and
+///   `pattern_tallies` (per-pattern-class masking tallies) fields, and the
+///   RFI entries of study reports record the pattern set their campaigns
+///   sampled.  Masking tallies of single-bit reports are unchanged.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a over a byte string — the canonical 64-bit fingerprint hash.
 /// Analysis-config fingerprints, study-spec fingerprints, and the result
@@ -95,6 +105,53 @@ impl FromJson for MaskingTally {
             propagation: value.f64_field("propagation")?,
             algorithm: value.f64_field("algorithm")?,
         })
+    }
+}
+
+impl ToJson for PatternClassTally {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("flipped_bits", Json::from(self.flipped_bits)),
+            ("evaluated", Json::from(self.evaluated)),
+            ("overwriting", Json::from(self.overwriting)),
+            ("logic_compare", Json::from(self.logic_compare)),
+            ("overshadowing", Json::from(self.overshadowing)),
+            ("propagation", Json::from(self.propagation)),
+            ("algorithm", Json::from(self.algorithm)),
+            // Derived, materialized for consumers; recomputed on read.
+            ("masked", Json::from(self.masked())),
+            ("masked_fraction", Json::from(self.masked_fraction())),
+        ])
+    }
+}
+
+impl FromJson for PatternClassTally {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let tally = PatternClassTally {
+            flipped_bits: value.u32_field("flipped_bits")?,
+            evaluated: value.u64_field("evaluated")?,
+            overwriting: value.u64_field("overwriting")?,
+            logic_compare: value.u64_field("logic_compare")?,
+            overshadowing: value.u64_field("overshadowing")?,
+            propagation: value.u64_field("propagation")?,
+            algorithm: value.u64_field("algorithm")?,
+        };
+        // `not_masked()` computes `evaluated - masked()`; a tampered
+        // document must not be able to smuggle in an underflow.
+        if tally
+            .overwriting
+            .checked_add(tally.logic_compare)
+            .and_then(|n| n.checked_add(tally.overshadowing))
+            .and_then(|n| n.checked_add(tally.propagation))
+            .and_then(|n| n.checked_add(tally.algorithm))
+            .is_none_or(|masked| masked > tally.evaluated)
+        {
+            return Err(JsonError::WrongType {
+                field: "pattern_tallies".into(),
+                expected: "per-class masked counts summing to at most `evaluated`",
+            });
+        }
+        Ok(tally)
     }
 }
 
@@ -198,6 +255,11 @@ impl ToJson for AdvfReport {
                 "dfi_budget_exhausted",
                 Json::from(self.dfi_budget_exhausted),
             ),
+            ("patterns", Json::from(self.patterns.as_str())),
+            (
+                "pattern_tallies",
+                Json::array(self.pattern_tallies.iter().map(|t| t.to_json())),
+            ),
         ])
     }
 }
@@ -227,6 +289,12 @@ impl AdvfReport {
                     expected: "a boolean",
                 })
                 .map_err(MoardError::Json)?,
+            patterns: doc.str_field("patterns")?.to_string(),
+            pattern_tallies: doc
+                .arr_field("pattern_tallies")?
+                .iter()
+                .map(PatternClassTally::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 
@@ -338,6 +406,10 @@ pub struct RfiEntry {
     pub workload: String,
     /// Data object name.
     pub object: String,
+    /// Canonical rendering of the error-pattern set the campaign sampled
+    /// (uniform over site × pattern — the same population as the aDVF cells
+    /// of the same grid entry).
+    pub patterns: String,
     /// The campaign tally.
     pub summary: RfiSummary,
 }
@@ -453,6 +525,7 @@ impl StudyReport {
                     Json::object([
                         ("workload", Json::from(e.workload.as_str())),
                         ("object", Json::from(e.object.as_str())),
+                        ("patterns", Json::from(e.patterns.as_str())),
                         ("summary", e.summary.to_json()),
                     ])
                 })),
@@ -504,6 +577,7 @@ impl StudyReport {
                 Ok(RfiEntry {
                     workload: cell.str_field("workload")?.to_string(),
                     object: cell.str_field("object")?.to_string(),
+                    patterns: cell.str_field("patterns")?.to_string(),
                     summary: RfiSummary::from_json(cell.field("summary")?)?,
                 })
             })
@@ -992,6 +1066,15 @@ mod tests {
             (Masking::Operation(OpMaskKind::LogicCompare), 0.25),
         ]);
         acc.add_participation(&[]);
+        let mut tally = PatternClassTally::new(1);
+        for class in [
+            Masking::Operation(OpMaskKind::Overwriting),
+            Masking::Propagation,
+            Masking::Algorithm,
+            Masking::NotMasked,
+        ] {
+            tally.record(class);
+        }
         AdvfReport {
             workload: "CG".into(),
             object: "colidx".into(),
@@ -1001,6 +1084,8 @@ mod tests {
             dfi_cache_hits: 7,
             resolved_analytically: 2,
             dfi_budget_exhausted: false,
+            patterns: "single-bit".into(),
+            pattern_tallies: vec![tally],
             config_fingerprint: AnalysisConfig::default().fingerprint(),
         }
     }
@@ -1119,6 +1204,7 @@ mod tests {
             rfi: vec![RfiEntry {
                 workload: "CG".into(),
                 object: "colidx".into(),
+                patterns: "single-bit".into(),
                 summary: RfiSummary {
                     tests: 500,
                     seed: 0xF1F1,
@@ -1203,10 +1289,12 @@ mod tests {
             StudyReport::from_json(&doc),
             Err(MoardError::InvalidConfig(_))
         ));
-        // A wrong schema version is rejected before anything else
-        // (`schema_version` is the first member, so the first digit in the
-        // compact rendering is its value).
-        let bad = study.to_json_string().replacen("1", "9", 1);
+        // A wrong schema version is rejected before anything else.
+        let bad = study.to_json_string().replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":99",
+            1,
+        );
         assert!(matches!(
             StudyReport::from_json_str(&bad),
             Err(MoardError::SchemaMismatch { .. })
@@ -1239,6 +1327,8 @@ mod tests {
                 dfi_cache_hits: 0,
                 resolved_analytically: 0,
                 dfi_budget_exhausted,
+                patterns: config.patterns.canonical(),
+                pattern_tallies: vec![],
                 config_fingerprint: config.fingerprint(),
             },
             rfi: RfiCampaign {
@@ -1378,10 +1468,11 @@ mod tests {
     fn validation_report_rejects_tampering() {
         let report = sample_validation();
         // Wrong schema version.
-        let bad =
-            report
-                .to_json_string()
-                .replacen("\"schema_version\":1", "\"schema_version\":9", 1);
+        let bad = report.to_json_string().replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":99",
+            1,
+        );
         assert!(matches!(
             ValidationReport::from_json_str(&bad),
             Err(MoardError::SchemaMismatch { .. })
@@ -1427,6 +1518,20 @@ mod tests {
         assert_eq!(doc.u64_field("trials").unwrap(), 128);
         let back = RfiCampaign::from_json(&doc).unwrap();
         assert_eq!(back, campaign);
+    }
+
+    #[test]
+    fn tampered_pattern_tallies_are_rejected() {
+        // Per-class counts exceeding `evaluated` would underflow
+        // `not_masked()`; the parser must refuse them.
+        let text = sample_report().to_json_string();
+        let bad = text.replacen("\"evaluated\":4", "\"evaluated\":1", 1);
+        assert!(matches!(
+            AdvfReport::from_json_str(&bad),
+            Err(MoardError::Json(JsonError::WrongType { .. }))
+        ));
+        // The untampered document still parses.
+        assert!(AdvfReport::from_json_str(&text).is_ok());
     }
 
     #[test]

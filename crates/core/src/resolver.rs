@@ -9,9 +9,10 @@
 //! To avoid repeating injections for equivalent faults, MOARD leverages error
 //! equivalence (in the spirit of Relyzer/GangES, cited as \[7\], \[20\] in the
 //! paper): two fault sites at the same *static* instruction, the same operand
-//! slot, the same consumed value, and the same flipped bit produce the same
-//! intermediate corrupted state and therefore the same verdict.  The
-//! [`EquivalenceCache`] keys verdicts on exactly that tuple.
+//! slot, the same consumed value, and the same injected bit mask produce the
+//! same intermediate corrupted state and therefore the same verdict.  The
+//! [`EquivalenceCache`] keys verdicts on exactly that tuple, so single-bit
+//! flips and the multi-bit patterns of §VII-B memoize with equal precision.
 
 use crate::sites::SiteSlot;
 use moard_vm::{FaultSpec, OutcomeClass, TraceRecord};
@@ -41,7 +42,11 @@ where
     }
 }
 
-/// Error-equivalence key: static instruction, slot, consumed value bits, bit.
+/// Error-equivalence key: static instruction, slot, consumed value bits,
+/// and the injected bit mask.  Keying on the whole mask (not a single bit
+/// position) makes the cache exact for multi-bit error patterns: two faults
+/// are equivalent iff they corrupt the same clean value the same way at the
+/// same static site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EquivalenceKey {
     /// Static location (function, block, instruction index).
@@ -50,13 +55,13 @@ pub struct EquivalenceKey {
     pub slot_key: u32,
     /// Raw bits of the clean value at the site.
     pub value_bits: u64,
-    /// Flipped bit.
-    pub bit: u32,
+    /// XOR mask of the injected error pattern.
+    pub mask: u64,
 }
 
 impl EquivalenceKey {
     /// Build the key for a site within a record.
-    pub fn new(rec: &TraceRecord, slot: SiteSlot, value_bits: u64, bit: u32) -> Self {
+    pub fn new(rec: &TraceRecord, slot: SiteSlot, value_bits: u64, mask: u64) -> Self {
         let slot_key = match slot {
             SiteSlot::Operand(i) => i as u32,
             SiteSlot::StoreDest => u32::MAX,
@@ -65,7 +70,7 @@ impl EquivalenceKey {
             static_key: rec.static_key(),
             slot_key,
             value_bits,
-            bit,
+            mask,
         }
     }
 }
@@ -168,8 +173,8 @@ mod tests {
             OutcomeClass::Acceptable
         };
         let rec = record(0, 3);
-        let key = EquivalenceKey::new(&rec, SiteSlot::Operand(0), 0xabc, 5);
-        let fault = FaultSpec::new(42, FaultTarget::Operand(0), 5);
+        let key = EquivalenceKey::new(&rec, SiteSlot::Operand(0), 0xabc, 1 << 5);
+        let fault = FaultSpec::single_bit(42, FaultTarget::Operand(0), 5);
         for _ in 0..10 {
             assert_eq!(
                 cache.classify(key, &fault, &resolver),
@@ -184,33 +189,40 @@ mod tests {
     }
 
     #[test]
-    fn different_bits_or_values_are_not_equivalent() {
+    fn different_masks_or_values_are_not_equivalent() {
         let cache = EquivalenceCache::new();
         let resolver = |_: &FaultSpec| OutcomeClass::Incorrect;
         let rec = record(0, 3);
-        let fault = FaultSpec::new(42, FaultTarget::Operand(0), 5);
+        let fault = FaultSpec::single_bit(42, FaultTarget::Operand(0), 5);
         cache.classify(
-            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 5),
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 1 << 5),
             &fault,
             &resolver,
         );
         cache.classify(
-            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 6),
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, 1 << 6),
+            &fault,
+            &resolver,
+        );
+        // A multi-bit pattern is its own equivalence class, distinct from
+        // either of its constituent single-bit flips.
+        cache.classify(
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 1, (1 << 5) | (1 << 6)),
             &fault,
             &resolver,
         );
         cache.classify(
-            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 2, 5),
+            EquivalenceKey::new(&rec, SiteSlot::Operand(0), 2, 1 << 5),
             &fault,
             &resolver,
         );
         cache.classify(
-            EquivalenceKey::new(&rec, SiteSlot::StoreDest, 1, 5),
+            EquivalenceKey::new(&rec, SiteSlot::StoreDest, 1, 1 << 5),
             &fault,
             &resolver,
         );
-        assert_eq!(cache.len(), 4);
-        assert_eq!(cache.stats().injections, 4);
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.stats().injections, 5);
     }
 
     #[test]
@@ -226,17 +238,17 @@ mod tests {
         let rec_a = record(1, 7);
         let mut rec_b = record(1, 7);
         rec_b.id = 1000;
-        let ka = EquivalenceKey::new(&rec_a, SiteSlot::Operand(1), 99, 3);
-        let kb = EquivalenceKey::new(&rec_b, SiteSlot::Operand(1), 99, 3);
+        let ka = EquivalenceKey::new(&rec_a, SiteSlot::Operand(1), 99, 1 << 3);
+        let kb = EquivalenceKey::new(&rec_b, SiteSlot::Operand(1), 99, 1 << 3);
         assert_eq!(ka, kb);
         cache.classify(
             ka,
-            &FaultSpec::new(42, FaultTarget::Operand(1), 3),
+            &FaultSpec::single_bit(42, FaultTarget::Operand(1), 3),
             &resolver,
         );
         cache.classify(
             kb,
-            &FaultSpec::new(1000, FaultTarget::Operand(1), 3),
+            &FaultSpec::single_bit(1000, FaultTarget::Operand(1), 3),
             &resolver,
         );
         assert_eq!(calls.load(Ordering::SeqCst), 1);

@@ -8,6 +8,7 @@
 //! same site enumeration so that the model and the injection campaigns look
 //! at identical fault populations.
 
+use crate::error_pattern::{ErrorPattern, ErrorPatternSet};
 use moard_ir::Value;
 use moard_vm::{FaultSpec, FaultTarget, ObjectId, Trace, TraceOp, TraceRecord};
 
@@ -44,15 +45,28 @@ pub struct ParticipationSite {
 }
 
 impl ParticipationSite {
-    /// Build the deterministic-fault spec for flipping `bit` at this site.
-    pub fn fault(&self, bit: u32) -> FaultSpec {
-        FaultSpec::new(self.record_id, self.slot.fault_target(), bit)
+    /// Build the deterministic-fault spec injecting `pattern` at this site —
+    /// the whole pattern is applied in one XOR by the VM.
+    pub fn fault(&self, pattern: &ErrorPattern) -> FaultSpec {
+        FaultSpec::masked(self.record_id, self.slot.fault_target(), pattern.mask())
+    }
+
+    /// Convenience wrapper of [`ParticipationSite::fault`] for the classic
+    /// single-bit flip at `bit`.
+    pub fn fault_bit(&self, bit: u32) -> FaultSpec {
+        FaultSpec::single_bit(self.record_id, self.slot.fault_target(), bit)
     }
 
     /// Number of single-bit fault-injection sites this participation
     /// contributes (= the bit width of the element value).
     pub fn bit_width(&self) -> u32 {
         self.value.ty().bit_width()
+    }
+
+    /// Number of fault-injection sites this participation contributes under
+    /// a pattern set (= the patterns enumerable for the element type).
+    pub fn pattern_count(&self, patterns: &ErrorPatternSet) -> usize {
+        patterns.count_for(self.value.ty())
     }
 }
 
@@ -156,12 +170,15 @@ pub fn collect_sites_for_record(
     }
 }
 
-/// Total number of valid single-bit fault-injection sites for an object
-/// (the "trillions of sites" quantity of §V-B, at our scale).
-pub fn count_fault_sites(trace: &Trace, obj: ObjectId) -> u64 {
+/// Total number of valid fault-injection sites for an object under a
+/// pattern set (the "trillions of sites" quantity of §V-B, at our scale):
+/// every participation site contributes one injection site per pattern the
+/// set enumerates for its element type, so the same population the aDVF
+/// analyzer walks and the RFI sampler draws from is being counted.
+pub fn count_fault_sites(trace: &Trace, obj: ObjectId, patterns: &ErrorPatternSet) -> u64 {
     enumerate_sites(trace, obj)
         .iter()
-        .map(|s| s.bit_width() as u64)
+        .map(|s| s.pattern_count(patterns) as u64)
         .sum()
 }
 
@@ -227,12 +244,24 @@ mod tests {
     }
 
     #[test]
-    fn fault_sites_scale_with_bit_width() {
+    fn fault_sites_scale_with_pattern_count() {
         let (m, _, _) = l2norm_like();
         let (_, trace) = run_traced(&m).unwrap();
         let vm = moard_vm::Vm::with_defaults(&m).unwrap();
         let v_obj = vm.objects().by_name("v").unwrap().id;
-        assert_eq!(count_fault_sites(&trace, v_obj), 8 * 64);
+        assert_eq!(
+            count_fault_sites(&trace, v_obj, &ErrorPatternSet::SingleBit),
+            8 * 64
+        );
+        // 8 sites × 63 adjacent double-bit bursts per 64-bit element.
+        assert_eq!(
+            count_fault_sites(&trace, v_obj, &ErrorPatternSet::AdjacentBits { width: 2 }),
+            8 * 63
+        );
+        assert_eq!(
+            count_fault_sites(&trace, v_obj, &ErrorPatternSet::SeparatedPair { gap: 8 }),
+            8 * 56
+        );
     }
 
     #[test]
@@ -243,16 +272,21 @@ mod tests {
             element: (ObjectId(0), 3),
             value: Value::F64(2.0),
         };
-        let f = site.fault(63);
+        let f = site.fault_bit(63);
         assert_eq!(f.dyn_id, 17);
         assert_eq!(f.target, FaultTarget::Operand(1));
-        assert_eq!(f.bit, 63);
+        assert_eq!(f.mask, 1 << 63);
         assert_eq!(site.bit_width(), 64);
+        // The pattern form produces the same spec for a single bit, and a
+        // multi-bit mask for wider patterns.
+        assert_eq!(site.fault(&ErrorPattern::single(63)), f);
+        assert_eq!(site.fault(&ErrorPattern::new(vec![0, 1])).mask, 0b11);
+        assert_eq!(site.pattern_count(&ErrorPatternSet::SingleBit), 64);
 
         let store_site = ParticipationSite {
             slot: SiteSlot::StoreDest,
             ..site
         };
-        assert_eq!(store_site.fault(0).target, FaultTarget::StoreDest);
+        assert_eq!(store_site.fault_bit(0).target, FaultTarget::StoreDest);
     }
 }

@@ -149,7 +149,7 @@ mod tests {
         enumerate_sites(&trace, c)
             .iter()
             .take(count)
-            .map(|s| s.fault(31))
+            .map(|s| s.fault_bit(31))
             .collect()
     }
 

@@ -2,27 +2,33 @@
 //! (paper §V-B, Fig. 6).
 //!
 //! An exhaustive campaign injects a fault at *every* valid fault-injection
-//! site of the target data object: every bit of every operand / store
-//! destination holding a value of the object, at every dynamic occurrence.
-//! It is exact but astronomically expensive at production scale (the paper
-//! counts trillions of sites for CG class A); at our reduced problem sizes it
-//! is feasible and serves as the reference ranking against which the aDVF
-//! ranking is checked.  A deterministic stride makes sub-sampled
-//! "near-exhaustive" campaigns possible for the larger objects.
+//! site of the target data object: every enumerated error pattern of every
+//! operand / store destination holding a value of the object, at every
+//! dynamic occurrence (the classic campaign is the `single-bit` pattern
+//! set: every bit of every site).  It is exact but astronomically expensive
+//! at production scale (the paper counts trillions of sites for CG class
+//! A); at our reduced problem sizes it is feasible and serves as the
+//! reference ranking against which the aDVF ranking is checked.  A
+//! deterministic stride makes sub-sampled "near-exhaustive" campaigns
+//! possible for the larger objects.
 
 use crate::campaign::{run_campaign_stats, Parallelism};
 use crate::injector::DeterministicInjector;
 use crate::stats::CampaignStats;
-use moard_core::ParticipationSite;
+use moard_core::{ErrorPatternSet, ParticipationSite};
 use moard_vm::FaultSpec;
 
 /// Configuration of an exhaustive campaign.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExhaustiveConfig {
     /// Inject only every `site_stride`-th site (1 = truly exhaustive).
     pub site_stride: usize,
-    /// Inject only every `bit_stride`-th bit of each site (1 = all bits).
-    pub bit_stride: usize,
+    /// Inject only every `pattern_stride`-th enumerated pattern of each
+    /// site (1 = all patterns; under `single-bit` this is the classic
+    /// every-N-th-bit stride).
+    pub pattern_stride: usize,
+    /// Error patterns enumerated per site (default: every single-bit flip).
+    pub patterns: ErrorPatternSet,
     /// Worker threads.
     pub parallelism: Parallelism,
 }
@@ -31,25 +37,30 @@ impl Default for ExhaustiveConfig {
     fn default() -> Self {
         ExhaustiveConfig {
             site_stride: 1,
-            bit_stride: 1,
+            pattern_stride: 1,
+            patterns: ErrorPatternSet::SingleBit,
             parallelism: Parallelism::Auto,
         }
     }
 }
 
-/// Enumerate the faults of an exhaustive campaign over the given sites.
+/// Enumerate the faults of an exhaustive campaign over the given sites:
+/// the strided site × pattern cross-product, in site-major order.
 pub fn enumerate_faults(sites: &[ParticipationSite], config: &ExhaustiveConfig) -> Vec<FaultSpec> {
     let site_stride = config.site_stride.max(1);
-    let bit_stride = config.bit_stride.max(1) as u32;
+    let pattern_stride = config.pattern_stride.max(1);
     let mut faults = Vec::new();
     for (i, site) in sites.iter().enumerate() {
         if i % site_stride != 0 {
             continue;
         }
-        let mut bit = 0;
-        while bit < site.bit_width() {
-            faults.push(site.fault(bit));
-            bit += bit_stride;
+        for pattern in config
+            .patterns
+            .patterns_for(site.value.ty())
+            .iter()
+            .step_by(pattern_stride)
+        {
+            faults.push(site.fault(pattern));
         }
     }
     faults
@@ -80,17 +91,43 @@ mod tests {
         let c = vm.objects().by_name("C").unwrap().id;
         let sites = enumerate_sites(&trace, c);
         let all = enumerate_faults(&sites, &ExhaustiveConfig::default());
-        assert_eq!(all.len() as u64, moard_core::count_fault_sites(&trace, c));
+        assert_eq!(
+            all.len() as u64,
+            moard_core::count_fault_sites(&trace, c, &ErrorPatternSet::SingleBit)
+        );
         let strided = enumerate_faults(
             &sites,
             &ExhaustiveConfig {
                 site_stride: 2,
-                bit_stride: 8,
+                pattern_stride: 8,
                 ..Default::default()
             },
         );
         assert!(strided.len() < all.len());
         assert!(!strided.is_empty());
+    }
+
+    #[test]
+    fn multibit_enumeration_covers_every_pattern() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let (_, trace) = run_traced(injector.module()).unwrap();
+        let vm = Vm::with_defaults(injector.module()).unwrap();
+        let c = vm.objects().by_name("C").unwrap().id;
+        let sites = enumerate_sites(&trace, c);
+        let patterns = ErrorPatternSet::AdjacentBits { width: 2 };
+        let all = enumerate_faults(
+            &sites,
+            &ExhaustiveConfig {
+                patterns: patterns.clone(),
+                ..Default::default()
+            },
+        );
+        // Site × pattern cross-product, every fault a double-bit burst.
+        assert_eq!(
+            all.len() as u64,
+            moard_core::count_fault_sites(&trace, c, &patterns)
+        );
+        assert!(all.iter().all(|f| f.mask.count_ones() == 2));
     }
 
     #[test]
@@ -104,7 +141,7 @@ mod tests {
             &injector,
             &sites[..4.min(sites.len())],
             &ExhaustiveConfig {
-                bit_stride: 16,
+                pattern_stride: 16,
                 parallelism: Parallelism::Fixed(2),
                 ..Default::default()
             },

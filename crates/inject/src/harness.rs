@@ -281,22 +281,25 @@ impl WorkloadHarness {
         Ok(run_rfi(&self.injector, &self.sites(object)?, config))
     }
 
-    /// Convenience: exhaustive campaign with strides chosen so the total
-    /// number of injections stays near `budget`.
+    /// Convenience: exhaustive campaign over the site × pattern population
+    /// with strides chosen so the total number of injections stays near
+    /// `budget`.
     pub fn exhaustive_with_budget(
         &self,
         object: &str,
         budget: u64,
+        patterns: &moard_core::ErrorPatternSet,
     ) -> Result<CampaignStats, MoardError> {
         let sites = self.sites(object)?;
-        let total: u64 = sites.iter().map(|s| s.bit_width() as u64).sum();
+        let total: u64 = sites.iter().map(|s| s.pattern_count(patterns) as u64).sum();
         let stride = (total / budget.max(1)).max(1) as usize;
         Ok(run_exhaustive(
             &self.injector,
             &sites,
             &ExhaustiveConfig {
                 site_stride: stride,
-                bit_stride: 1,
+                pattern_stride: 1,
+                patterns: patterns.clone(),
                 parallelism: Parallelism::Auto,
             },
         ))
@@ -429,7 +432,9 @@ mod tests {
         // On the same fault population, RFI with enough tests should land
         // within a few points of the strided-exhaustive ground truth.
         let h = WorkloadHarness::new(Box::new(MatMul::default())).unwrap();
-        let exhaustive = h.exhaustive_with_budget("C", 400).unwrap();
+        let exhaustive = h
+            .exhaustive_with_budget("C", 400, &moard_core::ErrorPatternSet::SingleBit)
+            .unwrap();
         let rfi = h
             .rfi(
                 "C",

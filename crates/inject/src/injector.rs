@@ -110,7 +110,7 @@ mod tests {
             .find(|s| s.slot == SiteSlot::StoreDest)
             .unwrap();
         assert_eq!(
-            injector.run_classified(&store_site.fault(63)),
+            injector.run_classified(&store_site.fault_bit(63)),
             OutcomeClass::Identical
         );
 
@@ -124,7 +124,7 @@ mod tests {
             .rev()
             .find(|s| matches!(s.slot, SiteSlot::Operand(_)))
             .unwrap();
-        let verdict = injector.run_classified(&value_site.fault(62));
+        let verdict = injector.run_classified(&value_site.fault_bit(62));
         assert_ne!(verdict, OutcomeClass::Identical);
     }
 
@@ -134,7 +134,7 @@ mod tests {
         let resolver: &dyn DfiResolver = &injector;
         assert_eq!(resolver.name(), "MM");
         // A fault at a non-existent dynamic instruction is a no-op: identical.
-        let nop = FaultSpec::new(u64::MAX - 1, moard_vm::FaultTarget::Result, 0);
+        let nop = FaultSpec::single_bit(u64::MAX - 1, moard_vm::FaultTarget::Result, 0);
         assert_eq!(resolver.classify(&nop), OutcomeClass::Identical);
     }
 }

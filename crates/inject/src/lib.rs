@@ -119,7 +119,7 @@ pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
 pub use harness::WorkloadHarness;
 pub use injector::DeterministicInjector;
 pub use moard_core::MoardError;
-pub use random::{run_rfi, sample_faults, sample_shard, shard_seed, RfiConfig};
+pub use random::{run_rfi, sample_faults, sample_shard, shard_seed, PatternSampler, RfiConfig};
 pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};
 pub use stats::{required_sample_size, z_value, CampaignStats};
 pub use store::ResultStore;

@@ -2,34 +2,39 @@
 //! compares aDVF against (§V-C, Fig. 7).
 //!
 //! RFI draws uniformly among the *valid fault-injection sites* of a target
-//! data object (a bit of an instruction operand or store destination holding
-//! a value of the object) and reports the campaign success rate with its
-//! Wilson margin of error.  The paper's point — reproduced by the
-//! `fig7_rfi_vs_advf` bench — is that RFI estimates fluctuate with the
-//! number of tests and cannot produce a stable ranking of data objects,
-//! whereas aDVF is deterministic.
+//! data object — an (operand / store destination, error pattern) pair, with
+//! the patterns enumerated by the **same** [`ErrorPatternSet`] the aDVF
+//! analyzer walks — and reports the campaign success rate with its Wilson
+//! margin of error.  Sampling site-then-pattern keeps the two legs of a
+//! model-vs-injection comparison on one fault population by construction;
+//! under the default `single-bit` set this is exactly the classic
+//! site × bit draw (and bit-for-bit the same RNG stream).  The paper's
+//! point — reproduced by the `fig7_rfi_vs_advf` bench — is that RFI
+//! estimates fluctuate with the number of tests and cannot produce a stable
+//! ranking of data objects, whereas aDVF is deterministic.
 //!
-//! Two sampling surfaces are provided:
+//! Two sampling surfaces are provided on [`PatternSampler`]:
 //!
-//! * [`sample_faults`] — one flat stream for a fixed-size campaign (the
-//!   Fig. 7 leg of the sweep engine);
-//! * [`sample_shard`] — **shard-indexed streams** for the adaptive
-//!   campaigns of the validation engine: shard `i` of a campaign draws from
-//!   its own RNG stream derived from `(base seed, shard index)`, so any
-//!   prefix of shards is bit-identical no matter how many shards end up
-//!   running, in what order, or on how many threads.  An adaptive stopping
-//!   rule that works in whole shards is therefore deterministic.
+//! * [`PatternSampler::sample`] / [`sample_faults`] — one flat stream for a
+//!   fixed-size campaign (the Fig. 7 leg of the sweep engine);
+//! * [`PatternSampler::sample_shard`] / [`sample_shard`] — **shard-indexed
+//!   streams** for the adaptive campaigns of the validation engine: shard
+//!   `i` of a campaign draws from its own RNG stream derived from `(base
+//!   seed, shard index)`, so any prefix of shards is bit-identical no
+//!   matter how many shards end up running, in what order, or on how many
+//!   threads.  An adaptive stopping rule that works in whole shards is
+//!   therefore deterministic.
 
 use crate::campaign::{run_campaign_stats, Parallelism};
 use crate::injector::DeterministicInjector;
 use crate::stats::CampaignStats;
-use moard_core::ParticipationSite;
+use moard_core::{ErrorPatternSet, ParticipationSite};
 use moard_vm::FaultSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Configuration of a random fault-injection campaign.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RfiConfig {
     /// Number of injection tests.
     pub tests: usize,
@@ -37,6 +42,9 @@ pub struct RfiConfig {
     pub seed: u64,
     /// Worker threads.
     pub parallelism: Parallelism,
+    /// Error patterns the campaign draws from (uniform over
+    /// site × pattern; default: every single-bit flip).
+    pub patterns: ErrorPatternSet,
 }
 
 impl Default for RfiConfig {
@@ -45,30 +53,113 @@ impl Default for RfiConfig {
             tests: 500,
             seed: 0xF1_F1,
             parallelism: Parallelism::Auto,
+            patterns: ErrorPatternSet::SingleBit,
         }
     }
 }
 
-/// Draw `count` random single-bit faults among the valid sites (uniform over
-/// site × bit) from the given RNG.
-fn draw_faults(sites: &[ParticipationSite], rng: &mut StdRng, count: usize) -> Vec<FaultSpec> {
-    (0..count)
-        .map(|_| {
-            let site = &sites[rng.gen_range(0..sites.len())];
-            let bit = rng.gen_range(0..site.bit_width());
-            site.fault(bit)
-        })
-        .collect()
+/// The uniform site × pattern sampling population of one campaign: the
+/// participation sites whose element type enumerates at least one pattern
+/// of the set (the identical filter `AdvfAnalyzer::pattern_sites` applies),
+/// each paired with its per-type menu of fault masks.
+///
+/// Pattern menus are enumerated once per distinct element type at
+/// construction, so drawing is allocation-free per fault.
+pub struct PatternSampler<'a> {
+    sites: Vec<&'a ParticipationSite>,
+    /// One mask menu per distinct element type among the sites.
+    menus: Vec<Vec<u64>>,
+    /// Menu index of each site (parallel to `sites`).
+    site_menu: Vec<usize>,
 }
 
-/// Draw `tests` random single-bit faults among the valid sites of the target
-/// object (uniform over site × bit).
-pub fn sample_faults(sites: &[ParticipationSite], config: &RfiConfig) -> Vec<FaultSpec> {
-    if sites.is_empty() {
-        return Vec::new();
+impl<'a> PatternSampler<'a> {
+    /// Build the sampler over the sites' site × pattern population.
+    pub fn new(sites: &'a [ParticipationSite], patterns: &ErrorPatternSet) -> PatternSampler<'a> {
+        let mut menus: Vec<Vec<u64>> = Vec::new();
+        let mut menu_types: Vec<moard_ir::Type> = Vec::new();
+        let mut kept = Vec::new();
+        let mut site_menu = Vec::new();
+        for site in sites {
+            let ty = site.value.ty();
+            let menu = match menu_types.iter().position(|&t| t == ty) {
+                Some(i) => i,
+                None => {
+                    menu_types.push(ty);
+                    menus.push(patterns.patterns_for(ty).iter().map(|p| p.mask()).collect());
+                    menus.len() - 1
+                }
+            };
+            if menus[menu].is_empty() {
+                // No pattern applies to this element type (e.g. a burst
+                // wider than the type): the site contributes no faults,
+                // exactly as it contributes no analysis participations.
+                continue;
+            }
+            kept.push(site);
+            site_menu.push(menu);
+        }
+        PatternSampler {
+            sites: kept,
+            menus,
+            site_menu,
+        }
     }
+
+    /// True if no (site, pattern) fault exists to draw.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The sites the sampler draws from (post pattern filtering).
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total number of distinct (site, pattern) faults in the population.
+    pub fn population(&self) -> u64 {
+        self.site_menu
+            .iter()
+            .map(|&m| self.menus[m].len() as u64)
+            .sum()
+    }
+
+    /// Draw `count` faults from the given RNG (uniform over site, then
+    /// uniform over the site's pattern menu — the same two-draw shape, and
+    /// for `single-bit` the same stream, as the classic site × bit draw).
+    pub fn sample(&self, rng: &mut StdRng, count: usize) -> Vec<FaultSpec> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| {
+                let i = rng.gen_range(0..self.sites.len());
+                let menu = &self.menus[self.site_menu[i]];
+                let mask = menu[rng.gen_range(0..menu.len())];
+                FaultSpec::masked(
+                    self.sites[i].record_id,
+                    self.sites[i].slot.fault_target(),
+                    mask,
+                )
+            })
+            .collect()
+    }
+
+    /// Draw the `count` faults of shard `index` of an adaptive campaign —
+    /// a pure function of `(population, seed, index, count)`, independent
+    /// of every other shard.
+    pub fn sample_shard(&self, seed: u64, index: u64, count: usize) -> Vec<FaultSpec> {
+        let mut rng = StdRng::seed_from_u64(shard_seed(seed, index));
+        self.sample(&mut rng, count)
+    }
+}
+
+/// Draw `tests` random faults among the valid sites of the target object
+/// (uniform over site × pattern, per `config.patterns`).
+pub fn sample_faults(sites: &[ParticipationSite], config: &RfiConfig) -> Vec<FaultSpec> {
+    let sampler = PatternSampler::new(sites, &config.patterns);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    draw_faults(sites, &mut rng, config.tests)
+    sampler.sample(&mut rng, config.tests)
 }
 
 /// The RNG stream seed of shard `index` of a campaign with base seed
@@ -78,20 +169,17 @@ pub fn shard_seed(seed: u64, index: u64) -> u64 {
     moard_core::fnv1a(format!("rfi-shard;seed={seed:016x};shard={index}").as_bytes())
 }
 
-/// Draw the `count` faults of shard `index` of an adaptive campaign —
-/// a pure function of `(sites, seed, index, count)`, independent of every
-/// other shard.  Returns an empty vector when there are no sites.
+/// Draw the `count` faults of shard `index` of an adaptive campaign over
+/// the site × pattern population (see [`PatternSampler::sample_shard`];
+/// campaigns drawing many shards should build the sampler once instead).
 pub fn sample_shard(
     sites: &[ParticipationSite],
+    patterns: &ErrorPatternSet,
     seed: u64,
     index: u64,
     count: usize,
 ) -> Vec<FaultSpec> {
-    if sites.is_empty() {
-        return Vec::new();
-    }
-    let mut rng = StdRng::seed_from_u64(shard_seed(seed, index));
-    draw_faults(sites, &mut rng, count)
+    PatternSampler::new(sites, patterns).sample_shard(seed, index, count)
 }
 
 /// Run a random fault-injection campaign over the given sites.
@@ -131,31 +219,77 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 50);
         for fault in &a {
-            assert!(fault.bit < 64);
+            assert_eq!(fault.mask.count_ones(), 1);
             assert!(sites.iter().any(|s| s.record_id == fault.dyn_id));
         }
+    }
+
+    #[test]
+    fn multi_bit_sampling_draws_from_the_pattern_menu() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let sites = mm_sites(&injector);
+        let config = RfiConfig {
+            tests: 40,
+            patterns: ErrorPatternSet::AdjacentBits { width: 2 },
+            ..Default::default()
+        };
+        let faults = sample_faults(&sites, &config);
+        assert_eq!(faults.len(), 40);
+        for fault in &faults {
+            // Every draw is an adjacent double-bit burst.
+            assert_eq!(fault.mask.count_ones(), 2);
+            let low = fault.mask.trailing_zeros();
+            assert_eq!(fault.mask, 0b11 << low);
+        }
+        // The population is site-count × per-type menu size.
+        let sampler = PatternSampler::new(&sites, &config.patterns);
+        assert_eq!(sampler.population(), sites.len() as u64 * 63);
+        assert_eq!(sampler.site_count(), sites.len());
+    }
+
+    #[test]
+    fn inapplicable_patterns_filter_sites_like_the_analyzer() {
+        let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
+        let sites = mm_sites(&injector);
+        // A burst wider than any element type leaves nothing to draw.
+        let sampler = PatternSampler::new(&sites, &ErrorPatternSet::AdjacentBits { width: 100 });
+        assert!(sampler.is_empty());
+        assert_eq!(sampler.population(), 0);
+        assert!(sampler.sample_shard(1, 0, 10).is_empty());
     }
 
     #[test]
     fn shard_streams_are_independent_and_reproducible() {
         let injector = DeterministicInjector::new(Box::new(MatMul::default())).unwrap();
         let sites = mm_sites(&injector);
+        let single = ErrorPatternSet::SingleBit;
         // Each shard is a pure function of (seed, index, count)…
-        let s0 = sample_shard(&sites, 7, 0, 20);
-        let s1 = sample_shard(&sites, 7, 1, 20);
-        assert_eq!(s0, sample_shard(&sites, 7, 0, 20));
-        assert_eq!(s1, sample_shard(&sites, 7, 1, 20));
+        let s0 = sample_shard(&sites, &single, 7, 0, 20);
+        let s1 = sample_shard(&sites, &single, 7, 1, 20);
+        assert_eq!(s0, sample_shard(&sites, &single, 7, 0, 20));
+        assert_eq!(s1, sample_shard(&sites, &single, 7, 1, 20));
         // …distinct across shard indices and base seeds…
         assert_ne!(s0, s1);
-        assert_ne!(s0, sample_shard(&sites, 8, 0, 20));
+        assert_ne!(s0, sample_shard(&sites, &single, 8, 0, 20));
         // …and clipping a shard's count preserves its prefix, so the last
         // (clipped) shard of a capped campaign is a prefix of the full one.
-        assert_eq!(s0[..5], sample_shard(&sites, 7, 0, 5)[..]);
+        assert_eq!(s0[..5], sample_shard(&sites, &single, 7, 0, 5)[..]);
         // Every fault targets a valid site.
         for fault in s0.iter().chain(&s1) {
-            assert!(fault.bit < 64);
+            assert_eq!(fault.mask.count_ones(), 1);
             assert!(sites.iter().any(|s| s.record_id == fault.dyn_id));
         }
+        // Multi-bit shard streams have the same purity.
+        let adj = ErrorPatternSet::AdjacentBits { width: 2 };
+        let m0 = sample_shard(&sites, &adj, 7, 0, 20);
+        assert_eq!(m0, sample_shard(&sites, &adj, 7, 0, 20));
+        assert!(m0.iter().all(|f| f.mask.count_ones() == 2));
+        // Same seed, same draws — only the menu entry differs, so the
+        // targeted (site, menu-slot) sequence matches the single-bit shard.
+        assert_eq!(
+            s0.iter().map(|f| f.dyn_id).collect::<Vec<_>>(),
+            m0.iter().map(|f| f.dyn_id).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -180,6 +314,6 @@ mod tests {
     fn empty_site_list_yields_empty_campaign() {
         let config = RfiConfig::default();
         assert!(sample_faults(&[], &config).is_empty());
-        assert!(sample_shard(&[], 1, 0, 10).is_empty());
+        assert!(sample_shard(&[], &ErrorPatternSet::SingleBit, 1, 0, 10).is_empty());
     }
 }

@@ -83,6 +83,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Error-pattern set enumerated per participation site (default:
+    /// single-bit; e.g. `ErrorPatternSet::AdjacentBits { width: 2 }` for
+    /// the §VII-B adjacent double-bit study).
+    pub fn patterns(mut self, patterns: moard_core::ErrorPatternSet) -> Self {
+        self.config.patterns = patterns;
+        self
+    }
+
     /// Replace the whole analysis configuration.
     pub fn config(mut self, config: AnalysisConfig) -> Self {
         self.config = config;

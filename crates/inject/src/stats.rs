@@ -251,7 +251,11 @@ mod tests {
         let back = CampaignStats::from_json_str(&doc.to_string()).unwrap();
         assert_eq!(back, s);
         // A wrong schema version is rejected.
-        let bad = doc.to_string().replacen("1", "9", 1);
+        let bad = doc.to_string().replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":99",
+            1,
+        );
         assert!(matches!(
             CampaignStats::from_json_str(&bad),
             Err(MoardError::SchemaMismatch { .. })

@@ -112,8 +112,10 @@ pub struct StudySpec {
     pub strides: Vec<usize>,
     /// DFI-cap grid (`None` = unbounded).
     pub max_dfis: Vec<Option<u64>>,
-    /// Error patterns enumerated per participation site.
-    pub patterns: ErrorPatternSet,
+    /// Error-pattern-set grid: one full analysis (and one RFI campaign per
+    /// leg entry) per pattern set, next to the window/stride/cap axes —
+    /// the §VII-B "DVF vs pattern" study axis.
+    pub patterns: Vec<ErrorPatternSet>,
     /// Whether the aDVF analysis may consult deterministic fault injection.
     pub use_dfi: bool,
     /// Optional RFI validation leg.
@@ -130,7 +132,7 @@ impl Default for StudySpec {
             windows: vec![AnalysisConfig::default().propagation_window],
             strides: vec![1],
             max_dfis: vec![None],
-            patterns: ErrorPatternSet::SingleBit,
+            patterns: vec![ErrorPatternSet::SingleBit],
             use_dfi: true,
             rfi: None,
         }
@@ -168,8 +170,8 @@ impl StudySpec {
         self
     }
 
-    /// Set the error-pattern set of every grid point.
-    pub fn patterns(mut self, patterns: ErrorPatternSet) -> Self {
+    /// Set the error-pattern-set grid.
+    pub fn patterns(mut self, patterns: Vec<ErrorPatternSet>) -> Self {
         self.patterns = patterns;
         self
     }
@@ -204,9 +206,14 @@ impl StudySpec {
                 ));
             }
         }
-        if self.windows.is_empty() || self.strides.is_empty() || self.max_dfis.is_empty() {
+        if self.windows.is_empty()
+            || self.strides.is_empty()
+            || self.max_dfis.is_empty()
+            || self.patterns.is_empty()
+        {
             return Err(MoardError::InvalidConfig(
-                "study parameter grids must be non-empty (windows, strides, max_dfis)".into(),
+                "study parameter grids must be non-empty (windows, strides, max_dfis, patterns)"
+                    .into(),
             ));
         }
         for config in self.configs() {
@@ -223,18 +230,20 @@ impl StudySpec {
     }
 
     /// The analysis-configuration grid: the cross-product
-    /// windows × strides × max_dfis, in that nesting order.
+    /// windows × strides × max_dfis × patterns, in that nesting order.
     pub fn configs(&self) -> Vec<AnalysisConfig> {
         let mut out = Vec::new();
         for &window in &self.windows {
             for &stride in &self.strides {
                 for &max_dfi in &self.max_dfis {
-                    out.push(AnalysisConfig {
-                        propagation_window: window,
-                        site_stride: stride,
-                        max_dfi_per_object: max_dfi,
-                        patterns: self.patterns.clone(),
-                    });
+                    for patterns in &self.patterns {
+                        out.push(AnalysisConfig {
+                            propagation_window: window,
+                            site_stride: stride,
+                            max_dfi_per_object: max_dfi,
+                            patterns: patterns.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -246,8 +255,10 @@ impl StudySpec {
     /// under it, and the produced [`StudyReport`] embeds it, so results from
     /// different studies are never conflated.
     pub fn fingerprint(&self) -> u64 {
+        // Pattern canonicals may themselves contain commas (explicit
+        // lists), so the grid joins on `|` to keep the rendering injective.
         let canonical = format!(
-            "v1;workloads={};objects={};k={};stride={};max_dfi={};patterns={};dfi={};rfi={}",
+            "v2;workloads={};objects={};k={};stride={};max_dfi={};patterns={};dfi={};rfi={}",
             self.workloads.canonical(),
             self.objects.canonical(),
             join(&self.windows),
@@ -257,7 +268,11 @@ impl StudySpec {
                 .map(|m| m.map_or("unbounded".to_string(), |n| n.to_string()))
                 .collect::<Vec<_>>()
                 .join(","),
-            self.patterns.canonical(),
+            self.patterns
+                .iter()
+                .map(|p| p.canonical())
+                .collect::<Vec<_>>()
+                .join("|"),
             self.use_dfi as u8,
             match &self.rfi {
                 None => "none".to_string(),
@@ -295,14 +310,17 @@ impl StudySpec {
             for (workload, objects) in &cells {
                 for object in objects {
                     for (i, &tests) in leg.tests.iter().enumerate() {
-                        tasks.push(StudyTask {
-                            workload: workload.clone(),
-                            object: object.clone(),
-                            kind: StudyTaskKind::Rfi {
-                                tests,
-                                seed: leg.seed + i as u64,
-                            },
-                        });
+                        for patterns in &self.patterns {
+                            tasks.push(StudyTask {
+                                workload: workload.clone(),
+                                object: object.clone(),
+                                kind: StudyTaskKind::Rfi {
+                                    tests,
+                                    seed: leg.seed + i as u64,
+                                    patterns: patterns.clone(),
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -377,6 +395,9 @@ pub enum StudyTaskKind {
         tests: usize,
         /// RNG seed.
         seed: u64,
+        /// Error patterns the campaign samples (uniform over
+        /// site × pattern, matching the aDVF cells of the same grid entry).
+        patterns: ErrorPatternSet,
     },
 }
 
@@ -403,9 +424,15 @@ impl StudyTask {
                 fingerprint_hex(config.fingerprint()),
                 *use_dfi as u8
             ),
-            StudyTaskKind::Rfi { tests, seed } => format!(
-                "rfi/{}/{}/tests={tests}/seed={seed:x}",
-                self.workload, self.object
+            StudyTaskKind::Rfi {
+                tests,
+                seed,
+                patterns,
+            } => format!(
+                "rfi/{}/{}/tests={tests}/seed={seed:x}/patterns={}",
+                self.workload,
+                self.object,
+                patterns.canonical()
             ),
         }
     }
@@ -423,7 +450,11 @@ impl StudyTask {
                 };
                 Ok(report.to_json())
             }
-            StudyTaskKind::Rfi { tests, seed } => {
+            StudyTaskKind::Rfi {
+                tests,
+                seed,
+                patterns,
+            } => {
                 let stats = harness.rfi(
                     &self.object,
                     &RfiConfig {
@@ -433,6 +464,7 @@ impl StudyTask {
                         // second thread pool inside each one would only
                         // oversubscribe the machine.
                         parallelism: Parallelism::Sequential,
+                        patterns: patterns.clone(),
                     },
                 )?;
                 Ok(RfiSummary {
@@ -656,11 +688,17 @@ impl StudyRunner {
                         advf,
                     });
                 }
-                TaskResult::Rfi(summary) => report.rfi.push(RfiEntry {
-                    workload: task.workload.clone(),
-                    object: task.object.clone(),
-                    summary,
-                }),
+                TaskResult::Rfi(summary) => {
+                    let StudyTaskKind::Rfi { patterns, .. } = &task.kind else {
+                        unreachable!("payload kind follows task kind");
+                    };
+                    report.rfi.push(RfiEntry {
+                        workload: task.workload.clone(),
+                        object: task.object.clone(),
+                        patterns: patterns.canonical(),
+                        summary,
+                    })
+                }
             }
         }
         Ok((report, stats))
@@ -704,12 +742,20 @@ mod tests {
             .all(|t| matches!(t.kind, StudyTaskKind::Rfi { .. })));
         assert!(tasks.iter().all(|t| t.workload == "MM" && t.object == "C"));
         // RFI seeds are base + index.
-        assert_eq!(tasks[4].kind, StudyTaskKind::Rfi { tests: 50, seed: 7 });
+        assert_eq!(
+            tasks[4].kind,
+            StudyTaskKind::Rfi {
+                tests: 50,
+                seed: 7,
+                patterns: ErrorPatternSet::SingleBit
+            }
+        );
         assert_eq!(
             tasks[5].kind,
             StudyTaskKind::Rfi {
                 tests: 100,
-                seed: 8
+                seed: 8,
+                patterns: ErrorPatternSet::SingleBit
             }
         );
         // Task keys are unique.
@@ -828,6 +874,7 @@ mod tests {
                     tests: 60,
                     seed: 0xABCD,
                     parallelism: Parallelism::Sequential,
+                    ..Default::default()
                 },
             )
             .unwrap();

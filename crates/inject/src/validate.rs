@@ -25,11 +25,13 @@
 //!   observed rate with its Wilson interval, agree/disagree verdict, and
 //!   per-workload rank correlations.
 //!
-//! **Site population.**  The RFI leg draws uniformly over (site, bit) from
-//! the *same strided site subset* the aDVF leg analyzes
-//! (`config.site_stride`).  Comparing the model against injection on a
-//! different site population would confound model error with sampling
-//! bias; matching the populations makes the per-cell deviation a pure
+//! **Site population.**  The RFI leg draws uniformly over (site, pattern)
+//! from the *same strided site subset* the aDVF leg analyzes
+//! (`config.site_stride`) and the *same error-pattern set* it enumerates
+//! (`config.patterns` — single-bit by default, or any §VII-B multi-bit
+//! family).  Comparing the model against injection on a different site or
+//! pattern population would confound model error with sampling bias;
+//! matching the populations makes the per-cell deviation a pure
 //! measurement of the model's analytic rules.
 //!
 //! ```no_run
@@ -60,7 +62,7 @@
 
 use crate::campaign::{run_indexed, run_shard_campaign, Parallelism};
 use crate::harness::WorkloadHarness;
-use crate::random::sample_shard;
+use crate::random::PatternSampler;
 use crate::stats::CampaignStats;
 use crate::store::ResultStore;
 use crate::sweep::{resolve_cells, ObjectSelector, WorkloadSelector};
@@ -152,6 +154,15 @@ impl ValidationSpec {
     /// Site stride of both legs (the shared site population).
     pub fn stride(mut self, stride: usize) -> Self {
         self.config.site_stride = stride;
+        self
+    }
+
+    /// Error-pattern set of both legs: the aDVF leg enumerates it per
+    /// participating element and the RFI leg samples uniformly over the
+    /// same site × pattern population, so the two legs can never drift
+    /// onto different fault populations.
+    pub fn patterns(mut self, patterns: moard_core::ErrorPatternSet) -> Self {
+        self.config.patterns = patterns;
         self
     }
 
@@ -605,7 +616,12 @@ impl ValidationRunner {
         // The aDVF analyzer makes the same call internally: both legs are
         // guaranteed the identical site population.
         let sites = harness.strided_sites(&cell.object, spec.config.site_stride)?;
-        if sites.is_empty() {
+        // Uniform over site × pattern, enumerated from the same
+        // `ErrorPatternSet` the aDVF leg walks — the sampler also applies
+        // the analyzer's zero-pattern site filter, so both legs share one
+        // population by construction.
+        let sampler = PatternSampler::new(&sites, &spec.config.patterns);
+        if sampler.is_empty() {
             return Err(MoardError::NoParticipationSites {
                 workload: cell.workload.clone(),
                 object: cell.object.clone(),
@@ -623,7 +639,7 @@ impl ValidationRunner {
             let tallies =
                 run_shard_campaign(harness.injector(), round.len(), self.parallelism, |j| {
                     let index = round[j];
-                    sample_shard(&sites, seed, index, spec.shard_trials(index) as usize)
+                    sampler.sample_shard(seed, index, spec.shard_trials(index) as usize)
                 });
             for tally in &tallies {
                 stats.merge(tally);

@@ -144,6 +144,25 @@ impl Value {
         Value::from_bits(self.ty(), raw)
     }
 
+    /// The all-ones mask covering exactly this value's bit width.
+    pub fn width_mask(&self) -> u64 {
+        let width = self.ty().bit_width();
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Return a copy with every set bit of `mask` flipped — the one-XOR
+    /// fault-application primitive every injected error pattern reduces to.
+    /// Mask bits at or above the value width are ignored, so a pattern
+    /// enumerated for a wider type degrades to a (possibly empty) flip
+    /// instead of corrupting unrelated state.
+    pub fn flip_mask(&self, mask: u64) -> Value {
+        Value::from_bits(self.ty(), self.to_bits() ^ (mask & self.width_mask()))
+    }
+
     /// Bit-exact equality (distinguishes `-0.0` from `0.0` and compares NaNs
     /// by payload), which is the "numerically the same as the error-free
     /// case" criterion used throughout the model.
@@ -634,5 +653,22 @@ mod tests {
         let v = Value::I32(0);
         let f = v.flip_bits(&[0, 1, 4]);
         assert_eq!(f, Value::I32(0b10011));
+    }
+
+    #[test]
+    fn flip_mask_is_one_xor_and_respects_width() {
+        let v = Value::I32(0);
+        assert_eq!(v.flip_mask(0b10011), Value::I32(0b10011));
+        // flip_mask agrees with flip_bits on in-range patterns.
+        let w = Value::F64(1.5);
+        assert!(w
+            .flip_mask((1 << 0) | (1 << 63))
+            .bits_eq(&w.flip_bits(&[0, 63])));
+        // Mask bits beyond the type width are ignored, not wrapped.
+        assert!(v.flip_mask(1u64 << 40).bits_eq(&v));
+        assert_eq!(Value::I8(0).width_mask(), 0xff);
+        assert_eq!(Value::F64(0.0).width_mask(), u64::MAX);
+        // An involution, like the single-bit primitive.
+        assert!(w.flip_mask(0xdead_beef).flip_mask(0xdead_beef).bits_eq(&w));
     }
 }

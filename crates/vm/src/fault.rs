@@ -1,10 +1,13 @@
 //! Deterministic fault specification.
 //!
 //! A [`FaultSpec`] pin-points a single transient fault: *which* dynamic
-//! instruction, *which* consumed value (or memory element), and *which* bit.
-//! This is the deterministic fault injection of the paper (§III-D/E and §IV):
-//! unlike random fault injection it is exactly reproducible and is used to
-//! resolve error-masking questions the pure trace analysis cannot settle.
+//! instruction, *which* consumed value (or memory element), and *which* bits
+//! — a bit **mask** XOR-ed into the value, so a single-bit flip (the paper's
+//! evaluation, §III-D/E and §IV) and the multi-bit patterns of §VII-B
+//! (adjacent bursts, spatially separated pairs) are the same operation at
+//! the injection site.  Unlike random fault injection it is exactly
+//! reproducible and is used to resolve error-masking questions the pure
+//! trace analysis cannot settle.
 
 use std::fmt;
 
@@ -40,32 +43,63 @@ impl fmt::Display for FaultTarget {
     }
 }
 
-/// A single-bit (or, via repeated application, multi-bit) transient fault at
-/// an exact dynamic location.
+/// A transient fault at an exact dynamic location: the set bits of `mask`
+/// are XOR-ed into the targeted value.  One set bit is the paper's
+/// single-bit error; several set bits realize the §VII-B multi-bit
+/// patterns with the same one-XOR application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSpec {
     /// Dynamic instruction id at which the fault strikes.
     pub dyn_id: u64,
     /// Which value of that instruction is corrupted.
     pub target: FaultTarget,
-    /// Bit position to flip (0 = least significant).
-    pub bit: u32,
+    /// Bit mask XOR-ed into the value (bit 0 = least significant).  Mask
+    /// bits at or above the targeted value's width are ignored.
+    pub mask: u64,
 }
 
 impl FaultSpec {
-    /// Convenience constructor.
-    pub fn new(dyn_id: u64, target: FaultTarget, bit: u32) -> Self {
+    /// A fault flipping exactly the set bits of `mask`.
+    pub fn masked(dyn_id: u64, target: FaultTarget, mask: u64) -> Self {
         FaultSpec {
             dyn_id,
             target,
-            bit,
+            mask,
+        }
+    }
+
+    /// Convenience wrapper: the classic single-bit flip at `bit`
+    /// (0 = least significant).  A position at or above 64 yields an empty
+    /// mask — a no-op injection — rather than wrapping onto a low bit.
+    pub fn single_bit(dyn_id: u64, target: FaultTarget, bit: u32) -> Self {
+        debug_assert!(bit < 64, "bit {bit} out of the 64-bit mask range");
+        FaultSpec::masked(dyn_id, target, 1u64.checked_shl(bit).unwrap_or(0))
+    }
+
+    /// The flipped bit positions, in increasing order.
+    pub fn bits(&self) -> Vec<u32> {
+        (0..64).filter(|b| self.mask & (1u64 << b) != 0).collect()
+    }
+
+    /// The single flipped bit, if the mask has exactly one set bit.
+    pub fn single_bit_position(&self) -> Option<u32> {
+        if self.mask.count_ones() == 1 {
+            Some(self.mask.trailing_zeros())
+        } else {
+            None
         }
     }
 }
 
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault@{} {} bit {}", self.dyn_id, self.target, self.bit)
+        let bits = self
+            .bits()
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        write!(f, "fault@{} {} bits {}", self.dyn_id, self.target, bits)
     }
 }
 
@@ -75,19 +109,32 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let s = FaultSpec::new(42, FaultTarget::Operand(1), 63).to_string();
-        assert_eq!(s, "fault@42 operand[1] bit 63");
-        let s = FaultSpec::new(7, FaultTarget::LoadValue, 0).to_string();
+        let s = FaultSpec::single_bit(42, FaultTarget::Operand(1), 63).to_string();
+        assert_eq!(s, "fault@42 operand[1] bits 63");
+        let s = FaultSpec::masked(7, FaultTarget::LoadValue, 0b11).to_string();
         assert!(s.contains("load-value"));
+        assert!(s.contains("bits 0+1"));
+    }
+
+    #[test]
+    fn single_bit_is_a_mask_wrapper() {
+        let f = FaultSpec::single_bit(1, FaultTarget::Result, 5);
+        assert_eq!(f.mask, 1 << 5);
+        assert_eq!(f.single_bit_position(), Some(5));
+        assert_eq!(f.bits(), vec![5]);
+        let m = FaultSpec::masked(1, FaultTarget::Result, (1 << 3) | (1 << 7));
+        assert_eq!(m.single_bit_position(), None);
+        assert_eq!(m.bits(), vec![3, 7]);
     }
 
     #[test]
     fn equality_and_hash() {
         use std::collections::HashSet;
         let mut set = HashSet::new();
-        set.insert(FaultSpec::new(1, FaultTarget::Result, 2));
-        set.insert(FaultSpec::new(1, FaultTarget::Result, 2));
-        set.insert(FaultSpec::new(1, FaultTarget::Result, 3));
-        assert_eq!(set.len(), 2);
+        set.insert(FaultSpec::single_bit(1, FaultTarget::Result, 2));
+        set.insert(FaultSpec::single_bit(1, FaultTarget::Result, 2));
+        set.insert(FaultSpec::single_bit(1, FaultTarget::Result, 3));
+        set.insert(FaultSpec::masked(1, FaultTarget::Result, 0b1100));
+        assert_eq!(set.len(), 3);
     }
 }

@@ -266,8 +266,7 @@ impl<'m> Vm<'m> {
     ) {
         if let Some(f) = fault {
             if f.dyn_id == dyn_id && f.target == FaultTarget::Operand(slot) {
-                let bit = f.bit % op.value.ty().bit_width();
-                op.value = op.value.flip_bit(bit);
+                op.value = op.value.flip_mask(f.mask);
                 if let ValueSource::Reg(r) = op.source {
                     frame.regs[r.0 as usize] = op.value;
                 }
@@ -278,7 +277,7 @@ impl<'m> Vm<'m> {
     fn maybe_inject_result(fault: Option<&FaultSpec>, dyn_id: u64, result: Value) -> Value {
         if let Some(f) = fault {
             if f.dyn_id == dyn_id && f.target == FaultTarget::Result {
-                return result.flip_bit(f.bit % result.ty().bit_width());
+                return result.flip_mask(f.mask);
             }
         }
         result
@@ -420,18 +419,18 @@ impl<'m> Vm<'m> {
                         // A fault targeting the loaded value corrupts the
                         // memory element before the load consumes it.
                         if let Some(f) = fault {
-                            if f.dyn_id == dyn_id && f.target == FaultTarget::LoadValue {
-                                let bit = f.bit % ty.bit_width();
-                                if self.memory.flip_bit(ty, address, bit).is_err() {
-                                    let out = self.finish(
-                                        ExecStatus::MemFault(format!(
-                                            "fault injection at unmapped 0x{address:x}"
-                                        )),
-                                        None,
-                                        dyn_id,
-                                    );
-                                    return (out, trace);
-                                }
+                            if f.dyn_id == dyn_id
+                                && f.target == FaultTarget::LoadValue
+                                && self.memory.flip_mask(ty, address, f.mask).is_err()
+                            {
+                                let out = self.finish(
+                                    ExecStatus::MemFault(format!(
+                                        "fault injection at unmapped 0x{address:x}"
+                                    )),
+                                    None,
+                                    dyn_id,
+                                );
+                                return (out, trace);
                             }
                         }
                         let value = match self.memory.load(ty, address) {
@@ -471,18 +470,18 @@ impl<'m> Vm<'m> {
                         // A fault targeting the store destination corrupts
                         // the element just before it is overwritten.
                         if let Some(f) = fault {
-                            if f.dyn_id == dyn_id && f.target == FaultTarget::StoreDest {
-                                let bit = f.bit % ty.bit_width();
-                                if self.memory.flip_bit(ty, address, bit).is_err() {
-                                    let out = self.finish(
-                                        ExecStatus::MemFault(format!(
-                                            "fault injection at unmapped 0x{address:x}"
-                                        )),
-                                        None,
-                                        dyn_id,
-                                    );
-                                    return (out, trace);
-                                }
+                            if f.dyn_id == dyn_id
+                                && f.target == FaultTarget::StoreDest
+                                && self.memory.flip_mask(ty, address, f.mask).is_err()
+                            {
+                                let out = self.finish(
+                                    ExecStatus::MemFault(format!(
+                                        "fault injection at unmapped 0x{address:x}"
+                                    )),
+                                    None,
+                                    dyn_id,
+                                );
+                                return (out, trace);
                             }
                         }
                         let element = self.objects.locate(address);
@@ -916,7 +915,7 @@ mod tests {
             .iter()
             .find(|r| matches!(r.op, TraceOp::Store { .. }))
             .unwrap();
-        let fault = FaultSpec::new(store.id, FaultTarget::StoreDest, 63);
+        let fault = FaultSpec::single_bit(store.id, FaultTarget::StoreDest, 63);
         let out = run_with_fault(&m, &fault).unwrap();
         assert!(out.bits_identical(&golden));
     }
@@ -930,7 +929,7 @@ mod tests {
             .iter()
             .find(|r| matches!(&r.op, TraceOp::Load { result, .. } if result.as_f64() == 3.0))
             .unwrap();
-        let fault = FaultSpec::new(load.id, FaultTarget::LoadValue, 63);
+        let fault = FaultSpec::single_bit(load.id, FaultTarget::LoadValue, 63);
         let out = run_with_fault(&m, &fault).unwrap();
         assert!(out.status.is_completed());
         assert_eq!(out.return_f64(), 22.0); // 28 - 2*3
@@ -956,7 +955,7 @@ mod tests {
             .find(|r| matches!(&r.op, TraceOp::Load { ty: Type::I64, .. }))
             .unwrap();
         // Flip a high bit of the index.
-        let fault = FaultSpec::new(idx_load.id, FaultTarget::LoadValue, 40);
+        let fault = FaultSpec::single_bit(idx_load.id, FaultTarget::LoadValue, 40);
         let out = run_with_fault(&m, &fault).unwrap();
         assert!(matches!(out.status, ExecStatus::MemFault(_)));
     }
@@ -1078,7 +1077,7 @@ mod tests {
             })
             .unwrap();
         // Flip the sign of acc as consumed by the fadd.
-        let fault = FaultSpec::new(fadd.id, FaultTarget::Operand(0), 63);
+        let fault = FaultSpec::single_bit(fadd.id, FaultTarget::Operand(0), 63);
         let out = run_with_fault(&m, &fault).unwrap();
         assert_eq!(out.global_f64("sink"), vec![-9.0]);
         assert_eq!(

@@ -37,7 +37,7 @@
 //! // Flip the sign bit of a[2] as it is loaded: the outcome changes.
 //! let load_id = trace.iter()
 //!     .find(|r| r.mnemonic() == "load").unwrap().id;
-//! let faulty = run_with_fault(&m, &FaultSpec::new(load_id, FaultTarget::LoadValue, 63)).unwrap();
+//! let faulty = run_with_fault(&m, &FaultSpec::single_bit(load_id, FaultTarget::LoadValue, 63)).unwrap();
 //! assert_eq!(faulty.return_value.unwrap().as_f64(), -2.0);
 //! ```
 

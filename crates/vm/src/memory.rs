@@ -123,12 +123,21 @@ impl Memory {
 
     /// Flip bit `bit` of the scalar of type `ty` stored at `addr`.
     ///
+    /// Single-bit convenience over [`Memory::flip_mask`].
+    pub fn flip_bit(&mut self, ty: Type, addr: u64, bit: u32) -> Result<(), MemError> {
+        self.flip_mask(ty, addr, 1u64 << (bit & 63))
+    }
+
+    /// XOR the set bits of `mask` into the scalar of type `ty` stored at
+    /// `addr` (mask bits beyond the type width are ignored).
+    ///
     /// This is the "transient fault on a data object element" primitive used
     /// by the deterministic fault injector when a fault site refers to a
-    /// value residing in memory.
-    pub fn flip_bit(&mut self, ty: Type, addr: u64, bit: u32) -> Result<(), MemError> {
+    /// value residing in memory; single-bit and multi-bit error patterns are
+    /// the same one-XOR operation here.
+    pub fn flip_mask(&mut self, ty: Type, addr: u64, mask: u64) -> Result<(), MemError> {
         let v = self.load(ty, addr)?;
-        self.store(ty, addr, v.flip_bit(bit))
+        self.store(ty, addr, v.flip_mask(mask))
     }
 
     /// Total bytes currently allocated.
@@ -200,6 +209,11 @@ mod tests {
         m.flip_bit(Type::F64, a, 63).unwrap();
         assert_eq!(m.load(Type::F64, a).unwrap(), Value::F64(-1.0));
         m.flip_bit(Type::F64, a, 63).unwrap();
+        assert_eq!(m.load(Type::F64, a).unwrap(), Value::F64(1.0));
+        // A multi-bit mask applies in one XOR and is its own inverse.
+        m.flip_mask(Type::F64, a, (1 << 62) | (1 << 63)).unwrap();
+        assert!(m.load(Type::F64, a).unwrap().as_f64() != 1.0);
+        m.flip_mask(Type::F64, a, (1 << 62) | (1 << 63)).unwrap();
         assert_eq!(m.load(Type::F64, a).unwrap(), Value::F64(1.0));
     }
 

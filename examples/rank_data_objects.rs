@@ -21,7 +21,11 @@ fn main() -> Result<(), MoardError> {
     println!("{:<10} {:>8} {:>14}", "object", "aDVF", "FI success");
     let mut rows = Vec::new();
     for r in &report.reports {
-        let campaign = session.harness().exhaustive_with_budget(&r.object, 1_000)?;
+        let campaign = session.harness().exhaustive_with_budget(
+            &r.object,
+            1_000,
+            &moard::model::ErrorPatternSet::SingleBit,
+        )?;
         println!(
             "{:<10} {:>8.4} {:>14.4}",
             r.object,

@@ -27,6 +27,7 @@ fn main() -> Result<(), MoardError> {
                     tests,
                     seed: 0xF1F1 + i as u64 + tests as u64,
                     parallelism: Parallelism::Auto,
+                    ..Default::default()
                 },
             )?;
             print!(

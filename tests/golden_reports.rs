@@ -88,6 +88,22 @@ fn cg_session_report_is_bit_identical_to_golden() {
     );
 }
 
+#[test]
+fn mm_multibit_session_report_is_bit_identical_to_golden() {
+    // The multi-bit engine pinned end to end: adjacent double-bit bursts
+    // through enumeration, mask-keyed equivalence, one-XOR injection, and
+    // the per-pattern-class tallies of the v2 schema.
+    check_golden(
+        "mm_adjacent2",
+        Session::for_workload("mm")
+            .unwrap()
+            .window(50)
+            .stride(16)
+            .max_dfi(150)
+            .patterns(moard_core::ErrorPatternSet::AdjacentBits { width: 2 }),
+    );
+}
+
 /// A small fixed validation campaign of one named workload: adaptive
 /// shard-deterministic RFI against the aDVF leg, with a budget sized for
 /// CI.  Everything entering the document is a pure function of the spec.

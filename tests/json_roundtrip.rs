@@ -119,7 +119,11 @@ fn validation_report_round_trips_bit_exactly() {
     assert_eq!(back.verdict(cell), report.verdict(&report.cells[0]));
 
     // A tampered schema version is rejected.
-    let bad = compact.replacen("\"schema_version\":1", "\"schema_version\":77", 1);
+    let bad = compact.replacen(
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        "\"schema_version\":77",
+        1,
+    );
     assert!(matches!(
         ValidationReport::from_json_str(&bad),
         Err(moard::model::MoardError::SchemaMismatch {
@@ -132,9 +136,11 @@ fn validation_report_round_trips_bit_exactly() {
 #[test]
 fn a_tampered_schema_version_is_rejected() {
     let report = mm_session(Parallelism::Sequential);
-    let bad = report
-        .to_json_string()
-        .replacen("\"schema_version\":1", "\"schema_version\":42", 1);
+    let bad = report.to_json_string().replacen(
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        "\"schema_version\":42",
+        1,
+    );
     assert!(matches!(
         SessionReport::from_json_str(&bad),
         Err(moard::model::MoardError::SchemaMismatch {
