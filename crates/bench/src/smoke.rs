@@ -135,6 +135,28 @@ pub fn sweep_spec() -> StudySpec {
         .without_dfi()
 }
 
+/// The jobs the `serve/mm+pf` smoke case submits: one analytic analyze
+/// cell per suite workload, coarse-strided so the cold (store-filling)
+/// round stays CI-sized against the daemon's full-size registry.  The
+/// timed rounds are pure warm round-trips — connect, frame, schedule,
+/// store lookup, respond — which is exactly the surface `moard serve`
+/// adds over the local engines.
+pub fn serve_jobs() -> Vec<moard_server::Request> {
+    ["mm", "pf"]
+        .into_iter()
+        .map(|workload| moard_server::Request::Analyze {
+            workload: workload.into(),
+            objects: vec![],
+            config: AnalysisConfig {
+                site_stride: 32,
+                ..smoke_config()
+            },
+            use_dfi: false,
+            priority: moard_server::Priority::Normal,
+        })
+        .collect()
+}
+
 /// The campaign the validate smoke case executes: both suite workloads,
 /// their target objects, an adaptive shard-deterministic RFI leg with a
 /// CI-sized budget, and an analytic aDVF leg (the bench times the
@@ -254,6 +276,34 @@ pub fn run_suite() -> SmokeReport {
             .expect("the smoke campaign covers only known workloads");
         black_box(report);
     }));
+    // The daemon round-trip: an in-process `moard serve` on an ephemeral
+    // port, its store pre-filled by one unclocked cold round, answering
+    // both suite jobs per iteration over a fresh TCP connection.
+    let store = std::env::temp_dir().join(format!("moard-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let daemon = moard_server::Daemon::start(moard_server::DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        store: Some(store.clone()),
+    })
+    .expect("the smoke daemon binds an ephemeral port");
+    let addr = daemon.addr();
+    let jobs = serve_jobs();
+    benches.push(bench("serve/mm+pf", 1, 10, || {
+        let mut client = moard_server::Client::connect(addr).expect("the smoke daemon is serving");
+        for job in &jobs {
+            let (_, response) = client.submit(job).expect("the smoke jobs are well-formed");
+            assert!(
+                matches!(response, moard_server::Response::Result { .. }),
+                "smoke job answered with `{}`",
+                response.kind()
+            );
+            black_box(response);
+        }
+    }));
+    daemon.shutdown();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&store);
     SmokeReport {
         benches,
         traces,

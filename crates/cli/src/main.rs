@@ -27,7 +27,16 @@
 //!   and resumes byte-identically from a killed run via `--store/--resume`;
 //! * `moard inject <workload> <object> [--tests N] [--exhaustive]` — random
 //!   or (strided) exhaustive fault-injection campaign;
-//! * `moard rank <workload>` — rank the workload's target objects by aDVF.
+//! * `moard rank <workload>` — rank the workload's target objects by aDVF;
+//! * `moard serve [--addr HOST:PORT] [--threads N] [--store DIR]` — the
+//!   long-running analysis daemon: analyze/sweep/validate jobs over the
+//!   length-framed JSON protocol, scheduled by priority across a worker
+//!   pool, with one warm harness per workload and repeat jobs answered
+//!   from the shared result store;
+//! * `moard client <op> --addr HOST:PORT` — talk to a running daemon:
+//!   `ping`, `metrics`, `cancel <job>`, `shutdown`, or submit `analyze`/
+//!   `sweep`/`validate` jobs built from the same flags as the local
+//!   subcommands.
 //!
 //! `--format json|text` (global) switches every subcommand between
 //! machine-consumable JSON on the stable versioned schema (see
@@ -61,14 +70,19 @@ const USAGE: &str = "usage: moard [--format json|text] <command> [args]
   moard sweep   [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
                 [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...]
                 [--patterns P,P...] [--no-dfi]
-                [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume] [--seq]
+                [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume]
+                [--seq | --threads N]
   moard validate [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
                 [--k N] [--stride N] [--max-dfi N|unbounded] [--patterns P] [--no-dfi]
                 [--confidence 90|95|99] [--margin F] [--max-trials N] [--seed N]
-                [--tolerance F] [--store DIR] [--resume] [--seq]
+                [--tolerance F] [--store DIR] [--resume] [--seq | --threads N]
   moard inject  <workload> <object> [--tests N] [--seed N] [--patterns P]
                 [--exhaustive] [--budget N]
   moard rank    <workload> [--k N] [--stride N] [--max-dfi N] [--patterns P]
+  moard serve   [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]
+  moard client  <ping|metrics|cancel <job>|shutdown> --addr HOST:PORT
+  moard client  <analyze|sweep|validate> --addr HOST:PORT [--priority low|normal|high]
+                [job flags as for the local subcommand]
 
 options:
   --format json|text   output format (default: text; `report` is always JSON)
@@ -97,7 +111,15 @@ site-matched to the aDVF leg's stride; see docs/ARCHITECTURE.md):
   --margin F           stop a cell once its Wilson half-width <= F (default 0.05)
   --max-trials N       per-cell trial cap (default 2000)
   --seed N             base RNG seed of the shard streams (default 61937)
-  --tolerance F        model-error allowance of the verdict (default 0.35)";
+  --tolerance F        model-error allowance of the verdict (default 0.35)
+
+serve / client options (the framed JSON protocol; see docs/ARCHITECTURE.md):
+  --threads N          worker threads, N >= 1 (serve: pool size; sweep and
+                       validate: task parallelism; conflicts with --seq)
+  --addr HOST:PORT     serve: bind address (default 127.0.0.1:7411; port 0 =
+                       ephemeral); client: daemon address (required)
+  --port N             serve shorthand for --addr 127.0.0.1:N
+  --priority P         client job priority: low, normal (default), or high";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -171,6 +193,8 @@ fn run(cli: &Cli) -> Result<(), CliError> {
         "validate" => cmd_validate(cli),
         "inject" => cmd_inject(cli),
         "rank" => cmd_rank(cli),
+        "serve" => cmd_serve(cli),
+        "client" => cmd_client(cli),
         _ => unreachable!("allowed_flags resolved the command"),
     }
 }
@@ -193,6 +217,10 @@ const VALUED_FLAGS: &[&str] = &[
     "--max-trials",
     "--tolerance",
     "--patterns",
+    "--threads",
+    "--addr",
+    "--port",
+    "--priority",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
@@ -223,6 +251,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--rfi-seed",
         "--store",
         "--resume",
+        "--threads",
     ];
     const VALIDATE: &[&str] = &[
         "--k",
@@ -240,6 +269,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--tolerance",
         "--store",
         "--resume",
+        "--threads",
     ];
     const INJECT: &[&str] = &[
         "--k",
@@ -253,12 +283,36 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--exhaustive",
         "--budget",
     ];
+    const SERVE: &[&str] = &["--addr", "--port", "--threads", "--store"];
+    // The union of every job the client can submit, plus the connection
+    // flags.  No `--seq`/`--threads` (the daemon's pool decides), no
+    // `--store`/`--resume` (the store lives with the daemon).
+    const CLIENT: &[&str] = &[
+        "--addr",
+        "--priority",
+        "--k",
+        "--stride",
+        "--max-dfi",
+        "--patterns",
+        "--no-dfi",
+        "--workloads",
+        "--objects",
+        "--rfi-tests",
+        "--rfi-seed",
+        "--confidence",
+        "--margin",
+        "--max-trials",
+        "--seed",
+        "--tolerance",
+    ];
     match command {
         "list" => Some(&[]),
         "analyze" | "report" | "rank" => Some(ANALYSIS),
         "sweep" => Some(SWEEP),
         "validate" => Some(VALIDATE),
         "inject" => Some(INJECT),
+        "serve" => Some(SERVE),
+        "client" => Some(CLIENT),
         _ => None,
     }
 }
@@ -385,6 +439,37 @@ fn float_flag_value(args: &[String], flag: &str) -> Result<Option<f64>, MoardErr
     text.parse().map(Some).map_err(|_| {
         MoardError::InvalidConfig(format!("flag `{flag}` expects a number, got `{text}`"))
     })
+}
+
+/// The shared `--threads N` flag of `serve`, `sweep`, and `validate`: an
+/// explicit worker count.  Zero is a typed error, not a silent fallback —
+/// a zero-thread pool could never run a job, and the user who typed it
+/// probably meant `--seq`.
+fn threads_flag(args: &[String]) -> Result<Option<usize>, MoardError> {
+    match flag_value(args, "--threads")? {
+        Some(0) => Err(MoardError::InvalidConfig(
+            "flag `--threads` expects an integer >= 1 (a zero-thread pool could never run a \
+             job; use `--seq` for sequential execution)"
+                .into(),
+        )),
+        Some(n) => Ok(Some(n as usize)),
+        None => Ok(None),
+    }
+}
+
+/// The `--seq | --threads N` choice of `sweep` and `validate`.  Giving both
+/// is a contradiction the CLI refuses rather than resolves.
+fn parallelism_flags(args: &[String]) -> Result<Option<Parallelism>, MoardError> {
+    let threads = threads_flag(args)?;
+    if has_flag(args, "--seq") {
+        return match threads {
+            Some(_) => Err(MoardError::InvalidConfig(
+                "`--seq` and `--threads` contradict each other; use one".into(),
+            )),
+            None => Ok(Some(Parallelism::Sequential)),
+        };
+    }
+    Ok(threads.map(Parallelism::Fixed))
 }
 
 /// Value of a comma-separated numeric list `--flag N,N,...`.
@@ -534,10 +619,11 @@ fn cmd_report(cli: &Cli) -> Result<(), CliError> {
 }
 
 /// The [`WorkloadSelector`] described by `--workloads` and/or positional
-/// workload names (shared by `sweep` and `validate`).
-fn workload_selector(cli: &Cli) -> Result<WorkloadSelector, MoardError> {
-    let pos = positionals(&cli.args);
-    Ok(match str_flag_value(&cli.args, "--workloads")? {
+/// workload names (shared by `sweep` and `validate`, locally and over the
+/// daemon protocol — `args[0]` is the subcommand or client op).
+fn workload_selector(args: &[String]) -> Result<WorkloadSelector, MoardError> {
+    let pos = positionals(args);
+    Ok(match str_flag_value(args, "--workloads")? {
         // Giving both forms would silently drop one of them; reject instead.
         Some(_) if !pos.is_empty() => {
             return Err(MoardError::InvalidConfig(format!(
@@ -558,33 +644,34 @@ fn workload_selector(cli: &Cli) -> Result<WorkloadSelector, MoardError> {
     })
 }
 
-/// Build the [`StudySpec`] described by the sweep command line.
-fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
-    let workloads = workload_selector(cli)?;
+/// Build the [`StudySpec`] described by the sweep command line
+/// (`args[0]` is the subcommand or client op).
+fn sweep_spec(args: &[String]) -> Result<StudySpec, MoardError> {
+    let workloads = workload_selector(args)?;
     let mut spec = StudySpec::default()
         .workloads(workloads)
         .windows(
-            flag_list(&cli.args, "--k")?
+            flag_list(args, "--k")?
                 .unwrap_or_else(|| vec![50])
                 .into_iter()
                 .map(|v| v as usize)
                 .collect(),
         )
         .strides(
-            flag_list(&cli.args, "--stride")?
+            flag_list(args, "--stride")?
                 .unwrap_or_else(|| vec![4])
                 .into_iter()
                 .map(|v| v as usize)
                 .collect(),
         )
-        .max_dfis(match str_flag_value(&cli.args, "--max-dfi")? {
+        .max_dfis(match str_flag_value(args, "--max-dfi")? {
             None => vec![Some(5_000)],
             Some(list) => list
                 .split(',')
                 .map(parse_max_dfi)
                 .collect::<Result<Vec<_>, _>>()?,
         });
-    if let Some(list) = str_flag_value(&cli.args, "--patterns")? {
+    if let Some(list) = str_flag_value(args, "--patterns")? {
         // Explicit pattern sets contain commas of their own
         // (`explicit:0,63`), so the grid list cannot be naively split; an
         // `explicit:` entry swallows the items that follow it.
@@ -605,16 +692,16 @@ fn sweep_spec(cli: &Cli) -> Result<StudySpec, MoardError> {
         }
         spec = spec.patterns(sets);
     }
-    if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
+    if let Some(objects) = str_flag_value(args, "--objects")? {
         spec = spec.objects(ObjectSelector::Named(
             objects.split(',').map(|s| s.trim().into()).collect(),
         ));
     }
-    if has_flag(&cli.args, "--no-dfi") {
+    if has_flag(args, "--no-dfi") {
         spec = spec.without_dfi();
     }
-    if let Some(tests) = flag_list(&cli.args, "--rfi-tests")? {
-        let seed = flag_value(&cli.args, "--rfi-seed")?.unwrap_or(0xF1_F1);
+    if let Some(tests) = flag_list(args, "--rfi-tests")? {
+        let seed = flag_value(args, "--rfi-seed")?.unwrap_or(0xF1_F1);
         spec = spec.rfi_leg(tests.into_iter().map(|v| v as usize).collect(), seed);
     }
     Ok(spec)
@@ -634,10 +721,10 @@ fn store_flags(args: &[String]) -> Result<(Option<&str>, bool), MoardError> {
 }
 
 fn cmd_sweep(cli: &Cli) -> Result<(), CliError> {
-    let spec = sweep_spec(cli)?;
+    let spec = sweep_spec(&cli.args)?;
     let mut runner = StudyRunner::new(spec);
-    if has_flag(&cli.args, "--seq") {
-        runner = runner.parallelism(Parallelism::Sequential);
+    if let Some(parallelism) = parallelism_flags(&cli.args)? {
+        runner = runner.parallelism(parallelism);
     }
     if let (Some(dir), resume) = store_flags(&cli.args)? {
         runner = runner.store(dir)?.resume(resume);
@@ -729,52 +816,53 @@ fn print_study(report: &StudyReport, stats: &SweepStats, registry: &dyn Workload
     }
 }
 
-/// Build the [`ValidationSpec`] described by the validate command line.
-fn validate_spec(cli: &Cli) -> Result<ValidationSpec, MoardError> {
+/// Build the [`ValidationSpec`] described by the validate command line
+/// (`args[0]` is the subcommand or client op).
+fn validate_spec(args: &[String]) -> Result<ValidationSpec, MoardError> {
     let mut spec = ValidationSpec::default()
-        .workloads(workload_selector(cli)?)
-        .stride(flag_value(&cli.args, "--stride")?.unwrap_or(4) as usize);
-    spec.config.max_dfi_per_object = match str_flag_value(&cli.args, "--max-dfi")? {
+        .workloads(workload_selector(args)?)
+        .stride(flag_value(args, "--stride")?.unwrap_or(4) as usize);
+    spec.config.max_dfi_per_object = match str_flag_value(args, "--max-dfi")? {
         None => Some(5_000),
         Some(value) => parse_max_dfi(value)?,
     };
-    if let Some(k) = flag_value(&cli.args, "--k")? {
+    if let Some(k) = flag_value(args, "--k")? {
         spec = spec.window(k as usize);
     }
-    if let Some(patterns) = patterns_flag(&cli.args)? {
+    if let Some(patterns) = patterns_flag(args)? {
         spec = spec.patterns(patterns);
     }
-    if has_flag(&cli.args, "--no-dfi") {
+    if has_flag(args, "--no-dfi") {
         spec = spec.without_dfi();
     }
-    if let Some(objects) = str_flag_value(&cli.args, "--objects")? {
+    if let Some(objects) = str_flag_value(args, "--objects")? {
         spec = spec.objects(ObjectSelector::Named(
             objects.split(',').map(|s| s.trim().into()).collect(),
         ));
     }
-    if let Some(percent) = flag_value(&cli.args, "--confidence")? {
+    if let Some(percent) = flag_value(args, "--confidence")? {
         spec = spec.confidence(percent as f64 / 100.0);
     }
-    if let Some(margin) = float_flag_value(&cli.args, "--margin")? {
+    if let Some(margin) = float_flag_value(args, "--margin")? {
         spec = spec.target_margin(margin);
     }
-    if let Some(cap) = flag_value(&cli.args, "--max-trials")? {
+    if let Some(cap) = flag_value(args, "--max-trials")? {
         spec = spec.max_trials(cap);
     }
-    if let Some(seed) = flag_value(&cli.args, "--seed")? {
+    if let Some(seed) = flag_value(args, "--seed")? {
         spec = spec.seed(seed);
     }
-    if let Some(tolerance) = float_flag_value(&cli.args, "--tolerance")? {
+    if let Some(tolerance) = float_flag_value(args, "--tolerance")? {
         spec = spec.tolerance(tolerance);
     }
     Ok(spec)
 }
 
 fn cmd_validate(cli: &Cli) -> Result<(), CliError> {
-    let spec = validate_spec(cli)?;
+    let spec = validate_spec(&cli.args)?;
     let mut runner = ValidationRunner::new(spec);
-    if has_flag(&cli.args, "--seq") {
-        runner = runner.parallelism(Parallelism::Sequential);
+    if let Some(parallelism) = parallelism_flags(&cli.args)? {
+        runner = runner.parallelism(parallelism);
     }
     if let (Some(dir), resume) = store_flags(&cli.args)? {
         runner = runner.store(dir)?.resume(resume);
@@ -955,6 +1043,192 @@ fn cmd_rank(cli: &Cli) -> Result<(), CliError> {
             for r in &report.reports {
                 out!("  {:<14} aDVF = {:.4}", r.object, r.advf());
             }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), CliError> {
+    let addr_flag = str_flag_value(&cli.args, "--addr")?;
+    let addr = match flag_value(&cli.args, "--port")? {
+        // `--addr` carries a port of its own; accepting both would silently
+        // drop one of them.
+        Some(_) if addr_flag.is_some() => {
+            return Err(CliError::Moard(MoardError::InvalidConfig(
+                "`--addr` and `--port` contradict each other; use one".into(),
+            )))
+        }
+        Some(port) => {
+            let port = u16::try_from(port).map_err(|_| {
+                MoardError::InvalidConfig(format!(
+                    "flag `--port` expects a port number, got `{port}`"
+                ))
+            })?;
+            format!("127.0.0.1:{port}")
+        }
+        None => addr_flag.unwrap_or("127.0.0.1:7411").to_string(),
+    };
+    let daemon = moard_server::Daemon::start(moard_server::DaemonConfig {
+        addr,
+        threads: threads_flag(&cli.args)?.unwrap_or(0),
+        store: str_flag_value(&cli.args, "--store")?.map(Into::into),
+    })?;
+    // Scraped by scripts and CI (port 0 resolves to the ephemeral port
+    // here): keep the exact shape, and flush before the blocking join.
+    out!("moard serve listening on {}", daemon.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    daemon.join();
+    out!("moard serve stopped");
+    Ok(())
+}
+
+/// Job priority from `--priority low|normal|high` (default normal).
+fn priority_flag(args: &[String]) -> Result<moard_server::Priority, MoardError> {
+    match str_flag_value(args, "--priority")? {
+        None => Ok(moard_server::Priority::Normal),
+        Some(text) => moard_server::Priority::parse(text).ok_or_else(|| {
+            MoardError::InvalidConfig(format!(
+                "flag `--priority` expects `low`, `normal`, or `high`, got `{text}`"
+            ))
+        }),
+    }
+}
+
+fn cmd_client(cli: &Cli) -> Result<(), CliError> {
+    use moard_server::{Client, Request, Response};
+    // Everything after `client` is the daemon operation's own command
+    // line: `sub[0]` is the op, so `positionals`/spec builders read it
+    // exactly like a local subcommand.
+    let sub = &cli.args[1..];
+    let Some(op) = sub.first().map(String::as_str) else {
+        return Err(CliError::Usage);
+    };
+    let addr = str_flag_value(&cli.args, "--addr")?.ok_or_else(|| {
+        MoardError::InvalidConfig(
+            "`moard client` needs `--addr HOST:PORT` of a running daemon (start one with \
+             `moard serve`)"
+                .into(),
+        )
+    })?;
+    let mut client = Client::connect(addr)?;
+    let request = match op {
+        "ping" => {
+            client.ping()?;
+            out!("pong");
+            return Ok(());
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            out!("shutdown acknowledged");
+            return Ok(());
+        }
+        "metrics" => {
+            let doc = client.metrics()?;
+            match cli.format {
+                Format::Json => out!("{}", doc.to_pretty()),
+                Format::Text => out!(
+                    "{}",
+                    moard_server::metrics::exposition_from_json(&doc)
+                        .map_err(MoardError::from)?
+                        .trim_end()
+                ),
+            }
+            return Ok(());
+        }
+        "cancel" => {
+            let pos = positionals(sub);
+            let job = pos
+                .first()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    MoardError::InvalidConfig(
+                        "`moard client cancel` needs the numeric job id printed at submission"
+                            .into(),
+                    )
+                })?;
+            return match client.cancel(job)? {
+                Response::Ok => {
+                    out!("cancelled job {job}");
+                    Ok(())
+                }
+                Response::Error { message } => Err(MoardError::InvalidConfig(message).into()),
+                other => Err(MoardError::InvalidConfig(format!(
+                    "daemon answered `cancel` with an unexpected `{}` frame",
+                    other.kind()
+                ))
+                .into()),
+            };
+        }
+        "analyze" => {
+            let pos = positionals(sub);
+            let Some(workload) = pos.first() else {
+                return Err(CliError::Usage);
+            };
+            let mut config = moard_core::AnalysisConfig {
+                site_stride: flag_value(sub, "--stride")?.unwrap_or(4) as usize,
+                max_dfi_per_object: match str_flag_value(sub, "--max-dfi")? {
+                    None => Some(5_000),
+                    Some(value) => parse_max_dfi(value)?,
+                },
+                ..moard_core::AnalysisConfig::default()
+            };
+            if let Some(k) = flag_value(sub, "--k")? {
+                config.propagation_window = k as usize;
+            }
+            if let Some(patterns) = patterns_flag(sub)? {
+                config.patterns = patterns;
+            }
+            Request::Analyze {
+                workload: workload.to_string(),
+                objects: pos[1..].iter().map(|s| s.to_string()).collect(),
+                config,
+                use_dfi: !has_flag(sub, "--no-dfi"),
+                priority: priority_flag(sub)?,
+            }
+        }
+        "sweep" => Request::Sweep {
+            spec: sweep_spec(sub)?,
+            priority: priority_flag(sub)?,
+        },
+        "validate" => Request::Validate {
+            spec: validate_spec(sub)?,
+            priority: priority_flag(sub)?,
+        },
+        _ => return Err(CliError::Usage),
+    };
+    let (job, response) = client.submit(&request)?;
+    match response {
+        Response::Result {
+            op,
+            cache_hits,
+            executed,
+            payload,
+            ..
+        } => match cli.format {
+            Format::Json => out!(
+                "{}",
+                Json::object([
+                    ("job", Json::from(job)),
+                    ("op", Json::from(op.as_str())),
+                    ("cache_hits", Json::from(cache_hits)),
+                    ("executed", Json::from(executed)),
+                    ("payload", payload),
+                ])
+                .to_pretty()
+            ),
+            Format::Text => {
+                out!("job {job} ({op}): {executed} executed, {cache_hits} cache hits");
+                out!("{}", payload.to_pretty());
+            }
+        },
+        Response::Cancelled { .. } => out!("job {job} cancelled"),
+        Response::Error { message } => return Err(MoardError::InvalidConfig(message).into()),
+        other => {
+            return Err(MoardError::InvalidConfig(format!(
+                "daemon answered job {job} with an unexpected `{}` frame",
+                other.kind()
+            ))
+            .into())
         }
     }
     Ok(())

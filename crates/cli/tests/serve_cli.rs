@@ -1,0 +1,172 @@
+//! Integration tests of `moard serve`, `moard client`, and the shared
+//! `--threads` flag — all through the real binaries and a real TCP
+//! connection.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Output, Stdio};
+
+fn moard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_moard"))
+        .args(args)
+        .output()
+        .expect("the moard binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8")
+}
+
+/// Start `moard serve` on an ephemeral port and scrape the resolved
+/// address from its announcement line.
+fn spawn_daemon(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moard"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("moard serve starts");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout is piped"))
+        .read_line(&mut line)
+        .expect("the announcement line arrives");
+    let addr = line
+        .trim()
+        .strip_prefix("moard serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement `{line}`"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn threads_zero_and_seq_conflicts_are_typed_errors() {
+    for command in ["sweep", "validate"] {
+        let output = moard(&[command, "mm", "--threads", "0"]);
+        assert_eq!(output.status.code(), Some(1), "{command}");
+        let err = stderr(&output);
+        assert!(err.contains("--threads"), "{command}: {err}");
+        assert!(err.contains(">= 1"), "{command}: {err}");
+
+        let output = moard(&[command, "mm", "--seq", "--threads", "2"]);
+        assert_eq!(output.status.code(), Some(1), "{command}");
+        assert!(
+            stderr(&output).contains("contradict"),
+            "{command}: {}",
+            stderr(&output)
+        );
+    }
+    let output = moard(&["serve", "--threads", "0"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains(">= 1"), "{}", stderr(&output));
+    // `--threads` stays rejected where no pool exists to size.
+    let output = moard(&["analyze", "mm", "--threads", "2"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("not valid for `moard analyze`"),
+        "{}",
+        stderr(&output)
+    );
+}
+
+#[test]
+fn sweep_with_a_fixed_pool_matches_the_sequential_report() {
+    let quick: &[&str] = &["sweep", "mm", "--stride", "32", "--max-dfi", "100"];
+    let fixed = moard(&[&["--format", "json"][..], quick, &["--threads", "2"]].concat());
+    assert!(fixed.status.success(), "stderr: {}", stderr(&fixed));
+    let seq = moard(&[&["--format", "json"][..], quick, &["--seq"]].concat());
+    assert!(seq.status.success(), "stderr: {}", stderr(&seq));
+    assert_eq!(
+        stdout(&fixed),
+        stdout(&seq),
+        "reports must not depend on the pool size"
+    );
+}
+
+#[test]
+fn client_without_a_daemon_or_an_addr_is_a_typed_error() {
+    let output = moard(&["client", "ping"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("--addr"), "{}", stderr(&output));
+
+    // Nothing listens on this port (reserved, discard-on-fire range is
+    // avoided by binding then dropping).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let output = moard(&["client", "ping", "--addr", &dead]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("error:"), "{}", stderr(&output));
+}
+
+#[test]
+fn serve_answers_the_client_subcommand_end_to_end() {
+    let store = std::env::temp_dir().join(format!("moard-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let (mut daemon, addr) = spawn_daemon(&["--threads", "2", "--store", store.to_str().unwrap()]);
+    let addr = addr.as_str();
+
+    let output = moard(&["client", "ping", "--addr", addr]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert_eq!(stdout(&output).trim(), "pong");
+
+    // A submitted job comes back as the wrapped report…
+    let job = &[
+        "--format",
+        "json",
+        "client",
+        "analyze",
+        "mm",
+        "--addr",
+        addr,
+        "--stride",
+        "32",
+        "--max-dfi",
+        "100",
+        "--priority",
+        "high",
+    ];
+    let cold = moard(job);
+    assert!(cold.status.success(), "stderr: {}", stderr(&cold));
+    let cold_doc = moard_json::Json::parse(&stdout(&cold)).expect("client output parses");
+    assert_eq!(cold_doc.str_field("op").unwrap(), "analyze");
+    assert!(cold_doc.u64_field("executed").unwrap() > 0);
+
+    // …and the repeat submission is served from the daemon's store with a
+    // byte-identical payload.
+    let warm = moard(job);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    let warm_doc = moard_json::Json::parse(&stdout(&warm)).unwrap();
+    assert!(warm_doc.u64_field("cache_hits").unwrap() > 0);
+    assert_eq!(warm_doc.u64_field("executed").unwrap(), 0);
+    assert_eq!(
+        cold_doc.field("payload").unwrap().to_string(),
+        warm_doc.field("payload").unwrap().to_string()
+    );
+
+    // Metrics in both formats: the JSON document and the text exposition.
+    let output = moard(&["--format", "json", "client", "metrics", "--addr", addr]);
+    let metrics = moard_json::Json::parse(&stdout(&output)).unwrap();
+    assert_eq!(metrics.u64_field("jobs_completed").unwrap(), 2);
+    assert!(metrics.u64_field("store_entries").unwrap() > 0);
+    let output = moard(&["client", "metrics", "--addr", addr]);
+    let text = stdout(&output);
+    assert!(
+        text.contains("moard_requests_total{op=\"analyze\"} 2"),
+        "{text}"
+    );
+    assert!(text.contains("moard_warm_harnesses 1"), "{text}");
+
+    // Cancelling an unknown job is a typed error, not a crash.
+    let output = moard(&["client", "cancel", "999", "--addr", addr]);
+    assert_eq!(output.status.code(), Some(1));
+
+    let output = moard(&["client", "shutdown", "--addr", addr]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let status = daemon.wait().expect("the daemon exits after shutdown");
+    assert!(status.success(), "daemon exit: {status}");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -71,6 +71,10 @@ pub enum MoardError {
         /// Version this build writes and reads.
         expected: u32,
     },
+    /// The operation was cooperatively cancelled before it completed (e.g. a
+    /// daemon job whose cancel token was set).  Partial results already
+    /// persisted to a store remain valid and resumable.
+    Cancelled,
 }
 
 impl fmt::Display for MoardError {
@@ -109,6 +113,7 @@ impl fmt::Display for MoardError {
                 f,
                 "report schema version {found} is not readable by this build (expected {expected})"
             ),
+            MoardError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

@@ -306,6 +306,93 @@ impl WorkloadHarness {
     }
 }
 
+/// A thread-safe cache of prepared (warm) workload harnesses, keyed by
+/// canonical workload name.
+///
+/// Preparing a [`WorkloadHarness`] — building the module, running the golden
+/// execution, recording and indexing the trace — is the dominant fixed cost
+/// of most analyses, and it is identical for every job over the same
+/// workload.  A long-running host (the `moard-daemon` service) prepares each
+/// workload once and shares the warm harness across every subsequent job;
+/// the sweep and validation runners accept a cache via their
+/// `harness_cache` builder hooks and then look harnesses up instead of
+/// re-tracing.  Harness preparation is deterministic, so a cached harness is
+/// indistinguishable from a fresh one — reports stay bit-identical.
+#[derive(Default)]
+pub struct HarnessCache {
+    map: std::sync::RwLock<std::collections::HashMap<String, std::sync::Arc<WorkloadHarness>>>,
+}
+
+impl HarnessCache {
+    /// An empty cache.
+    pub fn new() -> HarnessCache {
+        HarnessCache::default()
+    }
+
+    /// The canonical cache key of a workload name or alias: aliases of the
+    /// same workload (`mm`, `matmul`, `MM`) must share one warm harness.
+    fn canonical_key(registry: &dyn moard_workloads::WorkloadRegistry, name: &str) -> String {
+        registry
+            .descriptor(name)
+            .map(|d| d.name.to_string())
+            .unwrap_or_else(|| name.to_string())
+    }
+
+    /// The warm harness for a workload, preparing (and caching) it on first
+    /// use.  Unknown names surface the usual typed
+    /// [`MoardError::UnknownWorkload`].
+    pub fn get_or_prepare(
+        &self,
+        registry: &dyn moard_workloads::WorkloadRegistry,
+        name: &str,
+    ) -> Result<std::sync::Arc<WorkloadHarness>, MoardError> {
+        let key = Self::canonical_key(registry, name);
+        if let Some(harness) = self.map.read().expect("harness cache poisoned").get(&key) {
+            return Ok(harness.clone());
+        }
+        // Prepare outside the lock: tracing a workload can take seconds and
+        // must not serialize lookups of already-warm harnesses.  Two racing
+        // preparers of the same workload build identical harnesses (the
+        // pipeline is deterministic); the first insert wins and the loser's
+        // copy is dropped.
+        let harness = std::sync::Arc::new(WorkloadHarness::by_name_in(registry, name)?);
+        let mut map = self.map.write().expect("harness cache poisoned");
+        Ok(map.entry(key).or_insert(harness).clone())
+    }
+
+    /// The warm harness for a canonical workload name, if already prepared.
+    pub fn get(&self, canonical_name: &str) -> Option<std::sync::Arc<WorkloadHarness>> {
+        self.map
+            .read()
+            .expect("harness cache poisoned")
+            .get(canonical_name)
+            .cloned()
+    }
+
+    /// Number of warm harnesses currently held.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("harness cache poisoned").len()
+    }
+
+    /// True if no harness has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical names of the warm harnesses, sorted.
+    pub fn prepared(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .map
+            .read()
+            .expect("harness cache poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
 /// Instantiate a workload from a registry, or produce the typed
 /// [`MoardError::UnknownWorkload`] carrying the registered names.  Shared by
 /// every by-name entry point (`WorkloadHarness::by_name_in`,
@@ -425,6 +512,27 @@ mod tests {
             h.trace().touching_ids(c).len(),
             h.trace().records_touching(c).count()
         );
+    }
+
+    #[test]
+    fn harness_cache_shares_one_harness_across_aliases() {
+        let registry = moard_workloads::builtin_registry();
+        let cache = HarnessCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get("MM").is_none());
+        let a = cache.get_or_prepare(registry, "mm").unwrap();
+        let b = cache.get_or_prepare(registry, "matmul").unwrap();
+        let c = cache.get_or_prepare(registry, "MM").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.prepared(), vec!["MM".to_string()]);
+        assert!(std::sync::Arc::ptr_eq(&a, &cache.get("MM").unwrap()));
+        assert!(matches!(
+            cache.get_or_prepare(registry, "warp-drive"),
+            Err(MoardError::UnknownWorkload { .. })
+        ));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

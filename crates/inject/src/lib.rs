@@ -104,6 +104,7 @@
 //! Every fallible entry point returns `Result<_, `[`MoardError`]`>`.
 
 pub mod campaign;
+pub mod cancel;
 pub mod exhaustive;
 pub mod harness;
 pub mod injector;
@@ -115,14 +116,15 @@ pub mod sweep;
 pub mod validate;
 
 pub use campaign::{run_campaign, run_campaign_stats, Parallelism};
+pub use cancel::CancelToken;
 pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
-pub use harness::WorkloadHarness;
+pub use harness::{HarnessCache, WorkloadHarness};
 pub use injector::DeterministicInjector;
 pub use moard_core::MoardError;
 pub use random::{run_rfi, sample_faults, sample_shard, shard_seed, PatternSampler, RfiConfig};
 pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};
 pub use stats::{required_sample_size, z_value, CampaignStats};
-pub use store::ResultStore;
+pub use store::{ResultStore, StoreEntry};
 pub use sweep::{
     ObjectSelector, RfiLeg, StudyRunner, StudySpec, StudyTask, StudyTaskKind, SweepStats,
     WorkloadSelector,

@@ -118,6 +118,48 @@ impl ResultStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Enumerate the well-formed documents currently in the store, sorted
+    /// by (fingerprint, key) for deterministic output.  The same robustness
+    /// rule as [`ResultStore::load`] applies: corrupt, truncated, foreign,
+    /// or wrong-schema files are silently skipped, never errors — this is
+    /// an *occupancy* view (the daemon's metrics endpoint and cache
+    /// inspection), not an integrity check.
+    pub fn entries(&self) -> Vec<StoreEntry> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<StoreEntry> = dir
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let text = std::fs::read_to_string(e.path()).ok()?;
+                let doc = Json::parse(&text).ok()?;
+                if doc.u32_field("schema_version").ok()? != STORE_SCHEMA_VERSION {
+                    return None;
+                }
+                if doc.str_field("kind").ok()? != "moard-study-task" {
+                    return None;
+                }
+                Some(StoreEntry {
+                    study_fingerprint: doc.str_field("study_fingerprint").ok()?.to_string(),
+                    task_key: doc.str_field("task_key").ok()?.to_string(),
+                })
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// One well-formed document of a [`ResultStore`], as reported by
+/// [`ResultStore::entries`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StoreEntry {
+    /// Hex rendering of the study fingerprint the document was stored under.
+    pub study_fingerprint: String,
+    /// The task key within that study.
+    pub task_key: String,
 }
 
 #[cfg(test)]
@@ -164,6 +206,32 @@ mod tests {
         ]);
         std::fs::write(&path, other.to_pretty()).unwrap();
         assert!(store.load(1, "advf/PF/xe").is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn entries_lists_well_formed_documents_and_skips_corruption() {
+        let store = temp_store("entries");
+        assert!(store.entries().is_empty());
+        store.save(2, "advf/MM/C/k", &Json::from(1u64)).unwrap();
+        store.save(1, "advf/CG/r/k", &Json::from(2u64)).unwrap();
+        store
+            .save(1, "advf/CG/colidx/k", &Json::from(3u64))
+            .unwrap();
+        // Corrupt and foreign documents are invisible, exactly like load().
+        std::fs::write(store.dir().join("deadbeef.json"), "{torn").unwrap();
+        std::fs::write(store.dir().join("foreign.json"), "{\"kind\":\"other\"}").unwrap();
+        std::fs::write(store.dir().join("notes.txt"), "ignored").unwrap();
+        let entries = store.entries();
+        assert_eq!(entries.len(), 3);
+        // Sorted by (fingerprint, key): both fingerprint-1 docs first.
+        assert_eq!(entries[0].study_fingerprint, fingerprint_hex(1));
+        assert_eq!(entries[0].task_key, "advf/CG/colidx/k");
+        assert_eq!(entries[1].task_key, "advf/CG/r/k");
+        assert_eq!(entries[2].study_fingerprint, fingerprint_hex(2));
+        // len() still counts raw candidate files; entries() is the
+        // well-formed subset.
+        assert_eq!(store.len(), 5);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

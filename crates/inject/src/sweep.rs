@@ -38,15 +38,17 @@
 //! ```
 
 use crate::campaign::{run_indexed, Parallelism};
-use crate::harness::{create_workload, WorkloadHarness};
+use crate::cancel::CancelToken;
+use crate::harness::{create_workload, HarnessCache, WorkloadHarness};
 use crate::random::RfiConfig;
 use crate::store::ResultStore;
 use moard_core::{
     fingerprint_hex, AdvfReport, AnalysisConfig, ErrorPatternSet, MoardError, RfiEntry, RfiSummary,
     StudyEntry, StudyReport,
 };
-use moard_json::{FromJson, Json, ToJson};
+use moard_json::{FromJson, Json, JsonError, ToJson};
 use moard_workloads::WorkloadRegistry;
+use std::sync::Arc;
 
 /// Which workloads a study covers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +69,27 @@ impl WorkloadSelector {
             WorkloadSelector::Named(names) => format!("named:{}", names.join(",")),
         }
     }
+
+    /// Parse the canonical rendering back (`all`, `table1`, `named:a,b`) —
+    /// the wire format of the daemon protocol.  Empty name items are
+    /// dropped, so a degenerate `named:` parses to an empty list that the
+    /// spec validation rejects with its usual typed error.
+    pub fn from_canonical(text: &str) -> Option<WorkloadSelector> {
+        match text {
+            "all" => Some(WorkloadSelector::All),
+            "table1" => Some(WorkloadSelector::Table1),
+            _ => text.strip_prefix("named:").map(|names| {
+                WorkloadSelector::Named(
+                    names
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect(),
+                )
+            }),
+        }
+    }
 }
 
 /// Which data objects of each selected workload a study covers.
@@ -83,6 +106,25 @@ impl ObjectSelector {
         match self {
             ObjectSelector::Targets => "targets".into(),
             ObjectSelector::Named(names) => format!("named:{}", names.join(",")),
+        }
+    }
+
+    /// Parse the canonical rendering back (`targets`, `named:o1,o2`) — the
+    /// wire format of the daemon protocol (see
+    /// [`WorkloadSelector::from_canonical`]).
+    pub fn from_canonical(text: &str) -> Option<ObjectSelector> {
+        match text {
+            "targets" => Some(ObjectSelector::Targets),
+            _ => text.strip_prefix("named:").map(|names| {
+                ObjectSelector::Named(
+                    names
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect(),
+                )
+            }),
         }
     }
 }
@@ -329,6 +371,137 @@ impl StudySpec {
     }
 }
 
+impl ToJson for StudySpec {
+    /// The wire form of a study specification — the payload a `sweep` job
+    /// carries over the daemon protocol.  Selectors and pattern sets use
+    /// their canonical string renderings; the envelope around this document
+    /// carries the protocol schema version.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("workloads", Json::from(self.workloads.canonical())),
+            ("objects", Json::from(self.objects.canonical())),
+            (
+                "windows",
+                Json::array(self.windows.iter().map(|&w| Json::from(w))),
+            ),
+            (
+                "strides",
+                Json::array(self.strides.iter().map(|&s| Json::from(s))),
+            ),
+            (
+                "max_dfis",
+                Json::array(self.max_dfis.iter().map(|m| match m {
+                    Some(n) => Json::from(*n),
+                    None => Json::Null,
+                })),
+            ),
+            (
+                "patterns",
+                Json::array(self.patterns.iter().map(|p| Json::from(p.canonical()))),
+            ),
+            ("use_dfi", Json::from(self.use_dfi)),
+            (
+                "rfi",
+                match &self.rfi {
+                    None => Json::Null,
+                    Some(leg) => Json::object([
+                        (
+                            "tests",
+                            Json::array(leg.tests.iter().map(|&t| Json::from(t))),
+                        ),
+                        ("seed", Json::from(leg.seed)),
+                    ]),
+                },
+            ),
+        ])
+    }
+}
+
+impl FromJson for StudySpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let workloads = WorkloadSelector::from_canonical(value.str_field("workloads")?).ok_or(
+            JsonError::WrongType {
+                field: "workloads".into(),
+                expected: "`all`, `table1`, or `named:w1,w2`",
+            },
+        )?;
+        let objects = ObjectSelector::from_canonical(value.str_field("objects")?).ok_or(
+            JsonError::WrongType {
+                field: "objects".into(),
+                expected: "`targets` or `named:o1,o2`",
+            },
+        )?;
+        let usize_list = |field: &'static str| -> Result<Vec<usize>, JsonError> {
+            value
+                .arr_field(field)?
+                .iter()
+                .map(|v| {
+                    v.as_u64().map(|n| n as usize).ok_or(JsonError::WrongType {
+                        field: field.into(),
+                        expected: "an array of unsigned integers",
+                    })
+                })
+                .collect()
+        };
+        let max_dfis = value
+            .arr_field("max_dfis")?
+            .iter()
+            .map(|v| match v {
+                Json::Null => Ok(None),
+                other => other.as_u64().map(Some).ok_or(JsonError::WrongType {
+                    field: "max_dfis".into(),
+                    expected: "an array of unsigned integers or nulls",
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let patterns = value
+            .arr_field("patterns")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .and_then(ErrorPatternSet::from_canonical)
+                    .ok_or(JsonError::WrongType {
+                        field: "patterns".into(),
+                        expected: "an array of canonical error-pattern-set strings",
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let use_dfi = value
+            .field("use_dfi")?
+            .as_bool()
+            .ok_or(JsonError::WrongType {
+                field: "use_dfi".into(),
+                expected: "a boolean",
+            })?;
+        let rfi = match value.field("rfi")? {
+            Json::Null => None,
+            leg => Some(RfiLeg {
+                tests: leg
+                    .arr_field("tests")?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().map(|n| n as usize).ok_or(JsonError::WrongType {
+                            field: "rfi.tests".into(),
+                            expected: "an array of unsigned integers",
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                seed: leg.u64_field("seed")?,
+            }),
+        };
+        Ok(StudySpec {
+            workloads,
+            objects,
+            windows: usize_list("windows")?,
+            strides: usize_list("strides")?,
+            max_dfis,
+            patterns,
+            use_dfi,
+            rfi,
+        })
+    }
+}
+
 /// Resolve workload/object selectors against a registry into the
 /// deterministic (workload, objects) cell grid — shared by the sweep
 /// engine's task expansion and the validation engine's campaign matrix.
@@ -518,6 +691,8 @@ pub struct StudyRunner {
     parallelism: Parallelism,
     store: Option<ResultStore>,
     resume: bool,
+    cancel: CancelToken,
+    harness_cache: Option<Arc<HarnessCache>>,
 }
 
 impl StudyRunner {
@@ -529,6 +704,8 @@ impl StudyRunner {
             parallelism: Parallelism::Auto,
             store: None,
             resume: false,
+            cancel: CancelToken::new(),
+            harness_cache: None,
         }
     }
 
@@ -561,6 +738,24 @@ impl StudyRunner {
     /// hits instead of recomputed.  Requires a store to have any effect.
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Observe a cooperative [`CancelToken`]: the sweep stops at the next
+    /// task boundary once the token is cancelled and returns
+    /// [`MoardError::Cancelled`].  Tasks completed before the stop are
+    /// already persisted (with a store), so a cancelled sweep resumes
+    /// byte-identically.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Look workload harnesses up in (and warm them into) a shared
+    /// [`HarnessCache`] instead of preparing private ones — the daemon's
+    /// warm-harness path.  Reports are bit-identical either way.
+    pub fn harness_cache(mut self, cache: Arc<HarnessCache>) -> Self {
+        self.harness_cache = Some(cache);
         self
     }
 
@@ -615,11 +810,13 @@ impl StudyRunner {
                 need.push(&task.workload);
             }
         }
-        let harnesses: Vec<WorkloadHarness> = run_indexed(workers, need.len(), |i| {
-            WorkloadHarness::by_name_in(registry, need[i])
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
+        let harnesses: Vec<Arc<WorkloadHarness>> =
+            run_indexed(workers, need.len(), |i| match &self.harness_cache {
+                Some(cache) => cache.get_or_prepare(registry, need[i]),
+                None => WorkloadHarness::by_name_in(registry, need[i]).map(Arc::new),
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let harness_for = |workload: &str| -> &WorkloadHarness {
             let i = need
                 .iter()
@@ -643,6 +840,9 @@ impl StudyRunner {
             if cached[i].is_some() {
                 return Ok(None);
             }
+            // Cooperative cancellation checkpoint: tasks that already
+            // completed (and persisted) stay; everything else is abandoned.
+            self.cancel.checkpoint()?;
             let task = &tasks[i];
             let payload = task.execute(harness_for(&task.workload))?;
             if let Some(store) = &self.store {
@@ -782,6 +982,93 @@ mod tests {
             .unwrap();
         assert_eq!(tasks.len(), 1, "aliases of MM must not duplicate its cell");
         assert_eq!(tasks[0].workload, "MM");
+    }
+
+    #[test]
+    fn selectors_round_trip_through_their_canonical_rendering() {
+        for selector in [
+            WorkloadSelector::All,
+            WorkloadSelector::Table1,
+            WorkloadSelector::Named(vec!["mm".into(), "cg".into()]),
+        ] {
+            assert_eq!(
+                WorkloadSelector::from_canonical(&selector.canonical()),
+                Some(selector)
+            );
+        }
+        for selector in [
+            ObjectSelector::Targets,
+            ObjectSelector::Named(vec!["C".into()]),
+        ] {
+            assert_eq!(
+                ObjectSelector::from_canonical(&selector.canonical()),
+                Some(selector)
+            );
+        }
+        // Unknown renderings are rejected, and `named:` degenerates to the
+        // empty list the spec validation then refuses.
+        assert_eq!(WorkloadSelector::from_canonical("everything"), None);
+        assert_eq!(ObjectSelector::from_canonical("all"), None);
+        assert_eq!(
+            WorkloadSelector::from_canonical("named:"),
+            Some(WorkloadSelector::Named(vec![]))
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = quick_spec()
+            .windows(vec![20, 50])
+            .max_dfis(vec![Some(200), None])
+            .patterns(vec![
+                ErrorPatternSet::SingleBit,
+                ErrorPatternSet::AdjacentBits { width: 2 },
+            ])
+            .rfi_leg(vec![50, 100], 7);
+        let back = StudySpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+        // Garbage is a typed error, never a panic.
+        assert!(StudySpec::from_json(&Json::from("nope")).is_err());
+        assert!(StudySpec::from_json(&Json::object::<&str>([])).is_err());
+    }
+
+    #[test]
+    fn cancelled_sweep_is_a_typed_error_and_resumes_cleanly() {
+        let dir = temp_dir("cancel");
+        let token = CancelToken::new();
+        token.cancel();
+        let err = StudyRunner::new(quick_spec())
+            .store(&dir)
+            .unwrap()
+            .cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, MoardError::Cancelled);
+        let full = StudyRunner::new(quick_spec()).run().unwrap();
+        let resumed = StudyRunner::new(quick_spec())
+            .store(&dir)
+            .unwrap()
+            .resume(true)
+            .run()
+            .unwrap();
+        assert_eq!(resumed.to_json_string(), full.to_json_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_populates_and_reuses_a_shared_harness_cache() {
+        let cache = Arc::new(HarnessCache::new());
+        let a = StudyRunner::new(quick_spec())
+            .harness_cache(cache.clone())
+            .run()
+            .unwrap();
+        assert_eq!(cache.prepared(), vec!["MM".to_string()]);
+        let b = StudyRunner::new(quick_spec())
+            .harness_cache(cache)
+            .run()
+            .unwrap();
+        assert_eq!(a.to_json_string(), b.to_json_string());
     }
 
     #[test]

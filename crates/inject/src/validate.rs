@@ -61,7 +61,8 @@
 //! ```
 
 use crate::campaign::{run_indexed, run_shard_campaign, Parallelism};
-use crate::harness::WorkloadHarness;
+use crate::cancel::CancelToken;
+use crate::harness::{HarnessCache, WorkloadHarness};
 use crate::random::PatternSampler;
 use crate::stats::CampaignStats;
 use crate::store::ResultStore;
@@ -70,8 +71,9 @@ use moard_core::{
     fingerprint_hex, fnv1a, AdvfReport, AnalysisConfig, MoardError, RfiCampaign, ValidationCell,
     ValidationReport,
 };
-use moard_json::{FromJson, ToJson};
+use moard_json::{FromJson, Json, JsonError, ToJson};
 use moard_workloads::WorkloadRegistry;
+use std::sync::Arc;
 
 /// Declarative specification of a model-validation campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -311,6 +313,65 @@ impl ValidationSpec {
     }
 }
 
+impl ToJson for ValidationSpec {
+    /// The wire form of a validation specification — the payload a
+    /// `validate` job carries over the daemon protocol.  Selectors and the
+    /// analysis configuration use their canonical renderings; the envelope
+    /// around this document carries the protocol schema version.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("workloads", Json::from(self.workloads.canonical())),
+            ("objects", Json::from(self.objects.canonical())),
+            ("config", self.config.to_json()),
+            ("use_dfi", Json::from(self.use_dfi)),
+            ("confidence", Json::from(self.confidence)),
+            ("target_margin", Json::from(self.target_margin)),
+            ("max_trials", Json::from(self.max_trials)),
+            ("shard_size", Json::from(self.shard_size)),
+            ("shards_per_round", Json::from(self.shards_per_round)),
+            ("seed", Json::from(self.seed)),
+            ("tolerance", Json::from(self.tolerance)),
+        ])
+    }
+}
+
+impl FromJson for ValidationSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let workloads = WorkloadSelector::from_canonical(value.str_field("workloads")?).ok_or(
+            JsonError::WrongType {
+                field: "workloads".into(),
+                expected: "`all`, `table1`, or `named:w1,w2`",
+            },
+        )?;
+        let objects = ObjectSelector::from_canonical(value.str_field("objects")?).ok_or(
+            JsonError::WrongType {
+                field: "objects".into(),
+                expected: "`targets` or `named:o1,o2`",
+            },
+        )?;
+        let use_dfi = value
+            .field("use_dfi")?
+            .as_bool()
+            .ok_or(JsonError::WrongType {
+                field: "use_dfi".into(),
+                expected: "a boolean",
+            })?;
+        Ok(ValidationSpec {
+            workloads,
+            objects,
+            config: AnalysisConfig::from_json(value.field("config")?)?,
+            use_dfi,
+            confidence: value.f64_field("confidence")?,
+            target_margin: value.f64_field("target_margin")?,
+            max_trials: value.u64_field("max_trials")?,
+            shard_size: value.u64_field("shard_size")?,
+            shards_per_round: value.u64_field("shards_per_round")?,
+            seed: value.u64_field("seed")?,
+            tolerance: value.f64_field("tolerance")?,
+        })
+    }
+}
+
 /// One (workload, object) cell of the campaign matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationCellSpec {
@@ -380,6 +441,8 @@ pub struct ValidationRunner {
     parallelism: Parallelism,
     store: Option<ResultStore>,
     resume: bool,
+    cancel: CancelToken,
+    harness_cache: Option<Arc<HarnessCache>>,
 }
 
 impl ValidationRunner {
@@ -391,6 +454,8 @@ impl ValidationRunner {
             parallelism: Parallelism::Auto,
             store: None,
             resume: false,
+            cancel: CancelToken::new(),
+            harness_cache: None,
         }
     }
 
@@ -424,6 +489,22 @@ impl ValidationRunner {
     /// effect.
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Observe `token` at the campaign's checkpoints (between aDVF legs,
+    /// between cells, and between shard rounds): once cancelled the run
+    /// returns [`MoardError::Cancelled`], leaving every leg persisted so
+    /// far valid for resumption.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Reuse prepared harnesses from (and publish new ones to) a shared
+    /// [`HarnessCache`] — the daemon's warm-workload path.
+    pub fn harness_cache(mut self, cache: Arc<HarnessCache>) -> Self {
+        self.harness_cache = Some(cache);
         self
     }
 
@@ -487,11 +568,13 @@ impl ValidationRunner {
                 need.push(&cell.workload);
             }
         }
-        let harnesses: Vec<WorkloadHarness> = run_indexed(workers, need.len(), |i| {
-            WorkloadHarness::by_name_in(registry, need[i])
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
+        let harnesses: Vec<Arc<WorkloadHarness>> =
+            run_indexed(workers, need.len(), |i| match &self.harness_cache {
+                Some(cache) => cache.get_or_prepare(registry, need[i]),
+                None => WorkloadHarness::by_name_in(registry, need[i]).map(Arc::new),
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let harness_for = |workload: &str| -> &WorkloadHarness {
             let i = need
                 .iter()
@@ -513,6 +596,9 @@ impl ValidationRunner {
             if cached_advf[i].is_some() {
                 return Ok(None);
             }
+            // Cooperative cancellation checkpoint: legs already persisted
+            // stay; everything else is abandoned.
+            self.cancel.checkpoint()?;
             let cell = &cells[i];
             let harness = harness_for(&cell.workload);
             let report = if spec.use_dfi {
@@ -546,6 +632,7 @@ impl ValidationRunner {
                 fresh_rfi.push(None);
                 continue;
             }
+            self.cancel.checkpoint()?;
             let campaign = self.run_cell_campaign(cell, harness_for(&cell.workload))?;
             stats.trials_executed += campaign.trials();
             if let Some(store) = &self.store {
@@ -632,6 +719,9 @@ impl ValidationRunner {
         let mut shards = 0u64;
         let mut converged = false;
         while !converged && stats.runs < spec.max_trials {
+            // Between shard rounds is the campaign's finest cancellation
+            // grain: a partially folded cell is discarded, not persisted.
+            self.cancel.checkpoint()?;
             let round: Vec<u64> = (0..spec.shards_per_round)
                 .map(|j| shards + j)
                 .filter(|&index| spec.shard_trials(index) > 0)
@@ -874,6 +964,65 @@ mod tests {
         assert_eq!(partial, cold);
         assert_eq!(partial.to_json_string(), cold.to_json_string());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = quick_spec();
+        let back = ValidationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+        // Non-default selectors and patterns survive the trip too.
+        let fancy = quick_spec()
+            .workloads(WorkloadSelector::Table1)
+            .objects(ObjectSelector::Named(vec!["C".into()]))
+            .patterns(moard_core::ErrorPatternSet::AdjacentBits { width: 2 })
+            .without_dfi();
+        assert_eq!(ValidationSpec::from_json(&fancy.to_json()).unwrap(), fancy);
+        // Garbage is a typed error, never a panic.
+        assert!(ValidationSpec::from_json(&Json::from(3u64)).is_err());
+        assert!(ValidationSpec::from_json(&Json::object::<&str>([])).is_err());
+    }
+
+    #[test]
+    fn cancelled_run_is_a_typed_error_and_the_store_stays_resumable() {
+        let dir = temp_dir("cancel");
+        let token = CancelToken::new();
+        token.cancel();
+        let err = ValidationRunner::new(quick_spec())
+            .store(&dir)
+            .unwrap()
+            .cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, MoardError::Cancelled);
+        // Whatever the cancelled run persisted (here: nothing past the
+        // checkpoint) resumes into the exact uncancelled report.
+        let full = ValidationRunner::new(quick_spec()).run().unwrap();
+        let resumed = ValidationRunner::new(quick_spec())
+            .store(&dir)
+            .unwrap()
+            .resume(true)
+            .run()
+            .unwrap();
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_harness_cache_is_populated_and_reused() {
+        let cache = Arc::new(HarnessCache::new());
+        let a = ValidationRunner::new(quick_spec())
+            .harness_cache(cache.clone())
+            .run()
+            .unwrap();
+        assert_eq!(cache.prepared(), vec!["MM".to_string()]);
+        let b = ValidationRunner::new(quick_spec())
+            .harness_cache(cache.clone())
+            .run()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

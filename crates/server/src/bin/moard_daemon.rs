@@ -1,0 +1,86 @@
+//! `moard-daemon` — stand-alone daemon binary.
+//!
+//! ```text
+//! moard-daemon [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]
+//! ```
+//!
+//! Prints `moard-daemon listening on ADDR` once bound (with port 0 the
+//! line carries the resolved ephemeral port — scripts and CI scrape it),
+//! then serves until a `shutdown` request arrives.
+
+use moard_server::{Daemon, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: moard-daemon [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]\n\
+         \n\
+         --addr HOST:PORT  bind address (default 127.0.0.1:7411; port 0 = ephemeral)\n\
+         --port N          shorthand for --addr 127.0.0.1:N\n\
+         --threads N       job worker threads, N >= 1 (default: available cores)\n\
+         --store DIR       shared result store (enables cross-job caching and resume)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:7411".into(),
+        threads: 0,
+        store: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("moard-daemon: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--port" => {
+                let port = value("--port");
+                match port.parse::<u16>() {
+                    Ok(port) => config.addr = format!("127.0.0.1:{port}"),
+                    Err(_) => {
+                        eprintln!("moard-daemon: --port expects a port number, got `{port}`");
+                        usage()
+                    }
+                }
+            }
+            "--threads" => {
+                let n = value("--threads");
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => config.threads = n,
+                    _ => {
+                        eprintln!(
+                            "moard-daemon: --threads expects an integer >= 1, got `{n}` \
+                             (a zero-thread pool could never run a job)"
+                        );
+                        usage()
+                    }
+                }
+            }
+            "--store" => config.store = Some(value("--store").into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("moard-daemon: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    match Daemon::start(config) {
+        Ok(daemon) => {
+            // Scraped by scripts, tests, and CI: keep the exact shape.
+            println!("moard-daemon listening on {}", daemon.addr());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            daemon.join();
+            println!("moard-daemon stopped");
+        }
+        Err(e) => {
+            eprintln!("moard-daemon: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! `moard-load` — concurrent load generator for the daemon.
+//!
+//! ```text
+//! moard-load --addr HOST:PORT [--clients N] [--jobs N] [--shutdown]
+//! ```
+//!
+//! Spawns `--clients` concurrent connections, each submitting a mixed
+//! sequence of job sizes (small/medium analyze cells across two workloads,
+//! interleaved with pings), and prints a per-operation summary table plus
+//! the daemon's cache counters.  Exits nonzero on any protocol error —
+//! CI's smoke gate.
+
+use moard_core::AnalysisConfig;
+use moard_server::{Client, Priority, Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: moard-load --addr HOST:PORT [--clients N] [--jobs N] [--shutdown]\n\
+         \n\
+         --addr HOST:PORT  daemon address (required)\n\
+         --clients N       concurrent client connections (default 8)\n\
+         --jobs N          jobs per client (default 4)\n\
+         --shutdown        send a clean shutdown request when done"
+    );
+    std::process::exit(2);
+}
+
+/// The mixed job menu: alternating small (MM, coarse stride) and medium
+/// (PF, finer stride) analyze cells, at alternating priorities.  Every
+/// distinct (workload, config) pair repeats across clients, so a healthy
+/// daemon answers most of the fleet from its store.
+fn job_for(client: usize, index: usize) -> Request {
+    let mix = (client + index) % 4;
+    let (workload, stride, max_dfi) = match mix {
+        0 | 2 => ("mm", 16, 200),
+        1 => ("pf", 8, 400),
+        _ => ("pf", 16, 200),
+    };
+    Request::Analyze {
+        workload: workload.into(),
+        objects: vec![],
+        config: AnalysisConfig {
+            site_stride: stride,
+            max_dfi_per_object: Some(max_dfi),
+            ..AnalysisConfig::default()
+        },
+        use_dfi: true,
+        priority: if mix == 0 {
+            Priority::High
+        } else {
+            Priority::Normal
+        },
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    jobs: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    executed: AtomicU64,
+}
+
+fn main() {
+    let mut addr = None;
+    let mut clients = 8usize;
+    let mut jobs = 4usize;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("moard-load: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--clients" => match value("--clients").parse() {
+                Ok(n) if n >= 1 => clients = n,
+                _ => usage(),
+            },
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) if n >= 1 => jobs = n,
+                _ => usage(),
+            },
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("moard-load: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("moard-load: --addr is required");
+        usage()
+    };
+
+    let tally = Arc::new(Tally::default());
+    let latencies: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let tally = tally.clone();
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut observed = Vec::new();
+                let mut client = match Client::connect(&addr) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        eprintln!("moard-load: client {c} failed to connect: {e}");
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        return observed;
+                    }
+                };
+                for j in 0..jobs {
+                    if client.ping().is_err() {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        return observed;
+                    }
+                    let started = Instant::now();
+                    match client.submit(&job_for(c, j)) {
+                        Ok((
+                            _,
+                            Response::Result {
+                                cache_hits,
+                                executed,
+                                ..
+                            },
+                        )) => {
+                            observed.push(started.elapsed().as_nanos() as u64);
+                            tally.jobs.fetch_add(1, Ordering::Relaxed);
+                            tally.cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
+                            tally.executed.fetch_add(executed, Ordering::Relaxed);
+                        }
+                        Ok((_, other)) => {
+                            eprintln!(
+                                "moard-load: client {c} job {j}: unexpected `{}` frame",
+                                other.kind()
+                            );
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("moard-load: client {c} job {j}: {e}");
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                observed
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|h| h.join().unwrap_or_default())
+        .collect();
+
+    let jobs_done = tally.jobs.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let cache_hits = tally.cache_hits.load(Ordering::Relaxed);
+    let executed = tally.executed.load(Ordering::Relaxed);
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let (min, median, max) = match sorted.len() {
+        0 => (0.0, 0.0, 0.0),
+        n => (ms(sorted[0]), ms(sorted[n / 2]), ms(sorted[n - 1])),
+    };
+    println!("moard-load: {clients} clients x {jobs} jobs against {addr}");
+    println!("op       jobs  errors  cache-hits  executed  min-ms  med-ms  max-ms");
+    println!(
+        "analyze  {jobs_done:>4}  {errors:>6}  {cache_hits:>10}  {executed:>8}  {min:>6.1}  {median:>6.1}  {max:>6.1}"
+    );
+
+    match Client::connect(&addr).and_then(|mut c| c.metrics()) {
+        Ok(metrics) => {
+            let hits = metrics.u64_field("cache_hits").unwrap_or(0);
+            let completed = metrics.u64_field("jobs_completed").unwrap_or(0);
+            println!(
+                "daemon: jobs_completed={completed} cache_hits={hits} store_entries={}",
+                metrics
+                    .u64_field("store_entries")
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|_| "none".into())
+            );
+        }
+        Err(e) => eprintln!("moard-load: metrics fetch failed: {e}"),
+    }
+
+    if shutdown {
+        match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => println!("daemon: shutdown acknowledged"),
+            Err(e) => {
+                eprintln!("moard-load: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("moard-load: {errors} protocol error(s)");
+        std::process::exit(1);
+    }
+}

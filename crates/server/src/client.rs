@@ -1,0 +1,135 @@
+//! Blocking client for the daemon protocol — used by `moard client`,
+//! `moard-load`, the bench smoke case, and the integration tests.
+
+use crate::protocol::{read_frame, write_json, FrameError, Request, Response};
+use moard_core::MoardError;
+use moard_json::{FromJson, Json, ToJson};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection to a daemon.
+pub struct Client {
+    stream: TcpStream,
+    addr: String,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `127.0.0.1:7411`).
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> Result<Client, MoardError> {
+        let rendered = addr.to_string();
+        let stream = TcpStream::connect(addr).map_err(|e| MoardError::io(rendered.clone(), e))?;
+        // Frames are small request/response pairs; leaving Nagle on stacks
+        // its delay onto the peer's delayed ACK (~40ms per exchange).
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            addr: rendered,
+        })
+    }
+
+    fn frame_err(&self, e: FrameError) -> MoardError {
+        MoardError::Io {
+            path: self.addr.clone(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Send one raw frame (testing hook for protocol-robustness checks).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), MoardError> {
+        use crate::protocol::write_frame;
+        write_frame(&mut self.stream, payload).map_err(|e| self.frame_err(e))
+    }
+
+    /// Read the next response frame.
+    pub fn read_response(&mut self) -> Result<Response, MoardError> {
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| self.frame_err(e))?
+            .ok_or_else(|| MoardError::Io {
+                path: self.addr.clone(),
+                message: "daemon closed the connection".into(),
+            })?;
+        let text = std::str::from_utf8(&frame).map_err(|e| MoardError::Io {
+            path: self.addr.clone(),
+            message: format!("response frame is not UTF-8: {e}"),
+        })?;
+        Ok(Response::from_json(&Json::parse(text)?)?)
+    }
+
+    /// Send `request` and read exactly one response frame — the whole
+    /// exchange for immediate (non-job) operations.
+    pub fn request(&mut self, request: &Request) -> Result<Response, MoardError> {
+        write_json(&mut self.stream, &request.to_json()).map_err(|e| self.frame_err(e))?;
+        self.read_response()
+    }
+
+    /// Submit a job request: returns the accepted job id and then blocks
+    /// for the final frame ([`Response::Result`], [`Response::Cancelled`],
+    /// or [`Response::Error`]).
+    pub fn submit(&mut self, request: &Request) -> Result<(u64, Response), MoardError> {
+        let accepted = self.request(request)?;
+        let job = match accepted {
+            Response::Accepted { job } => job,
+            Response::Error { message } => {
+                return Err(MoardError::InvalidConfig(message));
+            }
+            other => {
+                return Err(MoardError::InvalidConfig(format!(
+                    "expected an `accepted` frame, got `{}`",
+                    other.kind()
+                )))
+            }
+        };
+        Ok((job, self.read_response()?))
+    }
+
+    /// Submit a job and return only its accepted id, leaving the final
+    /// frame unread (pair with [`Client::read_response`]) — the shape a
+    /// cancelling client needs.
+    pub fn submit_nowait(&mut self, request: &Request) -> Result<u64, MoardError> {
+        match self.request(request)? {
+            Response::Accepted { job } => Ok(job),
+            Response::Error { message } => Err(MoardError::InvalidConfig(message)),
+            other => Err(MoardError::InvalidConfig(format!(
+                "expected an `accepted` frame, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), MoardError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(MoardError::InvalidConfig(format!(
+                "expected `pong`, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's metrics document.
+    pub fn metrics(&mut self) -> Result<Json, MoardError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { payload } => Ok(payload),
+            other => Err(MoardError::InvalidConfig(format!(
+                "expected `metrics`, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Cancel a job by id (from any connection).
+    pub fn cancel(&mut self, job: u64) -> Result<Response, MoardError> {
+        self.request(&Request::Cancel { job })
+    }
+
+    /// Ask the daemon to stop cleanly.
+    pub fn shutdown(&mut self) -> Result<(), MoardError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(MoardError::InvalidConfig(format!(
+                "expected `ok`, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+}

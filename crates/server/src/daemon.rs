@@ -1,0 +1,562 @@
+//! The daemon itself: a TCP listener, a priority job scheduler over a
+//! bounded worker pool, and the shared warm state every job benefits from.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            accept loop (1 thread)
+//!                 │ one thread per connection
+//!                 ▼
+//!   connection threads ──immediate ops──▶ response frame
+//!                 │ job ops
+//!                 ▼
+//!   priority queue (Mutex<BinaryHeap> + Condvar)
+//!                 │
+//!                 ▼
+//!   worker pool (`--threads` threads) ── engines run `Parallelism::Sequential`
+//!                 │                       (cross-job concurrency comes from the
+//!                 ▼                        pool itself; nesting pools would
+//!   shared warm state                      oversubscribe the machine)
+//!     · `HarnessCache` — one prepared harness per workload, ever
+//!     · `ResultStore` — completed cells/tasks, shared across jobs
+//!     · `MetricsRegistry` — counters + latency histograms
+//! ```
+//!
+//! Jobs are scheduled strictly by (priority, submission order).  Every job
+//! carries a [`CancelToken`]; `cancel` requests (from any connection) set
+//! it, and the engines abandon the job at their next checkpoint —
+//! everything already persisted to the store stays valid, so resubmitting
+//! the job resumes instead of restarting.
+//!
+//! Shutdown is cooperative everywhere: the `shutdown` request sets the flag,
+//! cancels every live job, wakes the workers (which drain and exit), and
+//! unblocks the accept loop with a self-connection.  A daemon killed with
+//! SIGKILL instead loses nothing but in-flight work: the store's atomic
+//! writes guarantee a restart serves every completed cell as a cache hit.
+
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{
+    read_frame, write_json, FrameError, Priority, Request, Response, MAX_FRAME_BYTES,
+};
+use moard_core::{MoardError, StudyReport, ValidationReport};
+use moard_inject::{
+    CancelToken, HarnessCache, ObjectSelector, Parallelism, ResultStore, StudyRunner, StudySpec,
+    ValidationRunner, WorkloadSelector,
+};
+use moard_json::{Json, ToJson};
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Daemon configuration (the `moard-daemon` flags).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads of the job pool (0 = one per available core).
+    pub threads: usize,
+    /// Result-store directory; `None` disables cross-job result caching.
+    pub store: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            store: None,
+        }
+    }
+}
+
+/// The terminal state of a scheduled job.
+enum JobOutcome {
+    Pending,
+    Done(Response),
+}
+
+/// One accepted job: its work item, cancel token, and completion cell.
+struct JobState {
+    id: u64,
+    request: Request,
+    cancel: CancelToken,
+    outcome: Mutex<JobOutcome>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn complete(&self, response: Response) {
+        *self.outcome.lock().expect("job outcome poisoned") = JobOutcome::Done(response);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut outcome = self.outcome.lock().expect("job outcome poisoned");
+        loop {
+            match &*outcome {
+                JobOutcome::Done(response) => return response.clone(),
+                JobOutcome::Pending => outcome = self.done.wait(outcome).expect("job poisoned"),
+            }
+        }
+    }
+}
+
+/// Queue entry: priority first, then FIFO within a priority.
+struct QueuedJob {
+    priority: Priority,
+    seq: u64,
+    job: Arc<JobState>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins, then lower seq.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    store: Option<ResultStore>,
+    harnesses: Arc<HarnessCache>,
+    metrics: MetricsRegistry,
+    queue: Mutex<BinaryHeap<QueuedJob>>,
+    queue_ready: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    next_job: AtomicU64,
+    next_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Enqueue a job request, returning its state handle.
+    fn submit(&self, request: Request) -> Arc<JobState> {
+        let job = Arc::new(JobState {
+            id: self.next_job.fetch_add(1, Ordering::Relaxed) + 1,
+            request,
+            cancel: CancelToken::new(),
+            outcome: Mutex::new(JobOutcome::Pending),
+            done: Condvar::new(),
+        });
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .insert(job.id, job.clone());
+        self.queue
+            .lock()
+            .expect("job queue poisoned")
+            .push(QueuedJob {
+                priority: job.request.priority(),
+                seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+                job: job.clone(),
+            });
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_ready.notify_one();
+        job
+    }
+
+    /// Set the shutdown flag, cancel every live job, and wake the workers.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for job in self.jobs.lock().expect("job table poisoned").values() {
+            job.cancel.cancel();
+        }
+        self.queue_ready.notify_all();
+    }
+
+    /// Worker loop: pop by (priority, order), execute, publish.
+    fn worker_loop(&self) {
+        loop {
+            let entry = {
+                let mut queue = self.queue.lock().expect("job queue poisoned");
+                loop {
+                    if let Some(entry) = queue.pop() {
+                        break entry;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = self.queue_ready.wait(queue).expect("job queue poisoned");
+                }
+            };
+            self.run_job(&entry.job);
+            self.jobs
+                .lock()
+                .expect("job table poisoned")
+                .remove(&entry.job.id);
+        }
+    }
+
+    /// Execute one job end to end and publish its final response.
+    fn run_job(&self, job: &JobState) {
+        let op = job.request.kind();
+        let started = Instant::now();
+        let result = if job.cancel.is_cancelled() {
+            Err(MoardError::Cancelled)
+        } else {
+            self.execute(job)
+        };
+        let ns = started.elapsed().as_nanos() as u64;
+        let response = match result {
+            Ok((payload, cache_hits, executed)) => {
+                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .cache_hits
+                    .fetch_add(cache_hits, Ordering::Relaxed);
+                self.metrics
+                    .tasks_executed
+                    .fetch_add(executed, Ordering::Relaxed);
+                self.metrics.record(op, ns, true);
+                Response::Result {
+                    job: job.id,
+                    op: op.to_string(),
+                    cache_hits,
+                    executed,
+                    payload,
+                }
+            }
+            Err(MoardError::Cancelled) => {
+                self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record(op, ns, true);
+                Response::Cancelled { job: job.id }
+            }
+            Err(e) => {
+                self.metrics.record(op, ns, false);
+                Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        };
+        job.complete(response);
+    }
+
+    /// Run the job's engine.  Every engine runs `Parallelism::Sequential`:
+    /// the worker pool provides the cross-job concurrency, and a job's
+    /// result must not depend on how many neighbors it had.
+    fn execute(&self, job: &JobState) -> Result<(Json, u64, u64), MoardError> {
+        match &job.request {
+            Request::Analyze {
+                workload,
+                objects,
+                config,
+                use_dfi,
+                ..
+            } => {
+                let mut spec = StudySpec::default()
+                    .workloads(WorkloadSelector::Named(vec![workload.clone()]))
+                    .objects(if objects.is_empty() {
+                        ObjectSelector::Targets
+                    } else {
+                        ObjectSelector::Named(objects.clone())
+                    })
+                    .windows(vec![config.propagation_window])
+                    .strides(vec![config.site_stride])
+                    .max_dfis(vec![config.max_dfi_per_object])
+                    .patterns(vec![config.patterns.clone()]);
+                if !use_dfi {
+                    spec = spec.without_dfi();
+                }
+                let (report, stats) = self.study_runner(spec, &job.cancel).run_detailed()?;
+                Ok((
+                    report.to_json(),
+                    stats.cache_hits as u64,
+                    stats.executed as u64,
+                ))
+            }
+            Request::Sweep { spec, .. } => {
+                let (report, stats) = self
+                    .study_runner(spec.clone(), &job.cancel)
+                    .run_detailed()?;
+                let _: &StudyReport = &report;
+                Ok((
+                    report.to_json(),
+                    stats.cache_hits as u64,
+                    stats.executed as u64,
+                ))
+            }
+            Request::Validate { spec, .. } => {
+                let mut runner = ValidationRunner::new(spec.clone())
+                    .parallelism(Parallelism::Sequential)
+                    .cancel_token(job.cancel.clone())
+                    .harness_cache(self.harnesses.clone());
+                if let Some(store) = &self.store {
+                    runner = runner.with_store(store.clone()).resume(true);
+                }
+                let (report, stats) = runner.run_detailed()?;
+                let _: &ValidationReport = &report;
+                Ok((
+                    report.to_json(),
+                    stats.cache_hits as u64,
+                    (stats.advf_executed + stats.rfi_executed) as u64,
+                ))
+            }
+            other => Err(MoardError::InvalidConfig(format!(
+                "`{}` is not a job request",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn study_runner(&self, spec: StudySpec, cancel: &CancelToken) -> StudyRunner {
+        let mut runner = StudyRunner::new(spec)
+            .parallelism(Parallelism::Sequential)
+            .cancel_token(cancel.clone())
+            .harness_cache(self.harnesses.clone());
+        if let Some(store) = &self.store {
+            runner = runner.with_store(store.clone()).resume(true);
+        }
+        runner
+    }
+
+    /// Answer to the `metrics` request.
+    fn metrics_snapshot(&self) -> Json {
+        self.metrics.to_json(
+            self.store.as_ref().map(|s| s.len()),
+            &self.harnesses.prepared(),
+        )
+    }
+
+    /// Text exposition of the same snapshot (for dumps and CI artifacts).
+    fn metrics_text(&self) -> String {
+        self.metrics.to_text(
+            self.store.as_ref().map(|s| s.len()),
+            &self.harnesses.prepared(),
+        )
+    }
+}
+
+/// A running daemon, returned by [`Daemon::start`].
+pub struct Daemon {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind, spawn the worker pool and the accept loop, and return.  The
+    /// daemon serves until a `shutdown` request arrives (or
+    /// [`Daemon::shutdown`] is called in-process).
+    pub fn start(config: DaemonConfig) -> Result<Daemon, MoardError> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| MoardError::io(config.addr.clone(), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| MoardError::io(config.addr.clone(), e))?;
+        let store = match &config.store {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            store,
+            harnesses: Arc::new(HarnessCache::new()),
+            metrics: MetricsRegistry::new(),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            config.threads
+        };
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Daemon {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Current metrics snapshot (in-process view, same document as the
+    /// `metrics` request).
+    pub fn metrics_json(&self) -> Json {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Initiate shutdown from inside the process (tests, signal handlers).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+        // Unblock the accept loop; any error just means it is already gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the daemon has fully stopped (listener closed, workers
+    /// drained and joined).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Small request/response frames: Nagle would stack ~40ms of
+        // delayed-ACK latency onto every exchange.
+        let _ = stream.set_nodelay(true);
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = shared.clone();
+        std::thread::spawn(move || serve_connection(stream, shared));
+    }
+}
+
+/// One connection: read frames until EOF, answering each.  Malformed JSON
+/// is answered with an error frame and the connection stays usable; a
+/// frame-layer violation (oversized announcement, torn frame) is answered
+/// where possible and the connection closed, because the stream position
+/// can no longer be trusted.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(FrameError::Oversized { len }) => {
+                shared
+                    .metrics
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_json(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!(
+                            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                        ),
+                    }
+                    .to_json(),
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let started = Instant::now();
+        let request = std::str::from_utf8(&frame)
+            .map_err(|e| format!("frame is not UTF-8: {e}"))
+            .and_then(|text| Json::parse(text).map_err(|e| format!("frame is not JSON: {e}")))
+            .and_then(|doc| {
+                use moard_json::FromJson;
+                Request::from_json(&doc).map_err(|e| format!("not a valid request: {e}"))
+            });
+        let request = match request {
+            Ok(request) => request,
+            Err(message) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if write_json(&mut writer, &Response::Error { message }.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if request.is_job() {
+            let job = shared.submit(request);
+            if write_json(&mut writer, &Response::Accepted { job: job.id }.to_json()).is_err() {
+                return;
+            }
+            // Latency of the job itself is recorded by the worker; the
+            // connection just relays the final frame when it is ready.
+            let response = job.wait();
+            if write_json(&mut writer, &response.to_json()).is_err() {
+                return;
+            }
+            continue;
+        }
+        let (response, close) = match &request {
+            Request::Ping => (Response::Pong, false),
+            Request::Metrics => (
+                Response::Metrics {
+                    payload: shared.metrics_snapshot(),
+                },
+                false,
+            ),
+            Request::Cancel { job } => {
+                let found = shared
+                    .jobs
+                    .lock()
+                    .expect("job table poisoned")
+                    .get(job)
+                    .cloned();
+                match found {
+                    Some(job) => {
+                        job.cancel.cancel();
+                        (Response::Ok, false)
+                    }
+                    None => (
+                        Response::Error {
+                            message: format!("no live job with id {job}"),
+                        },
+                        false,
+                    ),
+                }
+            }
+            Request::Shutdown => (Response::Ok, true),
+            _ => unreachable!("job requests were dispatched above"),
+        };
+        let ok = !matches!(response, Response::Error { .. });
+        shared
+            .metrics
+            .record(request.kind(), started.elapsed().as_nanos() as u64, ok);
+        if write_json(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+        if close {
+            shared.begin_shutdown();
+            // Unblock our own accept loop.
+            if let Ok(local) = writer.local_addr() {
+                let _ = TcpStream::connect(local);
+            }
+            return;
+        }
+    }
+}
+
+/// Render the daemon's metrics as the Prometheus-style text format (the
+/// `moard-daemon --dump-metrics` / CI artifact path goes through this).
+pub fn metrics_text(daemon: &Daemon) -> String {
+    daemon.shared.metrics_text()
+}

@@ -1,0 +1,577 @@
+//! The daemon's wire protocol: length-framed JSON over a byte stream.
+//!
+//! Every message — in either direction — is one **frame**: a 4-byte
+//! big-endian payload length followed by exactly that many bytes of UTF-8
+//! JSON.  The framing layer enforces [`MAX_FRAME_BYTES`] so a hostile or
+//! broken peer can never make the daemon allocate unboundedly, and treats a
+//! clean EOF *between* frames as a normal connection close (mid-frame EOF is
+//! an error).
+//!
+//! The JSON documents are schema-versioned exactly like the report files:
+//! every request and response embeds `"protocol": `[`PROTOCOL_VERSION`], and
+//! a peer speaking a different version gets a typed error, not undefined
+//! behavior.  Malformed input of any kind — truncated frames, garbage bytes,
+//! valid JSON of the wrong shape — is answered with a
+//! [`Response::Error`] and never a panic.
+//!
+//! Job-carrying requests ([`Request::Analyze`], [`Request::Sweep`],
+//! [`Request::Validate`]) are answered with **two** frames: an immediate
+//! [`Response::Accepted`] carrying the job id (so the client can
+//! [`Request::Cancel`] from another connection), then a final
+//! [`Response::Result`] / [`Response::Cancelled`] / [`Response::Error`]
+//! when the job leaves the scheduler.  Everything else is answered with a
+//! single frame.
+
+use moard_core::AnalysisConfig;
+use moard_inject::{StudySpec, ValidationSpec};
+use moard_json::{FromJson, Json, JsonError, ToJson};
+use std::io::{Read, Write};
+
+/// Version embedded in (and required of) every protocol document.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on a single frame's payload.  Reports are small (tens of
+/// kilobytes); 8 MiB leaves room for very large sweeps while bounding what
+/// a broken peer can make the daemon allocate.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Errors of the framing layer itself (the JSON inside a well-formed frame
+/// is handled separately, via [`Response::Error`]).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed, or EOF arrived mid-frame.
+    Io(std::io::Error),
+    /// The peer announced a payload larger than [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The announced payload length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::Oversized { len } => write!(
+                f,
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Read one frame.  `Ok(None)` is a clean close (EOF before any prefix
+/// byte); EOF inside the prefix or payload is an I/O error.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write one frame (length prefix + payload) and flush it.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { len: payload.len() });
+    }
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Serialize a protocol document into one frame.
+pub fn write_json(writer: &mut impl Write, doc: &Json) -> Result<(), FrameError> {
+    write_frame(writer, doc.to_string().as_bytes())
+}
+
+/// Scheduling priority of a submitted job.  Higher priorities always leave
+/// the queue first; within a priority, submission order wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Background work (bulk sweeps).
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Interactive jobs that should jump the queue.
+    High,
+}
+
+impl Priority {
+    /// Canonical wire rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parse the canonical rendering back.
+    pub fn parse(text: &str) -> Option<Priority> {
+        match text {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// A request frame, client → daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Snapshot of the daemon's counters, histograms, and cache occupancy.
+    Metrics,
+    /// Cooperatively cancel a previously accepted job.
+    Cancel {
+        /// The job id from [`Response::Accepted`].
+        job: u64,
+    },
+    /// Cleanly stop the daemon: outstanding jobs are cancelled at their next
+    /// checkpoint, workers drain, and the listener closes.
+    Shutdown,
+    /// One-workload aDVF analysis (the daemon-side `moard analyze`).
+    Analyze {
+        /// Workload name or alias.
+        workload: String,
+        /// Object names; empty means the workload's declared targets.
+        objects: Vec<String>,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// Whether unresolved masking questions may consult DFI.
+        use_dfi: bool,
+        /// Queue priority.
+        priority: Priority,
+    },
+    /// A full parameter-sweep study.
+    Sweep {
+        /// The study specification.
+        spec: StudySpec,
+        /// Queue priority.
+        priority: Priority,
+    },
+    /// A model-validation campaign.
+    Validate {
+        /// The campaign specification.
+        spec: ValidationSpec,
+        /// Queue priority.
+        priority: Priority,
+    },
+}
+
+impl Request {
+    /// The request's wire kind (also its metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Metrics => "metrics",
+            Request::Cancel { .. } => "cancel",
+            Request::Shutdown => "shutdown",
+            Request::Analyze { .. } => "analyze",
+            Request::Sweep { .. } => "sweep",
+            Request::Validate { .. } => "validate",
+        }
+    }
+
+    /// True for requests that enter the job queue (and are therefore
+    /// answered with an [`Response::Accepted`] frame first).
+    pub fn is_job(&self) -> bool {
+        matches!(
+            self,
+            Request::Analyze { .. } | Request::Sweep { .. } | Request::Validate { .. }
+        )
+    }
+
+    /// The queue priority of a job request ([`Priority::Normal`] otherwise).
+    pub fn priority(&self) -> Priority {
+        match self {
+            Request::Analyze { priority, .. }
+            | Request::Sweep { priority, .. }
+            | Request::Validate { priority, .. } => *priority,
+            _ => Priority::Normal,
+        }
+    }
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(&'static str, Json)> = vec![
+            ("protocol", Json::from(PROTOCOL_VERSION)),
+            ("kind", Json::from(self.kind())),
+        ];
+        match self {
+            Request::Ping | Request::Metrics | Request::Shutdown => {}
+            Request::Cancel { job } => members.push(("job", Json::from(*job))),
+            Request::Analyze {
+                workload,
+                objects,
+                config,
+                use_dfi,
+                priority,
+            } => {
+                members.push(("workload", Json::from(workload.as_str())));
+                members.push((
+                    "objects",
+                    Json::array(objects.iter().map(|o| Json::from(o.as_str()))),
+                ));
+                members.push(("config", config.to_json()));
+                members.push(("use_dfi", Json::from(*use_dfi)));
+                members.push(("priority", Json::from(priority.as_str())));
+            }
+            Request::Sweep { spec, priority } => {
+                members.push(("spec", spec.to_json()));
+                members.push(("priority", Json::from(priority.as_str())));
+            }
+            Request::Validate { spec, priority } => {
+                members.push(("spec", spec.to_json()));
+                members.push(("priority", Json::from(priority.as_str())));
+            }
+        }
+        Json::object(members)
+    }
+}
+
+fn check_protocol(value: &Json) -> Result<(), JsonError> {
+    if value.u32_field("protocol")? != PROTOCOL_VERSION {
+        return Err(JsonError::WrongType {
+            field: "protocol".into(),
+            expected: "protocol version 1",
+        });
+    }
+    Ok(())
+}
+
+fn priority_field(value: &Json) -> Result<Priority, JsonError> {
+    match value.get("priority") {
+        None => Ok(Priority::Normal),
+        Some(p) => p
+            .as_str()
+            .and_then(Priority::parse)
+            .ok_or(JsonError::WrongType {
+                field: "priority".into(),
+                expected: "`low`, `normal`, or `high`",
+            }),
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        check_protocol(value)?;
+        match value.str_field("kind")? {
+            "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            "cancel" => Ok(Request::Cancel {
+                job: value.u64_field("job")?,
+            }),
+            "analyze" => Ok(Request::Analyze {
+                workload: value.str_field("workload")?.to_string(),
+                objects: value
+                    .arr_field("objects")?
+                    .iter()
+                    .map(|o| {
+                        o.as_str().map(String::from).ok_or(JsonError::WrongType {
+                            field: "objects".into(),
+                            expected: "an array of object names",
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                config: AnalysisConfig::from_json(value.field("config")?)?,
+                use_dfi: value
+                    .field("use_dfi")?
+                    .as_bool()
+                    .ok_or(JsonError::WrongType {
+                        field: "use_dfi".into(),
+                        expected: "a boolean",
+                    })?,
+                priority: priority_field(value)?,
+            }),
+            "sweep" => Ok(Request::Sweep {
+                spec: StudySpec::from_json(value.field("spec")?)?,
+                priority: priority_field(value)?,
+            }),
+            "validate" => Ok(Request::Validate {
+                spec: ValidationSpec::from_json(value.field("spec")?)?,
+                priority: priority_field(value)?,
+            }),
+            _ => Err(JsonError::WrongType {
+                field: "kind".into(),
+                expected: "ping|metrics|cancel|shutdown|analyze|sweep|validate",
+            }),
+        }
+    }
+}
+
+/// A response frame, daemon → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Generic success (cancel delivered, shutdown initiated).
+    Ok,
+    /// A job request entered the queue; the final frame follows later.
+    Accepted {
+        /// Daemon-unique job id, usable with [`Request::Cancel`].
+        job: u64,
+    },
+    /// A job completed.  `payload` is the job's versioned report document
+    /// (a `StudyReport` for analyze/sweep, a `ValidationReport` for
+    /// validate).
+    Result {
+        /// The job id.
+        job: u64,
+        /// The job kind (`analyze`, `sweep`, `validate`).
+        op: String,
+        /// Cells/tasks answered from the shared result store.
+        cache_hits: u64,
+        /// Cells/tasks actually executed for this job.
+        executed: u64,
+        /// The report document.
+        payload: Json,
+    },
+    /// A job left the scheduler via cooperative cancellation.
+    Cancelled {
+        /// The job id.
+        job: u64,
+    },
+    /// Snapshot answer to [`Request::Metrics`].
+    Metrics {
+        /// The metrics document (see `metrics::MetricsRegistry::to_json`).
+        payload: Json,
+    },
+    /// Anything that went wrong: malformed frames, unknown workloads,
+    /// degenerate specs, unknown job ids.  Always a frame, never a panic
+    /// or a dropped connection (except after an oversized frame, where the
+    /// stream itself can no longer be trusted).
+    Error {
+        /// Human-readable description (typed errors render through
+        /// `MoardError`'s `Display`).
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response's wire kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Ok => "ok",
+            Response::Accepted { .. } => "accepted",
+            Response::Result { .. } => "result",
+            Response::Cancelled { .. } => "cancelled",
+            Response::Metrics { .. } => "metrics",
+            Response::Error { .. } => "error",
+        }
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(&'static str, Json)> = vec![
+            ("protocol", Json::from(PROTOCOL_VERSION)),
+            ("kind", Json::from(self.kind())),
+        ];
+        match self {
+            Response::Pong | Response::Ok => {}
+            Response::Accepted { job } | Response::Cancelled { job } => {
+                members.push(("job", Json::from(*job)))
+            }
+            Response::Result {
+                job,
+                op,
+                cache_hits,
+                executed,
+                payload,
+            } => {
+                members.push(("job", Json::from(*job)));
+                members.push(("op", Json::from(op.as_str())));
+                members.push(("cache_hits", Json::from(*cache_hits)));
+                members.push(("executed", Json::from(*executed)));
+                members.push(("payload", payload.clone()));
+            }
+            Response::Metrics { payload } => members.push(("payload", payload.clone())),
+            Response::Error { message } => members.push(("message", Json::from(message.as_str()))),
+        }
+        Json::object(members)
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        check_protocol(value)?;
+        match value.str_field("kind")? {
+            "pong" => Ok(Response::Pong),
+            "ok" => Ok(Response::Ok),
+            "accepted" => Ok(Response::Accepted {
+                job: value.u64_field("job")?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: value.u64_field("job")?,
+            }),
+            "result" => Ok(Response::Result {
+                job: value.u64_field("job")?,
+                op: value.str_field("op")?.to_string(),
+                cache_hits: value.u64_field("cache_hits")?,
+                executed: value.u64_field("executed")?,
+                payload: value.field("payload")?.clone(),
+            }),
+            "metrics" => Ok(Response::Metrics {
+                payload: value.field("payload")?.clone(),
+            }),
+            "error" => Ok(Response::Error {
+                message: value.str_field("message")?.to_string(),
+            }),
+            _ => Err(JsonError::WrongType {
+                field: "kind".into(),
+                expected: "pong|ok|accepted|result|cancelled|metrics|error",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors_not_panics() {
+        // EOF inside the prefix.
+        let mut cursor: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+        // EOF inside the payload.
+        let mut cursor: &[u8] = &[0, 0, 0, 9, b'x'];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+        // Announced length beyond the ceiling never allocates.
+        let mut cursor: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized { .. })
+        ));
+        // And the writer refuses to produce such a frame.
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &huge),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = [
+            Request::Ping,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Cancel { job: 42 },
+            Request::Analyze {
+                workload: "mm".into(),
+                objects: vec!["C".into()],
+                config: AnalysisConfig::default(),
+                use_dfi: true,
+                priority: Priority::High,
+            },
+            Request::Sweep {
+                spec: StudySpec::default(),
+                priority: Priority::Low,
+            },
+            Request::Validate {
+                spec: ValidationSpec::default(),
+                priority: Priority::Normal,
+            },
+        ];
+        for request in requests {
+            let doc = Json::parse(&request.to_json().to_string()).unwrap();
+            assert_eq!(Request::from_json(&doc).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let responses = [
+            Response::Pong,
+            Response::Ok,
+            Response::Accepted { job: 7 },
+            Response::Cancelled { job: 7 },
+            Response::Result {
+                job: 7,
+                op: "analyze".into(),
+                cache_hits: 1,
+                executed: 2,
+                payload: Json::object([("advf", Json::from(0.5))]),
+            },
+            Response::Metrics {
+                payload: Json::object([("requests", Json::from(3u64))]),
+            },
+            Response::Error {
+                message: "unknown workload".into(),
+            },
+        ];
+        for response in responses {
+            let doc = Json::parse(&response.to_json().to_string()).unwrap();
+            assert_eq!(Response::from_json(&doc).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn wrong_protocol_version_and_kind_are_typed_errors() {
+        let doc = Json::object([
+            ("protocol", Json::from(99u32)),
+            ("kind", Json::from("ping")),
+        ]);
+        assert!(Request::from_json(&doc).is_err());
+        let doc = Json::object([
+            ("protocol", Json::from(PROTOCOL_VERSION)),
+            ("kind", Json::from("reboot")),
+        ]);
+        assert!(Request::from_json(&doc).is_err());
+        assert!(Response::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn priorities_order_and_round_trip() {
+        assert!(Priority::High > Priority::Normal && Priority::Normal > Priority::Low);
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}
