@@ -172,6 +172,13 @@ pub fn validate_smoke_spec() -> ValidationSpec {
         .shards(16, 2)
 }
 
+/// The minimization the `minimize/mm` smoke case executes: an unpinned
+/// cell of the suite's MM instance, so the finder scan, both ddmin axes,
+/// and the window bisection are all on the clock.
+pub fn minimize_smoke_spec() -> moard_inject::MinimizeSpec {
+    moard_inject::MinimizeSpec::cell("mm", "C").stride(smoke_config().site_stride)
+}
+
 /// Collect up to `cap` propagation seeds for the object: participation sites
 /// whose operation-level verdict leaves corrupted locations to replay.
 pub fn propagation_seeds(
@@ -216,9 +223,11 @@ pub struct SmokeReport {
 /// (the study driver end to end: spec expansion, harness preparation, and
 /// per-task scheduling over both workloads, single-threaded so the timing
 /// gates the scheduler's overhead rather than the machine's core count),
-/// and `validate/mm+pf` (the validation engine end to end: analytic aDVF
+/// `validate/mm+pf` (the validation engine end to end: analytic aDVF
 /// legs plus adaptive shard-deterministic RFI campaigns, single-threaded
-/// for the same reason).
+/// for the same reason), and `minimize/mm` (the fault-scenario minimizer
+/// end to end: finder scan, site/bit ddmin fixpoint, and window bisection
+/// against the live injection oracle).
 pub fn run_suite() -> SmokeReport {
     let config = smoke_config();
     let k = config.propagation_window;
@@ -274,6 +283,20 @@ pub fn run_suite() -> SmokeReport {
             .parallelism(Parallelism::Sequential)
             .run_in(&registry)
             .expect("the smoke campaign covers only known workloads");
+        black_box(report);
+    }));
+    // The scenario minimizer end to end: finder scan, site/bit ddmin
+    // fixpoint, and window bisection over the suite's MM instance.  The
+    // harness is prepared off the clock; the memo cache is per-call, so
+    // every iteration re-probes the oracle.
+    let cache = moard_inject::HarnessCache::new();
+    let harness = cache
+        .get_or_prepare(&registry, "mm")
+        .expect("the smoke registry serves MM");
+    let spec = minimize_smoke_spec();
+    benches.push(bench("minimize/mm", 1, 5, || {
+        let report = moard_inject::minimize(&harness, &spec, &moard_inject::CancelToken::new())
+            .expect("the suite's MM instance has a minimizable failure");
         black_box(report);
     }));
     // The daemon round-trip: an in-process `moard serve` on an ephemeral
@@ -635,6 +658,17 @@ mod tests {
         assert!(!spec.use_dfi);
         // …and the campaign budget is CI-sized.
         assert!(spec.max_trials <= 64);
+    }
+
+    #[test]
+    fn minimize_smoke_case_targets_the_suite_mm_cell() {
+        let spec = minimize_smoke_spec();
+        spec.validate().unwrap();
+        assert_eq!(spec.workload, "mm");
+        assert_eq!(spec.object, "C");
+        assert_eq!(spec.stride, smoke_config().site_stride);
+        // Unpinned: the bench times the finder scan too.
+        assert!(spec.site.is_none() && spec.expected.is_none());
     }
 
     #[test]

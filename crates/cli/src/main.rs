@@ -27,6 +27,11 @@
 //!   and resumes byte-identically from a killed run via `--store/--resume`;
 //! * `moard inject <workload> <object> [--tests N] [--exhaustive]` — random
 //!   or (strided) exhaustive fault-injection campaign;
+//! * `moard minimize <workload> <object> [--report FILE] [--site REC:SLOT]
+//!   [--mask b+b...] [--window N] [--expect CLASS] [--emit-scenario DIR]` —
+//!   delta-debug a reproducing failure down to a 1-minimal scenario spec
+//!   (ddmin over sites and mask bits, bisection over the replay window),
+//!   optionally frozen as a JSON scenario under `tests/scenarios/`;
 //! * `moard rank <workload>` — rank the workload's target objects by aDVF;
 //! * `moard serve [--addr HOST:PORT] [--threads N] [--store DIR]` — the
 //!   long-running analysis daemon: analyze/sweep/validate jobs over the
@@ -35,8 +40,8 @@
 //!   from the shared result store;
 //! * `moard client <op> --addr HOST:PORT` — talk to a running daemon:
 //!   `ping`, `metrics`, `cancel <job>`, `shutdown`, or submit `analyze`/
-//!   `sweep`/`validate` jobs built from the same flags as the local
-//!   subcommands.
+//!   `sweep`/`validate`/`minimize` jobs built from the same flags as the
+//!   local subcommands.
 //!
 //! `--format json|text` (global) switches every subcommand between
 //! machine-consumable JSON on the stable versioned schema (see
@@ -46,8 +51,9 @@
 
 use moard_core::{MoardError, StudyReport, ValidationReport};
 use moard_inject::{
-    ObjectSelector, Parallelism, RfiConfig, Session, SessionReport, StudyRunner, StudySpec,
-    SweepStats, ValidationRunner, ValidationSpec, ValidationStats, WorkloadSelector,
+    MinimizeReport, MinimizeSpec, ObjectSelector, Parallelism, RfiConfig, Session, SessionReport,
+    StudyRunner, StudySpec, SweepStats, ValidationRunner, ValidationSpec, ValidationStats,
+    WorkloadSelector,
 };
 use moard_json::{Json, ToJson};
 use moard_workloads::{Registry, WorkloadRegistry};
@@ -76,13 +82,18 @@ const USAGE: &str = "usage: moard [--format json|text] <command> [args]
                 [--k N] [--stride N] [--max-dfi N|unbounded] [--patterns P] [--no-dfi]
                 [--confidence 90|95|99] [--margin F] [--max-trials N] [--seed N]
                 [--tolerance F] [--store DIR] [--resume] [--seq | --threads N]
+                [--emit-scenarios DIR]
   moard inject  <workload> <object> [--tests N] [--seed N] [--patterns P]
                 [--exhaustive] [--budget N]
+  moard minimize <workload> <object> [--report FILE] [--site REC:SLOT]
+                [--mask b+b...] [--window N] [--stride N] [--patterns P]
+                [--expect CLASS] [--seed N] [--name NAME] [--emit-scenario DIR]
   moard rank    <workload> [--k N] [--stride N] [--max-dfi N] [--patterns P]
   moard serve   [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]
   moard client  <ping|metrics|cancel <job>|shutdown> --addr HOST:PORT
-  moard client  <analyze|sweep|validate> --addr HOST:PORT [--priority low|normal|high]
-                [job flags as for the local subcommand]
+  moard client  <analyze|sweep|validate|minimize> --addr HOST:PORT
+                [--priority low|normal|high] [job flags as for the local
+                subcommand]
 
 options:
   --format json|text   output format (default: text; `report` is always JSON)
@@ -112,6 +123,23 @@ site-matched to the aDVF leg's stride; see docs/ARCHITECTURE.md):
   --max-trials N       per-cell trial cap (default 2000)
   --seed N             base RNG seed of the shard streams (default 61937)
   --tolerance F        model-error allowance of the verdict (default 0.35)
+  --emit-scenarios DIR auto-minimize every model-optimistic cell into a
+                       scenario spec under DIR (see `moard minimize`)
+
+minimize options (delta-debug a reproducing failure to a 1-minimal scenario
+spec; see docs/ARCHITECTURE.md):
+  --report FILE        adopt stride/patterns/window/seed from a validation
+                       report (the positionals select the cell)
+  --site REC:SLOT      explicit starting site: `42:operand:1` or `7:store-dest`
+                       (default: scan the strided population)
+  --mask b+b...        explicit starting bit mask as `+`-joined bit positions,
+                       e.g. `3+4` (default: scan `--patterns`)
+  --window N           starting propagation window of the model leg (default 50)
+  --expect CLASS       outcome class to reproduce: identical, acceptable,
+                       incorrect, or crashed (default: the first incorrect or
+                       crashed outcome found)
+  --name NAME          scenario name (default `<workload>-<object>-<outcome>`)
+  --emit-scenario DIR  write the minimal reproducer as DIR/<name>.json
 
 serve / client options (the framed JSON protocol; see docs/ARCHITECTURE.md):
   --threads N          worker threads, N >= 1 (serve: pool size; sweep and
@@ -192,6 +220,7 @@ fn run(cli: &Cli) -> Result<(), CliError> {
         "sweep" => cmd_sweep(cli),
         "validate" => cmd_validate(cli),
         "inject" => cmd_inject(cli),
+        "minimize" => cmd_minimize(cli),
         "rank" => cmd_rank(cli),
         "serve" => cmd_serve(cli),
         "client" => cmd_client(cli),
@@ -221,6 +250,14 @@ const VALUED_FLAGS: &[&str] = &[
     "--addr",
     "--port",
     "--priority",
+    "--report",
+    "--site",
+    "--mask",
+    "--window",
+    "--expect",
+    "--name",
+    "--emit-scenario",
+    "--emit-scenarios",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
@@ -270,6 +307,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--store",
         "--resume",
         "--threads",
+        "--emit-scenarios",
     ];
     const INJECT: &[&str] = &[
         "--k",
@@ -282,6 +320,18 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--seed",
         "--exhaustive",
         "--budget",
+    ];
+    const MINIMIZE: &[&str] = &[
+        "--report",
+        "--site",
+        "--mask",
+        "--window",
+        "--stride",
+        "--patterns",
+        "--expect",
+        "--seed",
+        "--name",
+        "--emit-scenario",
     ];
     const SERVE: &[&str] = &["--addr", "--port", "--threads", "--store"];
     // The union of every job the client can submit, plus the connection
@@ -304,6 +354,12 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--max-trials",
         "--seed",
         "--tolerance",
+        "--report",
+        "--site",
+        "--mask",
+        "--window",
+        "--expect",
+        "--name",
     ];
     match command {
         "list" => Some(&[]),
@@ -311,6 +367,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "sweep" => Some(SWEEP),
         "validate" => Some(VALIDATE),
         "inject" => Some(INJECT),
+        "minimize" => Some(MINIMIZE),
         "serve" => Some(SERVE),
         "client" => Some(CLIENT),
         _ => None,
@@ -872,6 +929,37 @@ fn cmd_validate(cli: &Cli) -> Result<(), CliError> {
         Format::Json => out!("{}", report.to_json().to_pretty()),
         Format::Text => print_validation(&report, &stats, &cli.registry),
     }
+    if let Some(dir) = str_flag_value(&cli.args, "--emit-scenarios")? {
+        let cache = moard_inject::HarnessCache::new();
+        let cancel = moard_inject::CancelToken::new();
+        let outcome = moard_inject::emit_validation_scenarios(
+            &report,
+            &cli.registry,
+            &cache,
+            std::path::Path::new(dir),
+            &cancel,
+        )?;
+        // Emission is a side product: keep stdout's report schema stable by
+        // narrating to stderr in JSON mode, stdout in text mode.
+        let say = |line: String| match cli.format {
+            Format::Json => eprintln!("{line}"),
+            Format::Text => out!("{line}"),
+        };
+        for e in &outcome.emitted {
+            say(format!(
+                "minimized {}/{} -> {}",
+                e.workload,
+                e.object,
+                e.path.display()
+            ));
+        }
+        for (workload, object, reason) in &outcome.skipped {
+            say(format!("could not minimize {workload}/{object}: {reason}"));
+        }
+        if outcome.emitted.is_empty() && outcome.skipped.is_empty() {
+            say("no model-optimistic cells to minimize".to_string());
+        }
+    }
     Ok(())
 }
 
@@ -1008,6 +1096,178 @@ fn cmd_inject(cli: &Cli) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// One `--site REC:SLOT` value: a record id, a colon, and the canonical
+/// slot rendering (`operand:N` or `store-dest`).
+fn parse_site(text: &str) -> Result<moard_core::ScenarioSite, MoardError> {
+    let bad = || {
+        MoardError::InvalidConfig(format!(
+            "flag `--site` expects `RECORD:operand:N` or `RECORD:store-dest`, got `{text}`"
+        ))
+    };
+    let (record, slot) = text.split_once(':').ok_or_else(bad)?;
+    let record_id = record.trim().parse::<u64>().map_err(|_| bad())?;
+    let slot = moard_core::scenario::slot_from_str(slot.trim()).map_err(|_| bad())?;
+    Ok(moard_core::ScenarioSite { record_id, slot })
+}
+
+/// One `--mask b+b...` value: `+`-joined bit positions, strictly increasing
+/// (the single-pattern form of the `explicit:` grammar).
+fn parse_mask(text: &str) -> Result<moard_core::ErrorPattern, MoardError> {
+    let bad = || {
+        MoardError::InvalidConfig(format!(
+            "flag `--mask` expects one `+`-joined list of strictly increasing bit positions \
+             below 64, e.g. `3+4`, got `{text}`"
+        ))
+    };
+    match moard_core::ErrorPatternSet::from_canonical(&format!("explicit:{}", text.trim())) {
+        Some(moard_core::ErrorPatternSet::Explicit(mut patterns)) if patterns.len() == 1 => {
+            Ok(patterns.remove(0))
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Build the [`MinimizeSpec`] described by the minimize command line
+/// (`args[0]` is the subcommand or client op).
+fn minimize_spec(args: &[String]) -> Result<MinimizeSpec, CliError> {
+    let pos = positionals(args);
+    let (Some(workload), Some(object)) = (pos.first(), pos.get(1)) else {
+        return Err(CliError::Usage);
+    };
+    let mut spec = MinimizeSpec::cell(workload.as_str(), object.as_str()).stride(4);
+    // `--report FILE` adopts the discovering campaign's population
+    // parameters, so the minimizer searches exactly the population the
+    // verdict came from; explicit flags below still override per-axis.
+    if let Some(path) = str_flag_value(args, "--report")? {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| MoardError::io(path.to_string(), e))?;
+        let report = ValidationReport::from_json_str(&text)?;
+        if !report
+            .cells
+            .iter()
+            .any(|c| c.workload.eq_ignore_ascii_case(workload) && c.object == **object)
+        {
+            return Err(MoardError::InvalidConfig(format!(
+                "report `{path}` has no cell `{workload}/{object}` (cells: {})",
+                report
+                    .cells
+                    .iter()
+                    .map(|c| format!("{}/{}", c.workload, c.object))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+            .into());
+        }
+        spec = spec
+            .stride(report.config.site_stride)
+            .patterns(report.config.patterns.clone())
+            .window(report.config.propagation_window)
+            .seed(report.seed);
+    }
+    if let Some(stride) = flag_value(args, "--stride")? {
+        spec = spec.stride(stride as usize);
+    }
+    if let Some(patterns) = patterns_flag(args)? {
+        spec = spec.patterns(patterns);
+    }
+    if let Some(k) = flag_value(args, "--window")? {
+        spec = spec.window(k as usize);
+    }
+    if let Some(text) = str_flag_value(args, "--site")? {
+        let site = parse_site(text)?;
+        spec = spec.site(site.record_id, site.slot);
+    }
+    if let Some(text) = str_flag_value(args, "--mask")? {
+        spec = spec.pattern(parse_mask(text)?);
+    }
+    if let Some(text) = str_flag_value(args, "--expect")? {
+        let expected = moard_core::scenario::outcome_from_str(text).map_err(|_| {
+            MoardError::InvalidConfig(format!(
+                "flag `--expect` expects `identical`, `acceptable`, `incorrect`, or \
+                 `crashed`, got `{text}`"
+            ))
+        })?;
+        spec = spec.expected(expected);
+    }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        spec = spec.seed(seed);
+    }
+    if let Some(name) = str_flag_value(args, "--name")? {
+        spec = spec.name(name);
+    }
+    Ok(spec)
+}
+
+fn cmd_minimize(cli: &Cli) -> Result<(), CliError> {
+    let spec = minimize_spec(&cli.args)?;
+    let cache = moard_inject::HarnessCache::new();
+    let cancel = moard_inject::CancelToken::new();
+    let report = moard_inject::run_minimize_in(&cli.registry, &cache, &spec, &cancel)?;
+    let written = match str_flag_value(&cli.args, "--emit-scenario")? {
+        Some(dir) => Some(moard_inject::write_scenario(
+            std::path::Path::new(dir),
+            &report.scenario,
+        )?),
+        None => None,
+    };
+    match cli.format {
+        Format::Json => {
+            // Keep stdout pure report JSON; the written path goes to stderr.
+            if let Some(path) = &written {
+                eprintln!("scenario written: {}", path.display());
+            }
+            out!("{}", report.to_json().to_pretty());
+        }
+        Format::Text => {
+            print_minimize(&report);
+            if let Some(path) = &written {
+                out!("scenario written  : {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_minimize(report: &MinimizeReport) {
+    let s = &report.scenario;
+    out!("workload          : {}", s.workload);
+    out!("data object       : {}", s.object);
+    out!("scenario          : {}", s.name);
+    out!(
+        "sites             : {} -> {} (record {} {})",
+        report.initial_sites,
+        s.sites.len(),
+        s.sites[0].record_id,
+        moard_core::scenario::slot_to_string(s.sites[0].slot)
+    );
+    out!(
+        "mask bits         : {} -> {} ({:?})",
+        report.initial_bits,
+        s.pattern.bits.len(),
+        s.pattern.bits
+    );
+    out!(
+        "window            : {} -> {}",
+        report.initial_window,
+        s.window
+    );
+    out!(
+        "expected outcome  : {}",
+        moard_core::scenario::outcome_to_str(s.expected_outcome)
+    );
+    out!("model class       : {}", s.expected_model_class);
+    out!(
+        "fragment          : {}",
+        moard_core::fingerprint_hex(s.fragment_fingerprint)
+    );
+    out!(
+        "oracle probes     : {} ({} injections, {} memo hits)",
+        report.probes,
+        report.injections,
+        report.cache_hits()
+    );
 }
 
 fn cmd_rank(cli: &Cli) -> Result<(), CliError> {
@@ -1192,6 +1452,10 @@ fn cmd_client(cli: &Cli) -> Result<(), CliError> {
         },
         "validate" => Request::Validate {
             spec: validate_spec(sub)?,
+            priority: priority_flag(sub)?,
+        },
+        "minimize" => Request::Minimize {
+            spec: minimize_spec(sub)?,
             priority: priority_flag(sub)?,
         },
         _ => return Err(CliError::Usage),

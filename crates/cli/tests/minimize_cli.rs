@@ -1,0 +1,304 @@
+//! Integration tests of the `moard minimize` subcommand and the
+//! `moard validate --emit-scenarios` bridge — the JSON and text output
+//! surfaces, emitted scenario files, and the error paths, all through the
+//! real binary.
+
+use moard_inject::{load_scenario, replay_scenario, HarnessCache, MinimizeReport};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn moard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_moard"))
+        .args(args)
+        .output()
+        .expect("the moard binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("moard-cli-minimize-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fast minimization: the committed MM reproducer's cell, pinned so the
+/// finder has nothing to scan.
+const QUICK: &[&str] = &[
+    "minimize",
+    "mm",
+    "C",
+    "--site",
+    "413:operand:0",
+    "--mask",
+    "62",
+    "--expect",
+    "incorrect",
+];
+
+#[test]
+fn json_output_is_a_valid_minimize_report() {
+    let output = moard(&[&["--format", "json"], QUICK].concat());
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let report = MinimizeReport::from_json_str(&stdout(&output)).expect("stdout parses");
+    let s = &report.scenario;
+    assert_eq!(s.workload, "MM");
+    assert_eq!(s.object, "C");
+    assert_eq!(s.sites.len(), 1);
+    assert_eq!(s.sites[0].record_id, 413);
+    assert_eq!(s.pattern.bits, vec![62]);
+    assert_eq!(s.window, 0, "a direct corruption needs no window");
+    assert_eq!(report.initial_sites, 1, "the site was pinned");
+    assert!(report.probes >= report.injections);
+    assert!(report.injections > 0);
+}
+
+#[test]
+fn text_output_and_emitted_scenario_replay_bit_exactly() {
+    let dir = temp_dir("emit");
+    let output = moard(&[QUICK, &["--emit-scenario", dir.to_str().unwrap()]].concat());
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    for needle in [
+        "workload          : MM",
+        "data object       : C",
+        "sites             : 1 -> 1 (record 413 operand:0)",
+        "mask bits         :",
+        "window            :",
+        "expected outcome  : incorrect",
+        "oracle probes     :",
+        "scenario written  :",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // The emitted file is a canonical spec that replays bit-exactly.
+    let path = dir.join("mm-c-incorrect.json");
+    let spec = load_scenario(&path).expect("emitted scenario parses");
+    assert_eq!(spec.file_name(), "mm-c-incorrect.json");
+    let registry = moard_abft::registry_with_abft();
+    let cache = HarnessCache::new();
+    let harness = cache.get_or_prepare(&registry, &spec.workload).unwrap();
+    let replay = replay_scenario(&harness, &spec).expect("scenario replays");
+    assert_eq!(replay.mismatch(&spec), None, "replay diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn minimization_is_deterministic_across_runs() {
+    let args = [&["--format", "json"], QUICK].concat();
+    let a = moard(&args);
+    let b = moard(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(stdout(&a), stdout(&b), "same spec, different reports");
+}
+
+#[test]
+fn validate_emit_scenarios_turns_a_divergence_into_a_replayable_spec() {
+    // A tolerance-tightened campaign on a cell whose model prediction is
+    // genuinely optimistic: the verdict is model-optimistic, so the bridge
+    // must auto-minimize it into a scenario spec.
+    let dir = temp_dir("validate");
+    let output = moard(&[
+        "validate",
+        "bt",
+        "--objects",
+        "grid_points",
+        "--stride",
+        "64",
+        "--max-dfi",
+        "500",
+        "--margin",
+        "0.05",
+        "--max-trials",
+        "200",
+        "--tolerance",
+        "0.1",
+        "--seed",
+        "3",
+        "--emit-scenarios",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("model-optimistic"), "{text}");
+    assert!(
+        text.contains("minimized BT/grid_points -> "),
+        "no emission line in:\n{text}"
+    );
+
+    let specs = moard_inject::load_scenario_dir(&dir).unwrap();
+    assert_eq!(specs.len(), 1, "exactly one optimistic cell, one spec");
+    let (path, spec) = &specs[0];
+    assert_eq!(spec.workload, "BT");
+    assert_eq!(spec.object, "grid_points");
+    assert_eq!(
+        path.file_name().and_then(|n| n.to_str()),
+        Some(spec.file_name().as_str())
+    );
+    // The spec adopted the campaign's population parameters...
+    assert_eq!(spec.seed, 3);
+    // ...and replays bit-exactly against a fresh harness.
+    let registry = moard_abft::registry_with_abft();
+    let cache = HarnessCache::new();
+    let harness = cache.get_or_prepare(&registry, "bt").unwrap();
+    let replay = replay_scenario(&harness, spec).expect("emitted spec replays");
+    assert_eq!(replay.mismatch(spec), None, "replay diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degenerate_inputs_are_typed_failures() {
+    // Usage: both positionals are required.
+    let output = moard(&["minimize", "mm"]);
+    assert_eq!(output.status.code(), Some(2));
+
+    let output = moard(&["minimize", "warp-drive", "C"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("unknown workload"),
+        "{}",
+        stderr(&output)
+    );
+
+    let output = moard(&["minimize", "mm", "C", "--site", "413"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("`RECORD:operand:N` or `RECORD:store-dest`"),
+        "{}",
+        stderr(&output)
+    );
+
+    let output = moard(&["minimize", "mm", "C", "--mask", "4+4"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("strictly increasing"),
+        "{}",
+        stderr(&output)
+    );
+
+    let output = moard(&["minimize", "mm", "C", "--expect", "explosion"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(stderr(&output).contains("--expect"), "{}", stderr(&output));
+
+    // A site that does not exist in the trace is named, not ignored.
+    let output = moard(&["minimize", "mm", "C", "--site", "999999:operand:0"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("does not exist"),
+        "{}",
+        stderr(&output)
+    );
+
+    // An expectation nothing reproduces is a typed finder failure.
+    let mut impossible: Vec<&str> = QUICK[..QUICK.len() - 1].to_vec();
+    impossible.push("crashed");
+    let output = moard(&impossible);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("nothing to minimize"),
+        "{}",
+        stderr(&output)
+    );
+
+    // Flags from other subcommands are rejected, not silently dropped.
+    let output = moard(&["minimize", "mm", "C", "--margin", "0.05"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("not valid for `moard minimize`"),
+        "{}",
+        stderr(&output)
+    );
+    let output = moard(&["validate", "mm", "--emit-scenario", "/tmp/x"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("not valid for `moard validate`"),
+        "{}",
+        stderr(&output)
+    );
+    let output = moard(&["minimize", "mm", "C", "--emit-scenarios", "/tmp/x"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("not valid for `moard minimize`"),
+        "{}",
+        stderr(&output)
+    );
+
+    // `--report` insists the requested cell is in the report.
+    let report_path = temp_dir("no-such-cell").with_extension("json");
+    let quick = moard(&[
+        "--format",
+        "json",
+        "validate",
+        "mm",
+        "--stride",
+        "32",
+        "--max-dfi",
+        "100",
+        "--margin",
+        "0.15",
+        "--max-trials",
+        "48",
+    ]);
+    assert!(quick.status.success());
+    std::fs::write(&report_path, stdout(&quick)).unwrap();
+    let output = moard(&[
+        "minimize",
+        "pf",
+        "xe",
+        "--report",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr(&output).contains("has no cell `pf/xe`"),
+        "{}",
+        stderr(&output)
+    );
+    let _ = std::fs::remove_file(&report_path);
+}
+
+/// `--report` adopts the discovering campaign's population parameters.
+#[test]
+fn minimize_from_report_adopts_campaign_parameters() {
+    let report_path = temp_dir("adopt").with_extension("json");
+    let campaign = moard(&[
+        "--format",
+        "json",
+        "validate",
+        "mm",
+        "--stride",
+        "32",
+        "--max-dfi",
+        "100",
+        "--margin",
+        "0.15",
+        "--max-trials",
+        "48",
+        "--seed",
+        "77",
+    ]);
+    assert!(campaign.status.success(), "stderr: {}", stderr(&campaign));
+    std::fs::write(&report_path, stdout(&campaign)).unwrap();
+
+    let output = moard(&[
+        "--format",
+        "json",
+        "minimize",
+        "mm",
+        "C",
+        "--report",
+        report_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let report = MinimizeReport::from_json_str(&stdout(&output)).unwrap();
+    assert_eq!(report.scenario.seed, 77, "campaign seed not adopted");
+    let _ = std::fs::remove_file(&report_path);
+}

@@ -69,6 +69,7 @@ pub mod op_rules;
 pub mod propagation;
 pub mod report;
 pub mod resolver;
+pub mod scenario;
 pub mod sites;
 pub mod stats;
 
@@ -87,6 +88,9 @@ pub use report::{
     ValidationReport, WorkloadRank, SCHEMA_VERSION,
 };
 pub use resolver::{DfiResolver, EquivalenceCache, EquivalenceKey, ResolverStats};
+pub use scenario::{
+    ScenarioFragment, ScenarioSite, ScenarioSpec, SCENARIO_KIND, SCENARIO_SCHEMA_VERSION,
+};
 pub use sites::{
     count_fault_sites, enumerate_sites, enumerate_strided_sites, has_sites, ParticipationSite,
     SiteSlot,

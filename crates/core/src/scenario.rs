@@ -1,0 +1,542 @@
+//! Self-contained fault-scenario specifications: minimal reproducers frozen
+//! as executable regression tests.
+//!
+//! A **scenario spec** is the durable form of one interesting fault-injection
+//! outcome (an SDC the model missed, a model-optimistic validation cell, a
+//! pattern-class divergence) after the minimizer (`moard_inject::minimize`)
+//! has shrunk it to a 1-minimal reproducer: a workload, one data object, the
+//! surviving participation sites, the surviving error-pattern bits, the
+//! smallest propagation window that preserves the model's classification,
+//! and the verdicts the replay must reproduce.  Committed under
+//! `tests/scenarios/`, every spec is replayed by the scenario runner in CI
+//! and asserted bit-exactly against its **fragment fingerprint** — the
+//! FNV-1a hash of the canonical replay fragment — so a drifting trace, VM,
+//! or analysis rule turns a past divergence back into a visible test
+//! failure instead of a forgotten log line.
+//!
+//! The JSON schema is versioned independently of the report schema
+//! ([`SCENARIO_SCHEMA_VERSION`]): scenario files live in the repository for
+//! years and must not be invalidated by unrelated report-schema bumps.
+//! Parsing is strict and typed: garbage, truncated, or wrong-shape
+//! documents yield [`MoardError`]s, never panics, and valid specs
+//! round-trip bit-exactly.
+
+use crate::error::MoardError;
+use crate::error_pattern::ErrorPattern;
+use crate::masking::{Masking, OpMaskKind};
+use crate::report::{fingerprint_hex, fnv1a};
+use crate::sites::SiteSlot;
+use moard_json::{Json, JsonError};
+use moard_vm::OutcomeClass;
+
+/// Version written into (and required of) every scenario document.  This is
+/// deliberately **not** [`crate::SCHEMA_VERSION`]: committed scenarios must
+/// survive report-schema bumps that do not change scenario semantics.
+pub const SCENARIO_SCHEMA_VERSION: u32 = 1;
+
+/// The `kind` discriminator of a scenario document.
+pub const SCENARIO_KIND: &str = "moard-scenario";
+
+/// The `kind` discriminator of a replay fragment (hashed, never stored).
+pub const SCENARIO_FRAGMENT_KIND: &str = "moard-scenario-fragment";
+
+/// Canonical string of a site slot (`operand:N` or `store-dest`).
+pub fn slot_to_string(slot: SiteSlot) -> String {
+    match slot {
+        SiteSlot::Operand(i) => format!("operand:{i}"),
+        SiteSlot::StoreDest => "store-dest".to_string(),
+    }
+}
+
+/// Parse the canonical rendering of [`slot_to_string`].
+pub fn slot_from_str(text: &str) -> Result<SiteSlot, JsonError> {
+    let wrong = || JsonError::WrongType {
+        field: "slot".into(),
+        expected: "`operand:N` or `store-dest`",
+    };
+    if text == "store-dest" {
+        return Ok(SiteSlot::StoreDest);
+    }
+    match text.strip_prefix("operand:") {
+        Some(idx) if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) => idx
+            .parse::<usize>()
+            .map(SiteSlot::Operand)
+            .map_err(|_| wrong()),
+        _ => Err(wrong()),
+    }
+}
+
+/// Canonical string of an injection outcome class.
+pub fn outcome_to_str(outcome: OutcomeClass) -> &'static str {
+    match outcome {
+        OutcomeClass::Identical => "identical",
+        OutcomeClass::Acceptable => "acceptable",
+        OutcomeClass::Incorrect => "incorrect",
+        OutcomeClass::Crashed => "crashed",
+    }
+}
+
+/// Parse the canonical rendering of [`outcome_to_str`].
+pub fn outcome_from_str(text: &str) -> Result<OutcomeClass, JsonError> {
+    match text {
+        "identical" => Ok(OutcomeClass::Identical),
+        "acceptable" => Ok(OutcomeClass::Acceptable),
+        "incorrect" => Ok(OutcomeClass::Incorrect),
+        "crashed" => Ok(OutcomeClass::Crashed),
+        _ => Err(JsonError::WrongType {
+            field: "expected_outcome".into(),
+            expected: "identical|acceptable|incorrect|crashed",
+        }),
+    }
+}
+
+/// Canonical string of a masking classification (matches its `Display`).
+pub fn masking_to_str(class: Masking) -> &'static str {
+    match class {
+        Masking::Operation(OpMaskKind::Overwriting) => "operation(value-overwriting)",
+        Masking::Operation(OpMaskKind::LogicCompare) => "operation(logic-and-comparison)",
+        Masking::Operation(OpMaskKind::Overshadowing) => "operation(value-overshadowing)",
+        Masking::Propagation => "propagation",
+        Masking::Algorithm => "algorithm",
+        Masking::NotMasked => "not-masked",
+    }
+}
+
+/// Parse the canonical rendering of [`masking_to_str`].
+pub fn masking_from_str(text: &str) -> Result<Masking, JsonError> {
+    match text {
+        "operation(value-overwriting)" => Ok(Masking::Operation(OpMaskKind::Overwriting)),
+        "operation(logic-and-comparison)" => Ok(Masking::Operation(OpMaskKind::LogicCompare)),
+        "operation(value-overshadowing)" => Ok(Masking::Operation(OpMaskKind::Overshadowing)),
+        "propagation" => Ok(Masking::Propagation),
+        "algorithm" => Ok(Masking::Algorithm),
+        "not-masked" => Ok(Masking::NotMasked),
+        _ => Err(JsonError::WrongType {
+            field: "expected_model_class".into(),
+            expected: "a canonical masking class string",
+        }),
+    }
+}
+
+/// One participation site of a scenario, identified by the stable
+/// `(dynamic record id, slot)` pair — self-contained against re-tracing,
+/// since the trace of a deterministic workload always reproduces the same
+/// record ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioSite {
+    /// Dynamic instruction id of the operation.
+    pub record_id: u64,
+    /// Which value of the operation holds the corrupted element.
+    pub slot: SiteSlot,
+}
+
+impl ScenarioSite {
+    fn to_json(self) -> Json {
+        Json::object([
+            ("record_id", Json::from(self.record_id)),
+            ("slot", Json::from(slot_to_string(self.slot).as_str())),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<ScenarioSite, JsonError> {
+        Ok(ScenarioSite {
+            record_id: value.u64_field("record_id")?,
+            slot: slot_from_str(value.str_field("slot")?)?,
+        })
+    }
+}
+
+/// A minimal fault reproducer, ready to be frozen under `tests/scenarios/`.
+///
+/// Replaying a spec means: prepare the workload's harness, resolve every
+/// site by `(record_id, slot)` in the fresh trace, inject the pattern at
+/// each site through the deterministic injector (asserting
+/// `expected_outcome`), classify the first site through the full analytic
+/// pipeline under `window` (asserting `expected_model_class`), and compare
+/// the FNV-1a fingerprint of the resulting [`ScenarioFragment`] bit-exactly
+/// against `fragment_fingerprint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (also its file stem under `tests/scenarios/`).
+    pub name: String,
+    /// Canonical workload name (e.g. `"MM"`).
+    pub workload: String,
+    /// Data-object name.
+    pub object: String,
+    /// The surviving (1-minimal) participation sites.
+    pub sites: Vec<ScenarioSite>,
+    /// The surviving (1-minimal) error pattern.
+    pub pattern: ErrorPattern,
+    /// The smallest propagation window `k` preserving the model's
+    /// classification of the reproducer.
+    pub window: usize,
+    /// Base RNG seed of the campaign that discovered the failure
+    /// (provenance; the replay itself is deterministic).
+    pub seed: u64,
+    /// The injection outcome every site must reproduce.
+    pub expected_outcome: OutcomeClass,
+    /// The model's classification of the first site under `window`.
+    pub expected_model_class: Masking,
+    /// FNV-1a fingerprint of the canonical replay fragment.
+    pub fragment_fingerprint: u64,
+}
+
+impl ScenarioSpec {
+    /// The file name this spec is written under (`<name>.json`).
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.name)
+    }
+
+    /// Check the spec is well-formed beyond JSON shape: non-empty,
+    /// filename-safe name; at least one site; a normalized pattern.
+    pub fn validate(&self) -> Result<(), MoardError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        {
+            return Err(MoardError::InvalidConfig(format!(
+                "scenario name `{}` must be non-empty and use only [A-Za-z0-9._-]",
+                self.name
+            )));
+        }
+        if self.workload.is_empty() || self.object.is_empty() {
+            return Err(MoardError::InvalidConfig(
+                "scenario workload and object names must be non-empty".into(),
+            ));
+        }
+        if self.sites.is_empty() {
+            return Err(MoardError::InvalidConfig(format!(
+                "scenario `{}` has no participation sites",
+                self.name
+            )));
+        }
+        if self.pattern.bits.is_empty() {
+            return Err(MoardError::InvalidConfig(format!(
+                "scenario `{}` has an empty error pattern",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The JSON document of this spec (fixed member order; derived
+    /// quantities are never stored).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", Json::from(SCENARIO_SCHEMA_VERSION)),
+            ("kind", Json::from(SCENARIO_KIND)),
+            ("name", Json::from(self.name.as_str())),
+            ("workload", Json::from(self.workload.as_str())),
+            ("object", Json::from(self.object.as_str())),
+            ("sites", Json::array(self.sites.iter().map(|s| s.to_json()))),
+            (
+                "pattern_bits",
+                Json::array(self.pattern.bits.iter().map(|b| Json::from(*b))),
+            ),
+            ("window", Json::from(self.window as u64)),
+            ("seed", Json::from(self.seed)),
+            (
+                "expected_outcome",
+                Json::from(outcome_to_str(self.expected_outcome)),
+            ),
+            (
+                "expected_model_class",
+                Json::from(masking_to_str(self.expected_model_class)),
+            ),
+            (
+                "fragment_fingerprint",
+                Json::from(fingerprint_hex(self.fragment_fingerprint)),
+            ),
+        ])
+    }
+
+    /// Serialize to the pretty-printed form committed under
+    /// `tests/scenarios/` (trailing newline included).
+    pub fn to_file_string(&self) -> String {
+        let mut text = self.to_json().to_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Rebuild from a JSON document: checks the `kind` discriminator and
+    /// the scenario schema version, then every field strictly.
+    pub fn from_json(doc: &Json) -> Result<ScenarioSpec, MoardError> {
+        let kind = doc.str_field("kind")?;
+        if kind != SCENARIO_KIND {
+            return Err(MoardError::Json(JsonError::WrongType {
+                field: "kind".into(),
+                expected: "`moard-scenario`",
+            }));
+        }
+        let found = doc.u32_field("schema_version")?;
+        if found != SCENARIO_SCHEMA_VERSION {
+            return Err(MoardError::SchemaMismatch {
+                found,
+                expected: SCENARIO_SCHEMA_VERSION,
+            });
+        }
+        let mut sites = Vec::new();
+        for site in doc.arr_field("sites")? {
+            sites.push(ScenarioSite::from_json(site)?);
+        }
+        let mut bits: Vec<u32> = Vec::new();
+        for bit in doc.arr_field("pattern_bits")? {
+            let bit =
+                bit.as_u64()
+                    .and_then(|b| u32::try_from(b).ok())
+                    .ok_or(JsonError::WrongType {
+                        field: "pattern_bits".into(),
+                        expected: "an array of bit positions below 64",
+                    })?;
+            // Strictly increasing and below the mask width: a scenario file
+            // must store the one normalized form, so that round-trips are
+            // bit-exact and no two encodings of a pattern can diverge.
+            if bit >= 64 || bits.last().is_some_and(|prev| *prev >= bit) {
+                return Err(MoardError::Json(JsonError::WrongType {
+                    field: "pattern_bits".into(),
+                    expected: "strictly increasing bit positions below 64",
+                }));
+            }
+            bits.push(bit);
+        }
+        let fragment_fingerprint = {
+            let text = doc.str_field("fragment_fingerprint")?;
+            if text.len() != 16 {
+                return Err(MoardError::Json(JsonError::WrongType {
+                    field: "fragment_fingerprint".into(),
+                    expected: "a 16-digit hex string",
+                }));
+            }
+            u64::from_str_radix(text, 16).map_err(|_| JsonError::WrongType {
+                field: "fragment_fingerprint".into(),
+                expected: "a 16-digit hex string",
+            })?
+        };
+        let spec = ScenarioSpec {
+            name: doc.str_field("name")?.to_string(),
+            workload: doc.str_field("workload")?.to_string(),
+            object: doc.str_field("object")?.to_string(),
+            sites,
+            pattern: ErrorPattern { bits },
+            window: doc.u64_field("window")? as usize,
+            seed: doc.u64_field("seed")?,
+            expected_outcome: outcome_from_str(doc.str_field("expected_outcome")?)?,
+            expected_model_class: masking_from_str(doc.str_field("expected_model_class")?)?,
+            fragment_fingerprint,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse a spec serialized with [`ScenarioSpec::to_json_string`] or
+    /// [`ScenarioSpec::to_file_string`].
+    pub fn from_json_str(text: &str) -> Result<ScenarioSpec, MoardError> {
+        ScenarioSpec::from_json(&Json::parse(text)?)
+    }
+}
+
+/// The canonical replay fragment of a scenario: what a replay actually
+/// observed, in a fixed shape whose compact serialization is hashed into
+/// [`ScenarioSpec::fragment_fingerprint`].  The fragment itself is derived
+/// on every replay and never stored, so a committed fingerprint can only be
+/// satisfied by re-observing bit-identical behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFragment {
+    /// Canonical workload name.
+    pub workload: String,
+    /// Data-object name.
+    pub object: String,
+    /// Per-site observed injection outcome, in spec order.
+    pub outcomes: Vec<(ScenarioSite, OutcomeClass)>,
+    /// The replayed error pattern.
+    pub pattern: ErrorPattern,
+    /// The propagation window of the model leg.
+    pub window: usize,
+    /// The model's classification of the first site under `window`.
+    pub model_class: Masking,
+}
+
+impl ScenarioFragment {
+    /// The canonical JSON document (fixed member order, compact form is
+    /// what gets hashed).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", Json::from(SCENARIO_FRAGMENT_KIND)),
+            ("workload", Json::from(self.workload.as_str())),
+            ("object", Json::from(self.object.as_str())),
+            (
+                "outcomes",
+                Json::array(self.outcomes.iter().map(|(site, outcome)| {
+                    Json::object([
+                        ("record_id", Json::from(site.record_id)),
+                        ("slot", Json::from(slot_to_string(site.slot).as_str())),
+                        ("outcome", Json::from(outcome_to_str(*outcome))),
+                    ])
+                })),
+            ),
+            (
+                "pattern_bits",
+                Json::array(self.pattern.bits.iter().map(|b| Json::from(*b))),
+            ),
+            ("window", Json::from(self.window as u64)),
+            ("model_class", Json::from(masking_to_str(self.model_class))),
+        ])
+    }
+
+    /// FNV-1a fingerprint of the compact canonical serialization.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.to_json().to_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "mm-c-incorrect".into(),
+            workload: "MM".into(),
+            object: "C".into(),
+            sites: vec![ScenarioSite {
+                record_id: 1234,
+                slot: SiteSlot::Operand(1),
+            }],
+            pattern: ErrorPattern { bits: vec![52] },
+            window: 3,
+            seed: 0xF1F1,
+            expected_outcome: OutcomeClass::Incorrect,
+            expected_model_class: Masking::NotMasked,
+            fragment_fingerprint: 0x0123_4567_89ab_cdef,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_bit_exactly() {
+        let spec = sample();
+        let compact = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&compact).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_string(), compact);
+        // Pretty form (the committed file format) parses back identically.
+        let pretty = spec.to_file_string();
+        assert_eq!(ScenarioSpec::from_json_str(&pretty).unwrap(), spec);
+    }
+
+    #[test]
+    fn slot_and_verdict_strings_round_trip() {
+        for slot in [
+            SiteSlot::Operand(0),
+            SiteSlot::Operand(7),
+            SiteSlot::StoreDest,
+        ] {
+            assert_eq!(slot_from_str(&slot_to_string(slot)).unwrap(), slot);
+        }
+        assert!(slot_from_str("operand:").is_err());
+        assert!(slot_from_str("operand:x").is_err());
+        assert!(slot_from_str("register:0").is_err());
+        for outcome in [
+            OutcomeClass::Identical,
+            OutcomeClass::Acceptable,
+            OutcomeClass::Incorrect,
+            OutcomeClass::Crashed,
+        ] {
+            assert_eq!(outcome_from_str(outcome_to_str(outcome)).unwrap(), outcome);
+        }
+        for class in [
+            Masking::Operation(OpMaskKind::Overwriting),
+            Masking::Operation(OpMaskKind::LogicCompare),
+            Masking::Operation(OpMaskKind::Overshadowing),
+            Masking::Propagation,
+            Masking::Algorithm,
+            Masking::NotMasked,
+        ] {
+            assert_eq!(masking_from_str(masking_to_str(class)).unwrap(), class);
+            assert_eq!(masking_to_str(class), class.to_string());
+        }
+        assert!(outcome_from_str("hung").is_err());
+        assert!(masking_from_str("operation").is_err());
+    }
+
+    #[test]
+    fn schema_version_and_kind_are_enforced() {
+        let spec = sample();
+        let tampered =
+            spec.to_json_string()
+                .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(matches!(
+            ScenarioSpec::from_json_str(&tampered),
+            Err(MoardError::SchemaMismatch {
+                found: 99,
+                expected: SCENARIO_SCHEMA_VERSION
+            })
+        ));
+        let wrong_kind = spec
+            .to_json_string()
+            .replacen("moard-scenario", "moard-study", 1);
+        assert!(matches!(
+            ScenarioSpec::from_json_str(&wrong_kind),
+            Err(MoardError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn denormalized_patterns_are_rejected() {
+        for bits in ["[4,3]", "[3,3]", "[64]", "[]"] {
+            let text = sample().to_json_string().replacen("[52]", bits, 1);
+            assert!(
+                ScenarioSpec::from_json_str(&text).is_err(),
+                "pattern_bits {bits} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let mut spec = sample();
+        spec.name = "has space".into();
+        assert!(spec.validate().is_err());
+        let mut spec = sample();
+        spec.sites.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = sample();
+        spec.pattern.bits.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn fragment_fingerprint_is_sensitive_to_every_field() {
+        let base = ScenarioFragment {
+            workload: "MM".into(),
+            object: "C".into(),
+            outcomes: vec![(
+                ScenarioSite {
+                    record_id: 7,
+                    slot: SiteSlot::StoreDest,
+                },
+                OutcomeClass::Incorrect,
+            )],
+            pattern: ErrorPattern { bits: vec![3] },
+            window: 5,
+            model_class: Masking::Propagation,
+        };
+        let fp = base.fingerprint();
+        let mut other = base.clone();
+        other.window = 6;
+        assert_ne!(other.fingerprint(), fp);
+        let mut other = base.clone();
+        other.model_class = Masking::NotMasked;
+        assert_ne!(other.fingerprint(), fp);
+        let mut other = base.clone();
+        other.outcomes[0].1 = OutcomeClass::Crashed;
+        assert_ne!(other.fingerprint(), fp);
+        assert_eq!(base.clone().fingerprint(), fp, "hash is deterministic");
+    }
+}

@@ -108,6 +108,7 @@ pub mod cancel;
 pub mod exhaustive;
 pub mod harness;
 pub mod injector;
+pub mod minimize;
 pub mod random;
 pub mod session;
 pub mod stats;
@@ -120,6 +121,11 @@ pub use cancel::CancelToken;
 pub use exhaustive::{enumerate_faults, run_exhaustive, ExhaustiveConfig};
 pub use harness::{HarnessCache, WorkloadHarness};
 pub use injector::DeterministicInjector;
+pub use minimize::{
+    ddmin, emit_validation_scenarios, load_scenario, load_scenario_dir, minimize, replay_scenario,
+    run_minimize_in, write_scenario, EmitOutcome, EmittedScenario, MinimizeReport, MinimizeSpec,
+    ScenarioReplay,
+};
 pub use moard_core::MoardError;
 pub use random::{run_rfi, sample_faults, sample_shard, shard_seed, PatternSampler, RfiConfig};
 pub use session::{AnalysisSession, Session, SessionBuilder, SessionReport};

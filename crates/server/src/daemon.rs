@@ -306,6 +306,17 @@ impl Shared {
                     (stats.advf_executed + stats.rfi_executed) as u64,
                 ))
             }
+            Request::Minimize { spec, .. } => {
+                let report = moard_inject::run_minimize_in(
+                    moard_workloads::builtin_registry(),
+                    &self.harnesses,
+                    spec,
+                    &job.cancel,
+                )?;
+                let cache_hits = report.cache_hits();
+                let executed = report.injections;
+                Ok((report.to_json(), cache_hits, executed))
+            }
             other => Err(MoardError::InvalidConfig(format!(
                 "`{}` is not a job request",
                 other.kind()

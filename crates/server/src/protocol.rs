@@ -15,7 +15,8 @@
 //! [`Response::Error`] and never a panic.
 //!
 //! Job-carrying requests ([`Request::Analyze`], [`Request::Sweep`],
-//! [`Request::Validate`]) are answered with **two** frames: an immediate
+//! [`Request::Validate`], [`Request::Minimize`]) are answered with **two**
+//! frames: an immediate
 //! [`Response::Accepted`] carrying the job id (so the client can
 //! [`Request::Cancel`] from another connection), then a final
 //! [`Response::Result`] / [`Response::Cancelled`] / [`Response::Error`]
@@ -23,7 +24,7 @@
 //! single frame.
 
 use moard_core::AnalysisConfig;
-use moard_inject::{StudySpec, ValidationSpec};
+use moard_inject::{MinimizeSpec, StudySpec, ValidationSpec};
 use moard_json::{FromJson, Json, JsonError, ToJson};
 use std::io::{Read, Write};
 
@@ -186,6 +187,13 @@ pub enum Request {
         /// Queue priority.
         priority: Priority,
     },
+    /// Shrink a reproducing failure to a 1-minimal scenario spec.
+    Minimize {
+        /// The minimization specification.
+        spec: MinimizeSpec,
+        /// Queue priority.
+        priority: Priority,
+    },
 }
 
 impl Request {
@@ -199,6 +207,7 @@ impl Request {
             Request::Analyze { .. } => "analyze",
             Request::Sweep { .. } => "sweep",
             Request::Validate { .. } => "validate",
+            Request::Minimize { .. } => "minimize",
         }
     }
 
@@ -207,7 +216,10 @@ impl Request {
     pub fn is_job(&self) -> bool {
         matches!(
             self,
-            Request::Analyze { .. } | Request::Sweep { .. } | Request::Validate { .. }
+            Request::Analyze { .. }
+                | Request::Sweep { .. }
+                | Request::Validate { .. }
+                | Request::Minimize { .. }
         )
     }
 
@@ -216,7 +228,8 @@ impl Request {
         match self {
             Request::Analyze { priority, .. }
             | Request::Sweep { priority, .. }
-            | Request::Validate { priority, .. } => *priority,
+            | Request::Validate { priority, .. }
+            | Request::Minimize { priority, .. } => *priority,
             _ => Priority::Normal,
         }
     }
@@ -252,6 +265,10 @@ impl ToJson for Request {
                 members.push(("priority", Json::from(priority.as_str())));
             }
             Request::Validate { spec, priority } => {
+                members.push(("spec", spec.to_json()));
+                members.push(("priority", Json::from(priority.as_str())));
+            }
+            Request::Minimize { spec, priority } => {
                 members.push(("spec", spec.to_json()));
                 members.push(("priority", Json::from(priority.as_str())));
             }
@@ -323,9 +340,13 @@ impl FromJson for Request {
                 spec: ValidationSpec::from_json(value.field("spec")?)?,
                 priority: priority_field(value)?,
             }),
+            "minimize" => Ok(Request::Minimize {
+                spec: MinimizeSpec::from_json(value.field("spec")?)?,
+                priority: priority_field(value)?,
+            }),
             _ => Err(JsonError::WrongType {
                 field: "kind".into(),
-                expected: "ping|metrics|cancel|shutdown|analyze|sweep|validate",
+                expected: "ping|metrics|cancel|shutdown|analyze|sweep|validate|minimize",
             }),
         }
     }
@@ -516,6 +537,13 @@ mod tests {
             Request::Validate {
                 spec: ValidationSpec::default(),
                 priority: Priority::Normal,
+            },
+            Request::Minimize {
+                spec: MinimizeSpec::cell("mm", "C")
+                    .site(3, moard_core::SiteSlot::Operand(0))
+                    .pattern(moard_core::ErrorPattern { bits: vec![51] })
+                    .seed(0xF1F1),
+                priority: Priority::High,
             },
         ];
         for request in requests {

@@ -1,0 +1,233 @@
+//! Property tests for the fault-scenario minimizer: the generic ddmin
+//! engine over seeded synthetic failures (the workspace's stand-in for
+//! proptest, style of `campaign_stats_props.rs`), and end-to-end
+//! 1-minimality / determinism of `minimize` against real harnesses.
+
+use moard::inject::{ddmin, minimize, CancelToken, HarnessCache, MinimizeSpec};
+use moard::model::{ErrorPattern, MoardError};
+use moard::vm::FaultSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const SEEDS: u64 = 96;
+
+/// A random non-empty target subset of `0..len`.
+fn random_target(rng: &mut StdRng, len: usize) -> BTreeSet<u32> {
+    let size = rng.gen_range(1usize..len.min(6) + 1);
+    let mut target = BTreeSet::new();
+    while target.len() < size {
+        target.insert(rng.gen_range(0u32..len as u32));
+    }
+    target
+}
+
+#[test]
+fn ddmin_reaches_the_exact_minimal_set_on_monotone_oracles() {
+    // Oracle: a subset reproduces iff it contains EVERY element of a hidden
+    // target set (monotone, so the target is the unique 1-minimal subset).
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(2usize..120);
+        let target = random_target(&mut rng, len);
+        let items: Vec<u32> = (0..len as u32).collect();
+        let test = |subset: &[u32]| -> Result<bool, MoardError> {
+            Ok(target.iter().all(|t| subset.contains(t)))
+        };
+        let minimal = ddmin(items.clone(), test).unwrap();
+
+        // Exact recovery (which subsumes 1-minimality here)…
+        assert_eq!(
+            minimal.iter().copied().collect::<BTreeSet<_>>(),
+            target,
+            "seed {seed}"
+        );
+        // …in the original element order…
+        let mut sorted = minimal.clone();
+        sorted.sort_unstable();
+        assert_eq!(minimal, sorted, "seed {seed}: order not preserved");
+        // …shrink never grows…
+        assert!(minimal.len() <= items.len(), "seed {seed}");
+        // …and a second run is identical (determinism).
+        assert_eq!(ddmin(items, test).unwrap(), minimal, "seed {seed}");
+    }
+}
+
+#[test]
+fn ddmin_finds_a_singleton_witness_under_exists_semantics() {
+    // Oracle: a subset reproduces iff it contains ANY element of a witness
+    // set — the site axis's semantics.  Every 1-minimal subset is then a
+    // single witness.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+        let len = rng.gen_range(1usize..100);
+        let witnesses = random_target(&mut rng, len);
+        let items: Vec<u32> = (0..len as u32).collect();
+        let minimal = ddmin(items, |subset: &[u32]| -> Result<bool, MoardError> {
+            Ok(subset.iter().any(|s| witnesses.contains(s)))
+        })
+        .unwrap();
+        assert_eq!(minimal.len(), 1, "seed {seed}: {minimal:?}");
+        assert!(witnesses.contains(&minimal[0]), "seed {seed}");
+    }
+}
+
+#[test]
+fn ddmin_is_one_minimal_on_arbitrary_nonmonotone_oracles() {
+    // Oracles with no structure at all: a random family of "reproducing"
+    // subsets closed over nothing.  ddmin must still end on a reproducing
+    // subset from which removing any single element stops reproducing.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0xABCD_0000 ^ seed);
+        let len = rng.gen_range(2usize..24);
+        let items: Vec<u32> = (0..len as u32).collect();
+        // Membership decided by a seeded hash of the subset, forced true
+        // for the full set (the precondition) and false for tiny sets with
+        // probability ~1/2 each.
+        let tag = rng.gen_range(0u64..u64::MAX);
+        let test = |subset: &[u32]| -> Result<bool, MoardError> {
+            if subset.len() == len {
+                return Ok(true);
+            }
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ tag;
+            for s in subset {
+                h = (h ^ u64::from(*s)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(h & 3 == 0)
+        };
+        let minimal = ddmin(items, test).unwrap();
+        assert!(!minimal.is_empty(), "seed {seed}: ddmin returned empty");
+        assert!(
+            test(&minimal).unwrap(),
+            "seed {seed}: result not reproducing"
+        );
+        if minimal.len() > 1 {
+            for drop in 0..minimal.len() {
+                let mut smaller = minimal.clone();
+                smaller.remove(drop);
+                assert!(
+                    !test(&smaller).unwrap(),
+                    "seed {seed}: dropping element {drop} still reproduces — not 1-minimal"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: the committed multi-bit scenario's cell really is 1-minimal
+/// and byte-deterministic through the whole engine.
+#[test]
+fn minimize_emits_one_minimal_deterministic_scenarios() {
+    let registry = moard::full_registry();
+    let cache = HarnessCache::new();
+    let cancel = CancelToken::new();
+    let spec = MinimizeSpec::cell("cg", "colidx")
+        .pattern(ErrorPattern { bits: vec![5, 6] })
+        .expected(moard::vm::OutcomeClass::Crashed);
+    let harness = cache.get_or_prepare(&registry, "cg").unwrap();
+    let report = minimize(&harness, &spec, &cancel).unwrap();
+    let scenario = &report.scenario;
+
+    // Shrink never grows, on every axis.
+    assert!(scenario.sites.len() as u64 <= report.initial_sites);
+    assert!(scenario.pattern.bits.len() as u32 <= report.initial_bits);
+    assert!((scenario.window as u64) <= report.initial_window);
+    // This cell needs both bits: the crash comes from the joint flip.
+    assert_eq!(scenario.pattern.bits, vec![5, 6]);
+    assert_eq!(scenario.sites.len(), 1);
+
+    // 1-minimality of the bit axis, checked against the real injector:
+    // dropping either bit no longer reproduces the expected outcome at any
+    // surviving site.
+    let all_sites = harness.sites("colidx").unwrap();
+    let sites: Vec<_> = scenario
+        .sites
+        .iter()
+        .map(|w| {
+            all_sites
+                .iter()
+                .find(|s| s.record_id == w.record_id && s.slot == w.slot)
+                .expect("scenario site resolves")
+        })
+        .collect();
+    for drop in 0..scenario.pattern.bits.len() {
+        let mut bits = scenario.pattern.bits.clone();
+        bits.remove(drop);
+        let mask = ErrorPattern { bits }.mask();
+        for site in &sites {
+            let outcome = harness.injector().run_classified(&FaultSpec::masked(
+                site.record_id,
+                site.slot.fault_target(),
+                mask,
+            ));
+            assert_ne!(
+                outcome, scenario.expected_outcome,
+                "dropping bit index {drop} still reproduces — not 1-minimal"
+            );
+        }
+    }
+
+    // Determinism: a fresh run (and a fresh harness) is byte-identical.
+    let again = minimize(&harness, &spec, &cancel).unwrap();
+    assert_eq!(again, report);
+    assert_eq!(
+        again.scenario.to_file_string(),
+        scenario.to_file_string(),
+        "re-minimizing is not byte-identical"
+    );
+    let fresh = cache.get_or_prepare(&registry, "CG").unwrap();
+    let refreshed = minimize(&fresh, &spec, &cancel).unwrap();
+    assert_eq!(
+        refreshed.scenario.to_file_string(),
+        scenario.to_file_string()
+    );
+}
+
+/// The finder scans for a failure on its own when no mask/expectation is
+/// pinned, and a pinned site restricts the population.
+#[test]
+fn minimize_finder_and_explicit_site_paths_agree() {
+    let registry = moard::full_registry();
+    let cache = HarnessCache::new();
+    let cancel = CancelToken::new();
+    let harness = cache.get_or_prepare(&registry, "mm").unwrap();
+
+    let found = minimize(&harness, &MinimizeSpec::cell("mm", "C"), &cancel).unwrap();
+    assert_eq!(found.scenario.sites.len(), 1);
+    assert!(!found.scenario.expected_outcome.is_success());
+
+    // Re-minimizing from the found reproducer, pinned to its site and
+    // mask, reaches the same scenario (idempotence of the fixpoint).
+    let pinned = MinimizeSpec::cell("mm", "C")
+        .site(
+            found.scenario.sites[0].record_id,
+            found.scenario.sites[0].slot,
+        )
+        .pattern(found.scenario.pattern.clone())
+        .expected(found.scenario.expected_outcome)
+        .name(found.scenario.name.clone());
+    let again = minimize(&harness, &pinned, &cancel).unwrap();
+    assert_eq!(again.scenario, found.scenario);
+    assert_eq!(again.initial_sites, 1, "explicit site restricts population");
+
+    // An unreproducible expectation is a typed error, not a bogus spec.
+    let impossible = MinimizeSpec::cell("mm", "C")
+        .site(
+            found.scenario.sites[0].record_id,
+            found.scenario.sites[0].slot,
+        )
+        .pattern(found.scenario.pattern.clone())
+        .expected(
+            if found.scenario.expected_outcome == moard::vm::OutcomeClass::Crashed {
+                moard::vm::OutcomeClass::Incorrect
+            } else {
+                moard::vm::OutcomeClass::Crashed
+            },
+        );
+    match minimize(&harness, &impossible, &cancel) {
+        Err(MoardError::InvalidConfig(msg)) => {
+            assert!(msg.contains("nothing to minimize"), "{msg}")
+        }
+        other => panic!("expected a typed finder failure, got {other:?}"),
+    }
+}

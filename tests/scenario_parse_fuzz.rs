@@ -1,0 +1,158 @@
+//! Fuzz-style robustness tests for the scenario-spec parser: seeded
+//! garbage, truncations, and structurally wrong documents must all come
+//! back as typed [`MoardError`]s — never a panic — and every committed
+//! spec must survive a parse → serialize → parse round trip bit-exactly.
+
+use moard::model::{MoardError, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+const SEEDS: u64 = 256;
+
+/// A committed spec to mutate, in canonical file form.
+fn canonical_corpus() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios");
+    let mut texts: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/scenarios/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    texts.sort();
+    assert!(!texts.is_empty());
+    texts
+}
+
+fn random_garbage(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| {
+            // Bias toward JSON-ish punctuation so some inputs get deep
+            // into the parser before failing.
+            const ALPHABET: &[u8] = br#"{}[]",:0123456789.eE+-truefalsnl \x"#;
+            ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char
+        })
+        .collect()
+}
+
+#[test]
+fn garbage_documents_are_typed_errors_never_panics() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..400);
+        let text = random_garbage(&mut rng, len);
+        if let Ok(spec) = ScenarioSpec::from_json_str(&text) {
+            // Astronomically unlikely, but if garbage happens to parse it
+            // must still be a coherent spec.
+            spec.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn truncated_specs_are_typed_errors_never_panics() {
+    let corpus = canonical_corpus();
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0x7A5C ^ seed);
+        let base = &corpus[rng.gen_range(0usize..corpus.len())];
+        // Cut strictly before the outermost closing brace: everything up to
+        // there is an unterminated object (cutting inside the trailing
+        // "}\n" would leave the document intact).
+        let close = base.rfind('}').unwrap();
+        let cut = rng.gen_range(0usize..close);
+        match ScenarioSpec::from_json_str(&base[..cut]) {
+            // A prefix of a pretty-printed object is never a complete
+            // object, so truncation must always be rejected.
+            Err(
+                MoardError::Json(_)
+                | MoardError::InvalidConfig(_)
+                | MoardError::SchemaMismatch { .. },
+            ) => {}
+            Err(other) => panic!("seed {seed}: unexpected error kind {other:?}"),
+            Ok(_) => panic!("seed {seed}: truncated spec (cut at {cut}) parsed"),
+        }
+    }
+}
+
+#[test]
+fn mutated_specs_never_panic_and_surviving_parses_validate_shapewise() {
+    // Splice random edits into valid documents: flipped characters,
+    // deleted spans, duplicated spans.  Anything that still parses AND
+    // validates must then round-trip bit-exactly.
+    let corpus = canonical_corpus();
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0xFACE_0000 ^ seed);
+        let mut text = corpus[rng.gen_range(0usize..corpus.len())].clone();
+        for _ in 0..rng.gen_range(1usize..4) {
+            if text.is_empty() {
+                break;
+            }
+            let a = rng.gen_range(0usize..text.len());
+            let b = (a + rng.gen_range(1usize..8)).min(text.len());
+            if !text.is_char_boundary(a) || !text.is_char_boundary(b) {
+                continue;
+            }
+            match rng.gen_range(0u32..3) {
+                0 => text.replace_range(a..b, "7"),
+                1 => text.replace_range(a..b, ""),
+                _ => {
+                    let span = text[a..b].to_string();
+                    text.insert_str(a, &span);
+                }
+            }
+        }
+        if let Ok(spec) = ScenarioSpec::from_json_str(&text) {
+            if spec.validate().is_ok() {
+                let reparsed = ScenarioSpec::from_json_str(&spec.to_file_string()).unwrap();
+                assert_eq!(reparsed, spec, "seed {seed}: round trip drifted");
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_shape_documents_are_rejected_with_context() {
+    // Structurally wrong in ways a fuzzer is unlikely to hit: right JSON,
+    // wrong schema.
+    let cases: &[&str] = &[
+        "null",
+        "[]",
+        "42",
+        "\"moard-scenario\"",
+        "{}",
+        r#"{"kind": "moard-scenario"}"#,
+        r#"{"schema_version": 1, "kind": "moard-report"}"#,
+        r#"{"schema_version": 99, "kind": "moard-scenario"}"#,
+        r#"{"schema_version": 1, "kind": "moard-scenario", "name": 7}"#,
+        r#"{"schema_version": 1, "kind": "moard-scenario", "name": "x",
+            "workload": "mm", "object": "C", "sites": "none"}"#,
+        r#"{"schema_version": 1, "kind": "moard-scenario", "name": "x",
+            "workload": "mm", "object": "C",
+            "sites": [{"record_id": -1, "slot": "operand:0"}]}"#,
+        r#"{"schema_version": 1, "kind": "moard-scenario", "name": "x",
+            "workload": "mm", "object": "C",
+            "sites": [{"record_id": 3, "slot": "register:9"}]}"#,
+    ];
+    for (i, text) in cases.iter().enumerate() {
+        match ScenarioSpec::from_json_str(text) {
+            Err(
+                MoardError::Json(_)
+                | MoardError::InvalidConfig(_)
+                | MoardError::SchemaMismatch { .. },
+            ) => {}
+            Err(other) => panic!("case {i}: unexpected error kind {other:?}"),
+            Ok(spec) => panic!("case {i}: wrong-shape document parsed as {spec:?}"),
+        }
+    }
+}
+
+#[test]
+fn committed_specs_round_trip_bit_exactly() {
+    for text in canonical_corpus() {
+        let spec = ScenarioSpec::from_json_str(&text).unwrap();
+        assert_eq!(spec.to_file_string(), text);
+        let reparsed = ScenarioSpec::from_json_str(&spec.to_file_string()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+}

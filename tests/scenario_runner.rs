@@ -1,0 +1,102 @@
+//! The scenario runner: every committed scenario spec under
+//! `tests/scenarios/` is replayed against a freshly prepared harness and
+//! must reproduce its expected verdict **bit-exactly** — the per-site
+//! outcome classes, the model's masking class under the spec's window, and
+//! the report-fragment fingerprint.
+//!
+//! A failure here means an engine change altered the behavior a minimized
+//! divergence was frozen to pin down.  If the change is intentional,
+//! regenerate the expected fragments with
+//!
+//! ```text
+//! UPDATE_SCENARIOS=1 cargo test --test scenario_runner
+//! ```
+//!
+//! and commit the rewritten specs (see docs/REPORT_SCHEMA.md, "Golden and
+//! scenario regeneration").
+
+use moard::inject::{load_scenario_dir, replay_scenario, HarnessCache};
+use moard::model::ScenarioSpec;
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
+}
+
+fn committed_scenarios() -> Vec<(PathBuf, ScenarioSpec)> {
+    load_scenario_dir(&scenarios_dir()).expect("tests/scenarios/ loads")
+}
+
+#[test]
+fn the_scenario_corpus_is_nonempty_and_well_formed() {
+    let scenarios = committed_scenarios();
+    assert!(
+        scenarios.len() >= 3,
+        "tests/scenarios/ should hold the seeded corpus, found {}",
+        scenarios.len()
+    );
+    for (path, spec) in &scenarios {
+        spec.validate().unwrap_or_else(|e| {
+            panic!("{} does not validate: {e}", path.display());
+        });
+        // The file name is the canonical one, so a spec cannot shadow a
+        // differently named sibling.
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(spec.file_name().as_str()),
+            "{} is not named after its scenario",
+            path.display()
+        );
+        // Committed files are exactly what `write_scenario` emits, byte for
+        // byte — regeneration must never produce spurious diffs.
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            text,
+            spec.to_file_string(),
+            "{} is not in canonical form",
+            path.display()
+        );
+    }
+    // At least one committed scenario exercises a multi-bit error pattern.
+    assert!(
+        scenarios.iter().any(|(_, s)| s.pattern.bits.len() >= 2),
+        "the corpus should include a multi-bit scenario"
+    );
+}
+
+#[test]
+fn every_committed_scenario_replays_bit_exactly() {
+    let registry = moard::full_registry();
+    let cache = HarnessCache::new();
+    let update = std::env::var("UPDATE_SCENARIOS").is_ok_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for (path, spec) in committed_scenarios() {
+        let harness = cache
+            .get_or_prepare(&registry, &spec.workload)
+            .unwrap_or_else(|e| panic!("{}: harness: {e}", path.display()));
+        let replay = replay_scenario(&harness, &spec)
+            .unwrap_or_else(|e| panic!("{}: replay: {e}", path.display()));
+        if update {
+            // Refresh the expected fragment from the observed replay: the
+            // sites, pattern, window, and seed stay what the minimizer
+            // found; the expectations become what the engine now does.
+            let refreshed = ScenarioSpec {
+                expected_outcome: replay.fragment.outcomes[0].1,
+                expected_model_class: replay.fragment.model_class,
+                fragment_fingerprint: replay.fingerprint(),
+                ..spec.clone()
+            };
+            std::fs::write(&path, refreshed.to_file_string()).unwrap();
+            continue;
+        }
+        if let Some(problem) = replay.mismatch(&spec) {
+            failures.push(format!("{}: {problem}", path.display()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario replays diverged (rerun with UPDATE_SCENARIOS=1 if the \
+         engine change is intentional):\n  {}",
+        failures.join("\n  ")
+    );
+}
