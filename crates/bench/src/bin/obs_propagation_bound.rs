@@ -39,7 +39,7 @@ fn main() {
                 for site in sites.iter().step_by(stride) {
                     let rec = harness.trace().record(site.record_id).unwrap();
                     let bit = 62 % site.bit_width();
-                    let verdict = analyze_operation(rec, site.slot, &ErrorPattern::single(bit));
+                    let verdict = analyze_operation(&rec, site.slot, &ErrorPattern::single(bit));
                     let corrupt = match verdict {
                         OpVerdict::Propagate { corrupt } => corrupt,
                         OpVerdict::OvershadowCandidate { corrupt } => corrupt,

@@ -23,7 +23,7 @@ use moard_inject::{
     Parallelism, StudyRunner, StudySpec, ValidationRunner, ValidationSpec, WorkloadSelector,
 };
 use moard_json::{Json, JsonError};
-use moard_vm::{run_traced, Trace, TraceStats, Vm};
+use moard_vm::{run_traced, run_traced_with, Trace, TraceBackendSpec, TraceStats, Vm};
 use moard_workloads::{MatMul, MmConfig, Pf, Registry, Workload};
 
 /// Version of the `BENCH_*.json` schema this build writes and reads.
@@ -219,7 +219,10 @@ pub struct SmokeReport {
 /// object), `propagation_k/{mm,pf}/k=50` (replay of every collected
 /// propagation seed with the paper's default window),
 /// `patterns/mm/adjacent-bits:2` (the multi-bit analysis hot path — same
-/// MM instance, adjacent double-bit bursts), `sweep/mm+pf`
+/// MM instance, adjacent double-bit bursts), `paged/pf` (the same analytic
+/// PF analysis streamed through the paged on-disk trace backend with
+/// deliberately small segments, gating segment decode, checksum
+/// verification, and seam handling), `sweep/mm+pf`
 /// (the study driver end to end: spec expansion, harness preparation, and
 /// per-task scheduling over both workloads, single-threaded so the timing
 /// gates the scheduler's overhead rather than the machine's core count),
@@ -268,6 +271,32 @@ pub fn run_suite() -> SmokeReport {
         let analyzer = AdvfAnalyzer::new(&mm.trace, multibit.clone());
         black_box(analyzer.analyze(mm.object, mm.object_name, &mm.workload, None));
     }));
+    // The out-of-core hot path: the same analytic PF analysis as
+    // `advf_analysis/pf`, but streamed through the paged trace backend —
+    // segment decode, checksum verification, and the per-reader LRU are
+    // all on the clock.  The spill is written off the clock; segments far
+    // below the default size force every replay window across seams, so
+    // the timing gates the backend's seam handling, not just its decoder.
+    let pf = &workloads[1];
+    assert_eq!(pf.key, "pf", "the suite's second workload is PF");
+    let pf_module = pf_default().build();
+    let (_, paged_pf) = run_traced_with(
+        &pf_module,
+        &TraceBackendSpec::Paged {
+            dir: None,
+            segment_records: 1024,
+        },
+    )
+    .expect("PF builds and runs on the paged backend");
+    assert_eq!(paged_pf.len() as u64, pf.trace.stats().records);
+    benches.push(bench("paged/pf", 2, 10, || {
+        let analyzer = AdvfAnalyzer::new(paged_pf.storage(), config.clone());
+        black_box(analyzer.analyze(pf.object, pf.object_name, &pf.workload, None));
+    }));
+    assert!(
+        moard_vm::TraceStorage::poisoned(&paged_pf).is_none(),
+        "the paged PF spill must stay healthy across the timed rounds"
+    );
     let registry = smoke_registry();
     let spec = sweep_spec();
     benches.push(bench("sweep/mm+pf", 1, 5, || {
@@ -308,6 +337,7 @@ pub fn run_suite() -> SmokeReport {
         addr: "127.0.0.1:0".into(),
         threads: 2,
         store: Some(store.clone()),
+        ..Default::default()
     })
     .expect("the smoke daemon binds an ephemeral port");
     let addr = daemon.addr();

@@ -70,19 +70,19 @@ macro_rules! out {
 const USAGE: &str = "usage: moard [--format json|text] <command> [args]
   moard list
   moard analyze <workload> [object] [--k N] [--stride N] [--max-dfi N] [--patterns P]
-                [--no-dfi] [--seq]
+                [--no-dfi] [--seq] [--trace-backend B]
   moard report  <workload> [object...] [--k N] [--stride N] [--max-dfi N] [--patterns P]
-                [--no-dfi]
+                [--no-dfi] [--trace-backend B]
   moard sweep   [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
                 [--k N,N...] [--stride N,N...] [--max-dfi N|unbounded,...]
                 [--patterns P,P...] [--no-dfi]
                 [--rfi-tests N,N...] [--rfi-seed N] [--store DIR] [--resume]
-                [--seq | --threads N]
+                [--seq | --threads N] [--trace-backend B]
   moard validate [workload...] [--workloads all|table1|w1,w2] [--objects o1,o2]
                 [--k N] [--stride N] [--max-dfi N|unbounded] [--patterns P] [--no-dfi]
                 [--confidence 90|95|99] [--margin F] [--max-trials N] [--seed N]
                 [--tolerance F] [--store DIR] [--resume] [--seq | --threads N]
-                [--emit-scenarios DIR]
+                [--emit-scenarios DIR] [--trace-backend B]
   moard inject  <workload> <object> [--tests N] [--seed N] [--patterns P]
                 [--exhaustive] [--budget N]
   moard minimize <workload> <object> [--report FILE] [--site REC:SLOT]
@@ -90,6 +90,7 @@ const USAGE: &str = "usage: moard [--format json|text] <command> [args]
                 [--expect CLASS] [--seed N] [--name NAME] [--emit-scenario DIR]
   moard rank    <workload> [--k N] [--stride N] [--max-dfi N] [--patterns P]
   moard serve   [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]
+                [--trace-backend B]
   moard client  <ping|metrics|cancel <job>|shutdown> --addr HOST:PORT
   moard client  <analyze|sweep|validate|minimize> --addr HOST:PORT
                 [--priority low|normal|high] [job flags as for the local
@@ -106,6 +107,9 @@ options:
                        explicit:b+b,b,... (sweep accepts a comma list grid)
   --no-dfi             purely analytical lower bound (no fault injection)
   --seq                analyze objects sequentially (default: parallel)
+  --trace-backend B    trace storage: memory (default) or paged[:DIR] — paged
+                       streams fixed-size on-disk segments so traces never
+                       need to fit in RAM; reports are bit-identical
 
 sweep options (grid flags take comma-separated lists; the sweep covers the
 full workload x object x grid cross-product):
@@ -258,6 +262,7 @@ const VALUED_FLAGS: &[&str] = &[
     "--name",
     "--emit-scenario",
     "--emit-scenarios",
+    "--trace-backend",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--no-dfi", "--seq", "--exhaustive", "--resume"];
@@ -274,6 +279,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--patterns",
         "--no-dfi",
         "--seq",
+        "--trace-backend",
     ];
     const SWEEP: &[&str] = &[
         "--k",
@@ -289,6 +295,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--store",
         "--resume",
         "--threads",
+        "--trace-backend",
     ];
     const VALIDATE: &[&str] = &[
         "--k",
@@ -308,6 +315,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--resume",
         "--threads",
         "--emit-scenarios",
+        "--trace-backend",
     ];
     const INJECT: &[&str] = &[
         "--k",
@@ -333,7 +341,13 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "--name",
         "--emit-scenario",
     ];
-    const SERVE: &[&str] = &["--addr", "--port", "--threads", "--store"];
+    const SERVE: &[&str] = &[
+        "--addr",
+        "--port",
+        "--threads",
+        "--store",
+        "--trace-backend",
+    ];
     // The union of every job the client can submit, plus the connection
     // flags.  No `--seq`/`--threads` (the daemon's pool decides), no
     // `--store`/`--resume` (the store lives with the daemon).
@@ -488,6 +502,19 @@ fn patterns_flag(args: &[String]) -> Result<Option<moard_core::ErrorPatternSet>,
     }
 }
 
+/// The shared `--trace-backend memory|paged[:DIR]` flag of the analysis,
+/// sweep, validate, and serve subcommands.  Purely an execution-resource
+/// choice — never part of any fingerprint, and reports are bit-identical
+/// across backends.
+fn trace_backend_flag(args: &[String]) -> Result<Option<moard_vm::TraceBackendSpec>, MoardError> {
+    match str_flag_value(args, "--trace-backend")? {
+        None => Ok(None),
+        Some(text) => moard_vm::TraceBackendSpec::parse(text)
+            .map(Some)
+            .map_err(|e| MoardError::InvalidConfig(format!("flag `--trace-backend`: {e}"))),
+    }
+}
+
 /// Value of a fractional `--flag F` (e.g. `--margin 0.05`).
 fn float_flag_value(args: &[String], flag: &str) -> Result<Option<f64>, MoardError> {
     let Some(text) = str_flag_value(args, flag)? else {
@@ -590,6 +617,9 @@ fn configured_session(
     }
     if has_flag(&cli.args, "--seq") {
         builder = builder.parallelism(Parallelism::Sequential);
+    }
+    if let Some(backend) = trace_backend_flag(&cli.args)? {
+        builder = builder.trace_backend(backend);
     }
     Ok(builder)
 }
@@ -786,6 +816,9 @@ fn cmd_sweep(cli: &Cli) -> Result<(), CliError> {
     if let (Some(dir), resume) = store_flags(&cli.args)? {
         runner = runner.store(dir)?.resume(resume);
     }
+    if let Some(backend) = trace_backend_flag(&cli.args)? {
+        runner = runner.trace_backend(backend);
+    }
     let (report, stats) = runner.run_detailed_in(&cli.registry)?;
     match cli.format {
         Format::Json => out!("{}", report.to_json().to_pretty()),
@@ -924,13 +957,20 @@ fn cmd_validate(cli: &Cli) -> Result<(), CliError> {
     if let (Some(dir), resume) = store_flags(&cli.args)? {
         runner = runner.store(dir)?.resume(resume);
     }
+    let backend = trace_backend_flag(&cli.args)?;
+    if let Some(backend) = &backend {
+        runner = runner.trace_backend(backend.clone());
+    }
     let (report, stats) = runner.run_detailed_in(&cli.registry)?;
     match cli.format {
         Format::Json => out!("{}", report.to_json().to_pretty()),
         Format::Text => print_validation(&report, &stats, &cli.registry),
     }
     if let Some(dir) = str_flag_value(&cli.args, "--emit-scenarios")? {
-        let cache = moard_inject::HarnessCache::new();
+        let cache = match backend {
+            Some(backend) => moard_inject::HarnessCache::with_backend(backend),
+            None => moard_inject::HarnessCache::new(),
+        };
         let cancel = moard_inject::CancelToken::new();
         let outcome = moard_inject::emit_validation_scenarios(
             &report,
@@ -1332,6 +1372,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), CliError> {
         addr,
         threads: threads_flag(&cli.args)?.unwrap_or(0),
         store: str_flag_value(&cli.args, "--store")?.map(Into::into),
+        trace_backend: trace_backend_flag(&cli.args)?.unwrap_or_default(),
     })?;
     // Scraped by scripts and CI (port 0 resolves to the ephemeral port
     // here): keep the exact shape, and flush before the blocking join.

@@ -24,7 +24,7 @@ use crate::op_rules::{analyze_operation, OpVerdict};
 use crate::propagation::{PropagationResult, ReplayCursor};
 use crate::resolver::{DfiResolver, EquivalenceCache, EquivalenceKey};
 use crate::sites::{enumerate_strided_sites, ParticipationSite, SiteSlot};
-use moard_vm::{ObjectId, OutcomeClass, Trace, TraceRecord};
+use moard_vm::{ObjectId, OutcomeClass, TraceRecord, TraceStorage};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Analyzer configuration.
@@ -116,14 +116,17 @@ impl AnalysisConfig {
     }
 }
 
-/// The aDVF analyzer bound to one dynamic trace.
+/// The aDVF analyzer bound to one dynamic trace (either storage backend —
+/// in-memory or paged; the analysis itself never needs the whole trace
+/// resident).
 ///
 /// The analyzer is `Sync`: the trace is immutable, the equivalence cache is
 /// internally locked, and the DFI-budget flag is atomic, so sharded per-site
 /// analysis ([`AdvfAnalyzer::analyze_sharded`]) can share one analyzer
-/// across worker threads.
+/// across worker threads — each worker holds its own [`ReplayCursor`] (and
+/// thus its own segment reader on the paged backend).
 pub struct AdvfAnalyzer<'a> {
-    trace: &'a Trace,
+    trace: &'a dyn TraceStorage,
     config: AnalysisConfig,
     cache: EquivalenceCache,
     dfi_budget_exhausted: AtomicBool,
@@ -131,7 +134,7 @@ pub struct AdvfAnalyzer<'a> {
 
 impl<'a> AdvfAnalyzer<'a> {
     /// Create an analyzer over `trace`.
-    pub fn new(trace: &'a Trace, config: AnalysisConfig) -> Self {
+    pub fn new(trace: &'a dyn TraceStorage, config: AnalysisConfig) -> Self {
         AdvfAnalyzer {
             trace,
             config,
@@ -344,9 +347,10 @@ impl<'a> AdvfAnalyzer<'a> {
         resolver: Option<&dyn DfiResolver>,
         tallies: &mut Vec<PatternClassTally>,
     ) -> (Vec<(Masking, f64)>, bool) {
-        let rec = self
-            .trace
-            .record(site.record_id)
+        // Fetch through the cursor's warm reader: on the paged backend the
+        // site's segment is (or is about to be) in the replay LRU anyway.
+        let rec = cursor
+            .fetch(site.record_id)
             .expect("site references a record in this trace");
         let patterns = self.config.patterns.patterns_for(site.value.ty());
         if patterns.is_empty() {
@@ -356,7 +360,7 @@ impl<'a> AdvfAnalyzer<'a> {
         let mut counts: Vec<(Masking, u64)> = Vec::new();
         let mut used_dfi = false;
         for pattern in &patterns {
-            let (class, dfi) = self.classify_in(cursor, rec, site, pattern.clone(), resolver);
+            let (class, dfi) = self.classify_in(cursor, &rec, site, pattern.clone(), resolver);
             used_dfi |= dfi;
             record_pattern_class(tallies, pattern.bits.len() as u32, class);
             if class == Masking::NotMasked {

@@ -142,6 +142,12 @@ impl From<JsonError> for MoardError {
     }
 }
 
+impl From<moard_vm::TraceError> for MoardError {
+    fn from(e: moard_vm::TraceError) -> Self {
+        MoardError::Vm(VmError::Trace(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,9 +24,13 @@
 //! site × every error pattern replays a window), so the implementation is
 //! tuned accordingly:
 //!
-//! * the trace is walked through [`moard_vm::Trace::window`], a zero-copy
-//!   slice cursor — sharded per-site replay across worker threads shares one
-//!   immutable trace with no cloning;
+//! * the trace is walked through [`moard_vm::TraceRead`] *runs* — zero-copy
+//!   slices of contiguous decoded records.  For the in-memory backend a run
+//!   is simply the trace tail (the old `Trace::window` cursor); for the
+//!   paged backend it is the suffix of one decoded segment, so replay
+//!   streams segments without ever needing the full trace resident.
+//!   Sharded per-site replay across worker threads shares one immutable
+//!   trace with no cloning — each cursor owns its own reader;
 //! * the live corrupted state (`ShadowState`) is a pair of small linear
 //!   vectors, not hash maps: live sets are almost always a handful of
 //!   locations, where linear probing beats hashing by a wide margin;
@@ -36,7 +40,7 @@
 
 use crate::op_rules::CorruptLoc;
 use moard_ir::{eval_binop, eval_cast, eval_cmp, eval_intrinsic, RegId, Value};
-use moard_vm::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource};
+use moard_vm::{TraceOp, TraceRead, TraceRecord, TraceStorage, TracedVal, ValueSource};
 
 /// Why the replay could not settle the masking question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,29 +187,42 @@ impl ShadowState {
     }
 }
 
-/// A reusable replay cursor over one immutable trace.
+/// A reusable replay cursor over one immutable trace (either backend).
 ///
-/// The cursor owns the shadow-state buffers, so a loop replaying many sites
-/// (the aDVF analyzer, a sharded worker) allocates nothing per replay.  The
-/// trace itself is only borrowed — any number of cursors in any number of
-/// threads can walk the same trace concurrently.
+/// The cursor owns the shadow-state buffers *and* a [`TraceRead`] reader, so
+/// a loop replaying many sites (the aDVF analyzer, a sharded worker)
+/// allocates nothing per replay and — on the paged backend — keeps a warm
+/// LRU of decoded segments across the whole site loop.  The trace itself is
+/// only borrowed: any number of cursors in any number of threads can walk
+/// the same trace concurrently.
 pub struct ReplayCursor<'t> {
-    trace: &'t Trace,
+    trace: &'t dyn TraceStorage,
+    len: u64,
+    reader: Box<dyn TraceRead + 't>,
     state: ShadowState,
 }
 
 impl<'t> ReplayCursor<'t> {
     /// A cursor over `trace` with empty state buffers.
-    pub fn new(trace: &'t Trace) -> Self {
+    pub fn new(trace: &'t dyn TraceStorage) -> Self {
         ReplayCursor {
             trace,
+            len: trace.len(),
+            reader: trace.new_reader(),
             state: ShadowState::default(),
         }
     }
 
     /// The trace this cursor walks.
-    pub fn trace(&self) -> &'t Trace {
+    pub fn trace(&self) -> &'t dyn TraceStorage {
         self.trace
+    }
+
+    /// Clone one record out of the trace through this cursor's warm reader
+    /// (on the paged backend a fresh reader would decode a full segment per
+    /// lookup; site loops hit the same segments their replays just paged in).
+    pub fn fetch(&mut self, id: u64) -> Option<TraceRecord> {
+        self.reader.fetch(id)
     }
 
     /// Replay the trace from `start_index` (a record position, usually
@@ -227,28 +244,40 @@ impl<'t> ReplayCursor<'t> {
             return PropagationResult::AllMasked { ops_examined: 0 };
         }
         let mut examined = 0usize;
-        for rec in self.trace.window(start_index) {
-            if examined >= k {
-                return PropagationResult::Unresolved {
-                    reason: UnresolvedReason::WindowExhausted,
-                    live_locations: state.live(),
-                };
+        let mut pos = start_index as u64;
+        while pos < self.len {
+            // One run = the longest contiguous decoded stretch from `pos`
+            // (the whole tail in memory, a segment suffix when paged).  An
+            // empty run before the end means the backend poisoned itself on
+            // a decode error; stop here — the harness surfaces the error.
+            let run = self.reader.run_from(pos);
+            if run.is_empty() {
+                break;
             }
-            examined += 1;
-            match step(rec, state) {
-                StepResult::Continue => {}
-                StepResult::Unresolved(reason) => {
+            for rec in run {
+                if examined >= k {
                     return PropagationResult::Unresolved {
-                        reason,
+                        reason: UnresolvedReason::WindowExhausted,
                         live_locations: state.live(),
+                    };
+                }
+                examined += 1;
+                match step(rec, state) {
+                    StepResult::Continue => {}
+                    StepResult::Unresolved(reason) => {
+                        return PropagationResult::Unresolved {
+                            reason,
+                            live_locations: state.live(),
+                        }
                     }
                 }
+                if state.is_clean() {
+                    return PropagationResult::AllMasked {
+                        ops_examined: examined,
+                    };
+                }
             }
-            if state.is_clean() {
-                return PropagationResult::AllMasked {
-                    ops_examined: examined,
-                };
-            }
+            pos += run.len() as u64;
         }
         // Trace ended.  Registers of finished frames are dead state; only
         // corrupted memory can still influence the snapshot the outcome is
@@ -269,7 +298,7 @@ impl<'t> ReplayCursor<'t> {
 /// One-shot replay: build a throw-away [`ReplayCursor`] and run it.  Loops
 /// over many sites should hold a cursor instead to reuse its buffers.
 pub fn replay(
-    trace: &Trace,
+    trace: &dyn TraceStorage,
     start_index: usize,
     initial: &[CorruptLoc],
     k: usize,
@@ -532,7 +561,7 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
 mod tests {
     use super::*;
     use moard_ir::prelude::*;
-    use moard_vm::run_traced;
+    use moard_vm::{run_traced, Trace};
 
     /// x = a[0]; y = x * 2; a[1] = y; a[1] = 7.0; return a[1]
     /// An error in a[0] propagates into a[1] but is overwritten by the later
@@ -895,7 +924,12 @@ mod tests {
         let (_, trace) = run_traced(&m).unwrap();
         let (start, seed) = corrupt_reg_seed(&trace, "fmul");
         let mut cursor = ReplayCursor::new(&trace);
-        assert!(std::ptr::eq(cursor.trace(), &trace));
+        // Same underlying storage (compare data pointers; the trait object
+        // reference is fat).
+        assert!(std::ptr::eq(
+            cursor.trace() as *const dyn TraceStorage as *const u8,
+            &trace as *const moard_vm::Trace as *const u8
+        ));
         for _ in 0..3 {
             for k in [1usize, 2, 50] {
                 assert_eq!(

@@ -10,7 +10,7 @@
 
 use crate::error_pattern::{ErrorPattern, ErrorPatternSet};
 use moard_ir::Value;
-use moard_vm::{FaultSpec, FaultTarget, ObjectId, Trace, TraceOp, TraceRecord};
+use moard_vm::{FaultSpec, FaultTarget, ObjectId, TraceOp, TraceRecord, TraceStorage};
 
 /// Which value of the operation holds the target data object's element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,11 +87,16 @@ impl ParticipationSite {
 ///
 /// Served from the trace's per-object record index: only the records known
 /// to touch `obj` are visited, so the cost is proportional to the object's
-/// participation count, not to the trace length.
-pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
+/// participation count, not to the trace length.  On the paged backend the
+/// reader streams the touched segments through its LRU — the enumeration
+/// never needs the full trace resident.
+pub fn enumerate_sites(trace: &dyn TraceStorage, obj: ObjectId) -> Vec<ParticipationSite> {
     let mut out = Vec::new();
-    for rec in trace.records_touching(obj) {
-        collect_sites_for_record(rec, obj, &mut out);
+    let mut reader = trace.new_reader();
+    for &id in trace.index().ids(obj) {
+        if let Some(rec) = reader.run_from(id).first() {
+            collect_sites_for_record(rec, obj, &mut out);
+        }
     }
     out
 }
@@ -105,7 +110,7 @@ pub fn enumerate_sites(trace: &Trace, obj: ObjectId) -> Vec<ParticipationSite> {
 /// different subsets (which would turn model-error measurements into
 /// sampling bias).
 pub fn enumerate_strided_sites(
-    trace: &Trace,
+    trace: &dyn TraceStorage,
     obj: ObjectId,
     stride: usize,
 ) -> Vec<ParticipationSite> {
@@ -127,10 +132,13 @@ pub fn enumerate_strided_sites(
 /// materializing the full enumeration.  (A record can touch an object
 /// without contributing a site — a bare load whose value is never consumed —
 /// so a non-empty index alone is not sufficient.)
-pub fn has_sites(trace: &Trace, obj: ObjectId) -> bool {
+pub fn has_sites(trace: &dyn TraceStorage, obj: ObjectId) -> bool {
     let mut scratch = Vec::new();
-    trace.records_touching(obj).any(|rec| {
-        collect_sites_for_record(rec, obj, &mut scratch);
+    let mut reader = trace.new_reader();
+    trace.index().ids(obj).iter().any(|&id| {
+        if let Some(rec) = reader.run_from(id).first() {
+            collect_sites_for_record(rec, obj, &mut scratch);
+        }
         !scratch.is_empty()
     })
 }
@@ -175,7 +183,11 @@ pub fn collect_sites_for_record(
 /// every participation site contributes one injection site per pattern the
 /// set enumerates for its element type, so the same population the aDVF
 /// analyzer walks and the RFI sampler draws from is being counted.
-pub fn count_fault_sites(trace: &Trace, obj: ObjectId, patterns: &ErrorPatternSet) -> u64 {
+pub fn count_fault_sites(
+    trace: &dyn TraceStorage,
+    obj: ObjectId,
+    patterns: &ErrorPatternSet,
+) -> u64 {
     enumerate_sites(trace, obj)
         .iter()
         .map(|s| s.pattern_count(patterns) as u64)

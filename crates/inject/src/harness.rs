@@ -18,14 +18,22 @@ use crate::stats::CampaignStats;
 use moard_core::{
     enumerate_sites, AdvfAnalyzer, AdvfReport, AnalysisConfig, MoardError, ParticipationSite,
 };
-use moard_vm::{DataObjectRegistry, ExecOutcome, ObjectId, Trace, Vm, VmConfig};
+use moard_vm::{
+    DataObjectRegistry, ExecOutcome, ObjectId, TraceBackendSpec, TraceData, Vm, VmConfig,
+};
 use moard_workloads::Workload;
 
 /// A fully prepared workload: module, golden run, trace, object table, and
 /// injector.
+///
+/// The dynamic trace lives in the backend selected at construction
+/// ([`WorkloadHarness::new_with`]): the in-memory default, or the paged
+/// on-disk backend that streams fixed-size record segments through a small
+/// per-reader LRU — reports are bit-identical either way (the backend is an
+/// execution-resource choice, never an analysis input).
 pub struct WorkloadHarness {
     injector: DeterministicInjector,
-    trace: Trace,
+    trace: TraceData,
     traced_outcome: ExecOutcome,
     /// Data-object table, resolved once at construction (object lookups used
     /// to rebuild a whole `Vm` per call).
@@ -33,8 +41,17 @@ pub struct WorkloadHarness {
 }
 
 impl WorkloadHarness {
-    /// Prepare the harness for a workload (builds, runs, and traces it).
+    /// Prepare the harness for a workload (builds, runs, and traces it) with
+    /// the trace held in memory.
     pub fn new(workload: Box<dyn Workload>) -> Result<Self, MoardError> {
+        Self::new_with(workload, &TraceBackendSpec::Memory)
+    }
+
+    /// Prepare the harness with the trace recorded into the given backend.
+    pub fn new_with(
+        workload: Box<dyn Workload>,
+        backend: &TraceBackendSpec,
+    ) -> Result<Self, MoardError> {
         let injector = DeterministicInjector::new(workload)?;
         let vm = Vm::new(
             injector.module(),
@@ -44,7 +61,7 @@ impl WorkloadHarness {
             },
         )?;
         let objects = vm.objects().clone();
-        let (traced_outcome, trace) = vm.execute_traced();
+        let (traced_outcome, trace) = vm.execute_traced_with(backend)?;
         if !traced_outcome.bits_identical(injector.golden()) {
             return Err(MoardError::TracePerturbed {
                 workload: injector.workload().name().to_string(),
@@ -73,6 +90,15 @@ impl WorkloadHarness {
         WorkloadHarness::new(create_workload(registry, name)?)
     }
 
+    /// [`WorkloadHarness::by_name_in`] with an explicit trace backend.
+    pub fn by_name_in_with(
+        registry: &dyn moard_workloads::WorkloadRegistry,
+        name: &str,
+        backend: &TraceBackendSpec,
+    ) -> Result<Self, MoardError> {
+        WorkloadHarness::new_with(create_workload(registry, name)?, backend)
+    }
+
     /// The workload under study.
     pub fn workload(&self) -> &dyn Workload {
         self.injector.workload()
@@ -88,9 +114,19 @@ impl WorkloadHarness {
         self.injector.golden()
     }
 
-    /// The recorded dynamic trace.
-    pub fn trace(&self) -> &Trace {
+    /// The recorded dynamic trace (either backend).
+    pub fn trace(&self) -> &TraceData {
         &self.trace
+    }
+
+    /// Surface any I/O or corruption error the paged backend recorded while
+    /// an (infallible) replay loop was streaming segments.  The in-memory
+    /// backend never poisons, so this is free on the default path.
+    fn check_trace(&self) -> Result<(), MoardError> {
+        match moard_vm::TraceStorage::poisoned(&self.trace) {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// Summary statistics of the trace and its per-object index.
@@ -123,7 +159,9 @@ impl WorkloadHarness {
     /// Participation sites of a data object.
     pub fn sites(&self, object: &str) -> Result<Vec<ParticipationSite>, MoardError> {
         let id = self.object_id(object)?;
-        Ok(enumerate_sites(&self.trace, id))
+        let sites = enumerate_sites(&self.trace, id);
+        self.check_trace()?;
+        Ok(sites)
     }
 
     /// The strided site subset an analysis with `stride` covers — the same
@@ -136,7 +174,9 @@ impl WorkloadHarness {
         stride: usize,
     ) -> Result<Vec<ParticipationSite>, MoardError> {
         let id = self.object_id(object)?;
-        Ok(moard_core::enumerate_strided_sites(&self.trace, id, stride))
+        let sites = moard_core::enumerate_strided_sites(&self.trace, id, stride);
+        self.check_trace()?;
+        Ok(sites)
     }
 
     /// Run the aDVF analysis for one data object, using deterministic fault
@@ -164,6 +204,9 @@ impl WorkloadHarness {
         config.validate()?;
         let id = self.object_id(object)?;
         if !moard_core::has_sites(&self.trace, id) {
+            // A backend read failure looks like "no sites" to the analytic
+            // layer; surface the recorded trace error over the empty result.
+            self.check_trace()?;
             return Err(MoardError::NoParticipationSites {
                 workload: self.workload().name().to_string(),
                 object: object.to_string(),
@@ -171,7 +214,9 @@ impl WorkloadHarness {
         }
         let analyzer = AdvfAnalyzer::new(&self.trace, config);
         let resolver = use_dfi.then_some(&self.injector as &dyn moard_core::DfiResolver);
-        Ok(analyzer.analyze(id, object, self.workload().name(), resolver))
+        let report = analyzer.analyze(id, object, self.workload().name(), resolver);
+        self.check_trace()?;
+        Ok(report)
     }
 
     /// Run the aDVF analysis for every target data object of the workload,
@@ -258,13 +303,17 @@ impl WorkloadHarness {
     ) -> Result<AdvfReport, MoardError> {
         let id = self.object_id(object)?;
         if !moard_core::has_sites(&self.trace, id) {
+            // See analyze_inner: a poisoned trace outranks an empty result.
+            self.check_trace()?;
             return Err(MoardError::NoParticipationSites {
                 workload: self.workload().name().to_string(),
                 object: object.to_string(),
             });
         }
         let analyzer = AdvfAnalyzer::new(&self.trace, config.clone());
-        Ok(analyzer.analyze_sharded(id, object, self.workload().name(), workers))
+        let report = analyzer.analyze_sharded(id, object, self.workload().name(), workers);
+        self.check_trace()?;
+        Ok(report)
     }
 
     /// Exhaustive (or strided) fault-injection campaign over one object.
@@ -321,12 +370,26 @@ impl WorkloadHarness {
 #[derive(Default)]
 pub struct HarnessCache {
     map: std::sync::RwLock<std::collections::HashMap<String, std::sync::Arc<WorkloadHarness>>>,
+    backend: TraceBackendSpec,
 }
 
 impl HarnessCache {
-    /// An empty cache.
+    /// An empty cache preparing harnesses with the in-memory trace backend.
     pub fn new() -> HarnessCache {
         HarnessCache::default()
+    }
+
+    /// An empty cache preparing every harness with the given trace backend.
+    pub fn with_backend(backend: TraceBackendSpec) -> HarnessCache {
+        HarnessCache {
+            backend,
+            ..HarnessCache::default()
+        }
+    }
+
+    /// The trace backend this cache prepares harnesses with.
+    pub fn backend(&self) -> &TraceBackendSpec {
+        &self.backend
     }
 
     /// The canonical cache key of a workload name or alias: aliases of the
@@ -355,7 +418,11 @@ impl HarnessCache {
         // preparers of the same workload build identical harnesses (the
         // pipeline is deterministic); the first insert wins and the loser's
         // copy is dropped.
-        let harness = std::sync::Arc::new(WorkloadHarness::by_name_in(registry, name)?);
+        let harness = std::sync::Arc::new(WorkloadHarness::by_name_in_with(
+            registry,
+            name,
+            &self.backend,
+        )?);
         let mut map = self.map.write().expect("harness cache poisoned");
         Ok(map.entry(key).or_insert(harness).clone())
     }
@@ -508,9 +575,10 @@ mod tests {
         assert!(stats.indexed_objects >= 3, "A, B and C are all touched");
         assert!(stats.index_entries > 0);
         let c = h.object_id("C").unwrap();
+        let mem = h.trace().as_memory().expect("default backend is memory");
         assert_eq!(
             h.trace().touching_ids(c).len(),
-            h.trace().records_touching(c).count()
+            mem.records_touching(c).count()
         );
     }
 

@@ -510,7 +510,7 @@ fn model_class_at(
     let analyzer = AdvfAnalyzer::new(harness.trace(), config);
     let resolver = harness.injector() as &dyn moard_core::DfiResolver;
     Ok(analyzer
-        .classify(rec, site, pattern.clone(), Some(resolver))
+        .classify(&rec, site, pattern.clone(), Some(resolver))
         .0)
 }
 

@@ -38,6 +38,7 @@ pub struct SessionBuilder {
     objects: Vec<String>,
     parallelism: Parallelism,
     use_dfi: bool,
+    trace_backend: moard_vm::TraceBackendSpec,
 }
 
 impl SessionBuilder {
@@ -48,6 +49,7 @@ impl SessionBuilder {
             objects: Vec::new(),
             parallelism: Parallelism::Auto,
             use_dfi: true,
+            trace_backend: moard_vm::TraceBackendSpec::Memory,
         }
     }
 
@@ -111,11 +113,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Trace storage backend: in-memory (default) or paged on-disk
+    /// segments.  An execution-resource choice only — it never enters the
+    /// configuration fingerprint, and reports are bit-identical across
+    /// backends.
+    pub fn trace_backend(mut self, backend: moard_vm::TraceBackendSpec) -> Self {
+        self.trace_backend = backend;
+        self
+    }
+
     /// Validate the configuration and prepare the session (module build,
     /// golden run, trace, object table).
     pub fn build(self) -> Result<AnalysisSession, MoardError> {
         self.config.validate()?;
-        let harness = WorkloadHarness::new(self.workload)?;
+        let harness = WorkloadHarness::new_with(self.workload, &self.trace_backend)?;
         // Unknown objects surface now, not after minutes of analysis.
         for object in &self.objects {
             harness.object_id(object)?;

@@ -17,9 +17,14 @@
 //! * **loads never fail the sweep** — a missing, truncated, corrupt, or
 //!   mismatched (hash-collision / stale-fingerprint) file is simply a cache
 //!   miss and the task recomputes;
-//! * **saves are atomic** — the document is written to a `*.tmp` sibling and
-//!   renamed into place, so a sweep killed mid-write never leaves a
-//!   half-document that a resume would have to distrust.
+//! * **saves are atomic and durable** — the document is written to a
+//!   process-unique temp sibling (pid + counter, so concurrent writers of
+//!   the same key — daemon jobs, parallel sweeps sharing one `--store` —
+//!   can never collide on the temp path), `fsync`ed, and renamed into place
+//!   ([`moard_vm::atomic_write`], the same hardened path the paged trace
+//!   backend's segment writer uses).  A sweep killed mid-write never leaves
+//!   a half-document, and a power loss after the rename can never persist a
+//!   truncated one behind a committed name.
 
 use moard_core::{fingerprint_hex, fnv1a, MoardError};
 use moard_json::Json;
@@ -76,9 +81,12 @@ impl ResultStore {
         Some(doc.field("payload").ok()?.clone())
     }
 
-    /// Persist the payload of a completed task.  The write is atomic
-    /// (temp-file + rename), so a concurrently killed sweep can never leave
-    /// a torn document behind.
+    /// Persist the payload of a completed task.  The write is atomic and
+    /// durable (process-unique temp sibling + fsync + rename, via
+    /// [`moard_vm::atomic_write`]): a concurrently killed sweep can never
+    /// leave a torn document behind, concurrent writers of the same key
+    /// never race on a shared temp path, and the document is on stable
+    /// storage before its name commits.
     pub fn save(
         &self,
         study_fingerprint: u64,
@@ -96,22 +104,17 @@ impl ResultStore {
             ("payload", payload.clone()),
         ]);
         let path = self.path_for(study_fingerprint, key);
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, doc.to_pretty() + "\n")
-            .map_err(|e| MoardError::io(tmp.display().to_string(), e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| MoardError::io(path.display().to_string(), e))?;
-        Ok(())
+        moard_vm::atomic_write(&path, (doc.to_pretty() + "\n").as_bytes())
+            .map_err(|e| MoardError::io(path.display().to_string(), e))
     }
 
-    /// Number of completed-task documents currently in the store.
+    /// Number of completed-task documents currently in the store — the
+    /// parseable store documents only, the same population
+    /// [`ResultStore::entries`] reports.  Leftover temp files, corrupt
+    /// documents, or foreign files sharing the directory do not inflate
+    /// the count.
     pub fn len(&self) -> usize {
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
-            return 0;
-        };
-        entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .count()
+        self.entries().len()
     }
 
     /// True if the store holds no completed-task documents.
@@ -229,9 +232,55 @@ mod tests {
         assert_eq!(entries[0].task_key, "advf/CG/colidx/k");
         assert_eq!(entries[1].task_key, "advf/CG/r/k");
         assert_eq!(entries[2].study_fingerprint, fingerprint_hex(2));
-        // len() still counts raw candidate files; entries() is the
-        // well-formed subset.
-        assert_eq!(store.len(), 5);
+        // len() counts the same well-formed subset entries() reports —
+        // corrupt, foreign, and non-JSON files do not inflate it.
+        assert_eq!(store.len(), 3);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn len_ignores_temp_corrupt_and_foreign_files() {
+        // Regression: len() used to count every *.json directory entry, so
+        // leftover temp files and foreign documents inflated the count and
+        // `is_empty()` could report a phantom occupancy.
+        let store = temp_store("len-filter");
+        std::fs::write(store.dir().join("leftover.json.123.tmp"), "{half").unwrap();
+        std::fs::write(store.dir().join("torn.json"), "{").unwrap();
+        std::fs::write(store.dir().join("foreign.json"), "{\"kind\":\"other\"}").unwrap();
+        std::fs::write(store.dir().join("notes.txt"), "ignored").unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.is_empty());
+        store.save(9, "advf/MM/C/k", &Json::from(1u64)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn concurrent_saves_of_the_same_key_never_tear() {
+        // Regression: save() used to derive its temp file with
+        // `path.with_extension("tmp")`, so two concurrent writers of the
+        // same key shared one temp path and could rename a torn mix into
+        // place.  With process-unique temp names every rename installs one
+        // complete document.
+        let store = temp_store("concurrent");
+        let big: String = "x".repeat(4096);
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let store = &store;
+                let big = &big;
+                scope.spawn(move || {
+                    let payload = Json::object([
+                        ("writer", Json::from(i)),
+                        ("pad", Json::from(big.as_str())),
+                    ]);
+                    store.save(4, "contended/key", &payload).unwrap();
+                });
+            }
+        });
+        let doc = store.load(4, "contended/key").expect("complete document");
+        assert_eq!(doc.str_field("pad").unwrap().len(), 4096);
+        assert_eq!(store.len(), 1, "no stray temp files counted or left");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

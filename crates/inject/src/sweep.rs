@@ -693,6 +693,7 @@ pub struct StudyRunner {
     resume: bool,
     cancel: CancelToken,
     harness_cache: Option<Arc<HarnessCache>>,
+    trace_backend: moard_vm::TraceBackendSpec,
 }
 
 impl StudyRunner {
@@ -706,6 +707,7 @@ impl StudyRunner {
             resume: false,
             cancel: CancelToken::new(),
             harness_cache: None,
+            trace_backend: moard_vm::TraceBackendSpec::Memory,
         }
     }
 
@@ -756,6 +758,15 @@ impl StudyRunner {
     /// warm-harness path.  Reports are bit-identical either way.
     pub fn harness_cache(mut self, cache: Arc<HarnessCache>) -> Self {
         self.harness_cache = Some(cache);
+        self
+    }
+
+    /// Trace storage backend for harnesses this runner prepares itself
+    /// (in-memory by default).  With a [`StudyRunner::harness_cache`], the
+    /// cache's own backend wins instead.  Never part of any task
+    /// fingerprint: reports are bit-identical across backends.
+    pub fn trace_backend(mut self, backend: moard_vm::TraceBackendSpec) -> Self {
+        self.trace_backend = backend;
         self
     }
 
@@ -813,7 +824,8 @@ impl StudyRunner {
         let harnesses: Vec<Arc<WorkloadHarness>> =
             run_indexed(workers, need.len(), |i| match &self.harness_cache {
                 Some(cache) => cache.get_or_prepare(registry, need[i]),
-                None => WorkloadHarness::by_name_in(registry, need[i]).map(Arc::new),
+                None => WorkloadHarness::by_name_in_with(registry, need[i], &self.trace_backend)
+                    .map(Arc::new),
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?;

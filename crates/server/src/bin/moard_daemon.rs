@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! moard-daemon [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]
+//!              [--trace-backend memory|paged[:DIR]]
 //! ```
 //!
 //! Prints `moard-daemon listening on ADDR` once bound (with port 0 the
@@ -13,11 +14,14 @@ use moard_server::{Daemon, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: moard-daemon [--addr HOST:PORT] [--port N] [--threads N] [--store DIR]\n\
+         \x20                   [--trace-backend memory|paged[:DIR]]\n\
          \n\
          --addr HOST:PORT  bind address (default 127.0.0.1:7411; port 0 = ephemeral)\n\
          --port N          shorthand for --addr 127.0.0.1:N\n\
          --threads N       job worker threads, N >= 1 (default: available cores)\n\
-         --store DIR       shared result store (enables cross-job caching and resume)"
+         --store DIR       shared result store (enables cross-job caching and resume)\n\
+         --trace-backend B trace storage for warm harnesses: `memory` (default) or\n\
+         \x20                 `paged[:DIR]` on-disk segments; reports are identical"
     );
     std::process::exit(2);
 }
@@ -25,8 +29,7 @@ fn usage() -> ! {
 fn main() {
     let mut config = DaemonConfig {
         addr: "127.0.0.1:7411".into(),
-        threads: 0,
-        store: None,
+        ..DaemonConfig::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -62,6 +65,16 @@ fn main() {
                 }
             }
             "--store" => config.store = Some(value("--store").into()),
+            "--trace-backend" => {
+                let spec = value("--trace-backend");
+                match moard_vm::TraceBackendSpec::parse(&spec) {
+                    Ok(backend) => config.trace_backend = backend,
+                    Err(e) => {
+                        eprintln!("moard-daemon: --trace-backend: {e}");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("moard-daemon: unknown flag `{other}`");

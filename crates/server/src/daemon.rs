@@ -60,6 +60,10 @@ pub struct DaemonConfig {
     pub threads: usize,
     /// Result-store directory; `None` disables cross-job result caching.
     pub store: Option<PathBuf>,
+    /// Trace storage backend the warm-harness cache prepares workloads
+    /// with (in-memory by default; paged bounds resident trace memory).
+    /// Reports are bit-identical across backends.
+    pub trace_backend: moard_vm::TraceBackendSpec,
 }
 
 impl Default for DaemonConfig {
@@ -68,6 +72,7 @@ impl Default for DaemonConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             store: None,
+            trace_backend: moard_vm::TraceBackendSpec::Memory,
         }
     }
 }
@@ -376,7 +381,7 @@ impl Daemon {
         };
         let shared = Arc::new(Shared {
             store,
-            harnesses: Arc::new(HarnessCache::new()),
+            harnesses: Arc::new(HarnessCache::with_backend(config.trace_backend.clone())),
             metrics: MetricsRegistry::new(),
             queue: Mutex::new(BinaryHeap::new()),
             queue_ready: Condvar::new(),

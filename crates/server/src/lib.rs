@@ -22,6 +22,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     threads: 4,
 //!     store: Some("daemon-store".into()),
+//!     ..DaemonConfig::default()
 //! })?;
 //! let mut client = Client::connect(daemon.addr())?;
 //! let (job, response) = client.submit(&Request::Analyze {

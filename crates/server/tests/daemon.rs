@@ -18,6 +18,7 @@ fn start(threads: usize, store: Option<std::path::PathBuf>) -> Daemon {
         addr: "127.0.0.1:0".into(),
         threads,
         store,
+        ..DaemonConfig::default()
     })
     .expect("daemon binds an ephemeral port")
 }

@@ -16,6 +16,7 @@ use crate::fault::{FaultSpec, FaultTarget};
 use crate::memory::Memory;
 use crate::objects::{DataObjectRegistry, ObjectId};
 use crate::outcome::{ExecOutcome, ExecStatus};
+use crate::paged::{TraceBackendSpec, TraceBuilder, TraceData, TraceError};
 use crate::taint::TaintSet;
 use crate::trace::{Trace, TraceOp, TraceRecord, TracedVal, ValueSource, TERMINATOR_INST};
 use moard_ir::{
@@ -45,13 +46,16 @@ impl Default for VmConfig {
     }
 }
 
-/// Errors occurring while *loading* a module (before execution).
+/// Errors occurring while *loading* a module (before execution) or while
+/// persisting its trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
     /// A global did not fit into the configured memory capacity.
     OutOfMemory(String),
     /// The module has no entry function.
     NoEntry(String),
+    /// The paged trace backend failed to persist the trace.
+    Trace(TraceError),
 }
 
 impl std::fmt::Display for VmError {
@@ -59,11 +63,18 @@ impl std::fmt::Display for VmError {
         match self {
             VmError::OutOfMemory(g) => write!(f, "global {g} does not fit in VM memory"),
             VmError::NoEntry(e) => write!(f, "entry function `{e}` not found"),
+            VmError::Trace(e) => write!(f, "trace backend failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for VmError {}
+
+impl From<TraceError> for VmError {
+    fn from(e: TraceError) -> VmError {
+        VmError::Trace(e)
+    }
+}
 
 /// One function activation.
 struct Frame {
@@ -164,18 +175,35 @@ impl<'m> Vm<'m> {
 
     /// Execute without tracing or faults (the golden run).
     pub fn execute(mut self) -> ExecOutcome {
-        self.run(None, false).0
+        self.run(None, None)
     }
 
-    /// Execute while recording the full dynamic trace.
+    /// Execute while recording the full dynamic trace in memory.
     pub fn execute_traced(mut self) -> (ExecOutcome, Trace) {
-        let (o, t) = self.run(None, true);
-        (o, t.expect("trace requested"))
+        let mut builder = TraceBuilder::Memory(Trace::default());
+        let outcome = self.run(None, Some(&mut builder));
+        match builder {
+            TraceBuilder::Memory(trace) => (outcome, trace),
+            TraceBuilder::Paged(_) => unreachable!("memory builder stays memory"),
+        }
+    }
+
+    /// Execute while recording the full dynamic trace into the backend
+    /// selected by `spec` — the memory backend yields the same trace as
+    /// [`Vm::execute_traced`]; the paged backend spills segments to disk as
+    /// the run progresses.
+    pub fn execute_traced_with(
+        mut self,
+        spec: &TraceBackendSpec,
+    ) -> Result<(ExecOutcome, TraceData), VmError> {
+        let mut builder = TraceBuilder::for_spec(spec)?;
+        let outcome = self.run(None, Some(&mut builder));
+        Ok((outcome, builder.finish()?))
     }
 
     /// Execute with a deterministic fault applied.
     pub fn execute_with_fault(mut self, fault: &FaultSpec) -> ExecOutcome {
-        self.run(Some(fault), false).0
+        self.run(Some(fault), None)
     }
 
     fn new_frame(&self, func: FuncId, frame_id: u64, ret_dst: Option<RegId>) -> Frame {
@@ -283,18 +311,23 @@ impl<'m> Vm<'m> {
         result
     }
 
-    /// The main interpreter loop.
-    fn run(&mut self, fault: Option<&FaultSpec>, record: bool) -> (ExecOutcome, Option<Trace>) {
+    /// The main interpreter loop.  `sink`, when present, receives one
+    /// [`TraceRecord`] per dynamic operation (either backend; pushes are
+    /// infallible on this hot path — see [`TraceBuilder::push`]).
+    fn run(
+        &mut self,
+        fault: Option<&FaultSpec>,
+        mut sink: Option<&mut TraceBuilder>,
+    ) -> ExecOutcome {
         let entry = self.module.entry_id();
         let mut frames: Vec<Frame> = vec![self.new_frame(entry, 0, None)];
         let mut next_frame_id: u64 = 1;
         let mut dyn_id: u64 = 0;
-        let mut trace = if record { Some(Trace::default()) } else { None };
         let mut mem_taint: HashMap<u64, TaintSet> = HashMap::new();
 
         macro_rules! emit {
             ($frame:expr, $inst_idx:expr, $dst:expr, $op:expr) => {
-                if let Some(t) = trace.as_mut() {
+                if let Some(t) = sink.as_deref_mut() {
                     t.push(TraceRecord {
                         id: dyn_id,
                         frame: $frame.frame_id,
@@ -310,8 +343,7 @@ impl<'m> Vm<'m> {
 
         loop {
             if dyn_id >= self.config.max_steps {
-                let out = self.finish(ExecStatus::Timeout, None, dyn_id);
-                return (out, trace);
+                return self.finish(ExecStatus::Timeout, None, dyn_id);
             }
             // Split the borrow: everything below works on the top frame.
             let frame_idx = frames.len() - 1;
@@ -340,9 +372,7 @@ impl<'m> Vm<'m> {
                         let result = match eval_binop(op, ty, &a.value, &b.value) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out =
-                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
-                                return (out, trace);
+                                return self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
@@ -393,9 +423,7 @@ impl<'m> Vm<'m> {
                         let result = match eval_cast(kind, to, &s.value) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out =
-                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
-                                return (out, trace);
+                                return self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
@@ -423,22 +451,23 @@ impl<'m> Vm<'m> {
                                 && f.target == FaultTarget::LoadValue
                                 && self.memory.flip_mask(ty, address, f.mask).is_err()
                             {
-                                let out = self.finish(
+                                return self.finish(
                                     ExecStatus::MemFault(format!(
                                         "fault injection at unmapped 0x{address:x}"
                                     )),
                                     None,
                                     dyn_id,
                                 );
-                                return (out, trace);
                             }
                         }
                         let value = match self.memory.load(ty, address) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out =
-                                    self.finish(ExecStatus::MemFault(e.to_string()), None, dyn_id);
-                                return (out, trace);
+                                return self.finish(
+                                    ExecStatus::MemFault(e.to_string()),
+                                    None,
+                                    dyn_id,
+                                );
                             }
                         };
                         let value = Self::maybe_inject_result(fault, dyn_id, value);
@@ -474,14 +503,13 @@ impl<'m> Vm<'m> {
                                 && f.target == FaultTarget::StoreDest
                                 && self.memory.flip_mask(ty, address, f.mask).is_err()
                             {
-                                let out = self.finish(
+                                return self.finish(
                                     ExecStatus::MemFault(format!(
                                         "fault injection at unmapped 0x{address:x}"
                                     )),
                                     None,
                                     dyn_id,
                                 );
-                                return (out, trace);
                             }
                         }
                         let element = self.objects.locate(address);
@@ -491,9 +519,7 @@ impl<'m> Vm<'m> {
                             None => false,
                         };
                         if let Err(e) = self.memory.store(ty, address, v.value) {
-                            let out =
-                                self.finish(ExecStatus::MemFault(e.to_string()), None, dyn_id);
-                            return (out, trace);
+                            return self.finish(ExecStatus::MemFault(e.to_string()), None, dyn_id);
                         }
                         emit!(
                             frame,
@@ -587,9 +613,7 @@ impl<'m> Vm<'m> {
                         let result = match eval_intrinsic(intr, &raw) {
                             Ok(v) => v,
                             Err(e) => {
-                                let out =
-                                    self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
-                                return (out, trace);
+                                return self.finish(ExecStatus::Trap(e.to_string()), None, dyn_id);
                             }
                         };
                         let result = Self::maybe_inject_result(fault, dyn_id, result);
@@ -743,7 +767,7 @@ impl<'m> Vm<'m> {
                         };
                         {
                             let frame = &frames[frame_idx];
-                            if let Some(t) = trace.as_mut() {
+                            if let Some(t) = sink.as_deref_mut() {
                                 t.push(TraceRecord {
                                     id: dyn_id,
                                     frame: frame_id_done,
@@ -771,8 +795,7 @@ impl<'m> Vm<'m> {
                                 }
                             }
                             None => {
-                                let out = self.finish(ExecStatus::Completed, ret_val, dyn_id);
-                                return (out, trace);
+                                return self.finish(ExecStatus::Completed, ret_val, dyn_id);
                             }
                         }
                     }
@@ -790,6 +813,15 @@ pub fn run_golden(module: &Module) -> Result<ExecOutcome, VmError> {
 /// Convenience: run a module and record the trace with default config.
 pub fn run_traced(module: &Module) -> Result<(ExecOutcome, Trace), VmError> {
     Ok(Vm::with_defaults(module)?.execute_traced())
+}
+
+/// Convenience: run a module and record the trace into the given backend
+/// with default config.
+pub fn run_traced_with(
+    module: &Module,
+    spec: &TraceBackendSpec,
+) -> Result<(ExecOutcome, TraceData), VmError> {
+    Vm::with_defaults(module)?.execute_traced_with(spec)
 }
 
 /// Convenience: run a module with a fault and default config.
@@ -1133,6 +1165,31 @@ mod tests {
         assert_verified(&m);
         let out = run_golden(&m).unwrap();
         assert_eq!(out.globals["out"][0].as_i64(), 200);
+    }
+
+    #[test]
+    fn paged_backend_records_the_identical_trace() {
+        use crate::trace::TraceStorage;
+        let m = sum_module();
+        let (out_mem, trace) = run_traced(&m).unwrap();
+        // Small segments so the sum workload spans several of them.
+        let spec = TraceBackendSpec::Paged {
+            dir: None,
+            segment_records: 16,
+        };
+        let (out_paged, data) = run_traced_with(&m, &spec).unwrap();
+        assert!(out_mem.bits_identical(&out_paged));
+        assert_eq!(data.backend_name(), "paged");
+        assert_eq!(data.len(), trace.len());
+        assert_eq!(data.stats(), trace.stats());
+        let mut reader = data.new_reader();
+        for rec in trace.iter() {
+            assert_eq!(reader.fetch(rec.id).as_ref(), Some(rec));
+        }
+        assert_eq!(
+            data.touching_ids(ObjectId(0)),
+            trace.touching_ids(ObjectId(0))
+        );
     }
 
     #[test]

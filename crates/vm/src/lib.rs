@@ -46,16 +46,21 @@ pub mod interp;
 pub mod memory;
 pub mod objects;
 pub mod outcome;
+pub mod paged;
 pub mod taint;
 pub mod trace;
 
 pub use fault::{FaultSpec, FaultTarget};
-pub use interp::{run_golden, run_traced, run_with_fault, Vm, VmConfig, VmError};
+pub use interp::{run_golden, run_traced, run_traced_with, run_with_fault, Vm, VmConfig, VmError};
 pub use memory::{MemError, Memory, BASE_ADDR};
 pub use objects::{DataObject, DataObjectRegistry, ObjectId};
 pub use outcome::{ExecOutcome, ExecStatus, OutcomeClass};
+pub use paged::{
+    atomic_write, PagedTrace, PagedTraceWriter, TraceBackendSpec, TraceBuilder, TraceData,
+    TraceError, DEFAULT_SEGMENT_RECORDS, PAGED_FORMAT_VERSION,
+};
 pub use taint::{TaintSet, TAINT_CAP};
 pub use trace::{
-    Operands, OperandsIter, Trace, TraceIndex, TraceOp, TraceRecord, TraceStats, TracedVal,
-    ValueSource, TERMINATOR_INST,
+    Operands, OperandsIter, Trace, TraceIndex, TraceOp, TraceRead, TraceRecord, TraceStats,
+    TraceStorage, TracedVal, ValueSource, TERMINATOR_INST,
 };

@@ -356,8 +356,9 @@ impl TraceRecord {
 
     /// Every data object this record touches — consumed operand elements,
     /// plus the element a load reads or a store overwrites.  Visits each
-    /// object at most once per record.
-    fn touched_objects(&self, mut visit: impl FnMut(ObjectId)) {
+    /// object at most once per record.  (Crate-visible so the paged trace
+    /// writer maintains the same per-object index as [`Trace::push`].)
+    pub(crate) fn touched_objects(&self, mut visit: impl FnMut(ObjectId)) {
         let mut seen: [Option<ObjectId>; INLINE_OPERANDS + 1] = [None; INLINE_OPERANDS + 1];
         let mut emit = |obj: ObjectId| {
             for slot in seen.iter_mut() {
@@ -443,7 +444,7 @@ impl TraceIndex {
         self.per_object.iter().map(|ids| ids.len() as u64).sum()
     }
 
-    fn note(&mut self, obj: ObjectId, record_id: u64) {
+    pub(crate) fn note(&mut self, obj: ObjectId, record_id: u64) {
         let slot = obj.0 as usize;
         if slot >= self.per_object.len() {
             self.per_object.resize_with(slot + 1, Vec::new);
@@ -455,6 +456,21 @@ impl TraceIndex {
         if ids.last() != Some(&record_id) {
             ids.push(record_id);
         }
+    }
+
+    /// Number of object slots (the highest indexed `ObjectId` + 1); used by
+    /// the paged backend to persist the index densely.
+    pub(crate) fn object_slots(&self) -> usize {
+        self.per_object.len()
+    }
+
+    /// Install the full id list of one object slot (paged-manifest reload).
+    pub(crate) fn set_ids(&mut self, obj: ObjectId, ids: Vec<u64>) {
+        let slot = obj.0 as usize;
+        if slot >= self.per_object.len() {
+            self.per_object.resize_with(slot + 1, Vec::new);
+        }
+        self.per_object[slot] = ids;
     }
 }
 
@@ -581,6 +597,107 @@ impl<'a> IntoIterator for &'a Trace {
 
     fn into_iter(self) -> Self::IntoIter {
         self.records.iter()
+    }
+}
+
+/// Backend-agnostic read access to a completed dynamic trace.
+///
+/// Two backends implement this: the in-memory [`Trace`] (everything
+/// resident, the default) and the out-of-core [`crate::paged::PagedTrace`]
+/// (fixed-size record segments on disk, decoded lazily per replay window).
+/// The analysis layers (`moard-core`'s site enumeration, propagation replay,
+/// and aDVF analyzer) operate on `&dyn TraceStorage`, so a `&Trace` at an
+/// existing call site keeps working via unsized coercion.
+///
+/// Record access goes through per-thread [`TraceRead`] readers
+/// ([`TraceStorage::new_reader`]) because the paged backend needs mutable
+/// decode state (a small LRU of decoded segments); the storage itself stays
+/// immutable and `Sync`, so sharded analysis shares one trace across worker
+/// threads exactly as before.
+pub trait TraceStorage: Send + Sync {
+    /// Number of records in the trace.
+    fn len(&self) -> u64;
+
+    /// True if the trace holds no records.
+    fn is_empty(&self) -> bool {
+        TraceStorage::len(self) == 0
+    }
+
+    /// The per-object record-id index (always memory-resident).
+    fn index(&self) -> &TraceIndex;
+
+    /// Summary statistics of the trace and its index.
+    fn stats(&self) -> TraceStats;
+
+    /// Backend name for reports and diagnostics (`"memory"`, `"paged"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// A fresh reader over this trace.  Readers are cheap for the memory
+    /// backend and carry the decoded-segment LRU for the paged backend;
+    /// create one per thread / long-lived cursor, not per record.
+    fn new_reader(&self) -> Box<dyn TraceRead + '_>;
+
+    /// The first decode failure observed by any reader of this trace, if
+    /// one occurred.  Readers deliberately stay infallible on the replay
+    /// hot path (a failed decode yields an empty run); fallible entry
+    /// points check this slot after analysis and surface the typed error.
+    fn poisoned(&self) -> Option<crate::paged::TraceError> {
+        None
+    }
+}
+
+/// A positioned reader over a [`TraceStorage`] backend.
+pub trait TraceRead {
+    /// The longest contiguous run of decoded records starting at dynamic id
+    /// `id`: the whole tail for the memory backend, the rest of the decoded
+    /// segment for the paged backend.  Empty iff `id` is past the end of
+    /// the trace — or the backend failed to decode (see
+    /// [`TraceStorage::poisoned`]).  Callers advance by the returned length
+    /// and call again, so a replay window crossing N segments costs N
+    /// virtual calls, not one per record.
+    fn run_from(&mut self, id: u64) -> &[TraceRecord];
+
+    /// One record by dynamic id (cloned out of the backend's buffers), or
+    /// `None` past the end / on a poisoned decode.
+    fn fetch(&mut self, id: u64) -> Option<TraceRecord> {
+        self.run_from(id).first().cloned()
+    }
+}
+
+impl TraceStorage for Trace {
+    fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    fn index(&self) -> &TraceIndex {
+        &self.index
+    }
+
+    fn stats(&self) -> TraceStats {
+        Trace::stats(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn new_reader(&self) -> Box<dyn TraceRead + '_> {
+        Box::new(MemoryReader {
+            records: &self.records,
+        })
+    }
+}
+
+/// The memory backend's reader: a borrow of the record vector.  `run_from`
+/// returns the whole tail, so a full replay costs one virtual call.
+struct MemoryReader<'t> {
+    records: &'t [TraceRecord],
+}
+
+impl TraceRead for MemoryReader<'_> {
+    fn run_from(&mut self, id: u64) -> &[TraceRecord] {
+        let start = (id as usize).min(self.records.len());
+        &self.records[start..]
     }
 }
 

@@ -1,0 +1,239 @@
+//! Paged trace backend edge cases: segment-seam parity against the
+//! in-memory backend, replay windows spanning several segments, windows
+//! running past the trace end, corrupt/truncated segments surfacing as
+//! typed errors, and golden-report cross-backend bit-identity.
+//!
+//! The seam tests shrink `segment_records` far below the default so every
+//! few records cross a segment boundary — any off-by-one in segment
+//! arithmetic, run stitching, or the reader LRU shows up immediately.
+
+use moard::inject::{Session, SessionBuilder, WorkloadHarness};
+use moard::model::MoardError;
+use moard::vm::{TraceBackendSpec, TraceStorage, VmError};
+use moard::workloads::MatMul;
+
+/// Paged backend with tiny segments: a seam every 16 records.
+fn tiny_segments() -> TraceBackendSpec {
+    TraceBackendSpec::Paged {
+        dir: None,
+        segment_records: 16,
+    }
+}
+
+fn mm_harness(backend: &TraceBackendSpec) -> WorkloadHarness {
+    WorkloadHarness::new_with(Box::new(MatMul::default()), backend).unwrap()
+}
+
+#[test]
+fn records_and_runs_are_identical_across_segment_seams() {
+    let mem = mm_harness(&TraceBackendSpec::Memory);
+    let paged = mm_harness(&tiny_segments());
+    let len = mem.trace().len() as u64;
+    assert_eq!(paged.trace().len() as u64, len);
+    assert_eq!(paged.trace().backend_name(), "paged");
+
+    // Point lookups at and around every kind of seam position, plus both
+    // ends of the trace and one id past the end.
+    let probe: Vec<u64> = [0, 1, 15, 16, 17, 31, 32, 47, 48, len - 2, len - 1, len]
+        .into_iter()
+        .collect();
+    for id in probe {
+        assert_eq!(
+            paged.trace().record(id),
+            mem.trace().record(id),
+            "record {id} differs between backends"
+        );
+    }
+
+    // Contiguous runs starting at seam ids must be non-empty prefixes of
+    // the memory backend's tail — same records in the same order.
+    let mut reader = paged.trace().new_reader();
+    let memory = mem.trace().as_memory().expect("memory backend");
+    for start in [0u64, 15, 16, 17, 48] {
+        let run = reader.run_from(start);
+        assert!(!run.is_empty(), "run from {start} came back empty");
+        for (i, rec) in run.iter().enumerate() {
+            assert_eq!(
+                Some(rec),
+                memory.record(start + i as u64),
+                "run from {start} diverges at offset {i}"
+            );
+        }
+    }
+    // Past the end: an empty run, not a panic or a poison.
+    assert!(reader.run_from(len).is_empty());
+    assert!(moard::vm::TraceStorage::poisoned(paged.trace()).is_none());
+}
+
+fn quick(builder: SessionBuilder) -> SessionBuilder {
+    builder.object("C").stride(16).max_dfi(150)
+}
+
+#[test]
+fn window_spanning_many_segments_is_bit_identical_to_memory() {
+    // k = 50 over 16-record segments: every replay window crosses at least
+    // three seams, and the 4-slot reader LRU must rotate without losing
+    // parity.
+    let run = |backend: TraceBackendSpec| {
+        quick(Session::for_workload("mm").unwrap())
+            .window(50)
+            .trace_backend(backend)
+            .run()
+            .unwrap()
+    };
+    let mem = run(TraceBackendSpec::Memory);
+    let paged = run(tiny_segments());
+    assert_eq!(mem, paged);
+    assert_eq!(mem.to_json_string(), paged.to_json_string());
+}
+
+#[test]
+fn window_past_the_trace_end_is_bit_identical_to_memory() {
+    // A propagation window far longer than the whole trace: replay must
+    // stop cleanly at the final record on both backends.
+    let run = |backend: TraceBackendSpec| {
+        quick(Session::for_workload("mm").unwrap())
+            .window(10_000_000)
+            .trace_backend(backend)
+            .run()
+            .unwrap()
+    };
+    let mem = run(TraceBackendSpec::Memory);
+    let paged = run(tiny_segments());
+    assert_eq!(mem, paged);
+}
+
+/// Overwrite the payload of every segment file (keeping the length) so the
+/// first decoded segment fails its checksum.
+fn corrupt_segments(dir: &std::path::Path) {
+    let mut hit = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.starts_with("seg-") && name.ends_with(".bin") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, bytes).unwrap();
+            hit += 1;
+        }
+    }
+    assert!(hit > 0, "no segment files found under {}", dir.display());
+}
+
+#[test]
+fn corrupt_segment_surfaces_a_typed_error_through_the_harness() {
+    let h = mm_harness(&tiny_segments());
+    let dir = h
+        .trace()
+        .as_paged()
+        .expect("paged backend")
+        .dir()
+        .to_path_buf();
+    // A healthy analysis first, so the corruption below is the only change.
+    let config = moard::model::AnalysisConfig {
+        site_stride: 16,
+        ..Default::default()
+    };
+    h.analyze_without_dfi("C", config.clone()).unwrap();
+    corrupt_segments(&dir);
+    let err = h.analyze_without_dfi("C", config).unwrap_err();
+    match err {
+        MoardError::Vm(VmError::Trace(moard::vm::TraceError::Corrupt { reason, .. })) => {
+            assert!(
+                reason.contains("checksum"),
+                "expected a checksum failure, got: {reason}"
+            );
+        }
+        other => panic!("expected a typed Corrupt trace error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_segment_surfaces_a_typed_error_through_the_harness() {
+    let h = mm_harness(&tiny_segments());
+    let dir = h
+        .trace()
+        .as_paged()
+        .expect("paged backend")
+        .dir()
+        .to_path_buf();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.starts_with("seg-") && name.ends_with(".bin") {
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len().min(6)]).unwrap();
+        }
+    }
+    let err = h
+        .analyze_without_dfi(
+            "C",
+            moard::model::AnalysisConfig {
+                site_stride: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MoardError::Vm(VmError::Trace(moard::vm::TraceError::Corrupt { .. }))
+        ),
+        "expected a typed Corrupt trace error, got {err:?}"
+    );
+    // The poison sticks: later queries keep reporting the failure instead
+    // of silently returning empty analyses.
+    assert!(TraceStorage::poisoned(h.trace()).is_some());
+}
+
+/// The committed golden reports (tests/golden/*.json) re-rendered through
+/// the paged backend: the bytes on disk must match, proving cross-backend
+/// bit-identity against the same documents the in-memory backend pins.
+#[test]
+fn golden_session_reports_are_backend_invariant() {
+    let cases: [(&str, &str, usize, u64); 3] = [
+        ("mm", "mm", 16, 150),
+        ("pf", "pf", 16, 150),
+        ("cg", "cg", 24, 100),
+    ];
+    for (golden, workload, stride, max_dfi) in cases {
+        let report = Session::for_workload(workload)
+            .unwrap()
+            .window(50)
+            .stride(stride)
+            .max_dfi(max_dfi)
+            .trace_backend(TraceBackendSpec::paged())
+            .run()
+            .unwrap();
+        let text = report.to_json().to_pretty() + "\n";
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{golden}.json"));
+        let pinned = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        assert_eq!(
+            text, pinned,
+            "paged-backend SessionReport for `{golden}` is not byte-identical \
+             to the committed golden report"
+        );
+    }
+}
+
+#[test]
+fn paged_spill_directory_is_removed_on_drop() {
+    let h = mm_harness(&tiny_segments());
+    let dir = h
+        .trace()
+        .as_paged()
+        .expect("paged backend")
+        .dir()
+        .to_path_buf();
+    assert!(dir.is_dir());
+    drop(h);
+    assert!(
+        !dir.exists(),
+        "spill directory {} survived the harness drop",
+        dir.display()
+    );
+}
