@@ -7,6 +7,7 @@
 //! bench_smoke --check BENCH_baseline.json        # also fail on >25% regression
 //! bench_smoke --check BENCH_baseline.json --tolerance 0.4
 //! bench_smoke --write-baseline BENCH_baseline.json   # refresh the baseline
+//! bench_smoke --summary summary.md               # per-case speedup table
 //! ```
 //!
 //! The tolerance can also be set with the `BENCH_SMOKE_TOLERANCE` environment
@@ -20,6 +21,7 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     write_baseline: Option<String>,
+    summary: Option<String>,
     tolerance: f64,
 }
 
@@ -28,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         check: None,
         write_baseline: None,
+        summary: None,
         tolerance: match std::env::var("BENCH_SMOKE_TOLERANCE") {
             Ok(text) => text
                 .parse::<f64>()
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--summary" => args.summary = Some(value("--summary")?),
             "--tolerance" => {
                 let text = value("--tolerance")?;
                 args.tolerance = text
@@ -73,6 +77,33 @@ fn write_report(path: &str, report: &SmokeReport, reference: Option<&Baseline>) 
         std::process::exit(1);
     }
     println!("wrote {path}");
+}
+
+/// Render the per-case speedup table as GitHub-flavored markdown (appended
+/// to `$GITHUB_STEP_SUMMARY` by the CI bench job).  `vs baseline` compares
+/// against the committed medians when `--check` supplied one; `vs pre-PR`
+/// is the speedup over the recorded pre-trace-engine reference.
+fn summary_markdown(report: &SmokeReport, baseline: Option<&Baseline>) -> String {
+    let mut text = String::from("### bench-smoke per-case medians\n\n");
+    text.push_str("| case | median | vs baseline | vs pre-PR |\n");
+    text.push_str("| --- | ---: | ---: | ---: |\n");
+    for b in &report.benches {
+        let vs_baseline = baseline
+            .and_then(|r| r.median_ns(&b.name))
+            .map(|base| format!("{:.2}×", base as f64 / b.median_ns.max(1) as f64))
+            .unwrap_or_else(|| "—".into());
+        let vs_pre_pr = baseline
+            .and_then(|r| r.pre_pr_median_ns(&b.name))
+            .map(|pre| format!("{:.2}×", pre as f64 / b.median_ns.max(1) as f64))
+            .unwrap_or_else(|| "—".into());
+        let median_ms = b.median_ns as f64 / 1e6;
+        text.push_str(&format!(
+            "| `{}` | {median_ms:.3} ms | {vs_baseline} | {vs_pre_pr} |\n",
+            b.name
+        ));
+    }
+    text.push_str("\n(speedup factors: >1× is faster than the reference)\n");
+    text
 }
 
 fn main() {
@@ -107,6 +138,14 @@ fn main() {
                 .and_then(|text| Baseline::from_json_str(&text).ok()),
         };
         write_report(path, &report, reference.as_ref());
+    }
+    if let Some(path) = &args.summary {
+        let text = summary_markdown(&report, baseline.as_ref());
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 
     if let Some(baseline) = &baseline {

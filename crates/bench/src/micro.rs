@@ -26,6 +26,8 @@ pub struct BenchStats {
     pub max_ns: u128,
     /// Number of timed iterations.
     pub iters: u32,
+    /// Number of untimed warmup iterations run before the timed ones.
+    pub warmup_iters: u32,
 }
 
 /// Time `f` over `iters` iterations (after `warmup` untimed ones), print a
@@ -58,6 +60,7 @@ pub fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) -> BenchS
         min_ns: min,
         max_ns: max,
         iters,
+        warmup_iters: warmup,
     }
 }
 
@@ -84,6 +87,7 @@ mod tests {
         assert_eq!(calls, 7);
         assert_eq!(stats.name, "counter");
         assert_eq!(stats.iters, 5);
+        assert_eq!(stats.warmup_iters, 2);
         assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
     }
 

@@ -27,7 +27,18 @@ use moard_vm::{run_traced, run_traced_with, Trace, TraceBackendSpec, TraceStats,
 use moard_workloads::{MatMul, MmConfig, Pf, Registry, Workload};
 
 /// Version of the `BENCH_*.json` schema this build writes and reads.
-pub const SMOKE_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 records `warmup_iters` per bench (the aDVF cases warm up
+/// longer — `advf_analysis/pf` used to spike to ~1.8× its median on a cold
+/// cache, which made the regression gate noisy); 1 is the initial shape.
+/// Version-1 documents still parse as baselines.
+pub const SMOKE_SCHEMA_VERSION: u32 = 2;
+
+/// Untimed warmup iterations of the aDVF-analysis cases.  These walk the
+/// whole strided site population, so the first iterations also fault the
+/// trace pages and heat the allocator; two warmups left cold-start spikes
+/// inside the timed window.
+const ADVF_WARMUP: u32 = 4;
 
 /// Default regression threshold: fail when a median is more than 25% slower
 /// than its baseline.
@@ -239,10 +250,15 @@ pub fn run_suite() -> SmokeReport {
     let workloads = smoke_workloads();
     for wl in &workloads {
         traces.push((wl.workload.clone(), wl.trace.stats()));
-        benches.push(bench(&format!("advf_analysis/{}", wl.key), 2, 10, || {
-            let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
-            black_box(analyzer.analyze(wl.object, wl.object_name, &wl.workload, None));
-        }));
+        benches.push(bench(
+            &format!("advf_analysis/{}", wl.key),
+            ADVF_WARMUP,
+            10,
+            || {
+                let analyzer = AdvfAnalyzer::new(&wl.trace, config.clone());
+                black_box(analyzer.analyze(wl.object, wl.object_name, &wl.workload, None));
+            },
+        ));
         let seeds = propagation_seeds(&wl.trace, wl.object, 256);
         assert!(
             !seeds.is_empty(),
@@ -267,10 +283,39 @@ pub fn run_suite() -> SmokeReport {
     let multibit = multibit_config();
     let mm = &workloads[0];
     assert_eq!(mm.key, "mm", "the suite's first workload is MM");
-    benches.push(bench("patterns/mm/adjacent-bits:2", 2, 10, || {
-        let analyzer = AdvfAnalyzer::new(&mm.trace, multibit.clone());
-        black_box(analyzer.analyze(mm.object, mm.object_name, &mm.workload, None));
+    benches.push(bench(
+        "patterns/mm/adjacent-bits:2",
+        ADVF_WARMUP,
+        10,
+        || {
+            let analyzer = AdvfAnalyzer::new(&mm.trace, multibit.clone());
+            black_box(analyzer.analyze(mm.object, mm.object_name, &mm.workload, None));
+        },
+    ));
+    // The lane-batched replay engine, pinned to the full 64-lane width so
+    // these cases keep gating the batched hot path even if the analyzer's
+    // default ever changes: the same analytic PF analysis and multi-bit MM
+    // analysis as above, with up to 64 (site, pattern) replays sharing each
+    // trace walk.  Their baseline entries carry `pre_pr_median_ns` from the
+    // sequential engine's committed medians, so the report materializes the
+    // batching speedup directly.
+    let batched = moard_core::ReplayBatch::width(64);
+    let pf = &workloads[1];
+    assert_eq!(pf.key, "pf", "the suite's second workload is PF");
+    benches.push(bench("advf_batch/pf", ADVF_WARMUP, 10, || {
+        let analyzer = AdvfAnalyzer::new(&pf.trace, config.clone()).with_replay_batch(batched);
+        black_box(analyzer.analyze(pf.object, pf.object_name, &pf.workload, None));
     }));
+    benches.push(bench(
+        "advf_batch/mm/adjacent-bits:2",
+        ADVF_WARMUP,
+        10,
+        || {
+            let analyzer =
+                AdvfAnalyzer::new(&mm.trace, multibit.clone()).with_replay_batch(batched);
+            black_box(analyzer.analyze(mm.object, mm.object_name, &mm.workload, None));
+        },
+    ));
     // The out-of-core hot path: the same analytic PF analysis as
     // `advf_analysis/pf`, but streamed through the paged trace backend —
     // segment decode, checksum verification, and the per-reader LRU are
@@ -393,6 +438,7 @@ impl SmokeReport {
                         ("min_ns", Json::from(b.min_ns as u64)),
                         ("max_ns", Json::from(b.max_ns as u64)),
                         ("iters", Json::from(b.iters)),
+                        ("warmup_iters", Json::from(b.warmup_iters)),
                     ];
                     if let Some(pre) = reference.and_then(|r| r.pre_pr_median_ns(&b.name)) {
                         fields.push(("pre_pr_median_ns", Json::from(pre)));
@@ -434,7 +480,11 @@ impl Baseline {
     pub fn from_json_str(text: &str) -> Result<Baseline, JsonError> {
         let doc = Json::parse(text)?;
         let version = doc.u32_field("schema_version")?;
-        if version != SMOKE_SCHEMA_VERSION {
+        // Every version only ever added fields the baseline reader does not
+        // need (`warmup_iters` in 2), so older documents remain valid
+        // baselines — refusing them would force a blind refresh that loses
+        // the `pre_pr_median_ns` references they carry.
+        if !(1..=SMOKE_SCHEMA_VERSION).contains(&version) {
             return Err(JsonError::WrongType {
                 field: "schema_version".into(),
                 expected: "a supported bench-smoke schema version",
@@ -557,6 +607,7 @@ mod tests {
                     min_ns: 400,
                     max_ns: 600,
                     iters: 10,
+                    warmup_iters: 4,
                 },
                 BenchStats {
                     name: "propagation_k/mm/k=50".into(),
@@ -564,6 +615,7 @@ mod tests {
                     min_ns: 80,
                     max_ns: 100,
                     iters: 20,
+                    warmup_iters: 2,
                 },
             ],
             traces: vec![(
@@ -705,5 +757,27 @@ mod tests {
     fn malformed_baselines_are_rejected() {
         assert!(Baseline::from_json_str("{not json").is_err());
         assert!(Baseline::from_json_str(r#"{"schema_version": 99}"#).is_err());
+        assert!(Baseline::from_json_str(r#"{"schema_version": 0}"#).is_err());
+    }
+
+    #[test]
+    fn version_1_baselines_still_parse() {
+        // Pre-`warmup_iters` documents must remain valid baselines, or a
+        // schema bump would silently drop their pre-PR references.
+        let text = format!(
+            r#"{{
+              "schema_version": 1,
+              "kind": "moard-bench-smoke",
+              "config_fingerprint": "{}",
+              "benches": [
+                {{"name": "advf_analysis/mm", "median_ns": 500, "min_ns": 1,
+                  "max_ns": 2, "iters": 10, "pre_pr_median_ns": 1000}}
+              ]
+            }}"#,
+            fingerprint_hex(smoke_config().fingerprint())
+        );
+        let baseline = Baseline::from_json_str(&text).unwrap();
+        assert_eq!(baseline.median_ns("advf_analysis/mm"), Some(500));
+        assert_eq!(baseline.pre_pr_median_ns("advf_analysis/mm"), Some(1000));
     }
 }

@@ -18,12 +18,14 @@
 //! exactly as Equation 1 prescribes.
 
 use crate::advf::{merge_pattern_tallies, AdvfAccumulator, AdvfReport, PatternClassTally};
-use crate::error_pattern::ErrorPatternSet;
+use crate::error_pattern::{ErrorPattern, ErrorPatternSet};
 use crate::masking::{Masking, OpMaskKind};
-use crate::op_rules::{analyze_operation, OpVerdict};
-use crate::propagation::{PropagationResult, ReplayCursor};
+use crate::op_rules::{analyze_operation, CorruptLoc, OpVerdict};
+use crate::propagation::{
+    BatchLane, BatchReplayCursor, PropagationResult, ReplayBatch, ReplayCursor,
+};
 use crate::resolver::{DfiResolver, EquivalenceCache, EquivalenceKey};
-use crate::sites::{enumerate_strided_sites, ParticipationSite, SiteSlot};
+use crate::sites::{enumerate_strided_sites, sites_by_record, ParticipationSite, SiteSlot};
 use moard_vm::{ObjectId, OutcomeClass, TraceRecord, TraceStorage};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -130,17 +132,34 @@ pub struct AdvfAnalyzer<'a> {
     config: AnalysisConfig,
     cache: EquivalenceCache,
     dfi_budget_exhausted: AtomicBool,
+    replay_batch: ReplayBatch,
 }
 
 impl<'a> AdvfAnalyzer<'a> {
-    /// Create an analyzer over `trace`.
+    /// Create an analyzer over `trace` with the default (lane-batched)
+    /// replay engine.
     pub fn new(trace: &'a dyn TraceStorage, config: AnalysisConfig) -> Self {
         AdvfAnalyzer {
             trace,
             config,
             cache: EquivalenceCache::new(),
             dfi_budget_exhausted: AtomicBool::new(false),
+            replay_batch: ReplayBatch::default(),
         }
+    }
+
+    /// Select the replay engine: lane-batched at a given width, or `Off`
+    /// for the sequential one-walk-per-fault engine.  Any setting produces
+    /// bit-identical reports (up to the `lanes_batched`/`batch_walks`/
+    /// `batch_fallback_lanes` telemetry, which is zero when off).
+    pub fn with_replay_batch(mut self, replay_batch: ReplayBatch) -> Self {
+        self.replay_batch = replay_batch;
+        self
+    }
+
+    /// The replay-engine batching setting in use.
+    pub fn replay_batch(&self) -> ReplayBatch {
+        self.replay_batch
     }
 
     /// The configuration in use.
@@ -161,6 +180,20 @@ impl<'a> AdvfAnalyzer<'a> {
         resolver: Option<&dyn DfiResolver>,
     ) -> AdvfReport {
         let sites = self.pattern_sites(object);
+        match self.replay_batch.lanes() {
+            Some(width) => self.analyze_batched(&sites, object_name, workload, resolver, width),
+            None => self.analyze_sequential(&sites, object_name, workload, resolver),
+        }
+    }
+
+    /// The pre-batching engine: one replay walk per (site, pattern).
+    fn analyze_sequential(
+        &self,
+        sites: &[ParticipationSite],
+        object_name: &str,
+        workload: &str,
+        resolver: Option<&dyn DfiResolver>,
+    ) -> AdvfReport {
         let mut acc = AdvfAccumulator::new();
         let mut tallies: Vec<PatternClassTally> = Vec::new();
         let mut resolved_analytically = 0u64;
@@ -170,7 +203,7 @@ impl<'a> AdvfAnalyzer<'a> {
         // reuses its shadow-state buffers.
         let mut cursor = ReplayCursor::new(self.trace);
 
-        for site in &sites {
+        for site in sites {
             analyzed += 1;
             let (fractions, used_dfi) =
                 self.analyze_site_tallied(&mut cursor, site, resolver, &mut tallies);
@@ -192,8 +225,225 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_budget_exhausted: self.dfi_budget_exhausted.load(Ordering::Relaxed),
             patterns: self.config.patterns.canonical(),
             pattern_tallies: tallies,
+            lanes_batched: 0,
+            batch_walks: 0,
+            batch_fallback_lanes: 0,
             config_fingerprint: self.config.fingerprint(),
         }
+    }
+
+    /// The lane-batched engine: two passes over the site population.
+    ///
+    /// *Scheduling pass* — per (site, pattern), the operation-level verdict
+    /// is computed once; patterns that need a propagation replay become
+    /// *lanes* grouped by record position into batches of up to `width`,
+    /// each batch walking the trace once through a [`BatchReplayCursor`].
+    ///
+    /// *Resolution pass* — sites fold into the accumulator in site order,
+    /// and every DFI consult happens here in exactly the sequential
+    /// (site, pattern) order, so cache statistics, budget accounting and
+    /// verdicts are all bit-identical to [`AdvfAnalyzer::analyze_sequential`].
+    fn analyze_batched(
+        &self,
+        sites: &[ParticipationSite],
+        object_name: &str,
+        workload: &str,
+        resolver: Option<&dyn DfiResolver>,
+        width: usize,
+    ) -> AdvfReport {
+        let k = self.config.propagation_window;
+        let stats_before = self.cache.stats();
+        let mut cursor = BatchReplayCursor::new(self.trace);
+
+        // Scheduling pass.
+        let mut plans: Vec<SitePlan> = Vec::with_capacity(sites.len());
+        let mut lane_results: Vec<PropagationResult> = Vec::new();
+        let mut batch: Vec<BatchLane> = Vec::new();
+        let mut grouper = BatchGrouper::new(width, k);
+        let mut batch_walks = 0u64;
+        for site in sites {
+            let rec = cursor
+                .fetch(site.record_id)
+                .expect("site references a record in this trace");
+            let patterns = self.config.patterns.patterns_for(site.value.ty());
+            let mut tags = Vec::with_capacity(patterns.len());
+            for pattern in &patterns {
+                let tag = match analyze_operation(&rec, site.slot, pattern) {
+                    OpVerdict::Masked(kind) => LaneTag::Class(Masking::Operation(kind)),
+                    OpVerdict::NotMasked => LaneTag::Class(Masking::NotMasked),
+                    OpVerdict::NeedsDfi => LaneTag::NeedsDfi,
+                    OpVerdict::OvershadowCandidate { corrupt } => {
+                        LaneTag::Overshadow(self.push_lane(
+                            &mut cursor,
+                            &mut grouper,
+                            &mut batch,
+                            &mut lane_results,
+                            &mut batch_walks,
+                            site,
+                            corrupt,
+                        ))
+                    }
+                    OpVerdict::Propagate { corrupt } => LaneTag::Propagate(self.push_lane(
+                        &mut cursor,
+                        &mut grouper,
+                        &mut batch,
+                        &mut lane_results,
+                        &mut batch_walks,
+                        site,
+                        corrupt,
+                    )),
+                };
+                tags.push(tag);
+            }
+            plans.push(SitePlan {
+                rec,
+                patterns,
+                tags,
+            });
+        }
+        if !batch.is_empty() {
+            cursor.replay_batch(&batch, k, &mut lane_results);
+            batch_walks += 1;
+        }
+        let lanes_batched = lane_results.len() as u64;
+        let batch_fallback_lanes = lane_results.iter().filter(|r| !r.is_masked()).count() as u64;
+
+        // Resolution pass.
+        let mut acc = AdvfAccumulator::new();
+        let mut tallies: Vec<PatternClassTally> = Vec::new();
+        let mut resolved_analytically = 0u64;
+        for (site, plan) in sites.iter().zip(&plans) {
+            let (fractions, used_dfi) = self.fold_site(
+                &plan.rec,
+                site,
+                &plan.patterns,
+                &plan.tags,
+                &lane_results,
+                resolver,
+                &mut tallies,
+            );
+            if !used_dfi {
+                resolved_analytically += 1;
+            }
+            acc.add_participation(&fractions);
+        }
+
+        let stats_after = self.cache.stats();
+        AdvfReport {
+            object: object_name.to_string(),
+            workload: workload.to_string(),
+            accumulator: acc,
+            sites_analyzed: sites.len() as u64,
+            dfi_runs: stats_after.injections - stats_before.injections,
+            dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+            resolved_analytically,
+            dfi_budget_exhausted: self.dfi_budget_exhausted.load(Ordering::Relaxed),
+            patterns: self.config.patterns.canonical(),
+            pattern_tallies: tallies,
+            lanes_batched,
+            batch_walks,
+            batch_fallback_lanes,
+            config_fingerprint: self.config.fingerprint(),
+        }
+    }
+
+    /// Append one replay lane to the open batch (flushing it through the
+    /// cursor first if full or spanning too far) and return its global lane
+    /// index.
+    #[allow(clippy::too_many_arguments)]
+    fn push_lane(
+        &self,
+        cursor: &mut BatchReplayCursor<'a>,
+        grouper: &mut BatchGrouper,
+        batch: &mut Vec<BatchLane>,
+        lane_results: &mut Vec<PropagationResult>,
+        batch_walks: &mut u64,
+        site: &ParticipationSite,
+        corrupt: Vec<CorruptLoc>,
+    ) -> usize {
+        let start = site.record_id + 1;
+        if grouper.must_flush(start) {
+            cursor.replay_batch(batch, self.config.propagation_window, lane_results);
+            batch.clear();
+            grouper.reset();
+            *batch_walks += 1;
+        }
+        grouper.push(start);
+        let lane = lane_results.len() + batch.len();
+        batch.push(BatchLane {
+            start: start as usize,
+            corrupt,
+        });
+        lane
+    }
+
+    /// Fold one site's per-pattern outcomes into fractions and tallies —
+    /// the batched counterpart of [`AdvfAnalyzer::analyze_site_tallied`]'s
+    /// classification loop, consuming precomputed operation verdicts
+    /// (`tags`) and batched replay results instead of replaying inline.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_site(
+        &self,
+        rec: &TraceRecord,
+        site: &ParticipationSite,
+        patterns: &[ErrorPattern],
+        tags: &[LaneTag],
+        lane_results: &[PropagationResult],
+        resolver: Option<&dyn DfiResolver>,
+        tallies: &mut Vec<PatternClassTally>,
+    ) -> (Vec<(Masking, f64)>, bool) {
+        let n = patterns.len() as f64;
+        let mut counts: Vec<(Masking, u64)> = Vec::new();
+        let mut used_dfi = false;
+        for (pattern, tag) in patterns.iter().zip(tags) {
+            let (class, dfi) = match tag {
+                LaneTag::Class(c) => (*c, false),
+                LaneTag::NeedsDfi => match self.resolve_dfi(rec, site, pattern, resolver) {
+                    Some(OutcomeClass::Identical) => (Masking::Propagation, true),
+                    Some(OutcomeClass::Acceptable) => (Masking::Algorithm, true),
+                    Some(_) => (Masking::NotMasked, true),
+                    None => (Masking::NotMasked, false),
+                },
+                LaneTag::Overshadow(lane) => {
+                    if lane_results[*lane].is_masked() {
+                        (Masking::Operation(OpMaskKind::Overshadowing), false)
+                    } else {
+                        match self.resolve_dfi(rec, site, pattern, resolver) {
+                            Some(c) if c.is_success() => {
+                                (Masking::Operation(OpMaskKind::Overshadowing), true)
+                            }
+                            Some(_) => (Masking::NotMasked, true),
+                            None => (Masking::NotMasked, false),
+                        }
+                    }
+                }
+                LaneTag::Propagate(lane) => {
+                    if lane_results[*lane].is_masked() {
+                        (Masking::Propagation, false)
+                    } else {
+                        match self.resolve_dfi(rec, site, pattern, resolver) {
+                            Some(OutcomeClass::Identical) => (Masking::Propagation, true),
+                            Some(OutcomeClass::Acceptable) => (Masking::Algorithm, true),
+                            Some(_) => (Masking::NotMasked, true),
+                            None => (Masking::NotMasked, false),
+                        }
+                    }
+                }
+            };
+            used_dfi |= dfi;
+            record_pattern_class(tallies, pattern.bits.len() as u32, class);
+            if class == Masking::NotMasked {
+                continue;
+            }
+            match counts.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, k)) => *k += 1,
+                None => counts.push((class, 1)),
+            }
+        }
+        (
+            counts.into_iter().map(|(c, k)| (c, k as f64 / n)).collect(),
+            used_dfi,
+        )
     }
 
     /// The site population of this analysis: the strided participation
@@ -206,6 +456,10 @@ impl<'a> AdvfAnalyzer<'a> {
     pub fn pattern_sites(&self, object: ObjectId) -> Vec<ParticipationSite> {
         let mut sites = enumerate_strided_sites(self.trace, object, self.config.site_stride);
         sites.retain(|s| s.pattern_count(&self.config.patterns) > 0);
+        // Enumeration is already ascending by record; normalize anyway so the
+        // lane scheduler's non-decreasing-start invariant never depends on
+        // the enumeration implementation.
+        sites_by_record(&mut sites);
         sites
     }
 
@@ -227,6 +481,23 @@ impl<'a> AdvfAnalyzer<'a> {
         workers: usize,
     ) -> AdvfReport {
         let sites = self.pattern_sites(object);
+        match self.replay_batch.lanes() {
+            Some(width) => {
+                self.analyze_sharded_batched(&sites, object_name, workload, workers, width)
+            }
+            None => self.analyze_sharded_sequential(&sites, object_name, workload, workers),
+        }
+    }
+
+    /// The pre-batching sharded engine: workers claim individual sites and
+    /// replay each (site, pattern) on their private [`ReplayCursor`].
+    fn analyze_sharded_sequential(
+        &self,
+        sites: &[ParticipationSite],
+        object_name: &str,
+        workload: &str,
+        workers: usize,
+    ) -> AdvfReport {
         let selected: Vec<&ParticipationSite> = sites.iter().collect();
         let workers = workers.max(1).min(selected.len().max(1));
         let stats_before = self.cache.stats();
@@ -311,6 +582,178 @@ impl<'a> AdvfAnalyzer<'a> {
             dfi_budget_exhausted: false,
             patterns: self.config.patterns.canonical(),
             pattern_tallies: tallies,
+            lanes_batched: 0,
+            batch_walks: 0,
+            batch_fallback_lanes: 0,
+            config_fingerprint: self.config.fingerprint(),
+        }
+    }
+
+    /// The lane-batched sharded engine.
+    ///
+    /// The scheduling pass runs sequentially (it is pure in-memory record
+    /// inspection) and materializes the *exact* batches the single-threaded
+    /// batched engine would walk; workers then claim whole batches — each
+    /// with a private [`BatchReplayCursor`] — and the per-site fold runs in
+    /// site order, so the report (batch telemetry included) is bit-identical
+    /// to [`AdvfAnalyzer::analyze_batched`] at any worker count.
+    fn analyze_sharded_batched(
+        &self,
+        sites: &[ParticipationSite],
+        object_name: &str,
+        workload: &str,
+        workers: usize,
+        width: usize,
+    ) -> AdvfReport {
+        let k = self.config.propagation_window;
+        let stats_before = self.cache.stats();
+
+        // Scheduling pass: same lane order and batch boundaries as the
+        // sequential batched engine, batches kept instead of walked.
+        let mut cursor = BatchReplayCursor::new(self.trace);
+        let mut plans: Vec<SitePlan> = Vec::with_capacity(sites.len());
+        let mut batches: Vec<Vec<BatchLane>> = Vec::new();
+        let mut open: Vec<BatchLane> = Vec::new();
+        let mut grouper = BatchGrouper::new(width, k);
+        let mut lanes_batched = 0usize;
+        for site in sites {
+            let rec = cursor
+                .fetch(site.record_id)
+                .expect("site references a record in this trace");
+            let patterns = self.config.patterns.patterns_for(site.value.ty());
+            let mut tags = Vec::with_capacity(patterns.len());
+            for pattern in &patterns {
+                let tag = match analyze_operation(&rec, site.slot, pattern) {
+                    OpVerdict::Masked(kind) => LaneTag::Class(Masking::Operation(kind)),
+                    OpVerdict::NotMasked => LaneTag::Class(Masking::NotMasked),
+                    OpVerdict::NeedsDfi => LaneTag::NeedsDfi,
+                    OpVerdict::OvershadowCandidate { corrupt } => {
+                        LaneTag::Overshadow(schedule_lane(
+                            &mut batches,
+                            &mut open,
+                            &mut grouper,
+                            site,
+                            corrupt,
+                            &mut lanes_batched,
+                        ))
+                    }
+                    OpVerdict::Propagate { corrupt } => LaneTag::Propagate(schedule_lane(
+                        &mut batches,
+                        &mut open,
+                        &mut grouper,
+                        site,
+                        corrupt,
+                        &mut lanes_batched,
+                    )),
+                };
+                tags.push(tag);
+            }
+            plans.push(SitePlan {
+                rec,
+                patterns,
+                tags,
+            });
+        }
+        if !open.is_empty() {
+            batches.push(open);
+        }
+        let batch_walks = batches.len() as u64;
+
+        // First global lane index of each batch (lanes are numbered in
+        // scheduling order, batches hold contiguous ranges).
+        let mut offsets = Vec::with_capacity(batches.len());
+        let mut off = 0usize;
+        for b in &batches {
+            offsets.push(off);
+            off += b.len();
+        }
+
+        // Walk pass: workers claim whole batches.
+        let mut slots: Vec<Option<PropagationResult>> = vec![None; lanes_batched];
+        let workers = workers.max(1).min(batches.len().max(1));
+        if workers <= 1 {
+            let mut out = Vec::new();
+            for (b, &lo) in batches.iter().zip(&offsets) {
+                out.clear();
+                cursor.replay_batch(b, k, &mut out);
+                for (j, r) in out.iter().enumerate() {
+                    slots[lo + j] = Some(*r);
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut shards: Vec<Vec<(usize, Vec<PropagationResult>)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let batches = &batches;
+                        scope.spawn(move || {
+                            let mut cursor = BatchReplayCursor::new(self.trace);
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(b) = batches.get(i) else {
+                                    break;
+                                };
+                                let mut out = Vec::with_capacity(b.len());
+                                cursor.replay_batch(b, k, &mut out);
+                                local.push((i, out));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                shards = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batched walk worker panicked"))
+                    .collect();
+            });
+            for local in shards {
+                for (i, out) in local {
+                    for (j, r) in out.into_iter().enumerate() {
+                        slots[offsets[i] + j] = Some(r);
+                    }
+                }
+            }
+        }
+        let lane_results: Vec<PropagationResult> = slots
+            .into_iter()
+            .map(|s| s.expect("every batch was claimed and walked"))
+            .collect();
+        let batch_fallback_lanes = lane_results.iter().filter(|r| !r.is_masked()).count() as u64;
+
+        // Fold pass: site order, no resolver (sharding is analytic-only).
+        let mut acc = AdvfAccumulator::new();
+        let mut tallies: Vec<PatternClassTally> = Vec::new();
+        for (site, plan) in sites.iter().zip(&plans) {
+            let (fractions, _) = self.fold_site(
+                &plan.rec,
+                site,
+                &plan.patterns,
+                &plan.tags,
+                &lane_results,
+                None,
+                &mut tallies,
+            );
+            acc.add_participation(&fractions);
+        }
+
+        let stats_after = self.cache.stats();
+        AdvfReport {
+            object: object_name.to_string(),
+            workload: workload.to_string(),
+            accumulator: acc,
+            sites_analyzed: sites.len() as u64,
+            dfi_runs: stats_after.injections - stats_before.injections,
+            dfi_cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+            resolved_analytically: sites.len() as u64,
+            dfi_budget_exhausted: false,
+            patterns: self.config.patterns.canonical(),
+            pattern_tallies: tallies,
+            lanes_batched: lanes_batched as u64,
+            batch_walks,
+            batch_fallback_lanes,
             config_fingerprint: self.config.fingerprint(),
         }
     }
@@ -484,6 +927,97 @@ impl<'a> AdvfAnalyzer<'a> {
     pub fn dfi_stats(&self) -> crate::resolver::ResolverStats {
         self.cache.stats()
     }
+}
+
+/// Operation-level verdict of one (site, pattern) as recorded by the batched
+/// scheduling pass.  Replay-dependent verdicts carry the global lane index
+/// of their batched walk; the fold pass resolves them (and any DFI) later.
+enum LaneTag {
+    /// Fully decided by the operation rules (including analytically
+    /// not-masked).
+    Class(Masking),
+    /// No analytical verdict at all — goes straight to DFI.
+    NeedsDfi,
+    /// Overshadow candidate: masked iff its replay lane masked, else DFI.
+    Overshadow(usize),
+    /// Propagation candidate: masked iff its replay lane masked, else DFI.
+    Propagate(usize),
+}
+
+/// One site's scheduled work: its trace record, the enumerated error
+/// patterns, and one [`LaneTag`] per pattern.
+struct SitePlan {
+    rec: TraceRecord,
+    patterns: Vec<ErrorPattern>,
+    tags: Vec<LaneTag>,
+}
+
+/// Decides batch boundaries for the lane scheduler.  A batch closes when it
+/// holds `width` lanes or when the next lane would start more than
+/// `span_cap` records after the batch's first lane: lanes sharing a walk
+/// should overlap their windows, or the walk degenerates into disjoint
+/// segments with dead skip-ahead in between.
+struct BatchGrouper {
+    width: usize,
+    span_cap: u64,
+    len: usize,
+    first_start: u64,
+}
+
+impl BatchGrouper {
+    fn new(width: usize, k: usize) -> Self {
+        BatchGrouper {
+            width,
+            // k = 0 still allows grouping lanes at adjacent records: every
+            // lane resolves on activation, so span hardly matters.
+            span_cap: k.max(1) as u64,
+            len: 0,
+            first_start: 0,
+        }
+    }
+
+    /// Must the open batch be flushed before a lane starting at `start`
+    /// (a non-decreasing sequence) can be appended?
+    fn must_flush(&self, start: u64) -> bool {
+        self.len == self.width || (self.len > 0 && start - self.first_start > self.span_cap)
+    }
+
+    fn push(&mut self, start: u64) {
+        if self.len == 0 {
+            self.first_start = start;
+        }
+        self.len += 1;
+    }
+
+    fn reset(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// Sharded-scheduling counterpart of [`AdvfAnalyzer::push_lane`]: append a
+/// lane to the open batch (sealing it first if the grouper says so) and
+/// return the lane's global index.
+fn schedule_lane(
+    batches: &mut Vec<Vec<BatchLane>>,
+    open: &mut Vec<BatchLane>,
+    grouper: &mut BatchGrouper,
+    site: &ParticipationSite,
+    corrupt: Vec<CorruptLoc>,
+    lanes: &mut usize,
+) -> usize {
+    let start = site.record_id + 1;
+    if grouper.must_flush(start) {
+        batches.push(std::mem::take(open));
+        grouper.reset();
+    }
+    grouper.push(start);
+    let lane = *lanes;
+    *lanes += 1;
+    open.push(BatchLane {
+        start: start as usize,
+        corrupt,
+    });
+    lane
 }
 
 /// Record one classified `(pattern, verdict)` into the tally keyed by its
@@ -685,6 +1219,56 @@ mod tests {
             analyzer.analyze_sharded(obj, "par_a", "listing1", 4),
             analyzer.analyze(obj, "par_a", "listing1", None)
         );
+    }
+
+    #[test]
+    fn batched_analysis_matches_sequential_engine_with_dfi() {
+        // Same object, same resolver, every batch width against `Off`: the
+        // whole report — verdict fractions, tallies, DFI run/hit counts —
+        // must match bit-for-bit; only the batch telemetry may differ.
+        let m = listing1_module();
+        let (golden, trace) = run_traced(&m).unwrap();
+        let vm = Vm::with_defaults(&m).unwrap();
+        let obj = vm.objects().by_name("par_a").unwrap().id;
+        let resolver = |fault: &moard_vm::FaultSpec| {
+            let outcome = run_with_fault(&m, fault).unwrap();
+            if !outcome.status.is_completed() {
+                return OutcomeClass::Crashed;
+            }
+            if outcome.bits_identical(&golden) {
+                OutcomeClass::Identical
+            } else if outcome.max_rel_diff(&golden, "out") < 1e-6 {
+                OutcomeClass::Acceptable
+            } else {
+                OutcomeClass::Incorrect
+            }
+        };
+        for k in [0usize, 2, 50] {
+            let config = AnalysisConfig::with_window(k);
+            let off = AdvfAnalyzer::new(&trace, config.clone())
+                .with_replay_batch(ReplayBatch::Off)
+                .analyze(obj, "par_a", "listing1", Some(&resolver));
+            assert_eq!(off.lanes_batched, 0);
+            assert_eq!(off.batch_walks, 0);
+            for width in [1usize, 7, 64] {
+                let batched = AdvfAnalyzer::new(&trace, config.clone())
+                    .with_replay_batch(ReplayBatch::width(width))
+                    .analyze(obj, "par_a", "listing1", Some(&resolver));
+                let mut normalized = batched.clone();
+                normalized.lanes_batched = 0;
+                normalized.batch_walks = 0;
+                normalized.batch_fallback_lanes = 0;
+                assert_eq!(normalized, off, "k={k} width={width}");
+                assert_eq!(batched.advf().to_bits(), off.advf().to_bits());
+                if k > 0 {
+                    assert!(batched.lanes_batched > 0, "k={k} width={width}");
+                    assert!(
+                        batched.batch_walks <= batched.lanes_batched,
+                        "k={k} width={width}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub use error::MoardError;
 pub use error_pattern::{ErrorPattern, ErrorPatternSet};
 pub use masking::{Masking, OpMaskKind};
 pub use op_rules::{analyze_operation, CorruptLoc, OpVerdict};
-pub use propagation::{replay, PropagationResult, ReplayCursor, UnresolvedReason};
+pub use propagation::{
+    replay, BatchLane, BatchReplayCursor, PropagationResult, ReplayBatch, ReplayCursor,
+    UnresolvedReason, MAX_REPLAY_LANES,
+};
 pub use report::{
     check_schema_version, fingerprint_hex, fnv1a, parse_fingerprint, trace_stats_to_json,
     CellVerdict, RfiCampaign, RfiEntry, RfiSummary, StudyEntry, StudyReport, ValidationCell,
@@ -92,8 +95,8 @@ pub use scenario::{
     ScenarioFragment, ScenarioSite, ScenarioSpec, SCENARIO_KIND, SCENARIO_SCHEMA_VERSION,
 };
 pub use sites::{
-    count_fault_sites, enumerate_sites, enumerate_strided_sites, has_sites, ParticipationSite,
-    SiteSlot,
+    count_fault_sites, enumerate_sites, enumerate_strided_sites, has_sites, sites_by_record,
+    ParticipationSite, SiteSlot,
 };
 pub use stats::{
     required_sample_size, supported_confidence, wilson_bounds, wilson_margin, z_value,

@@ -36,7 +36,17 @@
 //!   locations, where linear probing beats hashing by a wide margin;
 //! * a [`ReplayCursor`] owns the state buffers and is reusable across
 //!   replays, so a site loop performs no per-replay allocation.  The free
-//!   [`replay`] function remains as the one-shot convenience entry point.
+//!   [`replay`] function remains as the one-shot convenience entry point;
+//! * up to 64 replays whose windows overlap can share **one** walk over the
+//!   decoded records through a [`BatchReplayCursor`]: its shadow state maps
+//!   each (frame, register) and memory word to a `u64` *lane mask* plus the
+//!   per-lane corrupted values, so a record is decoded (and its shadow
+//!   entries scanned) once for the whole batch instead of once per fault.
+//!   Lanes retire individually — `AllMasked`, window exhaustion, control or
+//!   address divergence — and every verdict is bit-identical to the
+//!   sequential [`ReplayCursor::replay`] because tainted lanes re-evaluate
+//!   the operation with exactly the sequential engine's rules, value by
+//!   value.
 
 use crate::op_rules::CorruptLoc;
 use moard_ir::{eval_binop, eval_cast, eval_cmp, eval_intrinsic, RegId, Value};
@@ -306,6 +316,304 @@ pub fn replay(
     ReplayCursor::new(trace).replay(start_index, initial, k)
 }
 
+/// Maximum number of replays one [`BatchReplayCursor`] walk can carry: one
+/// bit of a `u64` lane mask per replay.
+pub const MAX_REPLAY_LANES: usize = 64;
+
+/// Batch width for the lane-batched replay engine.
+///
+/// This is an *engine* knob, not an analysis parameter: any width (and `Off`)
+/// produces bit-identical reports, so it is deliberately kept out of
+/// [`crate::AnalysisConfig`] and its fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayBatch {
+    /// Sequential replay only: one walk per (site, pattern), the
+    /// pre-batching engine.
+    Off,
+    /// Batch up to this many (1..=64) replays per trace walk.
+    Width(u8),
+}
+
+impl Default for ReplayBatch {
+    fn default() -> Self {
+        ReplayBatch::Width(MAX_REPLAY_LANES as u8)
+    }
+}
+
+impl ReplayBatch {
+    /// A clamped width: `0` means `Off`, anything above 64 saturates to 64.
+    pub fn width(n: usize) -> Self {
+        if n == 0 {
+            ReplayBatch::Off
+        } else {
+            ReplayBatch::Width(n.min(MAX_REPLAY_LANES) as u8)
+        }
+    }
+
+    /// Lanes per walk, or `None` when batching is off.
+    pub fn lanes(&self) -> Option<usize> {
+        match self {
+            ReplayBatch::Off => None,
+            ReplayBatch::Width(n) => Some((*n as usize).clamp(1, MAX_REPLAY_LANES)),
+        }
+    }
+
+    /// Parse a `--replay-batch` flag value: `off`, or a width in 1..=64.
+    pub fn parse_flag(s: &str) -> Result<Self, String> {
+        if s.eq_ignore_ascii_case("off") {
+            return Ok(ReplayBatch::Off);
+        }
+        match s.parse::<usize>() {
+            Ok(n) if (1..=MAX_REPLAY_LANES).contains(&n) => Ok(ReplayBatch::Width(n as u8)),
+            _ => Err(format!(
+                "invalid replay batch '{s}': expected 'off' or a width in 1..={MAX_REPLAY_LANES}"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayBatch::Off => write!(f, "off"),
+            ReplayBatch::Width(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One scheduled replay in a batch: where the walk starts for this lane and
+/// the corrupted locations it seeds.
+#[derive(Debug, Clone)]
+pub struct BatchLane {
+    /// First record position this lane examines (usually `record id + 1`).
+    pub start: usize,
+    /// Initial corrupted locations; an empty seed is trivially masked.
+    pub corrupt: Vec<CorruptLoc>,
+}
+
+/// Filler for unoccupied lane slots; never observable (reads are guarded by
+/// the lane mask).
+const NO_VALUE: Value = Value::I1(false);
+
+/// Iterate the set bit positions of a lane mask, lowest first.
+#[inline]
+fn iter_lanes(mut m: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(lane)
+        }
+    })
+}
+
+/// One shadow entry shared by up to 64 lanes: which lanes hold a corrupted
+/// value here (`mask`) and the per-lane values.
+#[derive(Clone)]
+struct LaneEntry {
+    mask: u64,
+    vals: [Value; MAX_REPLAY_LANES],
+}
+
+impl LaneEntry {
+    fn seeded(lane: usize, value: Value) -> Self {
+        let mut e = LaneEntry {
+            mask: 1u64 << lane,
+            vals: [NO_VALUE; MAX_REPLAY_LANES],
+        };
+        e.vals[lane] = value;
+        e
+    }
+}
+
+/// Lane-masked shadow state: the batched counterpart of [`ShadowState`].
+/// Same small linear tables, but each entry carries a `u64` of lane
+/// occupancy plus the per-lane corrupted values, so one scan of the tables
+/// serves every lane in the batch.
+#[derive(Default)]
+struct BatchShadowState {
+    regs: Vec<((u64, u32), LaneEntry)>,
+    mem: Vec<(u64, LaneEntry)>,
+}
+
+impl BatchShadowState {
+    fn clear(&mut self) {
+        self.regs.clear();
+        self.mem.clear();
+    }
+
+    fn seed_lane(&mut self, lane: usize, locs: &[CorruptLoc]) {
+        for loc in locs {
+            match loc {
+                CorruptLoc::Reg { frame, reg, value } => {
+                    self.reg_insert_lane(*frame, *reg, lane, *value);
+                }
+                CorruptLoc::Mem { addr, value } => {
+                    self.mem_insert_lane(*addr, lane, *value);
+                }
+            }
+        }
+    }
+
+    fn reg_mask(&self, frame: u64, reg: RegId) -> u64 {
+        let key = (frame, reg.0);
+        self.regs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, e)| e.mask)
+    }
+
+    fn reg_lane(&self, frame: u64, reg: RegId, lane: usize) -> Value {
+        let key = (frame, reg.0);
+        let entry = &self
+            .regs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("reg_lane: entry present")
+            .1;
+        debug_assert!(entry.mask >> lane & 1 != 0);
+        entry.vals[lane]
+    }
+
+    /// Lanes whose value of this operand is corrupted.
+    fn operand_mask(&self, frame: u64, v: &TracedVal) -> u64 {
+        match v.source {
+            ValueSource::Reg(r) => self.reg_mask(frame, r),
+            _ => 0,
+        }
+    }
+
+    /// This lane's corrupted value of the operand (its bit must be set in
+    /// [`BatchShadowState::operand_mask`]).
+    fn operand_lane(&self, frame: u64, v: &TracedVal, lane: usize) -> Value {
+        match v.source {
+            ValueSource::Reg(r) => self.reg_lane(frame, r, lane),
+            _ => unreachable!("operand_lane on a non-register source"),
+        }
+    }
+
+    fn reg_insert_lane(&mut self, frame: u64, reg: RegId, lane: usize, value: Value) {
+        let key = (frame, reg.0);
+        match self.regs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, e)) => {
+                e.mask |= 1u64 << lane;
+                e.vals[lane] = value;
+            }
+            None => self.regs.push((key, LaneEntry::seeded(lane, value))),
+        }
+    }
+
+    fn kill_reg_lanes(&mut self, frame: u64, reg: RegId, lanes: u64) {
+        if lanes == 0 {
+            return;
+        }
+        let key = (frame, reg.0);
+        if let Some(i) = self.regs.iter().position(|(k, _)| *k == key) {
+            let e = &mut self.regs[i].1;
+            e.mask &= !lanes;
+            if e.mask == 0 {
+                self.regs.swap_remove(i);
+            }
+        }
+    }
+
+    fn set_reg_lane(
+        &mut self,
+        frame: u64,
+        reg: RegId,
+        lane: usize,
+        corrupted: Value,
+        clean: Value,
+    ) {
+        if corrupted.bits_eq(&clean) {
+            self.kill_reg_lanes(frame, reg, 1u64 << lane);
+        } else {
+            self.reg_insert_lane(frame, reg, lane, corrupted);
+        }
+    }
+
+    /// Drop every register of a returning frame, for all lanes at once.
+    fn drop_frame(&mut self, frame: u64) {
+        self.regs.retain(|((f, _), _)| *f != frame);
+    }
+
+    fn mem_mask(&self, addr: u64) -> u64 {
+        self.mem
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map_or(0, |(_, e)| e.mask)
+    }
+
+    fn mem_lane(&self, addr: u64, lane: usize) -> Value {
+        let entry = &self
+            .mem
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .expect("mem_lane: entry present")
+            .1;
+        debug_assert!(entry.mask >> lane & 1 != 0);
+        entry.vals[lane]
+    }
+
+    fn mem_insert_lane(&mut self, addr: u64, lane: usize, value: Value) {
+        match self.mem.iter_mut().find(|(a, _)| *a == addr) {
+            Some((_, e)) => {
+                e.mask |= 1u64 << lane;
+                e.vals[lane] = value;
+            }
+            None => self.mem.push((addr, LaneEntry::seeded(lane, value))),
+        }
+    }
+
+    fn mem_remove_lanes(&mut self, addr: u64, lanes: u64) {
+        if lanes == 0 {
+            return;
+        }
+        if let Some(i) = self.mem.iter().position(|(a, _)| *a == addr) {
+            let e = &mut self.mem[i].1;
+            e.mask &= !lanes;
+            if e.mask == 0 {
+                self.mem.swap_remove(i);
+            }
+        }
+    }
+
+    /// Union of live lane bits across all register and memory entries; a
+    /// lane absent here has fully masked out.
+    fn union_mask(&self) -> u64 {
+        let regs = self.regs.iter().fold(0u64, |m, (_, e)| m | e.mask);
+        self.mem.iter().fold(regs, |m, (_, e)| m | e.mask)
+    }
+
+    /// Union of live lane bits across memory entries only (the trace-end
+    /// verdict ignores registers of finished frames).
+    fn mem_union_mask(&self) -> u64 {
+        self.mem.iter().fold(0u64, |m, (_, e)| m | e.mask)
+    }
+
+    /// Number of live corrupted locations for one lane.
+    fn live_count(&self, lane: usize) -> usize {
+        let bit = 1u64 << lane;
+        self.regs.iter().filter(|(_, e)| e.mask & bit != 0).count()
+            + self.mem.iter().filter(|(_, e)| e.mask & bit != 0).count()
+    }
+
+    /// Erase one lane's bits everywhere (called when the lane retires).
+    fn clear_lane(&mut self, lane: usize) {
+        let keep = !(1u64 << lane);
+        self.regs.retain_mut(|(_, e)| {
+            e.mask &= keep;
+            e.mask != 0
+        });
+        self.mem.retain_mut(|(_, e)| {
+            e.mask &= keep;
+            e.mask != 0
+        });
+    }
+}
+
 enum StepResult {
     Continue,
     Unresolved(UnresolvedReason),
@@ -554,6 +862,487 @@ fn step(rec: &TraceRecord, state: &mut ShadowState) -> StepResult {
             }
             StepResult::Continue
         }
+    }
+}
+
+/// In-flight state of one batched walk: the lane-masked shadow tables, the
+/// per-lane results, and the set of lanes still advancing.
+///
+/// The step logic mirrors [`step`] arm for arm.  For every record the lanes
+/// split into two classes by the operand masks: untainted lanes share one
+/// bulk kill/remove on the destination, tainted lanes re-evaluate the
+/// operation per lane with exactly the sequential rules.  Per-lane writes
+/// touch only that lane's mask bit and value slot, and the operand masks are
+/// snapshotted before any write, so lanes cannot observe each other — which
+/// is what makes every verdict bit-identical to a sequential replay.
+struct BatchWalk<'a> {
+    state: &'a mut BatchShadowState,
+    results: &'a mut [Option<PropagationResult>],
+    active: u64,
+    scratch_masks: Vec<u64>,
+    scratch_vals: Vec<Value>,
+}
+
+impl BatchWalk<'_> {
+    fn retire_unresolved(&mut self, lane: usize, reason: UnresolvedReason) {
+        let live = self.state.live_count(lane);
+        self.results[lane] = Some(PropagationResult::Unresolved {
+            reason,
+            live_locations: live,
+        });
+        self.active &= !(1u64 << lane);
+        self.state.clear_lane(lane);
+    }
+
+    /// Retire a lane whose corruption fully masked out.  Its bits are
+    /// already absent from every entry, so no state cleanup is needed.
+    fn retire_masked(&mut self, lane: usize, ops_examined: usize) {
+        self.results[lane] = Some(PropagationResult::AllMasked { ops_examined });
+        self.active &= !(1u64 << lane);
+    }
+
+    fn step(&mut self, rec: &TraceRecord) {
+        let frame = rec.frame;
+        match &rec.op {
+            TraceOp::Bin {
+                op,
+                ty,
+                lhs,
+                rhs,
+                result,
+            } => {
+                let ml = self.state.operand_mask(frame, lhs) & self.active;
+                let mr = self.state.operand_mask(frame, rhs) & self.active;
+                let dst = rec.dst.expect("bin has dst");
+                self.state
+                    .kill_reg_lanes(frame, dst, self.active & !(ml | mr));
+                for lane in iter_lanes(ml | mr) {
+                    let a = if ml >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, lhs, lane)
+                    } else {
+                        lhs.value
+                    };
+                    let b = if mr >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, rhs, lane)
+                    } else {
+                        rhs.value
+                    };
+                    match eval_binop(*op, *ty, &a, &b) {
+                        Ok(r) => self.state.set_reg_lane(frame, dst, lane, r, *result),
+                        Err(_) => self.retire_unresolved(lane, UnresolvedReason::EvalTrap),
+                    }
+                }
+            }
+            TraceOp::Cmp {
+                pred,
+                lhs,
+                rhs,
+                result,
+            } => {
+                let ml = self.state.operand_mask(frame, lhs) & self.active;
+                let mr = self.state.operand_mask(frame, rhs) & self.active;
+                let dst = rec.dst.expect("cmp has dst");
+                self.state
+                    .kill_reg_lanes(frame, dst, self.active & !(ml | mr));
+                for lane in iter_lanes(ml | mr) {
+                    let a = if ml >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, lhs, lane)
+                    } else {
+                        lhs.value
+                    };
+                    let b = if mr >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, rhs, lane)
+                    } else {
+                        rhs.value
+                    };
+                    match eval_cmp(*pred, &a, &b) {
+                        Ok(r) => self.state.set_reg_lane(frame, dst, lane, r, *result),
+                        Err(_) => self.retire_unresolved(lane, UnresolvedReason::EvalTrap),
+                    }
+                }
+            }
+            TraceOp::Cast {
+                kind,
+                to,
+                src,
+                result,
+            } => {
+                let ms = self.state.operand_mask(frame, src) & self.active;
+                let dst = rec.dst.expect("cast has dst");
+                self.state.kill_reg_lanes(frame, dst, self.active & !ms);
+                for lane in iter_lanes(ms) {
+                    let v = self.state.operand_lane(frame, src, lane);
+                    match eval_cast(*kind, *to, &v) {
+                        Ok(r) => self.state.set_reg_lane(frame, dst, lane, r, *result),
+                        Err(_) => self.retire_unresolved(lane, UnresolvedReason::EvalTrap),
+                    }
+                }
+            }
+            TraceOp::Load {
+                addr,
+                addr_src,
+                result,
+                ..
+            } => {
+                if let ValueSource::Reg(r) = addr_src {
+                    for lane in iter_lanes(self.state.reg_mask(frame, *r) & self.active) {
+                        self.retire_unresolved(lane, UnresolvedReason::AddressDivergence);
+                    }
+                }
+                let dst = rec.dst.expect("load has dst");
+                let mm = self.state.mem_mask(*addr) & self.active;
+                self.state.kill_reg_lanes(frame, dst, self.active & !mm);
+                for lane in iter_lanes(mm) {
+                    let v = self.state.mem_lane(*addr, lane);
+                    self.state.set_reg_lane(frame, dst, lane, v, *result);
+                }
+            }
+            TraceOp::Store {
+                addr,
+                addr_src,
+                value,
+                ..
+            } => {
+                if let ValueSource::Reg(r) = addr_src {
+                    for lane in iter_lanes(self.state.reg_mask(frame, *r) & self.active) {
+                        self.retire_unresolved(lane, UnresolvedReason::AddressDivergence);
+                    }
+                }
+                let mv = self.state.operand_mask(frame, value) & self.active;
+                // Clean value overwrites any corrupted memory.
+                self.state.mem_remove_lanes(*addr, self.active & !mv);
+                for lane in iter_lanes(mv) {
+                    let corrupted = self.state.operand_lane(frame, value, lane);
+                    if corrupted.bits_eq(&value.value) {
+                        self.state.mem_remove_lanes(*addr, 1u64 << lane);
+                    } else {
+                        self.state.mem_insert_lane(*addr, lane, corrupted);
+                    }
+                }
+            }
+            TraceOp::Gep {
+                base,
+                index,
+                elem_size,
+                result,
+            } => {
+                let mb = self.state.operand_mask(frame, base) & self.active;
+                let mi = self.state.operand_mask(frame, index) & self.active;
+                let dst = rec.dst.expect("gep has dst");
+                self.state
+                    .kill_reg_lanes(frame, dst, self.active & !(mb | mi));
+                for lane in iter_lanes(mb | mi) {
+                    let b = if mb >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, base, lane)
+                    } else {
+                        base.value
+                    };
+                    let i = if mi >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, index, lane)
+                    } else {
+                        index.value
+                    };
+                    let a = b
+                        .as_u64()
+                        .wrapping_add((i.as_i64() as u64).wrapping_mul(*elem_size));
+                    self.state
+                        .set_reg_lane(frame, dst, lane, Value::Ptr(a), *result);
+                }
+            }
+            TraceOp::Select {
+                cond,
+                then_v,
+                else_v,
+                result,
+            } => {
+                let mc = self.state.operand_mask(frame, cond) & self.active;
+                let mt = self.state.operand_mask(frame, then_v) & self.active;
+                let me = self.state.operand_mask(frame, else_v) & self.active;
+                let dst = rec.dst.expect("select has dst");
+                self.state
+                    .kill_reg_lanes(frame, dst, self.active & !(mc | mt | me));
+                for lane in iter_lanes(mc | mt | me) {
+                    let c = if mc >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, cond, lane)
+                    } else {
+                        cond.value
+                    };
+                    let t = if mt >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, then_v, lane)
+                    } else {
+                        then_v.value
+                    };
+                    let e = if me >> lane & 1 != 0 {
+                        self.state.operand_lane(frame, else_v, lane)
+                    } else {
+                        else_v.value
+                    };
+                    let r = if c.is_truthy() { t } else { e };
+                    self.state.set_reg_lane(frame, dst, lane, r, *result);
+                }
+            }
+            TraceOp::Intrinsic { intr, args, result } => {
+                let dst = rec.dst.expect("intrinsic has dst");
+                self.scratch_masks.clear();
+                let mut tainted = 0u64;
+                for a in args {
+                    let m = self.state.operand_mask(frame, a) & self.active;
+                    self.scratch_masks.push(m);
+                    tainted |= m;
+                }
+                self.state
+                    .kill_reg_lanes(frame, dst, self.active & !tainted);
+                for lane in iter_lanes(tainted) {
+                    self.scratch_vals.clear();
+                    for (a, m) in args.iter().zip(&self.scratch_masks) {
+                        self.scratch_vals.push(if m >> lane & 1 != 0 {
+                            self.state.operand_lane(frame, a, lane)
+                        } else {
+                            a.value
+                        });
+                    }
+                    match eval_intrinsic(*intr, &self.scratch_vals) {
+                        Ok(r) => self.state.set_reg_lane(frame, dst, lane, r, *result),
+                        Err(_) => self.retire_unresolved(lane, UnresolvedReason::EvalTrap),
+                    }
+                }
+            }
+            TraceOp::Mov { src, result } => {
+                let ms = self.state.operand_mask(frame, src) & self.active;
+                let dst = rec.dst.expect("mov has dst");
+                self.state.kill_reg_lanes(frame, dst, self.active & !ms);
+                for lane in iter_lanes(ms) {
+                    let v = self.state.operand_lane(frame, src, lane);
+                    self.state.set_reg_lane(frame, dst, lane, v, *result);
+                }
+            }
+            TraceOp::Call {
+                args,
+                callee_frame,
+                param_regs,
+                ..
+            } => {
+                for (arg, param) in args.iter().zip(param_regs.iter()) {
+                    for lane in iter_lanes(self.state.operand_mask(frame, arg) & self.active) {
+                        let v = self.state.operand_lane(frame, arg, lane);
+                        self.state
+                            .set_reg_lane(*callee_frame, *param, lane, v, arg.value);
+                    }
+                }
+            }
+            TraceOp::Ret {
+                value,
+                caller_frame,
+                dst_in_caller,
+            } => {
+                let rm = match value {
+                    Some(v) => self.state.operand_mask(frame, v) & self.active,
+                    None => 0,
+                };
+                // Capture per-lane return values before the frame's
+                // registers die.
+                let mut ret_vals = [NO_VALUE; MAX_REPLAY_LANES];
+                if let Some(v) = value {
+                    for lane in iter_lanes(rm) {
+                        ret_vals[lane] = self.state.operand_lane(frame, v, lane);
+                    }
+                }
+                self.state.drop_frame(frame);
+                if let (Some(cf), Some(dst)) = (caller_frame, dst_in_caller) {
+                    self.state.kill_reg_lanes(*cf, *dst, self.active & !rm);
+                    if let Some(clean) = value {
+                        for lane in iter_lanes(rm) {
+                            self.state
+                                .set_reg_lane(*cf, *dst, lane, ret_vals[lane], clean.value);
+                        }
+                    }
+                } else if let Some(clean) = value {
+                    // Corrupted final program return value: the outcome
+                    // differs.
+                    for lane in iter_lanes(rm) {
+                        if !ret_vals[lane].bits_eq(&clean.value) {
+                            self.retire_unresolved(lane, UnresolvedReason::TraceEnded);
+                        }
+                    }
+                }
+            }
+            TraceOp::CondBr { cond, taken } => {
+                for lane in iter_lanes(self.state.operand_mask(frame, cond) & self.active) {
+                    let v = self.state.operand_lane(frame, cond, lane);
+                    if v.is_truthy() != *taken {
+                        self.retire_unresolved(lane, UnresolvedReason::ControlDivergence);
+                    }
+                }
+            }
+            TraceOp::Switch { value, .. } => {
+                for lane in iter_lanes(self.state.operand_mask(frame, value) & self.active) {
+                    let v = self.state.operand_lane(frame, value, lane);
+                    if !v.bits_eq(&value.value) {
+                        self.retire_unresolved(lane, UnresolvedReason::ControlDivergence);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A reusable lane-batched replay cursor: up to [`MAX_REPLAY_LANES`] replays
+/// share one walk over the decoded records.
+///
+/// Like [`ReplayCursor`] it owns its state buffers and a warm
+/// [`TraceRead`] reader, so on the paged backend one decoded segment now
+/// serves every lane in the batch instead of a single replay.
+pub struct BatchReplayCursor<'t> {
+    trace: &'t dyn TraceStorage,
+    len: u64,
+    reader: Box<dyn TraceRead + 't>,
+    state: BatchShadowState,
+}
+
+impl<'t> BatchReplayCursor<'t> {
+    /// A cursor over `trace` with empty state buffers.
+    pub fn new(trace: &'t dyn TraceStorage) -> Self {
+        BatchReplayCursor {
+            trace,
+            len: trace.len(),
+            reader: trace.new_reader(),
+            state: BatchShadowState::default(),
+        }
+    }
+
+    /// The trace this cursor walks.
+    pub fn trace(&self) -> &'t dyn TraceStorage {
+        self.trace
+    }
+
+    /// Clone one record out of the trace through this cursor's warm reader
+    /// (same rationale as [`ReplayCursor::fetch`]).
+    pub fn fetch(&mut self, id: u64) -> Option<TraceRecord> {
+        self.reader.fetch(id)
+    }
+
+    /// Replay every lane of `batch` (each at most `k` records from its own
+    /// `start`) in one walk, appending one [`PropagationResult`] per lane to
+    /// `out` in lane order.
+    ///
+    /// Lanes must be sorted by ascending `start` and there can be at most
+    /// [`MAX_REPLAY_LANES`] of them.  Lanes activate when the walk reaches
+    /// their start and retire individually; when no lane is live the walk
+    /// skips straight to the next start.  Lanes the walk never reaches
+    /// (start at/past the trace end, or beyond a poisoned backend's decode
+    /// error) fall back to the one-shot sequential [`replay`] — rare tail
+    /// cases where exactness matters more than batching.
+    pub fn replay_batch(
+        &mut self,
+        batch: &[BatchLane],
+        k: usize,
+        out: &mut Vec<PropagationResult>,
+    ) {
+        assert!(
+            batch.len() <= MAX_REPLAY_LANES,
+            "at most {MAX_REPLAY_LANES} lanes per batch"
+        );
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].start <= w[1].start),
+            "batch lanes must be sorted by start"
+        );
+        self.state.clear();
+        let n = batch.len();
+        let mut results: Vec<Option<PropagationResult>> = vec![None; n];
+        let mut starts = [0u64; MAX_REPLAY_LANES];
+        for (i, lane) in batch.iter().enumerate() {
+            starts[i] = lane.start as u64;
+            if lane.corrupt.is_empty() {
+                results[i] = Some(PropagationResult::AllMasked { ops_examined: 0 });
+            }
+        }
+        {
+            let mut walk = BatchWalk {
+                state: &mut self.state,
+                results: &mut results,
+                active: 0,
+                scratch_masks: Vec::new(),
+                scratch_vals: Vec::new(),
+            };
+            let mut next_pending = 0usize;
+            while next_pending < n && walk.results[next_pending].is_some() {
+                next_pending += 1;
+            }
+            let mut pos = if next_pending < n {
+                starts[next_pending]
+            } else {
+                self.len
+            };
+            'walk: while pos < self.len && (walk.active != 0 || next_pending < n) {
+                let run = self.reader.run_from(pos);
+                if run.is_empty() {
+                    break;
+                }
+                for rec in run {
+                    // Activate lanes whose window starts at this record.
+                    while next_pending < n && starts[next_pending] == pos {
+                        if walk.results[next_pending].is_none() {
+                            walk.state
+                                .seed_lane(next_pending, &batch[next_pending].corrupt);
+                            walk.active |= 1u64 << next_pending;
+                        }
+                        next_pending += 1;
+                    }
+                    if walk.active == 0 {
+                        // Nothing live: hop straight to the next start.
+                        while next_pending < n && walk.results[next_pending].is_some() {
+                            next_pending += 1;
+                        }
+                        if next_pending >= n {
+                            break 'walk;
+                        }
+                        pos = starts[next_pending];
+                        continue 'walk;
+                    }
+                    // Per-lane window exhaustion, checked before the record
+                    // is examined (handles k = 0 like the sequential engine).
+                    for lane in iter_lanes(walk.active) {
+                        if pos - starts[lane] >= k as u64 {
+                            walk.retire_unresolved(lane, UnresolvedReason::WindowExhausted);
+                        }
+                    }
+                    if walk.active != 0 {
+                        walk.step(rec);
+                        // Lanes with no live bits anywhere fully masked out.
+                        let clean = walk.active & !walk.state.union_mask();
+                        for lane in iter_lanes(clean) {
+                            walk.retire_masked(lane, (pos + 1 - starts[lane]) as usize);
+                        }
+                    }
+                    pos += 1;
+                }
+            }
+            // Trace ended (or the backend poisoned itself) with lanes still
+            // live: same verdict rule as the sequential engine — only
+            // corrupted *memory* survives the end of the trace.
+            let mem_live = walk.state.mem_union_mask();
+            for lane in iter_lanes(walk.active) {
+                let examined = (pos - starts[lane]) as usize;
+                walk.results[lane] = Some(if mem_live >> lane & 1 == 0 {
+                    PropagationResult::AllMasked {
+                        ops_examined: examined,
+                    }
+                } else {
+                    PropagationResult::Unresolved {
+                        reason: UnresolvedReason::TraceEnded,
+                        live_locations: walk.state.live_count(lane),
+                    }
+                });
+            }
+        }
+        // Lanes the walk never reached resolve through the exact sequential
+        // engine.
+        for (i, lane) in batch.iter().enumerate() {
+            if results[i].is_none() {
+                results[i] = Some(replay(self.trace, lane.start, &lane.corrupt, k));
+            }
+        }
+        out.extend(results.into_iter().map(|r| r.expect("lane resolved")));
     }
 }
 
@@ -916,6 +1705,179 @@ mod tests {
                 "stride {stride} must exercise a window shorter than k"
             );
         }
+    }
+
+    /// A fixture with branches, selects-by-control-flow, loops and stores:
+    /// enough op variety that a batched walk exercises every retirement kind
+    /// (masking, window exhaustion, control divergence, trace end).
+    fn parity_module() -> Module {
+        let mut m = Module::new("parity");
+        let v = m.add_global(Global::from_f64("v", &[1.0, -2.0, 3.0, 4.0]));
+        let sum = m.add_global(Global::zeroed("sum", Type::F64, 1));
+        let pos = m.add_global(Global::zeroed("pos", Type::F64, 1));
+        let mut f = FunctionBuilder::new("main", &[], Some(Type::F64));
+        f.store_elem(
+            Type::F64,
+            sum,
+            Operand::const_i64(0),
+            Operand::const_f64(0.0),
+        );
+        f.for_loop(Operand::const_i64(0), Operand::const_i64(4), |f, i| {
+            let vi = f.load_elem(Type::F64, v, Operand::Reg(i));
+            let c = f.cmp(CmpPred::FOgt, Operand::Reg(vi), Operand::const_f64(0.0));
+            f.if_then_else(
+                Operand::Reg(c),
+                |f| {
+                    f.store_elem(Type::F64, pos, Operand::const_i64(0), Operand::Reg(vi));
+                },
+                |f| {
+                    f.store_elem(
+                        Type::F64,
+                        pos,
+                        Operand::const_i64(0),
+                        Operand::const_f64(0.0),
+                    );
+                },
+            );
+            let sq = f.fmul(Operand::Reg(vi), Operand::Reg(vi));
+            let s = f.load_elem(Type::F64, sum, Operand::const_i64(0));
+            let ns = f.fadd(Operand::Reg(s), Operand::Reg(sq));
+            f.store_elem(Type::F64, sum, Operand::const_i64(0), Operand::Reg(ns));
+        });
+        let out = f.load_elem(Type::F64, sum, Operand::const_i64(0));
+        f.ret(Some(Operand::Reg(out)));
+        m.add_function(f.finish());
+        moard_ir::verify::assert_verified(&m);
+        m
+    }
+
+    /// The clean destination value a record produced, when it has one.
+    fn dst_result(rec: &TraceRecord) -> Option<Value> {
+        match &rec.op {
+            TraceOp::Bin { result, .. }
+            | TraceOp::Cmp { result, .. }
+            | TraceOp::Cast { result, .. }
+            | TraceOp::Load { result, .. }
+            | TraceOp::Gep { result, .. }
+            | TraceOp::Select { result, .. }
+            | TraceOp::Intrinsic { result, .. }
+            | TraceOp::Mov { result, .. } => Some(*result),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_to_sequential() {
+        let mut max_lanes = 0usize;
+        for m in [overwrite_later_module(), parity_module()] {
+            let (_, trace) = run_traced(&m).unwrap();
+            // Lanes from every record: a type-correct bit flip of each
+            // destination register, periodic multi-location memory seeds, a
+            // mixed reg+mem seed, plus tail starts at and past the trace end
+            // and a trivially-masked empty seed.
+            let mut lanes: Vec<BatchLane> = Vec::new();
+            lanes.push(BatchLane {
+                start: 0,
+                corrupt: vec![],
+            });
+            for rec in trace.iter() {
+                let start = rec.id as usize + 1;
+                if let (Some(dst), Some(clean)) = (rec.dst, dst_result(rec)) {
+                    lanes.push(BatchLane {
+                        start,
+                        corrupt: vec![CorruptLoc::Reg {
+                            frame: rec.frame,
+                            reg: dst,
+                            value: clean.flip_bit(0),
+                        }],
+                    });
+                }
+                if rec.id % 3 == 0 {
+                    lanes.push(BatchLane {
+                        start,
+                        corrupt: vec![
+                            CorruptLoc::Mem {
+                                addr: 0x1000,
+                                value: Value::F64(99.5),
+                            },
+                            CorruptLoc::Mem {
+                                addr: 0x1008,
+                                value: Value::F64(-7.0),
+                            },
+                        ],
+                    });
+                }
+                if rec.id % 4 == 1 {
+                    if let (Some(dst), Some(clean)) = (rec.dst, dst_result(rec)) {
+                        lanes.push(BatchLane {
+                            start,
+                            corrupt: vec![
+                                CorruptLoc::Reg {
+                                    frame: rec.frame,
+                                    reg: dst,
+                                    value: clean.flip_bits(&[1, 2]),
+                                },
+                                CorruptLoc::Mem {
+                                    addr: 0x1000,
+                                    value: Value::F64(3.25),
+                                },
+                            ],
+                        });
+                    }
+                }
+            }
+            let len = trace.len();
+            lanes.push(BatchLane {
+                start: len,
+                corrupt: vec![CorruptLoc::Mem {
+                    addr: 0x1000,
+                    value: Value::F64(1.5),
+                }],
+            });
+            lanes.push(BatchLane {
+                start: len + 9,
+                corrupt: vec![CorruptLoc::Reg {
+                    frame: 0,
+                    reg: moard_ir::RegId(0),
+                    value: Value::I64(7),
+                }],
+            });
+            lanes.sort_by_key(|l| l.start);
+            max_lanes = max_lanes.max(lanes.len());
+
+            let mut cursor = BatchReplayCursor::new(&trace);
+            for k in [0usize, 1, 3, 10, 50, 100_000] {
+                let sequential: Vec<PropagationResult> = lanes
+                    .iter()
+                    .map(|l| replay(&trace, l.start, &l.corrupt, k))
+                    .collect();
+                for width in [1usize, 3, 7, 64] {
+                    let mut batched = Vec::new();
+                    for chunk in lanes.chunks(width) {
+                        cursor.replay_batch(chunk, k, &mut batched);
+                    }
+                    assert_eq!(batched, sequential, "k={k} width={width}");
+                }
+            }
+        }
+        assert!(max_lanes > MAX_REPLAY_LANES, "population fills a batch");
+    }
+
+    #[test]
+    fn replay_batch_flag_parsing() {
+        assert_eq!(ReplayBatch::parse_flag("off"), Ok(ReplayBatch::Off));
+        assert_eq!(ReplayBatch::parse_flag("OFF"), Ok(ReplayBatch::Off));
+        assert_eq!(ReplayBatch::parse_flag("1"), Ok(ReplayBatch::Width(1)));
+        assert_eq!(ReplayBatch::parse_flag("64"), Ok(ReplayBatch::Width(64)));
+        assert!(ReplayBatch::parse_flag("0").is_err());
+        assert!(ReplayBatch::parse_flag("65").is_err());
+        assert!(ReplayBatch::parse_flag("fast").is_err());
+        assert_eq!(ReplayBatch::width(0), ReplayBatch::Off);
+        assert_eq!(ReplayBatch::width(200), ReplayBatch::Width(64));
+        assert_eq!(ReplayBatch::default().lanes(), Some(64));
+        assert_eq!(ReplayBatch::Off.lanes(), None);
+        assert_eq!(ReplayBatch::Width(7).to_string(), "7");
+        assert_eq!(ReplayBatch::Off.to_string(), "off");
     }
 
     #[test]

@@ -32,7 +32,12 @@ use moard_json::{FromJson, Json, JsonError, ToJson};
 ///   `pattern_tallies` (per-pattern-class masking tallies) fields, and the
 ///   RFI entries of study reports record the pattern set their campaigns
 ///   sampled.  Masking tallies of single-bit reports are unchanged.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **3** — lane-batched replay engine: `AdvfReport` documents gain the
+///   additive telemetry fields `lanes_batched`, `batch_walks` and
+///   `batch_fallback_lanes` (all zero when batching is off).  Verdicts and
+///   every pre-existing field are byte-identical to version 2; only the
+///   version number and the three new fields change.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// FNV-1a over a byte string — the canonical 64-bit fingerprint hash.
 /// Analysis-config fingerprints, study-spec fingerprints, and the result
@@ -255,6 +260,12 @@ impl ToJson for AdvfReport {
                 "dfi_budget_exhausted",
                 Json::from(self.dfi_budget_exhausted),
             ),
+            ("lanes_batched", Json::from(self.lanes_batched)),
+            ("batch_walks", Json::from(self.batch_walks)),
+            (
+                "batch_fallback_lanes",
+                Json::from(self.batch_fallback_lanes),
+            ),
             ("patterns", Json::from(self.patterns.as_str())),
             (
                 "pattern_tallies",
@@ -289,6 +300,9 @@ impl AdvfReport {
                     expected: "a boolean",
                 })
                 .map_err(MoardError::Json)?,
+            lanes_batched: doc.u64_field("lanes_batched")?,
+            batch_walks: doc.u64_field("batch_walks")?,
+            batch_fallback_lanes: doc.u64_field("batch_fallback_lanes")?,
             patterns: doc.str_field("patterns")?.to_string(),
             pattern_tallies: doc
                 .arr_field("pattern_tallies")?
@@ -1086,6 +1100,9 @@ mod tests {
             dfi_budget_exhausted: false,
             patterns: "single-bit".into(),
             pattern_tallies: vec![tally],
+            lanes_batched: 3,
+            batch_walks: 1,
+            batch_fallback_lanes: 2,
             config_fingerprint: AnalysisConfig::default().fingerprint(),
         }
     }
@@ -1329,6 +1346,9 @@ mod tests {
                 dfi_budget_exhausted,
                 patterns: config.patterns.canonical(),
                 pattern_tallies: vec![],
+                lanes_batched: 0,
+                batch_walks: 0,
+                batch_fallback_lanes: 0,
                 config_fingerprint: config.fingerprint(),
             },
             rfi: RfiCampaign {

@@ -17,7 +17,8 @@
 use crate::sites::SiteSlot;
 use moard_vm::{FaultSpec, OutcomeClass, TraceRecord};
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Something that can run a deterministic fault injection and classify the
 /// outcome.  Implemented by `moard-inject::DeterministicInjector`; test code
@@ -84,10 +85,26 @@ pub struct ResolverStats {
     pub cache_hits: u64,
 }
 
+/// Number of lock stripes in the [`EquivalenceCache`].  A power of two so
+/// stripe selection is a mask; 16 keeps contention negligible at the worker
+/// counts the analyzers actually run (the pool is CPU-bound, not lock-bound).
+const CACHE_STRIPES: usize = 16;
+
 /// A concurrent memoization layer over a [`DfiResolver`].
+///
+/// The map is *lock-striped*: keys hash to one of [`CACHE_STRIPES`]
+/// independently locked shards, so concurrent workers resolving faults at
+/// different static sites never serialize on a single global lock.  The
+/// stats are plain atomics.  Two workers racing on the *same* key may both
+/// miss and both inject — the resolver is deterministic, so both arrive at
+/// the same verdict and both count as injections, exactly as the previous
+/// single-lock implementation behaved (the read lock was released before
+/// the injection ran).  `cache_hits` stays exact: a hit is counted iff the
+/// verdict was answered from the map.
 pub struct EquivalenceCache {
-    map: RwLock<HashMap<EquivalenceKey, OutcomeClass>>,
-    stats: RwLock<ResolverStats>,
+    stripes: [Mutex<HashMap<EquivalenceKey, OutcomeClass>>; CACHE_STRIPES],
+    injections: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 impl Default for EquivalenceCache {
@@ -96,31 +113,54 @@ impl Default for EquivalenceCache {
     }
 }
 
+/// FNV-1a over the key's raw fields — cheap, stable, and independent of the
+/// `HashMap`'s own randomized hasher, so stripe spread survives pathological
+/// site populations (e.g. every site in one function).
+fn stripe_of(key: &EquivalenceKey) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let (f, b, i) = key.static_key;
+    mix((f as u64) << 32 | b as u64);
+    mix((i as u64) << 32 | key.slot_key as u64);
+    mix(key.value_bits);
+    mix(key.mask);
+    (h as usize) & (CACHE_STRIPES - 1)
+}
+
 impl EquivalenceCache {
     /// Create an empty cache.
     pub fn new() -> Self {
         EquivalenceCache {
-            map: RwLock::new(HashMap::new()),
-            stats: RwLock::new(ResolverStats::default()),
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            injections: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
         }
     }
 
     /// Resolve `fault` for the site identified by `key`, using the cache when
-    /// an equivalent fault was already injected.
+    /// an equivalent fault was already injected.  The injection itself runs
+    /// outside every lock: a slow resolver blocks only the workers that need
+    /// this exact stripe, and only for the map probe.
     pub fn classify(
         &self,
         key: EquivalenceKey,
         fault: &FaultSpec,
         resolver: &dyn DfiResolver,
     ) -> OutcomeClass {
-        if let Some(v) = self.map.read().expect("cache lock poisoned").get(&key) {
-            self.stats.write().expect("stats lock poisoned").cache_hits += 1;
+        let stripe = &self.stripes[stripe_of(&key)];
+        if let Some(v) = stripe.lock().expect("cache lock poisoned").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return *v;
         }
         let verdict = resolver.classify(fault);
-        self.stats.write().expect("stats lock poisoned").injections += 1;
-        self.map
-            .write()
+        self.injections.fetch_add(1, Ordering::Relaxed);
+        stripe
+            .lock()
             .expect("cache lock poisoned")
             .insert(key, verdict);
         verdict
@@ -128,17 +168,23 @@ impl EquivalenceCache {
 
     /// Current statistics.
     pub fn stats(&self) -> ResolverStats {
-        *self.stats.read().expect("stats lock poisoned")
+        ResolverStats {
+            injections: self.injections.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct equivalence classes resolved so far.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("cache lock poisoned").len())
+            .sum()
     }
 
     /// True if nothing has been resolved yet.
     pub fn is_empty(&self) -> bool {
-        self.map.read().expect("cache lock poisoned").is_empty()
+        self.len() == 0
     }
 }
 
@@ -223,6 +269,51 @@ mod tests {
         );
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.stats().injections, 5);
+    }
+
+    #[test]
+    fn striped_cache_keeps_stats_exact_under_concurrency() {
+        // Many threads hammering a shared key population: every classify is
+        // either a hit or an injection (no lost updates), every distinct key
+        // lands in exactly one stripe, and hits stay exact.
+        let cache = EquivalenceCache::new();
+        let resolver = |_: &FaultSpec| OutcomeClass::Identical;
+        let keys: Vec<EquivalenceKey> = (0..64)
+            .map(|i| EquivalenceKey::new(&record(i % 4, i), SiteSlot::Operand(0), i as u64, 1))
+            .collect();
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                let keys = &keys;
+                scope.spawn(move || {
+                    let fault = FaultSpec::single_bit(42, FaultTarget::Operand(0), 0);
+                    for r in 0..ROUNDS {
+                        for key in keys.iter().skip((t + r) % keys.len()) {
+                            assert_eq!(
+                                cache.classify(*key, &fault, &resolver),
+                                OutcomeClass::Identical
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        // Distinct static (func, inst) pairs: 64 (func = i % 4 recurs, but
+        // inst = i is unique, and value_bits differs too).
+        assert_eq!(cache.len(), 64);
+        assert!(!cache.is_empty());
+        let stats = cache.stats();
+        let total: u64 = stats.injections + stats.cache_hits;
+        let n = keys.len();
+        let classified: u64 = (0..THREADS)
+            .flat_map(|t| (0..ROUNDS).map(move |r| (n - (t + r) % n) as u64))
+            .sum();
+        assert_eq!(total, classified, "every classify counted exactly once");
+        // At least one injection per distinct key; racers may add a few more.
+        assert!(stats.injections >= 64);
+        assert!(stats.cache_hits <= classified - 64);
     }
 
     #[test]

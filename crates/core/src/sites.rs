@@ -178,6 +178,20 @@ pub fn collect_sites_for_record(
     }
 }
 
+/// Normalize a site population to ascending record order (stable: within one
+/// record, operand/store-dest order is preserved).
+///
+/// [`enumerate_sites`] and [`enumerate_strided_sites`] already yield this
+/// order, but the lane-batch replay scheduler *depends* on it — batches walk
+/// the trace monotonically — so every consumer normalizes through this one
+/// helper instead of re-sorting (or silently assuming) at each call site.
+/// Already-sorted input is a single O(n) scan.
+pub fn sites_by_record(sites: &mut [ParticipationSite]) {
+    if !sites.windows(2).all(|w| w[0].record_id <= w[1].record_id) {
+        sites.sort_by_key(|s| s.record_id);
+    }
+}
+
 /// Total number of valid fault-injection sites for an object under a
 /// pattern set (the "trillions of sites" quantity of §V-B, at our scale):
 /// every participation site contributes one injection site per pattern the
@@ -274,6 +288,38 @@ mod tests {
             count_fault_sites(&trace, v_obj, &ErrorPatternSet::SeparatedPair { gap: 8 }),
             8 * 56
         );
+    }
+
+    #[test]
+    fn sites_by_record_normalizes_and_is_stable() {
+        let (m, _v, _sum) = l2norm_like();
+        let (_, trace) = run_traced(&m).unwrap();
+        let vm = moard_vm::Vm::with_defaults(&m).unwrap();
+        // The fmul consumes v[i] twice, so each fmul record contributes two
+        // sites — same record id, distinct slots — which exercises the
+        // stability requirement.
+        let v_obj = vm.objects().by_name("v").unwrap().id;
+        let sorted = enumerate_sites(&trace, v_obj);
+        assert!(sorted.windows(2).any(|w| w[0].record_id == w[1].record_id));
+
+        // Enumeration order is already record order: normalizing is identity.
+        let mut normalized = sorted.clone();
+        sites_by_record(&mut normalized);
+        assert_eq!(normalized, sorted);
+
+        // Scramble by reversing whole record groups (within-record slot
+        // order intact): the stable sort must restore exactly the
+        // enumeration order.
+        let mut scrambled: Vec<ParticipationSite> = Vec::with_capacity(sorted.len());
+        let mut groups: Vec<&[ParticipationSite]> =
+            sorted.chunk_by(|a, b| a.record_id == b.record_id).collect();
+        groups.reverse();
+        for g in groups {
+            scrambled.extend_from_slice(g);
+        }
+        assert_ne!(scrambled, sorted);
+        sites_by_record(&mut scrambled);
+        assert_eq!(scrambled, sorted);
     }
 
     #[test]

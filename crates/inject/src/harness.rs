@@ -17,6 +17,7 @@ use crate::random::{run_rfi, RfiConfig};
 use crate::stats::CampaignStats;
 use moard_core::{
     enumerate_sites, AdvfAnalyzer, AdvfReport, AnalysisConfig, MoardError, ParticipationSite,
+    ReplayBatch,
 };
 use moard_vm::{
     DataObjectRegistry, ExecOutcome, ObjectId, TraceBackendSpec, TraceData, Vm, VmConfig,
@@ -38,6 +39,10 @@ pub struct WorkloadHarness {
     /// Data-object table, resolved once at construction (object lookups used
     /// to rebuild a whole `Vm` per call).
     objects: DataObjectRegistry,
+    /// Replay-engine selection applied to every analyzer this harness
+    /// constructs.  An execution-resource choice like the trace backend —
+    /// never an analysis input (reports are bit-identical either way).
+    replay_batch: ReplayBatch,
 }
 
 impl WorkloadHarness {
@@ -72,7 +77,19 @@ impl WorkloadHarness {
             trace,
             traced_outcome,
             objects,
+            replay_batch: ReplayBatch::default(),
         })
+    }
+
+    /// Select the replay engine (lane-batched width or `Off`) for every
+    /// analysis this harness runs.  Verdicts are bit-identical regardless.
+    pub fn set_replay_batch(&mut self, replay_batch: ReplayBatch) {
+        self.replay_batch = replay_batch;
+    }
+
+    /// The replay-engine selection in use.
+    pub fn replay_batch(&self) -> ReplayBatch {
+        self.replay_batch
     }
 
     /// Prepare the harness for a workload selected by name from the built-in
@@ -212,7 +229,7 @@ impl WorkloadHarness {
                 object: object.to_string(),
             });
         }
-        let analyzer = AdvfAnalyzer::new(&self.trace, config);
+        let analyzer = AdvfAnalyzer::new(&self.trace, config).with_replay_batch(self.replay_batch);
         let resolver = use_dfi.then_some(&self.injector as &dyn moard_core::DfiResolver);
         let report = analyzer.analyze(id, object, self.workload().name(), resolver);
         self.check_trace()?;
@@ -310,7 +327,8 @@ impl WorkloadHarness {
                 object: object.to_string(),
             });
         }
-        let analyzer = AdvfAnalyzer::new(&self.trace, config.clone());
+        let analyzer =
+            AdvfAnalyzer::new(&self.trace, config.clone()).with_replay_batch(self.replay_batch);
         let report = analyzer.analyze_sharded(id, object, self.workload().name(), workers);
         self.check_trace()?;
         Ok(report)
@@ -371,6 +389,7 @@ impl WorkloadHarness {
 pub struct HarnessCache {
     map: std::sync::RwLock<std::collections::HashMap<String, std::sync::Arc<WorkloadHarness>>>,
     backend: TraceBackendSpec,
+    replay_batch: ReplayBatch,
 }
 
 impl HarnessCache {
@@ -387,9 +406,20 @@ impl HarnessCache {
         }
     }
 
+    /// Select the replay engine every harness this cache prepares will use.
+    pub fn with_replay_batch(mut self, replay_batch: ReplayBatch) -> HarnessCache {
+        self.replay_batch = replay_batch;
+        self
+    }
+
     /// The trace backend this cache prepares harnesses with.
     pub fn backend(&self) -> &TraceBackendSpec {
         &self.backend
+    }
+
+    /// The replay engine this cache's harnesses analyze with.
+    pub fn replay_batch(&self) -> ReplayBatch {
+        self.replay_batch
     }
 
     /// The canonical cache key of a workload name or alias: aliases of the
@@ -418,11 +448,9 @@ impl HarnessCache {
         // preparers of the same workload build identical harnesses (the
         // pipeline is deterministic); the first insert wins and the loser's
         // copy is dropped.
-        let harness = std::sync::Arc::new(WorkloadHarness::by_name_in_with(
-            registry,
-            name,
-            &self.backend,
-        )?);
+        let mut harness = WorkloadHarness::by_name_in_with(registry, name, &self.backend)?;
+        harness.set_replay_batch(self.replay_batch);
+        let harness = std::sync::Arc::new(harness);
         let mut map = self.map.write().expect("harness cache poisoned");
         Ok(map.entry(key).or_insert(harness).clone())
     }

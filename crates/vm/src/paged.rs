@@ -1393,6 +1393,11 @@ struct CachedSegment {
 /// A reader over a [`PagedTrace`]: a small LRU of decoded segments.  Not
 /// shared across threads — each cursor/worker creates its own, all borrowing
 /// the same immutable trace.
+///
+/// Decode amortization is what makes this backend pay off under lane-batched
+/// replay: a `BatchReplayCursor` walking up to 64 fault lanes issues one
+/// `run_from` per trace position, so each decoded segment here serves up to
+/// 64 replays instead of one before it can be evicted.
 pub struct PagedReader<'t> {
     trace: &'t PagedTrace,
     cache: Vec<CachedSegment>,
